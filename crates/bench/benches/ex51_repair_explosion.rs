@@ -1,0 +1,28 @@
+//! Example 5.1 experiment: the number of repairs of D_n doubles with every
+//! key group, and enumeration cost follows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dq_repair::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ex51_repair_explosion");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for &n in &[4usize, 8, 10] {
+        let (instance, constraints) = example_5_1_instance(n);
+        group.bench_with_input(BenchmarkId::new("enumerate_repairs", n), &n, |b, _| {
+            b.iter(|| count_repairs(&instance, &constraints))
+        });
+        // The greedy deletion repair finds one repair in linear time.
+        group.bench_with_input(BenchmarkId::new("single_greedy_repair", n), &n, |b, _| {
+            b.iter(|| repair_by_deletion(&instance, &constraints).repaired.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

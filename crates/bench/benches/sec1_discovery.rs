@@ -1,0 +1,50 @@
+//! Section 1 experiment: dependency profiling — discovering the cleaning
+//! rules (FDs, constant and variable CFDs) from the data instead of writing
+//! them by hand, scaling the instance size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dq_bench::customer_workload;
+use dq_discovery::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec1_discovery");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    // Profiling and discovery run on the clean generated data (rules are
+    // mined from trusted samples, then enforced on dirty data).
+    for &size in &[500usize, 2_000, 8_000] {
+        let workload = customer_workload(size, 0.0);
+        let phn = workload.clean.schema().attr("phn");
+        let name = workload.clean.schema().attr("name");
+        group.bench_with_input(BenchmarkId::new("profile", size), &size, |b, _| {
+            b.iter(|| profile_relation(&workload.clean).columns.len())
+        });
+        let fd_config = FdDiscoveryConfig {
+            max_lhs: 2,
+            exclude: vec![phn, name],
+            ..FdDiscoveryConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("fd_discovery", size), &size, |b, _| {
+            b.iter(|| discover_fds(&workload.clean, &fd_config).fds.len())
+        });
+        let cfd_config = CfdDiscoveryConfig {
+            min_support: 4,
+            max_lhs: 2,
+            exclude: vec![phn, name],
+            ..CfdDiscoveryConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("constant_cfd_discovery", size), &size, |b, _| {
+            b.iter(|| discover_constant_cfds(&workload.clean, &cfd_config).len())
+        });
+        group.bench_with_input(BenchmarkId::new("full_cfd_discovery", size), &size, |b, _| {
+            b.iter(|| discover_cfds(&workload.clean, &cfd_config).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Section 5.1 (master-data remark) / Section 6 experiment: the unified
+//! cleaning pipeline (object identification against master data + fusion +
+//! heuristic repair) vs. blind heuristic repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dq_bench::{master_fusion_attrs, master_rules, master_workload};
+use dq_cleaning::prelude::*;
+use dq_gen::customer::paper_cfds;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec51_master_cleaning");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    for &entities in &[500usize, 2_000] {
+        let workload = master_workload(entities, 0.2);
+        let with_master = CleaningPipeline::with_master(
+            paper_cfds(),
+            MasterData::new(workload.master.clone()),
+            master_rules(),
+            master_fusion_attrs(),
+        );
+        let repair_only = CleaningPipeline::repair_only(paper_cfds());
+        group.bench_with_input(
+            BenchmarkId::new("master_pipeline", entities),
+            &entities,
+            |b, _| b.iter(|| with_master.run(&workload.dirty).total_changes()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("repair_only", entities),
+            &entities,
+            |b, _| b.iter(|| repair_only.run(&workload.dirty).total_changes()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("matching_stage_only", entities),
+            &entities,
+            |b, _| {
+                let master = MasterData::new(workload.master.clone());
+                let rules = master_rules();
+                b.iter(|| match_against_master(&workload.dirty, &master, &rules).0.len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

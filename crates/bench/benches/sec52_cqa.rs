@@ -1,0 +1,41 @@
+//! Section 5.2 experiment: consistent query answering — the PTIME rewriting
+//! vs. the exponential repair-enumeration oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dq_bench::cqa_instance;
+use dq_cqa::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec52_cqa");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let keys = vec![KeySpec::new("account", vec![0])];
+    // The oracle is only feasible with a handful of conflicting groups.
+    for &conflicts in &[4usize, 8, 12] {
+        let (db, constraints, query) = cqa_instance(conflicts * 4, 0.25);
+        group.bench_with_input(BenchmarkId::new("oracle", conflicts), &conflicts, |b, _| {
+            b.iter(|| {
+                certain_answers_oracle(&db, "account", &constraints, &query)
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rewriting_same_instance", conflicts), &conflicts, |b, _| {
+            b.iter(|| certain_answers_rewriting(&db, &keys, &query).unwrap().len())
+        });
+    }
+    // The rewriting scales to instances far beyond the oracle.
+    for &groups in &[1_000usize, 10_000] {
+        let (db, _, query) = cqa_instance(groups, 0.05);
+        group.bench_with_input(BenchmarkId::new("rewriting_large", groups), &groups, |b, _| {
+            b.iter(|| certain_answers_rewriting(&db, &keys, &query).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Section 5.3 experiment: condensed representations — nucleus construction
+//! and query evaluation vs. explicit repair enumeration, and the world-set
+//! decomposition sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dq_core::prelude::*;
+use dq_relation::{Atom, ConjunctiveQuery, Term};
+use dq_repair::prelude::*;
+use dq_repr::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec53_nucleus");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let query = ConjunctiveQuery::new(
+        vec!["a"],
+        vec![Atom::new("r", vec![Term::var("a"), Term::var("b")])],
+        vec![],
+    );
+    for &n in &[6usize, 10, 14] {
+        let (instance, constraints) = example_5_1_instance(n);
+        let key = Fd::new(instance.schema(), &["A"], &["B"]);
+        group.bench_with_input(BenchmarkId::new("nucleus_build_and_query", n), &n, |b, _| {
+            b.iter(|| {
+                let nucleus = nucleus_for_fd(&instance, &key);
+                evaluate_on_nucleus(&nucleus, "r", &query).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wsd_build", n), &n, |b, _| {
+            b.iter(|| WorldSetDecomposition::for_key(&instance, &key).size())
+        });
+        if n <= 10 {
+            group.bench_with_input(BenchmarkId::new("enumerate_all_repairs", n), &n, |b, _| {
+                b.iter(|| count_repairs(&instance, &constraints))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

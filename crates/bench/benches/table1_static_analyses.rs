@@ -1,0 +1,61 @@
+//! Table 1 experiment: consistency and implication of CFDs / eCFDs / FDs /
+//! CINDs, with and without finite-domain attributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dq_bench::{cind_chain, synthetic_cfd_set, synthetic_fd_set};
+use dq_core::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_static_analyses");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    for &n in &[25usize, 100, 400] {
+        // CFD consistency: no finite domains (quadratic case) vs. 25% bool
+        // attributes (NP case, exercised by the same witness search).
+        let infinite = synthetic_cfd_set(n, 8, 0.0);
+        // The finite-domain workload uses a narrower schema: the witness /
+        // counterexample searches are exponential in the number of
+        // constrained attributes (that is the point of the NP/coNP rows), so
+        // the sweep scales the number of dependencies, not the schema width.
+        let finite = synthetic_cfd_set(n.min(100), 4, 0.5);
+        group.bench_with_input(BenchmarkId::new("cfd_consistency_no_finite", n), &n, |b, _| {
+            b.iter(|| cfd_set_consistent_propagation(&infinite))
+        });
+        group.bench_with_input(BenchmarkId::new("cfd_consistency_finite", n), &n, |b, _| {
+            b.iter(|| cfd_set_consistent(&finite).consistent)
+        });
+        // CFD implication (closure vs. exact) against the first dependency.
+        let target = infinite[0].clone();
+        group.bench_with_input(BenchmarkId::new("cfd_implication_closure", n), &n, |b, _| {
+            b.iter(|| cfd_implies_closure(&infinite[1..], &target))
+        });
+        let finite_target = finite[0].clone();
+        group.bench_with_input(BenchmarkId::new("cfd_implication_exact", n), &n, |b, _| {
+            b.iter(|| cfd_implies_exact(&finite[1..], &finite_target))
+        });
+        // FD baseline: always-consistent, linear implication.
+        let fds = synthetic_fd_set(n, 8);
+        let fd_target = fds[0].clone();
+        group.bench_with_input(BenchmarkId::new("fd_implication", n), &n, |b, _| {
+            b.iter(|| fd_implies(&fds[1..], &fd_target))
+        });
+    }
+
+    // CIND implication by chase over growing chains (EXPTIME in general; the
+    // chain family grows linearly per step but the chase re-derives the whole
+    // prefix).
+    for &n in &[2usize, 4, 8] {
+        let (chain, target) = cind_chain(n);
+        group.bench_with_input(BenchmarkId::new("cind_implication_chase", n), &n, |b, _| {
+            b.iter(|| cind_implies_chase(&chain, &target, 100_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Theorem 4.7 / Example 4.2 experiment: CFD propagation through the
+//! three-source SPCU integration view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dq_bench::propagation_setting;
+use dq_core::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm47_propagation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let (schema, sigma, view, view_schema) = propagation_setting();
+    let f3 = Cfd::from_fd(&Fd::new(&view_schema, &["zip"], &["street"]));
+    let phi7 = Cfd::new(
+        &view_schema,
+        &["CC", "zip"],
+        &["street"],
+        vec![PatternTuple::new(vec![cst(44), wild()], vec![wild()])],
+    )
+    .unwrap();
+    let phi8 = Cfd::new(
+        &view_schema,
+        &["CC", "AC"],
+        &["city"],
+        vec![
+            PatternTuple::new(vec![cst(44), wild()], vec![wild()]),
+            PatternTuple::new(vec![cst(31), wild()], vec![wild()]),
+            PatternTuple::new(vec![cst(1), wild()], vec![wild()]),
+        ],
+    )
+    .unwrap();
+    group.bench_function("fd_f3_does_not_propagate", |b| {
+        b.iter(|| propagates(&schema, &sigma, &view, &f3).unwrap().holds())
+    });
+    group.bench_function("cfd_phi7_propagates", |b| {
+        b.iter(|| propagates(&schema, &sigma, &view, &phi7).unwrap().holds())
+    });
+    group.bench_function("cfd_phi8_propagates", |b| {
+        b.iter(|| propagates(&schema, &sigma, &view, &phi8).unwrap().holds())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Theorem 4.8 experiment: PTIME implication of matching dependencies and
+//! RCK derivation, scaling the size of the MD set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dq_bench::synthetic_md_set;
+use dq_match::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm48_md_implication");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for &n in &[10usize, 100, 1000] {
+        let (sigma, target) = synthetic_md_set(n);
+        group.bench_with_input(BenchmarkId::new("md_implication", n), &n, |b, _| {
+            b.iter(|| md_implies(&sigma, &target))
+        });
+    }
+    // RCK derivation over the paper's comparison space.
+    let card = dq_gen::cards::card_schema();
+    let billing = dq_gen::cards::billing_schema();
+    let (sigma, _) = synthetic_md_set(4);
+    let space = vec![
+        ComparisonSpace::new("email", "email", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("addr", "post", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("LN", "SN", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("tel", "phn", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("FN", "FN", vec![SimilarityOp::Equality, SimilarityOp::edit(3)]),
+    ];
+    group.bench_function("rck_derivation", |b| {
+        b.iter(|| {
+            derive_rcks(
+                &sigma,
+                &card,
+                &billing,
+                &space,
+                &dq_match::paper::YC,
+                &dq_match::paper::YB,
+                3,
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,641 @@
+//! Experiment harness: regenerates, in textual form, every table and figure
+//! of the paper (and the measurable claims around them), printing one block
+//! per experiment.  `EXPERIMENTS.md` records a run of this binary.
+//!
+//! Run with `cargo run --release -p dq-bench --bin harness`.
+
+use dq_bench::*;
+use dq_core::prelude::*;
+use dq_cqa::prelude::*;
+use dq_gen::prelude::*;
+use dq_match::prelude::*;
+use dq_relation::{Atom, ConjunctiveQuery, Term};
+use dq_repair::prelude::*;
+use dq_repr::prelude::*;
+use std::time::Instant;
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn main() {
+    figures_1_and_2();
+    section_1_discovery();
+    figures_3_and_4();
+    section_2_3_ecfds();
+    examples_3x_matching();
+    section_3_1_rule_learning();
+    example_4_1_and_table1_consistency();
+    table1_implication();
+    example_4_2_propagation();
+    theorem_4_8_mds();
+    section_5_1_repair();
+    section_5_1_cind_insertions();
+    section_5_1_master_data();
+    example_5_1();
+    section_5_2_cqa();
+    section_5_2_aggregates();
+    section_5_3_representations();
+    section_5_3_ctables();
+}
+
+fn figures_1_and_2() {
+    header("Fig. 1 / Fig. 2 — CFDs catch what FDs miss, and detection scales");
+    let d0 = dq_gen::customer::paper_instance();
+    let fds = dq_gen::customer::paper_fds();
+    let cfds = dq_gen::customer::paper_cfds();
+    println!(
+        "paper instance D0: FD violations = {}, CFD violations = {}, dirty tuples = {}/3",
+        fds.iter().map(|f| f.violations(&d0).len()).sum::<usize>(),
+        detect_cfd_violations(&d0, &cfds).total(),
+        detect_cfd_violations(&d0, &cfds).violating_tuples().len()
+    );
+    println!("\n tuples   err%   FD-detected   CFD-detected   detection-time");
+    for &size in &[1_000usize, 10_000, 50_000] {
+        for &rate in &[0.01, 0.05] {
+            let w = customer_workload(size, rate);
+            let start = Instant::now();
+            let report = detect_cfd_violations(&w.dirty, &cfds);
+            let elapsed = start.elapsed();
+            let fd_found: usize = fds.iter().map(|f| f.violations(&w.dirty).len()).sum();
+            println!(
+                "{:>7}  {:>4.0}%  {:>12}  {:>13}  {:>10.1}ms",
+                size,
+                rate * 100.0,
+                fd_found,
+                report.total(),
+                elapsed.as_secs_f64() * 1e3
+            );
+        }
+    }
+}
+
+fn figures_3_and_4() {
+    header("Fig. 3 / Fig. 4 — CIND detection across source and target");
+    let db = paper_database();
+    let cinds = paper_cinds();
+    let report = detect_cind_violations(&db, &cinds).unwrap();
+    println!(
+        "paper instance D1: cind1 = {}, cind2 = {}, cind3 = {} violations",
+        report.of(0).len(),
+        report.of(1).len(),
+        report.of(2).len()
+    );
+    println!("\n orders   inj.violations   detected   time");
+    for &size in &[1_000usize, 10_000, 50_000] {
+        let w = order_workload(size, 0.05);
+        let start = Instant::now();
+        let report = detect_cind_violations(&w.db, &cinds).unwrap();
+        let elapsed = start.elapsed();
+        println!(
+            "{:>7}  {:>15}  {:>9}  {:>6.1}ms",
+            size,
+            w.broken_orders.len() + w.broken_cds.len(),
+            report.total(),
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+}
+
+fn section_2_3_ecfds() {
+    header("Section 2.3 — eCFDs: consistency no harder than CFDs");
+    for &n in &[50usize, 200] {
+        let cfds = synthetic_cfd_set(n, 8, 0.25);
+        let start = Instant::now();
+        let consistent = cfd_set_consistent(&cfds).consistent;
+        let cfd_time = start.elapsed();
+        // The analogous eCFD set (single-constant In sets).
+        let ecfds: Vec<Ecfd> = cfds
+            .iter()
+            .map(|c| {
+                let tp = &c.tableau()[0];
+                let lhs: Vec<SetPattern> = tp
+                    .lhs
+                    .iter()
+                    .map(|p| match p.as_const() {
+                        Some(v) => SetPattern::eq(v.clone()),
+                        None => SetPattern::any(),
+                    })
+                    .collect();
+                let rhs: Vec<SetPattern> = tp
+                    .rhs
+                    .iter()
+                    .map(|p| match p.as_const() {
+                        Some(v) => SetPattern::eq(v.clone()),
+                        None => SetPattern::any(),
+                    })
+                    .collect();
+                let lhs_names: Vec<&str> = c.lhs().iter().map(|&a| c.schema().attr_name(a)).collect();
+                let rhs_names: Vec<&str> = c.rhs().iter().map(|&a| c.schema().attr_name(a)).collect();
+                Ecfd::new(c.schema(), &lhs_names, &rhs_names, vec![EcfdPattern::new(lhs, rhs)]).unwrap()
+            })
+            .collect();
+        let start = Instant::now();
+        let e_consistent = ecfd_set_consistent(&ecfds).consistent;
+        let ecfd_time = start.elapsed();
+        println!(
+            "n = {n:>4}: CFD consistency = {consistent} in {:>8.1}µs, eCFD consistency = {e_consistent} in {:>8.1}µs",
+            micros(cfd_time),
+            micros(ecfd_time)
+        );
+    }
+}
+
+fn examples_3x_matching() {
+    header("Examples 3.1 / 3.2 / Sec. 4.2 — derived RCKs improve matching");
+    let card = dq_gen::cards::card_schema();
+    let billing = dq_gen::cards::billing_schema();
+    let sigma = example_3_1_mds(&card, &billing);
+    let space = vec![
+        ComparisonSpace::new("email", "email", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("addr", "post", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("LN", "SN", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("tel", "phn", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("FN", "FN", vec![SimilarityOp::Equality, SimilarityOp::edit(3)]),
+    ];
+    let rcks = derive_rcks(&sigma, &card, &billing, &space, &dq_match::paper::YC, &dq_match::paper::YB, 3);
+    println!("derived RCKs ({}):", rcks.len());
+    for r in &rcks {
+        println!("  {r}");
+    }
+    let exact = RelativeKey::new(
+        &card,
+        &billing,
+        vec![
+            ("LN", "SN", SimilarityOp::Equality),
+            ("addr", "post", SimilarityOp::Equality),
+            ("FN", "FN", SimilarityOp::Equality),
+        ],
+        &dq_match::paper::YC,
+        &dq_match::paper::YB,
+    )
+    .unwrap();
+    println!("\n holders   rules            pairs  comparisons  precision  recall    f1");
+    for &holders in &[1_000usize, 5_000] {
+        let w = card_workload(holders);
+        for (label, matcher) in [
+            ("exact key", Matcher::new(vec![exact.clone()])),
+            ("derived RCKs", Matcher::new(rcks.clone())),
+        ] {
+            let (result, quality) = matcher.evaluate(&w.card, &w.billing, &w.truth);
+            println!(
+                "{:>8}   {:<15} {:>6}  {:>11}  {:>9.3}  {:>6.3}  {:>5.3}",
+                holders,
+                label,
+                result.len(),
+                result.comparisons,
+                quality.precision,
+                quality.recall,
+                quality.f1
+            );
+        }
+    }
+}
+
+fn example_4_1_and_table1_consistency() {
+    header("Example 4.1 / Table 1 — consistency analysis");
+    // Example 4.1 itself.
+    let d0 = dq_gen::customer::paper_cfds();
+    println!("paper CFDs (Fig. 2) consistent: {}", cfd_set_consistent(&d0).consistent);
+    println!("Example 4.1 CFDs consistent:    {}", {
+        use dq_relation::{Domain, RelationSchema};
+        use std::sync::Arc;
+        let s = Arc::new(RelationSchema::new("r", [("A", Domain::Bool), ("B", Domain::Text)]));
+        let psi1 = Cfd::new(&s, &["A"], &["B"], vec![
+            PatternTuple::new(vec![cst(true)], vec![cst("b1")]),
+            PatternTuple::new(vec![cst(false)], vec![cst("b2")]),
+        ]).unwrap();
+        let psi2 = Cfd::new(&s, &["B"], &["A"], vec![
+            PatternTuple::new(vec![cst("b1")], vec![cst(false)]),
+            PatternTuple::new(vec![cst("b2")], vec![cst(true)]),
+        ]).unwrap();
+        cfd_set_consistent(&[psi1, psi2]).consistent
+    });
+    println!("\n |Σ|    no-finite-domain (quadratic)   bool attrs (witness search)");
+    for &n in &[50usize, 200, 800] {
+        let infinite = synthetic_cfd_set(n, 8, 0.0);
+        let finite = synthetic_cfd_set(n.min(100), 4, 0.5);
+        let start = Instant::now();
+        let _ = cfd_set_consistent_propagation(&infinite);
+        let t1 = start.elapsed();
+        let start = Instant::now();
+        let _ = cfd_set_consistent(&finite);
+        let t2 = start.elapsed();
+        println!("{n:>4}    {:>14.1}µs                {:>14.1}µs", micros(t1), micros(t2));
+    }
+    println!("\nCINDs: always consistent (O(1)); CFDs+CINDs: bounded chase heuristic");
+    let cinds = paper_cinds();
+    let (ok, witness) = cind_set_consistent(&cinds);
+    println!("paper CINDs consistent = {ok}, witness database built = {}", witness.is_some());
+    let verdict = cfd_cind_consistent_bounded(&dq_gen::customer::paper_cfds(), &[], 1_000);
+    println!("paper CFDs + no CINDs, bounded chase verdict: {verdict:?}");
+}
+
+fn table1_implication() {
+    header("Table 1 — implication analysis");
+    println!(" |Σ|    FD (linear)   CFD closure (quadratic)   CFD exact (coNP)   CIND chase");
+    for &n in &[50usize, 200, 800] {
+        let fds = synthetic_fd_set(n, 8);
+        let fd_target = fds[0].clone();
+        let start = Instant::now();
+        let _ = fd_implies(&fds[1..], &fd_target);
+        let t_fd = start.elapsed();
+
+        let infinite = synthetic_cfd_set(n, 8, 0.0);
+        let target = infinite[0].clone();
+        let start = Instant::now();
+        let _ = cfd_implies_closure(&infinite[1..], &target);
+        let t_closure = start.elapsed();
+
+        let finite = synthetic_cfd_set(n.min(100), 4, 0.5);
+        let finite_target = finite[0].clone();
+        let start = Instant::now();
+        let _ = cfd_implies_exact(&finite[1..], &finite_target);
+        let t_exact = start.elapsed();
+
+        let (chain, cind_target) = cind_chain((n / 100).clamp(2, 8));
+        let start = Instant::now();
+        let _ = cind_implies_chase(&chain, &cind_target, 100_000);
+        let t_cind = start.elapsed();
+
+        println!(
+            "{n:>4}    {:>9.1}µs   {:>20.1}µs   {:>15.1}µs   {:>9.1}µs",
+            micros(t_fd),
+            micros(t_closure),
+            micros(t_exact),
+            micros(t_cind)
+        );
+    }
+    println!("\nfinite axiomatization: one derivation round over the paper CFDs");
+    let schema = dq_gen::customer::customer_schema();
+    let base: Vec<Cfd> = dq_gen::customer::paper_cfds().iter().flat_map(|c| c.normalize()).collect();
+    let derived = derive_cfds_once(&schema, &base);
+    let sound = derived.iter().all(|d| cfd_implies(&base, &d.cfd));
+    println!("derived {} CFDs, all semantically implied: {sound}", derived.len());
+}
+
+fn example_4_2_propagation() {
+    header("Example 4.2 / Theorem 4.7 — propagation through the union view");
+    let (schema, sigma, view, view_schema) = propagation_setting();
+    let f3 = Cfd::from_fd(&Fd::new(&view_schema, &["zip"], &["street"]));
+    let f4 = Cfd::from_fd(&Fd::new(&view_schema, &["AC"], &["city"]));
+    let phi7 = Cfd::new(
+        &view_schema,
+        &["CC", "zip"],
+        &["street"],
+        vec![PatternTuple::new(vec![cst(44), wild()], vec![wild()])],
+    )
+    .unwrap();
+    let phi8 = Cfd::new(
+        &view_schema,
+        &["CC", "AC"],
+        &["city"],
+        vec![
+            PatternTuple::new(vec![cst(44), wild()], vec![wild()]),
+            PatternTuple::new(vec![cst(31), wild()], vec![wild()]),
+            PatternTuple::new(vec![cst(1), wild()], vec![wild()]),
+        ],
+    )
+    .unwrap();
+    for (name, dep) in [("f3 (FD)", &f3), ("f3+i (FD)", &f4), ("ϕ7 (CFD)", &phi7), ("ϕ8 (CFD)", &phi8)] {
+        let start = Instant::now();
+        let result = propagates(&schema, &sigma, &view, dep).unwrap();
+        println!("{name:<10} propagates = {:<5}  ({:.1}µs)", result.holds(), micros(start.elapsed()));
+    }
+}
+
+fn theorem_4_8_mds() {
+    header("Theorem 4.8 — MD implication is PTIME");
+    println!(" |Σ|     implication time    implied");
+    for &n in &[10usize, 100, 1_000, 5_000] {
+        let (sigma, target) = synthetic_md_set(n);
+        let start = Instant::now();
+        let implied = md_implies(&sigma, &target);
+        println!("{n:>5}    {:>12.1}µs      {implied}", micros(start.elapsed()));
+    }
+}
+
+fn section_5_1_repair() {
+    header("Section 5.1 — heuristic U-repair: cost, quality and scaling");
+    let cfds = dq_gen::customer::paper_cfds();
+    println!(" tuples   err%   changes   cost     precision  recall   f1     time");
+    for &size in &[1_000usize, 5_000, 20_000] {
+        for &rate in &[0.01, 0.05, 0.10] {
+            let w = customer_workload(size, rate);
+            let start = Instant::now();
+            let outcome = repair_cfd_violations(&w.dirty, &cfds, &RepairCost::uniform(), &RepairConfig::default());
+            let elapsed = start.elapsed();
+            let q = score_repair(&w.clean, &w.dirty, &outcome.repaired);
+            println!(
+                "{:>7}  {:>4.0}%  {:>8}  {:>7.1}  {:>9.3}  {:>6.3}  {:>5.3}  {:>6.1}ms",
+                size,
+                rate * 100.0,
+                q.changes,
+                outcome.log.cost,
+                q.precision,
+                q.recall,
+                q.f1,
+                elapsed.as_secs_f64() * 1e3
+            );
+        }
+    }
+}
+
+fn example_5_1() {
+    header("Example 5.1 — exponentially many repairs");
+    println!("  n   tuples   repairs   enumeration time   wsd size");
+    for &n in &[4usize, 8, 12, 16] {
+        let (instance, constraints) = example_5_1_instance(n);
+        let key = Fd::new(instance.schema(), &["A"], &["B"]);
+        let wsd = WorldSetDecomposition::for_key(&instance, &key);
+        if n <= 12 {
+            let start = Instant::now();
+            let count = count_repairs(&instance, &constraints);
+            println!(
+                "{n:>3}   {:>6}   {:>7}   {:>14.1}ms   {:>8}",
+                instance.len(),
+                count,
+                Instant::now().duration_since(start).as_secs_f64() * 1e3,
+                wsd.size()
+            );
+        } else {
+            println!(
+                "{n:>3}   {:>6}   {:>7}   {:>16}   {:>8}",
+                instance.len(),
+                wsd.world_count(),
+                "(not enumerated)",
+                wsd.size()
+            );
+        }
+    }
+}
+
+fn section_5_2_cqa() {
+    header("Section 5.2 — consistent query answering: oracle vs. rewriting");
+    let keys = vec![KeySpec::new("account", vec![0])];
+    println!(" groups  conflicts  repairs      oracle        rewriting   answers equal");
+    for &conflicts in &[4usize, 8, 12] {
+        let (db, constraints, query) = cqa_instance(conflicts * 4, 0.25);
+        let repairs = repair_count(&db, "account", &constraints).unwrap();
+        let start = Instant::now();
+        let slow = certain_answers_oracle(&db, "account", &constraints, &query).unwrap();
+        let t_slow = start.elapsed();
+        let start = Instant::now();
+        let fast = certain_answers_rewriting(&db, &keys, &query).unwrap();
+        let t_fast = start.elapsed();
+        println!(
+            "{:>7}  {:>9}  {:>7}  {:>10.1}µs  {:>12.1}µs   {}",
+            conflicts * 4,
+            conflicts,
+            repairs,
+            micros(t_slow),
+            micros(t_fast),
+            slow == fast
+        );
+    }
+    for &groups in &[1_000usize, 10_000, 50_000] {
+        let (db, _, query) = cqa_instance(groups, 0.05);
+        let start = Instant::now();
+        let fast = certain_answers_rewriting(&db, &keys, &query).unwrap();
+        println!(
+            "{:>7}  {:>9}  {:>7}  {:>12}  {:>10.1}ms   (oracle infeasible)",
+            groups,
+            (groups as f64 * 0.05) as usize,
+            "-",
+            "-",
+            Instant::now().duration_since(start).as_secs_f64() * 1e3,
+        );
+        let _ = fast;
+    }
+}
+
+fn section_5_3_representations() {
+    header("Section 5.3 — condensed representations of all repairs");
+    println!("  n   repairs   nucleus tuples   nucleus vars   wsd size   nucleus answers = certain answers");
+    let query = ConjunctiveQuery::new(
+        vec!["a"],
+        vec![Atom::new("r", vec![Term::var("a"), Term::var("b")])],
+        vec![],
+    );
+    for &n in &[4usize, 8, 10] {
+        let (instance, constraints) = example_5_1_instance(n);
+        let key = Fd::new(instance.schema(), &["A"], &["B"]);
+        let stats = nucleus_stats(&instance, &key);
+        let nucleus = nucleus_for_fd(&instance, &key);
+        let via_nucleus = evaluate_on_nucleus(&nucleus, "r", &query);
+        let db = single_relation_db(instance.clone());
+        let oracle = certain_answers_oracle(&db, "r", &constraints, &query).unwrap();
+        let wsd = WorldSetDecomposition::for_key(&instance, &key);
+        println!(
+            "{n:>3}   {:>7}   {:>14}   {:>12}   {:>8}   {}",
+            stats.represented_worlds,
+            stats.nucleus_tuples,
+            stats.variables,
+            wsd.size(),
+            via_nucleus == oracle
+        );
+    }
+}
+
+fn section_1_discovery() {
+    use dq_discovery::prelude::*;
+    header("Section 1 — profiling: discovering the cleaning rules from data");
+    println!(" tuples   profile-time   FDs found   CFDs found (var+const)   discovery-time   rules hold on sample");
+    for &size in &[500usize, 2_000, 8_000] {
+        let workload = customer_workload(size, 0.0);
+        let schema = workload.clean.schema().clone();
+        let exclude = vec![schema.attr("phn"), schema.attr("name")];
+        let start = Instant::now();
+        let profile = dq_discovery::profile::profile_relation(&workload.clean);
+        let t_profile = start.elapsed();
+        let fd_config = FdDiscoveryConfig { max_lhs: 2, exclude: exclude.clone(), ..FdDiscoveryConfig::default() };
+        let fds = discover_fds(&workload.clean, &fd_config);
+        let cfd_config = CfdDiscoveryConfig { min_support: 4, max_lhs: 2, exclude, ..CfdDiscoveryConfig::default() };
+        let start = Instant::now();
+        let cfds = discover_cfds(&workload.clean, &cfd_config);
+        let t_discovery = start.elapsed();
+        let clean = detect_cfd_violations(&workload.clean, &cfds.all()).is_clean();
+        println!(
+            "{:>7}   {:>10.1}ms   {:>9}   {:>11}+{:<10}   {:>12.1}ms   {}",
+            size,
+            t_profile.as_secs_f64() * 1e3,
+            fds.fds.len(),
+            cfds.variable_cfds.len(),
+            cfds.constant_cfds.len(),
+            t_discovery.as_secs_f64() * 1e3,
+            clean
+        );
+        let _ = profile;
+    }
+}
+
+fn section_5_1_master_data() {
+    use dq_cleaning::prelude::*;
+    use dq_repair::quality::score_repair;
+    header("Section 5.1 (remark) / Section 6 — repairing with master data vs. blind repair");
+    println!(" entities   err%   matched   fusion-fixes   repair-fixes   precision/recall/F1 (master)   precision/recall/F1 (repair only)");
+    let cfds = dq_gen::customer::paper_cfds();
+    for &entities in &[500usize, 2_000] {
+        for &rate in &[0.1, 0.25] {
+            let w = master_workload(entities, rate);
+            let unified = CleaningPipeline::with_master(
+                cfds.clone(),
+                MasterData::new(w.master.clone()),
+                master_rules(),
+                master_fusion_attrs(),
+            )
+            .run(&w.dirty);
+            let baseline = CleaningPipeline::repair_only(cfds.clone()).run(&w.dirty);
+            let qm = score_repair(&w.clean, &w.dirty, &unified.cleaned);
+            let qb = score_repair(&w.clean, &w.dirty, &baseline.cleaned);
+            println!(
+                "{:>9}  {:>4.0}%   {:>7}   {:>12}   {:>12}   {:>6.2}/{:>5.2}/{:>5.2}              {:>6.2}/{:>5.2}/{:>5.2}",
+                entities,
+                rate * 100.0,
+                unified.master_matches,
+                unified.fusion_changes,
+                unified.repair_changes,
+                qm.precision, qm.recall, qm.f1,
+                qb.precision, qb.recall, qb.f1,
+            );
+        }
+    }
+}
+
+fn section_5_2_aggregates() {
+    use dq_relation::{Domain, RelationInstance, RelationSchema, Value};
+    use std::sync::Arc;
+    header("Section 5.2 (remark) — range-consistent answers for aggregation queries");
+    println!(" groups   conflicts   SUM range            MIN range        MAX range        COUNT certain   time");
+    for &groups in &[1_000usize, 10_000, 50_000] {
+        let schema = Arc::new(RelationSchema::new(
+            "salary",
+            [("emp", Domain::Text), ("amount", Domain::Int)],
+        ));
+        let mut inst = RelationInstance::new(schema);
+        let mut conflicts = 0usize;
+        for i in 0..groups {
+            inst.insert_values([Value::str(format!("e{i}")), Value::int(1_000 + i as i64)]).unwrap();
+            if i % 4 == 0 {
+                inst.insert_values([Value::str(format!("e{i}")), Value::int(2_000 + i as i64)]).unwrap();
+                conflicts += 1;
+            }
+        }
+        let amount = inst.schema().attr("amount");
+        let start = Instant::now();
+        let sum = range_consistent_aggregate(&inst, &[0], AggregateFn::Sum, amount);
+        let min = range_consistent_aggregate(&inst, &[0], AggregateFn::Min, amount);
+        let max = range_consistent_aggregate(&inst, &[0], AggregateFn::Max, amount);
+        let count = range_consistent_aggregate(&inst, &[0], AggregateFn::Count, amount);
+        let elapsed = start.elapsed();
+        println!(
+            "{:>7}   {:>9}   [{:>9.0}, {:>9.0}]   [{:>5.0}, {:>5.0}]   [{:>7.0}, {:>7.0}]   {:>13}   {:>6.1}ms",
+            groups,
+            conflicts,
+            sum.lower, sum.upper,
+            min.lower, min.upper,
+            max.lower, max.upper,
+            count.is_certain(),
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+}
+
+fn section_5_3_ctables() {
+    use dq_repr::ctable::CTable;
+    header("Section 5.3 — c-tables: conditioned tuples represent all key repairs");
+    println!("  n   worlds (repairs)   c-table size   certain tuples   every world is a repair");
+    for &n in &[4usize, 8, 10] {
+        let (instance, _) = example_5_1_instance(n);
+        let key = Fd::new(instance.schema(), &["A"], &["B"]);
+        let table = CTable::from_key_repairs(&instance, &key);
+        let all_repairs = table.worlds().iter().all(|w| key.holds_on(w));
+        println!(
+            "{n:>3}   {:>16}   {:>12}   {:>14}   {}",
+            table.world_count(),
+            table.size(),
+            table.certain_tuples().len(),
+            all_repairs
+        );
+    }
+}
+
+fn section_3_1_rule_learning() {
+    use dq_discovery::prelude::*;
+    header("Section 3.1 — matching rules discovered via learning");
+    let space = vec![
+        ComparisonSpace::new("LN", "SN", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("FN", "FN", vec![SimilarityOp::Equality, SimilarityOp::edit(3)]),
+        ComparisonSpace::new("tel", "phn", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("email", "email", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("addr", "post", vec![SimilarityOp::Equality]),
+    ];
+    println!(" holders   candidates   rules kept   combined P/R/F1        hand-written (LN,FN)= P/R/F1");
+    for &holders in &[250usize, 1_000] {
+        let w = card_workload(holders);
+        let start = Instant::now();
+        let learned = learn_relative_keys(
+            &w.card,
+            &w.billing,
+            &w.truth,
+            &space,
+            &dq_match::paper::YC,
+            &dq_match::paper::YB,
+            &RuleLearningConfig::default(),
+        );
+        let elapsed = start.elapsed();
+        let baseline_key = RelativeKey::new(
+            w.card.schema(),
+            w.billing.schema(),
+            vec![("LN", "SN", SimilarityOp::Equality), ("FN", "FN", SimilarityOp::Equality)],
+            &dq_match::paper::YC,
+            &dq_match::paper::YB,
+        )
+        .expect("baseline rule");
+        let baseline = Matcher::new(vec![baseline_key]).run(&w.card, &w.billing);
+        let qb = score(&baseline.matches, &w.truth);
+        println!(
+            "{:>8}   {:>10}   {:>10}   {:.2}/{:.2}/{:.2} ({:>6.0}ms)   {:.2}/{:.2}/{:.2}",
+            holders,
+            learned.candidates_evaluated,
+            learned.rules.len(),
+            learned.combined.precision,
+            learned.combined.recall,
+            learned.combined.f1,
+            elapsed.as_secs_f64() * 1e3,
+            qb.precision,
+            qb.recall,
+            qb.f1
+        );
+    }
+}
+
+fn section_5_1_cind_insertions() {
+    use dq_repair::insertion::{repair_cind_violations_by_insertion, InsertionRepairConfig};
+    header("Section 5.1 — S-repair insertions for CIND violations");
+    println!(" orders   dangling   inserted   rounds   consistent   time");
+    let cinds = dq_gen::orders::paper_cinds();
+    for &orders in &[1_000usize, 10_000] {
+        let w = order_workload(orders, 0.05);
+        let dangling: usize = cinds
+            .iter()
+            .map(|c| c.violations(&w.db).map(|v| v.len()).unwrap_or(0))
+            .sum();
+        let start = Instant::now();
+        let outcome =
+            repair_cind_violations_by_insertion(&w.db, &cinds, &InsertionRepairConfig::default())
+                .expect("insertion repair runs");
+        let elapsed = start.elapsed();
+        println!(
+            "{:>7}   {:>8}   {:>8}   {:>6}   {:>10}   {:>6.1}ms",
+            orders,
+            dangling,
+            outcome.insertion_count(),
+            outcome.rounds,
+            outcome.consistent,
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+}

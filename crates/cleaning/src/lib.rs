@@ -1,0 +1,31 @@
+//! # dq-cleaning
+//!
+//! A unified cleaning pipeline combining the two processes the paper argues
+//! "interact with each other and should be combined" (Section 6): data
+//! repairing and object identification.
+//!
+//! The pipeline follows the master-data remark of Section 5.1: when a
+//! cleaned reference relation (master data [30, 62]) is available, repairing
+//! should draw new values from it rather than invent them; doing so requires
+//! object identification first, because the dirty records and the master
+//! records that refer to the same real-world entity need not be identical.
+//!
+//! * [`master`] — master data and matching of dirty tuples against it, driven
+//!   by relative (candidate) keys from `dq-match`;
+//! * [`fusion`] — correction of matched dirty tuples from their master
+//!   counterparts (the certain, evidence-backed fixes);
+//! * [`pipeline`] — the end-to-end pipeline: detect → match → fuse →
+//!   heuristically repair what is left → verify, with a per-stage report.
+
+pub mod fusion;
+pub mod master;
+pub mod pipeline;
+
+/// Frequently used items.
+pub mod prelude {
+    pub use crate::fusion::{fuse_from_master, FusionLog};
+    pub use crate::master::{match_against_master, MasterData, MasterMatch};
+    pub use crate::pipeline::{CleaningPipeline, CleaningReport, StageSummary};
+}
+
+pub use prelude::*;

@@ -1,0 +1,60 @@
+//! # dq-core
+//!
+//! The primary contribution of Fan, *"Dependencies Revisited for Improving
+//! Data Quality"* (PODS 2008): conditional dependencies and their static
+//! analyses.
+//!
+//! * [`pattern`] — pattern tableaux and the match operator `≍`;
+//! * [`fd`] / [`ind`] — the traditional dependencies being revisited
+//!   (closure, implication, minimal covers, candidate keys, chase);
+//! * [`cfd`] — conditional functional dependencies (Section 2.1);
+//! * [`cind`] — conditional inclusion dependencies (Section 2.2);
+//! * [`ecfd`] — CFDs with disjunction and inequality (Section 2.3);
+//! * [`denial`] — denial constraints (Sections 2.3, 5);
+//! * [`detect`] — violation detection, batch and incremental;
+//! * [`consistency`] — consistency analysis (Theorem 4.1/4.3, Example 4.1);
+//! * [`implication`] — implication analysis and minimal covers
+//!   (Theorem 4.2/4.3);
+//! * [`axioms`] — finite inference systems (Theorem 4.6);
+//! * [`propagation`] — dependency propagation through SPCU views
+//!   (Theorem 4.7, Example 4.2).
+
+pub mod axioms;
+pub mod cfd;
+pub mod cind;
+pub mod consistency;
+pub mod denial;
+pub mod detect;
+pub mod ecfd;
+pub mod fd;
+pub mod implication;
+pub mod ind;
+pub mod pattern;
+pub mod propagation;
+
+/// Frequently used items.
+pub mod prelude {
+    pub use crate::axioms::{derive_cfds_once, derive_cinds_once, saturate_cfds};
+    pub use crate::cfd::{Cfd, CfdViolation};
+    pub use crate::cind::{Cind, CindPattern, CindViolation};
+    pub use crate::consistency::{
+        cfd_cind_consistent_bounded, cfd_set_consistent, cfd_set_consistent_propagation,
+        cind_set_consistent, ecfd_set_consistent, ConsistencyResult,
+    };
+    pub use crate::denial::{DcPredicate, DcTerm, DenialConstraint};
+    pub use crate::detect::{
+        detect_cfd_violations, detect_cfd_violations_incremental, detect_cind_violations,
+        detect_denial_violations, detect_ecfd_violations, CfdViolationReport, CindViolationReport,
+        EcfdViolationReport,
+    };
+    pub use crate::ecfd::{Ecfd, EcfdPattern, SetPattern};
+    pub use crate::fd::{attribute_closure, candidate_keys, fd_implies, minimal_cover, Fd};
+    pub use crate::implication::{
+        cfd_implies, cfd_implies_closure, cfd_implies_exact, cfd_minimal_cover, cind_implies_chase,
+    };
+    pub use crate::ind::{ind_implies, is_acyclic, Ind};
+    pub use crate::pattern::{cst, wild, PatternTuple, PatternValue};
+    pub use crate::propagation::{propagates, Propagation};
+}
+
+pub use prelude::*;

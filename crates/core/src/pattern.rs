@@ -1,0 +1,271 @@
+//! Pattern tableaux and the match operator `≍`.
+//!
+//! Conditional dependencies (Section 2) extend their traditional
+//! counterparts with a *pattern tableau*: each pattern tuple constrains the
+//! dependency to the subset of tuples matching the pattern, and may in
+//! addition bind attributes to constants.  A pattern entry is either a
+//! constant `a` from the attribute's domain or the unnamed variable `_`.
+//!
+//! The operator `≍` ("matches") is defined by: `η1 ≍ η2` iff `η1 = η2` or one
+//! of them is `_`.  It extends componentwise to tuples.
+
+use dq_relation::{Tuple, Value};
+use std::fmt;
+
+/// A single entry of a pattern tuple: a constant or the unnamed variable `_`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PatternValue {
+    /// The unnamed variable `_`, matching any constant of the domain.
+    Any,
+    /// A constant of the attribute's domain.
+    Const(Value),
+}
+
+impl PatternValue {
+    /// The unnamed variable `_`.
+    pub fn any() -> Self {
+        PatternValue::Any
+    }
+
+    /// A constant pattern entry.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        PatternValue::Const(v.into())
+    }
+
+    /// Is this the unnamed variable?
+    pub fn is_any(&self) -> bool {
+        matches!(self, PatternValue::Any)
+    }
+
+    /// The constant, if this entry is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            PatternValue::Const(v) => Some(v),
+            PatternValue::Any => None,
+        }
+    }
+
+    /// The match operator `≍` against a data value.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            PatternValue::Any => true,
+            PatternValue::Const(c) => c == v,
+        }
+    }
+
+    /// The match operator `≍` between two pattern entries (used by
+    /// implication analysis: `η1 ≍ η2` iff equal or one is `_`).
+    pub fn matches_pattern(&self, other: &PatternValue) -> bool {
+        match (self, other) {
+            (PatternValue::Any, _) | (_, PatternValue::Any) => true,
+            (PatternValue::Const(a), PatternValue::Const(b)) => a == b,
+        }
+    }
+
+    /// Is `self` at least as restrictive as `other`?  A constant is more
+    /// restrictive than `_`; constants only subsume themselves.
+    pub fn subsumes(&self, other: &PatternValue) -> bool {
+        match (other, self) {
+            (PatternValue::Any, _) => true,
+            (PatternValue::Const(b), PatternValue::Const(a)) => a == b,
+            (PatternValue::Const(_), PatternValue::Any) => false,
+        }
+    }
+}
+
+impl fmt::Display for PatternValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternValue::Any => write!(f, "_"),
+            PatternValue::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl<V: Into<Value>> From<V> for PatternValue {
+    fn from(v: V) -> Self {
+        PatternValue::Const(v.into())
+    }
+}
+
+/// A pattern tuple of a CFD tableau: entries for the LHS attributes `X` and
+/// the RHS attributes `Y` of the embedded FD, separated by `‖` in the paper's
+/// notation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternTuple {
+    /// Pattern entries for the LHS attributes, positionally aligned with the
+    /// dependency's LHS attribute list.
+    pub lhs: Vec<PatternValue>,
+    /// Pattern entries for the RHS attributes.
+    pub rhs: Vec<PatternValue>,
+}
+
+impl PatternTuple {
+    /// Creates a pattern tuple.
+    pub fn new(lhs: Vec<PatternValue>, rhs: Vec<PatternValue>) -> Self {
+        PatternTuple { lhs, rhs }
+    }
+
+    /// A pattern tuple consisting solely of `_` entries — the pattern of a
+    /// traditional FD embedded as a CFD.
+    pub fn all_wildcards(lhs_len: usize, rhs_len: usize) -> Self {
+        PatternTuple {
+            lhs: vec![PatternValue::Any; lhs_len],
+            rhs: vec![PatternValue::Any; rhs_len],
+        }
+    }
+
+    /// Does a data tuple's projection onto the LHS attributes match the LHS
+    /// pattern (`t[X] ≍ tp[X]`)?
+    pub fn lhs_matches(&self, tuple: &Tuple, lhs_attrs: &[usize]) -> bool {
+        self.lhs
+            .iter()
+            .zip(lhs_attrs)
+            .all(|(p, &a)| p.matches(tuple.get(a)))
+    }
+
+    /// Does a data tuple's projection onto the RHS attributes match the RHS
+    /// pattern (`t[Y] ≍ tp[Y]`)?
+    pub fn rhs_matches(&self, tuple: &Tuple, rhs_attrs: &[usize]) -> bool {
+        self.rhs
+            .iter()
+            .zip(rhs_attrs)
+            .all(|(p, &a)| p.matches(tuple.get(a)))
+    }
+
+    /// RHS positions whose constant pattern the tuple fails to match.
+    pub fn rhs_mismatches(&self, tuple: &Tuple, rhs_attrs: &[usize]) -> Vec<usize> {
+        self.rhs
+            .iter()
+            .zip(rhs_attrs)
+            .enumerate()
+            .filter(|(_, (p, &a))| !p.matches(tuple.get(a)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Is this pattern tuple free of constants (i.e. a traditional FD row)?
+    pub fn is_all_wildcards(&self) -> bool {
+        self.lhs.iter().all(PatternValue::is_any) && self.rhs.iter().all(PatternValue::is_any)
+    }
+
+    /// Does this pattern tuple subsume `other` (match at least every tuple
+    /// `other` matches, and impose at most the same RHS bindings)?  Used to
+    /// prune redundant pattern tuples when computing minimal covers.
+    pub fn subsumes(&self, other: &PatternTuple) -> bool {
+        self.lhs.len() == other.lhs.len()
+            && self.rhs.len() == other.rhs.len()
+            && self
+                .lhs
+                .iter()
+                .zip(&other.lhs)
+                .all(|(a, b)| b.subsumes(a) || a == b)
+            && self.rhs.iter().zip(&other.rhs).all(|(a, b)| a == b)
+    }
+}
+
+impl fmt::Display for PatternTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " ‖ ")?;
+        for (i, p) in self.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Shorthand used by examples and tests: turns `Some(value)`-like inputs into
+/// pattern entries.  `wild()` stands for `_`.
+pub fn wild() -> PatternValue {
+    PatternValue::Any
+}
+
+/// Shorthand for a constant pattern entry.
+pub fn cst(v: impl Into<Value>) -> PatternValue {
+    PatternValue::Const(v.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_operator_on_values() {
+        assert!(wild().matches(&Value::str("Mayfield")));
+        assert!(cst("EDI").matches(&Value::str("EDI")));
+        assert!(!cst("EDI").matches(&Value::str("NYC")));
+        assert!(cst(44).matches(&Value::int(44)));
+    }
+
+    #[test]
+    fn match_operator_between_patterns_mirrors_paper_examples() {
+        // (Mayfield, EDI) ≍ (_, EDI) but (Mayfield, EDI) !≍ (_, NYC)
+        let a = [cst("Mayfield"), cst("EDI")];
+        let b = [wild(), cst("EDI")];
+        let c = [wild(), cst("NYC")];
+        assert!(a.iter().zip(&b).all(|(x, y)| x.matches_pattern(y)));
+        assert!(!a.iter().zip(&c).all(|(x, y)| x.matches_pattern(y)));
+    }
+
+    #[test]
+    fn subsumption_ordering() {
+        assert!(cst(1).subsumes(&wild()));
+        assert!(cst(1).subsumes(&cst(1)));
+        assert!(!cst(1).subsumes(&cst(2)));
+        assert!(!wild().subsumes(&cst(1)));
+        assert!(wild().subsumes(&wild()));
+    }
+
+    #[test]
+    fn tuple_matching_against_attribute_lists() {
+        let t = Tuple::from_values([Value::int(44), Value::int(131), Value::str("EDI")]);
+        let tp = PatternTuple::new(vec![cst(44), wild()], vec![cst("EDI")]);
+        assert!(tp.lhs_matches(&t, &[0, 1]));
+        assert!(tp.rhs_matches(&t, &[2]));
+        let tp2 = PatternTuple::new(vec![cst(1), wild()], vec![cst("EDI")]);
+        assert!(!tp2.lhs_matches(&t, &[0, 1]));
+    }
+
+    #[test]
+    fn rhs_mismatch_positions() {
+        let t = Tuple::from_values([Value::str("NYC"), Value::str("EH4")]);
+        let tp = PatternTuple::new(vec![], vec![cst("EDI"), wild()]);
+        assert_eq!(tp.rhs_mismatches(&t, &[0, 1]), vec![0]);
+    }
+
+    #[test]
+    fn all_wildcards_is_a_traditional_fd_row() {
+        let tp = PatternTuple::all_wildcards(2, 1);
+        assert!(tp.is_all_wildcards());
+        let t = Tuple::from_values([Value::int(1), Value::int(2), Value::int(3)]);
+        assert!(tp.lhs_matches(&t, &[0, 1]) && tp.rhs_matches(&t, &[2]));
+    }
+
+    #[test]
+    fn pattern_tuple_subsumption() {
+        // (44, _ || _) subsumes (44, 131 || _): it matches strictly more.
+        let general = PatternTuple::new(vec![cst(44), wild()], vec![wild()]);
+        let specific = PatternTuple::new(vec![cst(44), cst(131)], vec![wild()]);
+        assert!(general.subsumes(&specific));
+        assert!(!specific.subsumes(&general));
+        // Differing RHS bindings are never subsumed.
+        let bound = PatternTuple::new(vec![cst(44), wild()], vec![cst("EDI")]);
+        assert!(!general.subsumes(&bound));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let tp = PatternTuple::new(vec![cst(44), wild()], vec![cst("EDI")]);
+        assert_eq!(tp.to_string(), "(44, _ ‖ EDI)");
+    }
+}

@@ -1,0 +1,357 @@
+//! Dependency propagation through views (Section 4.1, Theorem 4.7,
+//! Example 4.2).
+//!
+//! Given source CFDs `Σ` on base relations and a view `σ` in the SPCU
+//! fragment, does a view CFD `ϕ` hold on `σ(D)` for every `D ⊨ Σ`
+//! (`Σ ⊨_σ ϕ`)?  The problem is PTIME for SPCU views without finite-domain
+//! attributes and coNP-complete in general (Theorem 4.7).
+//!
+//! The checker implemented here is *sound* (it never claims propagation that
+//! does not hold) and complete for the fragment exercised by the paper's
+//! Example 4.2 — unions of selection/projection views over single source
+//! relations, the typical "integrate several regional sources" shape.  Views
+//! with Cartesian products, or cases the analysis cannot settle, yield
+//! [`Propagation::Unknown`] rather than a wrong answer.
+
+use crate::cfd::Cfd;
+use crate::implication::cfd_implies;
+use crate::pattern::{PatternTuple, PatternValue};
+use dq_relation::algebra::{SpcView, View};
+use dq_relation::{DatabaseSchema, DqError, DqResult, RelationSchema, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Outcome of a propagation check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Propagation {
+    /// The view dependency is guaranteed by the source dependencies.
+    Propagates,
+    /// A concrete obstruction was found (two union branches that can emit
+    /// conflicting tuples, or a branch whose sources do not imply the
+    /// translated dependency).
+    DoesNotPropagate(String),
+    /// The analysis cannot settle the case (e.g. product views).
+    Unknown(String),
+}
+
+impl Propagation {
+    /// Is the result a definite "yes"?
+    pub fn holds(&self) -> bool {
+        matches!(self, Propagation::Propagates)
+    }
+}
+
+/// Checks whether the view CFD `phi` (defined over the view's output schema)
+/// is propagated from the source CFDs `sigma` through `view`.
+///
+/// `sigma` maps source relation names to the CFDs defined on them; the view
+/// is analysed branch by branch (one branch per union arm).
+pub fn propagates(
+    schema: &DatabaseSchema,
+    sigma: &BTreeMap<String, Vec<Cfd>>,
+    view: &View,
+    phi: &Cfd,
+) -> DqResult<Propagation> {
+    let branches = view.union_branches();
+    let mut branch_views = Vec::with_capacity(branches.len());
+    for branch in &branches {
+        let spc = branch.spc_normal_form(schema)?;
+        if spc.sources.len() != 1 {
+            return Ok(Propagation::Unknown(
+                "branches with Cartesian products are outside the supported fragment".into(),
+            ));
+        }
+        branch_views.push(spc);
+    }
+
+    // 1. Within-branch check: translate phi to the single source relation of
+    //    each branch and test implication against that source's CFDs.
+    for (i, branch) in branch_views.iter().enumerate() {
+        match branch_implication(schema, sigma, branch, phi)? {
+            BranchStatus::Implied | BranchStatus::Vacuous => {}
+            BranchStatus::NotImplied(reason) => {
+                return Ok(Propagation::DoesNotPropagate(format!(
+                    "branch {i}: {reason}"
+                )))
+            }
+        }
+    }
+
+    // 2. Cross-branch check: a pair of tuples coming from different branches
+    //    can violate phi unless the branches are separated on some LHS
+    //    column (distinct forced constants) or force identical constants on
+    //    every RHS column of phi.
+    for i in 0..branch_views.len() {
+        for j in (i + 1)..branch_views.len() {
+            if !cross_branch_safe(&branch_views[i], &branch_views[j], phi) {
+                return Ok(Propagation::DoesNotPropagate(format!(
+                    "branches {i} and {j} can emit tuples that agree on the LHS but disagree on the RHS"
+                )));
+            }
+        }
+    }
+    Ok(Propagation::Propagates)
+}
+
+enum BranchStatus {
+    Implied,
+    Vacuous,
+    NotImplied(String),
+}
+
+/// The constant forced by the branch on a given *view column*, either through
+/// an explicit selection on the provenance attribute or not at all.
+fn forced_constant(branch: &SpcView, column: usize) -> Option<Value> {
+    let (source, attr) = branch.projection[column];
+    branch.constant_on(source, attr).cloned()
+}
+
+fn branch_implication(
+    schema: &DatabaseSchema,
+    sigma: &BTreeMap<String, Vec<Cfd>>,
+    branch: &SpcView,
+    phi: &Cfd,
+) -> DqResult<BranchStatus> {
+    let source_name = &branch.sources[0];
+    let source_schema: Arc<RelationSchema> = schema.require_relation(source_name)?;
+    let empty = Vec::new();
+    let source_cfds = sigma.get(source_name).unwrap_or(&empty);
+
+    // Translate each pattern tuple of phi into a CFD over the source schema.
+    let mut applicable_patterns = 0usize;
+    for tp in phi.tableau() {
+        // Map LHS/RHS view columns to source attributes; a view column whose
+        // provenance is missing (should not happen for SP branches) aborts.
+        let mut lhs_attrs = Vec::new();
+        let mut lhs_pattern = Vec::new();
+        let mut vacuous = false;
+        for (k, &col) in phi.lhs().iter().enumerate() {
+            let (src, attr) = branch.projection[col];
+            debug_assert_eq!(src, 0);
+            // Combine the view pattern with the branch's selection constant.
+            let branch_const = branch.constant_on(src, attr).cloned();
+            let pattern_entry = match (&tp.lhs[k], branch_const) {
+                (PatternValue::Const(c), Some(b)) if c != &b => {
+                    // The branch can never emit a tuple matching this pattern
+                    // entry: the pattern is vacuous for this branch.
+                    vacuous = true;
+                    PatternValue::Const(c.clone())
+                }
+                (PatternValue::Const(c), _) => PatternValue::Const(c.clone()),
+                (PatternValue::Any, Some(b)) => PatternValue::Const(b),
+                (PatternValue::Any, None) => PatternValue::Any,
+            };
+            lhs_attrs.push(attr);
+            lhs_pattern.push(pattern_entry);
+        }
+        if vacuous {
+            continue;
+        }
+        applicable_patterns += 1;
+        let mut rhs_attrs = Vec::new();
+        let mut rhs_pattern = Vec::new();
+        for (k, &col) in phi.rhs().iter().enumerate() {
+            let (src, attr) = branch.projection[col];
+            debug_assert_eq!(src, 0);
+            rhs_attrs.push(attr);
+            rhs_pattern.push(tp.rhs[k].clone());
+        }
+        let translated = Cfd::from_indices(
+            &source_schema,
+            lhs_attrs,
+            rhs_attrs,
+            vec![PatternTuple::new(lhs_pattern, rhs_pattern)],
+        )
+        .map_err(|e| DqError::MalformedDependency {
+            reason: format!("translated view dependency is malformed: {e}"),
+        })?;
+        if !cfd_implies(source_cfds, &translated) {
+            return Ok(BranchStatus::NotImplied(format!(
+                "source `{source_name}` does not imply {translated}"
+            )));
+        }
+    }
+    if applicable_patterns == 0 {
+        // No tuple emitted by this branch can match any pattern of phi.
+        return Ok(BranchStatus::Vacuous);
+    }
+    Ok(BranchStatus::Implied)
+}
+
+/// Can a tuple from `a` and a tuple from `b` agree on `phi`'s LHS (matching
+/// its patterns) yet disagree on its RHS?  Conservative: returns `true`
+/// (safe) only when the branches are provably separated or provably agree.
+fn cross_branch_safe(a: &SpcView, b: &SpcView, phi: &Cfd) -> bool {
+    for tp in phi.tableau() {
+        // Separated: some LHS column has distinct forced constants in the two
+        // branches, or a forced constant incompatible with the pattern.
+        let separated = phi.lhs().iter().enumerate().any(|(k, &col)| {
+            let ca = forced_constant(a, col);
+            let cb = forced_constant(b, col);
+            let pattern_conflict = |c: &Option<Value>| match (&tp.lhs[k], c) {
+                (PatternValue::Const(p), Some(v)) => p != v,
+                _ => false,
+            };
+            matches!((&ca, &cb), (Some(x), Some(y)) if x != y)
+                || pattern_conflict(&ca)
+                || pattern_conflict(&cb)
+        });
+        if separated {
+            continue;
+        }
+        // Not separated: require every RHS column to carry identical forced
+        // constants in both branches (then cross pairs cannot disagree).
+        let rhs_agree = phi.rhs().iter().all(|&col| {
+            matches!(
+                (forced_constant(a, col), forced_constant(b, col)),
+                (Some(x), Some(y)) if x == y
+            )
+        });
+        if !rhs_agree {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+    use crate::pattern::{cst, wild};
+    use dq_relation::algebra::Predicate;
+    use dq_relation::Domain;
+
+    /// Example 4.2: three regional sources with the same attributes plus a
+    /// country code that the integration view adds via selection columns.
+    ///
+    /// To stay inside the SPCU algebra (no value-invention operator), each
+    /// source carries its own constant `CC` column — the view simply projects
+    /// it — which is how such integration views are typically materialized.
+    fn setup() -> (DatabaseSchema, BTreeMap<String, Vec<Cfd>>, View, Arc<RelationSchema>) {
+        let mut schema = DatabaseSchema::new();
+        let mut sigma = BTreeMap::new();
+        for (name, _cc) in [("R1", 44i64), ("R2", 1i64), ("R3", 31i64)] {
+            let s = Arc::new(RelationSchema::new(
+                name,
+                [
+                    ("CC", Domain::Int),
+                    ("AC", Domain::Int),
+                    ("zip", Domain::Text),
+                    ("street", Domain::Text),
+                    ("city", Domain::Text),
+                ],
+            ));
+            schema.add((*s).clone());
+            let mut cfds = vec![
+                // f_{3+i}: [AC] -> [city] on every source.
+                Cfd::from_fd(&Fd::new(&s, &["AC"], &["city"])),
+            ];
+            if name == "R1" {
+                // f3: [zip] -> [street] only on the UK source.
+                cfds.push(Cfd::from_fd(&Fd::new(&s, &["zip"], &["street"])));
+            }
+            sigma.insert(name.to_string(), cfds);
+        }
+        // The integration view: select each source on its country code and
+        // union the results (columns: CC, AC, zip, street, city).
+        let branch = |name: &str, cc: i64| {
+            View::base(name).select(Predicate::EqConst(0, Value::int(cc)))
+        };
+        let view = branch("R1", 44)
+            .union(branch("R2", 1))
+            .union(branch("R3", 31));
+        let view_schema = Arc::new(RelationSchema::new(
+            "R",
+            [
+                ("CC", Domain::Int),
+                ("AC", Domain::Int),
+                ("zip", Domain::Text),
+                ("street", Domain::Text),
+                ("city", Domain::Text),
+            ],
+        ));
+        (schema, sigma, view, view_schema)
+    }
+
+    #[test]
+    fn plain_fds_do_not_propagate_to_the_union_view() {
+        let (schema, sigma, view, view_schema) = setup();
+        // f3 as a view FD: zip -> street over the whole view.
+        let f3 = Cfd::from_fd(&Fd::new(&view_schema, &["zip"], &["street"]));
+        let result = propagates(&schema, &sigma, &view, &f3).unwrap();
+        assert!(!result.holds());
+        // f4: AC -> city over the whole view; fails across branches (area
+        // code 20 is both London and Amsterdam).
+        let f4 = Cfd::from_fd(&Fd::new(&view_schema, &["AC"], &["city"]));
+        let result = propagates(&schema, &sigma, &view, &f4).unwrap();
+        assert!(!result.holds());
+    }
+
+    #[test]
+    fn conditional_versions_do_propagate() {
+        let (schema, sigma, view, view_schema) = setup();
+        // ϕ7: ([CC, zip] -> [street], (44, _ ‖ _)).
+        let phi7 = Cfd::new(
+            &view_schema,
+            &["CC", "zip"],
+            &["street"],
+            vec![PatternTuple::new(vec![cst(44), wild()], vec![wild()])],
+        )
+        .unwrap();
+        assert!(propagates(&schema, &sigma, &view, &phi7).unwrap().holds());
+        // ϕ8: ([CC, AC] -> [city], {(44, _), (31, _), (01, _)}).
+        let phi8 = Cfd::new(
+            &view_schema,
+            &["CC", "AC"],
+            &["city"],
+            vec![
+                PatternTuple::new(vec![cst(44), wild()], vec![wild()]),
+                PatternTuple::new(vec![cst(31), wild()], vec![wild()]),
+                PatternTuple::new(vec![cst(1), wild()], vec![wild()]),
+            ],
+        )
+        .unwrap();
+        assert!(propagates(&schema, &sigma, &view, &phi8).unwrap().holds());
+    }
+
+    #[test]
+    fn missing_source_dependency_blocks_propagation() {
+        let (schema, mut sigma, view, view_schema) = setup();
+        // Remove the zip -> street dependency from the UK source; ϕ7 no
+        // longer propagates.
+        sigma.insert("R1".into(), vec![Cfd::from_fd(&Fd::new(
+            &schema.relation("R1").unwrap(),
+            &["AC"],
+            &["city"],
+        ))]);
+        let phi7 = Cfd::new(
+            &view_schema,
+            &["CC", "zip"],
+            &["street"],
+            vec![PatternTuple::new(vec![cst(44), wild()], vec![wild()])],
+        )
+        .unwrap();
+        let result = propagates(&schema, &sigma, &view, &phi7).unwrap();
+        assert!(matches!(result, Propagation::DoesNotPropagate(_)));
+    }
+
+    #[test]
+    fn product_views_are_reported_as_unknown() {
+        let (schema, sigma, _, view_schema) = setup();
+        let view = View::base("R1").product(View::base("R2"));
+        let phi = Cfd::from_fd(&Fd::new(&view_schema, &["zip"], &["street"]));
+        let result = propagates(&schema, &sigma, &view, &phi).unwrap();
+        assert!(matches!(result, Propagation::Unknown(_)));
+    }
+
+    #[test]
+    fn single_branch_views_reduce_to_source_implication() {
+        let (schema, sigma, _, view_schema) = setup();
+        let view = View::base("R1").select(Predicate::EqConst(0, Value::int(44)));
+        // Unconditional zip -> street holds on this single-source view
+        // because R1 carries the source FD.
+        let phi = Cfd::from_fd(&Fd::new(&view_schema, &["zip"], &["street"]));
+        assert!(propagates(&schema, &sigma, &view, &phi).unwrap().holds());
+    }
+}

@@ -1,0 +1,519 @@
+//! Discovery of conditional functional dependencies from data.
+//!
+//! Two discovery modes cover the two shapes of CFDs in Section 2.1:
+//!
+//! * **Constant CFDs** (every pattern cell a constant, e.g.
+//!   `([CC = 44, AC = 131] → [city = EDI])`) are mined in the spirit of
+//!   CFDMiner: frequent left-hand-side value combinations whose matching
+//!   tuples all agree on the right-hand side, filtered for minimality so
+//!   that a condition is only reported when no sub-condition already forces
+//!   the same constant.
+//! * **Variable CFDs** (an embedded FD plus a pattern tableau, e.g.
+//!   `([CC, zip] → [street])` with pattern `(44, _ ‖ _)`) are mined in the
+//!   spirit of CTANE: for an embedded FD that does not hold globally, the
+//!   search enumerates increasingly specific pattern tuples (more constants)
+//!   and keeps the most general ones under which the FD holds with enough
+//!   support.
+//!
+//! Discovered dependencies are ordinary [`Cfd`] values; by construction every
+//! one of them holds on the profiled instance, which the module's tests
+//! assert and which makes them safe seeds for cleaning rules on *future*
+//! data of the same source.
+
+use crate::fd_discovery::{discover_fds, subsets_of_size, FdDiscoveryConfig};
+use crate::partition::g3_error;
+use dq_core::cfd::Cfd;
+use dq_core::fd::Fd;
+use dq_core::pattern::{PatternTuple, PatternValue};
+use dq_relation::{RelationInstance, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Configuration of CFD discovery.
+#[derive(Clone, Debug)]
+pub struct CfdDiscoveryConfig {
+    /// Minimum number of tuples a pattern tuple must match to be reported.
+    pub min_support: usize,
+    /// Maximum size of embedded-FD left-hand sides.
+    pub max_lhs: usize,
+    /// Maximum number of LHS attributes that may carry constants in a
+    /// variable-CFD pattern tuple.
+    pub max_condition_attrs: usize,
+    /// Maximum `g3` error for an embedded FD to be considered a conditioning
+    /// candidate (an FD with huge error is unlikely to hold on any useful
+    /// condition).
+    pub max_candidate_g3: f64,
+    /// Cap on the number of pattern tuples collected per dependency.
+    pub max_tableau: usize,
+    /// Attributes excluded from discovery (surrogate keys, free text).
+    pub exclude: Vec<usize>,
+}
+
+impl Default for CfdDiscoveryConfig {
+    fn default() -> Self {
+        CfdDiscoveryConfig {
+            min_support: 2,
+            max_lhs: 2,
+            max_condition_attrs: 2,
+            max_candidate_g3: 0.5,
+            max_tableau: 64,
+            exclude: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of [`discover_cfds`].
+#[derive(Clone, Debug)]
+pub struct DiscoveredCfds {
+    /// Variable CFDs: exact FDs lifted to all-wildcard tableaux, plus
+    /// conditional tableaux mined for approximate FDs.
+    pub variable_cfds: Vec<Cfd>,
+    /// Constant CFDs (association-rule-like patterns).
+    pub constant_cfds: Vec<Cfd>,
+    /// Number of candidate pattern tuples validated.
+    pub candidates_checked: usize,
+}
+
+impl DiscoveredCfds {
+    /// All discovered CFDs, variable first.
+    pub fn all(&self) -> Vec<Cfd> {
+        self.variable_cfds
+            .iter()
+            .chain(self.constant_cfds.iter())
+            .cloned()
+            .collect()
+    }
+
+    /// Total number of dependencies.
+    pub fn len(&self) -> usize {
+        self.variable_cfds.len() + self.constant_cfds.len()
+    }
+
+    /// Whether nothing was discovered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Discovers constant CFDs: minimal frequent LHS value combinations that
+/// force a constant on some other attribute.  Patterns over the same
+/// `(LHS attributes, RHS attribute)` are merged into a single CFD tableau.
+pub fn discover_constant_cfds(
+    instance: &RelationInstance,
+    config: &CfdDiscoveryConfig,
+) -> Vec<Cfd> {
+    let schema = instance.schema().clone();
+    let attrs: Vec<usize> = (0..schema.arity())
+        .filter(|a| !config.exclude.contains(a))
+        .collect();
+    // tableaux[(lhs, rhs)] -> pattern tuples
+    let mut tableaux: BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>> = BTreeMap::new();
+    let all_tuples: Vec<_> = instance.iter().map(|(_, t)| t.clone()).collect();
+
+    for size in 1..=config.max_lhs.min(attrs.len()) {
+        for lhs in subsets_of_size(&attrs, size) {
+            let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (pos, tuple) in all_tuples.iter().enumerate() {
+                groups.entry(tuple.project(&lhs)).or_default().push(pos);
+            }
+            for (lhs_values, members) in &groups {
+                if members.len() < config.min_support {
+                    continue;
+                }
+                for &rhs in &attrs {
+                    if lhs.contains(&rhs) {
+                        continue;
+                    }
+                    let first = all_tuples[members[0]].get(rhs).clone();
+                    if !members.iter().all(|&m| all_tuples[m].get(rhs) == &first) {
+                        continue;
+                    }
+                    // Minimality: a proper sub-condition that already forces
+                    // the same constant (with support) makes this redundant.
+                    if size >= 2
+                        && is_redundant_constant_pattern(
+                            &all_tuples,
+                            &lhs,
+                            lhs_values,
+                            rhs,
+                            &first,
+                            config.min_support,
+                        )
+                    {
+                        continue;
+                    }
+                    let entry = tableaux.entry((lhs.clone(), rhs)).or_default();
+                    if entry.len() >= config.max_tableau {
+                        continue;
+                    }
+                    entry.push(PatternTuple::new(
+                        lhs_values.iter().cloned().map(PatternValue::Const).collect(),
+                        vec![PatternValue::Const(first.clone())],
+                    ));
+                }
+            }
+        }
+    }
+
+    tableaux
+        .into_iter()
+        .filter_map(|((lhs, rhs), mut tableau)| {
+            tableau.sort_by_key(|tp| format!("{tp}"));
+            tableau.dedup();
+            Cfd::from_indices(&schema, lhs, vec![rhs], tableau).ok()
+        })
+        .collect()
+}
+
+/// Whether the LHS pattern `a` matches every tuple the LHS pattern `b`
+/// matches: at every position `a` is either a wildcard or equal to `b`.
+fn lhs_more_general(a: &[PatternValue], b: &[PatternValue]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(pa, pb)| pa.is_any() || pa == pb)
+}
+
+/// Whether some proper subset of the condition already forces `rhs = value`
+/// on at least `min_support` tuples — in which case the longer condition is
+/// not minimal and should not be reported.
+fn is_redundant_constant_pattern(
+    tuples: &[dq_relation::Tuple],
+    lhs: &[usize],
+    lhs_values: &[Value],
+    rhs: usize,
+    value: &Value,
+    min_support: usize,
+) -> bool {
+    for drop in 0..lhs.len() {
+        let sub_attrs: Vec<usize> = lhs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, &a)| a)
+            .collect();
+        let sub_values: Vec<&Value> = lhs_values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, v)| v)
+            .collect();
+        let matching: Vec<&dq_relation::Tuple> = tuples
+            .iter()
+            .filter(|t| {
+                sub_attrs
+                    .iter()
+                    .zip(&sub_values)
+                    .all(|(&a, v)| t.get(a) == *v)
+            })
+            .collect();
+        if matching.len() >= min_support && matching.iter().all(|t| t.get(rhs) == value) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Mines a pattern tableau for the embedded FD `fd` on `instance`: the most
+/// general pattern tuples (fewest constants) under which the FD holds with
+/// at least [`CfdDiscoveryConfig::min_support`] matching tuples.
+///
+/// Returns `None` when no pattern with enough support makes the FD hold.
+/// When the FD already holds globally the tableau is the single all-wildcard
+/// pattern (i.e. the traditional FD).
+pub fn discover_tableau_for_fd(
+    instance: &RelationInstance,
+    fd: &Fd,
+    config: &CfdDiscoveryConfig,
+) -> Option<Cfd> {
+    let schema = instance.schema().clone();
+    let lhs = fd.lhs().to_vec();
+    let rhs = fd.rhs().to_vec();
+    let tuples: Vec<_> = instance.iter().map(|(_, t)| t.clone()).collect();
+    let mut accepted: Vec<PatternTuple> = Vec::new();
+
+    let max_constants = config.max_condition_attrs.min(lhs.len());
+    for constants in 0..=max_constants {
+        if accepted.len() >= config.max_tableau {
+            break;
+        }
+        // Positions (within the LHS list) that carry constants.
+        let positions = subsets_of_size(&(0..lhs.len()).collect::<Vec<_>>(), constants);
+        let position_sets: Vec<Vec<usize>> = if constants == 0 {
+            vec![Vec::new()]
+        } else {
+            positions
+        };
+        for cond_positions in position_sets {
+            let cond_attrs: Vec<usize> = cond_positions.iter().map(|&p| lhs[p]).collect();
+            // Distinct value combinations actually present in the data.
+            let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (pos, tuple) in tuples.iter().enumerate() {
+                groups.entry(tuple.project(&cond_attrs)).or_default().push(pos);
+            }
+            for (cond_values, members) in groups {
+                if members.len() < config.min_support {
+                    continue;
+                }
+                let lhs_pattern: Vec<PatternValue> = (0..lhs.len())
+                    .map(|p| match cond_positions.iter().position(|&c| c == p) {
+                        Some(i) => PatternValue::Const(cond_values[i].clone()),
+                        None => PatternValue::Any,
+                    })
+                    .collect();
+                // Prefer the most general patterns: skip a candidate whose
+                // LHS is covered by an already accepted, more general one.
+                if accepted
+                    .iter()
+                    .any(|a| lhs_more_general(&a.lhs, &lhs_pattern))
+                {
+                    continue;
+                }
+                // Does the embedded FD hold on the matching tuples?
+                let mut by_lhs: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+                let mut holds = true;
+                for &m in &members {
+                    let key = tuples[m].project(&lhs);
+                    let val = tuples[m].project(&rhs);
+                    match by_lhs.get(&key) {
+                        Some(existing) if existing != &val => {
+                            holds = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            by_lhs.insert(key, val);
+                        }
+                    }
+                }
+                if !holds {
+                    continue;
+                }
+                // Upgrade the RHS to constants when every matching tuple
+                // agrees on it (the `city = EDI` shape of cfd2/cfd3).
+                let first_rhs = tuples[members[0]].project(&rhs);
+                let rhs_constant = members
+                    .iter()
+                    .all(|&m| tuples[m].project(&rhs) == first_rhs);
+                let rhs_pattern: Vec<PatternValue> = if rhs_constant && !cond_positions.is_empty() {
+                    first_rhs.into_iter().map(PatternValue::Const).collect()
+                } else {
+                    vec![PatternValue::Any; rhs.len()]
+                };
+                accepted.push(PatternTuple::new(lhs_pattern, rhs_pattern));
+                if accepted.len() >= config.max_tableau {
+                    break;
+                }
+            }
+        }
+    }
+
+    if accepted.is_empty() {
+        return None;
+    }
+    accepted.sort_by_key(|tp| format!("{tp}"));
+    accepted.dedup();
+    Cfd::from_indices(&schema, lhs, rhs, accepted).ok()
+}
+
+/// Full CFD discovery: exact FDs (reported as all-wildcard CFDs), conditional
+/// tableaux for approximate FDs, and constant CFDs.
+pub fn discover_cfds(instance: &RelationInstance, config: &CfdDiscoveryConfig) -> DiscoveredCfds {
+    let mut candidates_checked = 0usize;
+
+    // Exact FDs become traditional (all-wildcard) CFDs.
+    let exact = discover_fds(
+        instance,
+        &FdDiscoveryConfig {
+            max_lhs: config.max_lhs,
+            max_g3: 0.0,
+            exclude: config.exclude.clone(),
+        },
+    );
+    candidates_checked += exact.candidates_checked;
+    let mut variable_cfds: Vec<Cfd> = exact.fds.iter().map(Cfd::from_fd).collect();
+
+    // Approximate FDs (hold after removing at most `max_candidate_g3` of the
+    // tuples but not exactly) are conditioning candidates: mine a tableau.
+    let approx = discover_fds(
+        instance,
+        &FdDiscoveryConfig {
+            max_lhs: config.max_lhs,
+            max_g3: config.max_candidate_g3,
+            exclude: config.exclude.clone(),
+        },
+    );
+    candidates_checked += approx.candidates_checked;
+    for fd in &approx.fds {
+        let exact_already = exact
+            .fds
+            .iter()
+            .any(|e| e.lhs() == fd.lhs() && e.rhs() == fd.rhs());
+        if exact_already {
+            continue;
+        }
+        // Only condition on FDs that genuinely fail globally.
+        if g3_error(instance, fd.lhs(), fd.rhs()) == 0.0 {
+            continue;
+        }
+        candidates_checked += 1;
+        if let Some(cfd) = discover_tableau_for_fd(instance, fd, config) {
+            // A tableau consisting solely of the all-wildcard pattern adds
+            // nothing beyond the (failing) traditional FD.
+            if !cfd.tableau().iter().all(PatternTuple::is_all_wildcards) {
+                variable_cfds.push(cfd);
+            }
+        }
+    }
+
+    let constant_cfds = discover_constant_cfds(instance, config);
+    DiscoveredCfds {
+        variable_cfds,
+        constant_cfds,
+        candidates_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_core::detect::detect_cfd_violations;
+    use dq_relation::{Domain, RelationSchema};
+    use std::sync::Arc;
+
+    /// A miniature customer-like schema: country, area code, city, street.
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::new(
+            "cust",
+            vec![
+                ("cc", Domain::Int),
+                ("ac", Domain::Int),
+                ("city", Domain::Text),
+                ("zip", Domain::Text),
+                ("street", Domain::Text),
+            ],
+        ))
+    }
+
+    fn row(inst: &mut RelationInstance, cc: i64, ac: i64, city: &str, zip: &str, street: &str) {
+        inst.insert_values(vec![
+            Value::int(cc),
+            Value::int(ac),
+            Value::str(city),
+            Value::str(zip),
+            Value::str(street),
+        ])
+        .unwrap();
+    }
+
+    /// UK rows obey zip → street; US rows deliberately break it.
+    fn uk_us_instance() -> RelationInstance {
+        let mut inst = RelationInstance::new(schema());
+        for i in 0..6 {
+            row(&mut inst, 44, 131, "EDI", &format!("EH{}", i / 2), &format!("S{}", i / 2));
+        }
+        // US: same zip, different streets.
+        row(&mut inst, 1, 908, "MH", "07974", "Mtn Ave");
+        row(&mut inst, 1, 908, "MH", "07974", "Main St");
+        row(&mut inst, 1, 212, "NYC", "10001", "5th Ave");
+        row(&mut inst, 1, 212, "NYC", "10001", "Broadway");
+        inst
+    }
+
+    #[test]
+    fn constant_cfds_find_area_code_city_pattern() {
+        let inst = uk_us_instance();
+        let config = CfdDiscoveryConfig {
+            min_support: 2,
+            max_lhs: 2,
+            ..CfdDiscoveryConfig::default()
+        };
+        let cfds = discover_constant_cfds(&inst, &config);
+        // ac = 131 → city = EDI must be found (as a minimal, single-attribute
+        // condition; the redundant {cc = 44, ac = 131} version must not be).
+        let found = cfds.iter().any(|c| {
+            c.lhs() == [1]
+                && c.rhs() == [2]
+                && c.tableau().iter().any(|tp| {
+                    tp.lhs == [PatternValue::Const(Value::int(131))]
+                        && tp.rhs == [PatternValue::Const(Value::str("EDI"))]
+                })
+        });
+        assert!(found, "expected ac=131 → city=EDI, got {cfds:?}");
+        let redundant = cfds.iter().any(|c| c.lhs() == [0, 1] && c.rhs() == [2]);
+        assert!(!redundant, "two-attribute condition should be pruned as non-minimal");
+    }
+
+    #[test]
+    fn constant_cfds_hold_on_the_instance() {
+        let inst = uk_us_instance();
+        let cfds = discover_constant_cfds(&inst, &CfdDiscoveryConfig::default());
+        assert!(!cfds.is_empty());
+        let report = detect_cfd_violations(&inst, &cfds);
+        assert!(report.is_clean(), "discovered constant CFDs must hold on the data");
+    }
+
+    #[test]
+    fn tableau_mining_recovers_uk_condition() {
+        let inst = uk_us_instance();
+        // zip → street fails globally (US rows), holds for cc = 44.
+        let fd = Fd::new(&schema(), &["cc", "zip"], &["street"]);
+        let cfd = discover_tableau_for_fd(&inst, &fd, &CfdDiscoveryConfig::default())
+            .expect("a conditional tableau exists");
+        assert!(cfd.holds_on(&inst));
+        let has_uk_pattern = cfd.tableau().iter().any(|tp| {
+            tp.lhs.first() == Some(&PatternValue::Const(Value::int(44)))
+        });
+        assert!(has_uk_pattern, "expected a (44, _) pattern, got {:?}", cfd.tableau());
+    }
+
+    #[test]
+    fn tableau_mining_returns_none_without_support() {
+        let mut inst = RelationInstance::new(schema());
+        // Two tuples that violate zip → street and share no usable condition.
+        row(&mut inst, 1, 212, "NYC", "10001", "5th Ave");
+        row(&mut inst, 1, 212, "NYC", "10001", "Broadway");
+        let fd = Fd::new(&schema(), &["zip"], &["street"]);
+        let config = CfdDiscoveryConfig {
+            min_support: 2,
+            ..CfdDiscoveryConfig::default()
+        };
+        assert!(discover_tableau_for_fd(&inst, &fd, &config).is_none());
+    }
+
+    #[test]
+    fn exact_fd_becomes_all_wildcard_tableau() {
+        let mut inst = RelationInstance::new(schema());
+        row(&mut inst, 44, 131, "EDI", "EH1", "S1");
+        row(&mut inst, 44, 131, "EDI", "EH1", "S1");
+        row(&mut inst, 44, 141, "GLA", "G1", "S2");
+        let fd = Fd::new(&schema(), &["zip"], &["street"]);
+        let cfd = discover_tableau_for_fd(&inst, &fd, &CfdDiscoveryConfig::default()).unwrap();
+        assert!(cfd.tableau().iter().any(PatternTuple::is_all_wildcards));
+    }
+
+    #[test]
+    fn full_discovery_output_is_consistent_with_the_data() {
+        let inst = uk_us_instance();
+        let discovered = discover_cfds(&inst, &CfdDiscoveryConfig::default());
+        assert!(!discovered.is_empty());
+        let report = detect_cfd_violations(&inst, &discovered.all());
+        assert!(
+            report.is_clean(),
+            "every discovered CFD must hold on the instance it was mined from"
+        );
+    }
+
+    #[test]
+    fn discovery_respects_exclusions() {
+        let inst = uk_us_instance();
+        let config = CfdDiscoveryConfig {
+            exclude: vec![4],
+            ..CfdDiscoveryConfig::default()
+        };
+        let discovered = discover_cfds(&inst, &config);
+        for cfd in discovered.all() {
+            assert!(!cfd.lhs().contains(&4));
+            assert!(!cfd.rhs().contains(&4));
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Level-wise (TANE-style) discovery of minimal functional dependencies.
+//!
+//! The search walks the lattice of attribute sets level by level.  A
+//! candidate `X → A` is checked with stripped partitions: the FD holds
+//! exactly when `e(π_X) = e(π_{X ∪ {A}})`.  Only *minimal* FDs are reported —
+//! a candidate is skipped when some already-discovered FD `Y → A` with
+//! `Y ⊂ X` makes it redundant.  Setting [`FdDiscoveryConfig::max_g3`] above
+//! zero switches the validator to the `g3` error measure and discovers
+//! approximate FDs, the raw material for CFD tableau mining
+//! ([`crate::cfd_discovery`]).
+
+use crate::partition::{g3_error, StrippedPartition};
+use dq_core::fd::Fd;
+use dq_relation::RelationInstance;
+use std::collections::{BTreeSet, HashMap};
+
+/// Configuration of FD discovery.
+#[derive(Clone, Debug)]
+pub struct FdDiscoveryConfig {
+    /// Maximum size of the left-hand side to explore.
+    pub max_lhs: usize,
+    /// Maximum admissible `g3` error (fraction of tuples to delete for the
+    /// FD to hold).  `0.0` discovers exact FDs only.
+    pub max_g3: f64,
+    /// Attributes to exclude from both sides (e.g. surrogate identifiers).
+    pub exclude: Vec<usize>,
+}
+
+impl Default for FdDiscoveryConfig {
+    fn default() -> Self {
+        FdDiscoveryConfig {
+            max_lhs: 3,
+            max_g3: 0.0,
+            exclude: Vec::new(),
+        }
+    }
+}
+
+/// The result of a discovery run.
+#[derive(Clone, Debug)]
+pub struct DiscoveredFds {
+    /// Minimal FDs found, each with a single right-hand-side attribute.
+    pub fds: Vec<Fd>,
+    /// Number of candidate FDs validated against the data.
+    pub candidates_checked: usize,
+    /// Number of partitions materialised.
+    pub partitions_built: usize,
+}
+
+impl DiscoveredFds {
+    /// Whether an FD with the given LHS/RHS attribute indices was found.
+    pub fn contains(&self, lhs: &[usize], rhs: usize) -> bool {
+        let lhs_set: BTreeSet<usize> = lhs.iter().copied().collect();
+        self.fds.iter().any(|fd| {
+            fd.rhs() == [rhs] && fd.lhs().iter().copied().collect::<BTreeSet<_>>() == lhs_set
+        })
+    }
+}
+
+/// Discovers minimal (approximate) functional dependencies on `instance`.
+pub fn discover_fds(instance: &RelationInstance, config: &FdDiscoveryConfig) -> DiscoveredFds {
+    let schema = instance.schema().clone();
+    let arity = schema.arity();
+    let attrs: Vec<usize> = (0..arity).filter(|a| !config.exclude.contains(a)).collect();
+
+    // Partitions are cached by their sorted attribute list, so `X` and any
+    // permutation of `X` share one materialisation.
+    let mut cache: HashMap<Vec<usize>, StrippedPartition> = HashMap::new();
+    let mut partitions_built = 0usize;
+    let get_partition = |attrs_key: &[usize],
+                             cache: &mut HashMap<Vec<usize>, StrippedPartition>,
+                             built: &mut usize|
+     -> StrippedPartition {
+        let mut key = attrs_key.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(p) = cache.get(&key) {
+            return p.clone();
+        }
+        *built += 1;
+        let p = StrippedPartition::build(instance, &key);
+        cache.insert(key, p.clone());
+        p
+    };
+
+    let mut found: Vec<(BTreeSet<usize>, usize)> = Vec::new();
+    let mut candidates_checked = 0usize;
+    // Attribute sets that are superkeys: any proper extension is redundant.
+    let mut superkeys: Vec<BTreeSet<usize>> = Vec::new();
+
+    let max_lhs = config.max_lhs.min(attrs.len().saturating_sub(1)).max(1);
+    for level in 1..=max_lhs {
+        for lhs in subsets_of_size(&attrs, level) {
+            let lhs_set: BTreeSet<usize> = lhs.iter().copied().collect();
+            // A superset of a superkey trivially determines everything.
+            if superkeys.iter().any(|k| k.is_subset(&lhs_set) && k != &lhs_set) {
+                continue;
+            }
+            let lhs_partition = get_partition(&lhs, &mut cache, &mut partitions_built);
+            for &rhs in &attrs {
+                if lhs_set.contains(&rhs) {
+                    continue;
+                }
+                // Minimality: skip if a subset of X already determines A.
+                if found
+                    .iter()
+                    .any(|(l, r)| *r == rhs && l.is_subset(&lhs_set))
+                {
+                    continue;
+                }
+                candidates_checked += 1;
+                let holds = if config.max_g3 <= 0.0 {
+                    let mut with_rhs = lhs.clone();
+                    with_rhs.push(rhs);
+                    let rhs_partition = get_partition(&with_rhs, &mut cache, &mut partitions_built);
+                    lhs_partition.implies_with(&rhs_partition)
+                } else {
+                    g3_error(instance, &lhs, &[rhs]) <= config.max_g3
+                };
+                if holds {
+                    found.push((lhs_set.clone(), rhs));
+                }
+            }
+            if lhs_partition.is_superkey() {
+                superkeys.push(lhs_set);
+            }
+        }
+    }
+
+    let fds = found
+        .into_iter()
+        .map(|(lhs, rhs)| Fd::from_indices(&schema, lhs.into_iter().collect(), vec![rhs]))
+        .collect();
+    DiscoveredFds {
+        fds,
+        candidates_checked,
+        partitions_built,
+    }
+}
+
+/// All subsets of `attrs` with exactly `size` elements, in lexicographic
+/// order of positions.
+pub(crate) fn subsets_of_size(attrs: &[usize], size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if size == 0 || size > attrs.len() {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(idx.iter().map(|&i| attrs[i]).collect());
+        // Advance the combination.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + attrs.len() - size {
+                idx[i] += 1;
+                for j in i + 1..size {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_relation::{Domain, RelationSchema, Value};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::new(
+            "r",
+            vec![
+                ("a", Domain::Text),
+                ("b", Domain::Text),
+                ("c", Domain::Text),
+            ],
+        ))
+    }
+
+    fn instance(rows: &[(&str, &str, &str)]) -> RelationInstance {
+        let mut inst = RelationInstance::new(schema());
+        for (a, b, c) in rows {
+            inst.insert_values(vec![Value::str(*a), Value::str(*b), Value::str(*c)])
+                .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        assert_eq!(subsets_of_size(&[0, 1, 2], 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(subsets_of_size(&[0, 1], 0), Vec::<Vec<usize>>::new());
+        assert_eq!(subsets_of_size(&[0], 2), Vec::<Vec<usize>>::new());
+        assert_eq!(subsets_of_size(&[3, 7], 1), vec![vec![3], vec![7]]);
+    }
+
+    #[test]
+    fn discovers_simple_fd() {
+        // a -> b everywhere, b does not determine a.
+        let inst = instance(&[
+            ("x", "p", "1"),
+            ("x", "p", "2"),
+            ("y", "p", "3"),
+            ("z", "q", "4"),
+        ]);
+        let found = discover_fds(&inst, &FdDiscoveryConfig::default());
+        assert!(found.contains(&[0], 1));
+        assert!(!found.contains(&[1], 0));
+    }
+
+    #[test]
+    fn reports_only_minimal_fds() {
+        // a -> b holds, therefore {a, c} -> b must not be reported.
+        let inst = instance(&[
+            ("x", "p", "1"),
+            ("x", "p", "2"),
+            ("y", "q", "1"),
+            ("y", "q", "2"),
+        ]);
+        let found = discover_fds(&inst, &FdDiscoveryConfig::default());
+        assert!(found.contains(&[0], 1));
+        assert!(!found.contains(&[0, 2], 1));
+    }
+
+    #[test]
+    fn excluded_attributes_never_appear() {
+        let inst = instance(&[("x", "p", "1"), ("x", "p", "2"), ("y", "q", "3")]);
+        let config = FdDiscoveryConfig {
+            exclude: vec![2],
+            ..FdDiscoveryConfig::default()
+        };
+        let found = discover_fds(&inst, &config);
+        for fd in &found.fds {
+            assert!(!fd.lhs().contains(&2));
+            assert_ne!(fd.rhs(), [2]);
+        }
+    }
+
+    #[test]
+    fn approximate_discovery_tolerates_noise() {
+        // a -> b holds on 9 of 10 tuples of the "x" group.
+        let mut rows: Vec<(&str, &str, &str)> = vec![("x", "p", "c"); 9];
+        rows.push(("x", "q", "d"));
+        rows.push(("y", "r", "e"));
+        let inst = instance(&rows);
+        let exact = discover_fds(&inst, &FdDiscoveryConfig::default());
+        assert!(!exact.contains(&[0], 1));
+        let approx = discover_fds(
+            &inst,
+            &FdDiscoveryConfig {
+                max_g3: 0.15,
+                ..FdDiscoveryConfig::default()
+            },
+        );
+        assert!(approx.contains(&[0], 1));
+    }
+
+    #[test]
+    fn discovered_fds_hold_on_the_instance() {
+        let inst = instance(&[
+            ("x", "p", "1"),
+            ("x", "p", "1"),
+            ("y", "q", "1"),
+            ("z", "q", "2"),
+            ("w", "r", "2"),
+        ]);
+        let found = discover_fds(&inst, &FdDiscoveryConfig::default());
+        assert!(!found.fds.is_empty());
+        for fd in &found.fds {
+            assert!(fd.holds_on(&inst), "discovered FD {fd:?} does not hold");
+        }
+    }
+
+    #[test]
+    fn empty_instance_yields_everything_trivially() {
+        let inst = RelationInstance::new(schema());
+        let found = discover_fds(&inst, &FdDiscoveryConfig::default());
+        // Every candidate holds vacuously; all single-attribute LHS FDs appear.
+        assert!(found.contains(&[0], 1));
+        assert!(found.contains(&[1], 0));
+    }
+}

@@ -1,0 +1,308 @@
+//! Stripped partitions and partition-based error measures.
+//!
+//! A partition `π_X` of a relation instance groups tuples by their values on
+//! an attribute list `X`.  The *stripped* partition drops singleton classes —
+//! they can never witness an FD violation and dropping them keeps products
+//! cheap.  Partitions are the workhorse of level-wise dependency discovery
+//! (TANE and its conditional descendants): an FD `X → A` holds exactly when
+//! `π_X` and `π_{X ∪ {A}}` have the same error, and the `g3` error of a
+//! candidate FD is the minimum number of tuples that must be removed for it
+//! to hold, which doubles as an approximation measure.
+
+use dq_relation::{RelationInstance, TupleId, Value};
+use std::collections::HashMap;
+
+/// A stripped partition: the equivalence classes of size ≥ 2 of a relation
+/// instance under "agrees on `X`".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrippedPartition {
+    /// Equivalence classes with at least two members, each sorted by tuple id.
+    classes: Vec<Vec<TupleId>>,
+    /// Number of tuples in the underlying instance.
+    total: usize,
+}
+
+impl StrippedPartition {
+    /// Builds the stripped partition of `instance` on the attribute list
+    /// `attrs`.  The partition on the empty list has a single class holding
+    /// every tuple (if there are at least two).
+    pub fn build(instance: &RelationInstance, attrs: &[usize]) -> Self {
+        let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+        for (id, tuple) in instance.iter() {
+            groups.entry(tuple.project(attrs)).or_default().push(id);
+        }
+        let mut classes: Vec<Vec<TupleId>> = groups
+            .into_values()
+            .filter(|class| class.len() >= 2)
+            .collect();
+        for class in &mut classes {
+            class.sort();
+        }
+        classes.sort();
+        StrippedPartition {
+            classes,
+            total: instance.len(),
+        }
+    }
+
+    /// Constructs a partition directly from classes (used by [`product`]).
+    ///
+    /// [`product`]: StrippedPartition::product
+    fn from_classes(mut classes: Vec<Vec<TupleId>>, total: usize) -> Self {
+        for class in &mut classes {
+            class.sort();
+        }
+        classes.retain(|c| c.len() >= 2);
+        classes.sort();
+        StrippedPartition { classes, total }
+    }
+
+    /// The equivalence classes of size ≥ 2.
+    pub fn classes(&self) -> &[Vec<TupleId>] {
+        &self.classes
+    }
+
+    /// Number of non-singleton classes, `|π|` in TANE notation (singletons
+    /// stripped).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `‖π‖`: the number of tuples that live in a non-singleton class.
+    pub fn size(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// Number of tuples in the underlying instance.
+    pub fn total_tuples(&self) -> usize {
+        self.total
+    }
+
+    /// The TANE error `e(π) = ‖π‖ − |π|`: the minimum number of tuples that
+    /// must be removed so that every remaining class is a singleton — i.e.
+    /// so that `X` becomes a key of the non-singleton part.
+    pub fn error(&self) -> usize {
+        self.size() - self.class_count()
+    }
+
+    /// Whether `X` (this partition's attribute list) is a superkey: every
+    /// class is a singleton, so the stripped partition is empty.
+    pub fn is_superkey(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The product `π_X · π_Y = π_{X ∪ Y}`: refines this partition by
+    /// `other`, splitting every class of `self` by the class (or singleton)
+    /// of `other` each member belongs to.
+    pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        // Map every tuple that appears in a non-singleton class of `other`
+        // to the index of that class; tuples outside are singletons there.
+        let mut other_class_of: HashMap<TupleId, usize> = HashMap::new();
+        for (idx, class) in other.classes.iter().enumerate() {
+            for &id in class {
+                other_class_of.insert(id, idx);
+            }
+        }
+        let mut out: Vec<Vec<TupleId>> = Vec::new();
+        for class in &self.classes {
+            let mut split: HashMap<Option<usize>, Vec<TupleId>> = HashMap::new();
+            for &id in class {
+                // A tuple that is a singleton in `other` stays a singleton in
+                // the product, so only tuples mapped to some class can pair up.
+                match other_class_of.get(&id) {
+                    Some(&idx) => split.entry(Some(idx)).or_default().push(id),
+                    None => {
+                        split.entry(None).or_default();
+                    }
+                }
+            }
+            for (key, sub) in split {
+                if key.is_some() && sub.len() >= 2 {
+                    out.push(sub);
+                }
+            }
+        }
+        StrippedPartition::from_classes(out, self.total)
+    }
+
+    /// Whether the FD `X → Y` holds, where `self` is `π_X` and `with_rhs` is
+    /// `π_{X ∪ Y}`: the FD holds iff refining by `Y` does not split any
+    /// class, i.e. the two partitions have the same error.
+    pub fn implies_with(&self, with_rhs: &StrippedPartition) -> bool {
+        self.error() == with_rhs.error()
+    }
+}
+
+/// The `g1` error of the FD `X → Y` on `instance`: the fraction of tuple
+/// *pairs* that violate the FD (agree on `X` but disagree on `Y`), over all
+/// ordered pairs of distinct tuples.  `0.0` means the FD holds exactly.
+pub fn g1_error(instance: &RelationInstance, lhs: &[usize], rhs: &[usize]) -> f64 {
+    let n = instance.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut groups: HashMap<Vec<Value>, HashMap<Vec<Value>, usize>> = HashMap::new();
+    for (_, tuple) in instance.iter() {
+        *groups
+            .entry(tuple.project(lhs))
+            .or_default()
+            .entry(tuple.project(rhs))
+            .or_default() += 1;
+    }
+    let mut violating_pairs = 0usize;
+    for rhs_counts in groups.values() {
+        let group_size: usize = rhs_counts.values().sum();
+        let same_rhs_pairs: usize = rhs_counts.values().map(|c| c * (c - 1)).sum();
+        violating_pairs += group_size * (group_size - 1) - same_rhs_pairs;
+    }
+    violating_pairs as f64 / (n * (n - 1)) as f64
+}
+
+/// The `g3` error of the FD `X → Y` on `instance`: the minimum fraction of
+/// tuples that must be deleted for the FD to hold.  Within every `X`-group
+/// all tuples except those carrying the most frequent `Y`-value must go.
+pub fn g3_error(instance: &RelationInstance, lhs: &[usize], rhs: &[usize]) -> f64 {
+    let n = instance.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut groups: HashMap<Vec<Value>, HashMap<Vec<Value>, usize>> = HashMap::new();
+    for (_, tuple) in instance.iter() {
+        *groups
+            .entry(tuple.project(lhs))
+            .or_default()
+            .entry(tuple.project(rhs))
+            .or_default() += 1;
+    }
+    let mut removed = 0usize;
+    for rhs_counts in groups.values() {
+        let group_size: usize = rhs_counts.values().sum();
+        let keep = rhs_counts.values().copied().max().unwrap_or(0);
+        removed += group_size - keep;
+    }
+    removed as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_relation::{Domain, RelationSchema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::new(
+            "r",
+            vec![
+                ("a", Domain::Text),
+                ("b", Domain::Text),
+                ("c", Domain::Int),
+            ],
+        ))
+    }
+
+    fn instance(rows: &[(&str, &str, i64)]) -> RelationInstance {
+        let mut inst = RelationInstance::new(schema());
+        for (a, b, c) in rows {
+            inst.insert_values(vec![Value::str(*a), Value::str(*b), Value::int(*c)])
+                .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn build_groups_by_projection() {
+        let inst = instance(&[("x", "p", 1), ("x", "q", 2), ("y", "p", 3)]);
+        let pa = StrippedPartition::build(&inst, &[0]);
+        assert_eq!(pa.class_count(), 1);
+        assert_eq!(pa.size(), 2);
+        assert_eq!(pa.error(), 1);
+        let pb = StrippedPartition::build(&inst, &[1]);
+        assert_eq!(pb.class_count(), 1);
+        let pc = StrippedPartition::build(&inst, &[2]);
+        assert!(pc.is_superkey());
+    }
+
+    #[test]
+    fn empty_attribute_list_is_one_class() {
+        let inst = instance(&[("x", "p", 1), ("y", "q", 2), ("z", "r", 3)]);
+        let p = StrippedPartition::build(&inst, &[]);
+        assert_eq!(p.class_count(), 1);
+        assert_eq!(p.size(), 3);
+        assert_eq!(p.error(), 2);
+    }
+
+    #[test]
+    fn product_equals_direct_build() {
+        let inst = instance(&[
+            ("x", "p", 1),
+            ("x", "p", 1),
+            ("x", "q", 1),
+            ("y", "p", 2),
+            ("y", "p", 2),
+        ]);
+        let pa = StrippedPartition::build(&inst, &[0]);
+        let pb = StrippedPartition::build(&inst, &[1]);
+        let product = pa.product(&pb);
+        let direct = StrippedPartition::build(&inst, &[0, 1]);
+        assert_eq!(product, direct);
+    }
+
+    #[test]
+    fn product_is_commutative() {
+        let inst = instance(&[
+            ("x", "p", 1),
+            ("x", "q", 2),
+            ("x", "q", 3),
+            ("y", "q", 4),
+            ("y", "q", 5),
+            ("y", "p", 6),
+        ]);
+        let pa = StrippedPartition::build(&inst, &[0]);
+        let pb = StrippedPartition::build(&inst, &[1]);
+        assert_eq!(pa.product(&pb), pb.product(&pa));
+    }
+
+    #[test]
+    fn fd_detection_via_error_equality() {
+        // a -> b holds; b -> a does not.
+        let inst = instance(&[("x", "p", 1), ("x", "p", 2), ("y", "p", 3), ("z", "q", 4)]);
+        let pa = StrippedPartition::build(&inst, &[0]);
+        let pab = StrippedPartition::build(&inst, &[0, 1]);
+        assert!(pa.implies_with(&pab));
+        let pb = StrippedPartition::build(&inst, &[1]);
+        let pba = StrippedPartition::build(&inst, &[1, 0]);
+        assert!(!pb.implies_with(&pba));
+    }
+
+    #[test]
+    fn g1_zero_iff_fd_holds() {
+        let holds = instance(&[("x", "p", 1), ("x", "p", 2), ("y", "q", 3)]);
+        assert_eq!(g1_error(&holds, &[0], &[1]), 0.0);
+        let fails = instance(&[("x", "p", 1), ("x", "q", 2)]);
+        assert!(g1_error(&fails, &[0], &[1]) > 0.0);
+    }
+
+    #[test]
+    fn g3_counts_minimum_removals() {
+        // Group "x" has b-values p,p,q: one removal fixes it.  4 tuples total.
+        let inst = instance(&[("x", "p", 1), ("x", "p", 2), ("x", "q", 3), ("y", "r", 4)]);
+        let g3 = g3_error(&inst, &[0], &[1]);
+        assert!((g3 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g3_zero_on_empty_and_satisfying() {
+        let empty = RelationInstance::new(schema());
+        assert_eq!(g3_error(&empty, &[0], &[1]), 0.0);
+        let holds = instance(&[("x", "p", 1), ("y", "q", 2)]);
+        assert_eq!(g3_error(&holds, &[0], &[1]), 0.0);
+    }
+
+    #[test]
+    fn superkey_partition_has_no_classes() {
+        let inst = instance(&[("x", "p", 1), ("y", "p", 2), ("z", "p", 3)]);
+        let p = StrippedPartition::build(&inst, &[0]);
+        assert!(p.is_superkey());
+        assert_eq!(p.error(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Column and relation profiling.
+//!
+//! Profiling answers the questions discovery needs answered before it starts:
+//! which attributes are categorical (few distinct values — candidates for
+//! CFD/CIND conditions), which are key-like (distinct everywhere — useless as
+//! conditions, good as identifiers to exclude), and what the realistic
+//! finite domains are.  The same statistics drive the "reasonable" defaults
+//! of [`crate::cfd_discovery`] and [`crate::ind_discovery`].
+
+use dq_relation::{Database, Domain, RelationInstance, Value};
+use std::collections::BTreeSet;
+
+/// Profile of a single column.
+#[derive(Clone, Debug)]
+pub struct ColumnProfile {
+    /// Attribute position.
+    pub attr: usize,
+    /// Attribute name.
+    pub name: String,
+    /// Declared domain.
+    pub domain: Domain,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Number of null values.
+    pub nulls: usize,
+    /// Distinct-to-total ratio (1.0 for a key column, ~0 for a constant).
+    pub uniqueness: f64,
+    /// The distinct values, when there are at most `max_inline_values` of
+    /// them — i.e. the inferred finite domain of a categorical column.
+    pub inline_values: Option<BTreeSet<Value>>,
+}
+
+impl ColumnProfile {
+    /// Whether this column looks categorical (bounded set of values).
+    pub fn is_categorical(&self, max_values: usize) -> bool {
+        self.distinct <= max_values && self.distinct > 0
+    }
+
+    /// Whether this column is a single-attribute key of the instance.
+    pub fn is_unique(&self) -> bool {
+        self.nulls == 0 && (self.uniqueness - 1.0).abs() < f64::EPSILON
+    }
+}
+
+/// Profile of a relation.
+#[derive(Clone, Debug)]
+pub struct RelationProfile {
+    /// Relation name.
+    pub relation: String,
+    /// Number of tuples.
+    pub tuples: usize,
+    /// Per-column profiles, positionally aligned with the schema.
+    pub columns: Vec<ColumnProfile>,
+    /// Single attributes that are keys of the instance.
+    pub unary_keys: Vec<usize>,
+    /// Attribute pairs that are keys while neither member is one on its own.
+    pub binary_keys: Vec<(usize, usize)>,
+}
+
+impl RelationProfile {
+    /// Attributes that look categorical under the given bound.
+    pub fn categorical_attributes(&self, max_values: usize) -> Vec<usize> {
+        self.columns
+            .iter()
+            .filter(|c| c.is_categorical(max_values) && !c.is_unique())
+            .map(|c| c.attr)
+            .collect()
+    }
+
+    /// Attributes worth excluding from dependency discovery: unique
+    /// identifiers whose FDs are trivial.
+    pub fn identifier_attributes(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .filter(|c| c.is_unique())
+            .map(|c| c.attr)
+            .collect()
+    }
+}
+
+/// How many distinct values a column may have for its values to be listed
+/// inline in the profile.
+const MAX_INLINE_VALUES: usize = 32;
+
+/// Profiles one relation instance.
+pub fn profile_relation(instance: &RelationInstance) -> RelationProfile {
+    let schema = instance.schema();
+    let tuples = instance.len();
+    let mut columns = Vec::with_capacity(schema.arity());
+    for attr in 0..schema.arity() {
+        let mut distinct: BTreeSet<Value> = BTreeSet::new();
+        let mut nulls = 0usize;
+        for (_, tuple) in instance.iter() {
+            let v = tuple.get(attr);
+            if v.is_null() {
+                nulls += 1;
+            } else {
+                distinct.insert(v.clone());
+            }
+        }
+        let uniqueness = if tuples == 0 {
+            0.0
+        } else {
+            distinct.len() as f64 / tuples as f64
+        };
+        let inline_values = if distinct.len() <= MAX_INLINE_VALUES {
+            Some(distinct.clone())
+        } else {
+            None
+        };
+        columns.push(ColumnProfile {
+            attr,
+            name: schema.attr_name(attr).to_string(),
+            domain: schema.domain(attr).clone(),
+            distinct: distinct.len(),
+            nulls,
+            uniqueness,
+            inline_values,
+        });
+    }
+
+    let unary_keys: Vec<usize> = columns
+        .iter()
+        .filter(|c| tuples > 0 && c.is_unique())
+        .map(|c| c.attr)
+        .collect();
+    let mut binary_keys = Vec::new();
+    if tuples > 0 {
+        for a in 0..schema.arity() {
+            for b in (a + 1)..schema.arity() {
+                if unary_keys.contains(&a) || unary_keys.contains(&b) {
+                    continue;
+                }
+                let distinct_pairs = instance.project_distinct(&[a, b]).len();
+                if distinct_pairs == tuples {
+                    binary_keys.push((a, b));
+                }
+            }
+        }
+    }
+
+    RelationProfile {
+        relation: schema.name().to_string(),
+        tuples,
+        columns,
+        unary_keys,
+        binary_keys,
+    }
+}
+
+/// Profiles every relation of a database.
+pub fn profile_database(db: &Database) -> Vec<RelationProfile> {
+    db.iter().map(|(_, inst)| profile_relation(inst)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_relation::RelationSchema;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::new(
+            "people",
+            vec![
+                ("id", Domain::Int),
+                ("country", Domain::Text),
+                ("name", Domain::Text),
+            ],
+        ))
+    }
+
+    fn sample() -> RelationInstance {
+        let mut inst = RelationInstance::new(schema());
+        for i in 0..10i64 {
+            inst.insert_values(vec![
+                Value::int(i),
+                Value::str(if i % 2 == 0 { "UK" } else { "US" }),
+                Value::str(format!("person-{i}")),
+            ])
+            .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn profiles_distinct_counts_and_uniqueness() {
+        let profile = profile_relation(&sample());
+        assert_eq!(profile.tuples, 10);
+        assert_eq!(profile.columns[0].distinct, 10);
+        assert!(profile.columns[0].is_unique());
+        assert_eq!(profile.columns[1].distinct, 2);
+        assert!(profile.columns[1].is_categorical(8));
+        assert!(!profile.columns[1].is_unique());
+    }
+
+    #[test]
+    fn key_detection() {
+        let profile = profile_relation(&sample());
+        assert_eq!(profile.unary_keys, vec![0, 2]);
+        // country + name is a key, but name alone already is, so the pair is
+        // not reported; country pairs with nothing else here.
+        assert!(profile.binary_keys.is_empty());
+    }
+
+    #[test]
+    fn binary_key_reported_when_no_unary_key_covers_it() {
+        let mut inst = RelationInstance::new(Arc::new(RelationSchema::new(
+            "r",
+            vec![
+                ("a", Domain::Text),
+                ("b", Domain::Text),
+                ("c", Domain::Text),
+            ],
+        )));
+        for (a, b) in [("x", "1"), ("x", "2"), ("y", "1"), ("y", "2")] {
+            inst.insert_values(vec![Value::str(a), Value::str(b), Value::str("c")])
+                .unwrap();
+        }
+        let profile = profile_relation(&inst);
+        assert!(profile.unary_keys.is_empty());
+        assert_eq!(profile.binary_keys, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn categorical_and_identifier_helpers() {
+        let profile = profile_relation(&sample());
+        assert_eq!(profile.categorical_attributes(8), vec![1]);
+        assert_eq!(profile.identifier_attributes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_relation_profile() {
+        let profile = profile_relation(&RelationInstance::new(schema()));
+        assert_eq!(profile.tuples, 0);
+        assert!(profile.unary_keys.is_empty());
+        assert!(profile.columns.iter().all(|c| c.distinct == 0));
+    }
+
+    #[test]
+    fn inline_values_capture_small_domains() {
+        let profile = profile_relation(&sample());
+        let countries = profile.columns[1].inline_values.as_ref().unwrap();
+        assert!(countries.contains(&Value::str("UK")));
+        assert!(countries.contains(&Value::str("US")));
+        assert_eq!(countries.len(), 2);
+    }
+}

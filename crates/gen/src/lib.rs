@@ -1,0 +1,34 @@
+//! # dq-gen
+//!
+//! Synthetic workload generators for the three scenarios the paper builds
+//! its examples on, with controllable size and error rates and full ground
+//! truth, so that detection, repair and matching quality can be measured.
+//!
+//! * [`customer`] — the customer relation of Fig. 1/2 (CFD experiments);
+//! * [`orders`] — the order / book / CD databases of Fig. 3/4 (CIND
+//!   experiments);
+//! * [`cards`] — the card / billing sources of Section 3.1 (matching
+//!   dependency experiments);
+//! * [`master`] — a master-data scenario: a clean reference relation plus a
+//!   dirty source to be matched against it and corrected from it
+//!   (Section 5.1's remark on repairing with master data).
+
+pub mod cards;
+pub mod customer;
+pub mod master;
+pub mod orders;
+
+/// Frequently used items.
+pub mod prelude {
+    pub use crate::cards::{generate_cards, CardConfig, CardWorkload};
+    pub use crate::customer::{
+        generate_customers, paper_cfds, paper_fds, paper_instance, CustomerConfig,
+        CustomerWorkload,
+    };
+    pub use crate::master::{generate_master_workload, MasterConfig, MasterWorkload};
+    pub use crate::orders::{
+        generate_orders, paper_cinds, paper_database, OrderConfig, OrderWorkload,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,37 @@
+//! # dq-match
+//!
+//! Matching dependencies and dependency-based object identification
+//! (Sections 3 and 4.2 of Fan, PODS 2008).
+//!
+//! * [`similarity`] — the domain-specific similarity operators of `Θ`
+//!   (edit distance, Jaro, Jaro–Winkler, q-grams, thresholds, containment);
+//! * [`md`] — matching dependencies over pairs of relations, with similarity
+//!   or `⇋` premises and conclusions;
+//! * [`infer`] — the sound-and-complete inference closure and the PTIME
+//!   implication algorithm (Theorem 4.8);
+//! * [`rck`] — relative keys, the `≤` ordering, relative candidate keys and
+//!   their derivation from MD sets;
+//! * [`matcher`] — the object-identification engine that executes (derived)
+//!   RCKs as matching rules, with blocking, comparison counting and
+//!   precision/recall scoring.
+
+pub mod infer;
+pub mod matcher;
+pub mod md;
+pub mod paper;
+pub mod rck;
+pub mod similarity;
+
+/// Frequently used items.
+pub mod prelude {
+    pub use crate::infer::{close, derivable_matches, md_implies, md_minimal_cover, Fact, FactBase};
+    pub use crate::matcher::{score, MatchClusters, MatchQuality, MatchResult, Matcher};
+    pub use crate::md::{MatchOp, MatchingDependency, MdPremise};
+    pub use crate::paper::example_3_1_mds;
+    pub use crate::rck::{derive_rcks, ComparisonSpace, RelativeKey};
+    pub use crate::similarity::{
+        jaro, jaro_winkler, normalized_edit_similarity, qgram_similarity, SimilarityOp,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,131 @@
+//! The matching rules of the paper's fraud-detection example (Section 3.1,
+//! Example 3.1), as reusable constructors.
+//!
+//! The MDs are built against any pair of schemas that carry the attribute
+//! names of the `card` / `billing` sources (`FN`, `LN`/`SN`, `addr`/`post`,
+//! `tel`/`phn`, `email`), e.g. the schemas produced by `dq-gen`.
+
+use crate::md::{MatchOp, MatchingDependency};
+use dq_relation::RelationSchema;
+use std::sync::Arc;
+
+/// The comparison vectors `Yc` / `Yb` of Section 3.1.
+pub const YC: [&str; 5] = ["FN", "LN", "addr", "tel", "email"];
+/// See [`YC`].
+pub const YB: [&str; 5] = ["FN", "SN", "post", "phn", "email"];
+
+/// The MDs φ1–φ4 of Example 3.1, with `≈_d` instantiated as edit distance
+/// at most 3 (enough to relate "John" and "J.").
+pub fn example_3_1_mds(
+    card: &Arc<RelationSchema>,
+    billing: &Arc<RelationSchema>,
+) -> Vec<MatchingDependency> {
+    vec![
+        // φ1: card[tel] = billing[phn] → card[addr] ⇋ billing[post]
+        MatchingDependency::new(
+            card,
+            billing,
+            vec![("tel", "phn", MatchOp::eq())],
+            &["addr"],
+            &["post"],
+            MatchOp::Matching,
+        )
+        .expect("φ1 is well-formed"),
+        // φ2: card[email] ⇋ billing[email] → card[FN, LN] ⇋ billing[FN, SN]
+        MatchingDependency::new(
+            card,
+            billing,
+            vec![("email", "email", MatchOp::matching())],
+            &["FN", "LN"],
+            &["FN", "SN"],
+            MatchOp::Matching,
+        )
+        .expect("φ2 is well-formed"),
+        // φ3: LN ⇋ SN ∧ addr ⇋ post ∧ FN ⇋ FN → Yc ⇋ Yb
+        MatchingDependency::new(
+            card,
+            billing,
+            vec![
+                ("LN", "SN", MatchOp::matching()),
+                ("addr", "post", MatchOp::matching()),
+                ("FN", "FN", MatchOp::matching()),
+            ],
+            &YC,
+            &YB,
+            MatchOp::Matching,
+        )
+        .expect("φ3 is well-formed"),
+        // φ4: LN ⇋ SN ∧ addr ⇋ post ∧ FN ≈d FN → Yc ⇋ Yb
+        MatchingDependency::new(
+            card,
+            billing,
+            vec![
+                ("LN", "SN", MatchOp::matching()),
+                ("addr", "post", MatchOp::matching()),
+                ("FN", "FN", MatchOp::edit(3)),
+            ],
+            &YC,
+            &YB,
+            MatchOp::Matching,
+        )
+        .expect("φ4 is well-formed"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::md_implies;
+    use crate::rck::RelativeKey;
+    use crate::similarity::SimilarityOp;
+    use dq_relation::Domain;
+
+    fn schemas() -> (Arc<RelationSchema>, Arc<RelationSchema>) {
+        let card = Arc::new(RelationSchema::new(
+            "card",
+            [
+                ("c#", Domain::Text),
+                ("SSN", Domain::Text),
+                ("FN", Domain::Text),
+                ("LN", Domain::Text),
+                ("addr", Domain::Text),
+                ("tel", Domain::Text),
+                ("email", Domain::Text),
+                ("type", Domain::Text),
+            ],
+        ));
+        let billing = Arc::new(RelationSchema::new(
+            "billing",
+            [
+                ("c#", Domain::Text),
+                ("FN", Domain::Text),
+                ("SN", Domain::Text),
+                ("post", Domain::Text),
+                ("phn", Domain::Text),
+                ("email", Domain::Text),
+                ("item", Domain::Text),
+                ("price", Domain::Real),
+            ],
+        ));
+        (card, billing)
+    }
+
+    #[test]
+    fn the_public_constructor_matches_example_4_3() {
+        let (card, billing) = schemas();
+        let sigma = example_3_1_mds(&card, &billing);
+        assert_eq!(sigma.len(), 4);
+        let rck1 = RelativeKey::new(
+            &card,
+            &billing,
+            vec![
+                ("email", "email", SimilarityOp::Equality),
+                ("addr", "post", SimilarityOp::Equality),
+            ],
+            &YC,
+            &YB,
+        )
+        .unwrap();
+        assert!(md_implies(&sigma, rck1.md()));
+    }
+}

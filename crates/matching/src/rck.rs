@@ -1,0 +1,370 @@
+//! Relative keys and relative candidate keys (RCKs), Section 3.2–3.3.
+//!
+//! A *key relative to* `(Y1, Y2)` is an MD whose premise uses only similarity
+//! operators (no `⇋`) and whose conclusion is `R1[Y1] ⇋ R2[Y2]`.  Keys are
+//! ordered by `≤` (fewer / looser comparisons first); a key is a *relative
+//! candidate key* when no strictly smaller key relative to the same `(Y1,
+//! Y2)` exists.  RCKs are the deliverable of MD reasoning: derived RCKs are
+//! used directly as matching rules by the object-identification engine
+//! (`crate::matcher`), and the paper reports that derived RCKs improve both
+//! the quality and the efficiency of matching (Section 4.2).
+
+use crate::infer::md_implies;
+use crate::md::{MatchOp, MatchingDependency};
+use crate::similarity::SimilarityOp;
+use dq_relation::{DqResult, RelationSchema};
+use std::sync::Arc;
+
+/// A key relative to a pair of attribute lists `(Y1, Y2)`, written
+/// `(X1, X2 ‖ C)` in the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelativeKey {
+    md: MatchingDependency,
+}
+
+impl RelativeKey {
+    /// Creates a relative key from premise attribute pairs with their
+    /// similarity operators and the target `(Y1, Y2)` lists.
+    pub fn new(
+        lhs_schema: &Arc<RelationSchema>,
+        rhs_schema: &Arc<RelationSchema>,
+        comparisons: Vec<(&str, &str, SimilarityOp)>,
+        target_left: &[&str],
+        target_right: &[&str],
+    ) -> DqResult<Self> {
+        let premises = comparisons
+            .into_iter()
+            .map(|(l, r, op)| (l, r, MatchOp::Similarity(op)))
+            .collect();
+        let md = MatchingDependency::new(
+            lhs_schema,
+            rhs_schema,
+            premises,
+            target_left,
+            target_right,
+            MatchOp::Matching,
+        )?;
+        Ok(RelativeKey { md })
+    }
+
+    /// Wraps an MD that already is a relative key.
+    pub fn from_md(md: MatchingDependency) -> Option<Self> {
+        md.is_relative_key().then_some(RelativeKey { md })
+    }
+
+    /// The underlying MD.
+    pub fn md(&self) -> &MatchingDependency {
+        &self.md
+    }
+
+    /// The key's length (number of comparisons).
+    pub fn length(&self) -> usize {
+        self.md.length()
+    }
+
+    /// The ordering `self ≤ other` of Section 3.3: every comparison of
+    /// `self` appears in `other` over the same attribute pair with an
+    /// operator whose relation is *contained* in `self`'s (i.e. `other`
+    /// demands at least as much), and `self` is no longer than `other`.
+    pub fn le(&self, other: &RelativeKey) -> bool {
+        if self.length() > other.length() {
+            return false;
+        }
+        self.md.premises().iter().all(|p| {
+            other.md.premises().iter().any(|q| {
+                p.left == q.left
+                    && p.right == q.right
+                    && match (&q.op, &p.op) {
+                        (MatchOp::Similarity(qop), MatchOp::Similarity(pop)) => {
+                            qop.contained_in(pop)
+                        }
+                        _ => false,
+                    }
+            })
+        })
+    }
+
+    /// Strict ordering `self < other`.
+    pub fn lt(&self, other: &RelativeKey) -> bool {
+        self.le(other) && !other.le(self)
+    }
+}
+
+impl std::fmt::Display for RelativeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.md)
+    }
+}
+
+/// A candidate comparison for RCK derivation: an attribute pair plus the
+/// similarity operators the deployment knows how to evaluate on it.
+#[derive(Clone, Debug)]
+pub struct ComparisonSpace {
+    /// Attribute name in `R1`.
+    pub left: String,
+    /// Attribute name in `R2`.
+    pub right: String,
+    /// Candidate operators, typically ordered from strict (equality) to
+    /// loose (high-threshold similarity).
+    pub operators: Vec<SimilarityOp>,
+}
+
+impl ComparisonSpace {
+    /// Creates a comparison space entry.
+    pub fn new(left: impl Into<String>, right: impl Into<String>, operators: Vec<SimilarityOp>) -> Self {
+        ComparisonSpace {
+            left: left.into(),
+            right: right.into(),
+            operators,
+        }
+    }
+}
+
+/// Derives relative candidate keys for `(target_left, target_right)` from a
+/// set of MDs, by enumerating candidate keys over the given comparison space
+/// in order of increasing length and keeping those that are implied
+/// (`Σ ⊨_m key`) and minimal w.r.t. `<`.
+///
+/// The enumeration is exponential in `max_length` (as candidate-key discovery
+/// always is); the comparison space is small in practice — it lists only the
+/// attribute pairs a deployment can actually compare.
+pub fn derive_rcks(
+    sigma: &[MatchingDependency],
+    lhs_schema: &Arc<RelationSchema>,
+    rhs_schema: &Arc<RelationSchema>,
+    space: &[ComparisonSpace],
+    target_left: &[&str],
+    target_right: &[&str],
+    max_length: usize,
+) -> Vec<RelativeKey> {
+    let mut found: Vec<RelativeKey> = Vec::new();
+    // Enumerate subsets of the comparison space by increasing size.
+    let n = space.len();
+    let mut subsets: Vec<Vec<usize>> = (1u32..(1 << n))
+        .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect::<Vec<_>>())
+        .filter(|s| s.len() <= max_length)
+        .collect();
+    subsets.sort_by_key(|s| s.len());
+    for subset in subsets {
+        // For each position choose each candidate operator (cartesian
+        // product over small operator lists).
+        let mut choices: Vec<Vec<&SimilarityOp>> = vec![Vec::new()];
+        for &i in &subset {
+            let mut next = Vec::new();
+            for prefix in &choices {
+                for op in &space[i].operators {
+                    let mut extended = prefix.clone();
+                    extended.push(op);
+                    next.push(extended);
+                }
+            }
+            choices = next;
+        }
+        for ops in choices {
+            let comparisons: Vec<(&str, &str, SimilarityOp)> = subset
+                .iter()
+                .zip(&ops)
+                .map(|(&i, op)| (space[i].left.as_str(), space[i].right.as_str(), (*op).clone()))
+                .collect();
+            let Ok(key) = RelativeKey::new(
+                lhs_schema,
+                rhs_schema,
+                comparisons,
+                target_left,
+                target_right,
+            ) else {
+                continue;
+            };
+            if !md_implies(sigma, key.md()) {
+                continue;
+            }
+            // Minimality: discard if a strictly smaller key is already known;
+            // drop known keys that are strictly larger than the new one.
+            if found.iter().any(|existing| existing.lt(&key)) {
+                continue;
+            }
+            found.retain(|existing| !key.lt(existing));
+            if !found.contains(&key) {
+                found.push(key);
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::fixtures::{billing_schema, card_schema, example_3_1};
+
+    const YC: [&str; 5] = ["FN", "LN", "addr", "tel", "email"];
+    const YB: [&str; 5] = ["FN", "SN", "post", "phn", "email"];
+
+    fn space() -> Vec<ComparisonSpace> {
+        vec![
+            ComparisonSpace::new("email", "email", vec![SimilarityOp::Equality]),
+            ComparisonSpace::new("addr", "post", vec![SimilarityOp::Equality]),
+            ComparisonSpace::new("LN", "SN", vec![SimilarityOp::Equality]),
+            ComparisonSpace::new("tel", "phn", vec![SimilarityOp::Equality]),
+            ComparisonSpace::new(
+                "FN",
+                "FN",
+                vec![SimilarityOp::Equality, SimilarityOp::edit(3)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn example_3_2_keys_are_relative_keys() {
+        let card = card_schema();
+        let billing = billing_schema();
+        let rck2 = RelativeKey::new(
+            &card,
+            &billing,
+            vec![
+                ("LN", "SN", SimilarityOp::Equality),
+                ("tel", "phn", SimilarityOp::Equality),
+                ("FN", "FN", SimilarityOp::edit(3)),
+            ],
+            &YC,
+            &YB,
+        )
+        .unwrap();
+        assert!(rck2.md().is_relative_key());
+        assert_eq!(rck2.length(), 3);
+        assert!(rck2.to_string().contains("⇋"));
+    }
+
+    #[test]
+    fn key_ordering_prefers_shorter_and_looser_keys() {
+        let card = card_schema();
+        let billing = billing_schema();
+        let two = RelativeKey::new(
+            &card,
+            &billing,
+            vec![
+                ("email", "email", SimilarityOp::Equality),
+                ("addr", "post", SimilarityOp::Equality),
+            ],
+            &YC,
+            &YB,
+        )
+        .unwrap();
+        let three = RelativeKey::new(
+            &card,
+            &billing,
+            vec![
+                ("email", "email", SimilarityOp::Equality),
+                ("addr", "post", SimilarityOp::Equality),
+                ("LN", "SN", SimilarityOp::Equality),
+            ],
+            &YC,
+            &YB,
+        )
+        .unwrap();
+        assert!(two.le(&three));
+        assert!(two.lt(&three));
+        assert!(!three.le(&two));
+        // A key with a looser operator on the same pair is smaller: requiring
+        // edit-distance similarity is less demanding than requiring equality.
+        let loose = RelativeKey::new(
+            &card,
+            &billing,
+            vec![
+                ("email", "email", SimilarityOp::Equality),
+                ("addr", "post", SimilarityOp::Equality),
+                ("LN", "SN", SimilarityOp::Equality),
+                ("FN", "FN", SimilarityOp::edit(3)),
+            ],
+            &YC,
+            &YB,
+        )
+        .unwrap();
+        let strict = RelativeKey::new(
+            &card,
+            &billing,
+            vec![
+                ("email", "email", SimilarityOp::Equality),
+                ("addr", "post", SimilarityOp::Equality),
+                ("LN", "SN", SimilarityOp::Equality),
+                ("FN", "FN", SimilarityOp::Equality),
+            ],
+            &YC,
+            &YB,
+        )
+        .unwrap();
+        assert!(loose.le(&strict));
+        assert!(!strict.le(&loose));
+    }
+
+    #[test]
+    fn derived_rcks_include_the_paper_rules() {
+        let card = card_schema();
+        let billing = billing_schema();
+        let sigma = example_3_1(&card, &billing);
+        let rcks = derive_rcks(&sigma, &card, &billing, &space(), &YC, &YB, 3);
+        assert!(!rcks.is_empty());
+        // rck1 = ([email, addr], [email, post] ‖ [=, =]) must be among them.
+        let rck1 = RelativeKey::new(
+            &card,
+            &billing,
+            vec![
+                ("email", "email", SimilarityOp::Equality),
+                ("addr", "post", SimilarityOp::Equality),
+            ],
+            &YC,
+            &YB,
+        )
+        .unwrap();
+        assert!(rcks.contains(&rck1));
+        // Every derived key is implied and is a relative key.
+        for key in &rcks {
+            assert!(key.md().is_relative_key());
+            assert!(md_implies(&sigma, key.md()));
+        }
+        // Minimality: no derived key is strictly smaller than another.
+        for a in &rcks {
+            for b in &rcks {
+                if a != b {
+                    assert!(!a.lt(b), "derived key {a} is strictly smaller than {b}");
+                }
+            }
+        }
+        // rck3 (with the edit-distance comparison) is derived too; the
+        // enumeration lists its comparisons in comparison-space order.
+        let rck3 = RelativeKey::new(
+            &card,
+            &billing,
+            vec![
+                ("addr", "post", SimilarityOp::Equality),
+                ("LN", "SN", SimilarityOp::Equality),
+                ("FN", "FN", SimilarityOp::edit(3)),
+            ],
+            &YC,
+            &YB,
+        )
+        .unwrap();
+        assert!(rcks.contains(&rck3));
+    }
+
+    #[test]
+    fn derivation_respects_the_length_bound() {
+        let card = card_schema();
+        let billing = billing_schema();
+        let sigma = example_3_1(&card, &billing);
+        let rcks = derive_rcks(&sigma, &card, &billing, &space(), &YC, &YB, 2);
+        for key in &rcks {
+            assert!(key.length() <= 2);
+        }
+    }
+
+    #[test]
+    fn non_relative_key_mds_are_rejected_by_from_md() {
+        let card = card_schema();
+        let billing = billing_schema();
+        let sigma = example_3_1(&card, &billing);
+        // φ2 has a ⇋ premise, so it is not a relative key.
+        assert!(RelativeKey::from_md(sigma[1].clone()).is_none());
+        assert!(RelativeKey::from_md(sigma[0].clone()).is_some());
+    }
+}

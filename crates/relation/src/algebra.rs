@@ -1,0 +1,502 @@
+//! SPCU views: selection, projection, Cartesian product and union.
+//!
+//! Dependency propagation (Section 4.1, Theorem 4.7) asks whether source
+//! dependencies guarantee a view dependency for views expressed as SPC or
+//! SPCU queries.  This module provides
+//!
+//! * a compositional [`View`] algebra that can be *evaluated* over a
+//!   [`Database`] to materialize the view, and
+//! * a normalization into [`SpcView`] branches (one per union arm) that
+//!   exposes column provenance — which source attribute each view column
+//!   comes from and which constant selections were applied — which is the
+//!   information the propagation algorithm of `dq-core` consumes.
+
+use crate::error::{DqError, DqResult};
+use crate::instance::{Database, RelationInstance};
+use crate::schema::{DatabaseSchema, Domain, RelationSchema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// A selection predicate over the columns of a view.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// `column = constant`
+    EqConst(usize, Value),
+    /// `column <> constant`
+    NeConst(usize, Value),
+    /// `left column = right column`
+    EqCols(usize, usize),
+    /// Conjunction of predicates.
+    And(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the predicate over a materialized tuple.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        match self {
+            Predicate::EqConst(c, v) => tuple.get(*c) == v,
+            Predicate::NeConst(c, v) => tuple.get(*c) != v,
+            Predicate::EqCols(a, b) => tuple.get(*a) == tuple.get(*b),
+            Predicate::And(l, r) => l.eval(tuple) && r.eval(tuple),
+        }
+    }
+
+    fn collect(&self, out: &mut Vec<Predicate>) {
+        match self {
+            Predicate::And(l, r) => {
+                l.collect(out);
+                r.collect(out);
+            }
+            p => out.push(p.clone()),
+        }
+    }
+
+    /// Flattens nested conjunctions into a list of atomic predicates.
+    pub fn conjuncts(&self) -> Vec<Predicate> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+}
+
+/// A view expression in the SPCU fragment (selection, projection, Cartesian
+/// product, union) over base relations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum View {
+    /// A base relation, all columns in schema order.
+    Base(String),
+    /// Selection.
+    Select(Box<View>, Predicate),
+    /// Projection onto column positions of the input view.
+    Project(Box<View>, Vec<usize>),
+    /// Cartesian product; output columns are left columns followed by right
+    /// columns.
+    Product(Box<View>, Box<View>),
+    /// Union of two views with identical arity.
+    Union(Box<View>, Box<View>),
+}
+
+impl View {
+    /// Convenience constructor for a base relation.
+    pub fn base(name: impl Into<String>) -> View {
+        View::Base(name.into())
+    }
+
+    /// Wraps this view in a selection.
+    pub fn select(self, predicate: Predicate) -> View {
+        View::Select(Box::new(self), predicate)
+    }
+
+    /// Wraps this view in a projection.
+    pub fn project(self, columns: Vec<usize>) -> View {
+        View::Project(Box::new(self), columns)
+    }
+
+    /// Cartesian product with another view.
+    pub fn product(self, other: View) -> View {
+        View::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Union with another view.
+    pub fn union(self, other: View) -> View {
+        View::Union(Box::new(self), Box::new(other))
+    }
+
+    /// The output arity of the view over the given database schema.
+    pub fn arity(&self, schema: &DatabaseSchema) -> DqResult<usize> {
+        match self {
+            View::Base(name) => Ok(schema.require_relation(name)?.arity()),
+            View::Select(input, _) => input.arity(schema),
+            View::Project(_, cols) => Ok(cols.len()),
+            View::Product(l, r) => Ok(l.arity(schema)? + r.arity(schema)?),
+            View::Union(l, r) => {
+                let la = l.arity(schema)?;
+                let ra = r.arity(schema)?;
+                if la != ra {
+                    return Err(DqError::MalformedQuery {
+                        reason: format!("union of views with arities {la} and {ra}"),
+                    });
+                }
+                Ok(la)
+            }
+        }
+    }
+
+    /// Column names (and domains) of the view output, synthesized from the
+    /// sources.  Union takes names from the left branch.
+    pub fn output_schema(
+        &self,
+        schema: &DatabaseSchema,
+        view_name: &str,
+    ) -> DqResult<RelationSchema> {
+        let cols = self.output_columns(schema)?;
+        Ok(RelationSchema::new(
+            view_name,
+            cols.into_iter().map(|(n, d)| (n, d)),
+        ))
+    }
+
+    fn output_columns(&self, schema: &DatabaseSchema) -> DqResult<Vec<(String, Domain)>> {
+        match self {
+            View::Base(name) => {
+                let r = schema.require_relation(name)?;
+                Ok(r.attributes()
+                    .iter()
+                    .map(|a| (a.name.clone(), a.domain.clone()))
+                    .collect())
+            }
+            View::Select(input, _) => input.output_columns(schema),
+            View::Project(input, cols) => {
+                let inner = input.output_columns(schema)?;
+                cols.iter()
+                    .map(|&c| {
+                        inner.get(c).cloned().ok_or_else(|| DqError::MalformedQuery {
+                            reason: format!("projection on column {c} out of range"),
+                        })
+                    })
+                    .collect()
+            }
+            View::Product(l, r) => {
+                let mut left = l.output_columns(schema)?;
+                let right = r.output_columns(schema)?;
+                // Disambiguate duplicated names coming from self-products.
+                for (n, d) in right {
+                    let mut name = n;
+                    while left.iter().any(|(ln, _)| ln == &name) {
+                        name.push('\'');
+                    }
+                    left.push((name, d));
+                }
+                Ok(left)
+            }
+            View::Union(l, _) => l.output_columns(schema),
+        }
+    }
+
+    /// Materializes the view over `db`.
+    pub fn evaluate(&self, db: &Database, view_name: &str) -> DqResult<RelationInstance> {
+        let schema = db_schema(db);
+        let out_schema = Arc::new(self.output_schema(&schema, view_name)?);
+        let rows = self.rows(db)?;
+        let mut inst = RelationInstance::new(out_schema);
+        for row in rows {
+            inst.insert(row)?;
+        }
+        Ok(inst)
+    }
+
+    fn rows(&self, db: &Database) -> DqResult<Vec<Tuple>> {
+        match self {
+            View::Base(name) => Ok(db.require_relation(name)?.tuples()),
+            View::Select(input, pred) => Ok(input
+                .rows(db)?
+                .into_iter()
+                .filter(|t| pred.eval(t))
+                .collect()),
+            View::Project(input, cols) => Ok(input
+                .rows(db)?
+                .into_iter()
+                .map(|t| Tuple::new(t.project(cols)))
+                .collect()),
+            View::Product(l, r) => {
+                let left = l.rows(db)?;
+                let right = r.rows(db)?;
+                let mut out = Vec::with_capacity(left.len() * right.len());
+                for lt in &left {
+                    for rt in &right {
+                        out.push(lt.concat(rt));
+                    }
+                }
+                Ok(out)
+            }
+            View::Union(l, r) => {
+                let mut out = l.rows(db)?;
+                out.extend(r.rows(db)?);
+                Ok(out)
+            }
+        }
+    }
+
+    /// Splits an SPCU view into its union branches (each an SPC view).
+    pub fn union_branches(&self) -> Vec<View> {
+        match self {
+            View::Union(l, r) => {
+                let mut out = l.union_branches();
+                out.extend(r.union_branches());
+                out
+            }
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Normalizes an SPC view (no unions) into [`SpcView`] form, exposing
+    /// source relations, constant selections, column equalities and the
+    /// provenance of every output column.
+    pub fn spc_normal_form(&self, schema: &DatabaseSchema) -> DqResult<SpcView> {
+        match self {
+            View::Union(_, _) => Err(DqError::MalformedQuery {
+                reason: "spc_normal_form called on a view containing a union".into(),
+            }),
+            View::Base(name) => {
+                let r = schema.require_relation(name)?;
+                Ok(SpcView {
+                    sources: vec![name.clone()],
+                    const_eq: Vec::new(),
+                    ne_const: Vec::new(),
+                    col_eq: Vec::new(),
+                    projection: (0..r.arity()).map(|a| (0, a)).collect(),
+                    output_names: r
+                        .attributes()
+                        .iter()
+                        .map(|a| a.name.clone())
+                        .collect(),
+                })
+            }
+            View::Select(input, pred) => {
+                let mut inner = input.spc_normal_form(schema)?;
+                for p in pred.conjuncts() {
+                    match p {
+                        Predicate::EqConst(c, v) => {
+                            let (s, a) = inner.projection[c];
+                            inner.const_eq.push((s, a, v));
+                        }
+                        Predicate::NeConst(c, v) => {
+                            let (s, a) = inner.projection[c];
+                            inner.ne_const.push((s, a, v));
+                        }
+                        Predicate::EqCols(x, y) => {
+                            let sx = inner.projection[x];
+                            let sy = inner.projection[y];
+                            inner.col_eq.push((sx, sy));
+                        }
+                        Predicate::And(_, _) => unreachable!("conjuncts are atomic"),
+                    }
+                }
+                Ok(inner)
+            }
+            View::Project(input, cols) => {
+                let mut inner = input.spc_normal_form(schema)?;
+                let projection = cols.iter().map(|&c| inner.projection[c]).collect();
+                let output_names = cols.iter().map(|&c| inner.output_names[c].clone()).collect();
+                inner.projection = projection;
+                inner.output_names = output_names;
+                Ok(inner)
+            }
+            View::Product(l, r) => {
+                let left = l.spc_normal_form(schema)?;
+                let right = r.spc_normal_form(schema)?;
+                let offset = left.sources.len();
+                let mut sources = left.sources;
+                sources.extend(right.sources);
+                let mut const_eq = left.const_eq;
+                const_eq.extend(
+                    right
+                        .const_eq
+                        .into_iter()
+                        .map(|(s, a, v)| (s + offset, a, v)),
+                );
+                let mut ne_const = left.ne_const;
+                ne_const.extend(
+                    right
+                        .ne_const
+                        .into_iter()
+                        .map(|(s, a, v)| (s + offset, a, v)),
+                );
+                let mut col_eq = left.col_eq;
+                col_eq.extend(
+                    right
+                        .col_eq
+                        .into_iter()
+                        .map(|((s1, a1), (s2, a2))| ((s1 + offset, a1), (s2 + offset, a2))),
+                );
+                let mut projection = left.projection;
+                projection.extend(
+                    right
+                        .projection
+                        .into_iter()
+                        .map(|(s, a)| (s + offset, a)),
+                );
+                let mut output_names = left.output_names;
+                output_names.extend(right.output_names);
+                Ok(SpcView {
+                    sources,
+                    const_eq,
+                    ne_const,
+                    col_eq,
+                    projection,
+                    output_names,
+                })
+            }
+        }
+    }
+}
+
+/// Normal form of an SPC view: the information needed by dependency
+/// propagation.
+#[derive(Clone, Debug)]
+pub struct SpcView {
+    /// Source relations, one entry per occurrence (self-products repeat).
+    pub sources: Vec<String>,
+    /// Constant selections `source.attr = value`.
+    pub const_eq: Vec<(usize, usize, Value)>,
+    /// Constant disequalities `source.attr <> value`.
+    pub ne_const: Vec<(usize, usize, Value)>,
+    /// Column equalities between source attributes (join conditions).
+    pub col_eq: Vec<((usize, usize), (usize, usize))>,
+    /// Provenance of each output column: `(source index, attribute index)`.
+    pub projection: Vec<(usize, usize)>,
+    /// Output column names (aligned with `projection`).
+    pub output_names: Vec<String>,
+}
+
+impl SpcView {
+    /// Output columns whose provenance is `source.attr` (there may be several
+    /// when the same source column is projected twice).
+    pub fn columns_from(&self, source: usize, attr: usize) -> Vec<usize> {
+        self.projection
+            .iter()
+            .enumerate()
+            .filter(|(_, &(s, a))| s == source && a == attr)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The constant selection applied to `source.attr`, if any.
+    pub fn constant_on(&self, source: usize, attr: usize) -> Option<&Value> {
+        self.const_eq
+            .iter()
+            .find(|(s, a, _)| *s == source && *a == attr)
+            .map(|(_, _, v)| v)
+    }
+}
+
+/// Derives the [`DatabaseSchema`] implied by the instances of a [`Database`].
+pub fn db_schema(db: &Database) -> DatabaseSchema {
+    let mut schema = DatabaseSchema::new();
+    for (_, inst) in db.iter() {
+        schema.add((**inst.schema()).clone());
+    }
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::RelationInstance;
+
+    fn db() -> Database {
+        let r = RelationSchema::new("r", [("A", Domain::Int), ("B", Domain::Text)]);
+        let s = RelationSchema::new("s", [("C", Domain::Int), ("D", Domain::Text)]);
+        let mut ri = RelationInstance::from_schema(r);
+        ri.insert_values([Value::int(1), Value::str("x")]).unwrap();
+        ri.insert_values([Value::int(2), Value::str("y")]).unwrap();
+        let mut si = RelationInstance::from_schema(s);
+        si.insert_values([Value::int(1), Value::str("p")]).unwrap();
+        si.insert_values([Value::int(3), Value::str("q")]).unwrap();
+        let mut db = Database::new();
+        db.add_relation(ri);
+        db.add_relation(si);
+        db
+    }
+
+    #[test]
+    fn base_and_select_evaluation() {
+        let db = db();
+        let v = View::base("r").select(Predicate::EqConst(0, Value::int(1)));
+        let out = v.evaluate(&db, "v").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.iter().next().unwrap().1.get(1), &Value::str("x"));
+    }
+
+    #[test]
+    fn projection_and_schema_names() {
+        let db = db();
+        let v = View::base("r").project(vec![1]);
+        let out = v.evaluate(&db, "v").unwrap();
+        assert_eq!(out.schema().arity(), 1);
+        assert_eq!(out.schema().attr_name(0), "B");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn product_join_via_selection() {
+        let db = db();
+        // r x s with join condition r.A = s.C.
+        let v = View::base("r")
+            .product(View::base("s"))
+            .select(Predicate::EqCols(0, 2));
+        let out = v.evaluate(&db, "j").unwrap();
+        assert_eq!(out.len(), 1);
+        let t = out.iter().next().unwrap().1;
+        assert_eq!(t.get(1), &Value::str("x"));
+        assert_eq!(t.get(3), &Value::str("p"));
+    }
+
+    #[test]
+    fn product_disambiguates_duplicate_names() {
+        let db = db();
+        let v = View::base("r").product(View::base("r"));
+        let schema = db_schema(&db);
+        let out = v.output_schema(&schema, "rr").unwrap();
+        assert_eq!(out.arity(), 4);
+        assert_eq!(out.attr_name(0), "A");
+        assert_eq!(out.attr_name(2), "A'");
+    }
+
+    #[test]
+    fn union_concatenates_and_checks_arity() {
+        let db = db();
+        let v = View::base("r").union(View::base("s"));
+        let out = v.evaluate(&db, "u").unwrap();
+        assert_eq!(out.len(), 4);
+
+        let bad = View::base("r").union(View::base("r").project(vec![0]));
+        let schema = db_schema(&db);
+        assert!(bad.arity(&schema).is_err());
+    }
+
+    #[test]
+    fn union_branches_are_enumerated() {
+        let v = View::base("a").union(View::base("b")).union(View::base("c"));
+        assert_eq!(v.union_branches().len(), 3);
+    }
+
+    #[test]
+    fn spc_normal_form_tracks_provenance_and_constants() {
+        let db = db();
+        let schema = db_schema(&db);
+        // pi_{B, D} sigma_{r.A = 1 and r.A = s.C} (r x s)
+        let v = View::base("r")
+            .product(View::base("s"))
+            .select(Predicate::EqConst(0, Value::int(1)).and(Predicate::EqCols(0, 2)))
+            .project(vec![1, 3]);
+        let spc = v.spc_normal_form(&schema).unwrap();
+        assert_eq!(spc.sources, vec!["r".to_string(), "s".to_string()]);
+        assert_eq!(spc.projection, vec![(0, 1), (1, 1)]);
+        assert_eq!(spc.constant_on(0, 0), Some(&Value::int(1)));
+        assert_eq!(spc.col_eq, vec![((0, 0), (1, 0))]);
+        assert_eq!(spc.columns_from(1, 1), vec![1]);
+        assert_eq!(spc.output_names, vec!["B".to_string(), "D".to_string()]);
+    }
+
+    #[test]
+    fn spc_normal_form_rejects_unions() {
+        let db = db();
+        let schema = db_schema(&db);
+        let v = View::base("r").union(View::base("s"));
+        assert!(v.spc_normal_form(&schema).is_err());
+    }
+
+    #[test]
+    fn predicate_conjunct_flattening() {
+        let p = Predicate::EqConst(0, Value::int(1))
+            .and(Predicate::EqCols(1, 2).and(Predicate::NeConst(3, Value::str("x"))));
+        assert_eq!(p.conjuncts().len(), 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Minimal delimited-text import/export.
+//!
+//! Real deployments would load data from a warehouse; for the reproduction we
+//! only need a way to move small instances in and out of text form (examples,
+//! golden files, debugging dumps).  The format is deliberately simple: one
+//! header row with attribute names, `|`-separated cells, `NULL` for nulls.
+//! No quoting or escaping is attempted — none of the paper's data needs it.
+
+use crate::error::{DqError, DqResult};
+use crate::instance::RelationInstance;
+use crate::schema::{Domain, RelationSchema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// The cell separator used by [`to_text`] and [`from_text`].
+pub const SEPARATOR: char = '|';
+
+/// Serializes an instance to delimited text (header row + one row per tuple).
+pub fn to_text(instance: &RelationInstance) -> String {
+    let schema = instance.schema();
+    let mut out = String::new();
+    let header: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    out.push_str(&header.join(&SEPARATOR.to_string()));
+    out.push('\n');
+    for (_, tuple) in instance.iter() {
+        let row: Vec<String> = tuple.values().iter().map(|v| v.to_string()).collect();
+        out.push_str(&row.join(&SEPARATOR.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a single cell according to the attribute domain.
+pub fn parse_cell(text: &str, domain: &Domain) -> DqResult<Value> {
+    let text = text.trim();
+    if text == "NULL" {
+        return Ok(Value::Null);
+    }
+    let parsed = match domain {
+        Domain::Int => text.parse::<i64>().map(Value::Int).ok(),
+        Domain::Real => text.parse::<f64>().map(Value::Real).ok(),
+        Domain::Bool => match text {
+            "true" | "TRUE" | "1" => Some(Value::Bool(true)),
+            "false" | "FALSE" | "0" => Some(Value::Bool(false)),
+            _ => None,
+        },
+        Domain::Text => Some(Value::str(text)),
+        Domain::Finite(values) => {
+            // Accept any display form matching a domain element.
+            values.iter().find(|v| v.to_string() == text).cloned()
+        }
+    };
+    parsed.ok_or_else(|| DqError::Parse {
+        reason: format!("cannot parse `{text}` as {domain}"),
+    })
+}
+
+/// Parses delimited text (as produced by [`to_text`]) into an instance of
+/// `schema`.  The header row must list exactly the schema's attributes in
+/// order.
+pub fn from_text(schema: Arc<RelationSchema>, text: &str) -> DqResult<RelationInstance> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| DqError::Parse {
+        reason: "empty input".into(),
+    })?;
+    let names: Vec<&str> = header.split(SEPARATOR).map(|s| s.trim()).collect();
+    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    if names != expected {
+        return Err(DqError::Parse {
+            reason: format!("header {names:?} does not match schema attributes {expected:?}"),
+        });
+    }
+    let mut instance = RelationInstance::new(Arc::clone(&schema));
+    for (lineno, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(SEPARATOR).collect();
+        if cells.len() != schema.arity() {
+            return Err(DqError::Parse {
+                reason: format!(
+                    "row {} has {} cells, expected {}",
+                    lineno + 2,
+                    cells.len(),
+                    schema.arity()
+                ),
+            });
+        }
+        let values: DqResult<Vec<Value>> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| parse_cell(c, schema.domain(i)))
+            .collect();
+        instance.insert(Tuple::new(values?))?;
+    }
+    Ok(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::new(
+            "customer",
+            [
+                ("CC", Domain::Int),
+                ("name", Domain::Text),
+                ("price", Domain::Real),
+                ("active", Domain::Bool),
+            ],
+        ))
+    }
+
+    #[test]
+    fn round_trip_preserves_tuples() {
+        let schema = schema();
+        let mut inst = RelationInstance::new(Arc::clone(&schema));
+        inst.insert_values([
+            Value::int(44),
+            Value::str("Mike"),
+            Value::real(7.99),
+            Value::bool(true),
+        ])
+        .unwrap();
+        inst.insert_values([Value::int(1), Value::Null, Value::real(0.5), Value::bool(false)])
+            .unwrap();
+        let text = to_text(&inst);
+        let parsed = from_text(Arc::clone(&schema), &text).unwrap();
+        assert!(inst.same_tuples_as(&parsed));
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let schema = schema();
+        let err = from_text(schema, "A|B|C|D\n1|x|2.0|true\n").unwrap_err();
+        assert!(matches!(err, DqError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_cell_counts_and_values_are_rejected() {
+        let schema = schema();
+        let short = from_text(
+            Arc::clone(&schema),
+            "CC|name|price|active\n1|x|2.0\n",
+        );
+        assert!(short.is_err());
+        let bad_int = from_text(
+            Arc::clone(&schema),
+            "CC|name|price|active\nxx|x|2.0|true\n",
+        );
+        assert!(bad_int.is_err());
+    }
+
+    #[test]
+    fn finite_domains_accept_only_listed_values() {
+        let dom = Domain::finite_str(["book", "CD"]);
+        assert_eq!(parse_cell("book", &dom).unwrap(), Value::str("book"));
+        assert!(parse_cell("DVD", &dom).is_err());
+        assert_eq!(parse_cell("NULL", &dom).unwrap(), Value::Null);
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type shared by the relational substrate and the crates above it.
+
+use std::fmt;
+
+/// Result alias with [`DqError`].
+pub type DqResult<T> = Result<T, DqError>;
+
+/// Errors raised by the data-quality substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DqError {
+    /// A relation name was not found in the database (schema).
+    UnknownRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// An attribute name was not found in a relation schema.
+    UnknownAttribute {
+        /// Relation the attribute was looked up in.
+        relation: String,
+        /// The missing attribute name.
+        attribute: String,
+    },
+    /// A tuple's arity did not match its schema.
+    ArityMismatch {
+        /// Relation the tuple was inserted into.
+        relation: String,
+        /// Expected arity (schema arity).
+        expected: usize,
+        /// Actual number of values supplied.
+        actual: usize,
+    },
+    /// A value fell outside the domain of its attribute.
+    DomainViolation {
+        /// Relation of the offending cell.
+        relation: String,
+        /// Attribute of the offending cell.
+        attribute: String,
+        /// Display form of the rejected value.
+        value: String,
+    },
+    /// A dependency is not well formed over its schema(s).
+    MalformedDependency {
+        /// Human readable explanation.
+        reason: String,
+    },
+    /// A query is not well formed or not in a supported class.
+    MalformedQuery {
+        /// Human readable explanation.
+        reason: String,
+    },
+    /// Text parsing (CSV import) failed.
+    Parse {
+        /// Human readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DqError::UnknownRelation { relation } => {
+                write!(f, "unknown relation `{relation}`")
+            }
+            DqError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "unknown attribute `{attribute}` in relation `{relation}`"),
+            DqError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: expected {expected} values, got {actual}"
+            ),
+            DqError::DomainViolation {
+                relation,
+                attribute,
+                value,
+            } => write!(
+                f,
+                "value `{value}` is outside the domain of `{relation}.{attribute}`"
+            ),
+            DqError::MalformedDependency { reason } => {
+                write!(f, "malformed dependency: {reason}")
+            }
+            DqError::MalformedQuery { reason } => write!(f, "malformed query: {reason}"),
+            DqError::Parse { reason } => write!(f, "parse error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = DqError::UnknownAttribute {
+            relation: "customer".into(),
+            attribute: "zipcode".into(),
+        };
+        assert!(e.to_string().contains("zipcode"));
+        assert!(e.to_string().contains("customer"));
+
+        let e = DqError::ArityMismatch {
+            relation: "r".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<DqError>();
+    }
+}

@@ -1,0 +1,347 @@
+//! Relation instances and databases.
+//!
+//! Instances keep tuples in insertion order and address them by a stable
+//! [`TupleId`], so that violations (`dq-core`), repairs (`dq-repair`) and
+//! provenance-carrying views can refer to *cells* `(tuple, attribute)` of the
+//! original data — exactly the granularity the U-repair model of Section 5.1
+//! needs.
+
+use crate::error::{DqError, DqResult};
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable identifier of a tuple within a [`RelationInstance`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub usize);
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A cell address: tuple plus attribute position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellRef {
+    /// The tuple the cell belongs to.
+    pub tuple: TupleId,
+    /// The attribute position within the tuple.
+    pub attr: usize,
+}
+
+impl CellRef {
+    /// Creates a cell reference.
+    pub fn new(tuple: TupleId, attr: usize) -> Self {
+        CellRef { tuple, attr }
+    }
+}
+
+/// An instance of a relation schema: a multiset of tuples with stable ids.
+#[derive(Clone, Debug)]
+pub struct RelationInstance {
+    schema: Arc<RelationSchema>,
+    tuples: Vec<Option<Tuple>>,
+    live: usize,
+}
+
+impl RelationInstance {
+    /// Creates an empty instance of `schema`.
+    pub fn new(schema: Arc<RelationSchema>) -> Self {
+        RelationInstance {
+            schema,
+            tuples: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Creates an empty instance, taking ownership of a plain schema.
+    pub fn from_schema(schema: RelationSchema) -> Self {
+        Self::new(Arc::new(schema))
+    }
+
+    /// The schema of this instance.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// Number of (live) tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a tuple after validating arity and domains.
+    pub fn insert(&mut self, tuple: Tuple) -> DqResult<TupleId> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(DqError::ArityMismatch {
+                relation: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        for (i, v) in tuple.values().iter().enumerate() {
+            if !self.schema.domain(i).contains(v) {
+                return Err(DqError::DomainViolation {
+                    relation: self.schema.name().to_string(),
+                    attribute: self.schema.attr_name(i).to_string(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        let id = TupleId(self.tuples.len());
+        self.tuples.push(Some(tuple));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Inserts a tuple built from raw convertible values.
+    pub fn insert_values<I, V>(&mut self, values: I) -> DqResult<TupleId>
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.insert(Tuple::from_values(values))
+    }
+
+    /// Removes a tuple (keeping ids of the remaining tuples stable).
+    /// Returns the removed tuple if it was present.
+    pub fn remove(&mut self, id: TupleId) -> Option<Tuple> {
+        let slot = self.tuples.get_mut(id.0)?;
+        let removed = slot.take();
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
+    }
+
+    /// The tuple with identifier `id`, if it is live.
+    pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        self.tuples.get(id.0).and_then(|t| t.as_ref())
+    }
+
+    /// Mutable access to a tuple (used by repairs to modify cells in place).
+    pub fn tuple_mut(&mut self, id: TupleId) -> Option<&mut Tuple> {
+        self.tuples.get_mut(id.0).and_then(|t| t.as_mut())
+    }
+
+    /// Updates a single cell, returning the previous value.
+    pub fn update_cell(&mut self, cell: CellRef, value: Value) -> Option<Value> {
+        self.tuple_mut(cell.tuple).map(|t| t.set(cell.attr, value))
+    }
+
+    /// The value stored in a cell.
+    pub fn cell(&self, cell: CellRef) -> Option<&Value> {
+        self.tuple(cell.tuple).map(|t| t.get(cell.attr))
+    }
+
+    /// Iterates over `(id, tuple)` pairs of live tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (TupleId(i), t)))
+    }
+
+    /// All live tuple ids.
+    pub fn ids(&self) -> Vec<TupleId> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+
+    /// All live tuples, cloned into a plain vector (used by algorithms that
+    /// build derived instances).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    /// The active domain of attribute `attr`: the set of distinct values the
+    /// attribute takes in this instance.  Repairing (Section 5.1) draws
+    /// candidate replacement values from the active domain.
+    pub fn active_domain(&self, attr: usize) -> BTreeSet<Value> {
+        self.iter().map(|(_, t)| t.get(attr).clone()).collect()
+    }
+
+    /// Projection of the whole instance onto an attribute list, as a set.
+    pub fn project_distinct(&self, attrs: &[usize]) -> BTreeSet<Vec<Value>> {
+        self.iter().map(|(_, t)| t.project(attrs)).collect()
+    }
+
+    /// True when `other` contains exactly the same multiset of tuples
+    /// (ignoring tuple ids).  Used to compare repairs.
+    pub fn same_tuples_as(&self, other: &RelationInstance) -> bool {
+        let mut a: Vec<&Tuple> = self.iter().map(|(_, t)| t).collect();
+        let mut b: Vec<&Tuple> = other.iter().map(|(_, t)| t).collect();
+        a.sort();
+        b.sort();
+        a == b
+    }
+}
+
+/// A database: a collection of relation instances indexed by relation name.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<String, RelationInstance>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a relation instance, keyed by its schema name.
+    pub fn add_relation(&mut self, instance: RelationInstance) {
+        self.relations
+            .insert(instance.schema().name().to_string(), instance);
+    }
+
+    /// Looks up a relation instance by name.
+    pub fn relation(&self, name: &str) -> Option<&RelationInstance> {
+        self.relations.get(name)
+    }
+
+    /// Looks up a relation instance by name, failing loudly.
+    pub fn require_relation(&self, name: &str) -> DqResult<&RelationInstance> {
+        self.relation(name).ok_or_else(|| DqError::UnknownRelation {
+            relation: name.to_string(),
+        })
+    }
+
+    /// Mutable access to a relation instance.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut RelationInstance> {
+        self.relations.get_mut(name)
+    }
+
+    /// Iterates over all relation instances in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &RelationInstance)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Domain;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new(
+            "r",
+            [("A", Domain::Int), ("B", Domain::Text), ("C", Domain::Bool)],
+        )
+    }
+
+    fn sample() -> RelationInstance {
+        let mut inst = RelationInstance::from_schema(schema());
+        inst.insert_values([Value::int(1), Value::str("x"), Value::bool(true)])
+            .unwrap();
+        inst.insert_values([Value::int(2), Value::str("y"), Value::bool(false)])
+            .unwrap();
+        inst.insert_values([Value::int(1), Value::str("x"), Value::bool(false)])
+            .unwrap();
+        inst
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut inst = RelationInstance::from_schema(schema());
+        let err = inst
+            .insert(Tuple::from_values([Value::int(1)]))
+            .unwrap_err();
+        assert!(matches!(err, DqError::ArityMismatch { expected: 3, actual: 1, .. }));
+    }
+
+    #[test]
+    fn insert_validates_domains() {
+        let mut inst = RelationInstance::from_schema(schema());
+        let err = inst
+            .insert_values([Value::str("not an int"), Value::str("x"), Value::bool(true)])
+            .unwrap_err();
+        assert!(matches!(err, DqError::DomainViolation { .. }));
+    }
+
+    #[test]
+    fn removal_keeps_ids_stable() {
+        let mut inst = sample();
+        assert_eq!(inst.len(), 3);
+        let removed = inst.remove(TupleId(1)).unwrap();
+        assert_eq!(removed.get(1), &Value::str("y"));
+        assert_eq!(inst.len(), 2);
+        assert!(inst.tuple(TupleId(1)).is_none());
+        // The other tuples keep their ids.
+        assert_eq!(inst.tuple(TupleId(2)).unwrap().get(0), &Value::int(1));
+        // Removing twice is a no-op.
+        assert!(inst.remove(TupleId(1)).is_none());
+        assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn cell_update_round_trip() {
+        let mut inst = sample();
+        let cell = CellRef::new(TupleId(0), 1);
+        let old = inst.update_cell(cell, Value::str("z")).unwrap();
+        assert_eq!(old, Value::str("x"));
+        assert_eq!(inst.cell(cell).unwrap(), &Value::str("z"));
+    }
+
+    #[test]
+    fn active_domain_is_distinct() {
+        let inst = sample();
+        let adom = inst.active_domain(0);
+        assert_eq!(adom.len(), 2);
+        assert!(adom.contains(&Value::int(1)));
+    }
+
+    #[test]
+    fn project_distinct_deduplicates() {
+        let inst = sample();
+        assert_eq!(inst.project_distinct(&[0, 1]).len(), 2);
+        assert_eq!(inst.project_distinct(&[0, 1, 2]).len(), 3);
+    }
+
+    #[test]
+    fn same_tuples_ignores_order_and_ids() {
+        let a = sample();
+        let mut b = RelationInstance::from_schema(schema());
+        b.insert_values([Value::int(1), Value::str("x"), Value::bool(false)])
+            .unwrap();
+        b.insert_values([Value::int(1), Value::str("x"), Value::bool(true)])
+            .unwrap();
+        b.insert_values([Value::int(2), Value::str("y"), Value::bool(false)])
+            .unwrap();
+        assert!(a.same_tuples_as(&b));
+        b.remove(TupleId(0));
+        assert!(!a.same_tuples_as(&b));
+    }
+
+    #[test]
+    fn database_lookup_and_totals() {
+        let mut db = Database::new();
+        db.add_relation(sample());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.total_tuples(), 3);
+        assert!(db.relation("r").is_some());
+        assert!(db.require_relation("s").is_err());
+    }
+}

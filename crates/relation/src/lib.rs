@@ -1,0 +1,52 @@
+//! # dq-relation
+//!
+//! An in-memory, typed relational substrate used by every other crate of the
+//! `dataquality` workspace.
+//!
+//! The paper (Fan, PODS 2008) defines all of its dependency classes over
+//! standard relational schemas in which every attribute has an explicit
+//! domain — and, unusually for dependency theory, the *finiteness* of domains
+//! matters (Section 4.1: consistency of CFDs interacts with finite-domain
+//! attributes).  This crate therefore models:
+//!
+//! * [`value::Value`] — dynamically typed constants with a total order and a
+//!   hash, so they can be grouped, indexed and compared by the detection and
+//!   repair algorithms;
+//! * [`schema::Domain`] — infinite built-in domains (`Int`, `Real`, `Text`)
+//!   and explicitly finite domains (`Bool`, enumerated `Finite` domains);
+//! * [`schema::RelationSchema`] / [`schema::DatabaseSchema`] — attribute
+//!   lists with domains;
+//! * [`instance::RelationInstance`] / [`instance::Database`] — tuple stores
+//!   with stable [`instance::TupleId`]s, so violations and repairs can refer
+//!   to cells `(tuple, attribute)`;
+//! * [`index::HashIndex`] — hash partitioning of a relation on an attribute
+//!   list, the workhorse of CFD/CIND violation detection;
+//! * [`algebra`] — selection / projection / Cartesian product / union views
+//!   (the SPCU fragment used by dependency propagation, Theorem 4.7) with
+//!   column provenance;
+//! * [`query`] — conjunctive queries and a small first-order evaluator used
+//!   by consistent query answering (Section 5.2).
+
+pub mod algebra;
+pub mod csv;
+pub mod error;
+pub mod index;
+pub mod instance;
+pub mod query;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+/// Frequently used items.
+pub mod prelude {
+    pub use crate::algebra::{Predicate, View};
+    pub use crate::error::{DqError, DqResult};
+    pub use crate::index::HashIndex;
+    pub use crate::instance::{Database, RelationInstance, TupleId};
+    pub use crate::query::{Atom, Binding, CompOp, Comparison, ConjunctiveQuery, FoQuery, Formula, Term};
+    pub use crate::schema::{Attribute, DatabaseSchema, Domain, RelationSchema};
+    pub use crate::tuple::Tuple;
+    pub use crate::value::{levenshtein, normalized_levenshtein, value_distance, Value};
+}
+
+pub use prelude::*;

@@ -1,0 +1,462 @@
+//! Schemas and domains.
+//!
+//! The paper is explicit (Section 2.1 and 4.1) that, unlike classical
+//! dependency theory, the reasoning about conditional dependencies must take
+//! attribute domains into account: whether `dom(A)` is finite changes the
+//! complexity of consistency and implication (Table 1).  Domains are
+//! therefore first-class values here, and schemas expose whether any of their
+//! attributes range over a finite domain.
+
+use crate::error::{DqError, DqResult};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The domain of an attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Domain {
+    /// Unbounded integers.
+    Int,
+    /// Unbounded reals.
+    Real,
+    /// Unbounded strings.
+    Text,
+    /// The two-element boolean domain (finite).
+    Bool,
+    /// An explicitly enumerated finite domain, e.g. US states or the set of
+    /// New York City area codes of Section 2.3.
+    Finite(Arc<[Value]>),
+}
+
+impl Domain {
+    /// Builds an enumerated finite domain from string constants.
+    pub fn finite_str<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Domain::Finite(values.into_iter().map(Value::str).collect())
+    }
+
+    /// Builds an enumerated finite domain from integer constants.
+    pub fn finite_int<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = i64>,
+    {
+        Domain::Finite(values.into_iter().map(Value::int).collect())
+    }
+
+    /// Is this a finite domain?  (Section 4.1: finite domains are the source
+    /// of intractability for CFD consistency.)
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Domain::Bool | Domain::Finite(_))
+    }
+
+    /// The number of elements of a finite domain, `None` for infinite ones.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Domain::Bool => Some(2),
+            Domain::Finite(vs) => Some(vs.len()),
+            _ => None,
+        }
+    }
+
+    /// Enumerates the elements of a finite domain.
+    pub fn enumerate(&self) -> Option<Vec<Value>> {
+        match self {
+            Domain::Bool => Some(vec![Value::Bool(false), Value::Bool(true)]),
+            Domain::Finite(vs) => Some(vs.to_vec()),
+            _ => None,
+        }
+    }
+
+    /// Does `v` belong to this domain?  `Null` is allowed in every domain.
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => true,
+            (Domain::Int, Value::Int(_)) => true,
+            (Domain::Real, Value::Real(_)) | (Domain::Real, Value::Int(_)) => true,
+            (Domain::Text, Value::Str(_)) => true,
+            (Domain::Bool, Value::Bool(_)) => true,
+            (Domain::Finite(vs), v) => vs.iter().any(|x| x == v),
+            _ => false,
+        }
+    }
+
+    /// Two domains are *compatible* (Section 3.2) when values of one can be
+    /// meaningfully compared against values of the other.
+    pub fn compatible_with(&self, other: &Domain) -> bool {
+        use Domain::*;
+        match (self, other) {
+            (Int, Int) | (Real, Real) | (Text, Text) | (Bool, Bool) => true,
+            (Int, Real) | (Real, Int) => true,
+            (Finite(a), Finite(b)) => {
+                a.first().map(|v| v.type_name()) == b.first().map(|v| v.type_name())
+            }
+            (Finite(a), d) | (d, Finite(a)) => {
+                a.first().map(|v| d.contains(v)).unwrap_or(true)
+            }
+            _ => false,
+        }
+    }
+
+    /// A representative value *outside* the listed constants, used by the
+    /// consistency and implication procedures to instantiate an unnamed
+    /// variable `_` over an infinite domain with a fresh constant.  Returns
+    /// `None` when the domain is finite and exhausted by `used`.
+    pub fn fresh_value(&self, used: &[Value]) -> Option<Value> {
+        match self {
+            Domain::Int => {
+                let mut candidate: i64 = 1_000_000;
+                loop {
+                    let v = Value::Int(candidate);
+                    if !used.contains(&v) {
+                        return Some(v);
+                    }
+                    candidate += 1;
+                }
+            }
+            Domain::Real => {
+                let mut candidate = 1_000_000.5;
+                loop {
+                    let v = Value::Real(candidate);
+                    if !used.contains(&v) {
+                        return Some(v);
+                    }
+                    candidate += 1.0;
+                }
+            }
+            Domain::Text => {
+                let mut i = 0usize;
+                loop {
+                    let v = Value::str(format!("_fresh_{i}"));
+                    if !used.contains(&v) {
+                        return Some(v);
+                    }
+                    i += 1;
+                }
+            }
+            Domain::Bool | Domain::Finite(_) => self
+                .enumerate()
+                .unwrap()
+                .into_iter()
+                .find(|v| !used.contains(v)),
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Int => write!(f, "int"),
+            Domain::Real => write!(f, "real"),
+            Domain::Text => write!(f, "text"),
+            Domain::Bool => write!(f, "bool"),
+            Domain::Finite(vs) => write!(f, "finite[{}]", vs.len()),
+        }
+    }
+}
+
+/// A named, typed attribute of a relation schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (unique within its relation schema).
+    pub name: String,
+    /// Domain of the attribute.
+    pub domain: Domain,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        Attribute {
+            name: name.into(),
+            domain,
+        }
+    }
+}
+
+/// A relation schema `R(A1: dom1, ..., An: domn)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<Attribute>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl RelationSchema {
+    /// Builds a schema from `(attribute name, domain)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name — schemas are static program
+    /// data, so this is a programming error rather than a runtime condition.
+    pub fn new<I, S>(name: impl Into<String>, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Domain)>,
+        S: Into<String>,
+    {
+        let attributes: Vec<Attribute> = attrs
+            .into_iter()
+            .map(|(n, d)| Attribute::new(n, d))
+            .collect();
+        let mut by_name = BTreeMap::new();
+        for (i, a) in attributes.iter().enumerate() {
+            let prev = by_name.insert(a.name.clone(), i);
+            assert!(prev.is_none(), "duplicate attribute name `{}`", a.name);
+        }
+        RelationSchema {
+            name: name.into(),
+            attributes,
+            by_name,
+        }
+    }
+
+    /// Schema (relation) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Index of an attribute by name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Index of an attribute by name, returning an error naming the schema.
+    pub fn require_attr(&self, name: &str) -> DqResult<usize> {
+        self.attr_index(name).ok_or_else(|| DqError::UnknownAttribute {
+            relation: self.name.clone(),
+            attribute: name.to_string(),
+        })
+    }
+
+    /// Index of an attribute by name.
+    ///
+    /// # Panics
+    /// Panics when the attribute does not exist; use [`Self::attr_index`] for
+    /// a fallible lookup.  Dependency definitions are static program data, so
+    /// this is the ergonomic accessor used throughout examples and tests.
+    pub fn attr(&self, name: &str) -> usize {
+        self.require_attr(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Resolves a list of attribute names into indexes.
+    pub fn attrs(&self, names: &[&str]) -> Vec<usize> {
+        names.iter().map(|n| self.attr(n)).collect()
+    }
+
+    /// The attribute at `idx`.
+    pub fn attribute(&self, idx: usize) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// Name of the attribute at `idx`.
+    pub fn attr_name(&self, idx: usize) -> &str {
+        &self.attributes[idx].name
+    }
+
+    /// Domain of the attribute at `idx`.
+    pub fn domain(&self, idx: usize) -> &Domain {
+        &self.attributes[idx].domain
+    }
+
+    /// Does any attribute of this schema range over a finite domain?
+    pub fn has_finite_domain_attribute(&self) -> bool {
+        self.attributes.iter().any(|a| a.domain.is_finite())
+    }
+
+    /// Indexes of all finite-domain attributes.
+    pub fn finite_domain_attributes(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.domain.is_finite())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.domain)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A database schema: a set of relation schemas indexed by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DatabaseSchema {
+    relations: BTreeMap<String, Arc<RelationSchema>>,
+}
+
+impl DatabaseSchema {
+    /// Creates an empty database schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database schema from relation schemas.
+    pub fn from_relations<I>(relations: I) -> Self
+    where
+        I: IntoIterator<Item = RelationSchema>,
+    {
+        let mut s = Self::new();
+        for r in relations {
+            s.add(r);
+        }
+        s
+    }
+
+    /// Adds (or replaces) a relation schema.
+    pub fn add(&mut self, schema: RelationSchema) -> Arc<RelationSchema> {
+        let arc = Arc::new(schema);
+        self.relations.insert(arc.name().to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Looks up a relation schema by name.
+    pub fn relation(&self, name: &str) -> Option<Arc<RelationSchema>> {
+        self.relations.get(name).cloned()
+    }
+
+    /// Looks up a relation schema, failing with a descriptive error.
+    pub fn require_relation(&self, name: &str) -> DqResult<Arc<RelationSchema>> {
+        self.relation(name).ok_or_else(|| DqError::UnknownRelation {
+            relation: name.to_string(),
+        })
+    }
+
+    /// Iterates over all relation schemas in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<RelationSchema>> {
+        self.relations.values()
+    }
+
+    /// Number of relation schemas.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer() -> RelationSchema {
+        RelationSchema::new(
+            "customer",
+            [
+                ("CC", Domain::Int),
+                ("AC", Domain::Int),
+                ("phn", Domain::Int),
+                ("name", Domain::Text),
+                ("street", Domain::Text),
+                ("city", Domain::Text),
+                ("zip", Domain::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn attribute_lookup_by_name_and_index() {
+        let s = customer();
+        assert_eq!(s.arity(), 7);
+        assert_eq!(s.attr("zip"), 6);
+        assert_eq!(s.attr_index("missing"), None);
+        assert_eq!(s.attr_name(0), "CC");
+        assert!(s.require_attr("nope").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attribute_names_are_rejected() {
+        RelationSchema::new("r", [("A", Domain::Int), ("A", Domain::Text)]);
+    }
+
+    #[test]
+    fn finite_domain_detection() {
+        let s = customer();
+        assert!(!s.has_finite_domain_attribute());
+        let t = RelationSchema::new(
+            "r",
+            [("A", Domain::Bool), ("B", Domain::Text)],
+        );
+        assert!(t.has_finite_domain_attribute());
+        assert_eq!(t.finite_domain_attributes(), vec![0]);
+    }
+
+    #[test]
+    fn finite_domain_membership_and_enumeration() {
+        let ac = Domain::finite_int([212, 718, 646, 347, 917]);
+        assert!(ac.is_finite());
+        assert_eq!(ac.cardinality(), Some(5));
+        assert!(ac.contains(&Value::int(718)));
+        assert!(!ac.contains(&Value::int(131)));
+        assert!(ac.contains(&Value::Null));
+        assert_eq!(ac.enumerate().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn infinite_domain_membership() {
+        assert!(Domain::Int.contains(&Value::int(5)));
+        assert!(!Domain::Int.contains(&Value::str("x")));
+        assert!(Domain::Real.contains(&Value::int(5)));
+        assert!(Domain::Text.contains(&Value::str("x")));
+    }
+
+    #[test]
+    fn fresh_value_avoids_used_constants() {
+        let used = vec![Value::Bool(false)];
+        assert_eq!(Domain::Bool.fresh_value(&used), Some(Value::Bool(true)));
+        let both = vec![Value::Bool(false), Value::Bool(true)];
+        assert_eq!(Domain::Bool.fresh_value(&both), None);
+        let fresh = Domain::Text.fresh_value(&[Value::str("_fresh_0")]).unwrap();
+        assert_ne!(fresh, Value::str("_fresh_0"));
+    }
+
+    #[test]
+    fn domain_compatibility() {
+        assert!(Domain::Int.compatible_with(&Domain::Real));
+        assert!(Domain::Text.compatible_with(&Domain::Text));
+        assert!(!Domain::Text.compatible_with(&Domain::Int));
+        let f = Domain::finite_str(["a", "b"]);
+        assert!(f.compatible_with(&Domain::Text));
+    }
+
+    #[test]
+    fn database_schema_lookup() {
+        let mut db = DatabaseSchema::new();
+        db.add(customer());
+        assert!(db.relation("customer").is_some());
+        assert!(db.relation("order").is_none());
+        assert!(db.require_relation("order").is_err());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = RelationSchema::new("r", [("A", Domain::Bool)]);
+        assert_eq!(s.to_string(), "r(A: bool)");
+        assert_eq!(Domain::finite_int([1, 2, 3]).to_string(), "finite[3]");
+    }
+}

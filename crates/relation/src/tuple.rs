@@ -1,0 +1,155 @@
+//! Tuples and cell addressing.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple: an ordered list of values, positionally aligned with a
+/// [`crate::schema::RelationSchema`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Creates a tuple from anything convertible into values, e.g.
+    /// `Tuple::from_iter(["44", "131"])`.
+    pub fn from_values<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at position `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Mutable access to the value at position `idx` (used by repairs).
+    pub fn get_mut(&mut self, idx: usize) -> &mut Value {
+        &mut self.values[idx]
+    }
+
+    /// Replaces the value at position `idx`, returning the previous value.
+    pub fn set(&mut self, idx: usize, value: Value) -> Value {
+        std::mem::replace(&mut self.values[idx], value)
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Projection `t[X]` onto a list of attribute positions.
+    pub fn project(&self, attrs: &[usize]) -> Vec<Value> {
+        attrs.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// Projection returning borrowed values (used for hashing/grouping
+    /// without cloning).
+    pub fn project_ref<'a>(&'a self, attrs: &[usize]) -> Vec<&'a Value> {
+        attrs.iter().map(|&i| &self.values[i]).collect()
+    }
+
+    /// Do `self` and `other` agree on the attribute positions `attrs`?
+    pub fn agree_on(&self, other: &Tuple, attrs: &[usize]) -> bool {
+        attrs.iter().all(|&i| self.values[i] == other.values[i])
+    }
+
+    /// Concatenates two tuples (used by Cartesian product views).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t1() -> Tuple {
+        Tuple::from_values([
+            Value::int(44),
+            Value::int(131),
+            Value::str("Mike"),
+            Value::str("EH4 8LE"),
+        ])
+    }
+
+    #[test]
+    fn projection_preserves_order_of_requested_attributes() {
+        let t = t1();
+        assert_eq!(
+            t.project(&[3, 0]),
+            vec![Value::str("EH4 8LE"), Value::int(44)]
+        );
+        assert_eq!(t.project(&[]), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn agreement_on_attribute_lists() {
+        let a = t1();
+        let mut b = t1();
+        assert!(a.agree_on(&b, &[0, 1, 2, 3]));
+        b.set(2, Value::str("Rick"));
+        assert!(a.agree_on(&b, &[0, 1, 3]));
+        assert!(!a.agree_on(&b, &[2]));
+    }
+
+    #[test]
+    fn set_returns_previous_value() {
+        let mut t = t1();
+        let old = t.set(2, Value::str("Joe"));
+        assert_eq!(old, Value::str("Mike"));
+        assert_eq!(t.get(2), &Value::str("Joe"));
+    }
+
+    #[test]
+    fn concat_appends_values() {
+        let a = Tuple::from_values([Value::int(1)]);
+        let b = Tuple::from_values([Value::int(2), Value::int(3)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2), &Value::int(3));
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let t = Tuple::from_values([Value::int(1), Value::str("x")]);
+        assert_eq!(t.to_string(), "(1, x)");
+    }
+}

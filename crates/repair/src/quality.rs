@@ -1,0 +1,154 @@
+//! Repair quality: precision and recall of the fixes (Section 5.3 remarks).
+//!
+//! The paper notes that repairing algorithms cannot come with guaranteed
+//! precision ("the ratio of the number of errors correctly fixed to the
+//! total number of changes made") and recall ("the ratio of the number of
+//! errors correctly fixed to the total number of errors"); the benchmark
+//! therefore *measures* them on synthetic workloads where the ground truth
+//! is known (a clean instance plus injected errors).
+
+use dq_relation::{RelationInstance, TupleId};
+use std::collections::BTreeSet;
+
+/// Precision / recall / F1 of a repair against the known-clean instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepairQuality {
+    /// Cells whose repaired value equals the clean value, over all changed
+    /// cells.
+    pub precision: f64,
+    /// Errors (cells where dirty differs from clean) restored to the clean
+    /// value, over all errors.
+    pub recall: f64,
+    /// Harmonic mean of the two.
+    pub f1: f64,
+    /// Number of injected errors.
+    pub errors: usize,
+    /// Number of cells the repair changed.
+    pub changes: usize,
+}
+
+/// Cells `(tuple, attr)` where the two instances differ (tuples aligned by
+/// id; tuples missing from either side are ignored).
+pub fn differing_cells(a: &RelationInstance, b: &RelationInstance) -> BTreeSet<(TupleId, usize)> {
+    let mut out = BTreeSet::new();
+    for (id, ta) in a.iter() {
+        if let Some(tb) = b.tuple(id) {
+            for attr in 0..ta.arity() {
+                if ta.get(attr) != tb.get(attr) {
+                    out.insert((id, attr));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scores a repair: `clean` is the ground truth, `dirty` the instance with
+/// injected errors, `repaired` the algorithm's output.
+pub fn score_repair(
+    clean: &RelationInstance,
+    dirty: &RelationInstance,
+    repaired: &RelationInstance,
+) -> RepairQuality {
+    let errors = differing_cells(clean, dirty);
+    let changes = differing_cells(dirty, repaired);
+    let correctly_fixed: usize = changes
+        .iter()
+        .filter(|(id, attr)| {
+            let truth = clean.tuple(*id).map(|t| t.get(*attr));
+            let fixed = repaired.tuple(*id).map(|t| t.get(*attr));
+            truth.is_some() && truth == fixed
+        })
+        .count();
+    let precision = if changes.is_empty() {
+        1.0
+    } else {
+        correctly_fixed as f64 / changes.len() as f64
+    };
+    let recall = if errors.is_empty() {
+        1.0
+    } else {
+        correctly_fixed as f64 / errors.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    RepairQuality {
+        precision,
+        recall,
+        f1,
+        errors: errors.len(),
+        changes: changes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_relation::{Domain, RelationSchema, Value};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::new(
+            "r",
+            [("A", Domain::Text), ("B", Domain::Text)],
+        ))
+    }
+
+    fn instance(rows: &[(&str, &str)]) -> RelationInstance {
+        let mut inst = RelationInstance::new(schema());
+        for (a, b) in rows {
+            inst.insert_values([Value::str(*a), Value::str(*b)]).unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn perfect_repair_scores_one() {
+        let clean = instance(&[("k", "x"), ("z", "y")]);
+        let dirty = instance(&[("k", "BAD"), ("z", "y")]);
+        let repaired = clean.clone();
+        let q = score_repair(&clean, &dirty, &repaired);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.errors, 1);
+        assert_eq!(q.changes, 1);
+    }
+
+    #[test]
+    fn wrong_fixes_lower_precision_unfixed_errors_lower_recall() {
+        let clean = instance(&[("k", "x"), ("z", "y"), ("w", "v")]);
+        // Two errors.
+        let dirty = instance(&[("k", "BAD"), ("z", "ALSO BAD"), ("w", "v")]);
+        // Repair fixes the first error correctly, leaves the second, and
+        // gratuitously changes a correct cell.
+        let repaired = instance(&[("k", "x"), ("z", "ALSO BAD"), ("w", "WRONG")]);
+        let q = score_repair(&clean, &dirty, &repaired);
+        assert_eq!(q.errors, 2);
+        assert_eq!(q.changes, 2);
+        assert!((q.precision - 0.5).abs() < 1e-9);
+        assert!((q.recall - 0.5).abs() < 1e-9);
+        assert!(q.f1 > 0.0 && q.f1 < 1.0);
+    }
+
+    #[test]
+    fn no_changes_on_clean_data_is_perfect() {
+        let clean = instance(&[("k", "x")]);
+        let q = score_repair(&clean, &clean, &clean);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.errors, 0);
+        assert_eq!(q.changes, 0);
+    }
+
+    #[test]
+    fn differing_cells_alignment() {
+        let a = instance(&[("k", "x"), ("z", "y")]);
+        let b = instance(&[("k", "x"), ("z", "CHANGED")]);
+        let d = differing_cells(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&(TupleId(1), 1)));
+    }
+}

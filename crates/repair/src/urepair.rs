@@ -1,0 +1,351 @@
+//! Heuristic U-repair for (C)FDs by value modification (Section 5.1).
+//!
+//! Follows the equivalence-class approach of [16]/[28]: constant (single-
+//! tuple) violations are resolved by writing the pattern constant into the
+//! offending cell, and variable (pair) violations are resolved by merging the
+//! RHS cells of tuples that agree on the LHS into an equivalence class and
+//! assigning the whole class the value that minimizes the weighted repair
+//! cost (a confidence-weighted plurality vote).  Fixes can expose new
+//! violations, so the procedure iterates to a fixpoint, with a round bound as
+//! a safety net (finding a *minimum-cost* repair is NP-complete, Theorem 5.1;
+//! the heuristic trades optimality for termination).
+
+use crate::model::{RepairCost, RepairLog};
+use dq_core::{detect_cfd_violations, Cfd, CfdViolation, PatternValue};
+use dq_relation::{HashIndex, RelationInstance, TupleId, Value};
+use std::collections::BTreeMap;
+
+/// Configuration of the heuristic repair.
+#[derive(Clone, Debug)]
+pub struct RepairConfig {
+    /// Maximum number of fixpoint rounds before giving up.
+    pub max_rounds: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig { max_rounds: 25 }
+    }
+}
+
+/// Outcome of the heuristic repair.
+#[derive(Clone, Debug)]
+pub struct RepairOutcome {
+    /// The repaired instance.
+    pub repaired: RelationInstance,
+    /// The changes made.
+    pub log: RepairLog,
+    /// Whether the result satisfies every input CFD (the heuristic can fail
+    /// to converge when the CFD set is inconsistent or the bound is hit).
+    pub consistent: bool,
+    /// Number of rounds used.
+    pub rounds: usize,
+}
+
+/// Repairs `instance` against `cfds` by value modification.
+pub fn repair_cfd_violations(
+    instance: &RelationInstance,
+    cfds: &[Cfd],
+    cost: &RepairCost,
+    config: &RepairConfig,
+) -> RepairOutcome {
+    let mut repaired = instance.clone();
+    let mut log = RepairLog::default();
+    let normalized: Vec<Cfd> = cfds.iter().flat_map(|c| c.normalize()).collect();
+    let mut rounds = 0;
+
+    while rounds < config.max_rounds {
+        rounds += 1;
+        let mut changed = false;
+
+        // Phase 1: constant violations — write the required constant.
+        for cfd in &normalized {
+            let tp = &cfd.tableau()[0];
+            let b = cfd.rhs()[0];
+            let PatternValue::Const(required) = &tp.rhs[0] else {
+                continue;
+            };
+            let violating: Vec<TupleId> = cfd
+                .violations(&repaired)
+                .into_iter()
+                .filter_map(|v| match v {
+                    CfdViolation::SingleTuple { tuple, .. } => Some(tuple),
+                    CfdViolation::TuplePair { .. } => None,
+                })
+                .collect();
+            for id in violating {
+                let old = repaired
+                    .tuple(id)
+                    .expect("violating tuple is live")
+                    .get(b)
+                    .clone();
+                if &old == required {
+                    continue;
+                }
+                repaired.update_cell(
+                    dq_relation::instance::CellRef::new(id, b),
+                    required.clone(),
+                );
+                log.cost += cost.cell_cost(id, b, &old, required);
+                log.modified.push((id, b, old, required.clone()));
+                changed = true;
+            }
+        }
+
+        // Phase 2: variable violations — equivalence classes per LHS group.
+        for cfd in &normalized {
+            let tp = &cfd.tableau()[0];
+            let b = cfd.rhs()[0];
+            if !tp.rhs[0].is_any() {
+                continue; // constant case handled above
+            }
+            let index = HashIndex::build(&repaired, cfd.lhs());
+            // Collect target assignments first, then apply, to avoid holding
+            // borrows across mutations.
+            let mut assignments: Vec<(TupleId, Value)> = Vec::new();
+            for (key, group) in index.multi_groups() {
+                let matches_pattern = tp
+                    .lhs
+                    .iter()
+                    .zip(key.iter())
+                    .all(|(p, v)| p.matches(v));
+                if !matches_pattern || group.len() < 2 {
+                    continue;
+                }
+                // Confidence-weighted vote over the current B values of the
+                // class: keeping the value held by high-confidence cells
+                // minimizes the cost of rewriting the others.
+                let mut votes: BTreeMap<Value, f64> = BTreeMap::new();
+                for &id in group {
+                    let v = repaired.tuple(id).expect("live tuple").get(b).clone();
+                    *votes.entry(v).or_insert(0.0) += cost.weight(id, b);
+                }
+                if votes.len() <= 1 {
+                    continue;
+                }
+                let target = votes
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(v, _)| v.clone())
+                    .expect("non-empty vote");
+                for &id in group {
+                    let current = repaired.tuple(id).expect("live tuple").get(b).clone();
+                    if current != target {
+                        assignments.push((id, target.clone()));
+                    }
+                }
+            }
+            for (id, target) in assignments {
+                let old = repaired
+                    .tuple(id)
+                    .expect("live tuple")
+                    .get(b)
+                    .clone();
+                repaired.update_cell(dq_relation::instance::CellRef::new(id, b), target.clone());
+                log.cost += cost.cell_cost(id, b, &old, &target);
+                log.modified.push((id, b, old, target));
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let consistent = detect_cfd_violations(&repaired, cfds).is_clean();
+    RepairOutcome {
+        repaired,
+        log,
+        consistent,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::check_u_repair;
+    use dq_core::{cst, wild, Fd, PatternTuple};
+    use dq_relation::{Domain, RelationSchema};
+    use std::sync::Arc;
+
+    fn customer_schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::new(
+            "customer",
+            [
+                ("CC", Domain::Int),
+                ("AC", Domain::Int),
+                ("phn", Domain::Int),
+                ("street", Domain::Text),
+                ("city", Domain::Text),
+                ("zip", Domain::Text),
+            ],
+        ))
+    }
+
+    fn d0(schema: &Arc<RelationSchema>) -> RelationInstance {
+        let mut inst = RelationInstance::new(Arc::clone(schema));
+        for (cc, ac, phn, street, city, zip) in [
+            (44, 131, 1234567, "Mayfield", "NYC", "EH4 8LE"),
+            (44, 131, 3456789, "Crichton", "NYC", "EH4 8LE"),
+            (1, 908, 3456789, "Mtn Ave", "NYC", "07974"),
+        ] {
+            inst.insert_values([
+                Value::int(cc),
+                Value::int(ac),
+                Value::int(phn),
+                Value::str(street),
+                Value::str(city),
+                Value::str(zip),
+            ])
+            .unwrap();
+        }
+        inst
+    }
+
+    fn paper_cfds(schema: &Arc<RelationSchema>) -> Vec<Cfd> {
+        vec![
+            Cfd::new(
+                schema,
+                &["CC", "zip"],
+                &["street"],
+                vec![PatternTuple::new(vec![cst(44), wild()], vec![wild()])],
+            )
+            .unwrap(),
+            Cfd::new(
+                schema,
+                &["CC", "AC", "phn"],
+                &["street", "city", "zip"],
+                vec![
+                    PatternTuple::all_wildcards(3, 3),
+                    PatternTuple::new(
+                        vec![cst(44), cst(131), wild()],
+                        vec![wild(), cst("EDI"), wild()],
+                    ),
+                    PatternTuple::new(
+                        vec![cst(1), cst(908), wild()],
+                        vec![wild(), cst("MH"), wild()],
+                    ),
+                ],
+            )
+            .unwrap(),
+            Cfd::new(
+                schema,
+                &["CC", "AC"],
+                &["city"],
+                vec![PatternTuple::all_wildcards(2, 1)],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn repairs_the_paper_instance_to_consistency() {
+        let s = customer_schema();
+        let dirty = d0(&s);
+        let cfds = paper_cfds(&s);
+        assert!(!detect_cfd_violations(&dirty, &cfds).is_clean());
+        let outcome = repair_cfd_violations(
+            &dirty,
+            &cfds,
+            &RepairCost::uniform(),
+            &RepairConfig::default(),
+        );
+        assert!(outcome.consistent, "repair did not converge");
+        assert!(check_u_repair(&dirty, &outcome.repaired, &cfds));
+        assert!(outcome.log.change_count() > 0);
+        assert!(outcome.log.cost > 0.0);
+        // The cities have been corrected to the pattern constants.
+        let city = s.attr("city");
+        assert_eq!(
+            outcome.repaired.tuple(TupleId(0)).unwrap().get(city),
+            &Value::str("EDI")
+        );
+        assert_eq!(
+            outcome.repaired.tuple(TupleId(2)).unwrap().get(city),
+            &Value::str("MH")
+        );
+    }
+
+    #[test]
+    fn clean_instances_are_untouched() {
+        let s = customer_schema();
+        let mut clean = RelationInstance::new(Arc::clone(&s));
+        clean
+            .insert_values([
+                Value::int(44),
+                Value::int(131),
+                Value::int(1),
+                Value::str("Mayfield"),
+                Value::str("EDI"),
+                Value::str("EH4"),
+            ])
+            .unwrap();
+        let cfds = paper_cfds(&s);
+        let outcome = repair_cfd_violations(
+            &clean,
+            &cfds,
+            &RepairCost::uniform(),
+            &RepairConfig::default(),
+        );
+        assert!(outcome.consistent);
+        assert_eq!(outcome.log.change_count(), 0);
+        assert!(clean.same_tuples_as(&outcome.repaired));
+    }
+
+    #[test]
+    fn variable_violations_are_resolved_by_plurality() {
+        let s = Arc::new(RelationSchema::new(
+            "r",
+            [("A", Domain::Text), ("B", Domain::Text)],
+        ));
+        let fd = Cfd::from_fd(&Fd::new(&s, &["A"], &["B"]));
+        let mut inst = RelationInstance::new(Arc::clone(&s));
+        for b in ["x", "x", "y"] {
+            inst.insert_values([Value::str("k"), Value::str(b)]).unwrap();
+        }
+        let outcome = repair_cfd_violations(
+            &inst,
+            &[fd.clone()],
+            &RepairCost::uniform(),
+            &RepairConfig::default(),
+        );
+        assert!(outcome.consistent);
+        // The minority value is rewritten to the plurality value.
+        for (_, t) in outcome.repaired.iter() {
+            assert_eq!(t.get(1), &Value::str("x"));
+        }
+        assert_eq!(outcome.log.change_count(), 1);
+    }
+
+    #[test]
+    fn inconsistent_cfd_sets_do_not_loop_forever() {
+        // Two CFDs forcing different constants on the same attribute for the
+        // same tuples: the heuristic cannot succeed but must terminate.
+        let s = Arc::new(RelationSchema::new(
+            "r",
+            [("A", Domain::Text), ("B", Domain::Text)],
+        ));
+        let c1 = Cfd::new(
+            &s,
+            &["A"],
+            &["B"],
+            vec![PatternTuple::new(vec![wild()], vec![cst("p")])],
+        )
+        .unwrap();
+        let c2 = Cfd::new(
+            &s,
+            &["A"],
+            &["B"],
+            vec![PatternTuple::new(vec![wild()], vec![cst("q")])],
+        )
+        .unwrap();
+        let mut inst = RelationInstance::new(Arc::clone(&s));
+        inst.insert_values([Value::str("k"), Value::str("p")]).unwrap();
+        let config = RepairConfig { max_rounds: 5 };
+        let outcome = repair_cfd_violations(&inst, &[c1, c2], &RepairCost::uniform(), &config);
+        assert!(!outcome.consistent);
+        assert!(outcome.rounds <= 5);
+    }
+}

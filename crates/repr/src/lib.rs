@@ -1,0 +1,30 @@
+//! # dq-repr
+//!
+//! Condensed representations of all repairs (Section 5.3 of Fan, PODS 2008).
+//!
+//! * [`vtable`] — tableaux with variables (v-tables), valuations,
+//!   homomorphisms and subsumption;
+//! * [`nucleus`] — the nucleus of an instance under an FD/key: a single
+//!   v-table homomorphic to every U-repair, with naive conjunctive-query
+//!   evaluation returning consistent answers;
+//! * [`wsd`] — world-set decompositions of key repairs: a product
+//!   representation that is exponentially more succinct than enumerating the
+//!   repairs;
+//! * [`ctable`] — conditional tables: v-tables with local conditions, the
+//!   strong representation system of [46, 50] instantiated here to represent
+//!   all subset repairs of a key.
+
+pub mod ctable;
+pub mod nucleus;
+pub mod vtable;
+pub mod wsd;
+
+/// Frequently used items.
+pub mod prelude {
+    pub use crate::ctable::{CTable, CTuple, CondAtom, CondOp};
+    pub use crate::nucleus::{evaluate_on_nucleus, nucleus_for_fd, nucleus_stats, NucleusStats};
+    pub use crate::vtable::{VTable, VTuple, VValue};
+    pub use crate::wsd::{Component, WorldSetDecomposition};
+}
+
+pub use prelude::*;

@@ -1,0 +1,185 @@
+//! Cross-crate integration of the unified cleaning pipeline (repair + object
+//! identification with master data, Sections 5.1/6) and of the condensed
+//! representations and aggregate-range machinery (Sections 5.2/5.3).
+
+use dataquality::prelude::*;
+use dq_gen::customer::{customer_schema, paper_cfds};
+use dq_gen::master::{generate_master_workload, MasterConfig};
+use dq_repair::numeric::{repair_numeric_violations, NumericRepairConfig};
+use dq_repr::ctable::CTable;
+use dq_relation::{Domain, RelationInstance, RelationSchema, TupleId, Value};
+use std::sync::Arc;
+
+fn master_rules() -> Vec<RelativeKey> {
+    let schema = customer_schema();
+    vec![RelativeKey::new(
+        &schema,
+        &schema,
+        vec![
+            ("phn", "phn", SimilarityOp::Equality),
+            ("name", "name", SimilarityOp::edit(12)),
+        ],
+        &["street", "city", "zip"],
+        &["street", "city", "zip"],
+    )
+    .expect("well-formed relative key")]
+}
+
+fn fusion_attrs() -> Vec<usize> {
+    let s = customer_schema();
+    vec![s.attr("street"), s.attr("city"), s.attr("zip")]
+}
+
+#[test]
+fn unified_cleaning_beats_blind_repair_across_error_rates() {
+    for &error_rate in &[0.1, 0.3] {
+        let w = generate_master_workload(&MasterConfig {
+            entities: 400,
+            error_rate,
+            name_variation_rate: 0.5,
+            seed: 17,
+        });
+        let unified = CleaningPipeline::with_master(
+            paper_cfds(),
+            MasterData::new(w.master.clone()),
+            master_rules(),
+            fusion_attrs(),
+        )
+        .run(&w.dirty);
+        let blind = CleaningPipeline::repair_only(paper_cfds()).run(&w.dirty);
+        let q_unified = score_repair(&w.clean, &w.dirty, &unified.cleaned);
+        let q_blind = score_repair(&w.clean, &w.dirty, &blind.cleaned);
+        assert!(unified.consistent);
+        assert!(
+            q_unified.f1 > q_blind.f1,
+            "error rate {error_rate}: unified {q_unified:?} must beat blind {q_blind:?}"
+        );
+        assert!(q_unified.recall > 0.95, "master data covers the corrupted attributes");
+    }
+}
+
+#[test]
+fn pipeline_without_matching_rules_degenerates_to_blind_repair() {
+    let w = generate_master_workload(&MasterConfig {
+        entities: 200,
+        error_rate: 0.2,
+        name_variation_rate: 0.4,
+        seed: 23,
+    });
+    let no_rules = CleaningPipeline::with_master(
+        paper_cfds(),
+        MasterData::new(w.master.clone()),
+        Vec::new(),
+        fusion_attrs(),
+    )
+    .run(&w.dirty);
+    let blind = CleaningPipeline::repair_only(paper_cfds()).run(&w.dirty);
+    assert_eq!(no_rules.master_matches, 0);
+    assert_eq!(no_rules.fusion_changes, 0);
+    assert!(no_rules.cleaned.same_tuples_as(&blind.cleaned));
+}
+
+#[test]
+fn ctable_worlds_agree_with_wsd_and_enumeration() {
+    // A small key-violating instance; the c-table, the WSD and the explicit
+    // repair enumeration must represent the same set of repairs.
+    let schema = Arc::new(RelationSchema::new(
+        "r",
+        [("a", Domain::Text), ("b", Domain::Int)],
+    ));
+    let mut inst = RelationInstance::new(Arc::clone(&schema));
+    for (a, b) in [("x", 1), ("x", 2), ("y", 7), ("z", 3), ("z", 4), ("z", 5)] {
+        inst.insert_values([Value::str(a), Value::int(b)]).unwrap();
+    }
+    let key = Fd::new(&schema, &["a"], &["b"]);
+    let ctable = CTable::from_key_repairs(&inst, &key);
+    let wsd = WorldSetDecomposition::for_key(&inst, &key);
+    assert_eq!(ctable.world_count(), wsd.world_count());
+    assert_eq!(ctable.world_count(), 6);
+
+    let constraints = DenialConstraint::from_fd(&key);
+    let repairs = enumerate_repairs(&inst, &constraints);
+    assert_eq!(repairs.len() as u128, ctable.world_count());
+    // Every c-table world is one of the enumerated repairs.
+    for world in ctable.worlds() {
+        assert!(
+            repairs.iter().any(|r| r.same_tuples_as(&world)),
+            "c-table world not found among the enumerated repairs"
+        );
+    }
+}
+
+#[test]
+fn aggregate_ranges_bound_every_repair_of_the_ctable() {
+    let schema = Arc::new(RelationSchema::new(
+        "salary",
+        [("emp", Domain::Text), ("amount", Domain::Int)],
+    ));
+    let mut inst = RelationInstance::new(Arc::clone(&schema));
+    for (e, a) in [("ann", 10), ("ann", 25), ("bob", 5), ("eve", 3), ("eve", 30)] {
+        inst.insert_values([Value::str(e), Value::int(a)]).unwrap();
+    }
+    let key = Fd::new(&schema, &["emp"], &["amount"]);
+    let ctable = CTable::from_key_repairs(&inst, &key);
+    for agg in [AggregateFn::Sum, AggregateFn::Min, AggregateFn::Max, AggregateFn::Count] {
+        let range = range_consistent_aggregate(&inst, &[0], agg, 1);
+        for world in ctable.worlds() {
+            let value = aggregate_on(&world, agg, 1);
+            assert!(
+                range.contains(value),
+                "{agg:?} = {value} outside [{}, {}]",
+                range.lower,
+                range.upper
+            );
+        }
+    }
+}
+
+#[test]
+fn numeric_repair_composes_with_cfd_repair() {
+    // A relation with both a CFD-style error (wrong city constant) and a
+    // numeric range error; the two repair algorithms fix their own classes
+    // and compose to a fully consistent instance.
+    let schema = Arc::new(RelationSchema::new(
+        "emp",
+        [
+            ("dept", Domain::Text),
+            ("site", Domain::Text),
+            ("age", Domain::Int),
+        ],
+    ));
+    let mut inst = RelationInstance::new(Arc::clone(&schema));
+    inst.insert_values([Value::str("db"), Value::str("EDI"), Value::int(44)]).unwrap();
+    inst.insert_values([Value::str("db"), Value::str("NYC"), Value::int(220)]).unwrap();
+    inst.insert_values([Value::str("ml"), Value::str("SF"), Value::int(31)]).unwrap();
+
+    // dept = db → site = EDI.
+    let cfd = Cfd::new(
+        &schema,
+        &["dept"],
+        &["site"],
+        vec![PatternTuple::new(vec![cst("db")], vec![cst("EDI")])],
+    )
+    .unwrap();
+    // ¬(age > 150).
+    let dc = DenialConstraint::new(
+        "emp",
+        1,
+        vec![DcPredicate::new(
+            DcTerm::attr(0, 2),
+            dq_relation::CompOp::Gt,
+            DcTerm::val(150i64),
+        )],
+    );
+
+    let after_cfd = repair_cfd_violations(&inst, &[cfd.clone()], &RepairCost::uniform(), &RepairConfig::default());
+    assert!(after_cfd.consistent);
+    let after_numeric = repair_numeric_violations(&after_cfd.repaired, &[dc.clone()], &NumericRepairConfig::default());
+    assert!(after_numeric.consistent);
+    assert!(cfd.holds_on(&after_numeric.repaired));
+    assert!(dc.holds_on(&after_numeric.repaired));
+    assert_eq!(
+        after_numeric.repaired.tuple(TupleId(1)).unwrap().get(2).as_int(),
+        Some(150)
+    );
+}

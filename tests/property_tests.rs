@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the algorithms rely on.
+
+use dataquality::prelude::*;
+use dq_relation::{Domain, RelationInstance, RelationSchema, Tuple, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..4).prop_map(Value::int),
+        "[a-c]{1,3}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::bool),
+    ]
+}
+
+fn text_value() -> impl Strategy<Value = Value> {
+    "[a-d]{1,4}".prop_map(Value::str)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The match operator ≍ is reflexive on constants and `_` matches
+    /// everything; pattern subsumption is consistent with matching.
+    #[test]
+    fn pattern_match_operator_laws(v in small_value(), w in small_value()) {
+        prop_assert!(wild().matches(&v));
+        prop_assert!(cst(v.clone()).matches(&v));
+        let p = cst(v.clone());
+        let q = cst(w.clone());
+        // If p subsumes q (p at least as restrictive as the more general q),
+        // then whenever p matches a value, q matches it too ... subsumption
+        // here is between pattern entries: constants subsume wildcards.
+        prop_assert!(p.subsumes(&wild()));
+        if p.subsumes(&q) {
+            prop_assert!(q.matches(&v));
+        }
+    }
+
+    /// Value distance is symmetric, zero on equal values and bounded by 1.
+    #[test]
+    fn value_distance_is_a_bounded_symmetric_dissimilarity(a in small_value(), b in small_value()) {
+        let d_ab = dq_relation::value_distance(&a, &b);
+        let d_ba = dq_relation::value_distance(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert_eq!(dq_relation::value_distance(&a, &a), 0.0);
+    }
+
+    /// Levenshtein distance satisfies identity, symmetry and the triangle
+    /// inequality on short strings.
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-c]{0,5}", b in "[a-c]{0,5}", c in "[a-c]{0,5}") {
+        let ab = dq_relation::levenshtein(&a, &b);
+        let ba = dq_relation::levenshtein(&b, &a);
+        let ac = dq_relation::levenshtein(&a, &c);
+        let cb = dq_relation::levenshtein(&c, &b);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(dq_relation::levenshtein(&a, &a), 0);
+        prop_assert!(ab <= ac + cb);
+    }
+
+    /// Similarity operators are reflexive, symmetric and subsume equality.
+    #[test]
+    fn similarity_operator_axioms(a in "[a-d]{1,6}", b in "[a-d]{1,6}", threshold in 0usize..4) {
+        let ops = [
+            SimilarityOp::Equality,
+            SimilarityOp::edit(threshold),
+            SimilarityOp::jaro(0.7),
+            SimilarityOp::qgram(2, 0.5),
+        ];
+        let va = Value::str(a.clone());
+        let vb = Value::str(b.clone());
+        for op in &ops {
+            prop_assert!(op.related(&va, &va));
+            prop_assert_eq!(op.related(&va, &vb), op.related(&vb, &va));
+            if a == b {
+                prop_assert!(op.related(&va, &vb));
+            }
+        }
+    }
+
+    /// FD attribute closure is monotone, idempotent and contains its input.
+    #[test]
+    fn fd_closure_is_a_closure_operator(seed_attrs in proptest::collection::vec(0usize..4, 1..3)) {
+        let schema = Arc::new(RelationSchema::new(
+            "r",
+            [("A", Domain::Text), ("B", Domain::Text), ("C", Domain::Text), ("D", Domain::Text)],
+        ));
+        let fds = vec![
+            Fd::new(&schema, &["A"], &["B"]),
+            Fd::new(&schema, &["B", "C"], &["D"]),
+        ];
+        let closure = attribute_closure(&seed_attrs, &fds);
+        for a in &seed_attrs {
+            prop_assert!(closure.contains(a));
+        }
+        let twice = attribute_closure(&closure.iter().copied().collect::<Vec<_>>(), &fds);
+        prop_assert_eq!(closure.clone(), twice);
+        // Monotonicity: extending the seed can only grow the closure.
+        let mut bigger = seed_attrs.clone();
+        bigger.push(2);
+        let bigger_closure = attribute_closure(&bigger, &fds);
+        prop_assert!(closure.is_subset(&bigger_closure));
+    }
+
+    /// CFD normalization preserves satisfaction on arbitrary small instances.
+    #[test]
+    fn cfd_normalization_preserves_satisfaction(
+        rows in proptest::collection::vec((text_value(), text_value(), text_value()), 0..8),
+        use_constant in any::<bool>(),
+    ) {
+        let schema = Arc::new(RelationSchema::new(
+            "r",
+            [("A", Domain::Text), ("B", Domain::Text), ("C", Domain::Text)],
+        ));
+        let mut instance = RelationInstance::new(Arc::clone(&schema));
+        for (a, b, c) in rows {
+            instance.insert(Tuple::new(vec![a, b, c])).unwrap();
+        }
+        let rhs_pattern = if use_constant { cst("a") } else { wild() };
+        let cfd = Cfd::new(
+            &schema,
+            &["A"],
+            &["B", "C"],
+            vec![
+                PatternTuple::new(vec![cst("a")], vec![rhs_pattern.clone(), wild()]),
+                PatternTuple::new(vec![wild()], vec![wild(), wild()]),
+            ],
+        ).unwrap();
+        let normalized = cfd.normalize();
+        prop_assert_eq!(
+            cfd.holds_on(&instance),
+            normalized.iter().all(|c| c.holds_on(&instance))
+        );
+    }
+
+    /// The heuristic U-repair always terminates and, when it reports
+    /// consistency, its output really satisfies the CFDs and only differs
+    /// from the input in attribute values (same tuple ids).
+    #[test]
+    fn urepair_outputs_are_real_repairs(
+        rows in proptest::collection::vec((0i64..3, text_value()), 1..10),
+    ) {
+        let schema = Arc::new(RelationSchema::new(
+            "r",
+            [("A", Domain::Int), ("B", Domain::Text)],
+        ));
+        let mut instance = RelationInstance::new(Arc::clone(&schema));
+        for (a, b) in rows {
+            instance.insert(Tuple::new(vec![Value::int(a), b])).unwrap();
+        }
+        let cfds = vec![Cfd::from_fd(&Fd::new(&schema, &["A"], &["B"]))];
+        let outcome = repair_cfd_violations(
+            &instance,
+            &cfds,
+            &RepairCost::uniform(),
+            &RepairConfig::default(),
+        );
+        prop_assert!(outcome.consistent);
+        prop_assert!(check_u_repair(&instance, &outcome.repaired, &cfds));
+        prop_assert_eq!(instance.len(), outcome.repaired.len());
+    }
+
+    /// Deletion-based repair always yields a consistent maximal subset.
+    #[test]
+    fn deletion_repairs_are_x_repairs(
+        rows in proptest::collection::vec((0i64..3, 0i64..3), 1..9),
+    ) {
+        let schema = Arc::new(RelationSchema::new(
+            "r",
+            [("A", Domain::Int), ("B", Domain::Int)],
+        ));
+        let mut instance = RelationInstance::new(Arc::clone(&schema));
+        for (a, b) in rows {
+            instance.insert(Tuple::new(vec![Value::int(a), Value::int(b)])).unwrap();
+        }
+        let constraints = DenialConstraint::from_fd(&Fd::new(&schema, &["A"], &["B"]));
+        let outcome = repair_by_deletion(&instance, &constraints);
+        prop_assert!(constraints.iter().all(|c| c.holds_on(&outcome.repaired)));
+        prop_assert!(check_x_repair(&instance, &outcome.repaired, &constraints));
+    }
+
+    /// The nucleus of an instance under a key is homomorphic to every repair
+    /// and never larger than the instance.
+    #[test]
+    fn nucleus_invariants(
+        rows in proptest::collection::vec((0i64..3, 0i64..3), 1..7),
+    ) {
+        let schema = Arc::new(RelationSchema::new(
+            "r",
+            [("A", Domain::Int), ("B", Domain::Int)],
+        ));
+        let mut instance = RelationInstance::new(Arc::clone(&schema));
+        for (a, b) in rows {
+            instance.insert(Tuple::new(vec![Value::int(a), Value::int(b)])).unwrap();
+        }
+        let key = Fd::new(&schema, &["A"], &["B"]);
+        let nucleus = nucleus_for_fd(&instance, &key);
+        prop_assert!(nucleus.len() <= instance.len());
+        let constraints = DenialConstraint::from_fd(&key);
+        for repair in enumerate_repairs(&instance, &constraints) {
+            prop_assert!(nucleus.homomorphic_to(&repair));
+        }
+    }
+
+    /// MD implication is reflexive and monotone in Σ.
+    #[test]
+    fn md_implication_reflexive_and_monotone(which in 0usize..4) {
+        let card = dq_gen::cards::card_schema();
+        let billing = dq_gen::cards::billing_schema();
+        let sigma = example_3_1_mds(&card, &billing);
+        let phi = sigma[which].clone();
+        prop_assert!(md_implies(&sigma, &phi));
+        prop_assert!(md_implies(&[phi.clone()], &phi));
+        // Removing unrelated MDs never turns an implication of the single
+        // dependency itself into a non-implication.
+        prop_assert!(md_implies(&sigma[which..=which], &phi));
+    }
+}
