@@ -21,6 +21,19 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cfd_detection", size), &size, |b, _| {
             b.iter(|| detect_cfd_violations(&workload.dirty, &cfds).total())
         });
+        // The shared-index parallel engine, cold (fresh pool every call) and
+        // warm (pool amortized across calls on the unchanged instance).
+        group.bench_with_input(BenchmarkId::new("engine_cold", size), &size, |b, _| {
+            b.iter(|| {
+                DetectionEngine::new()
+                    .detect_cfd_violations(&workload.dirty, &cfds)
+                    .total()
+            })
+        });
+        let engine = DetectionEngine::new();
+        group.bench_with_input(BenchmarkId::new("engine_warm", size), &size, |b, _| {
+            b.iter(|| engine.detect_cfd_violations(&workload.dirty, &cfds).total())
+        });
         group.bench_with_input(BenchmarkId::new("fd_baseline", size), &size, |b, _| {
             b.iter(|| {
                 fds.iter()
@@ -36,9 +49,23 @@ fn bench(c: &mut Criterion) {
             .iter()
             .map(|(_, t)| extended.insert(t.clone()).expect("compatible schema"))
             .collect();
-        group.bench_with_input(BenchmarkId::new("incremental_append", size), &size, |b, _| {
-            b.iter(|| detect_cfd_violations_incremental(&extended, &cfds, &added).total())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_append", size),
+            &size,
+            |b, _| b.iter(|| detect_cfd_violations_incremental(&extended, &cfds, &added).total()),
+        );
+        let engine = DetectionEngine::new();
+        group.bench_with_input(
+            BenchmarkId::new("engine_incremental_append", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    engine
+                        .detect_cfd_violations_incremental(&extended, &cfds, &added)
+                        .total()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
     for &size in &DETECTION_SIZES {
         let workload = order_workload(size, 0.05);
         group.bench_with_input(BenchmarkId::new("cind_detection", size), &size, |b, _| {
-            b.iter(|| detect_cind_violations(&workload.db, &cinds).unwrap().total())
+            b.iter(|| {
+                detect_cind_violations(&workload.db, &cinds)
+                    .unwrap()
+                    .total()
+            })
         });
         // Baseline: the embedded traditional INDs (which flag far more
         // tuples, because they ignore the pattern conditions).

@@ -65,16 +65,22 @@ fn bench(c: &mut Criterion) {
         let workload = card_workload(holders);
         let given = Matcher::new(rules(false));
         let derived = Matcher::new(rules(true));
-        group.bench_with_input(BenchmarkId::new("given_rules", holders), &holders, |b, _| {
-            b.iter(|| given.run(&workload.card, &workload.billing).len())
-        });
-        group.bench_with_input(BenchmarkId::new("with_derived_rcks", holders), &holders, |b, _| {
-            b.iter(|| derived.run(&workload.card, &workload.billing).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("given_rules", holders),
+            &holders,
+            |b, _| b.iter(|| given.run(&workload.card, &workload.billing).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("with_derived_rcks", holders),
+            &holders,
+            |b, _| b.iter(|| derived.run(&workload.card, &workload.billing).len()),
+        );
         let unblocked = Matcher::new(rules(true)).without_blocking();
-        group.bench_with_input(BenchmarkId::new("without_blocking", holders), &holders, |b, _| {
-            b.iter(|| unblocked.run(&workload.card, &workload.billing).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("without_blocking", holders),
+            &holders,
+            |b, _| b.iter(|| unblocked.run(&workload.card, &workload.billing).len()),
+        );
     }
     group.finish();
 }

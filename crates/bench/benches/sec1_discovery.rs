@@ -36,12 +36,16 @@ fn bench(c: &mut Criterion) {
             exclude: vec![phn, name],
             ..CfdDiscoveryConfig::default()
         };
-        group.bench_with_input(BenchmarkId::new("constant_cfd_discovery", size), &size, |b, _| {
-            b.iter(|| discover_constant_cfds(&workload.clean, &cfd_config).len())
-        });
-        group.bench_with_input(BenchmarkId::new("full_cfd_discovery", size), &size, |b, _| {
-            b.iter(|| discover_cfds(&workload.clean, &cfd_config).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("constant_cfd_discovery", size),
+            &size,
+            |b, _| b.iter(|| discover_constant_cfds(&workload.clean, &cfd_config).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_cfd_discovery", size),
+            &size,
+            |b, _| b.iter(|| discover_cfds(&workload.clean, &cfd_config).len()),
+        );
     }
     group.finish();
 }

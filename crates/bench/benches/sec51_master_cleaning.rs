@@ -39,7 +39,11 @@ fn bench(c: &mut Criterion) {
             |b, _| {
                 let master = MasterData::new(workload.master.clone());
                 let rules = master_rules();
-                b.iter(|| match_against_master(&workload.dirty, &master, &rules).0.len())
+                b.iter(|| {
+                    match_against_master(&workload.dirty, &master, &rules)
+                        .0
+                        .len()
+                })
             },
         );
     }

@@ -34,9 +34,18 @@ fn bench(c: &mut Criterion) {
         // deletions operate on the plain FD here).
         let schema = dq_gen::customer::customer_schema();
         let constraints = DenialConstraint::from_fd(&Fd::new(&schema, &["CC", "zip"], &["street"]));
-        group.bench_with_input(BenchmarkId::new("xrepair_deletions", size), &size, |b, _| {
-            b.iter(|| repair_by_deletion(&workload.dirty, &constraints).log.deleted.len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("xrepair_deletions", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    repair_by_deletion(&workload.dirty, &constraints)
+                        .log
+                        .deleted
+                        .len()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("repair_checking", size), &size, |b, _| {
             let outcome = repair_cfd_violations(
                 &workload.dirty,

@@ -49,9 +49,11 @@ fn bench(c: &mut Criterion) {
                 |b, _| b.iter(|| range_consistent_aggregate(&inst, &[emp], agg, amount)),
             );
         }
-        group.bench_with_input(BenchmarkId::new("plain_aggregate", groups), &groups, |b, _| {
-            b.iter(|| aggregate_on(&inst, AggregateFn::Sum, amount))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("plain_aggregate", groups),
+            &groups,
+            |b, _| b.iter(|| aggregate_on(&inst, AggregateFn::Sum, amount)),
+        );
     }
     group.finish();
 }

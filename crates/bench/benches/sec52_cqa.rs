@@ -23,16 +23,20 @@ fn bench(c: &mut Criterion) {
                     .len()
             })
         });
-        group.bench_with_input(BenchmarkId::new("rewriting_same_instance", conflicts), &conflicts, |b, _| {
-            b.iter(|| certain_answers_rewriting(&db, &keys, &query).unwrap().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rewriting_same_instance", conflicts),
+            &conflicts,
+            |b, _| b.iter(|| certain_answers_rewriting(&db, &keys, &query).unwrap().len()),
+        );
     }
     // The rewriting scales to instances far beyond the oracle.
     for &groups in &[1_000usize, 10_000] {
         let (db, _, query) = cqa_instance(groups, 0.05);
-        group.bench_with_input(BenchmarkId::new("rewriting_large", groups), &groups, |b, _| {
-            b.iter(|| certain_answers_rewriting(&db, &keys, &query).unwrap().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rewriting_large", groups),
+            &groups,
+            |b, _| b.iter(|| certain_answers_rewriting(&db, &keys, &query).unwrap().len()),
+        );
     }
     group.finish();
 }

@@ -23,12 +23,16 @@ fn bench(c: &mut Criterion) {
     for &n in &[6usize, 10, 14] {
         let (instance, constraints) = example_5_1_instance(n);
         let key = Fd::new(instance.schema(), &["A"], &["B"]);
-        group.bench_with_input(BenchmarkId::new("nucleus_build_and_query", n), &n, |b, _| {
-            b.iter(|| {
-                let nucleus = nucleus_for_fd(&instance, &key);
-                evaluate_on_nucleus(&nucleus, "r", &query).len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("nucleus_build_and_query", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let nucleus = nucleus_for_fd(&instance, &key);
+                    evaluate_on_nucleus(&nucleus, "r", &query).len()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("wsd_build", n), &n, |b, _| {
             b.iter(|| WorldSetDecomposition::for_key(&instance, &key).size())
         });

@@ -22,17 +22,21 @@ fn bench(c: &mut Criterion) {
         // constrained attributes (that is the point of the NP/coNP rows), so
         // the sweep scales the number of dependencies, not the schema width.
         let finite = synthetic_cfd_set(n.min(100), 4, 0.5);
-        group.bench_with_input(BenchmarkId::new("cfd_consistency_no_finite", n), &n, |b, _| {
-            b.iter(|| cfd_set_consistent_propagation(&infinite))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cfd_consistency_no_finite", n),
+            &n,
+            |b, _| b.iter(|| cfd_set_consistent_propagation(&infinite)),
+        );
         group.bench_with_input(BenchmarkId::new("cfd_consistency_finite", n), &n, |b, _| {
             b.iter(|| cfd_set_consistent(&finite).consistent)
         });
         // CFD implication (closure vs. exact) against the first dependency.
         let target = infinite[0].clone();
-        group.bench_with_input(BenchmarkId::new("cfd_implication_closure", n), &n, |b, _| {
-            b.iter(|| cfd_implies_closure(&infinite[1..], &target))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cfd_implication_closure", n),
+            &n,
+            |b, _| b.iter(|| cfd_implies_closure(&infinite[1..], &target)),
+        );
         let finite_target = finite[0].clone();
         group.bench_with_input(BenchmarkId::new("cfd_implication_exact", n), &n, |b, _| {
             b.iter(|| cfd_implies_exact(&finite[1..], &finite_target))

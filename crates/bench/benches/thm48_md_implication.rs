@@ -27,7 +27,11 @@ fn bench(c: &mut Criterion) {
         ComparisonSpace::new("addr", "post", vec![SimilarityOp::Equality]),
         ComparisonSpace::new("LN", "SN", vec![SimilarityOp::Equality]),
         ComparisonSpace::new("tel", "phn", vec![SimilarityOp::Equality]),
-        ComparisonSpace::new("FN", "FN", vec![SimilarityOp::Equality, SimilarityOp::edit(3)]),
+        ComparisonSpace::new(
+            "FN",
+            "FN",
+            vec![SimilarityOp::Equality, SimilarityOp::edit(3)],
+        ),
     ];
     group.bench_function("rck_derivation", |b| {
         b.iter(|| {

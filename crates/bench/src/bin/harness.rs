@@ -3,6 +3,10 @@
 //! per experiment.  `EXPERIMENTS.md` records a run of this binary.
 //!
 //! Run with `cargo run --release -p dq-bench --bin harness`.
+//!
+//! `--detection-bench` instead runs only the naive-vs-engine CFD detection
+//! comparison and writes the measurements to `BENCH_detection.json` in the
+//! working directory (the perf trajectory artifact tracked across PRs).
 
 use dq_bench::*;
 use dq_core::prelude::*;
@@ -21,6 +25,10 @@ fn header(title: &str) {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--detection-bench") {
+        detection_bench();
+        return;
+    }
     figures_1_and_2();
     section_1_discovery();
     figures_3_and_4();
@@ -39,6 +47,103 @@ fn main() {
     section_5_2_aggregates();
     section_5_3_representations();
     section_5_3_ctables();
+}
+
+/// Times one invocation of `f`, returning (elapsed ms, result).
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// Median elapsed ms over `reps` invocations of `f` (single-shot timings on
+/// a shared box are too noisy for a tracked artifact), plus one result.
+fn timed_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let (first_ms, result) = timed(&mut f);
+    let mut samples = vec![first_ms];
+    for _ in 1..reps.max(1) {
+        samples.push(timed(&mut f).0);
+    }
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], result)
+}
+
+/// Naive vs. engine CFD detection on the Fig. 1 customer workload, written
+/// to `BENCH_detection.json`.
+///
+/// Two dependency sets per size — the three paper CFDs (three distinct
+/// LHSs) and their normalized fragments (eleven CFDs, still three distinct
+/// LHSs, the regime index sharing targets) — and three detection paths each:
+/// * `naive` — `detect_cfd_violations`, one fresh index per CFD per call;
+/// * `engine_cold` — `DetectionEngine` with an empty pool: one index build
+///   per *distinct LHS*, parallel fan-out across dependencies;
+/// * `engine_warm` — the same engine called again on the unchanged
+///   instance: the pool serves every index, nothing is rebuilt.
+fn detection_bench() {
+    header("Detection bench — naive vs. shared-index parallel engine");
+    let paper = dq_gen::customer::paper_cfds();
+    let normalized: Vec<Cfd> = paper.iter().flat_map(|c| c.normalize()).collect();
+    let sets: [(&str, &[Cfd]); 2] = [("paper_cfds", &paper), ("normalized_cfds", &normalized)];
+    let sizes: [usize; 3] = [10_000, 100_000, 1_000_000];
+    let error_rate = 0.05;
+    let mut rows = Vec::new();
+    println!("  tuples   cfd set          naive        engine(cold)  engine(warm)  violations  speedup(cold)  speedup(warm)");
+    for &size in &sizes {
+        let workload = customer_workload_scaled(size, error_rate);
+        for (label, cfds) in sets {
+            // Throwaway runs of both paths so neither pays the allocator's
+            // first-touch page faults inside a measurement.
+            let _ = detect_cfd_violations(&workload.dirty, cfds);
+            let _ = DetectionEngine::new().detect_cfd_violations(&workload.dirty, cfds);
+            let reps = 3;
+            let (naive_ms, naive_total) = timed_median(reps, || {
+                detect_cfd_violations(&workload.dirty, cfds).total()
+            });
+            let (cold_ms, cold_total) = timed_median(reps, || {
+                DetectionEngine::new()
+                    .detect_cfd_violations(&workload.dirty, cfds)
+                    .total()
+            });
+            let engine = DetectionEngine::new();
+            let _ = engine.detect_cfd_violations(&workload.dirty, cfds);
+            let (warm_ms, warm_total) = timed_median(reps, || {
+                engine.detect_cfd_violations(&workload.dirty, cfds).total()
+            });
+            assert_eq!(
+                naive_total, cold_total,
+                "engine must find the same violations"
+            );
+            assert_eq!(
+                naive_total, warm_total,
+                "warm engine must find the same violations"
+            );
+            println!(
+                "{size:>8}   {label:<15} {naive_ms:>9.1}ms  {cold_ms:>10.1}ms  {warm_ms:>10.1}ms  {naive_total:>10}  {:>13.2}x  {:>13.2}x",
+                naive_ms / cold_ms,
+                naive_ms / warm_ms
+            );
+            rows.push(format!(
+                "    {{\"tuples\": {size}, \"cfd_set\": \"{label}\", \"dependencies\": {}, \
+                 \"error_rate\": {error_rate}, \"violations\": {naive_total}, \
+                 \"naive_ms\": {naive_ms:.3}, \"engine_cold_ms\": {cold_ms:.3}, \
+                 \"engine_warm_ms\": {warm_ms:.3}, \"speedup_cold\": {:.3}, \"speedup_warm\": {:.3}}}",
+                cfds.len(),
+                naive_ms / cold_ms,
+                naive_ms / warm_ms
+            ));
+        }
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"fig1_cfd_detection_naive_vs_engine\",\n  \
+         \"workload\": \"dq_gen::customer (scaled city pool), error_rate {error_rate}, seed 42\",\n  \
+         \"threads\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_detection.json", &json).expect("write BENCH_detection.json");
+    println!("\nwrote BENCH_detection.json");
 }
 
 fn figures_1_and_2() {
@@ -127,9 +232,17 @@ fn section_2_3_ecfds() {
                         None => SetPattern::any(),
                     })
                     .collect();
-                let lhs_names: Vec<&str> = c.lhs().iter().map(|&a| c.schema().attr_name(a)).collect();
-                let rhs_names: Vec<&str> = c.rhs().iter().map(|&a| c.schema().attr_name(a)).collect();
-                Ecfd::new(c.schema(), &lhs_names, &rhs_names, vec![EcfdPattern::new(lhs, rhs)]).unwrap()
+                let lhs_names: Vec<&str> =
+                    c.lhs().iter().map(|&a| c.schema().attr_name(a)).collect();
+                let rhs_names: Vec<&str> =
+                    c.rhs().iter().map(|&a| c.schema().attr_name(a)).collect();
+                Ecfd::new(
+                    c.schema(),
+                    &lhs_names,
+                    &rhs_names,
+                    vec![EcfdPattern::new(lhs, rhs)],
+                )
+                .unwrap()
             })
             .collect();
         let start = Instant::now();
@@ -153,9 +266,21 @@ fn examples_3x_matching() {
         ComparisonSpace::new("addr", "post", vec![SimilarityOp::Equality]),
         ComparisonSpace::new("LN", "SN", vec![SimilarityOp::Equality]),
         ComparisonSpace::new("tel", "phn", vec![SimilarityOp::Equality]),
-        ComparisonSpace::new("FN", "FN", vec![SimilarityOp::Equality, SimilarityOp::edit(3)]),
+        ComparisonSpace::new(
+            "FN",
+            "FN",
+            vec![SimilarityOp::Equality, SimilarityOp::edit(3)],
+        ),
     ];
-    let rcks = derive_rcks(&sigma, &card, &billing, &space, &dq_match::paper::YC, &dq_match::paper::YB, 3);
+    let rcks = derive_rcks(
+        &sigma,
+        &card,
+        &billing,
+        &space,
+        &dq_match::paper::YC,
+        &dq_match::paper::YB,
+        3,
+    );
     println!("derived RCKs ({}):", rcks.len());
     for r in &rcks {
         println!("  {r}");
@@ -198,19 +323,37 @@ fn example_4_1_and_table1_consistency() {
     header("Example 4.1 / Table 1 — consistency analysis");
     // Example 4.1 itself.
     let d0 = dq_gen::customer::paper_cfds();
-    println!("paper CFDs (Fig. 2) consistent: {}", cfd_set_consistent(&d0).consistent);
+    println!(
+        "paper CFDs (Fig. 2) consistent: {}",
+        cfd_set_consistent(&d0).consistent
+    );
     println!("Example 4.1 CFDs consistent:    {}", {
         use dq_relation::{Domain, RelationSchema};
         use std::sync::Arc;
-        let s = Arc::new(RelationSchema::new("r", [("A", Domain::Bool), ("B", Domain::Text)]));
-        let psi1 = Cfd::new(&s, &["A"], &["B"], vec![
-            PatternTuple::new(vec![cst(true)], vec![cst("b1")]),
-            PatternTuple::new(vec![cst(false)], vec![cst("b2")]),
-        ]).unwrap();
-        let psi2 = Cfd::new(&s, &["B"], &["A"], vec![
-            PatternTuple::new(vec![cst("b1")], vec![cst(false)]),
-            PatternTuple::new(vec![cst("b2")], vec![cst(true)]),
-        ]).unwrap();
+        let s = Arc::new(RelationSchema::new(
+            "r",
+            [("A", Domain::Bool), ("B", Domain::Text)],
+        ));
+        let psi1 = Cfd::new(
+            &s,
+            &["A"],
+            &["B"],
+            vec![
+                PatternTuple::new(vec![cst(true)], vec![cst("b1")]),
+                PatternTuple::new(vec![cst(false)], vec![cst("b2")]),
+            ],
+        )
+        .unwrap();
+        let psi2 = Cfd::new(
+            &s,
+            &["B"],
+            &["A"],
+            vec![
+                PatternTuple::new(vec![cst("b1")], vec![cst(false)]),
+                PatternTuple::new(vec![cst("b2")], vec![cst(true)]),
+            ],
+        )
+        .unwrap();
         cfd_set_consistent(&[psi1, psi2]).consistent
     });
     println!("\n |Σ|    no-finite-domain (quadratic)   bool attrs (witness search)");
@@ -223,12 +366,19 @@ fn example_4_1_and_table1_consistency() {
         let start = Instant::now();
         let _ = cfd_set_consistent(&finite);
         let t2 = start.elapsed();
-        println!("{n:>4}    {:>14.1}µs                {:>14.1}µs", micros(t1), micros(t2));
+        println!(
+            "{n:>4}    {:>14.1}µs                {:>14.1}µs",
+            micros(t1),
+            micros(t2)
+        );
     }
     println!("\nCINDs: always consistent (O(1)); CFDs+CINDs: bounded chase heuristic");
     let cinds = paper_cinds();
     let (ok, witness) = cind_set_consistent(&cinds);
-    println!("paper CINDs consistent = {ok}, witness database built = {}", witness.is_some());
+    println!(
+        "paper CINDs consistent = {ok}, witness database built = {}",
+        witness.is_some()
+    );
     let verdict = cfd_cind_consistent_bounded(&dq_gen::customer::paper_cfds(), &[], 1_000);
     println!("paper CFDs + no CINDs, bounded chase verdict: {verdict:?}");
 }
@@ -270,10 +420,16 @@ fn table1_implication() {
     }
     println!("\nfinite axiomatization: one derivation round over the paper CFDs");
     let schema = dq_gen::customer::customer_schema();
-    let base: Vec<Cfd> = dq_gen::customer::paper_cfds().iter().flat_map(|c| c.normalize()).collect();
+    let base: Vec<Cfd> = dq_gen::customer::paper_cfds()
+        .iter()
+        .flat_map(|c| c.normalize())
+        .collect();
     let derived = derive_cfds_once(&schema, &base);
     let sound = derived.iter().all(|d| cfd_implies(&base, &d.cfd));
-    println!("derived {} CFDs, all semantically implied: {sound}", derived.len());
+    println!(
+        "derived {} CFDs, all semantically implied: {sound}",
+        derived.len()
+    );
 }
 
 fn example_4_2_propagation() {
@@ -299,10 +455,19 @@ fn example_4_2_propagation() {
         ],
     )
     .unwrap();
-    for (name, dep) in [("f3 (FD)", &f3), ("f3+i (FD)", &f4), ("ϕ7 (CFD)", &phi7), ("ϕ8 (CFD)", &phi8)] {
+    for (name, dep) in [
+        ("f3 (FD)", &f3),
+        ("f3+i (FD)", &f4),
+        ("ϕ7 (CFD)", &phi7),
+        ("ϕ8 (CFD)", &phi8),
+    ] {
         let start = Instant::now();
         let result = propagates(&schema, &sigma, &view, dep).unwrap();
-        println!("{name:<10} propagates = {:<5}  ({:.1}µs)", result.holds(), micros(start.elapsed()));
+        println!(
+            "{name:<10} propagates = {:<5}  ({:.1}µs)",
+            result.holds(),
+            micros(start.elapsed())
+        );
     }
 }
 
@@ -313,7 +478,10 @@ fn theorem_4_8_mds() {
         let (sigma, target) = synthetic_md_set(n);
         let start = Instant::now();
         let implied = md_implies(&sigma, &target);
-        println!("{n:>5}    {:>12.1}µs      {implied}", micros(start.elapsed()));
+        println!(
+            "{n:>5}    {:>12.1}µs      {implied}",
+            micros(start.elapsed())
+        );
     }
 }
 
@@ -325,7 +493,12 @@ fn section_5_1_repair() {
         for &rate in &[0.01, 0.05, 0.10] {
             let w = customer_workload(size, rate);
             let start = Instant::now();
-            let outcome = repair_cfd_violations(&w.dirty, &cfds, &RepairCost::uniform(), &RepairConfig::default());
+            let outcome = repair_cfd_violations(
+                &w.dirty,
+                &cfds,
+                &RepairCost::uniform(),
+                &RepairConfig::default(),
+            );
             let elapsed = start.elapsed();
             let q = score_repair(&w.clean, &w.dirty, &outcome.repaired);
             println!(
@@ -450,9 +623,18 @@ fn section_1_discovery() {
         let start = Instant::now();
         let profile = dq_discovery::profile::profile_relation(&workload.clean);
         let t_profile = start.elapsed();
-        let fd_config = FdDiscoveryConfig { max_lhs: 2, exclude: exclude.clone(), ..FdDiscoveryConfig::default() };
+        let fd_config = FdDiscoveryConfig {
+            max_lhs: 2,
+            exclude: exclude.clone(),
+            ..FdDiscoveryConfig::default()
+        };
         let fds = discover_fds(&workload.clean, &fd_config);
-        let cfd_config = CfdDiscoveryConfig { min_support: 4, max_lhs: 2, exclude, ..CfdDiscoveryConfig::default() };
+        let cfd_config = CfdDiscoveryConfig {
+            min_support: 4,
+            max_lhs: 2,
+            exclude,
+            ..CfdDiscoveryConfig::default()
+        };
         let start = Instant::now();
         let cfds = discover_cfds(&workload.clean, &cfd_config);
         let t_discovery = start.elapsed();
@@ -517,9 +699,11 @@ fn section_5_2_aggregates() {
         let mut inst = RelationInstance::new(schema);
         let mut conflicts = 0usize;
         for i in 0..groups {
-            inst.insert_values([Value::str(format!("e{i}")), Value::int(1_000 + i as i64)]).unwrap();
+            inst.insert_values([Value::str(format!("e{i}")), Value::int(1_000 + i as i64)])
+                .unwrap();
             if i % 4 == 0 {
-                inst.insert_values([Value::str(format!("e{i}")), Value::int(2_000 + i as i64)]).unwrap();
+                inst.insert_values([Value::str(format!("e{i}")), Value::int(2_000 + i as i64)])
+                    .unwrap();
                 conflicts += 1;
             }
         }
@@ -567,12 +751,18 @@ fn section_3_1_rule_learning() {
     header("Section 3.1 — matching rules discovered via learning");
     let space = vec![
         ComparisonSpace::new("LN", "SN", vec![SimilarityOp::Equality]),
-        ComparisonSpace::new("FN", "FN", vec![SimilarityOp::Equality, SimilarityOp::edit(3)]),
+        ComparisonSpace::new(
+            "FN",
+            "FN",
+            vec![SimilarityOp::Equality, SimilarityOp::edit(3)],
+        ),
         ComparisonSpace::new("tel", "phn", vec![SimilarityOp::Equality]),
         ComparisonSpace::new("email", "email", vec![SimilarityOp::Equality]),
         ComparisonSpace::new("addr", "post", vec![SimilarityOp::Equality]),
     ];
-    println!(" holders   candidates   rules kept   combined P/R/F1        hand-written (LN,FN)= P/R/F1");
+    println!(
+        " holders   candidates   rules kept   combined P/R/F1        hand-written (LN,FN)= P/R/F1"
+    );
     for &holders in &[250usize, 1_000] {
         let w = card_workload(holders);
         let start = Instant::now();
@@ -589,7 +779,10 @@ fn section_3_1_rule_learning() {
         let baseline_key = RelativeKey::new(
             w.card.schema(),
             w.billing.schema(),
-            vec![("LN", "SN", SimilarityOp::Equality), ("FN", "FN", SimilarityOp::Equality)],
+            vec![
+                ("LN", "SN", SimilarityOp::Equality),
+                ("FN", "FN", SimilarityOp::Equality),
+            ],
             &dq_match::paper::YC,
             &dq_match::paper::YB,
         )

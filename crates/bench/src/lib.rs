@@ -8,7 +8,9 @@
 use dq_core::prelude::*;
 use dq_gen::prelude::*;
 use dq_match::prelude::*;
-use dq_relation::{Atom, ConjunctiveQuery, Database, Domain, RelationInstance, RelationSchema, Term, Value};
+use dq_relation::{
+    Atom, ConjunctiveQuery, Database, Domain, RelationInstance, RelationSchema, Term, Value,
+};
 use std::sync::Arc;
 
 /// Sizes used for the scaling sweeps (kept modest so `cargo bench` finishes
@@ -21,6 +23,21 @@ pub fn customer_workload(tuples: usize, error_rate: f64) -> CustomerWorkload {
         tuples,
         error_rate,
         seed: 42,
+        ..Default::default()
+    })
+}
+
+/// Builds a customer workload whose `(AC, city)` pool scales with the
+/// instance, bounding the `[CC, AC]` group sizes: one synthetic city pair
+/// per ~2000 tuples (never fewer than the paper's three).  Used by the
+/// large-instance detection sweeps, where the paper's fixed city lists would
+/// make the ϕ3 pair-violation count quadratic in the instance size.
+pub fn customer_workload_scaled(tuples: usize, error_rate: f64) -> CustomerWorkload {
+    generate_customers(&CustomerConfig {
+        tuples,
+        error_rate,
+        seed: 42,
+        cities_per_country: (tuples / 2_000).max(3),
     })
 }
 
@@ -227,7 +244,11 @@ pub fn cqa_instance(
 ) -> (Database, Vec<DenialConstraint>, ConjunctiveQuery) {
     let schema = Arc::new(RelationSchema::new(
         "account",
-        [("acct", Domain::Text), ("owner", Domain::Text), ("tier", Domain::Text)],
+        [
+            ("acct", Domain::Text),
+            ("owner", Domain::Text),
+            ("tier", Domain::Text),
+        ],
     ));
     let mut instance = RelationInstance::new(Arc::clone(&schema));
     for i in 0..groups {

@@ -93,10 +93,16 @@ mod tests {
         let matches: Vec<MasterMatch> = w
             .truth
             .iter()
-            .map(|&(d, m)| MasterMatch { dirty: d, master: m })
+            .map(|&(d, m)| MasterMatch {
+                dirty: d,
+                master: m,
+            })
             .collect();
         let (fused, log) = fuse_from_master(&w.dirty, &master, &matches, &address_attrs());
-        assert!(fused.same_tuples_as(&w.clean), "fusion from the true matches must equal the ground truth");
+        assert!(
+            fused.same_tuples_as(&w.clean),
+            "fusion from the true matches must equal the ground truth"
+        );
         assert_eq!(log.change_count(), w.corrupted_cells.len());
     }
 
@@ -117,7 +123,10 @@ mod tests {
         let matches: Vec<MasterMatch> = w
             .truth
             .iter()
-            .map(|&(d, m)| MasterMatch { dirty: d, master: m })
+            .map(|&(d, m)| MasterMatch {
+                dirty: d,
+                master: m,
+            })
             .collect();
         let name_attr = customer_schema().attr("name");
         let (fused, _) = fuse_from_master(&w.dirty, &master, &matches, &address_attrs());

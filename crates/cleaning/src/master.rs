@@ -95,19 +95,17 @@ mod tests {
     /// name, or identical (name, zip).
     fn rules() -> Vec<RelativeKey> {
         let schema = customer_schema();
-        vec![
-            RelativeKey::new(
-                &schema,
-                &schema,
-                vec![
-                    ("phn", "phn", SimilarityOp::Equality),
-                    ("name", "name", SimilarityOp::edit(12)),
-                ],
-                &["street", "city", "zip"],
-                &["street", "city", "zip"],
-            )
-            .expect("well-formed relative key"),
-        ]
+        vec![RelativeKey::new(
+            &schema,
+            &schema,
+            vec![
+                ("phn", "phn", SimilarityOp::Equality),
+                ("name", "name", SimilarityOp::edit(12)),
+            ],
+            &["street", "city", "zip"],
+            &["street", "city", "zip"],
+        )
+        .expect("well-formed relative key")]
     }
 
     #[test]
@@ -120,10 +118,16 @@ mod tests {
         });
         let master = MasterData::new(w.master.clone());
         let (matches, ambiguous) = match_against_master(&w.dirty, &master, &rules());
-        assert_eq!(ambiguous, 0, "phone numbers are unique, no ambiguity expected");
+        assert_eq!(
+            ambiguous, 0,
+            "phone numbers are unique, no ambiguity expected"
+        );
         assert_eq!(matches.len(), 200, "every dirty record has a master record");
         for m in &matches {
-            assert!(w.truth.contains(&(m.dirty, m.master)), "match {m:?} is not in the ground truth");
+            assert!(
+                w.truth.contains(&(m.dirty, m.master)),
+                "match {m:?} is not in the ground truth"
+            );
         }
     }
 

@@ -12,9 +12,9 @@ use crate::master::{match_against_master, MasterData};
 use dq_core::cfd::Cfd;
 use dq_core::detect::detect_cfd_violations;
 use dq_match::rck::RelativeKey;
+use dq_relation::RelationInstance;
 use dq_repair::model::RepairCost;
 use dq_repair::urepair::{repair_cfd_violations, RepairConfig};
-use dq_relation::RelationInstance;
 
 /// What happened in one pipeline stage.
 #[derive(Clone, Debug)]
@@ -216,7 +216,10 @@ mod tests {
             address_attrs(),
         );
         let report = pipeline.run(&w.dirty);
-        assert!(report.consistent, "master-backed cleaning must resolve every violation");
+        assert!(
+            report.consistent,
+            "master-backed cleaning must resolve every violation"
+        );
         assert_eq!(report.master_matches, 250);
         let quality = score_repair(&w.clean, &w.dirty, &report.cleaned);
         assert!(
@@ -244,7 +247,10 @@ mod tests {
             q_master,
             q_repair
         );
-        assert!(q_master.f1 > q_repair.f1, "master data should add measurable value");
+        assert!(
+            q_master.f1 > q_repair.f1,
+            "master data should add measurable value"
+        );
     }
 
     #[test]

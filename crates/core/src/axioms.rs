@@ -63,8 +63,7 @@ fn pattern_of(cfd: &Cfd) -> &PatternTuple {
 pub fn derive_cfds_once(schema: &Arc<RelationSchema>, sigma: &[Cfd]) -> Vec<DerivedCfd> {
     let mut derived: Vec<DerivedCfd> = Vec::new();
     let push = |cfd: Cfd, rule: CfdRule, sigma: &[Cfd], derived: &[DerivedCfd]| {
-        let exists = sigma.iter().any(|c| c == &cfd)
-            || derived.iter().any(|d| d.cfd == cfd);
+        let exists = sigma.iter().any(|c| c == &cfd) || derived.iter().any(|d| d.cfd == cfd);
         if !exists {
             Some(DerivedCfd { cfd, rule })
         } else {
@@ -227,9 +226,7 @@ pub fn derive_cinds_once(sigma: &[Cind]) -> Vec<Cind> {
             // The middle relation's pattern must be guaranteed by the first
             // CIND's RHS pattern: same attributes, same constants.
             let tp2 = &second.tableau()[0];
-            if first.rhs_pattern_attrs() != second.lhs_pattern_attrs()
-                || tp1.rhs != tp2.lhs
-            {
+            if first.rhs_pattern_attrs() != second.lhs_pattern_attrs() || tp1.rhs != tp2.lhs {
                 continue;
             }
             let composed = Cind::new(
@@ -276,7 +273,12 @@ mod tests {
     fn schema() -> Arc<RelationSchema> {
         Arc::new(RelationSchema::new(
             "customer",
-            [("CC", Domain::Int), ("AC", Domain::Int), ("city", Domain::Text), ("zip", Domain::Text)],
+            [
+                ("CC", Domain::Int),
+                ("AC", Domain::Int),
+                ("city", Domain::Text),
+                ("zip", Domain::Text),
+            ],
         ))
     }
 
@@ -376,15 +378,27 @@ mod tests {
     fn derived_cinds_are_semantically_implied() {
         let order = Arc::new(RelationSchema::new(
             "order",
-            [("title", Domain::Text), ("price", Domain::Real), ("type", Domain::Text)],
+            [
+                ("title", Domain::Text),
+                ("price", Domain::Real),
+                ("type", Domain::Text),
+            ],
         ));
         let cd = Arc::new(RelationSchema::new(
             "CD",
-            [("album", Domain::Text), ("price", Domain::Real), ("genre", Domain::Text)],
+            [
+                ("album", Domain::Text),
+                ("price", Domain::Real),
+                ("genre", Domain::Text),
+            ],
         ));
         let book = Arc::new(RelationSchema::new(
             "book",
-            [("title", Domain::Text), ("price", Domain::Real), ("format", Domain::Text)],
+            [
+                ("title", Domain::Text),
+                ("price", Domain::Real),
+                ("format", Domain::Text),
+            ],
         ));
         let c1 = Cind::new(
             &order,
@@ -393,7 +407,10 @@ mod tests {
             &cd,
             &["album", "price"],
             &["genre"],
-            vec![CindPattern::new(vec![Value::str("a-cd")], vec![Value::str("a-book")])],
+            vec![CindPattern::new(
+                vec![Value::str("a-cd")],
+                vec![Value::str("a-book")],
+            )],
         )
         .unwrap();
         let c2 = Cind::new(
@@ -403,7 +420,10 @@ mod tests {
             &book,
             &["title", "price"],
             &["format"],
-            vec![CindPattern::new(vec![Value::str("a-book")], vec![Value::str("audio")])],
+            vec![CindPattern::new(
+                vec![Value::str("a-book")],
+                vec![Value::str("audio")],
+            )],
         )
         .unwrap();
         let derived = derive_cinds_once(&[c1.clone(), c2.clone()]);

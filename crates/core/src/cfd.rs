@@ -15,7 +15,8 @@
 
 use crate::fd::Fd;
 use crate::pattern::{PatternTuple, PatternValue};
-use dq_relation::{DqError, DqResult, HashIndex, RelationInstance, RelationSchema, TupleId};
+use dq_relation::{DqError, DqResult, HashIndex, RelationInstance, RelationSchema, TupleId, Value};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -100,7 +101,12 @@ impl Cfd {
                     ),
                 });
             }
-            for (p, &attr) in tp.lhs.iter().zip(&self.lhs).chain(tp.rhs.iter().zip(&self.rhs)) {
+            for (p, &attr) in tp
+                .lhs
+                .iter()
+                .zip(&self.lhs)
+                .chain(tp.rhs.iter().zip(&self.rhs))
+            {
                 if let PatternValue::Const(v) = p {
                     if !self.schema.domain(attr).contains(v) {
                         return Err(DqError::MalformedDependency {
@@ -150,9 +156,9 @@ impl Cfd {
     /// Constant CFDs are single-tuple assertions and play a special role in
     /// consistency analysis.
     pub fn is_constant(&self) -> bool {
-        self.tableau.iter().all(|tp| {
-            tp.lhs.iter().all(|p| !p.is_any()) && tp.rhs.iter().all(|p| !p.is_any())
-        })
+        self.tableau
+            .iter()
+            .all(|tp| tp.lhs.iter().all(|p| !p.is_any()) && tp.rhs.iter().all(|p| !p.is_any()))
     }
 
     /// Total size of the CFD: number of attributes times number of pattern
@@ -189,8 +195,30 @@ impl Cfd {
     /// Detection follows the two-pass strategy of [36]: a scan finds
     /// single-tuple violations of constant RHS patterns, and a hash
     /// partitioning on `X` finds pairs that agree on `X`, match a pattern,
-    /// and disagree on `Y`.
+    /// and disagree on `Y`.  Builds a fresh index on `X`; detection over many
+    /// dependencies should share indexes through
+    /// [`crate::engine::DetectionEngine`] instead.
     pub fn violations(&self, instance: &RelationInstance) -> Vec<CfdViolation> {
+        let index = HashIndex::build(instance, &self.lhs);
+        self.violations_with_index(instance, &index)
+    }
+
+    /// All violations of this CFD in `instance`, probing a caller-supplied
+    /// index of `instance` on exactly [`lhs`](Self::lhs).
+    ///
+    /// Violations are returned in canonical (sorted) order, so any two
+    /// detection paths over the same instance produce identical reports
+    /// regardless of index iteration order.
+    pub fn violations_with_index(
+        &self,
+        instance: &RelationInstance,
+        index: &HashIndex,
+    ) -> Vec<CfdViolation> {
+        debug_assert_eq!(
+            index.attrs(),
+            self.lhs.as_slice(),
+            "index keyed off the CFD's LHS"
+        );
         let mut out = Vec::new();
         // Pass 1: single-tuple (constant) violations.
         for (pattern_idx, tp) in self.tableau.iter().enumerate() {
@@ -208,39 +236,53 @@ impl Cfd {
             }
         }
         // Pass 2: tuple-pair (variable) violations, via grouping on X.
-        let index = HashIndex::build(instance, &self.lhs);
+        //
+        // Within a group, a pair violates iff the two tuples differ in their
+        // Y-projection, so partitioning the group by that projection replaces
+        // the quadratic pair scan with work linear in the group plus the
+        // violations actually reported: clean groups (one sub-partition) cost
+        // O(|group|), and only cross-partition pairs are enumerated.
+        let mut by_rhs: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
         for (key, group) in index.multi_groups() {
             let matching_patterns: Vec<usize> = self
                 .tableau
                 .iter()
                 .enumerate()
-                .filter(|(_, tp)| {
-                    tp.lhs
-                        .iter()
-                        .zip(key.iter())
-                        .all(|(p, v)| p.matches(v))
-                })
+                .filter(|(_, tp)| tp.lhs.iter().zip(key.iter()).all(|(p, v)| p.matches(v)))
                 .map(|(i, _)| i)
                 .collect();
             if matching_patterns.is_empty() {
                 continue;
             }
-            for i in 0..group.len() {
-                for j in (i + 1)..group.len() {
-                    let a = instance.tuple(group[i]).expect("live tuple");
-                    let b = instance.tuple(group[j]).expect("live tuple");
-                    if !a.agree_on(b, &self.rhs) {
-                        for &p in &matching_patterns {
-                            out.push(CfdViolation::TuplePair {
-                                pattern: p,
-                                first: group[i],
-                                second: group[j],
-                            });
+            by_rhs.clear();
+            for &id in group {
+                let tuple = instance.tuple(id).expect("live tuple");
+                by_rhs.entry(tuple.project(&self.rhs)).or_default().push(id);
+            }
+            if by_rhs.len() < 2 {
+                continue; // the whole group agrees on Y
+            }
+            let partitions: Vec<&Vec<TupleId>> = by_rhs.values().collect();
+            for (i, first_part) in partitions.iter().enumerate() {
+                for second_part in &partitions[i + 1..] {
+                    for &a in *first_part {
+                        for &b in *second_part {
+                            let (first, second) = if a < b { (a, b) } else { (b, a) };
+                            for &p in &matching_patterns {
+                                out.push(CfdViolation::TuplePair {
+                                    pattern: p,
+                                    first,
+                                    second,
+                                });
+                            }
                         }
                     }
                 }
             }
         }
+        // Canonical order: hash-map group iteration is nondeterministic, and
+        // downstream equality of reports relies on a stable order.
+        out.sort_unstable();
         out
     }
 
@@ -474,10 +516,7 @@ mod tests {
         }
         // Normalization preserves satisfaction.
         let d = d0(&s);
-        assert_eq!(
-            cfd.holds_on(&d),
-            normalized.iter().all(|n| n.holds_on(&d))
-        );
+        assert_eq!(cfd.holds_on(&d), normalized.iter().all(|n| n.holds_on(&d)));
     }
 
     #[test]
@@ -522,9 +561,18 @@ mod tests {
         let s = customer_schema();
         let mut d = d0(&s);
         let city = s.attr("city");
-        d.update_cell(dq_relation::instance::CellRef::new(TupleId(0), city), Value::str("EDI"));
-        d.update_cell(dq_relation::instance::CellRef::new(TupleId(1), city), Value::str("EDI"));
-        d.update_cell(dq_relation::instance::CellRef::new(TupleId(2), city), Value::str("MH"));
+        d.update_cell(
+            dq_relation::instance::CellRef::new(TupleId(0), city),
+            Value::str("EDI"),
+        );
+        d.update_cell(
+            dq_relation::instance::CellRef::new(TupleId(1), city),
+            Value::str("EDI"),
+        );
+        d.update_cell(
+            dq_relation::instance::CellRef::new(TupleId(2), city),
+            Value::str("MH"),
+        );
         assert!(phi2(&s).holds_on(&d));
         // phi1 is still violated: same zip, different street in the UK.
         assert!(!phi1(&s).holds_on(&d));

@@ -370,14 +370,50 @@ mod tests {
     /// The instance D1 of Fig. 3.
     pub fn d1() -> Database {
         let mut oi = RelationInstance::new(order_schema());
-        oi.insert_values([Value::str("a23"), Value::str("Snow White"), Value::str("CD"), Value::real(7.99)]).unwrap();
-        oi.insert_values([Value::str("a12"), Value::str("Harry Potter"), Value::str("book"), Value::real(17.99)]).unwrap();
+        oi.insert_values([
+            Value::str("a23"),
+            Value::str("Snow White"),
+            Value::str("CD"),
+            Value::real(7.99),
+        ])
+        .unwrap();
+        oi.insert_values([
+            Value::str("a12"),
+            Value::str("Harry Potter"),
+            Value::str("book"),
+            Value::real(17.99),
+        ])
+        .unwrap();
         let mut bi = RelationInstance::new(book_schema());
-        bi.insert_values([Value::str("b32"), Value::str("Harry Potter"), Value::real(17.99), Value::str("hard-cover")]).unwrap();
-        bi.insert_values([Value::str("b65"), Value::str("Snow White"), Value::real(7.99), Value::str("paper-cover")]).unwrap();
+        bi.insert_values([
+            Value::str("b32"),
+            Value::str("Harry Potter"),
+            Value::real(17.99),
+            Value::str("hard-cover"),
+        ])
+        .unwrap();
+        bi.insert_values([
+            Value::str("b65"),
+            Value::str("Snow White"),
+            Value::real(7.99),
+            Value::str("paper-cover"),
+        ])
+        .unwrap();
         let mut ci = RelationInstance::new(cd_schema());
-        ci.insert_values([Value::str("c12"), Value::str("J. Denver"), Value::real(7.94), Value::str("country")]).unwrap();
-        ci.insert_values([Value::str("c58"), Value::str("Snow White"), Value::real(7.99), Value::str("a-book")]).unwrap();
+        ci.insert_values([
+            Value::str("c12"),
+            Value::str("J. Denver"),
+            Value::real(7.94),
+            Value::str("country"),
+        ])
+        .unwrap();
+        ci.insert_values([
+            Value::str("c58"),
+            Value::str("Snow White"),
+            Value::real(7.99),
+            Value::str("a-book"),
+        ])
+        .unwrap();
         let mut db = Database::new();
         db.add_relation(oi);
         db.add_relation(bi);

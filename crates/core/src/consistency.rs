@@ -78,7 +78,12 @@ fn mentioned_constants(schema: &RelationSchema, cfds: &[Cfd]) -> Vec<Vec<Value>>
     let mut mentioned: Vec<Vec<Value>> = vec![Vec::new(); schema.arity()];
     for cfd in cfds {
         for tp in cfd.tableau() {
-            for (p, &a) in tp.lhs.iter().zip(cfd.lhs()).chain(tp.rhs.iter().zip(cfd.rhs())) {
+            for (p, &a) in tp
+                .lhs
+                .iter()
+                .zip(cfd.lhs())
+                .chain(tp.rhs.iter().zip(cfd.rhs()))
+            {
                 if let PatternValue::Const(v) = p {
                     mentioned[a].push(v.clone());
                 }
@@ -103,9 +108,9 @@ fn pattern_attributes(schema: &RelationSchema, cfds: &[Cfd]) -> Vec<usize> {
 /// instance)?  Only the constant-binding part of the semantics matters.
 fn tuple_satisfies(cfds: &[Cfd], t: &Tuple) -> bool {
     cfds.iter().all(|cfd| {
-        cfd.tableau().iter().all(|tp| {
-            !tp.lhs_matches(t, cfd.lhs()) || tp.rhs_matches(t, cfd.rhs())
-        })
+        cfd.tableau()
+            .iter()
+            .all(|tp| !tp.lhs_matches(t, cfd.lhs()) || tp.rhs_matches(t, cfd.rhs()))
     })
 }
 
@@ -200,14 +205,10 @@ pub fn cfd_set_consistent_propagation(cfds: &[Cfd]) -> bool {
             // Does the hypothesis necessarily hold for the witness tuple we
             // are constructing?  A wildcard always matches; a constant
             // matches only if that constant has already been forced.
-            let fires = tp
-                .lhs
-                .iter()
-                .zip(cfd.lhs())
-                .all(|(p, &a)| match p {
-                    PatternValue::Any => true,
-                    PatternValue::Const(c) => forced.get(&a) == Some(c),
-                });
+            let fires = tp.lhs.iter().zip(cfd.lhs()).all(|(p, &a)| match p {
+                PatternValue::Any => true,
+                PatternValue::Const(c) => forced.get(&a) == Some(c),
+            });
             if !fires {
                 continue;
             }
@@ -271,8 +272,17 @@ pub fn ecfd_set_consistent(ecfds: &[Ecfd]) -> ConsistencyResult {
     fn satisfies(ecfds: &[Ecfd], t: &Tuple) -> bool {
         ecfds.iter().all(|e| {
             e.tableau().iter().all(|tp| {
-                let lhs_ok = tp.lhs.iter().zip(e.lhs()).all(|(p, &a)| p.matches(t.get(a)));
-                !lhs_ok || tp.rhs.iter().zip(e.rhs()).all(|(p, &a)| p.matches(t.get(a)))
+                let lhs_ok = tp
+                    .lhs
+                    .iter()
+                    .zip(e.lhs())
+                    .all(|(p, &a)| p.matches(t.get(a)));
+                !lhs_ok
+                    || tp
+                        .rhs
+                        .iter()
+                        .zip(e.rhs())
+                        .all(|(p, &a)| p.matches(t.get(a)))
             })
         })
     }
@@ -329,7 +339,8 @@ pub fn cind_set_consistent(cinds: &[Cind]) -> (bool, Option<Database>) {
         }
     }
     let mut seed = RelationInstance::new(Arc::clone(&seed_schema));
-    seed.insert(Tuple::new(seed_values)).expect("seed tuple in domains");
+    seed.insert(Tuple::new(seed_values))
+        .expect("seed tuple in domains");
     db.add_relation(seed);
     // Register empty instances for every other schema mentioned.
     for cind in cinds {
@@ -367,12 +378,9 @@ pub fn chase_cinds(db: &mut Database, cinds: &[Cind], max_steps: usize) -> bool 
             let rhs_schema = Arc::clone(cind.rhs_schema());
             let mut values: Vec<Value> = (0..rhs_schema.arity())
                 .map(|a| {
-                    rhs_schema
-                        .domain(a)
-                        .fresh_value(&[])
-                        .unwrap_or_else(|| {
-                            rhs_schema.domain(a).enumerate().expect("finite")[0].clone()
-                        })
+                    rhs_schema.domain(a).fresh_value(&[]).unwrap_or_else(|| {
+                        rhs_schema.domain(a).enumerate().expect("finite")[0].clone()
+                    })
                 })
                 .collect();
             for (&y, &x) in cind.rhs_attrs().iter().zip(cind.lhs_attrs()) {
@@ -405,11 +413,7 @@ pub fn chase_cinds(db: &mut Database, cinds: &[Cind], max_steps: usize) -> bool 
 /// are already inconsistent, and `None` when the bound was exhausted without
 /// a verdict (the undecidability of Theorem 4.1 manifesting as
 /// non-termination of the chase).
-pub fn cfd_cind_consistent_bounded(
-    cfds: &[Cfd],
-    cinds: &[Cind],
-    max_steps: usize,
-) -> Option<bool> {
+pub fn cfd_cind_consistent_bounded(cfds: &[Cfd], cinds: &[Cind], max_steps: usize) -> Option<bool> {
     let cfd_result = cfd_set_consistent(cfds);
     if !cfd_result.consistent {
         return Some(false);
@@ -506,7 +510,11 @@ mod tests {
     fn consistent_cfds_yield_a_witness() {
         let s = Arc::new(RelationSchema::new(
             "customer",
-            [("CC", Domain::Int), ("AC", Domain::Int), ("city", Domain::Text)],
+            [
+                ("CC", Domain::Int),
+                ("AC", Domain::Int),
+                ("city", Domain::Text),
+            ],
         ));
         let cfds = vec![
             Cfd::new(
@@ -562,7 +570,11 @@ mod tests {
     fn propagation_agrees_with_exact_check_on_infinite_domains() {
         let s = Arc::new(RelationSchema::new(
             "r",
-            [("A", Domain::Text), ("B", Domain::Text), ("C", Domain::Text)],
+            [
+                ("A", Domain::Text),
+                ("B", Domain::Text),
+                ("C", Domain::Text),
+            ],
         ));
         // Chain: (_ -> a) on B given A = a1; (a -> b) on C given B = a.
         let cfds = vec![
@@ -684,7 +696,7 @@ mod tests {
             )],
         )
         .unwrap();
-        let (consistent, witness) = cind_set_consistent(&[cind.clone()]);
+        let (consistent, witness) = cind_set_consistent(std::slice::from_ref(&cind));
         assert!(consistent);
         let db = witness.expect("witness database");
         assert!(cind.holds_on(&db).unwrap());

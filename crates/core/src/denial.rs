@@ -10,7 +10,7 @@
 //! ever delete tuples.
 
 use crate::fd::Fd;
-use dq_relation::{CompOp, RelationInstance, TupleId, Value};
+use dq_relation::{CompOp, HashIndex, RelationInstance, TupleId, Value};
 use std::fmt;
 
 /// One side of a comparison inside a denial constraint.
@@ -64,7 +64,8 @@ impl DcPredicate {
     }
 
     fn eval(&self, tuples: &[&dq_relation::Tuple]) -> bool {
-        self.op.eval(self.left.eval(tuples), self.right.eval(tuples))
+        self.op
+            .eval(self.left.eval(tuples), self.right.eval(tuples))
     }
 }
 
@@ -130,6 +131,84 @@ impl DenialConstraint {
                 == 1
     }
 
+    /// Attributes on which the two tuple variables must agree for the
+    /// constraint to fire: every predicate of the shape
+    /// `t1[a] = t2[a]` (in either variable order).  When non-empty, a
+    /// violating pair necessarily lies inside one hash group of an index on
+    /// these attributes, which lets detection skip the quadratic pair scan —
+    /// see [`violations_with_index`](Self::violations_with_index).
+    ///
+    /// Returns `None` for constraints that are not two-variable or have no
+    /// such equality predicate.
+    pub fn pair_partition_attrs(&self) -> Option<Vec<usize>> {
+        if self.vars != 2 {
+            return None;
+        }
+        let mut attrs: Vec<usize> = self
+            .predicates
+            .iter()
+            .filter(|p| matches!(p.op, CompOp::Eq))
+            .filter_map(|p| match (&p.left, &p.right) {
+                (DcTerm::Attr { var: v1, attr: a1 }, DcTerm::Attr { var: v2, attr: a2 })
+                    if a1 == a2 && ((*v1 == 0 && *v2 == 1) || (*v1 == 1 && *v2 == 0)) =>
+                {
+                    Some(*a1)
+                }
+                _ => None,
+            })
+            .collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        if attrs.is_empty() {
+            None
+        } else {
+            Some(attrs)
+        }
+    }
+
+    /// Violations of a two-variable constraint, probing a caller-supplied
+    /// index of `instance` on exactly
+    /// [`pair_partition_attrs`](Self::pair_partition_attrs).
+    ///
+    /// Produces the same pairs as [`violations`](Self::violations) — each
+    /// ordered candidate pair is evaluated against every predicate, so
+    /// asymmetric comparisons behave identically — in the same sorted order.
+    pub fn violations_with_index(
+        &self,
+        instance: &RelationInstance,
+        index: &HashIndex,
+    ) -> Vec<Vec<TupleId>> {
+        debug_assert_eq!(
+            Some(index.attrs().to_vec()),
+            self.pair_partition_attrs(),
+            "index keyed off the constraint's equality attributes"
+        );
+        let mut out = Vec::new();
+        for (_, group) in index.multi_groups() {
+            let tuples: Vec<&dq_relation::Tuple> = group
+                .iter()
+                .map(|&id| instance.tuple(id).expect("live tuple"))
+                .collect();
+            // Group ids are in ascending insertion order, so `j > i` is
+            // exactly the `id1 < id2` reporting rule of `violations`.
+            for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    if self
+                        .predicates
+                        .iter()
+                        .all(|p| p.eval(&[tuples[i], tuples[j]]))
+                    {
+                        out.push(vec![group[i], group[j]]);
+                    }
+                }
+            }
+        }
+        // `violations` reports pairs in ascending (first, second) order;
+        // group iteration is nondeterministic, so sort to match.
+        out.sort_unstable();
+        out
+    }
+
     /// All violations: combinations of tuples satisfying every predicate.
     /// Supports one or two tuple variables (all constraints in the paper's
     /// examples have at most two).
@@ -193,15 +272,25 @@ mod tests {
     fn schema() -> Arc<RelationSchema> {
         Arc::new(RelationSchema::new(
             "emp",
-            [("name", Domain::Text), ("dept", Domain::Text), ("salary", Domain::Int), ("bonus", Domain::Int)],
+            [
+                ("name", Domain::Text),
+                ("dept", Domain::Text),
+                ("salary", Domain::Int),
+                ("bonus", Domain::Int),
+            ],
         ))
     }
 
     fn instance(rows: &[(&str, &str, i64, i64)]) -> RelationInstance {
         let mut inst = RelationInstance::new(schema());
         for (n, d, s, b) in rows {
-            inst.insert_values([Value::str(*n), Value::str(*d), Value::int(*s), Value::int(*b)])
-                .unwrap();
+            inst.insert_values([
+                Value::str(*n),
+                Value::str(*d),
+                Value::int(*s),
+                Value::int(*b),
+            ])
+            .unwrap();
         }
         inst
     }

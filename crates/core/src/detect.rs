@@ -16,12 +16,23 @@ use dq_relation::{Database, DqResult, HashIndex, RelationInstance, TupleId};
 use std::collections::BTreeSet;
 
 /// Violations of a set of CFDs over a single relation instance.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CfdViolationReport {
     per_dependency: Vec<Vec<CfdViolation>>,
 }
 
 impl CfdViolationReport {
+    /// Assembles a report from per-dependency violation lists (positionally
+    /// aligned with the dependency set that produced them).
+    pub fn from_per_dependency(per_dependency: Vec<Vec<CfdViolation>>) -> Self {
+        CfdViolationReport { per_dependency }
+    }
+
+    /// The per-dependency violation lists, in dependency order.
+    pub fn per_dependency(&self) -> &[Vec<CfdViolation>] {
+        &self.per_dependency
+    }
+
     /// Violations of the `i`-th dependency.
     pub fn of(&self, i: usize) -> &[CfdViolation] {
         &self.per_dependency[i]
@@ -47,10 +58,7 @@ impl CfdViolationReport {
 
     /// The distinct tuples involved in at least one violation.
     pub fn violating_tuples(&self) -> Vec<TupleId> {
-        let set: BTreeSet<TupleId> = self
-            .iter()
-            .flat_map(|(_, v)| v.tuples())
-            .collect();
+        let set: BTreeSet<TupleId> = self.iter().flat_map(|(_, v)| v.tuples()).collect();
         set.into_iter().collect()
     }
 
@@ -80,30 +88,51 @@ pub fn detect_cfd_violations_incremental(
     cfds: &[Cfd],
     added: &[TupleId],
 ) -> CfdViolationReport {
-    let mut per_dependency = Vec::with_capacity(cfds.len());
-    for cfd in cfds {
-        let mut violations = Vec::new();
-        // Single-tuple violations among the added tuples.
-        for (pattern_idx, tp) in cfd.tableau().iter().enumerate() {
-            if tp.rhs.iter().all(|p| p.is_any()) {
-                continue;
-            }
-            for &id in added {
-                if let Some(tuple) = instance.tuple(id) {
-                    if tp.lhs_matches(tuple, cfd.lhs()) && !tp.rhs_matches(tuple, cfd.rhs()) {
-                        violations.push(CfdViolation::SingleTuple {
-                            pattern: pattern_idx,
-                            tuple: id,
-                        });
-                    }
+    let per_dependency = cfds
+        .iter()
+        .map(|cfd| {
+            let index = HashIndex::build(instance, cfd.lhs());
+            incremental_cfd_violations_with_index(instance, cfd, added, &index)
+        })
+        .collect();
+    CfdViolationReport { per_dependency }
+}
+
+/// The per-dependency core of incremental detection, probing a
+/// caller-supplied index of `instance` on exactly the CFD's LHS.  Used both
+/// by [`detect_cfd_violations_incremental`] (fresh index per CFD) and by
+/// [`crate::engine::DetectionEngine`] (one shared index per distinct LHS).
+pub fn incremental_cfd_violations_with_index(
+    instance: &RelationInstance,
+    cfd: &Cfd,
+    added: &[TupleId],
+    index: &HashIndex,
+) -> Vec<CfdViolation> {
+    debug_assert_eq!(index.attrs(), cfd.lhs(), "index keyed off the CFD's LHS");
+    let mut violations = Vec::new();
+    // Single-tuple violations among the added tuples.
+    for (pattern_idx, tp) in cfd.tableau().iter().enumerate() {
+        if tp.rhs.iter().all(|p| p.is_any()) {
+            continue;
+        }
+        for &id in added {
+            if let Some(tuple) = instance.tuple(id) {
+                if tp.lhs_matches(tuple, cfd.lhs()) && !tp.rhs_matches(tuple, cfd.rhs()) {
+                    violations.push(CfdViolation::SingleTuple {
+                        pattern: pattern_idx,
+                        tuple: id,
+                    });
                 }
             }
         }
-        // Pair violations involving an added tuple.
-        let index = HashIndex::build(instance, cfd.lhs());
+    }
+    // Pair violations involving an added tuple.
+    {
         let mut seen_pairs: BTreeSet<(TupleId, TupleId)> = BTreeSet::new();
         for &id in added {
-            let Some(tuple) = instance.tuple(id) else { continue };
+            let Some(tuple) = instance.tuple(id) else {
+                continue;
+            };
             let key = tuple.project(cfd.lhs());
             let matching_patterns: Vec<usize> = cfd
                 .tableau()
@@ -138,20 +167,24 @@ pub fn detect_cfd_violations_incremental(
                 }
             }
         }
-        violations.sort();
-        violations.dedup();
-        per_dependency.push(violations);
     }
-    CfdViolationReport { per_dependency }
+    violations.sort();
+    violations.dedup();
+    violations
 }
 
 /// Violations of a set of CINDs over a database.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CindViolationReport {
     per_dependency: Vec<Vec<CindViolation>>,
 }
 
 impl CindViolationReport {
+    /// Assembles a report from per-dependency violation lists.
+    pub fn from_per_dependency(per_dependency: Vec<Vec<CindViolation>>) -> Self {
+        CindViolationReport { per_dependency }
+    }
+
     /// Violations of the `i`-th dependency.
     pub fn of(&self, i: usize) -> &[CindViolation] {
         &self.per_dependency[i]
@@ -186,12 +219,17 @@ pub fn detect_cind_violations(db: &Database, cinds: &[Cind]) -> DqResult<CindVio
 }
 
 /// Violations of a set of eCFDs over an instance.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EcfdViolationReport {
     per_dependency: Vec<Vec<EcfdViolation>>,
 }
 
 impl EcfdViolationReport {
+    /// Assembles a report from per-dependency violation lists.
+    pub fn from_per_dependency(per_dependency: Vec<Vec<EcfdViolation>>) -> Self {
+        EcfdViolationReport { per_dependency }
+    }
+
     /// Violations of the `i`-th dependency.
     pub fn of(&self, i: usize) -> &[EcfdViolation] {
         &self.per_dependency[i]

@@ -14,7 +14,7 @@
 //! `dq-bench` measure the two classes side by side.
 
 use dq_relation::{DqError, DqResult, HashIndex, RelationInstance, RelationSchema, TupleId, Value};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -173,7 +173,12 @@ impl Ecfd {
     pub fn constants_for(&self, attr: usize) -> Vec<Value> {
         let mut out = Vec::new();
         for tp in &self.tableau {
-            for (p, &a) in tp.lhs.iter().zip(&self.lhs).chain(tp.rhs.iter().zip(&self.rhs)) {
+            for (p, &a) in tp
+                .lhs
+                .iter()
+                .zip(&self.lhs)
+                .chain(tp.rhs.iter().zip(&self.rhs))
+            {
                 if a == attr {
                     out.extend(p.constants());
                 }
@@ -185,8 +190,26 @@ impl Ecfd {
     }
 
     /// Violations of the eCFD in `instance` — same two-pass structure as CFD
-    /// detection, with the generalized match operator.
+    /// detection, with the generalized match operator.  Builds a fresh index
+    /// on the LHS; batch detection should share indexes through
+    /// [`crate::engine::DetectionEngine`].
     pub fn violations(&self, instance: &RelationInstance) -> Vec<EcfdViolation> {
+        let index = HashIndex::build(instance, &self.lhs);
+        self.violations_with_index(instance, &index)
+    }
+
+    /// Violations of the eCFD, probing a caller-supplied index of `instance`
+    /// on exactly [`lhs`](Self::lhs).  Returns canonical (sorted) order.
+    pub fn violations_with_index(
+        &self,
+        instance: &RelationInstance,
+        index: &HashIndex,
+    ) -> Vec<EcfdViolation> {
+        debug_assert_eq!(
+            index.attrs(),
+            self.lhs.as_slice(),
+            "index keyed off the eCFD's LHS"
+        );
         let mut out = Vec::new();
         // Single-tuple violations of RHS set constraints.
         for (pattern_idx, tp) in self.tableau.iter().enumerate() {
@@ -222,7 +245,10 @@ impl Ecfd {
         // a per-tuple domain restriction (handled in the first pass) and does
         // not force two matching tuples to agree — `ecfd2` constrains NYC
         // area codes to a set without making all NYC tuples share one code.
-        let index = HashIndex::build(instance, &self.lhs);
+        // As in CFD detection, partitioning each group by the projection the
+        // pattern forces to be functional replaces the quadratic pair scan
+        // with work linear in the group plus the reported violations.
+        let mut by_proj: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
         for (key, group) in index.multi_groups() {
             for (pattern_idx, tp) in self.tableau.iter().enumerate() {
                 if !tp.lhs.iter().zip(key.iter()).all(|(p, v)| p.matches(v)) {
@@ -238,21 +264,36 @@ impl Ecfd {
                 if equality_attrs.is_empty() {
                     continue;
                 }
-                for i in 0..group.len() {
-                    for j in (i + 1)..group.len() {
-                        let a = instance.tuple(group[i]).expect("live tuple");
-                        let b = instance.tuple(group[j]).expect("live tuple");
-                        if !a.agree_on(b, &equality_attrs) {
-                            out.push(EcfdViolation::TuplePair {
-                                pattern: pattern_idx,
-                                first: group[i],
-                                second: group[j],
-                            });
+                by_proj.clear();
+                for &id in group {
+                    let tuple = instance.tuple(id).expect("live tuple");
+                    by_proj
+                        .entry(tuple.project(&equality_attrs))
+                        .or_default()
+                        .push(id);
+                }
+                if by_proj.len() < 2 {
+                    continue;
+                }
+                let partitions: Vec<&Vec<TupleId>> = by_proj.values().collect();
+                for (i, first_part) in partitions.iter().enumerate() {
+                    for second_part in &partitions[i + 1..] {
+                        for &a in *first_part {
+                            for &b in *second_part {
+                                let (first, second) = if a < b { (a, b) } else { (b, a) };
+                                out.push(EcfdViolation::TuplePair {
+                                    pattern: pattern_idx,
+                                    first,
+                                    second,
+                                });
+                            }
                         }
                     }
                 }
             }
         }
+        // Canonical order, for the same report-equality reasons as CFDs.
+        out.sort_unstable();
         out
     }
 
@@ -291,7 +332,11 @@ mod tests {
     fn ny_schema() -> Arc<RelationSchema> {
         Arc::new(RelationSchema::new(
             "nycust",
-            [("CT", Domain::Text), ("AC", Domain::Int), ("name", Domain::Text)],
+            [
+                ("CT", Domain::Text),
+                ("AC", Domain::Int),
+                ("name", Domain::Text),
+            ],
         ))
     }
 
@@ -362,7 +407,10 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert!(matches!(
             v[0],
-            EcfdViolation::SingleTuple { pattern: 0, tuple: TupleId(0) }
+            EcfdViolation::SingleTuple {
+                pattern: 0,
+                tuple: TupleId(0)
+            }
         ));
     }
 

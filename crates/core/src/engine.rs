@@ -1,0 +1,457 @@
+//! A shared-index, parallel violation-detection engine.
+//!
+//! The naive detectors of [`crate::detect`] build one hash index per
+//! dependency per call, even when dependencies share left-hand sides (every
+//! normalized fragment of a CFD keeps its parent's LHS) and even when the
+//! same instance is checked repeatedly.  On the paper's Fig. 1 scaling
+//! workloads index construction dominates detection, so the engine attacks
+//! exactly that cost:
+//!
+//! * **index sharing** — dependencies are grouped by their LHS attribute
+//!   set, each distinct index is built once and memoized in an
+//!   [`IndexPool`] keyed by `(instance identity, version, attributes)`, so
+//!   repeated runs over an unchanged instance rebuild nothing;
+//! * **parallel fan-out** — index construction and per-dependency detection
+//!   both spread across a scoped thread pool sized to the machine.
+//!
+//! The engine is a pure optimization: for every dependency class it produces
+//! a report equal (including order — violation lists are canonicalized) to
+//! the corresponding naive detector's, which `tests/detect_equivalence.rs`
+//! checks property-style across generated workloads.
+
+use crate::cfd::{Cfd, CfdViolation};
+use crate::denial::DenialConstraint;
+use crate::detect::{
+    incremental_cfd_violations_with_index, CfdViolationReport, EcfdViolationReport,
+};
+use crate::ecfd::{Ecfd, EcfdViolation};
+use dq_relation::{IndexPool, IndexPoolStats, RelationInstance, TupleId};
+use std::collections::BTreeSet;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shared-index, parallel violation detection over sets of dependencies.
+///
+/// Construction is cheap; the value of a long-lived engine is its warm
+/// [`IndexPool`], so prefer one engine per instance-checking context over
+/// one per call.
+#[derive(Debug)]
+pub struct DetectionEngine {
+    pool: IndexPool,
+    threads: usize,
+}
+
+impl Default for DetectionEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DetectionEngine {
+    /// An engine sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// An engine using at most `threads` worker threads (1 = sequential,
+    /// still index-sharing).
+    pub fn with_threads(threads: usize) -> Self {
+        DetectionEngine {
+            pool: IndexPool::default(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The engine's index pool (exposed for cache management and stats).
+    pub fn pool(&self) -> &IndexPool {
+        &self.pool
+    }
+
+    /// Cache counters — how much index construction the pool saved.
+    pub fn pool_stats(&self) -> IndexPoolStats {
+        self.pool.stats()
+    }
+
+    /// Builds every index the LHS groups of `lhs_sets` need, in parallel,
+    /// warming the pool before detection fans out.
+    fn warm_indexes(&self, instance: &RelationInstance, lhs_sets: BTreeSet<Vec<usize>>) {
+        let distinct: Vec<Vec<usize>> = lhs_sets.into_iter().collect();
+        parallel_map(&distinct, self.threads, |lhs| {
+            self.pool.index_for(instance, lhs);
+        });
+    }
+
+    /// Detects all violations of `cfds` in `instance`.
+    ///
+    /// Equivalent to [`crate::detect::detect_cfd_violations`] — same
+    /// per-dependency violation lists in the same order.
+    pub fn detect_cfd_violations(
+        &self,
+        instance: &RelationInstance,
+        cfds: &[Cfd],
+    ) -> CfdViolationReport {
+        self.warm_indexes(instance, cfds.iter().map(|c| c.lhs().to_vec()).collect());
+        let per_dependency: Vec<Vec<CfdViolation>> = parallel_map(cfds, self.threads, |cfd| {
+            let index = self.pool.index_for(instance, cfd.lhs());
+            cfd.violations_with_index(instance, &index)
+        });
+        CfdViolationReport::from_per_dependency(per_dependency)
+    }
+
+    /// Incremental detection: violations involving at least one tuple of
+    /// `added`, assuming the rest of `instance` was already checked.
+    ///
+    /// Equivalent to [`crate::detect::detect_cfd_violations_incremental`],
+    /// but builds each distinct-LHS index once (pooled) instead of once per
+    /// CFD per call.
+    pub fn detect_cfd_violations_incremental(
+        &self,
+        instance: &RelationInstance,
+        cfds: &[Cfd],
+        added: &[TupleId],
+    ) -> CfdViolationReport {
+        self.warm_indexes(instance, cfds.iter().map(|c| c.lhs().to_vec()).collect());
+        let per_dependency: Vec<Vec<CfdViolation>> = parallel_map(cfds, self.threads, |cfd| {
+            let index = self.pool.index_for(instance, cfd.lhs());
+            incremental_cfd_violations_with_index(instance, cfd, added, &index)
+        });
+        CfdViolationReport::from_per_dependency(per_dependency)
+    }
+
+    /// Detects all violations of `ecfds` in `instance`.
+    ///
+    /// Equivalent to [`crate::detect::detect_ecfd_violations`].
+    pub fn detect_ecfd_violations(
+        &self,
+        instance: &RelationInstance,
+        ecfds: &[Ecfd],
+    ) -> EcfdViolationReport {
+        self.warm_indexes(instance, ecfds.iter().map(|e| e.lhs().to_vec()).collect());
+        let per_dependency: Vec<Vec<EcfdViolation>> = parallel_map(ecfds, self.threads, |ecfd| {
+            let index = self.pool.index_for(instance, ecfd.lhs());
+            ecfd.violations_with_index(instance, &index)
+        });
+        EcfdViolationReport::from_per_dependency(per_dependency)
+    }
+
+    /// Detects all violations of denial `constraints` in `instance`.
+    ///
+    /// Equivalent to [`crate::detect::detect_denial_violations`].
+    /// Two-variable constraints with attribute equalities (FD- and key-shaped
+    /// constraints) are evaluated through a shared hash partition on those
+    /// attributes instead of the naive quadratic pair scan; other shapes fall
+    /// back to the naive evaluator, in parallel either way.
+    pub fn detect_denial_violations(
+        &self,
+        instance: &RelationInstance,
+        constraints: &[DenialConstraint],
+    ) -> Vec<Vec<Vec<TupleId>>> {
+        self.warm_indexes(
+            instance,
+            constraints
+                .iter()
+                .filter_map(|dc| dc.pair_partition_attrs())
+                .collect(),
+        );
+        parallel_map(constraints, self.threads, |dc| {
+            match dc.pair_partition_attrs() {
+                Some(attrs) => {
+                    let index = self.pool.index_for(instance, &attrs);
+                    dc.violations_with_index(instance, &index)
+                }
+                None => dc.violations(instance),
+            }
+        })
+    }
+}
+
+/// Applies `f` to every item on a scoped worker pool, preserving input
+/// order in the output.  Work is claimed through an atomic cursor, so
+/// uneven per-item costs balance across threads.
+fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("worker slot poisoned") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker slot poisoned")
+                .expect("every slot filled before scope exit")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect;
+    use crate::ecfd::{EcfdPattern, SetPattern};
+    use crate::fd::Fd;
+    use crate::pattern::{cst, wild, PatternTuple};
+    use dq_relation::{Domain, RelationSchema, Value};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::new(
+            "customer",
+            [
+                ("CC", Domain::Int),
+                ("AC", Domain::Int),
+                ("phn", Domain::Int),
+                ("street", Domain::Text),
+                ("city", Domain::Text),
+                ("zip", Domain::Text),
+            ],
+        ))
+    }
+
+    fn d0(schema: &Arc<RelationSchema>) -> RelationInstance {
+        let mut inst = RelationInstance::new(Arc::clone(schema));
+        for (cc, ac, phn, street, city, zip) in [
+            (44, 131, 1234567, "Mayfield", "NYC", "EH4 8LE"),
+            (44, 131, 3456789, "Crichton", "NYC", "EH4 8LE"),
+            (1, 908, 3456789, "Mtn Ave", "NYC", "07974"),
+        ] {
+            inst.insert_values([
+                Value::int(cc),
+                Value::int(ac),
+                Value::int(phn),
+                Value::str(street),
+                Value::str(city),
+                Value::str(zip),
+            ])
+            .unwrap();
+        }
+        inst
+    }
+
+    fn paper_cfds(schema: &Arc<RelationSchema>) -> Vec<Cfd> {
+        vec![
+            Cfd::new(
+                schema,
+                &["CC", "zip"],
+                &["street"],
+                vec![PatternTuple::new(vec![cst(44), wild()], vec![wild()])],
+            )
+            .unwrap(),
+            Cfd::new(
+                schema,
+                &["CC", "AC", "phn"],
+                &["street", "city", "zip"],
+                vec![
+                    PatternTuple::all_wildcards(3, 3),
+                    PatternTuple::new(
+                        vec![cst(44), cst(131), wild()],
+                        vec![wild(), cst("EDI"), wild()],
+                    ),
+                ],
+            )
+            .unwrap(),
+            Cfd::new(
+                schema,
+                &["CC", "AC"],
+                &["city"],
+                vec![PatternTuple::all_wildcards(2, 1)],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn engine_report_equals_naive_report() {
+        let s = schema();
+        let d = d0(&s);
+        let cfds = paper_cfds(&s);
+        let engine = DetectionEngine::new();
+        assert_eq!(
+            engine.detect_cfd_violations(&d, &cfds),
+            detect::detect_cfd_violations(&d, &cfds)
+        );
+    }
+
+    #[test]
+    fn sequential_engine_agrees_with_parallel_engine() {
+        let s = schema();
+        let d = d0(&s);
+        let cfds = paper_cfds(&s);
+        assert_eq!(
+            DetectionEngine::with_threads(1).detect_cfd_violations(&d, &cfds),
+            DetectionEngine::with_threads(8).detect_cfd_violations(&d, &cfds)
+        );
+    }
+
+    #[test]
+    fn shared_lhs_builds_one_index() {
+        let s = schema();
+        let d = d0(&s);
+        // Normalization splits ϕ2 into fragments that all share the LHS.
+        let fragments: Vec<Cfd> = paper_cfds(&s)[1].normalize();
+        assert!(fragments.len() > 1);
+        let engine = DetectionEngine::new();
+        let report = engine.detect_cfd_violations(&d, &fragments);
+        assert!(!report.is_clean());
+        let stats = engine.pool_stats();
+        assert_eq!(stats.misses, 1, "one distinct LHS → one index build");
+    }
+
+    #[test]
+    fn warm_pool_rebuilds_nothing_until_the_instance_changes() {
+        let s = schema();
+        let mut d = d0(&s);
+        let cfds = paper_cfds(&s);
+        let engine = DetectionEngine::new();
+        let first = engine.detect_cfd_violations(&d, &cfds);
+        let built_once = engine.pool_stats().misses;
+        let second = engine.detect_cfd_violations(&d, &cfds);
+        assert_eq!(first, second);
+        assert_eq!(
+            engine.pool_stats().misses,
+            built_once,
+            "warm run builds nothing"
+        );
+        d.insert_values([
+            Value::int(44),
+            Value::int(131),
+            Value::int(7),
+            Value::str("New St"),
+            Value::str("EDI"),
+            Value::str("EH4 8LE"),
+        ])
+        .unwrap();
+        engine.detect_cfd_violations(&d, &cfds);
+        assert!(
+            engine.pool_stats().misses > built_once,
+            "mutation invalidates"
+        );
+    }
+
+    #[test]
+    fn engine_incremental_equals_naive_incremental() {
+        let s = schema();
+        let mut d = d0(&s);
+        let cfds = paper_cfds(&s);
+        let added = vec![d
+            .insert_values([
+                Value::int(44),
+                Value::int(131),
+                Value::int(9999999),
+                Value::str("Lauriston"),
+                Value::str("EDI"),
+                Value::str("EH4 8LE"),
+            ])
+            .unwrap()];
+        let engine = DetectionEngine::new();
+        assert_eq!(
+            engine.detect_cfd_violations_incremental(&d, &cfds, &added),
+            detect::detect_cfd_violations_incremental(&d, &cfds, &added)
+        );
+    }
+
+    #[test]
+    fn engine_ecfd_report_equals_naive() {
+        let s = Arc::new(RelationSchema::new(
+            "nycust",
+            [("CT", Domain::Text), ("AC", Domain::Int)],
+        ));
+        let mut inst = RelationInstance::new(Arc::clone(&s));
+        for (ct, ac) in [("NYC", 212), ("NYC", 999), ("Albany", 518), ("Albany", 519)] {
+            inst.insert_values([Value::str(ct), Value::int(ac)])
+                .unwrap();
+        }
+        let ecfds = vec![
+            Ecfd::new(
+                &s,
+                &["CT"],
+                &["AC"],
+                vec![EcfdPattern::new(
+                    vec![SetPattern::not_in(["NYC", "LI"])],
+                    vec![SetPattern::any()],
+                )],
+            )
+            .unwrap(),
+            Ecfd::new(
+                &s,
+                &["CT"],
+                &["AC"],
+                vec![EcfdPattern::new(
+                    vec![SetPattern::eq("NYC")],
+                    vec![SetPattern::in_set([
+                        Value::int(212),
+                        Value::int(718),
+                        Value::int(646),
+                    ])],
+                )],
+            )
+            .unwrap(),
+        ];
+        let engine = DetectionEngine::new();
+        let from_engine = engine.detect_ecfd_violations(&inst, &ecfds);
+        let naive = detect::detect_ecfd_violations(&inst, &ecfds);
+        assert_eq!(from_engine, naive);
+        assert!(!from_engine.is_clean());
+    }
+
+    #[test]
+    fn engine_denial_report_equals_naive() {
+        let s = schema();
+        let d = d0(&s);
+        let fd = Fd::new(&s, &["zip"], &["street"]);
+        let mut constraints = DenialConstraint::from_fd(&fd);
+        // A non-FD-shaped constraint exercises the naive fallback arm.
+        constraints.push(DenialConstraint::new(
+            "customer",
+            1,
+            vec![crate::denial::DcPredicate::new(
+                crate::denial::DcTerm::attr(0, 0),
+                dq_relation::CompOp::Gt,
+                crate::denial::DcTerm::val(40i64),
+            )],
+        ));
+        let engine = DetectionEngine::new();
+        assert_eq!(
+            engine.detect_denial_violations(&d, &constraints),
+            detect::detect_denial_violations(&d, &constraints)
+        );
+    }
+
+    #[test]
+    fn empty_dependency_sets_yield_empty_reports() {
+        let s = schema();
+        let d = d0(&s);
+        let engine = DetectionEngine::new();
+        assert!(engine.detect_cfd_violations(&d, &[]).is_clean());
+        assert!(engine.detect_ecfd_violations(&d, &[]).is_clean());
+        assert!(engine.detect_denial_violations(&d, &[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, 7, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x: &usize| x).is_empty());
+    }
+}

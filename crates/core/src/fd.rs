@@ -82,7 +82,11 @@ impl Fd {
     }
 
     /// Is `X` a key of the instance (i.e. does `X → attr(R)` hold)?
-    pub fn is_key_of(schema: &Arc<RelationSchema>, lhs: &[&str], instance: &RelationInstance) -> bool {
+    pub fn is_key_of(
+        schema: &Arc<RelationSchema>,
+        lhs: &[&str],
+        instance: &RelationInstance,
+    ) -> bool {
         let all: Vec<usize> = (0..schema.arity()).collect();
         let fd = Fd {
             schema: Arc::clone(schema),
@@ -102,7 +106,13 @@ impl fmt::Display for Fd {
                 .collect::<Vec<_>>()
                 .join(", ")
         };
-        write!(f, "{}: [{}] -> [{}]", self.schema.name(), names(&self.lhs), names(&self.rhs))
+        write!(
+            f,
+            "{}: [{}] -> [{}]",
+            self.schema.name(),
+            names(&self.lhs),
+            names(&self.rhs)
+        )
     }
 }
 
@@ -191,10 +201,7 @@ pub fn candidate_keys(schema: &Arc<RelationSchema>, fds: &[Fd]) -> Vec<Vec<usize
     // Iterate subsets by increasing size so minimality is by construction.
     for mask in 1u64..(1u64 << n) {
         let subset: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
-        if keys
-            .iter()
-            .any(|k| k.iter().all(|a| subset.contains(a)))
-        {
+        if keys.iter().any(|k| k.iter().all(|a| subset.contains(a))) {
             continue; // a subset of this set is already a key
         }
         if attribute_closure(&subset, fds) == all {
@@ -260,7 +267,10 @@ mod tests {
         let s = schema();
         let mut d = paper_instance(&s);
         // Make t1 and t2 disagree on city while sharing CC, AC.
-        d.update_cell(dq_relation::instance::CellRef::new(TupleId(1), 4), Value::str("EDI"));
+        d.update_cell(
+            dq_relation::instance::CellRef::new(TupleId(1), 4),
+            Value::str("EDI"),
+        );
         let f2 = Fd::new(&s, &["CC", "AC"], &["city"]);
         let v = f2.violations(&d);
         assert_eq!(v.len(), 1);
@@ -277,7 +287,10 @@ mod tests {
         ];
         let closure = attribute_closure(&s.attrs(&["CC", "AC", "phn"]), &fds);
         assert_eq!(closure.len(), 6);
-        assert!(fd_implies(&fds, &Fd::new(&s, &["CC", "AC", "phn"], &["street"])));
+        assert!(fd_implies(
+            &fds,
+            &Fd::new(&s, &["CC", "AC", "phn"], &["street"])
+        ));
         assert!(!fd_implies(&fds, &Fd::new(&s, &["zip"], &["city"])));
         // Reflexivity: X -> X' for X' subset of X.
         assert!(fd_implies(&[], &Fd::new(&s, &["CC", "AC"], &["AC"])));
@@ -333,7 +346,7 @@ mod tests {
     fn is_key_of_detects_duplicates() {
         let s = schema();
         let d0 = paper_instance(&s);
-        assert!(Fd::is_key_of(&s, &["phn"], &d0) == false || d0.len() < 2);
+        assert!(!Fd::is_key_of(&s, &["phn"], &d0) || d0.len() < 2);
         assert!(Fd::is_key_of(&s, &["CC", "AC", "phn"], &d0));
     }
 

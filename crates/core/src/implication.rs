@@ -28,11 +28,20 @@ use std::sync::Arc;
 
 /// Collects, per attribute, the constants mentioned by any pattern of
 /// `cfds ∪ {extra}`.
-fn mentioned_constants(schema: &RelationSchema, cfds: &[Cfd], extra: Option<&Cfd>) -> Vec<Vec<Value>> {
+fn mentioned_constants(
+    schema: &RelationSchema,
+    cfds: &[Cfd],
+    extra: Option<&Cfd>,
+) -> Vec<Vec<Value>> {
     let mut mentioned: Vec<Vec<Value>> = vec![Vec::new(); schema.arity()];
     let mut note = |cfd: &Cfd| {
         for tp in cfd.tableau() {
-            for (p, &a) in tp.lhs.iter().zip(cfd.lhs()).chain(tp.rhs.iter().zip(cfd.rhs())) {
+            for (p, &a) in tp
+                .lhs
+                .iter()
+                .zip(cfd.lhs())
+                .chain(tp.rhs.iter().zip(cfd.rhs()))
+            {
                 if let PatternValue::Const(v) = p {
                     mentioned[a].push(v.clone());
                 }
@@ -128,8 +137,8 @@ fn cfd_part_implied_exact(sigma: &[Cfd], phi: &Cfd, schema: &Arc<RelationSchema>
     // possible, so unconstrained attributes never accidentally collide).
     let mut t1: Vec<Value> = Vec::with_capacity(schema.arity());
     let mut t2: Vec<Value> = Vec::with_capacity(schema.arity());
-    for a in 0..schema.arity() {
-        let candidates = candidate_values(schema, a, &mentioned[a]);
+    for (a, mentioned_a) in mentioned.iter().enumerate() {
+        let candidates = candidate_values(schema, a, mentioned_a);
         let v1 = candidates.last().cloned().unwrap_or(Value::Null);
         let v2 = candidates
             .get(candidates.len().saturating_sub(2))
@@ -171,6 +180,7 @@ fn cfd_part_implied_exact(sigma: &[Cfd], phi: &Cfd, schema: &Arc<RelationSchema>
         !(equal && matches_const)
     };
 
+    #[allow(clippy::too_many_arguments)] // recursive backtracking state
     fn search(
         sigma: &[Cfd],
         schema: &RelationSchema,
@@ -204,7 +214,16 @@ fn cfd_part_implied_exact(sigma: &[Cfd], phi: &Cfd, schema: &Arc<RelationSchema>
                 Var::T2(_) => t2[attr] = candidate,
             }
             let _ = both;
-            if search(sigma, schema, mentioned, vars, t1, t2, depth + 1, violates_phi) {
+            if search(
+                sigma,
+                schema,
+                mentioned,
+                vars,
+                t1,
+                t2,
+                depth + 1,
+                violates_phi,
+            ) {
                 return true;
             }
         }
@@ -279,14 +298,16 @@ pub fn cfd_implies_closure(sigma: &[Cfd], phi: &Cfd) -> bool {
                 let ptp = &psi.tableau()[0];
                 // Pair mode: every LHS attribute is known to be shared, and
                 // every LHS constant is the known shared value.
-                let fires_pair = psi.lhs().iter().zip(&ptp.lhs).all(|(&a, p)| {
-                    match (closure.get(&a), p) {
-                        (None, _) => false,
-                        (Some(_), PatternValue::Any) => true,
-                        (Some(ClosureVal::Const(v)), PatternValue::Const(c)) => v == c,
-                        (Some(ClosureVal::Equal), PatternValue::Const(_)) => false,
-                    }
-                });
+                let fires_pair =
+                    psi.lhs()
+                        .iter()
+                        .zip(&ptp.lhs)
+                        .all(|(&a, p)| match (closure.get(&a), p) {
+                            (None, _) => false,
+                            (Some(_), PatternValue::Any) => true,
+                            (Some(ClosureVal::Const(v)), PatternValue::Const(c)) => v == c,
+                            (Some(ClosureVal::Equal), PatternValue::Const(_)) => false,
+                        });
                 // Single-tuple mode: only the constant LHS entries need to be
                 // known (wildcards match any single tuple trivially).
                 let fires_single = psi.lhs().iter().zip(&ptp.lhs).all(|(&a, p)| match p {
@@ -454,15 +475,37 @@ mod tests {
         // [CC, AC] -> [city] and [city] -> [zip] imply [CC, AC] -> [zip]
         // (all-wildcard patterns, i.e. plain FDs).
         let sigma = vec![
-            Cfd::new(&s, &["CC", "AC"], &["city"], vec![PatternTuple::all_wildcards(2, 1)]).unwrap(),
-            Cfd::new(&s, &["city"], &["zip"], vec![PatternTuple::all_wildcards(1, 1)]).unwrap(),
+            Cfd::new(
+                &s,
+                &["CC", "AC"],
+                &["city"],
+                vec![PatternTuple::all_wildcards(2, 1)],
+            )
+            .unwrap(),
+            Cfd::new(
+                &s,
+                &["city"],
+                &["zip"],
+                vec![PatternTuple::all_wildcards(1, 1)],
+            )
+            .unwrap(),
         ];
-        let target =
-            Cfd::new(&s, &["CC", "AC"], &["zip"], vec![PatternTuple::all_wildcards(2, 1)]).unwrap();
+        let target = Cfd::new(
+            &s,
+            &["CC", "AC"],
+            &["zip"],
+            vec![PatternTuple::all_wildcards(2, 1)],
+        )
+        .unwrap();
         assert!(cfd_implies_closure(&sigma, &target));
         assert!(cfd_implies_exact(&sigma, &target));
-        let not_implied =
-            Cfd::new(&s, &["zip"], &["city"], vec![PatternTuple::all_wildcards(1, 1)]).unwrap();
+        let not_implied = Cfd::new(
+            &s,
+            &["zip"],
+            &["city"],
+            vec![PatternTuple::all_wildcards(1, 1)],
+        )
+        .unwrap();
         assert!(!cfd_implies_closure(&sigma, &not_implied));
         assert!(!cfd_implies_exact(&sigma, &not_implied));
     }
@@ -472,8 +515,13 @@ mod tests {
         let s = customer();
         // The unconditional FD [zip] -> [street] implies its restriction to
         // UK tuples ([CC, zip] -> [street] with CC = 44).
-        let sigma =
-            vec![Cfd::new(&s, &["zip"], &["street"], vec![PatternTuple::all_wildcards(1, 1)]).unwrap()];
+        let sigma = vec![Cfd::new(
+            &s,
+            &["zip"],
+            &["street"],
+            vec![PatternTuple::all_wildcards(1, 1)],
+        )
+        .unwrap()];
         let uk_only = Cfd::new(
             &s,
             &["CC", "zip"],
@@ -484,8 +532,13 @@ mod tests {
         assert!(cfd_implies_closure(&sigma, &uk_only));
         assert!(cfd_implies_exact(&sigma, &uk_only));
         // The converse does not hold.
-        let general =
-            Cfd::new(&s, &["zip"], &["street"], vec![PatternTuple::all_wildcards(1, 1)]).unwrap();
+        let general = Cfd::new(
+            &s,
+            &["zip"],
+            &["street"],
+            vec![PatternTuple::all_wildcards(1, 1)],
+        )
+        .unwrap();
         let sigma_uk = vec![uk_only];
         assert!(!cfd_implies_closure(&sigma_uk, &general));
         assert!(!cfd_implies_exact(&sigma_uk, &general));
@@ -543,14 +596,23 @@ mod tests {
                 vec![PatternTuple::new(vec![cst(44), wild()], vec![wild()])],
             )
             .unwrap(),
-            Cfd::new(&s, &["CC", "AC"], &["city"], vec![PatternTuple::all_wildcards(2, 1)]).unwrap(),
+            Cfd::new(
+                &s,
+                &["CC", "AC"],
+                &["city"],
+                vec![PatternTuple::all_wildcards(2, 1)],
+            )
+            .unwrap(),
         ];
         let candidates = vec![
             Cfd::new(
                 &s,
                 &["CC", "AC", "zip"],
                 &["street"],
-                vec![PatternTuple::new(vec![cst(44), wild(), wild()], vec![wild()])],
+                vec![PatternTuple::new(
+                    vec![cst(44), wild(), wild()],
+                    vec![wild()],
+                )],
             )
             .unwrap(),
             Cfd::new(
@@ -576,8 +638,20 @@ mod tests {
             [("A", Domain::Bool), ("B", Domain::Text)],
         ));
         let sigma = vec![
-            Cfd::new(&s, &["A"], &["B"], vec![PatternTuple::new(vec![cst(true)], vec![cst("b")])]).unwrap(),
-            Cfd::new(&s, &["A"], &["B"], vec![PatternTuple::new(vec![cst(false)], vec![cst("b")])]).unwrap(),
+            Cfd::new(
+                &s,
+                &["A"],
+                &["B"],
+                vec![PatternTuple::new(vec![cst(true)], vec![cst("b")])],
+            )
+            .unwrap(),
+            Cfd::new(
+                &s,
+                &["A"],
+                &["B"],
+                vec![PatternTuple::new(vec![cst(false)], vec![cst("b")])],
+            )
+            .unwrap(),
         ];
         let target = Cfd::new(
             &s,
@@ -596,7 +670,13 @@ mod tests {
     fn minimal_cover_drops_redundant_cfds() {
         let s = customer();
         let sigma = vec![
-            Cfd::new(&s, &["zip"], &["street"], vec![PatternTuple::all_wildcards(1, 1)]).unwrap(),
+            Cfd::new(
+                &s,
+                &["zip"],
+                &["street"],
+                vec![PatternTuple::all_wildcards(1, 1)],
+            )
+            .unwrap(),
             // Redundant: restriction of the first to CC = 44.
             Cfd::new(
                 &s,
@@ -605,7 +685,13 @@ mod tests {
                 vec![PatternTuple::new(vec![cst(44), wild()], vec![wild()])],
             )
             .unwrap(),
-            Cfd::new(&s, &["CC", "AC"], &["city"], vec![PatternTuple::all_wildcards(2, 1)]).unwrap(),
+            Cfd::new(
+                &s,
+                &["CC", "AC"],
+                &["city"],
+                vec![PatternTuple::all_wildcards(2, 1)],
+            )
+            .unwrap(),
         ];
         let cover = cfd_minimal_cover(&sigma);
         assert_eq!(cover.len(), 2);
@@ -618,15 +704,27 @@ mod tests {
     fn cind_implication_by_transitivity_via_chase() {
         let order = Arc::new(RelationSchema::new(
             "order",
-            [("title", Domain::Text), ("type", Domain::Text), ("price", Domain::Real)],
+            [
+                ("title", Domain::Text),
+                ("type", Domain::Text),
+                ("price", Domain::Real),
+            ],
         ));
         let cd = Arc::new(RelationSchema::new(
             "CD",
-            [("album", Domain::Text), ("genre", Domain::Text), ("price", Domain::Real)],
+            [
+                ("album", Domain::Text),
+                ("genre", Domain::Text),
+                ("price", Domain::Real),
+            ],
         ));
         let book = Arc::new(RelationSchema::new(
             "book",
-            [("title", Domain::Text), ("format", Domain::Text), ("price", Domain::Real)],
+            [
+                ("title", Domain::Text),
+                ("format", Domain::Text),
+                ("price", Domain::Real),
+            ],
         ));
         // order(title; type='a-cd') ⊆ CD(album; genre='a-book') and
         // CD(album; genre='a-book') ⊆ book(title; format='audio')
@@ -637,7 +735,10 @@ mod tests {
             &cd,
             &["album"],
             &["genre"],
-            vec![CindPattern::new(vec![Value::str("a-cd")], vec![Value::str("a-book")])],
+            vec![CindPattern::new(
+                vec![Value::str("a-cd")],
+                vec![Value::str("a-book")],
+            )],
         )
         .unwrap();
         let c2 = Cind::new(
@@ -647,7 +748,10 @@ mod tests {
             &book,
             &["title"],
             &["format"],
-            vec![CindPattern::new(vec![Value::str("a-book")], vec![Value::str("audio")])],
+            vec![CindPattern::new(
+                vec![Value::str("a-book")],
+                vec![Value::str("audio")],
+            )],
         )
         .unwrap();
         // Implied: order(title; type='a-cd') ⊆ book(title; format='audio').
@@ -658,10 +762,17 @@ mod tests {
             &book,
             &["title"],
             &["format"],
-            vec![CindPattern::new(vec![Value::str("a-cd")], vec![Value::str("audio")])],
+            vec![CindPattern::new(
+                vec![Value::str("a-cd")],
+                vec![Value::str("audio")],
+            )],
         )
         .unwrap();
-        assert!(cind_implies_chase(&[c1.clone(), c2.clone()], &target, 10_000));
+        assert!(cind_implies_chase(
+            &[c1.clone(), c2.clone()],
+            &target,
+            10_000
+        ));
         // Not implied with a different RHS pattern constant.
         let wrong = Cind::new(
             &order,
@@ -670,7 +781,10 @@ mod tests {
             &book,
             &["title"],
             &["format"],
-            vec![CindPattern::new(vec![Value::str("a-cd")], vec![Value::str("paper")])],
+            vec![CindPattern::new(
+                vec![Value::str("a-cd")],
+                vec![Value::str("paper")],
+            )],
         )
         .unwrap();
         assert!(!cind_implies_chase(&[c1, c2], &wrong, 10_000));
@@ -696,7 +810,7 @@ mod tests {
             vec![CindPattern::new(vec![Value::str("book")], vec![])],
         )
         .unwrap();
-        assert!(cind_implies_chase(&[psi.clone()], &psi, 1_000));
+        assert!(cind_implies_chase(std::slice::from_ref(&psi), &psi, 1_000));
         assert!(!cind_implies_chase(&[], &psi, 1_000));
     }
 }

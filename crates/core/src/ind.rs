@@ -213,21 +213,19 @@ pub fn ind_implies(sigma: &[Ind], target: &Ind, max_steps: usize) -> bool {
             // we can no longer certify the target's equality for it.
             let mut pebbles = vec![None; k];
             let mut ok = true;
-            for i in 0..k {
-                match config.pebbles[i] {
+            for (i, pebble) in config.pebbles.iter().enumerate() {
+                match *pebble {
                     None => {
                         ok = false;
                         break;
                     }
-                    Some(attr) => {
-                        match ind.lhs_attrs().iter().position(|&a| a == attr) {
-                            Some(pos) => pebbles[i] = Some(ind.rhs_attrs()[pos]),
-                            None => {
-                                ok = false;
-                                break;
-                            }
+                    Some(attr) => match ind.lhs_attrs().iter().position(|&a| a == attr) {
+                        Some(pos) => pebbles[i] = Some(ind.rhs_attrs()[pos]),
+                        None => {
+                            ok = false;
+                            break;
                         }
-                    }
+                    },
                 }
             }
             if !ok {
@@ -253,7 +251,11 @@ mod tests {
     use super::*;
     use dq_relation::{Domain, RelationInstance, Value};
 
-    fn schemas() -> (Arc<RelationSchema>, Arc<RelationSchema>, Arc<RelationSchema>) {
+    fn schemas() -> (
+        Arc<RelationSchema>,
+        Arc<RelationSchema>,
+        Arc<RelationSchema>,
+    ) {
         let order = Arc::new(RelationSchema::new(
             "order",
             [
@@ -287,14 +289,50 @@ mod tests {
     fn db() -> Database {
         let (order, book, cd) = schemas();
         let mut oi = RelationInstance::new(order);
-        oi.insert_values([Value::str("a23"), Value::str("Snow White"), Value::str("CD"), Value::real(7.99)]).unwrap();
-        oi.insert_values([Value::str("a12"), Value::str("Harry Potter"), Value::str("book"), Value::real(17.99)]).unwrap();
+        oi.insert_values([
+            Value::str("a23"),
+            Value::str("Snow White"),
+            Value::str("CD"),
+            Value::real(7.99),
+        ])
+        .unwrap();
+        oi.insert_values([
+            Value::str("a12"),
+            Value::str("Harry Potter"),
+            Value::str("book"),
+            Value::real(17.99),
+        ])
+        .unwrap();
         let mut bi = RelationInstance::new(book);
-        bi.insert_values([Value::str("b32"), Value::str("Harry Potter"), Value::real(17.99), Value::str("hard-cover")]).unwrap();
-        bi.insert_values([Value::str("b65"), Value::str("Snow White"), Value::real(7.99), Value::str("paper-cover")]).unwrap();
+        bi.insert_values([
+            Value::str("b32"),
+            Value::str("Harry Potter"),
+            Value::real(17.99),
+            Value::str("hard-cover"),
+        ])
+        .unwrap();
+        bi.insert_values([
+            Value::str("b65"),
+            Value::str("Snow White"),
+            Value::real(7.99),
+            Value::str("paper-cover"),
+        ])
+        .unwrap();
         let mut ci = RelationInstance::new(cd);
-        ci.insert_values([Value::str("c12"), Value::str("J. Denver"), Value::real(7.94), Value::str("country")]).unwrap();
-        ci.insert_values([Value::str("c58"), Value::str("Snow White"), Value::real(7.99), Value::str("a-book")]).unwrap();
+        ci.insert_values([
+            Value::str("c12"),
+            Value::str("J. Denver"),
+            Value::real(7.94),
+            Value::str("country"),
+        ])
+        .unwrap();
+        ci.insert_values([
+            Value::str("c58"),
+            Value::str("Snow White"),
+            Value::real(7.99),
+            Value::str("a-book"),
+        ])
+        .unwrap();
         let mut db = Database::new();
         db.add_relation(oi);
         db.add_relation(bi);
@@ -358,10 +396,14 @@ mod tests {
         let given = Ind::new(&order, &["title", "price"], &book, &["title", "price"]).unwrap();
         // Projection: order[title] ⊆ book[title].
         let projected = Ind::new(&order, &["title"], &book, &["title"]).unwrap();
-        assert!(ind_implies(&[given.clone()], &projected, 10_000));
+        assert!(ind_implies(
+            std::slice::from_ref(&given),
+            &projected,
+            10_000
+        ));
         // Permutation: order[price, title] ⊆ book[price, title].
         let permuted = Ind::new(&order, &["price", "title"], &book, &["price", "title"]).unwrap();
-        assert!(ind_implies(&[given.clone()], &permuted, 10_000));
+        assert!(ind_implies(std::slice::from_ref(&given), &permuted, 10_000));
         // Not implied: order[price] ⊆ book[isbn].
         let wrong = Ind::new(&order, &["price"], &book, &["isbn"]).unwrap();
         assert!(!ind_implies(&[given], &wrong, 10_000));

@@ -12,6 +12,7 @@
 //! * [`ecfd`] — CFDs with disjunction and inequality (Section 2.3);
 //! * [`denial`] — denial constraints (Sections 2.3, 5);
 //! * [`detect`] — violation detection, batch and incremental;
+//! * [`engine`] — shared-index, parallel detection over dependency sets;
 //! * [`consistency`] — consistency analysis (Theorem 4.1/4.3, Example 4.1);
 //! * [`implication`] — implication analysis and minimal covers
 //!   (Theorem 4.2/4.3);
@@ -26,6 +27,7 @@ pub mod consistency;
 pub mod denial;
 pub mod detect;
 pub mod ecfd;
+pub mod engine;
 pub mod fd;
 pub mod implication;
 pub mod ind;
@@ -48,6 +50,7 @@ pub mod prelude {
         EcfdViolationReport,
     };
     pub use crate::ecfd::{Ecfd, EcfdPattern, SetPattern};
+    pub use crate::engine::DetectionEngine;
     pub use crate::fd::{attribute_closure, candidate_keys, fd_implies, minimal_cover, Fd};
     pub use crate::implication::{
         cfd_implies, cfd_implies_closure, cfd_implies_exact, cfd_minimal_cover, cind_implies_chase,

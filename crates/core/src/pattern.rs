@@ -268,4 +268,97 @@ mod tests {
         let tp = PatternTuple::new(vec![cst(44), wild()], vec![cst("EDI")]);
         assert_eq!(tp.to_string(), "(44, _ ‖ EDI)");
     }
+
+    // --- match-operator edge cases ------------------------------------------
+
+    /// A wildcard-only row matches every tuple on both sides: it is exactly
+    /// the embedded traditional FD and never produces a constant mismatch.
+    #[test]
+    fn wildcard_only_rows_match_everything_and_mismatch_nothing() {
+        let tp = PatternTuple::all_wildcards(3, 2);
+        for values in [
+            vec![
+                Value::int(0),
+                Value::int(0),
+                Value::int(0),
+                Value::int(0),
+                Value::int(0),
+            ],
+            vec![
+                Value::str(""),
+                Value::str("x"),
+                Value::bool(true),
+                Value::real(1.5),
+                Value::int(-7),
+            ],
+        ] {
+            let t = Tuple::from_values(values);
+            assert!(tp.lhs_matches(&t, &[0, 1, 2]));
+            assert!(tp.rhs_matches(&t, &[3, 4]));
+            assert!(tp.rhs_mismatches(&t, &[3, 4]).is_empty());
+        }
+    }
+
+    /// A constant-RHS row with a wildcard LHS constrains *every* tuple: the
+    /// LHS side always matches, so the RHS constant must hold unconditionally
+    /// (the single-tuple violation class of Section 2.1).
+    #[test]
+    fn constant_rhs_with_wildcard_lhs_applies_to_every_tuple() {
+        let tp = PatternTuple::new(vec![wild()], vec![cst("EDI")]);
+        let conforming = Tuple::from_values([Value::str("anything"), Value::str("EDI")]);
+        let violating = Tuple::from_values([Value::str("anything"), Value::str("NYC")]);
+        assert!(tp.lhs_matches(&conforming, &[0]) && tp.rhs_matches(&conforming, &[1]));
+        assert!(tp.lhs_matches(&violating, &[0]) && !tp.rhs_matches(&violating, &[1]));
+        assert_eq!(tp.rhs_mismatches(&violating, &[1]), vec![0]);
+    }
+
+    /// Finite-domain values (booleans) behave like any other constant under
+    /// `≍`: equality on the nose, wildcard for free — and the two domain
+    /// elements never match each other.
+    #[test]
+    fn finite_domain_values_match_by_equality_only() {
+        assert!(cst(true).matches(&Value::bool(true)));
+        assert!(!cst(true).matches(&Value::bool(false)));
+        assert!(cst(false).matches(&Value::bool(false)));
+        assert!(wild().matches(&Value::bool(true)) && wild().matches(&Value::bool(false)));
+        // Cross-domain constants never match: `true` is not the string "true".
+        assert!(!cst(true).matches(&Value::str("true")));
+        assert!(!cst(1).matches(&Value::bool(true)));
+    }
+
+    /// The asymmetry Section 2.1 relies on: `≍` itself is symmetric
+    /// (`a ≍ _` and `_ ≍ a`), but its two *uses* are not interchangeable —
+    /// a data value is only consumed on the left of `t[X] ≍ tp[X]`, so a
+    /// constant pattern entry accepts exactly one value while the wildcard
+    /// accepts all, and consequently subsumption between entries is a strict
+    /// one-way order (`a` refines `_`, never the reverse).
+    #[test]
+    fn match_operator_asymmetry_between_constants_and_wildcards() {
+        // Symmetric as a relation between pattern entries...
+        assert!(cst("EDI").matches_pattern(&wild()));
+        assert!(wild().matches_pattern(&cst("EDI")));
+        // ...but directional as a constraint: the constant pins data, the
+        // wildcard does not, and the refinement order is strict.
+        assert!(cst("EDI").subsumes(&wild()));
+        assert!(!wild().subsumes(&cst("EDI")));
+        // Two distinct constants match neither way, and matching a value is
+        // not matching a pattern: `_` as a pattern entry matches the value
+        // "EDI", yet no value exists that `≍`-matches both "EDI" and "NYC".
+        assert!(!cst("EDI").matches_pattern(&cst("NYC")));
+        let candidates = [Value::str("EDI"), Value::str("NYC"), Value::str("_")];
+        assert!(!candidates
+            .iter()
+            .any(|v| cst("EDI").matches(v) && cst("NYC").matches(v)));
+    }
+
+    /// `rhs_mismatches` pinpoints only constant mismatches, in position
+    /// order, across mixed wildcard/constant rows.
+    #[test]
+    fn rhs_mismatch_positions_across_mixed_rows() {
+        let t = Tuple::from_values([Value::str("NYC"), Value::int(212), Value::bool(false)]);
+        let tp = PatternTuple::new(vec![], vec![cst("EDI"), wild(), cst(true)]);
+        assert_eq!(tp.rhs_mismatches(&t, &[0, 1, 2]), vec![0, 2]);
+        let all_wild = PatternTuple::new(vec![], vec![wild(), wild(), wild()]);
+        assert!(all_wild.rhs_mismatches(&t, &[0, 1, 2]).is_empty());
+    }
 }

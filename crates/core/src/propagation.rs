@@ -228,7 +228,12 @@ mod tests {
     /// To stay inside the SPCU algebra (no value-invention operator), each
     /// source carries its own constant `CC` column — the view simply projects
     /// it — which is how such integration views are typically materialized.
-    fn setup() -> (DatabaseSchema, BTreeMap<String, Vec<Cfd>>, View, Arc<RelationSchema>) {
+    fn setup() -> (
+        DatabaseSchema,
+        BTreeMap<String, Vec<Cfd>>,
+        View,
+        Arc<RelationSchema>,
+    ) {
         let mut schema = DatabaseSchema::new();
         let mut sigma = BTreeMap::new();
         for (name, _cc) in [("R1", 44i64), ("R2", 1i64), ("R3", 31i64)] {
@@ -255,9 +260,8 @@ mod tests {
         }
         // The integration view: select each source on its country code and
         // union the results (columns: CC, AC, zip, street, city).
-        let branch = |name: &str, cc: i64| {
-            View::base(name).select(Predicate::EqConst(0, Value::int(cc)))
-        };
+        let branch =
+            |name: &str, cc: i64| View::base(name).select(Predicate::EqConst(0, Value::int(cc)));
         let view = branch("R1", 44)
             .union(branch("R2", 1))
             .union(branch("R3", 31));
@@ -320,11 +324,14 @@ mod tests {
         let (schema, mut sigma, view, view_schema) = setup();
         // Remove the zip -> street dependency from the UK source; ϕ7 no
         // longer propagates.
-        sigma.insert("R1".into(), vec![Cfd::from_fd(&Fd::new(
-            &schema.relation("R1").unwrap(),
-            &["AC"],
-            &["city"],
-        ))]);
+        sigma.insert(
+            "R1".into(),
+            vec![Cfd::from_fd(&Fd::new(
+                &schema.relation("R1").unwrap(),
+                &["AC"],
+                &["city"],
+            ))],
+        );
         let phi7 = Cfd::new(
             &view_schema,
             &["CC", "zip"],

@@ -48,10 +48,7 @@ impl AggregateRange {
 
 /// Numeric view of a value for aggregation (integers and reals only).
 fn numeric(value: &Value) -> Option<f64> {
-    value
-        .as_int()
-        .map(|i| i as f64)
-        .or_else(|| value.as_real())
+    value.as_int().map(|i| i as f64).or_else(|| value.as_real())
 }
 
 /// Evaluates an aggregate on a single (consistent) instance.  `attr` is
@@ -236,9 +233,17 @@ mod tests {
         for (e, a) in [("ann", 10), ("bob", 5)] {
             inst.insert_values([Value::str(e), Value::int(a)]).unwrap();
         }
-        for agg in [AggregateFn::Count, AggregateFn::Sum, AggregateFn::Min, AggregateFn::Max] {
+        for agg in [
+            AggregateFn::Count,
+            AggregateFn::Sum,
+            AggregateFn::Min,
+            AggregateFn::Max,
+        ] {
             let r = range_consistent_aggregate(&inst, &[0], agg, 1);
-            assert!(r.is_certain(), "{agg:?} should be certain on consistent data");
+            assert!(
+                r.is_certain(),
+                "{agg:?} should be certain on consistent data"
+            );
             assert!(r.contains(aggregate_on(&inst, agg, 1)));
         }
     }
@@ -259,7 +264,9 @@ mod tests {
         let inst = conflicted();
         let mut one_repair = RelationInstance::new(schema());
         for (e, a) in [("ann", 20), ("bob", 5), ("eve", 3)] {
-            one_repair.insert_values([Value::str(e), Value::int(a)]).unwrap();
+            one_repair
+                .insert_values([Value::str(e), Value::int(a)])
+                .unwrap();
         }
         for agg in [AggregateFn::Sum, AggregateFn::Min, AggregateFn::Max] {
             let r = range_consistent_aggregate(&inst, &[0], agg, 1);

@@ -18,7 +18,9 @@ pub mod rewrite;
 
 /// Frequently used items.
 pub mod prelude {
-    pub use crate::aggregate::{aggregate_on, range_consistent_aggregate, AggregateFn, AggregateRange};
+    pub use crate::aggregate::{
+        aggregate_on, range_consistent_aggregate, AggregateFn, AggregateRange,
+    };
     pub use crate::oracle::{
         certain_answers_oracle, possible_answers_oracle, repair_count, single_relation_db,
     };

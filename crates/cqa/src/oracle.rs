@@ -37,7 +37,11 @@ pub fn certain_answers_oracle(
 
 /// Number of repairs the oracle has to evaluate — the cost driver contrasted
 /// with the rewriting in the benchmark.
-pub fn repair_count(db: &Database, relation: &str, constraints: &[DenialConstraint]) -> DqResult<usize> {
+pub fn repair_count(
+    db: &Database,
+    relation: &str,
+    constraints: &[DenialConstraint],
+) -> DqResult<usize> {
     let dirty = db.require_relation(relation)?;
     Ok(enumerate_repairs(dirty, constraints).len())
 }
@@ -137,7 +141,8 @@ mod tests {
     #[test]
     fn consistent_databases_behave_classically() {
         let mut inst = RelationInstance::new(schema());
-        inst.insert_values([Value::str("ann"), Value::str("cs")]).unwrap();
+        inst.insert_values([Value::str("ann"), Value::str("cs")])
+            .unwrap();
         let constraints = DenialConstraint::from_fd(&Fd::new(&schema(), &["name"], &["dept"]));
         let db = single_relation_db(inst);
         let q = ConjunctiveQuery::new(

@@ -88,9 +88,8 @@ pub fn classify_tree_query(query: &ConjunctiveQuery, keys: &[KeySpec]) -> DqResu
     // Variables offered by already-placed atoms (their non-key positions).
     let mut available: BTreeMap<String, usize> = BTreeMap::new(); // var -> offering atom
 
-    let key_positions = |atom: &Atom| -> DqResult<Vec<usize>> {
-        Ok(key_of(keys, &atom.relation)?.key.clone())
-    };
+    let key_positions =
+        |atom: &Atom| -> DqResult<Vec<usize>> { Ok(key_of(keys, &atom.relation)?.key.clone()) };
 
     loop {
         let mut progressed = false;
@@ -223,13 +222,19 @@ fn atom_certain(
         }
         // Comparisons that are fully bound must hold for every group member.
         for c in &query.comparisons {
-            if let (Some(l), Some(r)) = (resolve(&c.left, &extended), resolve(&c.right, &extended)) {
+            if let (Some(l), Some(r)) = (resolve(&c.left, &extended), resolve(&c.right, &extended))
+            {
                 if !c.op.eval(&l, &r) {
                     return Ok(false);
                 }
             }
         }
-        for &child in plan.children.get(&atom_idx).map(|v| v.as_slice()).unwrap_or(&[]) {
+        for &child in plan
+            .children
+            .get(&atom_idx)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+        {
             if !atom_certain(db, keys, query, plan, indexes, child, &extended)? {
                 return Ok(false);
             }
@@ -349,7 +354,11 @@ mod tests {
     fn emp_schema() -> Arc<RelationSchema> {
         Arc::new(RelationSchema::new(
             "emp",
-            [("name", Domain::Text), ("dept", Domain::Text), ("grade", Domain::Int)],
+            [
+                ("name", Domain::Text),
+                ("dept", Domain::Text),
+                ("grade", Domain::Int),
+            ],
         ))
     }
 
@@ -372,10 +381,16 @@ mod tests {
             ("bob", "cs", 2),
             ("carol", "me", 3),
         ] {
-            emp.insert_values([Value::str(n), Value::str(d), Value::int(g)]).unwrap();
+            emp.insert_values([Value::str(n), Value::str(d), Value::int(g)])
+                .unwrap();
         }
         let mut dept = RelationInstance::new(dept_schema());
-        for (d, m) in [("cs", "dana"), ("cs", "derek"), ("ee", "erin"), ("me", "mo")] {
+        for (d, m) in [
+            ("cs", "dana"),
+            ("cs", "derek"),
+            ("ee", "erin"),
+            ("me", "mo"),
+        ] {
             dept.insert_values([Value::str(d), Value::str(m)]).unwrap();
         }
         let mut db = Database::new();
@@ -387,7 +402,8 @@ mod tests {
     #[test]
     fn single_atom_rewriting_matches_the_oracle() {
         let db = dirty_db();
-        let constraints = DenialConstraint::from_fd(&Fd::new(&emp_schema(), &["name"], &["dept", "grade"]));
+        let constraints =
+            DenialConstraint::from_fd(&Fd::new(&emp_schema(), &["name"], &["dept", "grade"]));
         // q(n, d) :- emp(n, d, g)
         let q = ConjunctiveQuery::new(
             vec!["n", "d"],
@@ -480,7 +496,10 @@ mod tests {
             vec!["n"],
             vec![
                 Atom::new("emp", vec![Term::var("n"), Term::var("d"), Term::var("g")]),
-                Atom::new("emp", vec![Term::var("n2"), Term::var("d"), Term::var("g2")]),
+                Atom::new(
+                    "emp",
+                    vec![Term::var("n2"), Term::var("d"), Term::var("g2")],
+                ),
             ],
             vec![],
         );

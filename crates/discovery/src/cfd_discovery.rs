@@ -146,7 +146,11 @@ pub fn discover_constant_cfds(
                         continue;
                     }
                     entry.push(PatternTuple::new(
-                        lhs_values.iter().cloned().map(PatternValue::Const).collect(),
+                        lhs_values
+                            .iter()
+                            .cloned()
+                            .map(PatternValue::Const)
+                            .collect(),
                         vec![PatternValue::Const(first.clone())],
                     ));
                 }
@@ -167,10 +171,7 @@ pub fn discover_constant_cfds(
 /// Whether the LHS pattern `a` matches every tuple the LHS pattern `b`
 /// matches: at every position `a` is either a wildcard or equal to `b`.
 fn lhs_more_general(a: &[PatternValue], b: &[PatternValue]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(pa, pb)| pa.is_any() || pa == pb)
+    a.len() == b.len() && a.iter().zip(b).all(|(pa, pb)| pa.is_any() || pa == pb)
 }
 
 /// Whether some proper subset of the condition already forces `rhs = value`
@@ -248,7 +249,10 @@ pub fn discover_tableau_for_fd(
             // Distinct value combinations actually present in the data.
             let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
             for (pos, tuple) in tuples.iter().enumerate() {
-                groups.entry(tuple.project(&cond_attrs)).or_default().push(pos);
+                groups
+                    .entry(tuple.project(&cond_attrs))
+                    .or_default()
+                    .push(pos);
             }
             for (cond_values, members) in groups {
                 if members.len() < config.min_support {
@@ -409,7 +413,14 @@ mod tests {
     fn uk_us_instance() -> RelationInstance {
         let mut inst = RelationInstance::new(schema());
         for i in 0..6 {
-            row(&mut inst, 44, 131, "EDI", &format!("EH{}", i / 2), &format!("S{}", i / 2));
+            row(
+                &mut inst,
+                44,
+                131,
+                "EDI",
+                &format!("EH{}", i / 2),
+                &format!("S{}", i / 2),
+            );
         }
         // US: same zip, different streets.
         row(&mut inst, 1, 908, "MH", "07974", "Mtn Ave");
@@ -440,7 +451,10 @@ mod tests {
         });
         assert!(found, "expected ac=131 → city=EDI, got {cfds:?}");
         let redundant = cfds.iter().any(|c| c.lhs() == [0, 1] && c.rhs() == [2]);
-        assert!(!redundant, "two-attribute condition should be pruned as non-minimal");
+        assert!(
+            !redundant,
+            "two-attribute condition should be pruned as non-minimal"
+        );
     }
 
     #[test]
@@ -449,7 +463,10 @@ mod tests {
         let cfds = discover_constant_cfds(&inst, &CfdDiscoveryConfig::default());
         assert!(!cfds.is_empty());
         let report = detect_cfd_violations(&inst, &cfds);
-        assert!(report.is_clean(), "discovered constant CFDs must hold on the data");
+        assert!(
+            report.is_clean(),
+            "discovered constant CFDs must hold on the data"
+        );
     }
 
     #[test]
@@ -460,10 +477,15 @@ mod tests {
         let cfd = discover_tableau_for_fd(&inst, &fd, &CfdDiscoveryConfig::default())
             .expect("a conditional tableau exists");
         assert!(cfd.holds_on(&inst));
-        let has_uk_pattern = cfd.tableau().iter().any(|tp| {
-            tp.lhs.first() == Some(&PatternValue::Const(Value::int(44)))
-        });
-        assert!(has_uk_pattern, "expected a (44, _) pattern, got {:?}", cfd.tableau());
+        let has_uk_pattern = cfd
+            .tableau()
+            .iter()
+            .any(|tp| tp.lhs.first() == Some(&PatternValue::Const(Value::int(44))));
+        assert!(
+            has_uk_pattern,
+            "expected a (44, _) pattern, got {:?}",
+            cfd.tableau()
+        );
     }
 
     #[test]

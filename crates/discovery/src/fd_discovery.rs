@@ -68,8 +68,8 @@ pub fn discover_fds(instance: &RelationInstance, config: &FdDiscoveryConfig) -> 
     let mut cache: HashMap<Vec<usize>, StrippedPartition> = HashMap::new();
     let mut partitions_built = 0usize;
     let get_partition = |attrs_key: &[usize],
-                             cache: &mut HashMap<Vec<usize>, StrippedPartition>,
-                             built: &mut usize|
+                         cache: &mut HashMap<Vec<usize>, StrippedPartition>,
+                         built: &mut usize|
      -> StrippedPartition {
         let mut key = attrs_key.to_vec();
         key.sort_unstable();
@@ -93,7 +93,10 @@ pub fn discover_fds(instance: &RelationInstance, config: &FdDiscoveryConfig) -> 
         for lhs in subsets_of_size(&attrs, level) {
             let lhs_set: BTreeSet<usize> = lhs.iter().copied().collect();
             // A superset of a superkey trivially determines everything.
-            if superkeys.iter().any(|k| k.is_subset(&lhs_set) && k != &lhs_set) {
+            if superkeys
+                .iter()
+                .any(|k| k.is_subset(&lhs_set) && k != &lhs_set)
+            {
                 continue;
             }
             let lhs_partition = get_partition(&lhs, &mut cache, &mut partitions_built);
@@ -194,7 +197,10 @@ mod tests {
 
     #[test]
     fn subsets_enumeration() {
-        assert_eq!(subsets_of_size(&[0, 1, 2], 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(
+            subsets_of_size(&[0, 1, 2], 2),
+            vec![vec![0, 1], vec![0, 2], vec![1, 2]]
+        );
         assert_eq!(subsets_of_size(&[0, 1], 0), Vec::<Vec<usize>>::new());
         assert_eq!(subsets_of_size(&[0], 2), Vec::<Vec<usize>>::new());
         assert_eq!(subsets_of_size(&[3, 7], 1), vec![vec![3], vec![7]]);

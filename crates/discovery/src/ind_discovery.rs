@@ -102,17 +102,11 @@ pub fn discover_inds(db: &Database, config: &IndDiscoveryConfig) -> DqResult<Dis
                         continue;
                     }
                     candidates_checked += 1;
-                    let lhs_proj: HashSet<Vec<Value>> = lhs_inst
-                        .iter()
-                        .map(|(_, t)| t.project(&[l1, l2]))
-                        .collect();
-                    let rhs_proj: HashSet<Vec<Value>> = rhs_inst
-                        .iter()
-                        .map(|(_, t)| t.project(&[r1, r2]))
-                        .collect();
-                    if lhs_proj.len() >= config.min_distinct
-                        && lhs_proj.is_subset(&rhs_proj)
-                    {
+                    let lhs_proj: HashSet<Vec<Value>> =
+                        lhs_inst.iter().map(|(_, t)| t.project(&[l1, l2])).collect();
+                    let rhs_proj: HashSet<Vec<Value>> =
+                        rhs_inst.iter().map(|(_, t)| t.project(&[r1, r2])).collect();
+                    if lhs_proj.len() >= config.min_distinct && lhs_proj.is_subset(&rhs_proj) {
                         inds.push(Ind::from_indices(
                             lhs_inst.schema().name(),
                             vec![l1, l2],
@@ -245,13 +239,18 @@ mod tests {
         assert!(found.candidates_checked > 0);
         // Every reported IND must actually hold.
         for ind in &found.inds {
-            assert!(ind.holds_on(&db).unwrap(), "discovered IND {ind:?} does not hold");
+            assert!(
+                ind.holds_on(&db).unwrap(),
+                "discovered IND {ind:?} does not hold"
+            );
         }
         // order(title, price) ⊆ book(title, price) does NOT hold on Fig. 3
         // (the Snow White CD order has no book counterpart), so the compound
         // IND must not be reported unconditionally.
         let compound_bogus = found.inds.iter().any(|ind| {
-            ind.lhs_relation() == "order" && ind.rhs_relation() == "book" && ind.lhs_attrs().len() == 2
+            ind.lhs_relation() == "order"
+                && ind.rhs_relation() == "book"
+                && ind.lhs_attrs().len() == 2
         });
         assert!(
             !compound_bogus,
@@ -278,14 +277,18 @@ mod tests {
         let cinds = discover_cind_conditions(&db, &embedded, &config).unwrap();
         assert!(!cinds.is_empty(), "expected the type = 'book' condition");
         let report = detect_cind_violations(&db, &cinds).unwrap();
-        assert!(report.is_clean(), "discovered CINDs must hold on the database");
+        assert!(
+            report.is_clean(),
+            "discovered CINDs must hold on the database"
+        );
         let has_book_condition = cinds.iter().any(|c| {
             c.lhs_pattern_attrs() == [order.attr("type")]
-                && c.tableau()
-                    .iter()
-                    .any(|p| p.lhs == [Value::str("book")])
+                && c.tableau().iter().any(|p| p.lhs == [Value::str("book")])
         });
-        assert!(has_book_condition, "expected condition type = 'book', got {cinds:?}");
+        assert!(
+            has_book_condition,
+            "expected condition type = 'book', got {cinds:?}"
+        );
     }
 
     #[test]

@@ -45,9 +45,9 @@ pub mod prelude {
         discover_cfds, discover_constant_cfds, discover_tableau_for_fd, CfdDiscoveryConfig,
         DiscoveredCfds,
     };
-    pub use crate::fd_discovery::{discover_fds, FdDiscoveryConfig, DiscoveredFds};
+    pub use crate::fd_discovery::{discover_fds, DiscoveredFds, FdDiscoveryConfig};
     pub use crate::ind_discovery::{
-        discover_cind_conditions, discover_inds, IndDiscoveryConfig, DiscoveredInds,
+        discover_cind_conditions, discover_inds, DiscoveredInds, IndDiscoveryConfig,
     };
     pub use crate::md_discovery::{
         learn_relative_keys, LearnedRule, LearnedRuleSet, RuleLearningConfig,

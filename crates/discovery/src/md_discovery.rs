@@ -120,9 +120,13 @@ pub fn learn_relative_keys(
                         )
                     })
                     .collect();
-                if let Ok(key) =
-                    RelativeKey::new(lhs_schema, rhs_schema, comparisons, target_left, target_right)
-                {
+                if let Ok(key) = RelativeKey::new(
+                    lhs_schema,
+                    rhs_schema,
+                    comparisons,
+                    target_left,
+                    target_right,
+                ) {
                     candidates.push(key);
                 }
             }
@@ -130,7 +134,8 @@ pub fn learn_relative_keys(
     }
 
     // Score every candidate on its own.
-    let mut scored: Vec<(RelativeKey, MatchQuality, BTreeSet<(TupleId, TupleId)>)> = Vec::new();
+    type Scored = (RelativeKey, MatchQuality, BTreeSet<(TupleId, TupleId)>);
+    let mut scored: Vec<Scored> = Vec::new();
     let candidates_evaluated = candidates.len();
     for key in candidates {
         let result = Matcher::new(vec![key.clone()]).run(d1, d2);
@@ -158,11 +163,17 @@ pub fn learn_relative_keys(
             .iter()
             .enumerate()
             .map(|(i, (_, quality, matches))| {
-                let new_true = matches.intersection(truth).filter(|m| !covered.contains(m)).count();
+                let new_true = matches
+                    .intersection(truth)
+                    .filter(|m| !covered.contains(m))
+                    .count();
                 (i, new_true, quality.precision)
             })
             .filter(|(_, new_true, _)| *new_true > 0)
-            .max_by(|a, b| a.1.cmp(&b.1).then(a.2.partial_cmp(&b.2).expect("finite precision")));
+            .max_by(|a, b| {
+                a.1.cmp(&b.1)
+                    .then(a.2.partial_cmp(&b.2).expect("finite precision"))
+            });
         let Some((idx, _, _)) = best else { break };
         let (key, quality, matches) = scored.swap_remove(idx);
         covered.extend(matches.intersection(truth).cloned());

@@ -192,11 +192,7 @@ mod tests {
     fn schema() -> Arc<RelationSchema> {
         Arc::new(RelationSchema::new(
             "r",
-            vec![
-                ("a", Domain::Text),
-                ("b", Domain::Text),
-                ("c", Domain::Int),
-            ],
+            vec![("a", Domain::Text), ("b", Domain::Text), ("c", Domain::Int)],
         ))
     }
 

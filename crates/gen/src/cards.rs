@@ -96,7 +96,14 @@ pub struct CardWorkload {
 }
 
 const FIRST_NAMES: [&str; 8] = [
-    "John", "Mary", "Robert", "Patricia", "Michael", "Linda", "William", "Elizabeth",
+    "John",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "Michael",
+    "Linda",
+    "William",
+    "Elizabeth",
 ];
 const LAST_NAMES: [&str; 8] = [
     "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
@@ -250,8 +257,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = generate_cards(&CardConfig { seed: 11, ..CardConfig::default() });
-        let b = generate_cards(&CardConfig { seed: 11, ..CardConfig::default() });
+        let a = generate_cards(&CardConfig {
+            seed: 11,
+            ..CardConfig::default()
+        });
+        let b = generate_cards(&CardConfig {
+            seed: 11,
+            ..CardConfig::default()
+        });
         assert_eq!(a.truth, b.truth);
         assert!(a.card.same_tuples_as(&b.card));
         assert!(a.billing.same_tuples_as(&b.billing));

@@ -110,6 +110,14 @@ pub struct CustomerConfig {
     pub error_rate: f64,
     /// RNG seed (generation is deterministic for a fixed seed).
     pub seed: u64,
+    /// Number of distinct `(AC, city)` pairs per country.  The default `3`
+    /// keeps the paper's fixed city lists; larger pools bound the size of
+    /// the `[CC, AC]` hash groups, so that on multi-million-tuple instances
+    /// the number of ϕ3 pair violations stays proportional to the injected
+    /// error count instead of `errors × group size` blowing up
+    /// quadratically.  Values beyond the fixed lists synthesize cities
+    /// (`UK-C7`/`US-C7`, area codes from disjoint pools).
+    pub cities_per_country: usize,
 }
 
 impl Default for CustomerConfig {
@@ -118,6 +126,7 @@ impl Default for CustomerConfig {
             tuples: 1_000,
             error_rate: 0.05,
             seed: 42,
+            cities_per_country: 3,
         }
     }
 }
@@ -147,12 +156,22 @@ pub fn generate_customers(config: &CustomerConfig) -> CustomerWorkload {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let schema = customer_schema();
     let mut clean = RelationInstance::new(Arc::clone(&schema));
+    let city_pool = config.cities_per_country.max(1);
     for i in 0..config.tuples {
         let uk = rng.gen_bool(0.5);
+        let pick = rng.gen_range(0..city_pool);
         let (cc, (city, ac)) = if uk {
-            (44i64, UK_CITIES[rng.gen_range(0..UK_CITIES.len())])
+            let entry = match UK_CITIES.get(pick) {
+                Some(&(name, ac)) => (name.to_string(), ac),
+                None => (format!("UK-C{pick}"), 2_000 + pick as i64),
+            };
+            (44i64, entry)
         } else {
-            (1i64, US_CITIES[rng.gen_range(0..US_CITIES.len())])
+            let entry = match US_CITIES.get(pick) {
+                Some(&(name, ac)) => (name.to_string(), ac),
+                None => (format!("US-C{pick}"), 5_000 + pick as i64),
+            };
+            (1i64, entry)
         };
         // A bounded pool of zip codes per country so that zip collisions (and
         // with them ϕ1 violations after corruption) actually happen.
@@ -190,7 +209,11 @@ pub fn generate_customers(config: &CustomerConfig) -> CustomerWorkload {
             continue;
         }
         let id = dq_relation::TupleId(i);
-        let attr = if rng.gen_bool(0.5) { city_attr } else { street_attr };
+        let attr = if rng.gen_bool(0.5) {
+            city_attr
+        } else {
+            street_attr
+        };
         let wrong = if attr == city_attr {
             Value::str("WRONGCITY")
         } else {
@@ -229,6 +252,7 @@ mod tests {
             tuples: 400,
             error_rate: 0.0,
             seed: 7,
+            ..Default::default()
         });
         let report = detect_cfd_violations(&workload.clean, &paper_cfds());
         assert!(report.is_clean());
@@ -242,6 +266,7 @@ mod tests {
             tuples: 500,
             error_rate: 0.1,
             seed: 7,
+            ..Default::default()
         });
         assert!(!workload.corrupted_cells.is_empty());
         let report = detect_cfd_violations(&workload.dirty, &paper_cfds());
@@ -254,9 +279,24 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = generate_customers(&CustomerConfig { tuples: 100, error_rate: 0.05, seed: 1 });
-        let b = generate_customers(&CustomerConfig { tuples: 100, error_rate: 0.05, seed: 1 });
-        let c = generate_customers(&CustomerConfig { tuples: 100, error_rate: 0.05, seed: 2 });
+        let a = generate_customers(&CustomerConfig {
+            tuples: 100,
+            error_rate: 0.05,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate_customers(&CustomerConfig {
+            tuples: 100,
+            error_rate: 0.05,
+            seed: 1,
+            ..Default::default()
+        });
+        let c = generate_customers(&CustomerConfig {
+            tuples: 100,
+            error_rate: 0.05,
+            seed: 2,
+            ..Default::default()
+        });
         assert!(a.dirty.same_tuples_as(&b.dirty));
         assert_eq!(a.corrupted_cells, b.corrupted_cells);
         assert!(!a.dirty.same_tuples_as(&c.dirty) || a.corrupted_cells != c.corrupted_cells);

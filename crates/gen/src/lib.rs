@@ -22,8 +22,7 @@ pub mod orders;
 pub mod prelude {
     pub use crate::cards::{generate_cards, CardConfig, CardWorkload};
     pub use crate::customer::{
-        generate_customers, paper_cfds, paper_fds, paper_instance, CustomerConfig,
-        CustomerWorkload,
+        generate_customers, paper_cfds, paper_fds, paper_instance, CustomerConfig, CustomerWorkload,
     };
     pub use crate::master::{generate_master_workload, MasterConfig, MasterWorkload};
     pub use crate::orders::{

@@ -74,7 +74,14 @@ pub struct MasterWorkload {
 const UK_CITIES: [(&str, i64); 3] = [("EDI", 131), ("GLA", 141), ("LDN", 20)];
 const US_CITIES: [(&str, i64); 3] = [("MH", 908), ("NYC", 212), ("SF", 415)];
 const FIRST_NAMES: [&str; 8] = [
-    "John", "Mary", "Robert", "Patricia", "Michael", "Linda", "William", "Elizabeth",
+    "John",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "Michael",
+    "Linda",
+    "William",
+    "Elizabeth",
 ];
 const LAST_NAMES: [&str; 8] = [
     "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
@@ -141,7 +148,10 @@ pub fn generate_master_workload(config: &MasterConfig) -> MasterWorkload {
                 .as_str()
                 .expect("name is a string")
                 .to_string();
-            dirty.update_cell(CellRef::new(id, name_attr), Value::str(vary_name(&original, &mut rng)));
+            dirty.update_cell(
+                CellRef::new(id, name_attr),
+                Value::str(vary_name(&original, &mut rng)),
+            );
         }
         for &attr in &[street_attr, city_attr, zip_attr] {
             if rng.gen_bool(config.error_rate) {
@@ -279,7 +289,14 @@ mod tests {
         });
         let name_attr = w.master.schema().attr("name");
         for (id, dirty_tuple) in w.dirty.iter() {
-            let master_name = w.master.tuple(id).unwrap().get(name_attr).as_str().unwrap().to_string();
+            let master_name = w
+                .master
+                .tuple(id)
+                .unwrap()
+                .get(name_attr)
+                .as_str()
+                .unwrap()
+                .to_string();
             let dirty_name = dirty_tuple.get(name_attr).as_str().unwrap();
             // A variant either stays within a couple of edits (dropped
             // letter) or abbreviates the first name while keeping the

@@ -57,21 +57,51 @@ pub fn cd_schema() -> Arc<RelationSchema> {
 pub fn paper_database() -> Database {
     let mut order = RelationInstance::new(order_schema());
     order
-        .insert_values([Value::str("a23"), Value::str("Snow White"), Value::str("CD"), Value::real(7.99)])
+        .insert_values([
+            Value::str("a23"),
+            Value::str("Snow White"),
+            Value::str("CD"),
+            Value::real(7.99),
+        ])
         .expect("order tuple");
     order
-        .insert_values([Value::str("a12"), Value::str("Harry Potter"), Value::str("book"), Value::real(17.99)])
+        .insert_values([
+            Value::str("a12"),
+            Value::str("Harry Potter"),
+            Value::str("book"),
+            Value::real(17.99),
+        ])
         .expect("order tuple");
     let mut book = RelationInstance::new(book_schema());
-    book.insert_values([Value::str("b32"), Value::str("Harry Potter"), Value::real(17.99), Value::str("hard-cover")])
-        .expect("book tuple");
-    book.insert_values([Value::str("b65"), Value::str("Snow White"), Value::real(7.99), Value::str("paper-cover")])
-        .expect("book tuple");
+    book.insert_values([
+        Value::str("b32"),
+        Value::str("Harry Potter"),
+        Value::real(17.99),
+        Value::str("hard-cover"),
+    ])
+    .expect("book tuple");
+    book.insert_values([
+        Value::str("b65"),
+        Value::str("Snow White"),
+        Value::real(7.99),
+        Value::str("paper-cover"),
+    ])
+    .expect("book tuple");
     let mut cd = RelationInstance::new(cd_schema());
-    cd.insert_values([Value::str("c12"), Value::str("J. Denver"), Value::real(7.94), Value::str("country")])
-        .expect("CD tuple");
-    cd.insert_values([Value::str("c58"), Value::str("Snow White"), Value::real(7.99), Value::str("a-book")])
-        .expect("CD tuple");
+    cd.insert_values([
+        Value::str("c12"),
+        Value::str("J. Denver"),
+        Value::real(7.94),
+        Value::str("country"),
+    ])
+    .expect("CD tuple");
+    cd.insert_values([
+        Value::str("c58"),
+        Value::str("Snow White"),
+        Value::real(7.99),
+        Value::str("a-book"),
+    ])
+    .expect("CD tuple");
     let mut db = Database::new();
     db.add_relation(order);
     db.add_relation(book);
@@ -277,8 +307,11 @@ mod tests {
             assert!(detected.contains(broken));
         }
         // And broken audio books show up as ϕ6 violations.
-        let detected_cds: std::collections::BTreeSet<TupleId> =
-            report.iter().filter(|(i, _)| *i == 2).map(|(_, v)| v.tuple).collect();
+        let detected_cds: std::collections::BTreeSet<TupleId> = report
+            .iter()
+            .filter(|(i, _)| *i == 2)
+            .map(|(_, v)| v.tuple)
+            .collect();
         for broken in &workload.broken_cds {
             assert!(detected_cds.contains(broken));
         }
@@ -286,8 +319,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = generate_orders(&OrderConfig { orders: 100, violation_rate: 0.1, seed: 9 });
-        let b = generate_orders(&OrderConfig { orders: 100, violation_rate: 0.1, seed: 9 });
+        let a = generate_orders(&OrderConfig {
+            orders: 100,
+            violation_rate: 0.1,
+            seed: 9,
+        });
+        let b = generate_orders(&OrderConfig {
+            orders: 100,
+            violation_rate: 0.1,
+            seed: 9,
+        });
         assert_eq!(a.broken_orders, b.broken_orders);
         assert_eq!(a.db.total_tuples(), b.db.total_tuples());
     }

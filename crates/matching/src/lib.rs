@@ -24,7 +24,9 @@ pub mod similarity;
 
 /// Frequently used items.
 pub mod prelude {
-    pub use crate::infer::{close, derivable_matches, md_implies, md_minimal_cover, Fact, FactBase};
+    pub use crate::infer::{
+        close, derivable_matches, md_implies, md_minimal_cover, Fact, FactBase,
+    };
     pub use crate::matcher::{score, MatchClusters, MatchQuality, MatchResult, Matcher};
     pub use crate::md::{MatchOp, MatchingDependency, MdPremise};
     pub use crate::paper::example_3_1_mds;

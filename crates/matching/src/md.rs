@@ -197,11 +197,7 @@ impl MatchingDependency {
     /// (value equality), since `⇋` is not computable from the data
     /// (Section 3.3).  Relative keys — the rules the matcher actually uses —
     /// have no `⇋` premises, so this convention never affects them.
-    pub fn premise_holds(
-        &self,
-        t1: &dq_relation::Tuple,
-        t2: &dq_relation::Tuple,
-    ) -> bool {
+    pub fn premise_holds(&self, t1: &dq_relation::Tuple, t2: &dq_relation::Tuple) -> bool {
         self.premises.iter().all(|p| match &p.op {
             MatchOp::Similarity(op) => op.related(t1.get(p.left), t2.get(p.right)),
             MatchOp::Matching => t1.get(p.left) == t2.get(p.right),
@@ -328,7 +324,10 @@ pub(crate) mod fixtures {
 
     /// The MDs φ1–φ4 of Example 3.1 (with `≈_d` instantiated as edit
     /// distance ≤ 3).
-    pub fn example_3_1(card: &Arc<RelationSchema>, billing: &Arc<RelationSchema>) -> Vec<MatchingDependency> {
+    pub fn example_3_1(
+        card: &Arc<RelationSchema>,
+        billing: &Arc<RelationSchema>,
+    ) -> Vec<MatchingDependency> {
         let yc = ["FN", "LN", "addr", "tel", "email"];
         let yb = ["FN", "SN", "post", "phn", "email"];
         vec![
@@ -433,12 +432,20 @@ mod tests {
         let billing = billing_schema();
         let mds = example_3_1(&card, &billing);
         let t_card = dq_relation::Tuple::new(card_tuple(
-            "John", "Smith", "10 Main St", "555-1234", "js@x.org",
+            "John",
+            "Smith",
+            "10 Main St",
+            "555-1234",
+            "js@x.org",
         ));
         // Same person, first name abbreviated: φ4's edit-distance premise
         // tolerates it, φ3's equality premise does not.
         let t_bill = dq_relation::Tuple::new(billing_tuple(
-            "Jon", "Smith", "10 Main St", "555-9999", "js@y.org",
+            "Jon",
+            "Smith",
+            "10 Main St",
+            "555-9999",
+            "js@y.org",
         ));
         assert!(!mds[2].premise_holds(&t_card, &t_bill));
         assert!(mds[3].premise_holds(&t_card, &t_bill));
@@ -454,11 +461,19 @@ mod tests {
         let mut d1 = RelationInstance::new(card.clone());
         let mut d2 = RelationInstance::new(billing.clone());
         d1.insert(dq_relation::Tuple::new(card_tuple(
-            "John", "Smith", "10 Main St", "555-1234", "js@x.org",
+            "John",
+            "Smith",
+            "10 Main St",
+            "555-1234",
+            "js@x.org",
         )))
         .unwrap();
         d2.insert(dq_relation::Tuple::new(billing_tuple(
-            "Jon", "Smith", "10 Main St", "555-1234", "js@x.org",
+            "Jon",
+            "Smith",
+            "10 Main St",
+            "555-1234",
+            "js@x.org",
         )))
         .unwrap();
         // Oracle that says they do match: the MD holds.
@@ -490,7 +505,11 @@ mod tests {
         )))
         .unwrap();
         d2.insert(dq_relation::Tuple::new(billing_tuple(
-            "John", "Smith", "x", "555", "totally@different.com",
+            "John",
+            "Smith",
+            "x",
+            "555",
+            "totally@different.com",
         )))
         .unwrap();
         assert!(!md.holds_with(&d1, &d2, &|_, _| false));

@@ -111,7 +111,11 @@ pub struct ComparisonSpace {
 
 impl ComparisonSpace {
     /// Creates a comparison space entry.
-    pub fn new(left: impl Into<String>, right: impl Into<String>, operators: Vec<SimilarityOp>) -> Self {
+    pub fn new(
+        left: impl Into<String>,
+        right: impl Into<String>,
+        operators: Vec<SimilarityOp>,
+    ) -> Self {
         ComparisonSpace {
             left: left.into(),
             right: right.into(),
@@ -164,7 +168,13 @@ pub fn derive_rcks(
             let comparisons: Vec<(&str, &str, SimilarityOp)> = subset
                 .iter()
                 .zip(&ops)
-                .map(|(&i, op)| (space[i].left.as_str(), space[i].right.as_str(), (*op).clone()))
+                .map(|(&i, op)| {
+                    (
+                        space[i].left.as_str(),
+                        space[i].right.as_str(),
+                        (*op).clone(),
+                    )
+                })
                 .collect();
             let Ok(key) = RelativeKey::new(
                 lhs_schema,

@@ -113,9 +113,16 @@ impl SimilarityOp {
             (NormalizedEdit { min_similarity: a }, NormalizedEdit { min_similarity: b }) => a >= b,
             (Jaro { min_similarity: a }, Jaro { min_similarity: b }) => a >= b,
             (JaroWinkler { min_similarity: a }, JaroWinkler { min_similarity: b }) => a >= b,
-            (QGram { q: qa, min_similarity: a }, QGram { q: qb, min_similarity: b }) => {
-                qa == qb && a >= b
-            }
+            (
+                QGram {
+                    q: qa,
+                    min_similarity: a,
+                },
+                QGram {
+                    q: qb,
+                    min_similarity: b,
+                },
+            ) => qa == qb && a >= b,
             _ => false,
         }
     }
@@ -241,7 +248,10 @@ mod tests {
             SimilarityOp::qgram(2, 0.99),
         ];
         for op in &ops {
-            assert!(op.related(&Value::str("John Smith"), &Value::str("John Smith")), "{op}");
+            assert!(
+                op.related(&Value::str("John Smith"), &Value::str("John Smith")),
+                "{op}"
+            );
             assert!(op.related(&Value::int(42), &Value::int(42)));
         }
     }

@@ -136,10 +136,7 @@ impl View {
         view_name: &str,
     ) -> DqResult<RelationSchema> {
         let cols = self.output_columns(schema)?;
-        Ok(RelationSchema::new(
-            view_name,
-            cols.into_iter().map(|(n, d)| (n, d)),
-        ))
+        Ok(RelationSchema::new(view_name, cols))
     }
 
     fn output_columns(&self, schema: &DatabaseSchema) -> DqResult<Vec<(String, Domain)>> {
@@ -156,9 +153,12 @@ impl View {
                 let inner = input.output_columns(schema)?;
                 cols.iter()
                     .map(|&c| {
-                        inner.get(c).cloned().ok_or_else(|| DqError::MalformedQuery {
-                            reason: format!("projection on column {c} out of range"),
-                        })
+                        inner
+                            .get(c)
+                            .cloned()
+                            .ok_or_else(|| DqError::MalformedQuery {
+                                reason: format!("projection on column {c} out of range"),
+                            })
                     })
                     .collect()
             }
@@ -251,11 +251,7 @@ impl View {
                     ne_const: Vec::new(),
                     col_eq: Vec::new(),
                     projection: (0..r.arity()).map(|a| (0, a)).collect(),
-                    output_names: r
-                        .attributes()
-                        .iter()
-                        .map(|a| a.name.clone())
-                        .collect(),
+                    output_names: r.attributes().iter().map(|a| a.name.clone()).collect(),
                 })
             }
             View::Select(input, pred) => {
@@ -283,7 +279,10 @@ impl View {
             View::Project(input, cols) => {
                 let mut inner = input.spc_normal_form(schema)?;
                 let projection = cols.iter().map(|&c| inner.projection[c]).collect();
-                let output_names = cols.iter().map(|&c| inner.output_names[c].clone()).collect();
+                let output_names = cols
+                    .iter()
+                    .map(|&c| inner.output_names[c].clone())
+                    .collect();
                 inner.projection = projection;
                 inner.output_names = output_names;
                 Ok(inner)
@@ -316,12 +315,7 @@ impl View {
                         .map(|((s1, a1), (s2, a2))| ((s1 + offset, a1), (s2 + offset, a2))),
                 );
                 let mut projection = left.projection;
-                projection.extend(
-                    right
-                        .projection
-                        .into_iter()
-                        .map(|(s, a)| (s + offset, a)),
-                );
+                projection.extend(right.projection.into_iter().map(|(s, a)| (s + offset, a)));
                 let mut output_names = left.output_names;
                 output_names.extend(right.output_names);
                 Ok(SpcView {
@@ -463,7 +457,9 @@ mod tests {
 
     #[test]
     fn union_branches_are_enumerated() {
-        let v = View::base("a").union(View::base("b")).union(View::base("c"));
+        let v = View::base("a")
+            .union(View::base("b"))
+            .union(View::base("c"));
         assert_eq!(v.union_branches().len(), 3);
     }
 

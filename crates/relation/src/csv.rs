@@ -20,7 +20,11 @@ pub const SEPARATOR: char = '|';
 pub fn to_text(instance: &RelationInstance) -> String {
     let schema = instance.schema();
     let mut out = String::new();
-    let header: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    let header: Vec<&str> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     out.push_str(&header.join(&SEPARATOR.to_string()));
     out.push('\n');
     for (_, tuple) in instance.iter() {
@@ -65,7 +69,11 @@ pub fn from_text(schema: Arc<RelationSchema>, text: &str) -> DqResult<RelationIn
         reason: "empty input".into(),
     })?;
     let names: Vec<&str> = header.split(SEPARATOR).map(|s| s.trim()).collect();
-    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    let expected: Vec<&str> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     if names != expected {
         return Err(DqError::Parse {
             reason: format!("header {names:?} does not match schema attributes {expected:?}"),
@@ -121,8 +129,13 @@ mod tests {
             Value::bool(true),
         ])
         .unwrap();
-        inst.insert_values([Value::int(1), Value::Null, Value::real(0.5), Value::bool(false)])
-            .unwrap();
+        inst.insert_values([
+            Value::int(1),
+            Value::Null,
+            Value::real(0.5),
+            Value::bool(false),
+        ])
+        .unwrap();
         let text = to_text(&inst);
         let parsed = from_text(Arc::clone(&schema), &text).unwrap();
         assert!(inst.same_tuples_as(&parsed));
@@ -138,15 +151,9 @@ mod tests {
     #[test]
     fn bad_cell_counts_and_values_are_rejected() {
         let schema = schema();
-        let short = from_text(
-            Arc::clone(&schema),
-            "CC|name|price|active\n1|x|2.0\n",
-        );
+        let short = from_text(Arc::clone(&schema), "CC|name|price|active\n1|x|2.0\n");
         assert!(short.is_err());
-        let bad_int = from_text(
-            Arc::clone(&schema),
-            "CC|name|price|active\nxx|x|2.0|true\n",
-        );
+        let bad_int = from_text(Arc::clone(&schema), "CC|name|price|active\nxx|x|2.0|true\n");
         assert!(bad_int.is_err());
     }
 

@@ -64,7 +64,10 @@ impl fmt::Display for DqError {
             DqError::UnknownAttribute {
                 relation,
                 attribute,
-            } => write!(f, "unknown attribute `{attribute}` in relation `{relation}`"),
+            } => write!(
+                f,
+                "unknown attribute `{attribute}` in relation `{relation}`"
+            ),
             DqError::ArityMismatch {
                 relation,
                 expected,

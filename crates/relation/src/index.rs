@@ -4,11 +4,21 @@
 //! LHS attributes of the embedded FD and inspecting each group; CIND
 //! detection (Section 2.2) boils down to probing the right-hand relation on
 //! the correspondence attributes.  Both are served by [`HashIndex`].
+//!
+//! Building an index is the dominant cost of detection on large instances,
+//! and dependency sets routinely share left-hand sides (every normalized
+//! fragment of a CFD keeps its parent's LHS).  [`IndexPool`] therefore
+//! memoizes built indexes per `(instance identity, instance version,
+//! attribute list)`, so a batch of dependencies grouped by LHS builds each
+//! index exactly once — and repeated detection runs over an unchanged
+//! instance rebuild nothing at all.
 
 use crate::instance::{RelationInstance, TupleId};
 use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A hash index mapping the projection of each tuple onto a fixed attribute
 /// list to the set of tuple ids sharing that projection.
@@ -21,8 +31,7 @@ pub struct HashIndex {
 impl HashIndex {
     /// Builds an index of `instance` on the attribute positions `attrs`.
     pub fn build(instance: &RelationInstance, attrs: &[usize]) -> Self {
-        let mut groups: HashMap<Vec<Value>, Vec<TupleId>> =
-            HashMap::with_capacity(instance.len());
+        let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::with_capacity(instance.len());
         for (id, tuple) in instance.iter() {
             let key = tuple.project(attrs);
             match groups.entry(key) {
@@ -75,6 +84,115 @@ impl HashIndex {
     }
 }
 
+/// Cache key of a memoized index: which instance, at which version, on which
+/// attribute list.
+type PoolKey = (u64, u64, Vec<usize>);
+
+/// Hit/miss/size counters of an [`IndexPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexPoolStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to build an index.
+    pub misses: u64,
+    /// Indexes currently cached.
+    pub entries: usize,
+}
+
+/// A thread-safe memo table of [`HashIndex`]es keyed by
+/// `(instance identity, instance version, attribute list)`.
+///
+/// Any mutation of an instance bumps its [`RelationInstance::version`], so a
+/// pool entry can never be served stale: a request for the mutated instance
+/// simply misses and builds afresh.  Entries for outdated versions are evicted
+/// lazily whenever the pool grows past its capacity.
+///
+/// The pool hands out `Arc<HashIndex>` so detection work can fan out across
+/// threads while sharing one build of each index.
+#[derive(Debug)]
+pub struct IndexPool {
+    capacity: usize,
+    cache: Mutex<HashMap<PoolKey, Arc<HashIndex>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for IndexPool {
+    fn default() -> Self {
+        Self::with_capacity(64)
+    }
+}
+
+impl IndexPool {
+    /// A pool with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool evicting once it holds `capacity` indexes (at least 1).  The
+    /// bound is soft: the current version of the instance being probed is
+    /// never evicted, so one oversized detection batch may exceed it
+    /// temporarily rather than thrash.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IndexPool {
+            capacity: capacity.max(1),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The index of `instance` on `attrs`, built at most once per instance
+    /// version.
+    pub fn index_for(&self, instance: &RelationInstance, attrs: &[usize]) -> Arc<HashIndex> {
+        let key: PoolKey = (instance.instance_id(), instance.version(), attrs.to_vec());
+        if let Some(hit) = self.cache.lock().expect("index pool poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Build outside the lock so concurrent requests for *different*
+        // indexes proceed in parallel; a racing duplicate build of the same
+        // index is benign (last write wins, both results are identical).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(HashIndex::build(instance, attrs));
+        let mut cache = self.cache.lock().expect("index pool poisoned");
+        if cache.len() >= self.capacity {
+            // Under pressure, keep only the indexes that can still be hit
+            // cheaply: the requested instance at its current version.  This
+            // evicts outdated versions and other (possibly dropped)
+            // instances in one pass.  Capacity is a soft bound: a single
+            // detection batch needing more distinct indexes than `capacity`
+            // keeps them all — evicting live-version entries mid-batch
+            // would silently rebuild every index twice.
+            cache.retain(|(id, version, _), _| *id == key.0 && *version == key.1);
+        }
+        Arc::clone(cache.entry(key).or_insert(built))
+    }
+
+    /// Drops every cached index of `instance` (any version).  Mutations make
+    /// old entries unreachable already; this reclaims their memory eagerly.
+    pub fn invalidate(&self, instance: &RelationInstance) {
+        self.cache
+            .lock()
+            .expect("index pool poisoned")
+            .retain(|(id, _, _), _| *id != instance.instance_id());
+    }
+
+    /// Drops every cached index.
+    pub fn clear(&self) {
+        self.cache.lock().expect("index pool poisoned").clear();
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> IndexPoolStats {
+        IndexPoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("index pool poisoned").len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,12 +204,7 @@ mod tests {
             [("A", Domain::Int), ("B", Domain::Text), ("C", Domain::Text)],
         );
         let mut inst = RelationInstance::from_schema(schema);
-        for (a, b, c) in [
-            (1, "x", "p"),
-            (1, "x", "q"),
-            (2, "y", "p"),
-            (1, "z", "p"),
-        ] {
+        for (a, b, c) in [(1, "x", "p"), (1, "x", "q"), (2, "y", "p"), (1, "z", "p")] {
             inst.insert_values([Value::int(a), Value::str(b), Value::str(c)])
                 .unwrap();
         }
@@ -131,5 +244,129 @@ mod tests {
         let idx = HashIndex::build(&inst, &[2]);
         assert!(idx.contains_key(&[Value::str("p")]));
         assert!(!idx.contains_key(&[Value::str("missing")]));
+    }
+
+    #[test]
+    fn pool_reuses_indexes_for_an_unchanged_instance() {
+        let inst = instance();
+        let pool = IndexPool::new();
+        let a = pool.index_for(&inst, &[0, 1]);
+        let b = pool.index_for(&inst, &[0, 1]);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn pool_distinguishes_attribute_lists() {
+        let inst = instance();
+        let pool = IndexPool::new();
+        let a = pool.index_for(&inst, &[0]);
+        let b = pool.index_for(&inst, &[1]);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.stats().entries, 2);
+    }
+
+    #[test]
+    fn pool_misses_after_mutation() {
+        let mut inst = instance();
+        let pool = IndexPool::new();
+        let before = pool.index_for(&inst, &[0]);
+        inst.insert_values([Value::int(9), Value::str("w"), Value::str("p")])
+            .unwrap();
+        let after = pool.index_for(&inst, &[0]);
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(before.get(&[Value::int(9)]).len(), 0);
+        assert_eq!(after.get(&[Value::int(9)]).len(), 1);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn pool_does_not_confuse_clones() {
+        let inst = instance();
+        let clone = inst.clone();
+        let pool = IndexPool::new();
+        let a = pool.index_for(&inst, &[0]);
+        let b = pool.index_for(&clone, &[0]);
+        assert!(!Arc::ptr_eq(&a, &b), "clones must have distinct cache keys");
+    }
+
+    #[test]
+    fn pool_eviction_prefers_stale_versions() {
+        let mut inst = instance();
+        let pool = IndexPool::with_capacity(2);
+        pool.index_for(&inst, &[0]);
+        pool.index_for(&inst, &[1]);
+        inst.insert_values([Value::int(5), Value::str("v"), Value::str("q")])
+            .unwrap();
+        // Capacity reached: inserting an index of the new version evicts the
+        // two stale ones rather than growing.
+        pool.index_for(&inst, &[0]);
+        let stats = pool.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn pool_capacity_is_soft_for_the_live_version() {
+        // A batch needing more distinct indexes than capacity keeps them
+        // all: re-requesting any of them must not rebuild.
+        let inst = instance();
+        let pool = IndexPool::with_capacity(2);
+        for attrs in [&[0usize][..], &[1], &[2], &[0, 1]] {
+            pool.index_for(&inst, attrs);
+        }
+        assert_eq!(pool.stats().misses, 4);
+        for attrs in [&[0usize][..], &[1], &[2], &[0, 1]] {
+            pool.index_for(&inst, attrs);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 4, "live-version entries are never evicted");
+        assert_eq!(stats.entries, 4);
+    }
+
+    #[test]
+    fn pool_pressure_evicts_other_instances() {
+        let a = instance();
+        let b = instance();
+        let pool = IndexPool::with_capacity(2);
+        pool.index_for(&a, &[0]);
+        pool.index_for(&a, &[1]);
+        // Inserting for `b` under pressure drops `a`'s (possibly dead)
+        // entries instead of growing without bound.
+        pool.index_for(&b, &[0]);
+        let stats = pool.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn invalidate_and_clear_empty_the_pool() {
+        let inst = instance();
+        let other = instance();
+        let pool = IndexPool::new();
+        pool.index_for(&inst, &[0]);
+        pool.index_for(&other, &[0]);
+        pool.invalidate(&inst);
+        assert_eq!(pool.stats().entries, 1);
+        pool.clear();
+        assert_eq!(pool.stats().entries, 0);
+    }
+
+    #[test]
+    fn pool_is_usable_across_threads() {
+        let inst = instance();
+        let pool = IndexPool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for attrs in [&[0usize][..], &[1], &[0, 1], &[2]] {
+                        let idx = pool.index_for(&inst, attrs);
+                        assert_eq!(idx.attrs(), attrs);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.stats().entries, 4);
     }
 }

@@ -12,7 +12,16 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Source of process-unique instance identities (see
+/// [`RelationInstance::instance_id`]).
+static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_instance_id() -> u64 {
+    NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Stable identifier of a tuple within a [`RelationInstance`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -41,11 +50,33 @@ impl CellRef {
 }
 
 /// An instance of a relation schema: a multiset of tuples with stable ids.
-#[derive(Clone, Debug)]
+///
+/// Every instance carries a process-unique [`instance_id`](Self::instance_id)
+/// and a [`version`](Self::version) counter bumped by every mutation, so that
+/// derived structures (most importantly [`crate::index::IndexPool`] entries)
+/// can be memoized per `(instance, version)` and never served stale.
+#[derive(Debug)]
 pub struct RelationInstance {
     schema: Arc<RelationSchema>,
     tuples: Vec<Option<Tuple>>,
     live: usize,
+    instance_id: u64,
+    version: u64,
+}
+
+impl Clone for RelationInstance {
+    /// Clones the data but assigns a fresh identity: a clone can diverge from
+    /// the original, so cached indexes of one must never answer for the
+    /// other.
+    fn clone(&self) -> Self {
+        RelationInstance {
+            schema: Arc::clone(&self.schema),
+            tuples: self.tuples.clone(),
+            live: self.live,
+            instance_id: fresh_instance_id(),
+            version: 0,
+        }
+    }
 }
 
 impl RelationInstance {
@@ -55,6 +86,8 @@ impl RelationInstance {
             schema,
             tuples: Vec::new(),
             live: 0,
+            instance_id: fresh_instance_id(),
+            version: 0,
         }
     }
 
@@ -66,6 +99,19 @@ impl RelationInstance {
     /// The schema of this instance.
     pub fn schema(&self) -> &Arc<RelationSchema> {
         &self.schema
+    }
+
+    /// Process-unique identity of this instance.  Clones get fresh
+    /// identities; the pair `(instance_id, version)` therefore uniquely
+    /// determines the tuple contents for cache keys.
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// Mutation counter: bumped by every insert, removal and cell update
+    /// (including mutable tuple access, conservatively).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of (live) tuples.
@@ -99,6 +145,7 @@ impl RelationInstance {
         let id = TupleId(self.tuples.len());
         self.tuples.push(Some(tuple));
         self.live += 1;
+        self.version += 1;
         Ok(id)
     }
 
@@ -118,6 +165,7 @@ impl RelationInstance {
         let removed = slot.take();
         if removed.is_some() {
             self.live -= 1;
+            self.version += 1;
         }
         removed
     }
@@ -128,8 +176,14 @@ impl RelationInstance {
     }
 
     /// Mutable access to a tuple (used by repairs to modify cells in place).
+    /// Conservatively counts as a mutation for [`version`](Self::version)
+    /// purposes even if the caller never writes through the reference.
     pub fn tuple_mut(&mut self, id: TupleId) -> Option<&mut Tuple> {
-        self.tuples.get_mut(id.0).and_then(|t| t.as_mut())
+        let slot = self.tuples.get_mut(id.0).and_then(|t| t.as_mut());
+        if slot.is_some() {
+            self.version += 1;
+        }
+        slot
     }
 
     /// Updates a single cell, returning the previous value.
@@ -269,7 +323,14 @@ mod tests {
         let err = inst
             .insert(Tuple::from_values([Value::int(1)]))
             .unwrap_err();
-        assert!(matches!(err, DqError::ArityMismatch { expected: 3, actual: 1, .. }));
+        assert!(matches!(
+            err,
+            DqError::ArityMismatch {
+                expected: 3,
+                actual: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -333,6 +394,38 @@ mod tests {
         assert!(a.same_tuples_as(&b));
         b.remove(TupleId(0));
         assert!(!a.same_tuples_as(&b));
+    }
+
+    #[test]
+    fn versions_bump_on_every_mutation() {
+        let mut inst = RelationInstance::from_schema(schema());
+        let v0 = inst.version();
+        inst.insert_values([Value::int(1), Value::str("x"), Value::bool(true)])
+            .unwrap();
+        let v1 = inst.version();
+        assert!(v1 > v0);
+        inst.update_cell(CellRef::new(TupleId(0), 1), Value::str("y"));
+        let v2 = inst.version();
+        assert!(v2 > v1);
+        inst.remove(TupleId(0));
+        let v3 = inst.version();
+        assert!(v3 > v2);
+        // Removing a dead tuple is a no-op and must not invalidate caches.
+        inst.remove(TupleId(0));
+        assert_eq!(inst.version(), v3);
+    }
+
+    #[test]
+    fn clones_get_fresh_identities() {
+        let inst = sample();
+        let clone = inst.clone();
+        assert_ne!(inst.instance_id(), clone.instance_id());
+        assert!(inst.same_tuples_as(&clone));
+    }
+
+    #[test]
+    fn distinct_instances_have_distinct_identities() {
+        assert_ne!(sample().instance_id(), sample().instance_id());
     }
 
     #[test]

@@ -41,9 +41,11 @@ pub mod value;
 pub mod prelude {
     pub use crate::algebra::{Predicate, View};
     pub use crate::error::{DqError, DqResult};
-    pub use crate::index::HashIndex;
+    pub use crate::index::{HashIndex, IndexPool, IndexPoolStats};
     pub use crate::instance::{Database, RelationInstance, TupleId};
-    pub use crate::query::{Atom, Binding, CompOp, Comparison, ConjunctiveQuery, FoQuery, Formula, Term};
+    pub use crate::query::{
+        Atom, Binding, CompOp, Comparison, ConjunctiveQuery, FoQuery, Formula, Term,
+    };
     pub use crate::schema::{Attribute, DatabaseSchema, Domain, RelationSchema};
     pub use crate::tuple::Tuple;
     pub use crate::value::{levenshtein, normalized_levenshtein, value_distance, Value};

@@ -222,12 +222,12 @@ impl ConjunctiveQuery {
         let bindings = bindings
             .into_iter()
             .filter(|b| {
-                self.comparisons.iter().all(|c| {
-                    match (resolve(&c.left, b), resolve(&c.right, b)) {
+                self.comparisons
+                    .iter()
+                    .all(|c| match (resolve(&c.left, b), resolve(&c.right, b)) {
                         (Some(l), Some(r)) => c.op.eval(&l, &r),
                         _ => false,
-                    }
-                })
+                    })
             })
             .collect();
         Ok(bindings)
@@ -313,7 +313,8 @@ impl Formula {
             Formula::Atom(atom) => {
                 Ok(!extend_with_atom(db, std::slice::from_ref(binding), atom)?.is_empty())
             }
-            Formula::Comparison(c) => match (resolve(&c.left, binding), resolve(&c.right, binding)) {
+            Formula::Comparison(c) => match (resolve(&c.left, binding), resolve(&c.right, binding))
+            {
                 (Some(l), Some(r)) => Ok(c.op.eval(&l, &r)),
                 _ => Err(DqError::MalformedQuery {
                     reason: "comparison over unbound variable".into(),
@@ -560,8 +561,16 @@ mod tests {
             Formula::And(vec![
                 Formula::Atom(Atom::new("emp", vec![Term::var("n"), Term::var("d")])),
                 Formula::Or(vec![
-                    Formula::Comparison(Comparison::new(Term::var("n"), CompOp::Eq, Term::val("ann"))),
-                    Formula::Comparison(Comparison::new(Term::var("n"), CompOp::Eq, Term::val("carol"))),
+                    Formula::Comparison(Comparison::new(
+                        Term::var("n"),
+                        CompOp::Eq,
+                        Term::val("ann"),
+                    )),
+                    Formula::Comparison(Comparison::new(
+                        Term::var("n"),
+                        CompOp::Eq,
+                        Term::val("carol"),
+                    )),
                 ]),
             ]),
         );

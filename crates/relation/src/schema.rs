@@ -94,9 +94,7 @@ impl Domain {
             (Finite(a), Finite(b)) => {
                 a.first().map(|v| v.type_name()) == b.first().map(|v| v.type_name())
             }
-            (Finite(a), d) | (d, Finite(a)) => {
-                a.first().map(|v| d.contains(v)).unwrap_or(true)
-            }
+            (Finite(a), d) | (d, Finite(a)) => a.first().map(|v| d.contains(v)).unwrap_or(true),
             _ => false,
         }
     }
@@ -234,10 +232,11 @@ impl RelationSchema {
 
     /// Index of an attribute by name, returning an error naming the schema.
     pub fn require_attr(&self, name: &str) -> DqResult<usize> {
-        self.attr_index(name).ok_or_else(|| DqError::UnknownAttribute {
-            relation: self.name.clone(),
-            attribute: name.to_string(),
-        })
+        self.attr_index(name)
+            .ok_or_else(|| DqError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_string(),
+            })
     }
 
     /// Index of an attribute by name.
@@ -326,7 +325,8 @@ impl DatabaseSchema {
     /// Adds (or replaces) a relation schema.
     pub fn add(&mut self, schema: RelationSchema) -> Arc<RelationSchema> {
         let arc = Arc::new(schema);
-        self.relations.insert(arc.name().to_string(), Arc::clone(&arc));
+        self.relations
+            .insert(arc.name().to_string(), Arc::clone(&arc));
         arc
     }
 
@@ -397,10 +397,7 @@ mod tests {
     fn finite_domain_detection() {
         let s = customer();
         assert!(!s.has_finite_domain_attribute());
-        let t = RelationSchema::new(
-            "r",
-            [("A", Domain::Bool), ("B", Domain::Text)],
-        );
+        let t = RelationSchema::new("r", [("A", Domain::Bool), ("B", Domain::Text)]);
         assert!(t.has_finite_domain_attribute());
         assert_eq!(t.finite_domain_attributes(), vec![0]);
     }

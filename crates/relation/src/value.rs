@@ -311,7 +311,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_variants() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("a"),
             Value::int(1),
             Value::Null,

@@ -130,8 +130,10 @@ mod tests {
             [("A", Domain::Text), ("B", Domain::Text)],
         ));
         let mut inst = RelationInstance::new(Arc::clone(&schema));
-        inst.insert_values([Value::str("a"), Value::str("b")]).unwrap();
-        inst.insert_values([Value::str("c"), Value::str("d")]).unwrap();
+        inst.insert_values([Value::str("a"), Value::str("b")])
+            .unwrap();
+        inst.insert_values([Value::str("c"), Value::str("d")])
+            .unwrap();
         let constraints = DenialConstraint::from_fd(&Fd::new(&schema, &["A"], &["B"]));
         let repairs = enumerate_repairs(&inst, &constraints);
         assert_eq!(repairs.len(), 1);
@@ -149,7 +151,8 @@ mod tests {
         ));
         let mut inst = RelationInstance::new(Arc::clone(&schema));
         for b in ["1", "2", "3"] {
-            inst.insert_values([Value::str("k"), Value::str(b)]).unwrap();
+            inst.insert_values([Value::str("k"), Value::str(b)])
+                .unwrap();
         }
         let constraints = DenialConstraint::from_fd(&Fd::new(&schema, &["A"], &["B"]));
         let repairs = enumerate_repairs(&inst, &constraints);

@@ -94,11 +94,11 @@ pub fn repair_cind_violations_by_insertion(
                 for (constant, yp) in pattern.rhs.iter().zip(cind.rhs_pattern_attrs()) {
                     values[*yp] = constant.clone();
                 }
-                let target = repaired
-                    .relation_mut(&rhs_relation)
-                    .ok_or_else(|| dq_relation::DqError::UnknownRelation {
+                let target = repaired.relation_mut(&rhs_relation).ok_or_else(|| {
+                    dq_relation::DqError::UnknownRelation {
                         relation: rhs_relation.clone(),
-                    })?;
+                    }
+                })?;
                 let id = target.insert(Tuple::new(values))?;
                 inserted.push((rhs_relation.clone(), id));
                 changed = true;
@@ -141,7 +141,11 @@ mod tests {
     fn target_schema() -> Arc<RelationSchema> {
         Arc::new(RelationSchema::new(
             "dst",
-            [("k", Domain::Text), ("label", Domain::Text), ("extra", Domain::Int)],
+            [
+                ("k", Domain::Text),
+                ("label", Domain::Text),
+                ("extra", Domain::Int),
+            ],
         ))
     }
 
@@ -154,7 +158,10 @@ mod tests {
             &target_schema(),
             &["k"],
             &["label"],
-            vec![CindPattern::new(vec![Value::str("a")], vec![Value::str("A")])],
+            vec![CindPattern::new(
+                vec![Value::str("a")],
+                vec![Value::str("A")],
+            )],
         )
         .unwrap()
     }
@@ -162,7 +169,8 @@ mod tests {
     fn database(src_rows: &[(&str, &str)], dst_rows: &[(&str, &str, i64)]) -> Database {
         let mut src = RelationInstance::new(source_schema());
         for (k, kind) in src_rows {
-            src.insert_values([Value::str(*k), Value::str(*kind)]).unwrap();
+            src.insert_values([Value::str(*k), Value::str(*kind)])
+                .unwrap();
         }
         let mut dst = RelationInstance::new(target_schema());
         for (k, label, extra) in dst_rows {
@@ -180,9 +188,12 @@ mod tests {
         let db = database(&[("x", "a"), ("y", "a"), ("z", "b")], &[("x", "A", 1)]);
         let cind = cind();
         assert!(!cind.holds_on(&db).unwrap());
-        let outcome =
-            repair_cind_violations_by_insertion(&db, &[cind.clone()], &InsertionRepairConfig::default())
-                .unwrap();
+        let outcome = repair_cind_violations_by_insertion(
+            &db,
+            std::slice::from_ref(&cind),
+            &InsertionRepairConfig::default(),
+        )
+        .unwrap();
         assert!(outcome.consistent);
         assert_eq!(outcome.insertion_count(), 1, "only `y` was dangling");
         let dst = outcome.repaired.relation("dst").unwrap();
@@ -190,7 +201,10 @@ mod tests {
         let inserted = dst.tuple(outcome.inserted[0].1).unwrap();
         assert_eq!(inserted.get(0), &Value::str("y"));
         assert_eq!(inserted.get(1), &Value::str("A"));
-        assert!(inserted.get(2).is_null(), "unconstrained attributes stay null");
+        assert!(
+            inserted.get(2).is_null(),
+            "unconstrained attributes stay null"
+        );
         // The source relation is untouched (no deletions in this model).
         assert_eq!(outcome.repaired.relation("src").unwrap().len(), 3);
     }
@@ -248,14 +262,16 @@ mod tests {
             &source_schema(),
             &["kind"],
             &["kind"],
-            vec![CindPattern::new(vec![Value::str("A")], vec![Value::str("a")])],
+            vec![CindPattern::new(
+                vec![Value::str("A")],
+                vec![Value::str("a")],
+            )],
         )
         .unwrap();
         let db = database(&[("x", "a")], &[]);
         let config = InsertionRepairConfig {
             max_rounds: 4,
             max_insertions: 10,
-            ..InsertionRepairConfig::default()
         };
         let outcome = repair_cind_violations_by_insertion(&db, &[cind(), back], &config).unwrap();
         assert!(outcome.insertion_count() <= 10);

@@ -30,9 +30,11 @@ pub mod prelude {
     pub use crate::insertion::{
         repair_cind_violations_by_insertion, InsertionOutcome, InsertionRepairConfig,
     };
-    pub use crate::numeric::{repair_numeric_violations, NumericRepairConfig, NumericRepairOutcome};
     pub use crate::model::{
         check_u_repair, check_x_repair, RepairCost, RepairLog, RepairModel, Weights,
+    };
+    pub use crate::numeric::{
+        repair_numeric_violations, NumericRepairConfig, NumericRepairOutcome,
     };
     pub use crate::quality::{differing_cells, score_repair, RepairQuality};
     pub use crate::urepair::{repair_cfd_violations, RepairConfig, RepairOutcome};

@@ -207,7 +207,8 @@ mod tests {
     fn instance(rows: &[(&str, &str)]) -> RelationInstance {
         let mut inst = RelationInstance::new(schema());
         for (a, b) in rows {
-            inst.insert_values([Value::str(*a), Value::str(*b)]).unwrap();
+            inst.insert_values([Value::str(*a), Value::str(*b)])
+                .unwrap();
         }
         inst
     }
@@ -228,7 +229,10 @@ mod tests {
         let cost = RepairCost::uniform();
         let original = instance(&[("x", "p"), ("y", "q")]);
         let mut repaired = original.clone();
-        repaired.update_cell(dq_relation::instance::CellRef::new(TupleId(0), 1), Value::str("r"));
+        repaired.update_cell(
+            dq_relation::instance::CellRef::new(TupleId(0), 1),
+            Value::str("r"),
+        );
         let c = cost.instance_cost(&original, &repaired);
         assert!(c > 0.0);
         assert_eq!(cost.instance_cost(&original, &original), 0.0);
@@ -255,7 +259,10 @@ mod tests {
         // A "repair" with a modified tuple is not a subset.
         let mut tampered = original.clone();
         tampered.remove(TupleId(1));
-        tampered.update_cell(dq_relation::instance::CellRef::new(TupleId(0), 1), Value::str("9"));
+        tampered.update_cell(
+            dq_relation::instance::CellRef::new(TupleId(0), 1),
+            Value::str("9"),
+        );
         assert!(!check_x_repair(&original, &tampered, &constraints));
     }
 
@@ -266,10 +273,21 @@ mod tests {
         let original = instance(&[("k", "1"), ("k", "2")]);
         // Harmonizing the B values is a U-repair.
         let mut fixed = original.clone();
-        fixed.update_cell(dq_relation::instance::CellRef::new(TupleId(1), 1), Value::str("1"));
-        assert!(check_u_repair(&original, &fixed, &[cfd.clone()]));
+        fixed.update_cell(
+            dq_relation::instance::CellRef::new(TupleId(1), 1),
+            Value::str("1"),
+        );
+        assert!(check_u_repair(
+            &original,
+            &fixed,
+            std::slice::from_ref(&cfd)
+        ));
         // The original itself is inconsistent.
-        assert!(!check_u_repair(&original, &original, &[cfd.clone()]));
+        assert!(!check_u_repair(
+            &original,
+            &original,
+            std::slice::from_ref(&cfd)
+        ));
         // Deleting a tuple is outside the U-repair model.
         let mut deleted = original.clone();
         deleted.remove(TupleId(1));
@@ -279,7 +297,8 @@ mod tests {
     #[test]
     fn repair_log_bookkeeping() {
         let mut log = RepairLog::default();
-        log.modified.push((TupleId(0), 1, Value::str("a"), Value::str("b")));
+        log.modified
+            .push((TupleId(0), 1, Value::str("a"), Value::str("b")));
         log.deleted.push(TupleId(2));
         assert_eq!(log.change_count(), 2);
         assert!(log.modified_cells().contains(&(TupleId(0), 1)));

@@ -88,8 +88,8 @@ fn falsifying_move(
     let tuple = instance.tuple(id)?;
     let current = as_numeric(tuple.get(attr))?;
     let bound = as_numeric(&constant)?;
-    let is_int = matches!(instance.schema().domain(attr), Domain::Int)
-        || tuple.get(attr).as_int().is_some();
+    let is_int =
+        matches!(instance.schema().domain(attr), Domain::Int) || tuple.get(attr).as_int().is_some();
     let step = if is_int { 1.0 } else { real_step };
 
     // The predicate currently holds (that is why the constraint fired); find
@@ -149,7 +149,9 @@ pub fn repair_numeric_violations(
                 continue;
             }
             for violation in constraint.violations(&repaired) {
-                let &[id] = violation.as_slice() else { continue };
+                let &[id] = violation.as_slice() else {
+                    continue;
+                };
                 // Re-check: an earlier fix this round may already cover it.
                 let still_violated = constraint
                     .violations(&repaired)
@@ -254,9 +256,24 @@ mod tests {
         );
         assert!(outcome.consistent);
         assert_eq!(outcome.changes.len(), 2);
-        let ann_age = outcome.repaired.tuple(TupleId(0)).unwrap().get(1).as_int().unwrap();
-        assert_eq!(ann_age, 150, "age moves to the boundary, not some arbitrary value");
-        let bob_salary = outcome.repaired.tuple(TupleId(1)).unwrap().get(2).as_real().unwrap();
+        let ann_age = outcome
+            .repaired
+            .tuple(TupleId(0))
+            .unwrap()
+            .get(1)
+            .as_int()
+            .unwrap();
+        assert_eq!(
+            ann_age, 150,
+            "age moves to the boundary, not some arbitrary value"
+        );
+        let bob_salary = outcome
+            .repaired
+            .tuple(TupleId(1))
+            .unwrap()
+            .get(2)
+            .as_real()
+            .unwrap();
         assert_eq!(bob_salary, 0.0);
         assert!((outcome.total_shift - (849.0 + 50.0)).abs() < 1e-9);
     }
@@ -264,8 +281,11 @@ mod tests {
     #[test]
     fn clean_instance_is_untouched() {
         let inst = instance(&[("ann", 33, 100.0)]);
-        let outcome =
-            repair_numeric_violations(&inst, &[age_cap(), salary_floor()], &NumericRepairConfig::default());
+        let outcome = repair_numeric_violations(
+            &inst,
+            &[age_cap(), salary_floor()],
+            &NumericRepairConfig::default(),
+        );
         assert!(outcome.consistent);
         assert!(outcome.changes.is_empty());
         assert_eq!(outcome.total_shift, 0.0);
@@ -289,7 +309,10 @@ mod tests {
         assert!(outcome.consistent);
         assert_eq!(outcome.changes.len(), 1);
         let (_, attr, _, new) = &outcome.changes[0];
-        assert_eq!(*attr, 1, "moving age by 1 is cheaper than moving salary by 4000");
+        assert_eq!(
+            *attr, 1,
+            "moving age by 1 is cheaper than moving salary by 4000"
+        );
         assert_eq!(new.as_int(), Some(60));
         assert!((outcome.total_shift - 1.0).abs() < 1e-9);
     }
@@ -300,12 +323,20 @@ mod tests {
         let dc_age = DenialConstraint::new(
             "emp",
             1,
-            vec![DcPredicate::new(DcTerm::attr(0, 1), CompOp::Ge, DcTerm::val(100i64))],
+            vec![DcPredicate::new(
+                DcTerm::attr(0, 1),
+                CompOp::Ge,
+                DcTerm::val(100i64),
+            )],
         );
         let dc_sal = DenialConstraint::new(
             "emp",
             1,
-            vec![DcPredicate::new(DcTerm::attr(0, 2), CompOp::Le, DcTerm::val(0.0))],
+            vec![DcPredicate::new(
+                DcTerm::attr(0, 2),
+                CompOp::Le,
+                DcTerm::val(0.0),
+            )],
         );
         let inst = instance(&[("ann", 100, 0.0)]);
         let outcome =
@@ -334,7 +365,11 @@ mod tests {
         let dc = DenialConstraint::new(
             "emp",
             1,
-            vec![DcPredicate::new(DcTerm::val(0.0), CompOp::Gt, DcTerm::attr(0, 2))],
+            vec![DcPredicate::new(
+                DcTerm::val(0.0),
+                CompOp::Gt,
+                DcTerm::attr(0, 2),
+            )],
         );
         let inst = instance(&[("ann", 30, -5.0)]);
         let outcome = repair_numeric_violations(&inst, &[dc], &NumericRepairConfig::default());

@@ -82,10 +82,7 @@ pub fn repair_cfd_violations(
                 if &old == required {
                     continue;
                 }
-                repaired.update_cell(
-                    dq_relation::instance::CellRef::new(id, b),
-                    required.clone(),
-                );
+                repaired.update_cell(dq_relation::instance::CellRef::new(id, b), required.clone());
                 log.cost += cost.cell_cost(id, b, &old, required);
                 log.modified.push((id, b, old, required.clone()));
                 changed = true;
@@ -104,11 +101,7 @@ pub fn repair_cfd_violations(
             // borrows across mutations.
             let mut assignments: Vec<(TupleId, Value)> = Vec::new();
             for (key, group) in index.multi_groups() {
-                let matches_pattern = tp
-                    .lhs
-                    .iter()
-                    .zip(key.iter())
-                    .all(|(p, v)| p.matches(v));
+                let matches_pattern = tp.lhs.iter().zip(key.iter()).all(|(p, v)| p.matches(v));
                 if !matches_pattern || group.len() < 2 {
                     continue;
                 }
@@ -136,11 +129,7 @@ pub fn repair_cfd_violations(
                 }
             }
             for (id, target) in assignments {
-                let old = repaired
-                    .tuple(id)
-                    .expect("live tuple")
-                    .get(b)
-                    .clone();
+                let old = repaired.tuple(id).expect("live tuple").get(b).clone();
                 repaired.update_cell(dq_relation::instance::CellRef::new(id, b), target.clone());
                 log.cost += cost.cell_cost(id, b, &old, &target);
                 log.modified.push((id, b, old, target));
@@ -303,11 +292,12 @@ mod tests {
         let fd = Cfd::from_fd(&Fd::new(&s, &["A"], &["B"]));
         let mut inst = RelationInstance::new(Arc::clone(&s));
         for b in ["x", "x", "y"] {
-            inst.insert_values([Value::str("k"), Value::str(b)]).unwrap();
+            inst.insert_values([Value::str("k"), Value::str(b)])
+                .unwrap();
         }
         let outcome = repair_cfd_violations(
             &inst,
-            &[fd.clone()],
+            std::slice::from_ref(&fd),
             &RepairCost::uniform(),
             &RepairConfig::default(),
         );
@@ -342,7 +332,8 @@ mod tests {
         )
         .unwrap();
         let mut inst = RelationInstance::new(Arc::clone(&s));
-        inst.insert_values([Value::str("k"), Value::str("p")]).unwrap();
+        inst.insert_values([Value::str("k"), Value::str("p")])
+            .unwrap();
         let config = RepairConfig { max_rounds: 5 };
         let outcome = repair_cfd_violations(&inst, &[c1, c2], &RepairCost::uniform(), &config);
         assert!(!outcome.consistent);

@@ -186,7 +186,14 @@ impl CTable {
             table.set_domain(&var, (0..candidates.len() as i64).map(Value::int).collect());
             for (ci, candidate) in candidates.into_iter().enumerate() {
                 table.push(CTuple {
-                    tuple: VTuple::new(candidate.values().iter().cloned().map(VValue::Const).collect()),
+                    tuple: VTuple::new(
+                        candidate
+                            .values()
+                            .iter()
+                            .cloned()
+                            .map(VValue::Const)
+                            .collect(),
+                    ),
                     condition: vec![CondAtom::eq(var.clone(), ci as i64)],
                 });
             }
@@ -243,10 +250,8 @@ impl CTable {
         let Some(first) = worlds.next() else {
             return BTreeSet::new();
         };
-        let mut certain: BTreeSet<Vec<Value>> = first
-            .iter()
-            .map(|(_, t)| t.values().to_vec())
-            .collect();
+        let mut certain: BTreeSet<Vec<Value>> =
+            first.iter().map(|(_, t)| t.values().to_vec()).collect();
         for world in worlds {
             let present: BTreeSet<Vec<Value>> =
                 world.iter().map(|(_, t)| t.values().to_vec()).collect();
@@ -259,7 +264,11 @@ impl CTable {
     pub fn possible_tuples(&self) -> BTreeSet<Vec<Value>> {
         self.worlds()
             .iter()
-            .flat_map(|w| w.iter().map(|(_, t)| t.values().to_vec()).collect::<Vec<_>>())
+            .flat_map(|w| {
+                w.iter()
+                    .map(|(_, t)| t.values().to_vec())
+                    .collect::<Vec<_>>()
+            })
             .collect()
     }
 }
@@ -285,8 +294,10 @@ mod tests {
     fn conflicted(n: usize) -> RelationInstance {
         let mut inst = RelationInstance::new(schema());
         for i in 0..n {
-            inst.insert_values([Value::str(format!("k{i}")), Value::int(1)]).unwrap();
-            inst.insert_values([Value::str(format!("k{i}")), Value::int(2)]).unwrap();
+            inst.insert_values([Value::str(format!("k{i}")), Value::int(1)])
+                .unwrap();
+            inst.insert_values([Value::str(format!("k{i}")), Value::int(2)])
+                .unwrap();
         }
         inst
     }
@@ -294,7 +305,8 @@ mod tests {
     #[test]
     fn ground_ctable_has_one_world() {
         let mut inst = RelationInstance::new(schema());
-        inst.insert_values([Value::str("x"), Value::int(1)]).unwrap();
+        inst.insert_values([Value::str("x"), Value::int(1)])
+            .unwrap();
         let table = CTable::from_key_repairs(&inst, &key());
         assert_eq!(table.world_count(), 1);
         let worlds = table.worlds();
@@ -316,7 +328,10 @@ mod tests {
         let inst = conflicted(10);
         let table = CTable::from_key_repairs(&inst, &key());
         assert_eq!(table.world_count(), 1024);
-        assert!(table.size() <= 2 * inst.len(), "c-table must stay linear in the instance");
+        assert!(
+            table.size() <= 2 * inst.len(),
+            "c-table must stay linear in the instance"
+        );
     }
 
     #[test]
@@ -324,7 +339,10 @@ mod tests {
         let inst = conflicted(3);
         let table = CTable::from_key_repairs(&inst, &key());
         for world in table.worlds() {
-            assert!(key().holds_on(&world), "every represented world is a repair");
+            assert!(
+                key().holds_on(&world),
+                "every represented world is a repair"
+            );
             assert_eq!(world.len(), 3, "one tuple per key group");
         }
     }
@@ -332,7 +350,8 @@ mod tests {
     #[test]
     fn certain_and_possible_tuples() {
         let mut inst = conflicted(2);
-        inst.insert_values([Value::str("stable"), Value::int(9)]).unwrap();
+        inst.insert_values([Value::str("stable"), Value::int(9)])
+            .unwrap();
         let table = CTable::from_key_repairs(&inst, &key());
         let certain = table.certain_tuples();
         assert_eq!(certain.len(), 1, "only the conflict-free tuple is certain");
@@ -361,8 +380,10 @@ mod tests {
     #[test]
     fn duplicate_candidates_collapse() {
         let mut inst = RelationInstance::new(schema());
-        inst.insert_values([Value::str("k"), Value::int(1)]).unwrap();
-        inst.insert_values([Value::str("k"), Value::int(1)]).unwrap();
+        inst.insert_values([Value::str("k"), Value::int(1)])
+            .unwrap();
+        inst.insert_values([Value::str("k"), Value::int(1)])
+            .unwrap();
         let table = CTable::from_key_repairs(&inst, &key());
         assert_eq!(table.world_count(), 1);
         assert_eq!(table.tuples().len(), 1);

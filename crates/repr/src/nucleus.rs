@@ -15,9 +15,7 @@
 
 use crate::vtable::{VTable, VTuple, VValue};
 use dq_core::Fd;
-use dq_relation::{
-    Atom, ConjunctiveQuery, HashIndex, RelationInstance, Term, Value,
-};
+use dq_relation::{Atom, ConjunctiveQuery, HashIndex, RelationInstance, Term, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Builds the nucleus of `instance` under a single FD `X → Y` (typically a
@@ -170,12 +168,7 @@ pub fn nucleus_stats(instance: &RelationInstance, fd: &Fd) -> NucleusStats {
     for (_, group) in index.groups() {
         let distinct: BTreeSet<Vec<Value>> = group
             .iter()
-            .map(|&id| {
-                instance
-                    .tuple(id)
-                    .expect("live tuple")
-                    .project(fd.rhs())
-            })
+            .map(|&id| instance.tuple(id).expect("live tuple").project(fd.rhs()))
             .collect();
         worlds = worlds.saturating_mul(distinct.len().max(1));
     }

@@ -133,7 +133,8 @@ mod tests {
     fn instance(rows: &[(&str, &str)]) -> RelationInstance {
         let mut inst = RelationInstance::new(schema());
         for (a, b) in rows {
-            inst.insert_values([Value::str(*a), Value::str(*b)]).unwrap();
+            inst.insert_values([Value::str(*a), Value::str(*b)])
+                .unwrap();
         }
         inst
     }

@@ -6,7 +6,9 @@
 //! Run with `cargo run --example cqa_demo`.
 
 use dataquality::prelude::*;
-use dq_relation::{Atom, ConjunctiveQuery, Database, Domain, RelationInstance, RelationSchema, Term, Value};
+use dq_relation::{
+    Atom, ConjunctiveQuery, Database, Domain, RelationInstance, RelationSchema, Term, Value,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -15,7 +17,11 @@ fn main() {
     // conflicting rows coming from two sources.
     let schema = Arc::new(RelationSchema::new(
         "account",
-        [("acct", Domain::Text), ("owner", Domain::Text), ("tier", Domain::Text)],
+        [
+            ("acct", Domain::Text),
+            ("owner", Domain::Text),
+            ("tier", Domain::Text),
+        ],
     ));
     let mut instance = RelationInstance::new(Arc::clone(&schema));
     for (a, o, t) in [
@@ -69,7 +75,10 @@ fn main() {
 
     // The explicit first-order rewriting of the single-atom query.
     let fo = rewrite_single_atom(&query, &keys).expect("single-atom query");
-    println!("\nrewritten FO query evaluates to the same answers: {}", fo.evaluate(&db).expect("FO evaluation") == rewritten);
+    println!(
+        "\nrewritten FO query evaluates to the same answers: {}",
+        fo.evaluate(&db).expect("FO evaluation") == rewritten
+    );
 
     // Condensed representation: the nucleus merges each conflicting key group
     // into one tuple with variables, and naive evaluation returns the same

@@ -18,6 +18,7 @@ fn main() {
             tuples: 5_000,
             error_rate,
             seed: 7,
+            ..Default::default()
         });
 
         let report = detect_cfd_violations(&workload.dirty, &cfds);
@@ -49,12 +50,14 @@ fn main() {
         tuples: 5_000,
         error_rate: 0.05,
         seed: 7,
+        ..Default::default()
     });
     let mut instance = workload.dirty.clone();
     let extra = generate_customers(&CustomerConfig {
         tuples: 100,
         error_rate: 0.2,
         seed: 99,
+        ..Default::default()
     });
     let mut added = Vec::new();
     for (_, tuple) in extra.dirty.iter() {

@@ -14,9 +14,13 @@ fn main() {
         tuples: 2_000,
         error_rate: 0.0,
         seed: 7,
+        ..Default::default()
     });
     let profile = profile_relation(&sample.clean);
-    println!("profile of `{}` ({} tuples):", profile.relation, profile.tuples);
+    println!(
+        "profile of `{}` ({} tuples):",
+        profile.relation, profile.tuples
+    );
     for column in &profile.columns {
         println!(
             "  {:<8} distinct = {:<6} uniqueness = {:.2}  categorical = {}",
@@ -46,7 +50,12 @@ fn main() {
         discovered.candidates_checked
     );
     for cfd in discovered.constant_cfds.iter().take(5) {
-        println!("  constant CFD on {:?} -> {:?} with {} pattern tuples", cfd.lhs(), cfd.rhs(), cfd.tableau().len());
+        println!(
+            "  constant CFD on {:?} -> {:?} with {} pattern tuples",
+            cfd.lhs(),
+            cfd.rhs(),
+            cfd.tableau().len()
+        );
     }
 
     // Every discovered rule holds on the sample it was mined from.
@@ -60,6 +69,7 @@ fn main() {
         tuples: 2_000,
         error_rate: 0.05,
         seed: 7,
+        ..Default::default()
     });
     let report = detect_cfd_violations(&dirty.dirty, &discovered.all());
     println!(
@@ -80,10 +90,14 @@ fn main() {
     })
     .db;
     let inds = discover_inds(&db, &IndDiscoveryConfig::default()).unwrap();
-    println!("\ndiscovered {} unconditional INDs across order/book/CD", inds.inds.len());
+    println!(
+        "\ndiscovered {} unconditional INDs across order/book/CD",
+        inds.inds.len()
+    );
     let order = db.relation("order").unwrap().schema().clone();
     let book = db.relation("book").unwrap().schema().clone();
-    let embedded = dq_core::ind::Ind::new(&order, &["title", "price"], &book, &["title", "price"]).unwrap();
+    let embedded =
+        dq_core::ind::Ind::new(&order, &["title", "price"], &book, &["title", "price"]).unwrap();
     let cinds = discover_cind_conditions(&db, &embedded, &IndDiscoveryConfig::default()).unwrap();
     for cind in &cinds {
         println!(

@@ -26,7 +26,11 @@ fn main() {
         ComparisonSpace::new("addr", "post", vec![SimilarityOp::Equality]),
         ComparisonSpace::new("LN", "SN", vec![SimilarityOp::Equality]),
         ComparisonSpace::new("tel", "phn", vec![SimilarityOp::Equality]),
-        ComparisonSpace::new("FN", "FN", vec![SimilarityOp::Equality, SimilarityOp::edit(3)]),
+        ComparisonSpace::new(
+            "FN",
+            "FN",
+            vec![SimilarityOp::Equality, SimilarityOp::edit(3)],
+        ),
     ];
     let rcks = derive_rcks(&sigma, &card, &billing, &space, &yc, &yb, 3);
     println!("\nderived relative candidate keys:");
@@ -62,11 +66,13 @@ fn main() {
     )
     .expect("well-formed rule");
     let baseline = Matcher::new(vec![exact_rule]);
-    let (b_result, b_quality) = baseline.evaluate(&workload.card, &workload.billing, &workload.truth);
+    let (b_result, b_quality) =
+        baseline.evaluate(&workload.card, &workload.billing, &workload.truth);
 
     // Dependency-derived rules.
     let derived = Matcher::new(rcks);
-    let (d_result, d_quality) = derived.evaluate(&workload.card, &workload.billing, &workload.truth);
+    let (d_result, d_quality) =
+        derived.evaluate(&workload.card, &workload.billing, &workload.truth);
 
     println!("\n                      pairs  comparisons  precision  recall     f1");
     println!(

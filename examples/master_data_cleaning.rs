@@ -40,7 +40,11 @@ fn main() {
         &["street", "city", "zip"],
     )
     .expect("well-formed relative key");
-    let fusion_attrs = vec![schema.attr("street"), schema.attr("city"), schema.attr("zip")];
+    let fusion_attrs = vec![
+        schema.attr("street"),
+        schema.attr("city"),
+        schema.attr("zip"),
+    ];
 
     // ------------------------------------------------------------------
     // 3. Run the unified pipeline and the repair-only baseline.

@@ -17,9 +17,13 @@ fn main() {
     let db = paper_database();
     let cinds = paper_cinds();
     let report = detect_cind_violations(&db, &cinds).expect("well-formed CINDs");
-    for (i, name) in ["cind1 (book orders)", "cind2 (CD orders)", "cind3 (audio books)"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "cind1 (book orders)",
+        "cind2 (CD orders)",
+        "cind3 (audio books)",
+    ]
+    .iter()
+    .enumerate()
     {
         println!("{name}: {} violation(s)", report.of(i).len());
     }
@@ -89,7 +93,9 @@ fn main() {
     .expect("ϕ7 is well-formed");
     println!(
         "f3 (zip -> street) propagates to the union view: {:?}",
-        propagates(&schema, &sigma, &view, &f3).expect("supported view").holds()
+        propagates(&schema, &sigma, &view, &f3)
+            .expect("supported view")
+            .holds()
     );
     println!(
         "ϕ7 (CC=44, zip -> street) propagates to the union view: {:?}",

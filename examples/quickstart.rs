@@ -29,12 +29,8 @@ fn main() {
     // ------------------------------------------------------------------
     // 2. Repair the instance by value modification (Section 5.1).
     // ------------------------------------------------------------------
-    let outcome = repair_cfd_violations(
-        &d0,
-        &cfds,
-        &RepairCost::uniform(),
-        &RepairConfig::default(),
-    );
+    let outcome =
+        repair_cfd_violations(&d0, &cfds, &RepairCost::uniform(), &RepairConfig::default());
     println!(
         "repair: {} cell changes, cost {:.2}, consistent = {}",
         outcome.log.change_count(),
@@ -55,7 +51,10 @@ fn main() {
     // 3. Reason about the rules: consistency and implication (Section 4.1).
     // ------------------------------------------------------------------
     let consistency = cfd_set_consistent(&cfds);
-    println!("the CFD set itself is consistent: {}", consistency.consistent);
+    println!(
+        "the CFD set itself is consistent: {}",
+        consistency.consistent
+    );
 
     let schema = dq_gen::customer::customer_schema();
     let implied = Cfd::new(

@@ -65,8 +65,8 @@ pub use dq_repr as repr;
 pub mod prelude {
     pub use dq_cleaning::prelude::*;
     pub use dq_core::prelude::*;
-    pub use dq_discovery::prelude::*;
     pub use dq_cqa::prelude::*;
+    pub use dq_discovery::prelude::*;
     pub use dq_gen as gen_crate;
     pub use dq_match::prelude::*;
     pub use dq_relation::prelude::*;

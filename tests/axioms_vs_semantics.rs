@@ -11,7 +11,12 @@ use std::sync::Arc;
 fn schema() -> Arc<RelationSchema> {
     Arc::new(RelationSchema::new(
         "r",
-        [("A", Domain::Text), ("B", Domain::Text), ("C", Domain::Text), ("D", Domain::Text)],
+        [
+            ("A", Domain::Text),
+            ("B", Domain::Text),
+            ("C", Domain::Text),
+            ("D", Domain::Text),
+        ],
     ))
 }
 
@@ -44,7 +49,13 @@ fn random_cfd(rng: &mut StdRng, schema: &Arc<RelationSchema>) -> Cfd {
     } else {
         wild()
     }];
-    Cfd::from_indices(schema, lhs, rhs, vec![PatternTuple::new(lhs_pattern, rhs_pattern)]).unwrap()
+    Cfd::from_indices(
+        schema,
+        lhs,
+        rhs,
+        vec![PatternTuple::new(lhs_pattern, rhs_pattern)],
+    )
+    .unwrap()
 }
 
 /// Every CFD derived by one round of the inference rules is semantically
@@ -80,7 +91,13 @@ fn closure_implication_agrees_with_exact_on_infinite_domains() {
         let phi = random_cfd(&mut rng, &schema);
         let fast = cfd_implies_closure(&sigma, &phi);
         let exact = cfd_implies_exact(&sigma, &phi);
-        assert_eq!(fast, exact, "disagreement on {} vs {:?}", phi, sigma.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        assert_eq!(
+            fast,
+            exact,
+            "disagreement on {} vs {:?}",
+            phi,
+            sigma.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        );
         checked += 1;
     }
     assert_eq!(checked, 40);

@@ -5,9 +5,9 @@
 use dataquality::prelude::*;
 use dq_gen::customer::{customer_schema, paper_cfds};
 use dq_gen::master::{generate_master_workload, MasterConfig};
+use dq_relation::{Domain, RelationInstance, RelationSchema, TupleId, Value};
 use dq_repair::numeric::{repair_numeric_violations, NumericRepairConfig};
 use dq_repr::ctable::CTable;
-use dq_relation::{Domain, RelationInstance, RelationSchema, TupleId, Value};
 use std::sync::Arc;
 
 fn master_rules() -> Vec<RelativeKey> {
@@ -54,7 +54,10 @@ fn unified_cleaning_beats_blind_repair_across_error_rates() {
             q_unified.f1 > q_blind.f1,
             "error rate {error_rate}: unified {q_unified:?} must beat blind {q_blind:?}"
         );
-        assert!(q_unified.recall > 0.95, "master data covers the corrupted attributes");
+        assert!(
+            q_unified.recall > 0.95,
+            "master data covers the corrupted attributes"
+        );
     }
 }
 
@@ -116,12 +119,23 @@ fn aggregate_ranges_bound_every_repair_of_the_ctable() {
         [("emp", Domain::Text), ("amount", Domain::Int)],
     ));
     let mut inst = RelationInstance::new(Arc::clone(&schema));
-    for (e, a) in [("ann", 10), ("ann", 25), ("bob", 5), ("eve", 3), ("eve", 30)] {
+    for (e, a) in [
+        ("ann", 10),
+        ("ann", 25),
+        ("bob", 5),
+        ("eve", 3),
+        ("eve", 30),
+    ] {
         inst.insert_values([Value::str(e), Value::int(a)]).unwrap();
     }
     let key = Fd::new(&schema, &["emp"], &["amount"]);
     let ctable = CTable::from_key_repairs(&inst, &key);
-    for agg in [AggregateFn::Sum, AggregateFn::Min, AggregateFn::Max, AggregateFn::Count] {
+    for agg in [
+        AggregateFn::Sum,
+        AggregateFn::Min,
+        AggregateFn::Max,
+        AggregateFn::Count,
+    ] {
         let range = range_consistent_aggregate(&inst, &[0], agg, 1);
         for world in ctable.worlds() {
             let value = aggregate_on(&world, agg, 1);
@@ -149,9 +163,12 @@ fn numeric_repair_composes_with_cfd_repair() {
         ],
     ));
     let mut inst = RelationInstance::new(Arc::clone(&schema));
-    inst.insert_values([Value::str("db"), Value::str("EDI"), Value::int(44)]).unwrap();
-    inst.insert_values([Value::str("db"), Value::str("NYC"), Value::int(220)]).unwrap();
-    inst.insert_values([Value::str("ml"), Value::str("SF"), Value::int(31)]).unwrap();
+    inst.insert_values([Value::str("db"), Value::str("EDI"), Value::int(44)])
+        .unwrap();
+    inst.insert_values([Value::str("db"), Value::str("NYC"), Value::int(220)])
+        .unwrap();
+    inst.insert_values([Value::str("ml"), Value::str("SF"), Value::int(31)])
+        .unwrap();
 
     // dept = db → site = EDI.
     let cfd = Cfd::new(
@@ -172,14 +189,28 @@ fn numeric_repair_composes_with_cfd_repair() {
         )],
     );
 
-    let after_cfd = repair_cfd_violations(&inst, &[cfd.clone()], &RepairCost::uniform(), &RepairConfig::default());
+    let after_cfd = repair_cfd_violations(
+        &inst,
+        std::slice::from_ref(&cfd),
+        &RepairCost::uniform(),
+        &RepairConfig::default(),
+    );
     assert!(after_cfd.consistent);
-    let after_numeric = repair_numeric_violations(&after_cfd.repaired, &[dc.clone()], &NumericRepairConfig::default());
+    let after_numeric = repair_numeric_violations(
+        &after_cfd.repaired,
+        std::slice::from_ref(&dc),
+        &NumericRepairConfig::default(),
+    );
     assert!(after_numeric.consistent);
     assert!(cfd.holds_on(&after_numeric.repaired));
     assert!(dc.holds_on(&after_numeric.repaired));
     assert_eq!(
-        after_numeric.repaired.tuple(TupleId(1)).unwrap().get(2).as_int(),
+        after_numeric
+            .repaired
+            .tuple(TupleId(1))
+            .unwrap()
+            .get(2)
+            .as_int(),
         Some(150)
     );
 }

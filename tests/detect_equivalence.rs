@@ -1,0 +1,203 @@
+//! Equivalence properties of the detection paths: the shared-index parallel
+//! [`DetectionEngine`] must produce reports equal to the naive per-dependency
+//! detectors, and batch detection must equal clean-prefix detection plus
+//! incremental detection of appended tuples.
+//!
+//! All cases are generated from seeded strategies (the offline proptest
+//! stand-in derives its RNG seed from the test name), so runs are exactly
+//! reproducible — no fixed-seed flakiness.
+
+use dataquality::prelude::*;
+use dq_gen::customer::{generate_customers, paper_cfds, CustomerConfig};
+use dq_relation::RelationInstance;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Workload shapes worth exercising: tiny through few-hundred tuples, clean
+/// through heavily corrupted, paper-style (three huge `[CC, AC]` groups)
+/// through scaled city pools (many small groups).
+fn workload_config() -> impl Strategy<Value = CustomerConfig> {
+    (
+        1usize..250,
+        0usize..4,
+        0u64..1_000,
+        prop_oneof![3usize..4, 20usize..40],
+    )
+        .prop_map(
+            |(tuples, rate_idx, seed, cities_per_country)| CustomerConfig {
+                tuples,
+                error_rate: [0.0, 0.01, 0.05, 0.25][rate_idx],
+                seed,
+                cities_per_country,
+            },
+        )
+}
+
+fn engine_variants() -> Vec<DetectionEngine> {
+    vec![
+        DetectionEngine::with_threads(1),
+        DetectionEngine::with_threads(4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Engine CFD reports are byte-identical to the naive path, sequential
+    /// and parallel, cold pool and warm pool.
+    #[test]
+    fn engine_cfd_detection_equals_naive(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let cfds = paper_cfds();
+        let naive = detect_cfd_violations(&workload.dirty, &cfds);
+        for engine in engine_variants() {
+            let cold = engine.detect_cfd_violations(&workload.dirty, &cfds);
+            prop_assert_eq!(&cold, &naive);
+            let warm = engine.detect_cfd_violations(&workload.dirty, &cfds);
+            prop_assert_eq!(&warm, &naive);
+        }
+    }
+
+    /// Engine equivalence also holds for the normalized fragment set, where
+    /// many dependencies share a LHS and the pool serves one index to all.
+    #[test]
+    fn engine_equivalence_on_normalized_fragments(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let fragments: Vec<Cfd> = paper_cfds().iter().flat_map(|c| c.normalize()).collect();
+        let naive = detect_cfd_violations(&workload.dirty, &fragments);
+        let engine = DetectionEngine::new();
+        prop_assert_eq!(engine.detect_cfd_violations(&workload.dirty, &fragments), naive);
+        // One distinct LHS per paper CFD, regardless of fragment count.
+        prop_assert_eq!(engine.pool_stats().misses, 3);
+    }
+
+    /// Batch detection over the extended instance equals the report on the
+    /// prefix plus incremental detection of the appended tuples.
+    #[test]
+    fn batch_equals_prefix_plus_incremental(
+        config in workload_config(),
+        split_percent in 0usize..=100,
+    ) {
+        let workload = generate_customers(&config);
+        let cfds = paper_cfds();
+        let split = workload.dirty.len() * split_percent / 100;
+        let mut prefix = RelationInstance::new(Arc::clone(workload.dirty.schema()));
+        let mut extended = RelationInstance::new(Arc::clone(workload.dirty.schema()));
+        let mut added = Vec::new();
+        for (i, (_, tuple)) in workload.dirty.iter().enumerate() {
+            let id = extended.insert(tuple.clone()).expect("compatible tuple");
+            if i < split {
+                prefix.insert(tuple.clone()).expect("compatible tuple");
+            } else {
+                added.push(id);
+            }
+        }
+        let full = detect_cfd_violations(&extended, &cfds);
+        let prefix_report = detect_cfd_violations(&prefix, &cfds);
+        let incremental = detect_cfd_violations_incremental(&extended, &cfds, &added);
+        for i in 0..cfds.len() {
+            let mut combined: Vec<CfdViolation> = prefix_report
+                .of(i)
+                .iter()
+                .chain(incremental.of(i))
+                .copied()
+                .collect();
+            combined.sort_unstable();
+            prop_assert_eq!(
+                combined,
+                full.of(i).to_vec(),
+                "dependency {} disagrees (split {} of {})",
+                i,
+                split,
+                extended.len()
+            );
+        }
+    }
+
+    /// Engine incremental detection equals naive incremental detection.
+    #[test]
+    fn engine_incremental_equals_naive_incremental(
+        config in workload_config(),
+        split_percent in 0usize..=100,
+    ) {
+        let workload = generate_customers(&config);
+        let cfds = paper_cfds();
+        let split = workload.dirty.len() * split_percent / 100;
+        let added: Vec<_> = workload
+            .dirty
+            .iter()
+            .skip(split)
+            .map(|(id, _)| id)
+            .collect();
+        let naive = detect_cfd_violations_incremental(&workload.dirty, &cfds, &added);
+        for engine in engine_variants() {
+            prop_assert_eq!(
+                engine.detect_cfd_violations_incremental(&workload.dirty, &cfds, &added),
+                naive.clone()
+            );
+        }
+    }
+
+    /// Engine eCFD reports equal the naive path on generated instances.
+    #[test]
+    fn engine_ecfd_detection_equals_naive(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let schema = workload.dirty.schema();
+        let ecfds = vec![
+            // FD city → AC outside the fixed UK cities.
+            Ecfd::new(
+                schema,
+                &["city"],
+                &["AC"],
+                vec![EcfdPattern::new(
+                    vec![SetPattern::not_in(["EDI", "GLA", "LDN"])],
+                    vec![SetPattern::any()],
+                )],
+            )
+            .expect("well-formed eCFD"),
+            // EDI tuples must carry one of the Edinburgh-ish area codes.
+            Ecfd::new(
+                schema,
+                &["city"],
+                &["AC"],
+                vec![EcfdPattern::new(
+                    vec![SetPattern::eq("EDI")],
+                    vec![SetPattern::in_set([131i64, 132])],
+                )],
+            )
+            .expect("well-formed eCFD"),
+        ];
+        let naive = detect_ecfd_violations(&workload.dirty, &ecfds);
+        for engine in engine_variants() {
+            prop_assert_eq!(engine.detect_ecfd_violations(&workload.dirty, &ecfds), naive.clone());
+        }
+    }
+
+    /// Engine denial-constraint reports equal the naive quadratic scan, for
+    /// FD-shaped constraints (index path) and single-variable range
+    /// constraints (fallback path) alike.
+    #[test]
+    fn engine_denial_detection_equals_naive(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let schema = workload.dirty.schema();
+        let mut constraints =
+            DenialConstraint::from_fd(&Fd::new(schema, &["CC", "zip"], &["street"]));
+        constraints.extend(DenialConstraint::from_fd(&Fd::new(schema, &["CC", "AC"], &["city"])));
+        constraints.push(DenialConstraint::new(
+            "customer",
+            1,
+            vec![DcPredicate::new(
+                DcTerm::attr(0, schema.attr("CC")),
+                dq_relation::CompOp::Gt,
+                DcTerm::val(50i64),
+            )],
+        ));
+        let naive = detect_denial_violations(&workload.dirty, &constraints);
+        for engine in engine_variants() {
+            prop_assert_eq!(
+                engine.detect_denial_violations(&workload.dirty, &constraints),
+                naive.clone()
+            );
+        }
+    }
+}

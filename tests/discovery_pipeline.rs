@@ -17,11 +17,13 @@ fn sample_and_dirty(tuples: usize, seed: u64) -> (CustomerWorkload, CustomerWork
         tuples,
         error_rate: 0.0,
         seed,
+        ..Default::default()
     });
     let dirty = generate_customers(&CustomerConfig {
         tuples,
         error_rate: 0.05,
         seed,
+        ..Default::default()
     });
     (clean, dirty)
 }
@@ -120,7 +122,11 @@ fn discovered_paper_constants_match_the_known_semantics() {
                     && tp.rhs == [PatternValue::Const(Value::str("EDI"))]
             })
     });
-    assert!(found, "expected AC=131 → city=EDI among {} constant CFDs", discovered.len());
+    assert!(
+        found,
+        "expected AC=131 → city=EDI among {} constant CFDs",
+        discovered.len()
+    );
 }
 
 #[test]
@@ -166,5 +172,8 @@ fn cind_condition_discovery_on_the_order_database() {
         "expected at least the type = 'book' condition to be discovered"
     );
     let report = detect_cind_violations(&db, &cinds).unwrap();
-    assert!(report.is_clean(), "discovered CINDs must hold on the database");
+    assert!(
+        report.is_clean(),
+        "discovered CINDs must hold on the database"
+    );
 }

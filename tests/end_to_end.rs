@@ -14,6 +14,7 @@ fn detect_repair_redetect_on_synthetic_customers() {
         tuples: 2_000,
         error_rate: 0.05,
         seed: 21,
+        ..Default::default()
     });
 
     // The clean data is clean; the dirty data is not.
@@ -65,6 +66,7 @@ fn minimal_cover_reduces_detection_work_without_changing_the_outcome() {
         tuples: 1_000,
         error_rate: 0.05,
         seed: 3,
+        ..Default::default()
     });
     let full = detect_cfd_violations(&workload.dirty, &extended);
     let covered = detect_cfd_violations(&workload.dirty, &cover);
@@ -101,11 +103,15 @@ fn consistent_answers_survive_repair() {
     // repaired database too (for value-preserving deletion repairs).
     let schema = std::sync::Arc::new(dq_relation::RelationSchema::new(
         "emp",
-        [("name", dq_relation::Domain::Text), ("dept", dq_relation::Domain::Text)],
+        [
+            ("name", dq_relation::Domain::Text),
+            ("dept", dq_relation::Domain::Text),
+        ],
     ));
     let mut inst = dq_relation::RelationInstance::new(std::sync::Arc::clone(&schema));
     for (n, d) in [("ann", "cs"), ("ann", "ee"), ("bob", "cs"), ("carol", "me")] {
-        inst.insert_values([dq_relation::Value::str(n), dq_relation::Value::str(d)]).unwrap();
+        inst.insert_values([dq_relation::Value::str(n), dq_relation::Value::str(d)])
+            .unwrap();
     }
     let fd = Fd::new(&schema, &["name"], &["dept"]);
     let constraints = DenialConstraint::from_fd(&fd);

@@ -31,11 +31,16 @@ fn figures_1_and_2_customer_scenario() {
     // violations, three in total.
     let v2 = cfds[1].violations(&d0);
     assert_eq!(v2.len(), 3);
-    assert!(v2.iter().all(|v| matches!(v, CfdViolation::SingleTuple { .. })));
+    assert!(v2
+        .iter()
+        .all(|v| matches!(v, CfdViolation::SingleTuple { .. })));
 
     // Overall: every tuple of D0 is dirty.
     let report = detect_cfd_violations(&d0, &cfds);
-    assert_eq!(report.violating_tuples(), vec![TupleId(0), TupleId(1), TupleId(2)]);
+    assert_eq!(
+        report.violating_tuples(),
+        vec![TupleId(0), TupleId(1), TupleId(2)]
+    );
 }
 
 /// Fig. 3 + Fig. 4 + Section 2.2: D1 satisfies cind1, cind2 and violates
@@ -86,14 +91,22 @@ fn section_2_3_ecfds() {
     )
     .unwrap();
     let mut inst = dq_relation::RelationInstance::new(Arc::clone(&schema));
-    for (ct, ac) in [("NYC", 212), ("NYC", 718), ("Albany", 518), ("Buffalo", 716)] {
-        inst.insert_values([Value::str(ct), Value::int(ac)]).unwrap();
+    for (ct, ac) in [
+        ("NYC", 212),
+        ("NYC", 718),
+        ("Albany", 518),
+        ("Buffalo", 716),
+    ] {
+        inst.insert_values([Value::str(ct), Value::int(ac)])
+            .unwrap();
     }
     assert!(ecfd1.holds_on(&inst));
     assert!(ecfd2.holds_on(&inst));
     // A sixth NYC area code violates ecfd2; a second Albany code violates ecfd1.
-    inst.insert_values([Value::str("NYC"), Value::int(518)]).unwrap();
-    inst.insert_values([Value::str("Albany"), Value::int(212)]).unwrap();
+    inst.insert_values([Value::str("NYC"), Value::int(518)])
+        .unwrap();
+    inst.insert_values([Value::str("Albany"), Value::int(212)])
+        .unwrap();
     assert!(!ecfd2.holds_on(&inst));
     assert!(!ecfd1.holds_on(&inst));
     // The eCFD set itself is consistent.
@@ -111,7 +124,10 @@ fn examples_3_1_3_2_and_4_3_matching() {
     let yb = dq_match::paper::YB;
 
     let rcks: Vec<RelativeKey> = [
-        vec![("email", "email", SimilarityOp::Equality), ("addr", "post", SimilarityOp::Equality)],
+        vec![
+            ("email", "email", SimilarityOp::Equality),
+            ("addr", "post", SimilarityOp::Equality),
+        ],
         vec![
             ("LN", "SN", SimilarityOp::Equality),
             ("tel", "phn", SimilarityOp::Equality),

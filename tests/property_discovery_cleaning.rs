@@ -3,9 +3,9 @@
 //! instances, not just for the curated workloads.
 
 use dataquality::prelude::*;
+use dq_relation::{CompOp, Domain, RelationInstance, RelationSchema, Tuple, Value};
 use dq_repair::numeric::{repair_numeric_violations, NumericRepairConfig};
 use dq_repr::ctable::CTable;
-use dq_relation::{CompOp, Domain, RelationInstance, RelationSchema, Tuple, Value};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -19,8 +19,12 @@ fn three_col_schema() -> Arc<RelationSchema> {
 fn instance_from_rows(rows: Vec<(String, String, i64)>) -> RelationInstance {
     let mut inst = RelationInstance::new(three_col_schema());
     for (a, b, c) in rows {
-        inst.insert(Tuple::new(vec![Value::str(a), Value::str(b), Value::int(c)]))
-            .unwrap();
+        inst.insert(Tuple::new(vec![
+            Value::str(a),
+            Value::str(b),
+            Value::int(c),
+        ]))
+        .unwrap();
     }
     inst
 }

@@ -213,7 +213,7 @@ proptest! {
         let sigma = example_3_1_mds(&card, &billing);
         let phi = sigma[which].clone();
         prop_assert!(md_implies(&sigma, &phi));
-        prop_assert!(md_implies(&[phi.clone()], &phi));
+        prop_assert!(md_implies(std::slice::from_ref(&phi), &phi));
         // Removing unrelated MDs never turns an implication of the single
         // dependency itself into a non-implication.
         prop_assert!(md_implies(&sigma[which..=which], &phi));
