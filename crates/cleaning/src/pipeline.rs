@@ -10,7 +10,7 @@
 use crate::fusion::{fuse_from_master, FusionLog};
 use crate::master::{match_against_master, MasterData};
 use dq_core::cfd::Cfd;
-use dq_core::detect::detect_cfd_violations;
+use dq_core::engine::DetectionEngine;
 use dq_match::rck::RelativeKey;
 use dq_relation::RelationInstance;
 use dq_repair::model::RepairCost;
@@ -78,9 +78,17 @@ impl CleaningPipeline {
     }
 
     /// Runs the pipeline on a dirty instance.
+    ///
+    /// Detection at every stage goes through one shared
+    /// [`DetectionEngine`], so all stages benefit from interned columnar
+    /// indexes, LHS groups of the CFD set build each index once, and the
+    /// back-to-back detections over an unchanged instance (the post-repair
+    /// check and the final verification) are served from the warm pool
+    /// instead of rebuilding.
     pub fn run(&self, dirty: &RelationInstance) -> CleaningReport {
+        let engine = DetectionEngine::new();
         let mut stages = Vec::new();
-        let initial = detect_cfd_violations(dirty, &self.cfds);
+        let initial = engine.detect_cfd_violations(dirty, &self.cfds);
         stages.push(StageSummary {
             stage: "detect".into(),
             violations: initial.total(),
@@ -101,7 +109,7 @@ impl CleaningPipeline {
             fusion_log = log;
             stages.push(StageSummary {
                 stage: "fuse".into(),
-                violations: detect_cfd_violations(&current, &self.cfds).total(),
+                violations: engine.detect_cfd_violations(&current, &self.cfds).total(),
                 changes: fusion_log.change_count(),
             });
         }
@@ -112,11 +120,11 @@ impl CleaningPipeline {
         current = outcome.repaired;
         stages.push(StageSummary {
             stage: "repair".into(),
-            violations: detect_cfd_violations(&current, &self.cfds).total(),
+            violations: engine.detect_cfd_violations(&current, &self.cfds).total(),
             changes: repair_changes,
         });
 
-        let final_report = detect_cfd_violations(&current, &self.cfds);
+        let final_report = engine.detect_cfd_violations(&current, &self.cfds);
         let remaining_violations = final_report.total();
         stages.push(StageSummary {
             stage: "verify".into(),
@@ -251,6 +259,18 @@ mod tests {
             q_master.f1 > q_repair.f1,
             "master data should add measurable value"
         );
+    }
+
+    #[test]
+    fn engine_backed_stages_match_naive_detection_counts() {
+        // The pipeline detects through a shared engine; its reported counts
+        // must equal what the naive per-dependency detectors find.
+        let w = workload();
+        let report = CleaningPipeline::repair_only(paper_cfds()).run(&w.dirty);
+        let naive = dq_core::detect::detect_cfd_violations(&w.dirty, &paper_cfds());
+        assert_eq!(report.initial_violations, naive.total());
+        let naive_after = dq_core::detect::detect_cfd_violations(&report.cleaned, &paper_cfds());
+        assert_eq!(report.remaining_violations, naive_after.total());
     }
 
     #[test]

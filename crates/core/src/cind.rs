@@ -11,7 +11,9 @@
 //! `Xp`/`Yp`.
 
 use crate::ind::Ind;
-use dq_relation::{Database, DqError, DqResult, HashIndex, RelationSchema, TupleId, Value};
+use dq_relation::{
+    Database, DqError, DqResult, HashIndex, InternedIndex, RelationSchema, TupleId, Value, ValueId,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -291,6 +293,78 @@ impl Cind {
     pub fn holds_on(&self, db: &Database) -> DqResult<bool> {
         Ok(self.violations(db)?.is_empty())
     }
+
+    /// The attribute list an interned probe index on the RHS relation must
+    /// be keyed on: the correspondence attributes `Y` followed by the
+    /// pattern attributes `Yp`.
+    pub fn rhs_probe_attrs(&self) -> Vec<usize> {
+        let mut attrs = self.rhs_attrs.clone();
+        attrs.extend_from_slice(&self.rhs_pattern_attrs);
+        attrs
+    }
+
+    /// Violations computed against a caller-supplied *interned* index of the
+    /// RHS relation on exactly [`rhs_probe_attrs`](Self::rhs_probe_attrs).
+    /// Each LHS tuple's probe translates through the index's per-column
+    /// dictionaries — a value absent from a dictionary cannot match any RHS
+    /// tuple, short-circuiting the probe.  Output (order included) equals
+    /// [`violations`](Self::violations).
+    pub fn violations_with_interned_index(
+        &self,
+        db: &Database,
+        index: &InternedIndex,
+    ) -> DqResult<Vec<CindViolation>> {
+        debug_assert_eq!(
+            index.attrs(),
+            self.rhs_probe_attrs().as_slice(),
+            "index keyed off Y ++ Yp of the CIND"
+        );
+        let lhs = db.require_relation(self.lhs_schema.name())?;
+        let x_len = self.lhs_attrs.len();
+        let mut out = Vec::new();
+        let mut key: Vec<ValueId> = vec![ValueId(0); x_len + self.rhs_pattern_attrs.len()];
+        for (pattern_idx, tp) in self.tableau.iter().enumerate() {
+            // Translate the pattern's Yp constants once; an absent constant
+            // means no RHS tuple can ever match this pattern.
+            let yp_ids: Option<Vec<ValueId>> = tp
+                .rhs
+                .iter()
+                .enumerate()
+                .map(|(j, v)| index.lookup_id(x_len + j, v))
+                .collect();
+            if let Some(ids) = &yp_ids {
+                key[x_len..].copy_from_slice(ids);
+            }
+            for (id, tuple) in lhs.iter() {
+                let applies = self
+                    .lhs_pattern_attrs
+                    .iter()
+                    .zip(&tp.lhs)
+                    .all(|(&a, v)| tuple.get(a) == v);
+                if !applies {
+                    continue;
+                }
+                let matched = yp_ids.is_some()
+                    && self.lhs_attrs.iter().enumerate().all(|(j, &a)| {
+                        match index.lookup_id(j, tuple.get(a)) {
+                            Some(vid) => {
+                                key[j] = vid;
+                                true
+                            }
+                            None => false,
+                        }
+                    })
+                    && !index.rows_for_ids(&key).is_empty();
+                if !matched {
+                    out.push(CindViolation {
+                        pattern: pattern_idx,
+                        tuple: id,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl fmt::Display for Cind {
@@ -554,6 +628,41 @@ mod tests {
             cind.holds_on(&db).unwrap(),
             parts.iter().all(|c| c.holds_on(&db).unwrap())
         );
+    }
+
+    #[test]
+    fn interned_probe_equals_value_probe() {
+        let db = d1();
+        for cind in [cind1(), cind2(), cind3()] {
+            let rhs = db.require_relation(cind.rhs_schema().name()).unwrap();
+            let store = rhs.columnar();
+            let probe = cind.rhs_probe_attrs();
+            let index = InternedIndex::build(rhs, &store, &probe, 1);
+            assert_eq!(
+                cind.violations_with_interned_index(&db, &index).unwrap(),
+                cind.violations(&db).unwrap(),
+                "{cind}"
+            );
+        }
+        // A CIND whose correspondence values are absent from the RHS:
+        // every applicable tuple dangles, interned and naive alike.
+        let absent = Cind::new(
+            &order_schema(),
+            &["asin"],
+            &["type"],
+            &book_schema(),
+            &["isbn"],
+            &[],
+            vec![CindPattern::new(vec![Value::str("CD")], vec![])],
+        )
+        .unwrap();
+        let rhs = db.require_relation("book").unwrap();
+        let index = InternedIndex::build(rhs, &rhs.columnar(), &absent.rhs_probe_attrs(), 1);
+        assert_eq!(
+            absent.violations_with_interned_index(&db, &index).unwrap(),
+            absent.violations(&db).unwrap()
+        );
+        assert_eq!(absent.violations(&db).unwrap().len(), 1);
     }
 
     #[test]

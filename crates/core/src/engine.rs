@@ -14,18 +14,27 @@
 //! * **parallel fan-out** — index construction and per-dependency detection
 //!   both spread across a scoped thread pool sized to the machine.
 //!
+//! * **interned storage** — detection runs over the instance's columnar
+//!   snapshot ([`dq_relation::ColumnarStore`]): per-column dictionaries
+//!   encode every value as a dense `u32`, indexes pack multi-attribute keys
+//!   into machine words ([`dq_relation::InternedIndex`]), and a cold build
+//!   shards across the thread pool so even a *single* huge dependency
+//!   parallelizes within its index.
+//!
 //! The engine is a pure optimization: for every dependency class it produces
 //! a report equal (including order — violation lists are canonicalized) to
 //! the corresponding naive detector's, which `tests/detect_equivalence.rs`
 //! checks property-style across generated workloads.
 
 use crate::cfd::{Cfd, CfdViolation};
+use crate::cind::Cind;
 use crate::denial::DenialConstraint;
 use crate::detect::{
-    incremental_cfd_violations_with_index, CfdViolationReport, EcfdViolationReport,
+    incremental_cfd_violations_with_interned, CfdViolationReport, CindViolationReport,
+    EcfdViolationReport,
 };
 use crate::ecfd::{Ecfd, EcfdViolation};
-use dq_relation::{IndexPool, IndexPoolStats, RelationInstance, TupleId};
+use dq_relation::{Database, DqResult, IndexPool, IndexPoolStats, RelationInstance, TupleId};
 use std::collections::BTreeSet;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -76,12 +85,35 @@ impl DetectionEngine {
         self.pool.stats()
     }
 
-    /// Builds every index the LHS groups of `lhs_sets` need, in parallel,
+    /// Runs one pooled index build per item, spending parallelism where it
+    /// pays: with at least as many builds as workers — or when the data is
+    /// too small to shard (`sharded == false`) — the builds run concurrently
+    /// with one thread each; otherwise the few builds run in sequence and
+    /// each parallelizes internally across the columnar store's row shards,
+    /// so a single huge dependency still uses the whole pool.
+    fn warm_builds<T: Sync>(&self, items: &[T], sharded: bool, build: impl Fn(&T, usize) + Sync) {
+        if items.is_empty() {
+            return;
+        }
+        if items.len() >= self.threads || !sharded {
+            parallel_map(items, self.threads, |item| build(item, 1));
+        } else {
+            for item in items {
+                build(item, self.threads);
+            }
+        }
+    }
+
+    /// Builds every interned index the LHS groups of `lhs_sets` need,
     /// warming the pool before detection fans out.
-    fn warm_indexes(&self, instance: &RelationInstance, lhs_sets: BTreeSet<Vec<usize>>) {
+    fn warm_interned(&self, instance: &RelationInstance, lhs_sets: BTreeSet<Vec<usize>>) {
         let distinct: Vec<Vec<usize>> = lhs_sets.into_iter().collect();
-        parallel_map(&distinct, self.threads, |lhs| {
-            self.pool.index_for(instance, lhs);
+        if distinct.is_empty() {
+            return;
+        }
+        let sharded = instance.columnar().shard_count() > 1;
+        self.warm_builds(&distinct, sharded, |lhs, threads| {
+            self.pool.interned_for(instance, lhs, threads);
         });
     }
 
@@ -94,10 +126,10 @@ impl DetectionEngine {
         instance: &RelationInstance,
         cfds: &[Cfd],
     ) -> CfdViolationReport {
-        self.warm_indexes(instance, cfds.iter().map(|c| c.lhs().to_vec()).collect());
+        self.warm_interned(instance, cfds.iter().map(|c| c.lhs().to_vec()).collect());
         let per_dependency: Vec<Vec<CfdViolation>> = parallel_map(cfds, self.threads, |cfd| {
-            let index = self.pool.index_for(instance, cfd.lhs());
-            cfd.violations_with_index(instance, &index)
+            let index = self.pool.interned_for(instance, cfd.lhs(), 1);
+            cfd.violations_with_interned(instance, &index)
         });
         CfdViolationReport::from_per_dependency(per_dependency)
     }
@@ -114,10 +146,10 @@ impl DetectionEngine {
         cfds: &[Cfd],
         added: &[TupleId],
     ) -> CfdViolationReport {
-        self.warm_indexes(instance, cfds.iter().map(|c| c.lhs().to_vec()).collect());
+        self.warm_interned(instance, cfds.iter().map(|c| c.lhs().to_vec()).collect());
         let per_dependency: Vec<Vec<CfdViolation>> = parallel_map(cfds, self.threads, |cfd| {
-            let index = self.pool.index_for(instance, cfd.lhs());
-            incremental_cfd_violations_with_index(instance, cfd, added, &index)
+            let index = self.pool.interned_for(instance, cfd.lhs(), 1);
+            incremental_cfd_violations_with_interned(instance, cfd, added, &index)
         });
         CfdViolationReport::from_per_dependency(per_dependency)
     }
@@ -130,10 +162,10 @@ impl DetectionEngine {
         instance: &RelationInstance,
         ecfds: &[Ecfd],
     ) -> EcfdViolationReport {
-        self.warm_indexes(instance, ecfds.iter().map(|e| e.lhs().to_vec()).collect());
+        self.warm_interned(instance, ecfds.iter().map(|e| e.lhs().to_vec()).collect());
         let per_dependency: Vec<Vec<EcfdViolation>> = parallel_map(ecfds, self.threads, |ecfd| {
-            let index = self.pool.index_for(instance, ecfd.lhs());
-            ecfd.violations_with_index(instance, &index)
+            let index = self.pool.interned_for(instance, ecfd.lhs(), 1);
+            ecfd.violations_with_interned(instance, &index)
         });
         EcfdViolationReport::from_per_dependency(per_dependency)
     }
@@ -142,15 +174,15 @@ impl DetectionEngine {
     ///
     /// Equivalent to [`crate::detect::detect_denial_violations`].
     /// Two-variable constraints with attribute equalities (FD- and key-shaped
-    /// constraints) are evaluated through a shared hash partition on those
-    /// attributes instead of the naive quadratic pair scan; other shapes fall
-    /// back to the naive evaluator, in parallel either way.
+    /// constraints) are evaluated through a shared interned partition on
+    /// those attributes instead of the naive quadratic pair scan; other
+    /// shapes fall back to the naive evaluator, in parallel either way.
     pub fn detect_denial_violations(
         &self,
         instance: &RelationInstance,
         constraints: &[DenialConstraint],
     ) -> Vec<Vec<Vec<TupleId>>> {
-        self.warm_indexes(
+        self.warm_interned(
             instance,
             constraints
                 .iter()
@@ -160,12 +192,50 @@ impl DetectionEngine {
         parallel_map(constraints, self.threads, |dc| {
             match dc.pair_partition_attrs() {
                 Some(attrs) => {
-                    let index = self.pool.index_for(instance, &attrs);
-                    dc.violations_with_index(instance, &index)
+                    let index = self.pool.interned_for(instance, &attrs, 1);
+                    dc.violations_with_interned_index(instance, &index)
                 }
                 None => dc.violations(instance),
             }
         })
+    }
+
+    /// Detects all violations of `cinds` in `db`, sharing one pooled
+    /// interned probe index per distinct `(RHS relation, Y ++ Yp)` pair and
+    /// fanning out across dependencies.
+    ///
+    /// Equivalent to [`crate::detect::detect_cind_violations`] — same
+    /// per-dependency violation lists in the same order.
+    pub fn detect_cind_violations(
+        &self,
+        db: &Database,
+        cinds: &[Cind],
+    ) -> DqResult<CindViolationReport> {
+        let mut probes: BTreeSet<(&str, Vec<usize>)> = BTreeSet::new();
+        for cind in cinds {
+            probes.insert((cind.rhs_schema().name(), cind.rhs_probe_attrs()));
+        }
+        let probes: Vec<(&str, Vec<usize>)> = probes.into_iter().collect();
+        // Validate every probed relation up front so warming cannot panic.
+        for (name, _) in &probes {
+            db.require_relation(name)?;
+        }
+        let sharded = probes.iter().any(|(name, _)| {
+            db.relation(name)
+                .is_some_and(|r| r.columnar().shard_count() > 1)
+        });
+        self.warm_builds(&probes, sharded, |(name, attrs), threads| {
+            let rhs = db.relation(name).expect("validated above");
+            self.pool.interned_for(rhs, attrs, threads);
+        });
+        let per_dependency = parallel_map(cinds, self.threads, |cind| {
+            let rhs = db.require_relation(cind.rhs_schema().name())?;
+            let index = self.pool.interned_for(rhs, &cind.rhs_probe_attrs(), 1);
+            cind.violations_with_interned_index(db, &index)
+        })
+        .into_iter()
+        .collect::<DqResult<Vec<_>>>()?;
+        Ok(CindViolationReport::from_per_dependency(per_dependency))
     }
 }
 
@@ -444,6 +514,64 @@ mod tests {
         assert!(engine.detect_cfd_violations(&d, &[]).is_clean());
         assert!(engine.detect_ecfd_violations(&d, &[]).is_clean());
         assert!(engine.detect_denial_violations(&d, &[]).is_empty());
+        let db = dq_relation::Database::new();
+        assert!(engine.detect_cind_violations(&db, &[]).unwrap().is_clean());
+    }
+
+    #[test]
+    fn engine_cind_report_equals_naive() {
+        use crate::cind::{Cind, CindPattern};
+        let order = Arc::new(RelationSchema::new(
+            "order",
+            [("title", Domain::Text), ("type", Domain::Text)],
+        ));
+        let book = Arc::new(RelationSchema::new("book", [("title", Domain::Text)]));
+        let mut oi = RelationInstance::new(Arc::clone(&order));
+        for (t, ty) in [
+            ("Harry Potter", "book"),
+            ("Snow White", "book"),
+            ("J. Denver", "CD"),
+        ] {
+            oi.insert_values([Value::str(t), Value::str(ty)]).unwrap();
+        }
+        let mut bi = RelationInstance::new(Arc::clone(&book));
+        bi.insert_values([Value::str("Harry Potter")]).unwrap();
+        let mut db = dq_relation::Database::new();
+        db.add_relation(oi);
+        db.add_relation(bi);
+        let cinds = vec![Cind::new(
+            &order,
+            &["title"],
+            &["type"],
+            &book,
+            &["title"],
+            &[],
+            vec![CindPattern::new(vec![Value::str("book")], vec![])],
+        )
+        .unwrap()];
+        let engine = DetectionEngine::new();
+        let from_engine = engine.detect_cind_violations(&db, &cinds).unwrap();
+        let naive = crate::detect::detect_cind_violations(&db, &cinds).unwrap();
+        assert_eq!(from_engine, naive);
+        assert_eq!(from_engine.total(), 1, "Snow White dangles");
+        // The probe index is pooled: a second run rebuilds nothing.
+        let misses = engine.pool_stats().misses;
+        let again = engine.detect_cind_violations(&db, &cinds).unwrap();
+        assert_eq!(again, naive);
+        assert_eq!(engine.pool_stats().misses, misses, "warm CIND run");
+        // A CIND over a missing relation errors like the naive path.
+        let ghost_schema = Arc::new(RelationSchema::new("ghost", [("g", Domain::Text)]));
+        let ghost = Cind::new(
+            &order,
+            &["title"],
+            &[],
+            &ghost_schema,
+            &["g"],
+            &[],
+            vec![CindPattern::new(vec![], vec![])],
+        )
+        .unwrap();
+        assert!(engine.detect_cind_violations(&db, &[ghost]).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod fd;
 pub mod implication;
 pub mod ind;
+mod interned;
 pub mod pattern;
 pub mod propagation;
 

@@ -9,7 +9,7 @@
 //! repair benchmarks can score precision and recall against ground truth.
 
 use dq_core::{cst, wild, Cfd, Fd, PatternTuple};
-use dq_relation::{Domain, RelationInstance, RelationSchema, Value};
+use dq_relation::{Domain, RelationInstance, RelationSchema, Value, ValueInterner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -152,9 +152,16 @@ const US_CITIES: [(&str, i64); 3] = [("MH", 908), ("NYC", 212), ("SF", 415)];
 /// the UK, phone → address everywhere, and the `(44, 131) → EDI` /
 /// `(01, 908) → MH` constants.  Errors then perturb either a `city` (breaking
 /// the constant patterns) or a `street` (breaking `ϕ1`'s FD part).
+///
+/// Repeated strings (cities, and the street/zip pools, which recur roughly
+/// four times each) are canonicalized through a [`ValueInterner`], so every
+/// occurrence of a string shares one allocation — the instance is
+/// dictionary-compressed at build time and string equality hits the
+/// pointer-equality fast path.
 pub fn generate_customers(config: &CustomerConfig) -> CustomerWorkload {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let schema = customer_schema();
+    let mut strings = ValueInterner::new();
     let mut clean = RelationInstance::new(Arc::clone(&schema));
     let city_pool = config.cities_per_country.max(1);
     for i in 0..config.tuples {
@@ -193,9 +200,9 @@ pub fn generate_customers(config: &CustomerConfig) -> CustomerWorkload {
                 Value::int(ac),
                 Value::int(1_000_000 + i as i64),
                 Value::str(format!("Customer {i}")),
-                Value::str(street),
-                Value::str(city),
-                Value::str(zip),
+                strings.canonical(Value::str(street)),
+                strings.canonical(Value::str(city)),
+                strings.canonical(Value::str(zip)),
             ])
             .expect("generated tuple fits the schema");
     }
@@ -215,9 +222,12 @@ pub fn generate_customers(config: &CustomerConfig) -> CustomerWorkload {
             street_attr
         };
         let wrong = if attr == city_attr {
-            Value::str("WRONGCITY")
+            strings.canonical(Value::str("WRONGCITY"))
         } else {
-            Value::str(format!("Corrupted street {}", rng.gen_range(0..1_000)))
+            strings.canonical(Value::str(format!(
+                "Corrupted street {}",
+                rng.gen_range(0..1_000)
+            )))
         };
         dirty.update_cell(dq_relation::instance::CellRef::new(id, attr), wrong);
         corrupted_cells.push((i, attr));

@@ -187,8 +187,15 @@ pub struct OrderWorkload {
 }
 
 /// Generates the workload.
+///
+/// Titles recur across the source and target relations (that is what the
+/// CINDs probe), so string values are canonicalized through a
+/// [`dq_relation::ValueInterner`]: every occurrence of a title — and of the
+/// small type/genre/format vocabularies — shares one allocation across all
+/// three relations.
 pub fn generate_orders(config: &OrderConfig) -> OrderWorkload {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut strings = dq_relation::ValueInterner::new();
     let mut order = RelationInstance::new(order_schema());
     let mut book = RelationInstance::new(book_schema());
     let mut cd = RelationInstance::new(cd_schema());
@@ -197,14 +204,14 @@ pub fn generate_orders(config: &OrderConfig) -> OrderWorkload {
 
     for i in 0..config.orders {
         let is_book = rng.gen_bool(0.5);
-        let title = format!("Title {i}");
+        let title = strings.canonical(Value::str(format!("Title {i}")));
         let price = (rng.gen_range(100..5000) as f64) / 100.0;
         let break_it = rng.gen_bool(config.violation_rate);
         let id = order
             .insert_values([
                 Value::str(format!("a{i}")),
-                Value::str(title.clone()),
-                Value::str(if is_book { "book" } else { "CD" }),
+                title.clone(),
+                strings.canonical(Value::str(if is_book { "book" } else { "CD" })),
                 Value::real(price),
             ])
             .expect("order tuple fits the schema");
@@ -215,9 +222,9 @@ pub fn generate_orders(config: &OrderConfig) -> OrderWorkload {
         if is_book {
             book.insert_values([
                 Value::str(format!("b{i}")),
-                Value::str(title),
+                title,
                 Value::real(price),
-                Value::str("paper-cover"),
+                strings.canonical(Value::str("paper-cover")),
             ])
             .expect("book tuple fits the schema");
         } else {
@@ -227,9 +234,9 @@ pub fn generate_orders(config: &OrderConfig) -> OrderWorkload {
             let cd_id = cd
                 .insert_values([
                     Value::str(format!("c{i}")),
-                    Value::str(title.clone()),
+                    title.clone(),
                     Value::real(price),
-                    Value::str(genre),
+                    strings.canonical(Value::str(genre)),
                 ])
                 .expect("CD tuple fits the schema");
             if audio_book {
@@ -238,9 +245,9 @@ pub fn generate_orders(config: &OrderConfig) -> OrderWorkload {
                 } else {
                     book.insert_values([
                         Value::str(format!("ab{i}")),
-                        Value::str(title),
+                        title,
                         Value::real(price),
-                        Value::str("audio"),
+                        strings.canonical(Value::str("audio")),
                     ])
                     .expect("book tuple fits the schema");
                 }

@@ -14,9 +14,11 @@
 //! instance rebuild nothing at all.
 
 use crate::instance::{RelationInstance, TupleId};
+use crate::store::InternedIndex;
 use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::mem::size_of;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -82,6 +84,20 @@ impl HashIndex {
     pub fn multi_groups(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<TupleId>)> {
         self.groups.iter().filter(|(_, g)| g.len() > 1)
     }
+
+    /// Approximate heap bytes held by the index: map buckets, per-key value
+    /// vectors and per-group id vectors.  String payloads are shared with
+    /// the instance (`Arc`) and not counted.  This is the `Vec<Value>`-keyed
+    /// baseline the bench harness compares
+    /// [`InternedIndex::approx_heap_bytes`] against.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let entry = size_of::<(Vec<Value>, Vec<TupleId>)>() + 1;
+        let mut bytes = self.groups.capacity() * entry;
+        for (key, group) in &self.groups {
+            bytes += key.capacity() * size_of::<Value>() + group.capacity() * size_of::<TupleId>();
+        }
+        bytes
+    }
 }
 
 /// Cache key of a memoized index: which instance, at which version, on which
@@ -99,20 +115,25 @@ pub struct IndexPoolStats {
     pub entries: usize,
 }
 
-/// A thread-safe memo table of [`HashIndex`]es keyed by
-/// `(instance identity, instance version, attribute list)`.
+/// A thread-safe memo table of indexes keyed by
+/// `(instance identity, instance version, attribute list)` — value-keyed
+/// [`HashIndex`]es and compact [`InternedIndex`]es side by side.
 ///
 /// Any mutation of an instance bumps its [`RelationInstance::version`], so a
 /// pool entry can never be served stale: a request for the mutated instance
-/// simply misses and builds afresh.  Entries for outdated versions are evicted
-/// lazily whenever the pool grows past its capacity.
+/// simply misses and builds afresh.  Entries for outdated versions of the
+/// requested instance are dropped eagerly on every insert (a mutation makes
+/// them unreachable forever, so keeping them would grow the pool without
+/// bound across mutate-and-detect loops); entries of *other* instances are
+/// evicted only under capacity pressure.
 ///
-/// The pool hands out `Arc<HashIndex>` so detection work can fan out across
-/// threads while sharing one build of each index.
+/// The pool hands out `Arc`s so detection work can fan out across threads
+/// while sharing one build of each index.
 #[derive(Debug)]
 pub struct IndexPool {
     capacity: usize,
     cache: Mutex<HashMap<PoolKey, Arc<HashIndex>>>,
+    interned: Mutex<HashMap<PoolKey, Arc<InternedIndex>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -137,13 +158,38 @@ impl IndexPool {
         IndexPool {
             capacity: capacity.max(1),
             cache: Mutex::new(HashMap::new()),
+            interned: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The index of `instance` on `attrs`, built at most once per instance
-    /// version.
+    /// Inserts a freshly built index, dropping entries this insert orphans:
+    /// always the requested instance's outdated versions (a mutation made
+    /// them unreachable forever — without this, mutate-and-detect loops grow
+    /// the pool without bound), and under capacity pressure everything but
+    /// the requested `(instance, version)`.  Capacity stays a soft bound: a
+    /// single detection batch needing more distinct indexes than `capacity`
+    /// keeps them all — evicting live-version entries mid-batch would
+    /// silently rebuild every index twice.
+    fn insert_evicting<V>(
+        cache: &mut HashMap<PoolKey, V>,
+        key: PoolKey,
+        built: V,
+        capacity: usize,
+    ) -> V
+    where
+        V: Clone,
+    {
+        cache.retain(|(id, version, _), _| *id != key.0 || *version == key.1);
+        if cache.len() >= capacity {
+            cache.retain(|(id, version, _), _| *id == key.0 && *version == key.1);
+        }
+        cache.entry(key).or_insert(built).clone()
+    }
+
+    /// The value-keyed index of `instance` on `attrs`, built at most once per
+    /// instance version.
     pub fn index_for(&self, instance: &RelationInstance, attrs: &[usize]) -> Arc<HashIndex> {
         let key: PoolKey = (instance.instance_id(), instance.version(), attrs.to_vec());
         if let Some(hit) = self.cache.lock().expect("index pool poisoned").get(&key) {
@@ -152,21 +198,32 @@ impl IndexPool {
         }
         // Build outside the lock so concurrent requests for *different*
         // indexes proceed in parallel; a racing duplicate build of the same
-        // index is benign (last write wins, both results are identical).
+        // index is benign (first write wins, both results are identical).
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(HashIndex::build(instance, attrs));
         let mut cache = self.cache.lock().expect("index pool poisoned");
-        if cache.len() >= self.capacity {
-            // Under pressure, keep only the indexes that can still be hit
-            // cheaply: the requested instance at its current version.  This
-            // evicts outdated versions and other (possibly dropped)
-            // instances in one pass.  Capacity is a soft bound: a single
-            // detection batch needing more distinct indexes than `capacity`
-            // keeps them all — evicting live-version entries mid-batch
-            // would silently rebuild every index twice.
-            cache.retain(|(id, version, _), _| *id == key.0 && *version == key.1);
+        Self::insert_evicting(&mut cache, key, built, self.capacity)
+    }
+
+    /// The interned (compact-key, CSR) index of `instance` on `attrs`, built
+    /// at most once per instance version over the instance's columnar
+    /// snapshot, using up to `threads` workers for a cold build.
+    pub fn interned_for(
+        &self,
+        instance: &RelationInstance,
+        attrs: &[usize],
+        threads: usize,
+    ) -> Arc<InternedIndex> {
+        let key: PoolKey = (instance.instance_id(), instance.version(), attrs.to_vec());
+        if let Some(hit) = self.interned.lock().expect("index pool poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
         }
-        Arc::clone(cache.entry(key).or_insert(built))
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let store = instance.columnar();
+        let built = Arc::new(InternedIndex::build(instance, &store, attrs, threads));
+        let mut cache = self.interned.lock().expect("index pool poisoned");
+        Self::insert_evicting(&mut cache, key, built, self.capacity)
     }
 
     /// Drops every cached index of `instance` (any version).  Mutations make
@@ -176,20 +233,38 @@ impl IndexPool {
             .lock()
             .expect("index pool poisoned")
             .retain(|(id, _, _), _| *id != instance.instance_id());
+        self.interned
+            .lock()
+            .expect("index pool poisoned")
+            .retain(|(id, _, _), _| *id != instance.instance_id());
     }
 
     /// Drops every cached index.
     pub fn clear(&self) {
         self.cache.lock().expect("index pool poisoned").clear();
+        self.interned.lock().expect("index pool poisoned").clear();
     }
 
-    /// Current cache counters.
+    /// Current cache counters (hits and misses aggregate both index kinds;
+    /// entries counts both caches).
     pub fn stats(&self) -> IndexPoolStats {
         IndexPoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache.lock().expect("index pool poisoned").len(),
+            entries: self.cache.lock().expect("index pool poisoned").len()
+                + self.interned.lock().expect("index pool poisoned").len(),
         }
+    }
+
+    /// Approximate heap bytes across every cached interned index (the
+    /// value-keyed cache is the legacy path and is not tracked).
+    pub fn approx_interned_bytes(&self) -> usize {
+        self.interned
+            .lock()
+            .expect("index pool poisoned")
+            .values()
+            .map(|idx| idx.approx_heap_bytes())
+            .sum()
     }
 }
 
@@ -338,6 +413,76 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn mutation_loops_do_not_grow_the_pool_without_bound() {
+        // Regression test: entries for orphaned `(instance, version)` pairs
+        // used to survive until capacity pressure, so a mutate-and-detect
+        // loop accumulated one dead index per iteration.  Stale versions of
+        // the same instance are now dropped on insert.
+        let mut inst = instance();
+        let pool = IndexPool::new(); // default capacity far above 1
+        for i in 0..10 {
+            inst.insert_values([Value::int(i), Value::str("w"), Value::str("p")])
+                .unwrap();
+            pool.index_for(&inst, &[0]);
+            assert_eq!(
+                pool.stats().entries,
+                1,
+                "only the live version may stay cached (iteration {i})"
+            );
+        }
+        assert_eq!(pool.stats().misses, 10);
+    }
+
+    #[test]
+    fn mutation_loops_do_not_grow_the_interned_pool_either() {
+        let mut inst = instance();
+        let pool = IndexPool::new();
+        for i in 0..10 {
+            inst.insert_values([Value::int(i), Value::str("w"), Value::str("p")])
+                .unwrap();
+            pool.interned_for(&inst, &[0], 1);
+            pool.interned_for(&inst, &[0, 1], 1);
+            assert_eq!(pool.stats().entries, 2);
+        }
+        assert_eq!(pool.stats().misses, 20);
+    }
+
+    #[test]
+    fn stale_eviction_keeps_other_instances() {
+        // Dropping stale versions of the mutated instance must not touch
+        // other instances' live entries while under capacity.
+        let mut a = instance();
+        let b = instance();
+        let pool = IndexPool::new();
+        pool.index_for(&b, &[0]);
+        pool.index_for(&a, &[0]);
+        a.insert_values([Value::int(9), Value::str("w"), Value::str("p")])
+            .unwrap();
+        pool.index_for(&a, &[0]);
+        let stats = pool.stats();
+        assert_eq!(stats.entries, 2, "b's entry and a's live entry remain");
+        assert_eq!(pool.stats().misses, 3);
+    }
+
+    #[test]
+    fn interned_pool_reuses_indexes_and_groups_like_hash_index() {
+        let inst = instance();
+        let pool = IndexPool::new();
+        let a = pool.interned_for(&inst, &[0, 1], 1);
+        let b = pool.interned_for(&inst, &[0, 1], 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // Same groups as the value-keyed index.
+        let baseline = HashIndex::build(&inst, &[0, 1]);
+        assert_eq!(a.group_count(), baseline.len());
+        let rows = a.rows_for_values(&[Value::int(1), Value::str("x")]);
+        let ids: Vec<TupleId> = rows.iter().map(|&r| a.tuple_id(r)).collect();
+        assert_eq!(ids, baseline.get(&[Value::int(1), Value::str("x")]));
+        assert!(pool.approx_interned_bytes() > 0);
     }
 
     #[test]

@@ -8,12 +8,13 @@
 
 use crate::error::{DqError, DqResult};
 use crate::schema::RelationSchema;
+use crate::store::ColumnarStore;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Source of process-unique instance identities (see
 /// [`RelationInstance::instance_id`]).
@@ -62,6 +63,11 @@ pub struct RelationInstance {
     live: usize,
     instance_id: u64,
     version: u64,
+    /// Version-tagged columnar snapshot, built lazily by
+    /// [`columnar`](Self::columnar) and dropped (logically) by the version
+    /// check after any mutation.  Never cloned: the cache is an
+    /// acceleration structure, not data.
+    columnar: Mutex<Option<Arc<ColumnarStore>>>,
 }
 
 impl Clone for RelationInstance {
@@ -75,6 +81,7 @@ impl Clone for RelationInstance {
             live: self.live,
             instance_id: fresh_instance_id(),
             version: 0,
+            columnar: Mutex::new(None),
         }
     }
 }
@@ -88,6 +95,7 @@ impl RelationInstance {
             live: 0,
             instance_id: fresh_instance_id(),
             version: 0,
+            columnar: Mutex::new(None),
         }
     }
 
@@ -225,6 +233,27 @@ impl RelationInstance {
     /// Projection of the whole instance onto an attribute list, as a set.
     pub fn project_distinct(&self, attrs: &[usize]) -> BTreeSet<Vec<Value>> {
         self.iter().map(|(_, t)| t.project(attrs)).collect()
+    }
+
+    /// The interned columnar snapshot of this instance at its current
+    /// version, built on first access and memoized until the next mutation.
+    ///
+    /// The snapshot is the entry point of the storage subsystem
+    /// ([`crate::store`]): detectors and the
+    /// [`crate::index::IndexPool`] derive interned indexes from it while the
+    /// row-oriented API above stays the source of truth.  Mutating the
+    /// instance does not touch existing snapshots (they are immutable
+    /// `Arc`s); the next call simply builds a fresh one.
+    pub fn columnar(&self) -> Arc<ColumnarStore> {
+        let mut cache = self.columnar.lock().expect("columnar cache poisoned");
+        if let Some(store) = cache.as_ref() {
+            if store.version() == self.version {
+                return Arc::clone(store);
+            }
+        }
+        let store = Arc::new(ColumnarStore::new(self));
+        *cache = Some(Arc::clone(&store));
+        store
     }
 
     /// True when `other` contains exactly the same multiset of tuples
@@ -426,6 +455,25 @@ mod tests {
     #[test]
     fn distinct_instances_have_distinct_identities() {
         assert_ne!(sample().instance_id(), sample().instance_id());
+    }
+
+    #[test]
+    fn columnar_snapshot_is_memoized_per_version() {
+        let mut inst = sample();
+        let a = inst.columnar();
+        let b = inst.columnar();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "unchanged instance reuses the snapshot"
+        );
+        assert_eq!(a.len(), inst.len());
+        inst.insert_values([Value::int(9), Value::str("w"), Value::bool(true)])
+            .unwrap();
+        let c = inst.columnar();
+        assert!(!Arc::ptr_eq(&a, &c), "mutations invalidate the snapshot");
+        assert_eq!(c.len(), inst.len());
+        // The old snapshot still reflects the state it was taken at.
+        assert_eq!(a.len(), inst.len() - 1);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod index;
 pub mod instance;
 pub mod query;
 pub mod schema;
+pub mod store;
 pub mod tuple;
 pub mod value;
 
@@ -47,6 +48,10 @@ pub mod prelude {
         Atom, Binding, CompOp, Comparison, ConjunctiveQuery, FoQuery, Formula, Term,
     };
     pub use crate::schema::{Attribute, DatabaseSchema, Domain, RelationSchema};
+    pub use crate::store::{
+        Column, ColumnarStats, ColumnarStore, InternedIndex, InternerStats, KeyCodec,
+        ProjectionKey, ValueId, ValueInterner,
+    };
     pub use crate::tuple::Tuple;
     pub use crate::value::{levenshtein, normalized_levenshtein, value_distance, Value};
 }

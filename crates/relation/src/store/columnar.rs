@@ -1,0 +1,304 @@
+//! Interned, sharded columnar backing of a
+//! [`RelationInstance`](crate::instance::RelationInstance).
+//!
+//! A [`ColumnarStore`] is a read-only, version-tagged snapshot of an
+//! instance: the live tuples in insertion order (`rows`), a constant-time
+//! slot → row translation (`row_index`), and one lazily built
+//! dictionary-encoded [`Column`] per attribute.  Columns hold a dense
+//! `Vec<ValueId>` — one `u32` per live tuple — plus the per-column
+//! [`ValueInterner`] that issued the ids, so equality of cell values reduces
+//! to equality of ids and multi-attribute keys pack into machine words (see
+//! [`super::index::InternedIndex`]).
+//!
+//! Rows are range-sharded into fixed-size chunks of [`SHARD_ROWS`] so index
+//! builds and group scans can parallelize *within* one index, not just
+//! across dependencies.  The store never mutates: instances hand out a
+//! snapshot per version through
+//! [`RelationInstance::columnar`](crate::instance::RelationInstance::columnar)
+//! and mutations simply make the next access build a fresh one, mirroring
+//! the `(instance, version)` memoization of
+//! [`IndexPool`](crate::index::IndexPool).
+
+use super::interner::{InternerStats, ValueId, ValueInterner};
+use crate::instance::{RelationInstance, TupleId};
+use std::mem::size_of;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+/// Number of rows per shard: large enough that per-shard hash maps amortize,
+/// small enough that a million-tuple instance yields double-digit shards for
+/// the thread pool.
+pub const SHARD_ROWS: usize = 1 << 16;
+
+/// One dictionary-encoded attribute: the ids of every live tuple's cell (in
+/// row order) plus the dictionary that issued them.
+#[derive(Clone, Debug)]
+pub struct Column {
+    interner: ValueInterner,
+    ids: Vec<ValueId>,
+}
+
+impl Column {
+    /// The id of the cell in row `row` (row positions come from
+    /// [`ColumnarStore::row_of`] / [`ColumnarStore::rows`]).
+    #[inline]
+    pub fn id_at(&self, row: usize) -> ValueId {
+        self.ids[row]
+    }
+
+    /// All cell ids, in row order.
+    pub fn ids(&self) -> &[ValueId] {
+        &self.ids
+    }
+
+    /// The dictionary behind this column.
+    pub fn interner(&self) -> &ValueInterner {
+        &self.interner
+    }
+
+    /// Number of distinct values in the column.
+    pub fn distinct(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Approximate heap bytes of ids plus dictionary.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.ids.capacity() * size_of::<ValueId>() + self.interner.approx_heap_bytes()
+    }
+}
+
+/// Aggregate counters of a [`ColumnarStore`], reported by the bench harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ColumnarStats {
+    /// Live rows in the snapshot.
+    pub rows: usize,
+    /// Columns built so far (columns are built on first use).
+    pub built_columns: usize,
+    /// Total distinct values across built columns.
+    pub distinct_values: usize,
+    /// Approximate heap bytes across built columns (ids + dictionaries).
+    pub heap_bytes: usize,
+    /// Bytes the interned representation saves versus materializing one
+    /// `Value` per cell of the built columns.
+    pub bytes_saved_vs_values: usize,
+}
+
+/// A version-tagged columnar snapshot of one relation instance.
+#[derive(Debug)]
+pub struct ColumnarStore {
+    instance_id: u64,
+    version: u64,
+    rows: Vec<TupleId>,
+    /// Slot → row position; `u32::MAX` marks dead slots.
+    row_index: Vec<u32>,
+    columns: Vec<OnceLock<Arc<Column>>>,
+}
+
+impl ColumnarStore {
+    /// Snapshots the live rows of `instance`.  Columns are built lazily on
+    /// first access through [`column`](Self::column).
+    pub fn new(instance: &RelationInstance) -> Self {
+        let mut rows = Vec::with_capacity(instance.len());
+        let mut row_index = Vec::new();
+        for (id, _) in instance.iter() {
+            while row_index.len() < id.0 {
+                row_index.push(u32::MAX);
+            }
+            row_index.push(u32::try_from(rows.len()).expect("instance larger than u32::MAX rows"));
+            rows.push(id);
+        }
+        ColumnarStore {
+            instance_id: instance.instance_id(),
+            version: instance.version(),
+            rows,
+            row_index,
+            columns: (0..instance.schema().arity())
+                .map(|_| OnceLock::new())
+                .collect(),
+        }
+    }
+
+    /// Identity of the instance this snapshot was taken from.
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// Version of the instance this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Live tuple ids in insertion (row) order.
+    pub fn rows(&self) -> &[TupleId] {
+        &self.rows
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The tuple id stored in row `row`.
+    #[inline]
+    pub fn tuple_id(&self, row: usize) -> TupleId {
+        self.rows[row]
+    }
+
+    /// The row position of a tuple id, if the tuple was live at snapshot
+    /// time.
+    #[inline]
+    pub fn row_of(&self, id: TupleId) -> Option<usize> {
+        match self.row_index.get(id.0) {
+            Some(&row) if row != u32::MAX => Some(row as usize),
+            _ => None,
+        }
+    }
+
+    /// Number of fixed-size row shards.
+    pub fn shard_count(&self) -> usize {
+        self.rows.len().div_ceil(SHARD_ROWS).max(1)
+    }
+
+    /// The row range of shard `shard`.
+    pub fn shard_rows(&self, shard: usize) -> Range<usize> {
+        let start = shard * SHARD_ROWS;
+        start.min(self.rows.len())..((shard + 1) * SHARD_ROWS).min(self.rows.len())
+    }
+
+    /// The dictionary-encoded column of attribute `attr`, built on first
+    /// access (subsequent calls, from any thread, share the same column).
+    ///
+    /// `instance` must be the instance this store was snapshotted from, at
+    /// the same version — mutations invalidate the snapshot, and
+    /// [`RelationInstance::columnar`] hands out a fresh store per version.
+    pub fn column(&self, instance: &RelationInstance, attr: usize) -> Arc<Column> {
+        Arc::clone(self.columns[attr].get_or_init(|| {
+            assert_eq!(
+                (instance.instance_id(), instance.version()),
+                (self.instance_id, self.version),
+                "columnar snapshot is stale for this instance"
+            );
+            let mut interner = ValueInterner::new();
+            let mut ids = Vec::with_capacity(self.rows.len());
+            for &id in &self.rows {
+                let tuple = instance.tuple(id).expect("snapshot row is live");
+                ids.push(interner.intern(tuple.get(attr)));
+            }
+            Arc::new(Column { interner, ids })
+        }))
+    }
+
+    /// The column of attribute `attr`, if it has been built already.
+    pub fn built_column(&self, attr: usize) -> Option<Arc<Column>> {
+        self.columns.get(attr).and_then(|c| c.get().cloned())
+    }
+
+    /// Aggregate counters across built columns.
+    pub fn stats(&self) -> ColumnarStats {
+        let mut stats = ColumnarStats {
+            rows: self.rows.len(),
+            ..ColumnarStats::default()
+        };
+        for slot in &self.columns {
+            if let Some(col) = slot.get() {
+                stats.built_columns += 1;
+                stats.distinct_values += col.distinct();
+                stats.heap_bytes += col.approx_heap_bytes();
+                let row_values = self.rows.len() * size_of::<crate::value::Value>();
+                stats.bytes_saved_vs_values += row_values.saturating_sub(col.approx_heap_bytes());
+            }
+        }
+        stats
+    }
+
+    /// Per-column dictionary stats of the built columns, by attribute
+    /// position.
+    pub fn column_stats(&self) -> Vec<(usize, InternerStats)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(attr, slot)| slot.get().map(|c| (attr, c.interner().stats())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Domain, RelationSchema};
+    use crate::value::Value;
+
+    fn instance() -> RelationInstance {
+        let schema = RelationSchema::new("r", [("A", Domain::Int), ("B", Domain::Text)]);
+        let mut inst = RelationInstance::from_schema(schema);
+        for (a, b) in [(1, "x"), (2, "y"), (1, "x"), (3, "x")] {
+            inst.insert_values([Value::int(a), Value::str(b)]).unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn columns_round_trip_cell_values() {
+        let inst = instance();
+        let store = ColumnarStore::new(&inst);
+        assert_eq!(store.len(), 4);
+        for attr in 0..2 {
+            let col = store.column(&inst, attr);
+            for (row, &id) in store.rows().iter().enumerate() {
+                let original = inst.tuple(id).unwrap().get(attr);
+                assert_eq!(col.interner().resolve(col.id_at(row)), original);
+            }
+        }
+        // Duplicate cells share ids.
+        let a = store.column(&inst, 0);
+        assert_eq!(a.id_at(0), a.id_at(2));
+        assert_eq!(a.distinct(), 3);
+        let b = store.column(&inst, 1);
+        assert_eq!(b.distinct(), 2);
+    }
+
+    #[test]
+    fn row_index_skips_dead_slots() {
+        let mut inst = instance();
+        inst.remove(TupleId(1));
+        let store = ColumnarStore::new(&inst);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.row_of(TupleId(0)), Some(0));
+        assert_eq!(store.row_of(TupleId(1)), None);
+        assert_eq!(store.row_of(TupleId(2)), Some(1));
+        assert_eq!(store.row_of(TupleId(3)), Some(2));
+        assert_eq!(store.row_of(TupleId(99)), None);
+        assert_eq!(store.tuple_id(1), TupleId(2));
+    }
+
+    #[test]
+    fn shards_cover_all_rows() {
+        let inst = instance();
+        let store = ColumnarStore::new(&inst);
+        assert_eq!(store.shard_count(), 1);
+        assert_eq!(store.shard_rows(0), 0..4);
+        let covered: usize = (0..store.shard_count())
+            .map(|s| store.shard_rows(s).len())
+            .sum();
+        assert_eq!(covered, store.len());
+    }
+
+    #[test]
+    fn stats_reflect_built_columns() {
+        let inst = instance();
+        let store = ColumnarStore::new(&inst);
+        assert_eq!(store.stats().built_columns, 0);
+        assert!(store.built_column(0).is_none());
+        store.column(&inst, 0);
+        let stats = store.stats();
+        assert_eq!(stats.built_columns, 1);
+        assert_eq!(stats.distinct_values, 3);
+        assert!(stats.heap_bytes > 0);
+        assert!(store.built_column(0).is_some());
+    }
+}

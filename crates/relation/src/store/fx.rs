@@ -1,0 +1,121 @@
+//! A fast, non-cryptographic hasher for the hot paths of the storage
+//! subsystem.
+//!
+//! Index construction hashes one key per tuple; with SipHash (the std
+//! default) that hash is a measurable fraction of a cold detection pass.
+//! Dictionary-encoded keys are small integers with no adversarial source, so
+//! the storage subsystem uses the well-known Fx multiply-xor hash (the rustc
+//! internal hasher) instead.  Maps holding user-controlled `Value` keys
+//! (the interner dictionaries) use it too: the workloads here are data
+//! cleaning batches, not untrusted network input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplier (pi's fractional bits, as used by rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher; not collision-resistant against adversaries, very
+/// fast on the small fixed-width keys the store produces.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so prefixes don't collide trivially.
+            self.add(u64::from_le_bytes(word) ^ ((bytes.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche so low-entropy keys spread across buckets.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+}
+
+/// Builder for [`FxHasher`]-backed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("abc"), hash_of("abc"));
+        assert_eq!(hash_of((1u32, 2u32)), hash_of((1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        let hashes: FxHashSet<u64> = (0u64..10_000).map(hash_of).collect();
+        assert_eq!(hashes.len(), 10_000, "no collisions on dense small ints");
+    }
+
+    #[test]
+    fn byte_slices_of_different_lengths_differ() {
+        assert_ne!(hash_of(&b"ab"[..]), hash_of(&b"ab\0"[..]));
+        assert_ne!(hash_of(&b""[..]), hash_of(&b"\0"[..]));
+    }
+}

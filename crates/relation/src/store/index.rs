@@ -1,0 +1,674 @@
+//! Compact hash indexes over interned columns.
+//!
+//! [`InternedIndex`] replaces the `HashMap<Vec<Value>, Vec<TupleId>>` of
+//! [`HashIndex`](crate::index::HashIndex) with machine-word keys and a CSR
+//! (offsets + postings) group layout:
+//!
+//! * **keys** — a tuple's projection onto the index attributes is a vector
+//!   of per-column [`ValueId`]s; because dictionaries are dense, the whole
+//!   projection packs *exactly* (no lossy hashing) into a single `u64` by
+//!   mixed-radix encoding whenever the product of the column dictionary
+//!   sizes fits, into a `u128` by 32-bit shifts for up to four attributes
+//!   otherwise, and into a boxed id slice only for very wide keys;
+//! * **groups** — instead of one heap `Vec<TupleId>` per distinct key, all
+//!   row numbers live in a single postings array indexed by a group offset
+//!   table, eliminating per-group allocations;
+//! * **sharding** — rows are processed in the fixed-size shards of the
+//!   backing [`ColumnarStore`], so one index build parallelizes across a
+//!   thread pool and a single huge dependency no longer serializes.
+//!
+//! Equality of ids is equality of values (per column), so the groups are
+//! *identical* to the value-keyed index's groups — detection reports stay
+//! byte-identical — while a million-tuple index shrinks from `Vec<Value>`
+//! keys (~100s of MB) to a few tens of bytes per distinct key.
+
+use super::columnar::{Column, ColumnarStore, SHARD_ROWS};
+use super::fx::FxHashMap;
+use super::interner::ValueId;
+use crate::instance::{RelationInstance, TupleId};
+use crate::value::Value;
+use std::hash::Hash;
+use std::mem::size_of;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A packed projection of one row onto an attribute list; used by detectors
+/// to sub-partition groups (e.g. by RHS projection) without materializing
+/// values.  Produced by [`KeyCodec::pack_row`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProjectionKey {
+    /// Mixed-radix exact packing into one word.
+    U64(u64),
+    /// 32-bit-per-attribute shift packing (up to four attributes).
+    U128(u128),
+    /// One id per attribute, for very wide projections.
+    Wide(Box<[ValueId]>),
+}
+
+/// How a key over a fixed column list is packed.
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Mixed-radix into `u64`: radix `i` is the dictionary size of column
+    /// `i`, so the packing is a bijection on id tuples.
+    Radix(Vec<u64>),
+    /// 32 bits per id in a `u128` (width ≤ 4).
+    Shift,
+    /// Boxed id slice.
+    Wide,
+}
+
+/// Packs row projections over a fixed list of columns into compact keys.
+///
+/// The packing is exact (collision-free): equal keys mean equal id tuples,
+/// which per-column dictionaries guarantee means equal value tuples.
+#[derive(Clone, Debug)]
+pub struct KeyCodec {
+    columns: Vec<Arc<Column>>,
+    repr: Repr,
+}
+
+impl KeyCodec {
+    /// A codec over `columns` (the dictionaries are frozen once a column is
+    /// built, so the chosen radices stay valid for the store's lifetime).
+    pub fn new(columns: Vec<Arc<Column>>) -> Self {
+        let mut product: u64 = 1;
+        let mut radix_fits = true;
+        let mut radices = Vec::with_capacity(columns.len());
+        for col in &columns {
+            let radix = col.distinct().max(1) as u64;
+            radices.push(radix);
+            match product.checked_mul(radix) {
+                Some(p) => product = p,
+                None => {
+                    radix_fits = false;
+                    break;
+                }
+            }
+        }
+        let repr = if radix_fits {
+            Repr::Radix(radices)
+        } else if columns.len() <= 4 {
+            Repr::Shift
+        } else {
+            Repr::Wide
+        };
+        KeyCodec { columns, repr }
+    }
+
+    /// The columns this codec packs over.
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    #[inline]
+    fn pack_u64_row(radices: &[u64], columns: &[Arc<Column>], row: usize) -> u64 {
+        let mut acc = 0u64;
+        for (col, &radix) in columns.iter().zip(radices) {
+            acc = acc * radix + col.id_at(row).0 as u64;
+        }
+        acc
+    }
+
+    #[inline]
+    fn pack_u128_row(columns: &[Arc<Column>], row: usize) -> u128 {
+        let mut acc = 0u128;
+        for col in columns {
+            acc = (acc << 32) | col.id_at(row).0 as u128;
+        }
+        acc
+    }
+
+    fn pack_u64_ids(radices: &[u64], ids: &[ValueId]) -> u64 {
+        ids.iter()
+            .zip(radices)
+            .fold(0u64, |acc, (id, &radix)| acc * radix + id.0 as u64)
+    }
+
+    fn pack_u128_ids(ids: &[ValueId]) -> u128 {
+        ids.iter().fold(0u128, |acc, id| (acc << 32) | id.0 as u128)
+    }
+
+    fn unpack_u64(radices: &[u64], mut key: u64) -> Vec<ValueId> {
+        let mut out = vec![ValueId(0); radices.len()];
+        for (slot, &radix) in out.iter_mut().zip(radices).rev() {
+            *slot = ValueId((key % radix) as u32);
+            key /= radix;
+        }
+        out
+    }
+
+    fn unpack_u128(width: usize, mut key: u128) -> Vec<ValueId> {
+        let mut out = vec![ValueId(0); width];
+        for slot in out.iter_mut().rev() {
+            *slot = ValueId((key & u32::MAX as u128) as u32);
+            key >>= 32;
+        }
+        out
+    }
+
+    /// The packed projection of row `row`.
+    #[inline]
+    pub fn pack_row(&self, row: usize) -> ProjectionKey {
+        match &self.repr {
+            Repr::Radix(radices) => {
+                ProjectionKey::U64(Self::pack_u64_row(radices, &self.columns, row))
+            }
+            Repr::Shift => ProjectionKey::U128(Self::pack_u128_row(&self.columns, row)),
+            Repr::Wide => ProjectionKey::Wide(
+                self.columns
+                    .iter()
+                    .map(|c| c.id_at(row))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            ),
+        }
+    }
+}
+
+/// The group map of an [`InternedIndex`], monomorphized per key packing so
+/// entries stay as small as the packing allows.
+#[derive(Clone, Debug)]
+enum GroupMap {
+    U64(FxHashMap<u64, u32>),
+    U128(FxHashMap<u128, u32>),
+    Wide(FxHashMap<Box<[ValueId]>, u32>),
+}
+
+/// A hash index over interned columns: packed keys, CSR group storage.
+///
+/// Group postings are *row numbers* of the backing [`ColumnarStore`] (dense
+/// positions, not tuple ids); translate with [`InternedIndex::tuple_id`].
+/// Rows ascend within each group, matching the ascending-`TupleId` group
+/// order of [`HashIndex`](crate::index::HashIndex).
+#[derive(Clone, Debug)]
+pub struct InternedIndex {
+    attrs: Vec<usize>,
+    store: Arc<ColumnarStore>,
+    codec: KeyCodec,
+    map: GroupMap,
+    /// Group → start of its postings; `offsets.len() == groups + 1`.
+    offsets: Vec<u32>,
+    /// Row numbers, grouped and ascending within each group.
+    postings: Vec<u32>,
+}
+
+impl InternedIndex {
+    /// Builds the index of `instance` on `attrs` over the columnar snapshot
+    /// `store`, using up to `threads` worker threads for the shard scan.
+    pub fn build(
+        instance: &RelationInstance,
+        store: &Arc<ColumnarStore>,
+        attrs: &[usize],
+        threads: usize,
+    ) -> Self {
+        Self::build_with_shard_rows(instance, store, attrs, threads, SHARD_ROWS)
+    }
+
+    /// [`build`](Self::build) with an explicit shard size (exposed for
+    /// tuning and for exercising the multi-shard merge path in tests).
+    pub fn build_with_shard_rows(
+        instance: &RelationInstance,
+        store: &Arc<ColumnarStore>,
+        attrs: &[usize],
+        threads: usize,
+        shard_rows: usize,
+    ) -> Self {
+        let columns: Vec<Arc<Column>> = attrs.iter().map(|&a| store.column(instance, a)).collect();
+        let codec = KeyCodec::new(columns);
+        let n = store.len();
+        let (map, offsets, postings) = match &codec.repr {
+            Repr::Radix(radices) => {
+                let (map, offsets, postings) = build_groups(n, threads, shard_rows, |row| {
+                    KeyCodec::pack_u64_row(radices, &codec.columns, row)
+                });
+                (GroupMap::U64(map), offsets, postings)
+            }
+            Repr::Shift => {
+                let (map, offsets, postings) = build_groups(n, threads, shard_rows, |row| {
+                    KeyCodec::pack_u128_row(&codec.columns, row)
+                });
+                (GroupMap::U128(map), offsets, postings)
+            }
+            Repr::Wide => {
+                let (map, offsets, postings) = build_groups(n, threads, shard_rows, |row| {
+                    codec
+                        .columns
+                        .iter()
+                        .map(|c| c.id_at(row))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice()
+                });
+                (GroupMap::Wide(map), offsets, postings)
+            }
+        };
+        InternedIndex {
+            attrs: attrs.to_vec(),
+            store: Arc::clone(store),
+            codec,
+            map,
+            offsets,
+            postings,
+        }
+    }
+
+    /// The attribute positions this index is keyed on.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// The columnar snapshot behind the index.
+    pub fn store(&self) -> &Arc<ColumnarStore> {
+        &self.store
+    }
+
+    /// The key columns, positionally aligned with [`attrs`](Self::attrs).
+    pub fn columns(&self) -> &[Arc<Column>] {
+        self.codec.columns()
+    }
+
+    /// Number of distinct keys.
+    pub fn group_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.group_count() == 0
+    }
+
+    /// Translates a group row number to its tuple id.
+    #[inline]
+    pub fn tuple_id(&self, row: u32) -> TupleId {
+        self.store.tuple_id(row as usize)
+    }
+
+    #[inline]
+    fn group_rows(&self, group: u32) -> &[u32] {
+        let g = group as usize;
+        &self.postings[self.offsets[g] as usize..self.offsets[g + 1] as usize]
+    }
+
+    /// The id of `value` in the `pos`-th key column, if any tuple carries it
+    /// there.
+    pub fn lookup_id(&self, pos: usize, value: &Value) -> Option<ValueId> {
+        self.codec.columns[pos].interner().lookup(value)
+    }
+
+    /// Rows whose projection equals the id tuple `key` (empty when absent).
+    pub fn rows_for_ids(&self, key: &[ValueId]) -> &[u32] {
+        debug_assert_eq!(key.len(), self.attrs.len());
+        let group = match (&self.map, &self.codec.repr) {
+            (GroupMap::U64(m), Repr::Radix(radices)) => {
+                m.get(&KeyCodec::pack_u64_ids(radices, key))
+            }
+            (GroupMap::U128(m), _) => m.get(&KeyCodec::pack_u128_ids(key)),
+            (GroupMap::Wide(m), _) => m.get(key),
+            _ => unreachable!("map variant always matches codec repr"),
+        };
+        match group {
+            Some(&g) => self.group_rows(g),
+            None => &[],
+        }
+    }
+
+    /// Rows whose projection equals the value tuple `key`.  A value absent
+    /// from its column's dictionary cannot match any row.
+    pub fn rows_for_values(&self, key: &[Value]) -> &[u32] {
+        let mut ids = Vec::with_capacity(key.len());
+        for (pos, v) in key.iter().enumerate() {
+            match self.lookup_id(pos, v) {
+                Some(id) => ids.push(id),
+                None => return &[],
+            }
+        }
+        self.rows_for_ids(&ids)
+    }
+
+    /// Does any tuple project to the value tuple `key`?
+    pub fn contains_values(&self, key: &[Value]) -> bool {
+        !self.rows_for_values(key).is_empty()
+    }
+
+    /// Iterates over `(key ids, group rows)` pairs of groups with at least
+    /// `min_rows` rows, filtering on group size *before* decoding the key —
+    /// on high-cardinality indexes almost every group is a singleton, and
+    /// skipping their decode avoids one small allocation per distinct key.
+    fn groups_with_min(
+        &self,
+        min_rows: usize,
+    ) -> Box<dyn Iterator<Item = (Vec<ValueId>, &[u32])> + '_> {
+        let width = self.attrs.len();
+        match (&self.map, &self.codec.repr) {
+            (GroupMap::U64(m), Repr::Radix(radices)) => {
+                Box::new(m.iter().filter_map(move |(&k, &g)| {
+                    let rows = self.group_rows(g);
+                    (rows.len() >= min_rows).then(|| (KeyCodec::unpack_u64(radices, k), rows))
+                }))
+            }
+            (GroupMap::U128(m), _) => Box::new(m.iter().filter_map(move |(&k, &g)| {
+                let rows = self.group_rows(g);
+                (rows.len() >= min_rows).then(|| (KeyCodec::unpack_u128(width, k), rows))
+            })),
+            (GroupMap::Wide(m), _) => Box::new(m.iter().filter_map(move |(k, &g)| {
+                let rows = self.group_rows(g);
+                (rows.len() >= min_rows).then(|| (k.to_vec(), rows))
+            })),
+            _ => unreachable!("map variant always matches codec repr"),
+        }
+    }
+
+    /// Iterates over `(key ids, group rows)` pairs in unspecified order.
+    pub fn groups(&self) -> Box<dyn Iterator<Item = (Vec<ValueId>, &[u32])> + '_> {
+        self.groups_with_min(0)
+    }
+
+    /// Groups containing at least two rows — the only candidates for
+    /// FD-style pair violations.  Singleton keys are never decoded.
+    pub fn multi_groups(&self) -> impl Iterator<Item = (Vec<ValueId>, &[u32])> {
+        self.groups_with_min(2)
+    }
+
+    /// Approximate heap bytes of the index itself (map + offsets +
+    /// postings).  The backing columns are shared across indexes and
+    /// reported separately by [`ColumnarStore::stats`].
+    pub fn approx_heap_bytes(&self) -> usize {
+        let map_bytes = match &self.map {
+            GroupMap::U64(m) => m.capacity() * (size_of::<(u64, u32)>() + 1),
+            GroupMap::U128(m) => m.capacity() * (size_of::<(u128, u32)>() + 1),
+            GroupMap::Wide(m) => {
+                m.capacity() * (size_of::<(Box<[ValueId]>, u32)>() + 1)
+                    + m.keys()
+                        .map(|k| k.len() * size_of::<ValueId>())
+                        .sum::<usize>()
+            }
+        };
+        map_bytes
+            + self.offsets.capacity() * size_of::<u32>()
+            + self.postings.capacity() * size_of::<u32>()
+    }
+}
+
+/// Per-shard scan output: distinct keys in first-seen order, each row's
+/// local group, and local group sizes.
+struct ShardGroups<K> {
+    keys: Vec<K>,
+    row_groups: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+fn scan_shard<K: Eq + Hash + Clone>(
+    rows: std::ops::Range<usize>,
+    key_at: &(impl Fn(usize) -> K + ?Sized),
+) -> ShardGroups<K> {
+    let mut map: FxHashMap<K, u32> = FxHashMap::default();
+    let mut keys = Vec::new();
+    let mut row_groups = Vec::with_capacity(rows.len());
+    let mut counts: Vec<u32> = Vec::new();
+    for row in rows {
+        let key = key_at(row);
+        let next = counts.len() as u32;
+        let before = map.len();
+        let group = *map.entry(key.clone()).or_insert(next);
+        if map.len() > before {
+            keys.push(key);
+            counts.push(0);
+        }
+        counts[group as usize] += 1;
+        row_groups.push(group);
+    }
+    ShardGroups {
+        keys,
+        row_groups,
+        counts,
+    }
+}
+
+/// Two-pass CSR construction: scan shards (in parallel when `threads > 1`)
+/// into local group tables, merge them in shard order, then scatter row
+/// numbers into a single postings array.  Processing shards in order keeps
+/// postings ascending within each group.
+fn build_groups<K: Eq + Hash + Clone + Send>(
+    n_rows: usize,
+    threads: usize,
+    shard_rows: usize,
+    key_at: impl Fn(usize) -> K + Sync,
+) -> (FxHashMap<K, u32>, Vec<u32>, Vec<u32>) {
+    let shard_rows = shard_rows.max(1);
+    let shard_count = n_rows.div_ceil(shard_rows).max(1);
+    let shard_range = |s: usize| (s * shard_rows).min(n_rows)..((s + 1) * shard_rows).min(n_rows);
+
+    let shards: Vec<ShardGroups<K>> = if threads <= 1 || shard_count <= 1 {
+        (0..shard_count)
+            .map(|s| scan_shard(shard_range(s), &key_at))
+            .collect()
+    } else {
+        // Scoped workers claim shards through an atomic cursor (uneven
+        // group skew balances across threads).
+        let slots: Vec<Mutex<Option<ShardGroups<K>>>> =
+            (0..shard_count).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(shard_count) {
+                scope.spawn(|| loop {
+                    let s = cursor.fetch_add(1, Ordering::Relaxed);
+                    if s >= shard_count {
+                        break;
+                    }
+                    *slots[s].lock().expect("shard slot poisoned") =
+                        Some(scan_shard(shard_range(s), &key_at));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("shard slot poisoned")
+                    .expect("every shard scanned before scope exit")
+            })
+            .collect()
+    };
+
+    // Merge: assign global group numbers in shard-then-first-seen order.
+    let mut map: FxHashMap<K, u32> = FxHashMap::default();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut remaps: Vec<Vec<u32>> = Vec::with_capacity(shards.len());
+    for shard in &shards {
+        let remap: Vec<u32> = shard
+            .keys
+            .iter()
+            .map(|key| {
+                let next = counts.len() as u32;
+                let before = map.len();
+                let group = *map.entry(key.clone()).or_insert(next);
+                if map.len() > before {
+                    counts.push(0);
+                }
+                group
+            })
+            .collect();
+        for (local, &count) in shard.counts.iter().enumerate() {
+            counts[remap[local] as usize] += count;
+        }
+        remaps.push(remap);
+    }
+
+    // Prefix sums, then scatter rows in shard order so postings ascend
+    // within each group.
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &count in &counts {
+        acc += count;
+        offsets.push(acc);
+    }
+    let mut cursors: Vec<u32> = offsets[..counts.len()].to_vec();
+    let mut postings = vec![0u32; n_rows];
+    for (s, shard) in shards.iter().enumerate() {
+        let base = shard_range(s).start;
+        for (i, &local) in shard.row_groups.iter().enumerate() {
+            let group = remaps[s][local as usize] as usize;
+            postings[cursors[group] as usize] = (base + i) as u32;
+            cursors[group] += 1;
+        }
+    }
+    map.shrink_to_fit();
+    (map, offsets, postings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::HashIndex;
+    use crate::schema::{Domain, RelationSchema};
+    use std::collections::BTreeMap;
+
+    fn instance(n: usize) -> RelationInstance {
+        let schema = RelationSchema::new(
+            "r",
+            [("A", Domain::Int), ("B", Domain::Text), ("C", Domain::Int)],
+        );
+        let mut inst = RelationInstance::from_schema(schema);
+        for i in 0..n {
+            inst.insert_values([
+                Value::int((i % 7) as i64),
+                Value::str(format!("s{}", i % 5)),
+                Value::int(i as i64),
+            ])
+            .unwrap();
+        }
+        inst
+    }
+
+    /// Canonical view of an index: resolved key values → sorted tuple ids.
+    fn canonical_interned(idx: &InternedIndex) -> BTreeMap<Vec<Value>, Vec<TupleId>> {
+        idx.groups()
+            .map(|(ids, rows)| {
+                let key: Vec<Value> = ids
+                    .iter()
+                    .zip(idx.columns())
+                    .map(|(&id, col)| col.interner().resolve(id).clone())
+                    .collect();
+                (key, rows.iter().map(|&r| idx.tuple_id(r)).collect())
+            })
+            .collect()
+    }
+
+    fn canonical_hash(idx: &HashIndex) -> BTreeMap<Vec<Value>, Vec<TupleId>> {
+        idx.groups().map(|(k, g)| (k.clone(), g.clone())).collect()
+    }
+
+    #[test]
+    fn groups_match_the_value_keyed_index() {
+        let inst = instance(100);
+        let store = inst.columnar();
+        for attrs in [&[0usize][..], &[1], &[0, 1], &[0, 1, 2], &[]] {
+            let interned = InternedIndex::build(&inst, &store, attrs, 1);
+            let baseline = HashIndex::build(&inst, attrs);
+            assert_eq!(
+                canonical_interned(&interned),
+                canonical_hash(&baseline),
+                "attrs {attrs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_parallel_build_matches_sequential() {
+        let inst = instance(257);
+        let store = inst.columnar();
+        let sequential = InternedIndex::build(&inst, &store, &[0, 1], 1);
+        for (threads, shard_rows) in [(1, 16), (4, 16), (4, 50), (3, 1)] {
+            let sharded =
+                InternedIndex::build_with_shard_rows(&inst, &store, &[0, 1], threads, shard_rows);
+            assert_eq!(
+                canonical_interned(&sharded),
+                canonical_interned(&sequential),
+                "threads {threads}, shard_rows {shard_rows}"
+            );
+            // Rows ascend within every group regardless of sharding.
+            for (_, rows) in sharded.groups() {
+                assert!(rows.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn probes_by_ids_and_values_agree() {
+        let inst = instance(60);
+        let store = inst.columnar();
+        let idx = InternedIndex::build(&inst, &store, &[0, 1], 1);
+        let key = [Value::int(3), Value::str("s3")];
+        let by_values: Vec<TupleId> = idx
+            .rows_for_values(&key)
+            .iter()
+            .map(|&r| idx.tuple_id(r))
+            .collect();
+        let ids: Vec<ValueId> = key
+            .iter()
+            .enumerate()
+            .map(|(pos, v)| idx.lookup_id(pos, v).unwrap())
+            .collect();
+        let by_ids: Vec<TupleId> = idx
+            .rows_for_ids(&ids)
+            .iter()
+            .map(|&r| idx.tuple_id(r))
+            .collect();
+        assert_eq!(by_values, by_ids);
+        assert!(!by_values.is_empty());
+        // Absent values match nothing.
+        assert!(idx
+            .rows_for_values(&[Value::int(3), Value::str("missing")])
+            .is_empty());
+        assert!(!idx.contains_values(&[Value::int(999), Value::str("s0")]));
+    }
+
+    #[test]
+    fn wide_keys_fall_back_to_boxed_ids() {
+        let schema = RelationSchema::new("w", (0..6).map(|i| (format!("A{i}"), Domain::Int)));
+        let mut inst = RelationInstance::from_schema(schema);
+        for i in 0..20i64 {
+            inst.insert_values((0..6).map(|j| Value::int((i + j) % 4)))
+                .unwrap();
+        }
+        let store = inst.columnar();
+        let attrs: Vec<usize> = (0..6).collect();
+        let interned = InternedIndex::build(&inst, &store, &attrs, 1);
+        let baseline = HashIndex::build(&inst, &attrs);
+        assert_eq!(canonical_interned(&interned), canonical_hash(&baseline));
+    }
+
+    #[test]
+    fn empty_attribute_list_groups_everything_together() {
+        let inst = instance(10);
+        let store = inst.columnar();
+        let idx = InternedIndex::build(&inst, &store, &[], 1);
+        assert_eq!(idx.group_count(), 1);
+        assert_eq!(idx.rows_for_ids(&[]).len(), 10);
+    }
+
+    #[test]
+    fn empty_instance_builds_an_empty_index() {
+        let inst = instance(0);
+        let store = inst.columnar();
+        let idx = InternedIndex::build(&inst, &store, &[0], 1);
+        assert!(idx.is_empty());
+        assert!(idx.rows_for_values(&[Value::int(1)]).is_empty());
+    }
+
+    #[test]
+    fn interned_index_is_much_smaller_than_value_keyed() {
+        let inst = instance(5_000);
+        let store = inst.columnar();
+        // Key on the unique attribute so every tuple is its own group — the
+        // worst case for per-key overhead.
+        let interned = InternedIndex::build(&inst, &store, &[0, 1, 2], 1);
+        let baseline = HashIndex::build(&inst, &[0, 1, 2]);
+        assert!(
+            interned.approx_heap_bytes() * 4 <= baseline.approx_heap_bytes(),
+            "interned {} bytes vs baseline {} bytes",
+            interned.approx_heap_bytes(),
+            baseline.approx_heap_bytes()
+        );
+    }
+}

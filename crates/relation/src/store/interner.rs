@@ -1,0 +1,228 @@
+//! Dictionary encoding of [`Value`]s into dense [`ValueId`]s.
+//!
+//! Detection algorithms group, probe and compare attribute values millions of
+//! times; materializing `Vec<Value>` keys per tuple dominates both the time
+//! and the memory of a cold detection pass (see `BENCH_detection.json`).  A
+//! [`ValueInterner`] maps every distinct value of a column to a dense `u32`
+//! so that downstream structures (columns, index keys, group projections)
+//! operate on machine integers instead.
+//!
+//! The encoding preserves the semantics of [`Value`]'s `Eq`/`Hash` (two
+//! values receive the same id iff they are equal, including `Null == Null`
+//! and the IEEE-754 total order treatment of `Real`, under which `NaN ==
+//! NaN` and `-0.0 != +0.0`) and exposes `Ord` through
+//! [`ValueInterner::cmp_ids`], which compares the *values* behind two ids —
+//! ids themselves are assigned in first-seen order and carry no order.
+
+use super::fx::FxHashMap;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt;
+use std::mem::size_of;
+
+/// Dense identifier of a distinct value within one [`ValueInterner`].
+///
+/// Ids from different interners (different columns) are unrelated; comparing
+/// them is only meaningful through the interner that issued them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The id as a zero-based dictionary index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A value dictionary: distinct [`Value`]s in first-seen order, with a
+/// reverse map for interning and lookup.
+#[derive(Clone, Debug, Default)]
+pub struct ValueInterner {
+    map: FxHashMap<Value, ValueId>,
+    values: Vec<Value>,
+}
+
+/// Summary counters of a [`ValueInterner`], reported by the bench harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Number of distinct values in the dictionary.
+    pub distinct: usize,
+    /// Approximate heap bytes held by the dictionary (map + values + string
+    /// payloads).
+    pub heap_bytes: usize,
+}
+
+impl ValueInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Interns a value, returning its id.  Equal values (by [`Value`]'s `Eq`,
+    /// which includes `Null == Null` and NaN-equal-NaN via the IEEE total
+    /// order) always receive the same id; the first occurrence is cloned into
+    /// the dictionary.
+    pub fn intern(&mut self, value: &Value) -> ValueId {
+        if let Some(&id) = self.map.get(value) {
+            return id;
+        }
+        let id = ValueId(
+            u32::try_from(self.values.len())
+                .expect("more than u32::MAX distinct values in one column"),
+        );
+        self.values.push(value.clone());
+        self.map.insert(value.clone(), id);
+        id
+    }
+
+    /// Interns a value and hands back the *canonical* stored copy, so that
+    /// repeated occurrences of the same string share one `Arc` allocation.
+    /// Generators use this to dictionary-compress instances at build time.
+    pub fn canonical(&mut self, value: Value) -> Value {
+        let id = self.intern(&value);
+        self.values[id.index()].clone()
+    }
+
+    /// The id of a value, if it has been interned.  `None` means no cell of
+    /// the column carries this value — useful for short-circuiting probes.
+    pub fn lookup(&self, value: &Value) -> Option<ValueId> {
+        self.map.get(value).copied()
+    }
+
+    /// The value behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this interner.
+    pub fn resolve(&self, id: ValueId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Compares the *values* behind two ids, preserving [`Value`]'s total
+    /// order (ids are assigned in first-seen order and are not themselves
+    /// ordered).
+    pub fn cmp_ids(&self, a: ValueId, b: ValueId) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        self.resolve(a).cmp(self.resolve(b))
+    }
+
+    /// All distinct values, in id order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Approximate heap bytes held by the dictionary.  String payloads are
+    /// counted once (the map shares the `Arc` with the values vector).
+    pub fn approx_heap_bytes(&self) -> usize {
+        let entry = size_of::<(Value, ValueId)>() + 1;
+        let mut bytes = self.map.capacity() * entry + self.values.capacity() * size_of::<Value>();
+        for v in &self.values {
+            if let Value::Str(s) = v {
+                bytes += s.len();
+            }
+        }
+        bytes
+    }
+
+    /// Summary counters for reporting.
+    pub fn stats(&self) -> InternerStats {
+        InternerStats {
+            distinct: self.len(),
+            heap_bytes: self.approx_heap_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn equal_values_share_an_id() {
+        let mut interner = ValueInterner::new();
+        let a = interner.intern(&Value::str("EDI"));
+        let b = interner.intern(&Value::str("EDI"));
+        let c = interner.intern(&Value::str("NYC"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut interner = ValueInterner::new();
+        for v in [
+            Value::Null,
+            Value::bool(true),
+            Value::int(-7),
+            Value::real(2.5),
+            Value::str(""),
+            Value::str("Mayfield"),
+        ] {
+            let id = interner.intern(&v);
+            assert_eq!(interner.resolve(id), &v);
+            assert_eq!(interner.lookup(&v), Some(id));
+        }
+        assert_eq!(interner.lookup(&Value::str("absent")), None);
+    }
+
+    #[test]
+    fn null_and_ieee_total_order_edge_cases() {
+        let mut interner = ValueInterner::new();
+        // Null is equal to itself, so it gets one id.
+        assert_eq!(interner.intern(&Value::Null), interner.intern(&Value::Null));
+        // NaN == NaN under the total order, so one id; -0.0 != +0.0, so two.
+        let nan = interner.intern(&Value::real(f64::NAN));
+        assert_eq!(interner.intern(&Value::real(f64::NAN)), nan);
+        let neg_zero = interner.intern(&Value::real(-0.0));
+        let pos_zero = interner.intern(&Value::real(0.0));
+        assert_ne!(neg_zero, pos_zero);
+        // Int(3) and Real(3.0) are distinct values.
+        assert_ne!(
+            interner.intern(&Value::int(3)),
+            interner.intern(&Value::real(3.0))
+        );
+    }
+
+    #[test]
+    fn cmp_ids_preserves_value_order() {
+        let mut interner = ValueInterner::new();
+        let big = interner.intern(&Value::int(100));
+        let small = interner.intern(&Value::int(2));
+        let null = interner.intern(&Value::Null);
+        assert_eq!(interner.cmp_ids(small, big), Ordering::Less);
+        assert_eq!(interner.cmp_ids(big, small), Ordering::Greater);
+        assert_eq!(interner.cmp_ids(big, big), Ordering::Equal);
+        assert_eq!(interner.cmp_ids(null, small), Ordering::Less);
+    }
+
+    #[test]
+    fn canonical_shares_string_allocations() {
+        let mut interner = ValueInterner::new();
+        let first = interner.canonical(Value::str("Crichton"));
+        let second = interner.canonical(Value::str("Crichton"));
+        match (&first, &second) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => panic!("expected strings"),
+        }
+    }
+}

@@ -124,7 +124,10 @@ impl PartialEq for Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Real(a), Value::Real(b)) => a.total_cmp(b) == Ordering::Equal,
-            (Value::Str(a), Value::Str(b)) => a == b,
+            // Canonicalized instances (see `crate::store::ValueInterner::canonical`)
+            // share one `Arc` per distinct string, so the pointer check makes
+            // their equality O(1) before falling back to content comparison.
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
             _ => false,
         }
     }

@@ -9,7 +9,9 @@
 
 use dataquality::prelude::*;
 use dq_gen::customer::{generate_customers, paper_cfds, CustomerConfig};
-use dq_relation::RelationInstance;
+use dq_gen::orders::{generate_orders, paper_cinds, OrderConfig};
+use dq_relation::instance::CellRef;
+use dq_relation::{RelationInstance, TupleId, Value};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -170,6 +172,57 @@ proptest! {
         let naive = detect_ecfd_violations(&workload.dirty, &ecfds);
         for engine in engine_variants() {
             prop_assert_eq!(engine.detect_ecfd_violations(&workload.dirty, &ecfds), naive.clone());
+        }
+    }
+
+    /// The engine detects over interned columnar snapshots memoized per
+    /// instance version; after mutations (cell updates, inserts, removals)
+    /// a fresh snapshot must be taken and reports must still equal naive —
+    /// this is the property a stale snapshot or index would break.
+    #[test]
+    fn engine_equivalence_survives_mutation(
+        config in workload_config(),
+        victim in 0usize..250,
+        attr_pick in 0usize..3,
+    ) {
+        let workload = generate_customers(&config);
+        let mut instance = workload.dirty;
+        let cfds = paper_cfds();
+        let engine = DetectionEngine::new();
+        let before = engine.detect_cfd_violations(&instance, &cfds);
+        prop_assert_eq!(&before, &detect_cfd_violations(&instance, &cfds));
+        // Mutate: update a cell, insert a colliding tuple, remove a tuple.
+        let schema = Arc::clone(instance.schema());
+        let attr = [schema.attr("city"), schema.attr("street"), schema.attr("zip")][attr_pick];
+        let victim = TupleId(victim % instance.len().max(1));
+        instance.update_cell(CellRef::new(victim, attr), Value::str("MUTATED"));
+        let donor = instance.tuple(TupleId(0)).expect("live tuple").clone();
+        instance.insert(donor).expect("same schema");
+        instance.remove(victim);
+        let after = engine.detect_cfd_violations(&instance, &cfds);
+        prop_assert_eq!(&after, &detect_cfd_violations(&instance, &cfds));
+    }
+
+    /// Engine CIND reports over the order/book/CD database equal the naive
+    /// cross-relation detector, cold and warm.
+    #[test]
+    fn engine_cind_detection_equals_naive(
+        orders in 1usize..250,
+        rate_idx in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let workload = generate_orders(&OrderConfig {
+            orders,
+            violation_rate: [0.0, 0.01, 0.05, 0.25][rate_idx],
+            seed,
+        });
+        let cinds = paper_cinds();
+        let naive = detect_cind_violations(&workload.db, &cinds).unwrap();
+        for engine in engine_variants() {
+            let cold = engine.detect_cind_violations(&workload.db, &cinds).unwrap();
+            prop_assert_eq!(&cold, &naive);
+            let warm = engine.detect_cind_violations(&workload.db, &cinds).unwrap();
+            prop_assert_eq!(&warm, &naive);
         }
     }
 
