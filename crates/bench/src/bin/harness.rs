@@ -7,6 +7,12 @@
 //! `--detection-bench` instead runs only the naive-vs-engine CFD detection
 //! comparison and writes the measurements to `BENCH_detection.json` in the
 //! working directory (the perf trajectory artifact tracked across PRs).
+//!
+//! `--discovery-bench` runs the naive-vs-interned partition comparison for
+//! FD and CFD discovery and writes `BENCH_discovery.json`; add `--smoke`
+//! for the CI-sized variant (small instance, artifact not overwritten —
+//! the point is to execute both code paths and assert identical output, so
+//! a perf-path regression that compiles the fast path out fails loudly).
 
 use dq_bench::*;
 use dq_core::prelude::*;
@@ -27,6 +33,10 @@ fn header(title: &str) {
 fn main() {
     if std::env::args().any(|a| a == "--detection-bench") {
         detection_bench();
+        return;
+    }
+    if std::env::args().any(|a| a == "--discovery-bench") {
+        discovery_bench(std::env::args().any(|a| a == "--smoke"));
         return;
     }
     figures_1_and_2();
@@ -185,6 +195,184 @@ fn detection_bench() {
     );
     std::fs::write("BENCH_detection.json", &json).expect("write BENCH_detection.json");
     println!("\nwrote BENCH_detection.json");
+}
+
+/// Naive vs. interned dependency discovery on the scaled customer workload,
+/// written to `BENCH_discovery.json` (skipped in `--smoke` mode, which runs
+/// the same comparison CI-sized and only asserts output identity).
+///
+/// Two algorithms per size:
+/// * `fd_discovery` — level-wise exact FD discovery; the naive path builds
+///   one `Vec<Value>`-keyed stripped partition per candidate attribute set,
+///   the interned path derives single-attribute partitions from pooled CSR
+///   postings and refines by id-based partition products;
+/// * `cfd_discovery` — full CFD mining (exact FDs, `g3` conditioning,
+///   tableau and constant-pattern mining); the naive path re-groups tuples
+///   per condition set, the interned path reads every grouping off pooled
+///   interned indexes (10k/100k only: the naive miner's per-group
+///   minimality rescans are quadratic-ish and intractable at 1M).
+///
+/// Interned runs are measured cold on fresh clones (snapshot, dictionaries
+/// and every index build inside the timer).  Each row also records the
+/// grouping-layer resident bytes: the `Vec<Value>`-keyed maps the naive
+/// sweep materializes for the single and pair attribute sets vs. the pooled
+/// interned indexes plus column dictionaries serving the same requests.
+fn discovery_bench(smoke: bool) {
+    use dq_discovery::prelude::*;
+    use dq_relation::IndexPool;
+    use std::sync::Arc;
+
+    header("Discovery bench — naive vs. interned stripped partitions");
+    let sizes: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let error_rate = 0.05;
+    let mut rows = Vec::new();
+    println!(
+        "  tuples   algo            naive         interned     speedup   found   grouping mem"
+    );
+    for &size in sizes {
+        let workload = customer_workload_scaled(size, error_rate);
+        let instance = &workload.dirty;
+        let schema = instance.schema().clone();
+        let exclude = vec![schema.attr("phn"), schema.attr("name")];
+        let reps = if size > 100_000 { 1 } else { 3 };
+
+        // Grouping-layer resident bytes over the single and pair attribute
+        // sets the level-wise sweep materializes (measured once per size,
+        // outside the timers).
+        let included: Vec<usize> = (0..schema.arity())
+            .filter(|a| !exclude.contains(a))
+            .collect();
+        let mut attr_sets: Vec<Vec<usize>> = included.iter().map(|&a| vec![a]).collect();
+        for i in 0..included.len() {
+            for j in (i + 1)..included.len() {
+                attr_sets.push(vec![included[i], included[j]]);
+            }
+        }
+        let naive_bytes: usize = attr_sets
+            .iter()
+            .map(|set| HashIndex::build(instance, set).approx_heap_bytes())
+            .sum();
+        let measure_pool = Arc::new(IndexPool::new());
+        for set in &attr_sets {
+            measure_pool.interned_for(instance, set, 1);
+        }
+        let interned_bytes =
+            measure_pool.approx_interned_bytes() + instance.columnar().stats().heap_bytes;
+        let memory_reduction = naive_bytes as f64 / interned_bytes.max(1) as f64;
+        drop(measure_pool);
+
+        let mut push_row = |algo: &str,
+                            naive_ms: f64,
+                            interned_ms: f64,
+                            found: usize,
+                            naive_partitions: usize,
+                            interned_partitions: usize| {
+            let speedup = naive_ms / interned_ms;
+            println!(
+                "{size:>8}   {algo:<14} {naive_ms:>9.1}ms  {interned_ms:>10.1}ms  {speedup:>7.2}x  {found:>6}   ({:.1} MB -> {:.1} MB, {memory_reduction:.1}x)",
+                naive_bytes as f64 / 1e6,
+                interned_bytes as f64 / 1e6,
+            );
+            rows.push(format!(
+                "    {{\"tuples\": {size}, \"algo\": \"{algo}\", \"error_rate\": {error_rate}, \
+                 \"dependencies_found\": {found}, \"naive_ms\": {naive_ms:.3}, \
+                 \"interned_ms\": {interned_ms:.3}, \"speedup\": {speedup:.3}, \
+                 \"partitions_naive\": {naive_partitions}, \"partitions_interned\": {interned_partitions}, \
+                 \"grouping_bytes_naive\": {naive_bytes}, \"grouping_bytes_interned\": {interned_bytes}, \
+                 \"memory_reduction\": {memory_reduction:.3}}}"
+            ));
+        };
+
+        // ---- FD discovery ----
+        let fd_cfg = |use_interned| FdDiscoveryConfig {
+            max_lhs: 2,
+            max_g3: 0.0,
+            exclude: exclude.clone(),
+            use_interned,
+        };
+        let (naive_ms, naive_fds) = timed_median(reps, || discover_fds(instance, &fd_cfg(false)));
+        // Cold interned runs: clones carry fresh identities and empty
+        // columnar caches, so every rep pays the snapshot, the dictionary
+        // encoding and all index builds inside the measurement.
+        let cold: Vec<_> = (0..reps).map(|_| instance.clone()).collect();
+        let mut cold_iter = cold.iter();
+        let (interned_ms, interned_fds) = timed_median(reps, || {
+            discover_fds(
+                cold_iter.next().expect("one fresh instance per rep"),
+                &fd_cfg(true),
+            )
+        });
+        drop(cold);
+        assert_eq!(
+            naive_fds.fds, interned_fds.fds,
+            "interned FD discovery must report identical dependencies"
+        );
+        push_row(
+            "fd_discovery",
+            naive_ms,
+            interned_ms,
+            naive_fds.fds.len(),
+            naive_fds.partitions_built,
+            interned_fds.partitions_built,
+        );
+
+        // ---- CFD discovery (naive miner intractable at 1M) ----
+        if size <= 100_000 {
+            let cfd_cfg = |use_interned| CfdDiscoveryConfig {
+                min_support: 4,
+                max_lhs: 2,
+                exclude: exclude.clone(),
+                use_interned,
+                ..CfdDiscoveryConfig::default()
+            };
+            let (naive_ms, naive_cfds) =
+                timed_median(reps, || discover_cfds(instance, &cfd_cfg(false)));
+            let cold: Vec<_> = (0..reps).map(|_| instance.clone()).collect();
+            let mut cold_iter = cold.iter();
+            let (interned_ms, interned_cfds) = timed_median(reps, || {
+                discover_cfds(
+                    cold_iter.next().expect("one fresh instance per rep"),
+                    &cfd_cfg(true),
+                )
+            });
+            drop(cold);
+            assert_eq!(
+                naive_cfds.variable_cfds, interned_cfds.variable_cfds,
+                "interned CFD discovery must report identical variable CFDs"
+            );
+            assert_eq!(
+                naive_cfds.constant_cfds, interned_cfds.constant_cfds,
+                "interned CFD discovery must report identical constant CFDs"
+            );
+            push_row(
+                "cfd_discovery",
+                naive_ms,
+                interned_ms,
+                naive_cfds.len(),
+                naive_cfds.candidates_checked,
+                interned_cfds.candidates_checked,
+            );
+        }
+    }
+    if smoke {
+        println!("\nsmoke mode: outputs identical on both paths, artifact not written");
+        return;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"sec1_discovery_naive_vs_interned\",\n  \
+         \"workload\": \"dq_gen::customer (scaled city pool), error_rate {error_rate}, seed 42, exclude phn+name\",\n  \
+         \"threads\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_discovery.json", &json).expect("write BENCH_discovery.json");
+    println!("\nwrote BENCH_discovery.json");
 }
 
 fn figures_1_and_2() {

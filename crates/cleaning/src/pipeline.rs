@@ -14,7 +14,7 @@ use dq_core::engine::DetectionEngine;
 use dq_match::rck::RelativeKey;
 use dq_relation::RelationInstance;
 use dq_repair::model::RepairCost;
-use dq_repair::urepair::{repair_cfd_violations, RepairConfig};
+use dq_repair::urepair::{repair_cfd_violations_with_engine, RepairConfig};
 
 /// What happened in one pipeline stage.
 #[derive(Clone, Debug)]
@@ -114,8 +114,16 @@ impl CleaningPipeline {
             });
         }
 
-        // Stage 3: heuristic, cost-based repair of whatever is left.
-        let outcome = repair_cfd_violations(&current, &self.cfds, &self.cost, &self.repair_config);
+        // Stage 3: heuristic, cost-based repair of whatever is left.  The
+        // repair loop detects through the same engine, so its final
+        // consistency check warms the pool the verify stage reads from.
+        let outcome = repair_cfd_violations_with_engine(
+            &current,
+            &self.cfds,
+            &self.cost,
+            &self.repair_config,
+            &engine,
+        );
         let repair_changes = outcome.log.change_count();
         current = outcome.repaired;
         stages.push(StageSummary {

@@ -80,6 +80,12 @@ impl DetectionEngine {
         &self.pool
     }
 
+    /// The engine's worker-thread budget (callers borrowing the pool for
+    /// their own index builds should size cold builds the same way).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Cache counters — how much index construction the pool saved.
     pub fn pool_stats(&self) -> IndexPoolStats {
         self.pool.stats()

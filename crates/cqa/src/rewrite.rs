@@ -20,11 +20,13 @@
 //!   single-atom queries, evaluated by the `dq-relation` FO engine, to make
 //!   the rewritten query inspectable.
 
+use dq_core::engine::DetectionEngine;
 use dq_relation::{
     Atom, CompOp, Comparison, ConjunctiveQuery, Database, DqError, DqResult, FoQuery, Formula,
-    HashIndex, Term, Value,
+    HashIndex, InternedIndex, Term, TupleId, Value,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The primary key of a relation, by attribute positions.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -164,6 +166,51 @@ fn resolve(term: &Term, binding: &BTreeMap<String, Value>) -> Option<Value> {
     }
 }
 
+/// The per-relation key index the ∀-certification probes: a pooled interned
+/// index on the fast path, the legacy value-keyed index on the reference
+/// path.  Both hand back the key group as ascending tuple ids, borrowed
+/// from the index — the certification probes once per candidate per atom,
+/// so the hot path must not allocate.
+enum KeyIndex {
+    Interned(Arc<InternedIndex>),
+    Hash(HashIndex),
+}
+
+/// A borrowed key group, iterable as tuple ids without materializing them.
+enum KeyGroup<'a> {
+    Interned(&'a InternedIndex, &'a [u32]),
+    Hash(&'a [TupleId]),
+}
+
+impl KeyIndex {
+    fn group<'a>(&'a self, key: &[Value]) -> KeyGroup<'a> {
+        match self {
+            KeyIndex::Interned(index) => KeyGroup::Interned(index, index.rows_for_values(key)),
+            KeyIndex::Hash(index) => KeyGroup::Hash(index.get(key)),
+        }
+    }
+}
+
+impl KeyGroup<'_> {
+    fn is_empty(&self) -> bool {
+        match self {
+            KeyGroup::Interned(_, rows) => rows.is_empty(),
+            KeyGroup::Hash(ids) => ids.is_empty(),
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = TupleId> + '_ {
+        let (interned, hash) = match self {
+            KeyGroup::Interned(index, rows) => (Some((index, rows.iter())), None),
+            KeyGroup::Hash(ids) => (None, Some(ids.iter())),
+        };
+        interned
+            .into_iter()
+            .flat_map(|(index, rows)| rows.map(move |&r| index.tuple_id(r)))
+            .chain(hash.into_iter().flatten().copied())
+    }
+}
+
 /// Does the subtree rooted at `atom_idx` *certainly* hold under `binding`?
 ///
 /// The check mirrors the ∀ part of the rewriting: the key group selected by
@@ -175,7 +222,7 @@ fn atom_certain(
     keys: &[KeySpec],
     query: &ConjunctiveQuery,
     plan: &TreePlan,
-    indexes: &BTreeMap<String, HashIndex>,
+    indexes: &BTreeMap<String, KeyIndex>,
     atom_idx: usize,
     binding: &BTreeMap<String, Value>,
 ) -> DqResult<bool> {
@@ -194,11 +241,11 @@ fn atom_certain(
     let index = indexes
         .get(&atom.relation)
         .expect("index built for every relation of the query");
-    let group = index.get(&key_values);
+    let group = index.group(&key_values);
     if group.is_empty() {
         return Ok(false);
     }
-    for &id in group {
+    for id in group.iter() {
         let tuple = relation.tuple(id).expect("live tuple");
         let mut extended = binding.clone();
         for (pos, term) in atom.terms.iter().enumerate() {
@@ -244,23 +291,74 @@ fn atom_certain(
 }
 
 /// Certain answers of a tree-class query under primary key constraints, in
-/// PTIME data complexity, evaluated directly on the inconsistent database.
+/// PTIME data complexity, evaluated directly on the inconsistent database
+/// through a private [`DetectionEngine`].
 pub fn certain_answers_rewriting(
     db: &Database,
     keys: &[KeySpec],
     query: &ConjunctiveQuery,
 ) -> DqResult<BTreeSet<Vec<Value>>> {
-    let plan = classify_tree_query(query, keys)?;
-    // One key index per relation of the query, shared by every candidate
-    // check (the ∀-certification probes these groups heavily).
-    let mut indexes: BTreeMap<String, HashIndex> = BTreeMap::new();
+    certain_answers_rewriting_with_engine(db, keys, query, &DetectionEngine::new())
+}
+
+/// [`certain_answers_rewriting`] over a caller-owned engine: the per-relation
+/// key indexes the ∀-certification probes come out of the engine's
+/// [`IndexPool`](dq_relation::IndexPool) as interned indexes (packed keys,
+/// CSR groups), so repeated queries over an unchanged database build
+/// nothing, and the indexes are the same physical ones detection and repair
+/// use on that database.
+pub fn certain_answers_rewriting_with_engine(
+    db: &Database,
+    keys: &[KeySpec],
+    query: &ConjunctiveQuery,
+    engine: &DetectionEngine,
+) -> DqResult<BTreeSet<Vec<Value>>> {
+    let plan = classify_tree_query(query, keys)?; // reject unsupported queries first
+    let mut indexes: BTreeMap<String, KeyIndex> = BTreeMap::new();
+    for atom in &query.atoms {
+        let key_pos = &key_of(keys, &atom.relation)?.key;
+        let relation = db.require_relation(&atom.relation)?;
+        indexes.entry(atom.relation.clone()).or_insert_with(|| {
+            KeyIndex::Interned(
+                engine
+                    .pool()
+                    .interned_for(relation, key_pos, engine.threads()),
+            )
+        });
+    }
+    certain_answers_with_indexes(db, keys, query, &plan, &indexes)
+}
+
+/// The legacy evaluation: per-relation `Vec<Value>`-keyed [`HashIndex`]es
+/// built fresh per call.  Kept as the reference the pooled path is
+/// property-tested against.
+pub fn certain_answers_rewriting_naive(
+    db: &Database,
+    keys: &[KeySpec],
+    query: &ConjunctiveQuery,
+) -> DqResult<BTreeSet<Vec<Value>>> {
+    let plan = classify_tree_query(query, keys)?; // reject unsupported queries first
+    let mut indexes: BTreeMap<String, KeyIndex> = BTreeMap::new();
     for atom in &query.atoms {
         let key_pos = &key_of(keys, &atom.relation)?.key;
         let relation = db.require_relation(&atom.relation)?;
         indexes
             .entry(atom.relation.clone())
-            .or_insert_with(|| HashIndex::build(relation, key_pos));
+            .or_insert_with(|| KeyIndex::Hash(HashIndex::build(relation, key_pos)));
     }
+    certain_answers_with_indexes(db, keys, query, &plan, &indexes)
+}
+
+/// The shared candidate-generation / ∀-certification loop: one key index
+/// per relation of the query, shared by every candidate check (the
+/// certification probes these groups heavily).
+fn certain_answers_with_indexes(
+    db: &Database,
+    keys: &[KeySpec],
+    query: &ConjunctiveQuery,
+    plan: &TreePlan,
+    indexes: &BTreeMap<String, KeyIndex>,
+) -> DqResult<BTreeSet<Vec<Value>>> {
     // Candidate answers: ordinary evaluation over the (dirty) database.  A
     // certain answer is an answer in every repair, and repairs are subsets,
     // so every certain answer appears among the candidates.
@@ -274,7 +372,7 @@ pub fn certain_answers_rewriting(
             .zip(candidate.iter().cloned())
             .collect();
         for &root in &plan.roots {
-            if !atom_certain(db, keys, query, &plan, &indexes, root, &binding)? {
+            if !atom_certain(db, keys, query, plan, indexes, root, &binding)? {
                 continue 'candidates;
             }
         }

@@ -20,13 +20,34 @@
 //! assert and which makes them safe seeds for cleaning rules on *future*
 //! data of the same source.
 
-use crate::fd_discovery::{discover_fds, subsets_of_size, FdDiscoveryConfig};
-use crate::partition::g3_error;
+use crate::fd_discovery::{discover_fds_with_pool, subsets_of_size, FdDiscoveryConfig};
+use crate::partition::{g3_error, g3_error_interned};
 use dq_core::cfd::Cfd;
 use dq_core::fd::Fd;
 use dq_core::pattern::{PatternTuple, PatternValue};
-use dq_relation::{RelationInstance, Value};
+use dq_relation::{
+    Column, FxHashMap, IndexPool, InternedIndex, KeyCodec, ProjectionKey, RelationInstance, Value,
+    ValueId,
+};
 use std::collections::{BTreeMap, HashMap};
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+/// The canonical group-mining order shared by the naive and interned
+/// paths.  `Value`'s `Ord` deliberately compares mixed numerics (`Int(0)`
+/// vs `Real(0.0)`) as equal while `Eq` distinguishes them, so `Ord`-equal
+/// but distinct keys get a debug-rendering tiebreak — without it each
+/// path's hash-map iteration order would leak through the stable sort.
+fn sorted_group_order(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    a.cmp(b)
+        .then_with(|| format!("{a:?}").cmp(&format!("{b:?}")))
+}
+
+fn discovery_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// Configuration of CFD discovery.
 #[derive(Clone, Debug)]
@@ -46,6 +67,11 @@ pub struct CfdDiscoveryConfig {
     pub max_tableau: usize,
     /// Attributes excluded from discovery (surrogate keys, free text).
     pub exclude: Vec<usize>,
+    /// Mine over pooled interned indexes (id comparisons, packed keys —
+    /// the fast path).  `false` keeps the legacy `Vec<Value>`-keyed
+    /// grouping; both paths mine groups in sorted key order and produce
+    /// identical dependency sets.
+    pub use_interned: bool,
 }
 
 impl Default for CfdDiscoveryConfig {
@@ -57,6 +83,7 @@ impl Default for CfdDiscoveryConfig {
             max_candidate_g3: 0.5,
             max_tableau: 64,
             exclude: Vec::new(),
+            use_interned: true,
         }
     }
 }
@@ -101,25 +128,63 @@ pub fn discover_constant_cfds(
     instance: &RelationInstance,
     config: &CfdDiscoveryConfig,
 ) -> Vec<Cfd> {
+    discover_constant_cfds_with_pool(instance, config, &Arc::new(IndexPool::new()))
+}
+
+/// [`discover_constant_cfds`] over a shared [`IndexPool`].  On the interned
+/// path every candidate condition set is grouped through a pooled
+/// [`InternedIndex`], support and right-hand-side agreement are checked on
+/// `u32` dictionary ids, and the minimality probe re-uses the sub-condition
+/// indexes the level-wise sweep already built.
+pub fn discover_constant_cfds_with_pool(
+    instance: &RelationInstance,
+    config: &CfdDiscoveryConfig,
+    pool: &Arc<IndexPool>,
+) -> Vec<Cfd> {
     let schema = instance.schema().clone();
     let attrs: Vec<usize> = (0..schema.arity())
         .filter(|a| !config.exclude.contains(a))
         .collect();
     // tableaux[(lhs, rhs)] -> pattern tuples
     let mut tableaux: BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>> = BTreeMap::new();
-    let all_tuples: Vec<_> = instance.iter().map(|(_, t)| t.clone()).collect();
+    if config.use_interned {
+        mine_constant_patterns_interned(instance, config, pool, &attrs, &mut tableaux);
+    } else {
+        mine_constant_patterns_naive(instance, config, &attrs, &mut tableaux);
+    }
+    tableaux
+        .into_iter()
+        .filter_map(|((lhs, rhs), mut tableau)| {
+            tableau.sort_by_key(|tp| format!("{tp}"));
+            tableau.dedup();
+            Cfd::from_indices(&schema, lhs, vec![rhs], tableau).ok()
+        })
+        .collect()
+}
 
+/// The legacy mining loop: per-tuple `Vec<Value>` projections.  Groups are
+/// visited in sorted key order so the tableau cap selects the same patterns
+/// as the interned path.
+fn mine_constant_patterns_naive(
+    instance: &RelationInstance,
+    config: &CfdDiscoveryConfig,
+    attrs: &[usize],
+    tableaux: &mut BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>>,
+) {
+    let all_tuples: Vec<_> = instance.iter().map(|(_, t)| t.clone()).collect();
     for size in 1..=config.max_lhs.min(attrs.len()) {
-        for lhs in subsets_of_size(&attrs, size) {
-            let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for lhs in subsets_of_size(attrs, size) {
+            let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
             for (pos, tuple) in all_tuples.iter().enumerate() {
-                groups.entry(tuple.project(&lhs)).or_default().push(pos);
+                by_key.entry(tuple.project(&lhs)).or_default().push(pos);
             }
+            let mut groups: Vec<(Vec<Value>, Vec<usize>)> = by_key.into_iter().collect();
+            groups.sort_by(|a, b| sorted_group_order(&a.0, &b.0));
             for (lhs_values, members) in &groups {
                 if members.len() < config.min_support {
                     continue;
                 }
-                for &rhs in &attrs {
+                for &rhs in attrs {
                     if lhs.contains(&rhs) {
                         continue;
                     }
@@ -141,30 +206,102 @@ pub fn discover_constant_cfds(
                     {
                         continue;
                     }
-                    let entry = tableaux.entry((lhs.clone(), rhs)).or_default();
-                    if entry.len() >= config.max_tableau {
-                        continue;
-                    }
-                    entry.push(PatternTuple::new(
-                        lhs_values
-                            .iter()
-                            .cloned()
-                            .map(PatternValue::Const)
-                            .collect(),
-                        vec![PatternValue::Const(first.clone())],
-                    ));
+                    push_constant_pattern(tableaux, config, &lhs, rhs, lhs_values, &first);
                 }
             }
         }
     }
+}
 
-    tableaux
-        .into_iter()
-        .filter_map(|((lhs, rhs), mut tableau)| {
-            tableau.sort_by_key(|tp| format!("{tp}"));
-            tableau.dedup();
-            Cfd::from_indices(&schema, lhs, vec![rhs], tableau).ok()
-        })
+/// The interned mining loop: conditions group through pooled indexes and
+/// every support / agreement / minimality check compares dictionary ids.
+/// Values are resolved only when a pattern is actually emitted (and to sort
+/// groups into the canonical mining order).
+fn mine_constant_patterns_interned(
+    instance: &RelationInstance,
+    config: &CfdDiscoveryConfig,
+    pool: &Arc<IndexPool>,
+    attrs: &[usize],
+    tableaux: &mut BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>>,
+) {
+    let threads = discovery_threads();
+    let store = instance.columnar();
+    // Only the non-excluded attributes are ever read; excluded columns
+    // (surrogate keys, free text) must not pay for dictionary encoding.
+    let mut columns: Vec<Option<Arc<Column>>> = vec![None; instance.schema().arity()];
+    for &a in attrs {
+        columns[a] = Some(store.column(instance, a));
+    }
+    for size in 1..=config.max_lhs.min(attrs.len()) {
+        for lhs in subsets_of_size(attrs, size) {
+            let index = pool.interned_for(instance, &lhs, threads);
+            let mut groups: Vec<(Vec<Value>, Vec<ValueId>, &[u32])> = index
+                .groups()
+                .filter(|(_, rows)| rows.len() >= config.min_support)
+                .map(|(ids, rows)| (resolve_key(&index, &ids), ids, rows))
+                .collect();
+            groups.sort_by(|a, b| sorted_group_order(&a.0, &b.0));
+            for (lhs_values, lhs_ids, members) in &groups {
+                for &rhs in attrs {
+                    if lhs.contains(&rhs) {
+                        continue;
+                    }
+                    let col = columns[rhs].as_ref().expect("non-excluded column built");
+                    let first_id = col.id_at(members[0] as usize);
+                    if !members.iter().all(|&m| col.id_at(m as usize) == first_id) {
+                        continue;
+                    }
+                    if size >= 2
+                        && is_redundant_constant_pattern_interned(
+                            instance,
+                            pool,
+                            threads,
+                            &lhs,
+                            lhs_ids,
+                            col,
+                            first_id,
+                            config.min_support,
+                        )
+                    {
+                        continue;
+                    }
+                    let first = col.interner().resolve(first_id).clone();
+                    push_constant_pattern(tableaux, config, &lhs, rhs, lhs_values, &first);
+                }
+            }
+        }
+    }
+}
+
+/// Appends one mined constant pattern, respecting the per-dependency cap.
+fn push_constant_pattern(
+    tableaux: &mut BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>>,
+    config: &CfdDiscoveryConfig,
+    lhs: &[usize],
+    rhs: usize,
+    lhs_values: &[Value],
+    rhs_value: &Value,
+) {
+    let entry = tableaux.entry((lhs.to_vec(), rhs)).or_default();
+    if entry.len() >= config.max_tableau {
+        return;
+    }
+    entry.push(PatternTuple::new(
+        lhs_values
+            .iter()
+            .cloned()
+            .map(PatternValue::Const)
+            .collect(),
+        vec![PatternValue::Const(rhs_value.clone())],
+    ));
+}
+
+/// Resolves a group's key ids into owned values, positionally aligned with
+/// the index's attribute list.
+fn resolve_key(index: &InternedIndex, ids: &[ValueId]) -> Vec<Value> {
+    ids.iter()
+        .zip(index.columns())
+        .map(|(&id, col)| col.interner().resolve(id).clone())
         .collect()
 }
 
@@ -214,6 +351,210 @@ fn is_redundant_constant_pattern(
     false
 }
 
+/// Interned counterpart of [`is_redundant_constant_pattern`]: each
+/// sub-condition is probed through its pooled index by dictionary ids
+/// (valid across indexes because columns — and hence dictionaries — are
+/// shared per store), and agreement on the right-hand side compares ids.
+#[allow(clippy::too_many_arguments)]
+fn is_redundant_constant_pattern_interned(
+    instance: &RelationInstance,
+    pool: &Arc<IndexPool>,
+    threads: usize,
+    lhs: &[usize],
+    lhs_ids: &[ValueId],
+    rhs_col: &Arc<Column>,
+    rhs_constant: ValueId,
+    min_support: usize,
+) -> bool {
+    for drop in 0..lhs.len() {
+        let sub_attrs: Vec<usize> = lhs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, &a)| a)
+            .collect();
+        let sub_ids: Vec<ValueId> = lhs_ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, &id)| id)
+            .collect();
+        let sub_index = pool.interned_for(instance, &sub_attrs, threads);
+        let rows = sub_index.rows_for_ids(&sub_ids);
+        if rows.len() >= min_support
+            && rows
+                .iter()
+                .all(|&r| rhs_col.id_at(r as usize) == rhs_constant)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// The grouping / validation backend of [`discover_tableau_for_fd`]: the
+/// legacy variant projects `Vec<Value>` keys per tuple, the interned
+/// variant groups through pooled indexes and compares packed dictionary
+/// ids.  Both hand the shared mining loop groups in sorted key order and
+/// members as dense row positions, so the mined tableaux are identical.
+enum TableauMiner<'a> {
+    Naive {
+        tuples: Vec<dq_relation::Tuple>,
+        lhs: Vec<usize>,
+        rhs: Vec<usize>,
+    },
+    Interned {
+        instance: &'a RelationInstance,
+        pool: Arc<IndexPool>,
+        threads: usize,
+        lhs_codec: KeyCodec,
+        rhs_codec: KeyCodec,
+        rhs_cols: Vec<Arc<Column>>,
+    },
+}
+
+impl<'a> TableauMiner<'a> {
+    fn naive(instance: &RelationInstance, fd: &Fd) -> Self {
+        TableauMiner::Naive {
+            tuples: instance.iter().map(|(_, t)| t.clone()).collect(),
+            lhs: fd.lhs().to_vec(),
+            rhs: fd.rhs().to_vec(),
+        }
+    }
+
+    fn interned(instance: &'a RelationInstance, fd: &Fd, pool: &Arc<IndexPool>) -> Self {
+        let store = instance.columnar();
+        let lhs_cols: Vec<Arc<Column>> = fd
+            .lhs()
+            .iter()
+            .map(|&a| store.column(instance, a))
+            .collect();
+        let rhs_cols: Vec<Arc<Column>> = fd
+            .rhs()
+            .iter()
+            .map(|&a| store.column(instance, a))
+            .collect();
+        TableauMiner::Interned {
+            instance,
+            pool: Arc::clone(pool),
+            threads: discovery_threads(),
+            lhs_codec: KeyCodec::new(lhs_cols),
+            rhs_codec: KeyCodec::new(rhs_cols.clone()),
+            rhs_cols,
+        }
+    }
+
+    /// Distinct value combinations on `cond_attrs` with at least
+    /// `min_support` members, sorted by key values; members are dense row
+    /// positions (live tuples in insertion order on both variants).
+    fn groups(&self, cond_attrs: &[usize], min_support: usize) -> Vec<(Vec<Value>, Vec<usize>)> {
+        let mut out: Vec<(Vec<Value>, Vec<usize>)> = match self {
+            TableauMiner::Naive { tuples, .. } => {
+                let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (pos, tuple) in tuples.iter().enumerate() {
+                    by_key
+                        .entry(tuple.project(cond_attrs))
+                        .or_default()
+                        .push(pos);
+                }
+                by_key
+                    .into_iter()
+                    .filter(|(_, members)| members.len() >= min_support)
+                    .collect()
+            }
+            TableauMiner::Interned {
+                instance,
+                pool,
+                threads,
+                ..
+            } => {
+                let index = pool.interned_for(instance, cond_attrs, *threads);
+                index
+                    .groups()
+                    .filter(|(_, rows)| rows.len() >= min_support)
+                    .map(|(ids, rows)| {
+                        (
+                            resolve_key(&index, &ids),
+                            rows.iter().map(|&r| r as usize).collect(),
+                        )
+                    })
+                    .collect()
+            }
+        };
+        out.sort_by(|a, b| sorted_group_order(&a.0, &b.0));
+        out
+    }
+
+    /// Does the embedded FD hold on exactly these members?
+    fn fd_holds_on(&self, members: &[usize]) -> bool {
+        match self {
+            TableauMiner::Naive { tuples, lhs, rhs } => {
+                let mut by_lhs: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+                for &m in members {
+                    let key = tuples[m].project(lhs);
+                    let val = tuples[m].project(rhs);
+                    match by_lhs.get(&key) {
+                        Some(existing) if existing != &val => return false,
+                        Some(_) => {}
+                        None => {
+                            by_lhs.insert(key, val);
+                        }
+                    }
+                }
+                true
+            }
+            TableauMiner::Interned {
+                lhs_codec,
+                rhs_codec,
+                ..
+            } => {
+                let mut by_lhs: FxHashMap<ProjectionKey, ProjectionKey> = FxHashMap::default();
+                for &m in members {
+                    let key = lhs_codec.pack_row(m);
+                    let val = rhs_codec.pack_row(m);
+                    match by_lhs.get(&key) {
+                        Some(existing) if existing != &val => return false,
+                        Some(_) => {}
+                        None => {
+                            by_lhs.insert(key, val);
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// The members' common RHS projection, when they all agree on it.
+    fn constant_rhs(&self, members: &[usize]) -> Option<Vec<Value>> {
+        match self {
+            TableauMiner::Naive { tuples, rhs, .. } => {
+                let first_rhs = tuples[members[0]].project(rhs);
+                members
+                    .iter()
+                    .all(|&m| tuples[m].project(rhs) == first_rhs)
+                    .then_some(first_rhs)
+            }
+            TableauMiner::Interned {
+                rhs_codec,
+                rhs_cols,
+                ..
+            } => {
+                let first = rhs_codec.pack_row(members[0]);
+                members
+                    .iter()
+                    .all(|&m| rhs_codec.pack_row(m) == first)
+                    .then(|| {
+                        rhs_cols
+                            .iter()
+                            .map(|col| col.interner().resolve(col.id_at(members[0])).clone())
+                            .collect()
+                    })
+            }
+        }
+    }
+}
+
 /// Mines a pattern tableau for the embedded FD `fd` on `instance`: the most
 /// general pattern tuples (fewest constants) under which the FD holds with
 /// at least [`CfdDiscoveryConfig::min_support`] matching tuples.
@@ -226,10 +567,25 @@ pub fn discover_tableau_for_fd(
     fd: &Fd,
     config: &CfdDiscoveryConfig,
 ) -> Option<Cfd> {
+    discover_tableau_for_fd_with_pool(instance, fd, config, &Arc::new(IndexPool::new()))
+}
+
+/// [`discover_tableau_for_fd`] over a shared [`IndexPool`] (the condition
+/// sets enumerated here revisit the indexes FD discovery already built).
+pub fn discover_tableau_for_fd_with_pool(
+    instance: &RelationInstance,
+    fd: &Fd,
+    config: &CfdDiscoveryConfig,
+    pool: &Arc<IndexPool>,
+) -> Option<Cfd> {
     let schema = instance.schema().clone();
     let lhs = fd.lhs().to_vec();
     let rhs = fd.rhs().to_vec();
-    let tuples: Vec<_> = instance.iter().map(|(_, t)| t.clone()).collect();
+    let miner = if config.use_interned {
+        TableauMiner::interned(instance, fd, pool)
+    } else {
+        TableauMiner::naive(instance, fd)
+    };
     let mut accepted: Vec<PatternTuple> = Vec::new();
 
     let max_constants = config.max_condition_attrs.min(lhs.len());
@@ -246,18 +602,7 @@ pub fn discover_tableau_for_fd(
         };
         for cond_positions in position_sets {
             let cond_attrs: Vec<usize> = cond_positions.iter().map(|&p| lhs[p]).collect();
-            // Distinct value combinations actually present in the data.
-            let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-            for (pos, tuple) in tuples.iter().enumerate() {
-                groups
-                    .entry(tuple.project(&cond_attrs))
-                    .or_default()
-                    .push(pos);
-            }
-            for (cond_values, members) in groups {
-                if members.len() < config.min_support {
-                    continue;
-                }
+            for (cond_values, members) in miner.groups(&cond_attrs, config.min_support) {
                 let lhs_pattern: Vec<PatternValue> = (0..lhs.len())
                     .map(|p| match cond_positions.iter().position(|&c| c == p) {
                         Some(i) => PatternValue::Const(cond_values[i].clone()),
@@ -273,35 +618,16 @@ pub fn discover_tableau_for_fd(
                     continue;
                 }
                 // Does the embedded FD hold on the matching tuples?
-                let mut by_lhs: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
-                let mut holds = true;
-                for &m in &members {
-                    let key = tuples[m].project(&lhs);
-                    let val = tuples[m].project(&rhs);
-                    match by_lhs.get(&key) {
-                        Some(existing) if existing != &val => {
-                            holds = false;
-                            break;
-                        }
-                        Some(_) => {}
-                        None => {
-                            by_lhs.insert(key, val);
-                        }
-                    }
-                }
-                if !holds {
+                if !miner.fd_holds_on(&members) {
                     continue;
                 }
                 // Upgrade the RHS to constants when every matching tuple
                 // agrees on it (the `city = EDI` shape of cfd2/cfd3).
-                let first_rhs = tuples[members[0]].project(&rhs);
-                let rhs_constant = members
-                    .iter()
-                    .all(|&m| tuples[m].project(&rhs) == first_rhs);
-                let rhs_pattern: Vec<PatternValue> = if rhs_constant && !cond_positions.is_empty() {
-                    first_rhs.into_iter().map(PatternValue::Const).collect()
-                } else {
-                    vec![PatternValue::Any; rhs.len()]
+                let rhs_pattern: Vec<PatternValue> = match miner.constant_rhs(&members) {
+                    Some(first_rhs) if !cond_positions.is_empty() => {
+                        first_rhs.into_iter().map(PatternValue::Const).collect()
+                    }
+                    _ => vec![PatternValue::Any; rhs.len()],
                 };
                 accepted.push(PatternTuple::new(lhs_pattern, rhs_pattern));
                 if accepted.len() >= config.max_tableau {
@@ -322,29 +648,45 @@ pub fn discover_tableau_for_fd(
 /// Full CFD discovery: exact FDs (reported as all-wildcard CFDs), conditional
 /// tableaux for approximate FDs, and constant CFDs.
 pub fn discover_cfds(instance: &RelationInstance, config: &CfdDiscoveryConfig) -> DiscoveredCfds {
+    discover_cfds_with_pool(instance, config, &Arc::new(IndexPool::new()))
+}
+
+/// [`discover_cfds`] over a shared [`IndexPool`]: FD discovery, the `g3`
+/// conditioning filter, tableau mining and constant-pattern mining all draw
+/// their groupings from the same pooled interned indexes, so each distinct
+/// attribute set is encoded once for the entire run.
+pub fn discover_cfds_with_pool(
+    instance: &RelationInstance,
+    config: &CfdDiscoveryConfig,
+    pool: &Arc<IndexPool>,
+) -> DiscoveredCfds {
     let mut candidates_checked = 0usize;
 
     // Exact FDs become traditional (all-wildcard) CFDs.
-    let exact = discover_fds(
+    let exact = discover_fds_with_pool(
         instance,
         &FdDiscoveryConfig {
             max_lhs: config.max_lhs,
             max_g3: 0.0,
             exclude: config.exclude.clone(),
+            use_interned: config.use_interned,
         },
+        pool,
     );
     candidates_checked += exact.candidates_checked;
     let mut variable_cfds: Vec<Cfd> = exact.fds.iter().map(Cfd::from_fd).collect();
 
     // Approximate FDs (hold after removing at most `max_candidate_g3` of the
     // tuples but not exactly) are conditioning candidates: mine a tableau.
-    let approx = discover_fds(
+    let approx = discover_fds_with_pool(
         instance,
         &FdDiscoveryConfig {
             max_lhs: config.max_lhs,
             max_g3: config.max_candidate_g3,
             exclude: config.exclude.clone(),
+            use_interned: config.use_interned,
         },
+        pool,
     );
     candidates_checked += approx.candidates_checked;
     for fd in &approx.fds {
@@ -356,11 +698,17 @@ pub fn discover_cfds(instance: &RelationInstance, config: &CfdDiscoveryConfig) -
             continue;
         }
         // Only condition on FDs that genuinely fail globally.
-        if g3_error(instance, fd.lhs(), fd.rhs()) == 0.0 {
+        let fd_g3 = if config.use_interned {
+            let index = pool.interned_for(instance, fd.lhs(), discovery_threads());
+            g3_error_interned(&index, instance, fd.rhs())
+        } else {
+            g3_error(instance, fd.lhs(), fd.rhs())
+        };
+        if fd_g3 == 0.0 {
             continue;
         }
         candidates_checked += 1;
-        if let Some(cfd) = discover_tableau_for_fd(instance, fd, config) {
+        if let Some(cfd) = discover_tableau_for_fd_with_pool(instance, fd, config, pool) {
             // A tableau consisting solely of the all-wildcard pattern adds
             // nothing beyond the (failing) traditional FD.
             if !cfd.tableau().iter().all(PatternTuple::is_all_wildcards) {
@@ -369,7 +717,7 @@ pub fn discover_cfds(instance: &RelationInstance, config: &CfdDiscoveryConfig) -
         }
     }
 
-    let constant_cfds = discover_constant_cfds(instance, config);
+    let constant_cfds = discover_constant_cfds_with_pool(instance, config, pool);
     DiscoveredCfds {
         variable_cfds,
         constant_cfds,

@@ -9,10 +9,11 @@
 //! approximate FDs, the raw material for CFD tableau mining
 //! ([`crate::cfd_discovery`]).
 
-use crate::partition::{g3_error, StrippedPartition};
+use crate::source::PartitionSource;
 use dq_core::fd::Fd;
-use dq_relation::RelationInstance;
-use std::collections::{BTreeSet, HashMap};
+use dq_relation::{IndexPool, RelationInstance};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Configuration of FD discovery.
 #[derive(Clone, Debug)]
@@ -24,6 +25,11 @@ pub struct FdDiscoveryConfig {
     pub max_g3: f64,
     /// Attributes to exclude from both sides (e.g. surrogate identifiers).
     pub exclude: Vec<usize>,
+    /// Validate candidates over partitions derived from pooled interned
+    /// indexes and id-based partition products (the fast path).  `false`
+    /// keeps the legacy `Vec<Value>`-keyed partition builds — same results,
+    /// kept for equivalence tests and the `--discovery-bench` comparison.
+    pub use_interned: bool,
 }
 
 impl Default for FdDiscoveryConfig {
@@ -32,6 +38,7 @@ impl Default for FdDiscoveryConfig {
             max_lhs: 3,
             max_g3: 0.0,
             exclude: Vec::new(),
+            use_interned: true,
         }
     }
 }
@@ -57,31 +64,32 @@ impl DiscoveredFds {
     }
 }
 
-/// Discovers minimal (approximate) functional dependencies on `instance`.
+/// Discovers minimal (approximate) functional dependencies on `instance`
+/// with a private index pool.
 pub fn discover_fds(instance: &RelationInstance, config: &FdDiscoveryConfig) -> DiscoveredFds {
+    discover_fds_with_pool(instance, config, &Arc::new(IndexPool::new()))
+}
+
+/// [`discover_fds`] over a shared [`IndexPool`]: the interned indexes built
+/// for single-attribute partitions (and for `g3` grouping) are served from
+/// — and stay in — `pool`, so CFD mining, profiling and detection over the
+/// same instance rebuild nothing.
+pub fn discover_fds_with_pool(
+    instance: &RelationInstance,
+    config: &FdDiscoveryConfig,
+    pool: &Arc<IndexPool>,
+) -> DiscoveredFds {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut source = if config.use_interned {
+        PartitionSource::interned(instance, Arc::clone(pool), threads)
+    } else {
+        PartitionSource::naive(instance)
+    };
     let schema = instance.schema().clone();
     let arity = schema.arity();
     let attrs: Vec<usize> = (0..arity).filter(|a| !config.exclude.contains(a)).collect();
-
-    // Partitions are cached by their sorted attribute list, so `X` and any
-    // permutation of `X` share one materialisation.
-    let mut cache: HashMap<Vec<usize>, StrippedPartition> = HashMap::new();
-    let mut partitions_built = 0usize;
-    let get_partition = |attrs_key: &[usize],
-                         cache: &mut HashMap<Vec<usize>, StrippedPartition>,
-                         built: &mut usize|
-     -> StrippedPartition {
-        let mut key = attrs_key.to_vec();
-        key.sort_unstable();
-        key.dedup();
-        if let Some(p) = cache.get(&key) {
-            return p.clone();
-        }
-        *built += 1;
-        let p = StrippedPartition::build(instance, &key);
-        cache.insert(key, p.clone());
-        p
-    };
 
     let mut found: Vec<(BTreeSet<usize>, usize)> = Vec::new();
     let mut candidates_checked = 0usize;
@@ -99,7 +107,7 @@ pub fn discover_fds(instance: &RelationInstance, config: &FdDiscoveryConfig) -> 
             {
                 continue;
             }
-            let lhs_partition = get_partition(&lhs, &mut cache, &mut partitions_built);
+            let lhs_partition = source.partition(&lhs);
             for &rhs in &attrs {
                 if lhs_set.contains(&rhs) {
                     continue;
@@ -115,10 +123,10 @@ pub fn discover_fds(instance: &RelationInstance, config: &FdDiscoveryConfig) -> 
                 let holds = if config.max_g3 <= 0.0 {
                     let mut with_rhs = lhs.clone();
                     with_rhs.push(rhs);
-                    let rhs_partition = get_partition(&with_rhs, &mut cache, &mut partitions_built);
+                    let rhs_partition = source.partition(&with_rhs);
                     lhs_partition.implies_with(&rhs_partition)
                 } else {
-                    g3_error(instance, &lhs, &[rhs]) <= config.max_g3
+                    source.g3(&lhs, &[rhs]) <= config.max_g3
                 };
                 if holds {
                     found.push((lhs_set.clone(), rhs));
@@ -137,7 +145,7 @@ pub fn discover_fds(instance: &RelationInstance, config: &FdDiscoveryConfig) -> 
     DiscoveredFds {
         fds,
         candidates_checked,
-        partitions_built,
+        partitions_built: source.partitions_built(),
     }
 }
 

@@ -38,22 +38,31 @@ pub mod ind_discovery;
 pub mod md_discovery;
 pub mod partition;
 pub mod profile;
+pub mod source;
 
 /// Frequently used items.
 pub mod prelude {
     pub use crate::cfd_discovery::{
-        discover_cfds, discover_constant_cfds, discover_tableau_for_fd, CfdDiscoveryConfig,
-        DiscoveredCfds,
+        discover_cfds, discover_cfds_with_pool, discover_constant_cfds,
+        discover_constant_cfds_with_pool, discover_tableau_for_fd,
+        discover_tableau_for_fd_with_pool, CfdDiscoveryConfig, DiscoveredCfds,
     };
-    pub use crate::fd_discovery::{discover_fds, DiscoveredFds, FdDiscoveryConfig};
+    pub use crate::fd_discovery::{
+        discover_fds, discover_fds_with_pool, DiscoveredFds, FdDiscoveryConfig,
+    };
     pub use crate::ind_discovery::{
         discover_cind_conditions, discover_inds, DiscoveredInds, IndDiscoveryConfig,
     };
     pub use crate::md_discovery::{
         learn_relative_keys, LearnedRule, LearnedRuleSet, RuleLearningConfig,
     };
-    pub use crate::partition::{g1_error, g3_error, StrippedPartition};
-    pub use crate::profile::{profile_database, profile_relation, ColumnProfile, RelationProfile};
+    pub use crate::partition::{
+        g1_error, g3_error, g3_error_interned, PartitionProber, StrippedPartition,
+    };
+    pub use crate::profile::{
+        profile_database, profile_relation, profile_relation_pooled, ColumnProfile, RelationProfile,
+    };
+    pub use crate::source::PartitionSource;
 }
 
 pub use prelude::*;

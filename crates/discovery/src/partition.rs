@@ -9,8 +9,11 @@
 //! candidate FD is the minimum number of tuples that must be removed for it
 //! to hold, which doubles as an approximation measure.
 
-use dq_relation::{RelationInstance, TupleId, Value};
+use dq_relation::{
+    Column, FxHashMap, InternedIndex, KeyCodec, ProjectionKey, RelationInstance, TupleId, Value,
+};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A stripped partition: the equivalence classes of size ≥ 2 of a relation
 /// instance under "agrees on `X`".
@@ -28,8 +31,18 @@ impl StrippedPartition {
     /// every tuple (if there are at least two).
     pub fn build(instance: &RelationInstance, attrs: &[usize]) -> Self {
         let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+        // Project into a reused buffer; a key vector is allocated only the
+        // first time a projection is seen, not once per tuple.
+        let mut buffer: Vec<Value> = Vec::with_capacity(attrs.len());
         for (id, tuple) in instance.iter() {
-            groups.entry(tuple.project(attrs)).or_default().push(id);
+            buffer.clear();
+            buffer.extend(attrs.iter().map(|&a| tuple.get(a).clone()));
+            match groups.get_mut(buffer.as_slice()) {
+                Some(class) => class.push(id),
+                None => {
+                    groups.insert(buffer.clone(), vec![id]);
+                }
+            }
         }
         let mut classes: Vec<Vec<TupleId>> = groups
             .into_values()
@@ -42,6 +55,27 @@ impl StrippedPartition {
         StrippedPartition {
             classes,
             total: instance.len(),
+        }
+    }
+
+    /// Derives the stripped partition directly from the CSR postings of an
+    /// interned index on the same attribute list: every group of size ≥ 2
+    /// *is* an equivalence class (group keys never need decoding), and row
+    /// numbers translate to ascending tuple ids for free.  Produces exactly
+    /// [`build`](Self::build)'s partition without materializing a single
+    /// `Vec<Value>` key.
+    pub fn from_interned(index: &InternedIndex) -> Self {
+        let mut classes: Vec<Vec<TupleId>> = index
+            .group_rows_iter()
+            .filter(|rows| rows.len() >= 2)
+            // Rows ascend within a CSR group and tuple ids ascend with row
+            // numbers, so each class arrives pre-sorted.
+            .map(|rows| rows.iter().map(|&r| index.tuple_id(r)).collect())
+            .collect();
+        classes.sort();
+        StrippedPartition {
+            classes,
+            total: index.store().len(),
         }
     }
 
@@ -95,32 +129,46 @@ impl StrippedPartition {
     /// `other`, splitting every class of `self` by the class (or singleton)
     /// of `other` each member belongs to.
     pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
-        // Map every tuple that appears in a non-singleton class of `other`
-        // to the index of that class; tuples outside are singletons there.
-        let mut other_class_of: HashMap<TupleId, usize> = HashMap::new();
+        self.product_with(other, &mut PartitionProber::new())
+    }
+
+    /// [`product`](Self::product) over a caller-owned [`PartitionProber`]:
+    /// the tuple → class probe table and the per-class gather buckets are
+    /// reused across calls, so the inner loop of level-wise discovery (one
+    /// product per candidate) allocates nothing once warm.
+    pub fn product_with(
+        &self,
+        other: &StrippedPartition,
+        prober: &mut PartitionProber,
+    ) -> StrippedPartition {
+        // Stamp every tuple of a non-singleton class of `other` with its
+        // class index; tuples outside are singletons there and stay
+        // singletons in the product.
+        let epoch = prober.begin(other.classes.len());
         for (idx, class) in other.classes.iter().enumerate() {
             for &id in class {
-                other_class_of.insert(id, idx);
+                prober.stamp(id, idx as u32, epoch);
             }
         }
         let mut out: Vec<Vec<TupleId>> = Vec::new();
         for class in &self.classes {
-            let mut split: HashMap<Option<usize>, Vec<TupleId>> = HashMap::new();
             for &id in class {
-                // A tuple that is a singleton in `other` stays a singleton in
-                // the product, so only tuples mapped to some class can pair up.
-                match other_class_of.get(&id) {
-                    Some(&idx) => split.entry(Some(idx)).or_default().push(id),
-                    None => {
-                        split.entry(None).or_default();
+                if let Some(idx) = prober.class_of(id, epoch) {
+                    let bucket = &mut prober.buckets[idx as usize];
+                    if bucket.is_empty() {
+                        prober.touched.push(idx);
                     }
+                    bucket.push(id);
                 }
             }
-            for (key, sub) in split {
-                if key.is_some() && sub.len() >= 2 {
-                    out.push(sub);
+            for &idx in &prober.touched {
+                let bucket = &mut prober.buckets[idx as usize];
+                if bucket.len() >= 2 {
+                    out.push(bucket.clone());
                 }
+                bucket.clear();
             }
+            prober.touched.clear();
         }
         StrippedPartition::from_classes(out, self.total)
     }
@@ -130,6 +178,64 @@ impl StrippedPartition {
     /// class, i.e. the two partitions have the same error.
     pub fn implies_with(&self, with_rhs: &StrippedPartition) -> bool {
         self.error() == with_rhs.error()
+    }
+}
+
+/// Reusable scratch for [`StrippedPartition::product_with`]: an
+/// epoch-stamped tuple-id → class probe table (no clearing between
+/// products) plus the per-class gather buckets.  One prober serves an
+/// entire discovery run.
+#[derive(Debug, Default)]
+pub struct PartitionProber {
+    /// Class index of each tuple id in the current `other` partition.
+    class_of: Vec<u32>,
+    /// Epoch at which `class_of` was last written per tuple; stale stamps
+    /// mean "singleton in `other`".
+    stamps: Vec<u32>,
+    epoch: u32,
+    /// One gather bucket per class of `other`, cleared after each class of
+    /// `self` (capacity is retained across products).
+    buckets: Vec<Vec<TupleId>>,
+    /// Bucket indexes touched while splitting the current class.
+    touched: Vec<u32>,
+}
+
+impl PartitionProber {
+    /// A fresh prober.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new product: advances the epoch (resetting all stamps on
+    /// the rare wrap-around) and ensures at least `classes` buckets exist.
+    fn begin(&mut self, classes: usize) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        if self.buckets.len() < classes {
+            self.buckets.resize_with(classes, Vec::new);
+        }
+        self.epoch
+    }
+
+    #[inline]
+    fn stamp(&mut self, id: TupleId, class: u32, epoch: u32) {
+        if self.class_of.len() <= id.0 {
+            self.class_of.resize(id.0 + 1, 0);
+            self.stamps.resize(id.0 + 1, 0);
+        }
+        self.class_of[id.0] = class;
+        self.stamps[id.0] = epoch;
+    }
+
+    #[inline]
+    fn class_of(&self, id: TupleId, epoch: u32) -> Option<u32> {
+        match self.stamps.get(id.0) {
+            Some(&stamp) if stamp == epoch => Some(self.class_of[id.0]),
+            _ => None,
+        }
     }
 }
 
@@ -156,6 +262,34 @@ pub fn g1_error(instance: &RelationInstance, lhs: &[usize], rhs: &[usize]) -> f6
         violating_pairs += group_size * (group_size - 1) - same_rhs_pairs;
     }
     violating_pairs as f64 / (n * (n - 1)) as f64
+}
+
+/// [`g3_error`] over an interned LHS index: group sizes come straight from
+/// the CSR layout and the per-group `Y` tallies count packed id keys
+/// (machine words) instead of materialized `Vec<Value>` projections.  The
+/// arithmetic is identical, so the returned error is bit-identical to the
+/// naive measure's.
+pub fn g3_error_interned(index: &InternedIndex, instance: &RelationInstance, rhs: &[usize]) -> f64 {
+    let n = index.store().len();
+    if n == 0 {
+        return 0.0;
+    }
+    let store = index.store();
+    let rhs_cols: Vec<Arc<Column>> = rhs.iter().map(|&a| store.column(instance, a)).collect();
+    let codec = KeyCodec::new(rhs_cols);
+    let mut removed = 0usize;
+    let mut counts: FxHashMap<ProjectionKey, usize> = FxHashMap::default();
+    // Singleton groups keep their lone tuple, so only multi-row groups can
+    // force removals.
+    for rows in index.group_rows_iter().filter(|rows| rows.len() >= 2) {
+        counts.clear();
+        for &row in rows {
+            *counts.entry(codec.pack_row(row as usize)).or_insert(0) += 1;
+        }
+        let keep = counts.values().copied().max().unwrap_or(0);
+        removed += rows.len() - keep;
+    }
+    removed as f64 / n as f64
 }
 
 /// The `g3` error of the FD `X → Y` on `instance`: the minimum fraction of

@@ -7,8 +7,10 @@
 //! finite domains are.  The same statistics drive the "reasonable" defaults
 //! of [`crate::cfd_discovery`] and [`crate::ind_discovery`].
 
-use dq_relation::{Database, Domain, RelationInstance, Value};
+use dq_relation::{Database, Domain, IndexPool, RelationInstance, Value};
 use std::collections::BTreeSet;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 /// Profile of a single column.
 #[derive(Clone, Debug)]
@@ -82,29 +84,61 @@ impl RelationProfile {
 /// inline in the profile.
 const MAX_INLINE_VALUES: usize = 32;
 
-/// Profiles one relation instance.
+/// Profiles one relation instance with a private index pool.
 pub fn profile_relation(instance: &RelationInstance) -> RelationProfile {
+    profile_relation_pooled(instance, &Arc::new(IndexPool::new()))
+}
+
+/// Profiles one relation instance over its interned columnar snapshot.
+///
+/// Distinct counts and inferred finite domains come straight from the
+/// per-column dictionaries (one scan per column to tally nulls, no
+/// `Value` clones per cell), and binary key candidacy groups through a
+/// pooled interned index on the pair instead of materializing a
+/// `BTreeSet<Vec<Value>>` of projections — the same indexes discovery and
+/// detection use.
+///
+/// Dictionaries dedup by `Eq` while the legacy per-column scan deduped by
+/// `Value`'s `Ord` — which deliberately compares mixed numerics like
+/// `Int(0)` and `Real(0.0)` as equal — so dictionary entries are re-deduped
+/// through a `BTreeSet` built by *insertion* (tiny: one entry per distinct
+/// value, never per row; `collect` would silently dedup by `Eq` instead,
+/// std's bulk build sorts by `Ord` but dedups by `Eq`).  Binary-key
+/// counting keeps `group_count()`: the legacy `project_distinct` built its
+/// set via `collect`, i.e. it already counted `Eq`-distinct projections,
+/// which is exactly what the index's groups count.  Every reported number
+/// is identical to the legacy row-scanning profile.
+pub fn profile_relation_pooled(
+    instance: &RelationInstance,
+    pool: &Arc<IndexPool>,
+) -> RelationProfile {
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     let schema = instance.schema();
     let tuples = instance.len();
+    let store = instance.columnar();
     let mut columns = Vec::with_capacity(schema.arity());
     for attr in 0..schema.arity() {
-        let mut distinct: BTreeSet<Value> = BTreeSet::new();
-        let mut nulls = 0usize;
-        for (_, tuple) in instance.iter() {
-            let v = tuple.get(attr);
-            if v.is_null() {
-                nulls += 1;
-            } else {
-                distinct.insert(v.clone());
-            }
+        let col = store.column(instance, attr);
+        let interner = col.interner();
+        let null_id = interner.lookup(&Value::Null);
+        let nulls = match null_id {
+            Some(null_id) => col.ids().iter().filter(|&&id| id == null_id).count(),
+            None => 0,
+        };
+        let mut dictionary: BTreeSet<&Value> = BTreeSet::new();
+        for value in interner.values().iter().filter(|v| !v.is_null()) {
+            dictionary.insert(value);
         }
+        let distinct = dictionary.len();
         let uniqueness = if tuples == 0 {
             0.0
         } else {
-            distinct.len() as f64 / tuples as f64
+            distinct as f64 / tuples as f64
         };
-        let inline_values = if distinct.len() <= MAX_INLINE_VALUES {
-            Some(distinct.clone())
+        let inline_values = if distinct <= MAX_INLINE_VALUES {
+            Some(dictionary.iter().map(|&v| v.clone()).collect())
         } else {
             None
         };
@@ -112,7 +146,7 @@ pub fn profile_relation(instance: &RelationInstance) -> RelationProfile {
             attr,
             name: schema.attr_name(attr).to_string(),
             domain: schema.domain(attr).clone(),
-            distinct: distinct.len(),
+            distinct,
             nulls,
             uniqueness,
             inline_values,
@@ -131,7 +165,7 @@ pub fn profile_relation(instance: &RelationInstance) -> RelationProfile {
                 if unary_keys.contains(&a) || unary_keys.contains(&b) {
                     continue;
                 }
-                let distinct_pairs = instance.project_distinct(&[a, b]).len();
+                let distinct_pairs = pool.interned_for(instance, &[a, b], threads).group_count();
                 if distinct_pairs == tuples {
                     binary_keys.push((a, b));
                 }
@@ -148,9 +182,12 @@ pub fn profile_relation(instance: &RelationInstance) -> RelationProfile {
     }
 }
 
-/// Profiles every relation of a database.
+/// Profiles every relation of a database, sharing one index pool.
 pub fn profile_database(db: &Database) -> Vec<RelationProfile> {
-    db.iter().map(|(_, inst)| profile_relation(inst)).collect()
+    let pool = Arc::new(IndexPool::new());
+    db.iter()
+        .map(|(_, inst)| profile_relation_pooled(inst, &pool))
+        .collect()
 }
 
 #[cfg(test)]
@@ -227,6 +264,47 @@ mod tests {
         let profile = profile_relation(&sample());
         assert_eq!(profile.categorical_attributes(8), vec![1]);
         assert_eq!(profile.identifier_attributes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn mixed_numeric_distinct_counts_follow_value_order() {
+        // `Value`'s Ord compares Int(0) and Real(0.0) as equal while Eq
+        // (and hence the dictionary) distinguishes them; the profile must
+        // keep the legacy Ord-based distinct semantics.
+        let universe: Arc<[Value]> = vec![
+            Value::int(0),
+            Value::real(0.0),
+            Value::int(1),
+            Value::str("x"),
+            Value::str("y"),
+        ]
+        .into();
+        let schema = Arc::new(RelationSchema::new(
+            "m",
+            vec![
+                ("n", Domain::Finite(Arc::clone(&universe))),
+                ("s", Domain::Finite(universe)),
+            ],
+        ));
+        let mut inst = RelationInstance::new(schema);
+        for (n, s) in [
+            (Value::int(0), Value::str("x")),
+            (Value::real(0.0), Value::str("x")),
+        ] {
+            inst.insert_values(vec![n, s]).unwrap();
+        }
+        let profile = profile_relation(&inst);
+        // Int(0) and Real(0.0) collapse under Ord: one distinct value (the
+        // legacy per-column scan deduped through BTreeSet *inserts*).
+        assert_eq!(profile.columns[0].distinct, 1);
+        assert_eq!(profile.columns[0].inline_values.as_ref().unwrap().len(), 1);
+        assert!(!profile.columns[0].is_unique());
+        assert_eq!(profile.columns[1].distinct, 1);
+        // Pair projections were deduped by the legacy `project_distinct`
+        // via `collect`, i.e. by Eq — (Int(0), "x") and (Real(0.0), "x")
+        // stay distinct — so (n, s) is a binary key under both paths.
+        assert_eq!(inst.project_distinct(&[0, 1]).len(), inst.len());
+        assert!(profile.binary_keys.contains(&(0, 1)));
     }
 
     #[test]

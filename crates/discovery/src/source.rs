@@ -1,0 +1,201 @@
+//! A shared partition source for level-wise discovery.
+//!
+//! TANE-style discovery asks for the partitions of many overlapping
+//! attribute sets — `π_X` for every candidate LHS `X` and `π_{X ∪ {A}}` for
+//! every candidate FD `X → A`.  Rebuilding each one from the row store
+//! (hashing a `Vec<Value>` projection per tuple per candidate) is the
+//! dominant cost of discovery on large instances.  [`PartitionSource`]
+//! instead serves every request from three layers of reuse:
+//!
+//! 1. **interned indexes** — single-attribute partitions fall out of the
+//!    CSR postings of [`dq_relation::InternedIndex`]es, pooled in a shared
+//!    [`IndexPool`] keyed by `(instance, version, attrs)`, so the same
+//!    physical index also serves detection and repair;
+//! 2. **partition products** — multi-attribute partitions are computed as
+//!    `π_X · π_A` over already-cached partitions through a reusable
+//!    [`PartitionProber`] probe table (stripped partitions shrink rapidly
+//!    with width, so products touch far fewer tuples than a rebuild);
+//! 3. **memoization** — partitions are cached by their sorted attribute
+//!    set, so `X` and any permutation of `X` share one materialization
+//!    across FD discovery, CFD conditioning and profiling.
+//!
+//! The legacy `Vec<Value>`-keyed path ([`StrippedPartition::build`]) stays
+//! available behind the same interface for equivalence testing and for the
+//! `--discovery-bench` comparison.
+
+use crate::partition::{g3_error, g3_error_interned, PartitionProber, StrippedPartition};
+use dq_relation::{IndexPool, RelationInstance};
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+/// Serves stripped partitions (and `g3` errors) for one instance, either
+/// from pooled interned indexes (the fast path) or from the legacy
+/// value-keyed builds.
+pub struct PartitionSource<'a> {
+    instance: &'a RelationInstance,
+    pool: Arc<IndexPool>,
+    threads: usize,
+    interned: bool,
+    cache: HashMap<Vec<usize>, Arc<StrippedPartition>>,
+    prober: PartitionProber,
+    built: usize,
+}
+
+impl<'a> PartitionSource<'a> {
+    /// An interned source over a shared pool, parallelizing cold index
+    /// builds across up to `threads` workers.
+    pub fn interned(instance: &'a RelationInstance, pool: Arc<IndexPool>, threads: usize) -> Self {
+        PartitionSource {
+            instance,
+            pool,
+            threads: threads.max(1),
+            interned: true,
+            cache: HashMap::new(),
+            prober: PartitionProber::new(),
+            built: 0,
+        }
+    }
+
+    /// The legacy source: every partition is built from the row store with
+    /// `Vec<Value>` keys.  Kept for equivalence tests and benchmarks.
+    pub fn naive(instance: &'a RelationInstance) -> Self {
+        PartitionSource {
+            instance,
+            pool: Arc::new(IndexPool::new()),
+            threads: 1,
+            interned: false,
+            cache: HashMap::new(),
+            prober: PartitionProber::new(),
+            built: 0,
+        }
+    }
+
+    /// An interned source with a private pool sized to the machine.
+    pub fn with_fresh_pool(instance: &'a RelationInstance) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::interned(instance, Arc::new(IndexPool::new()), threads)
+    }
+
+    /// Number of partitions materialized so far (cache hits excluded).
+    pub fn partitions_built(&self) -> usize {
+        self.built
+    }
+
+    /// The shared index pool behind the interned path.
+    pub fn pool(&self) -> &Arc<IndexPool> {
+        &self.pool
+    }
+
+    /// The stripped partition of the instance on `attrs` (order and
+    /// duplicates ignored), memoized by sorted attribute set.
+    pub fn partition(&mut self, attrs: &[usize]) -> Arc<StrippedPartition> {
+        let mut key = attrs.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(p) = self.cache.get(&key) {
+            return Arc::clone(p);
+        }
+        self.built += 1;
+        let partition = if !self.interned {
+            Arc::new(StrippedPartition::build(self.instance, &key))
+        } else if key.len() <= 1 {
+            let index = self.pool.interned_for(self.instance, &key, self.threads);
+            Arc::new(StrippedPartition::from_interned(&index))
+        } else {
+            // π_{X ∪ {A}} = π_X · π_A over the reusable probe table; both
+            // operands come out of this cache (built recursively on a cold
+            // miss), so a level-wise sweep touches each index once.
+            let (rest, last) = key.split_at(key.len() - 1);
+            let left = self.partition(rest);
+            let right = self.partition(last);
+            Arc::new(left.product_with(&right, &mut self.prober))
+        };
+        self.cache.insert(key, Arc::clone(&partition));
+        partition
+    }
+
+    /// The `g3` error of `lhs → rhs`, routed through the pooled interned
+    /// index of `lhs` on the fast path.
+    pub fn g3(&mut self, lhs: &[usize], rhs: &[usize]) -> f64 {
+        if self.interned {
+            let index = self.pool.interned_for(self.instance, lhs, self.threads);
+            g3_error_interned(&index, self.instance, rhs)
+        } else {
+            g3_error(self.instance, lhs, rhs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_relation::{Domain, RelationSchema, Value};
+
+    fn instance() -> RelationInstance {
+        let schema = RelationSchema::new(
+            "r",
+            [("a", Domain::Text), ("b", Domain::Text), ("c", Domain::Int)],
+        );
+        let mut inst = RelationInstance::from_schema(schema);
+        for (a, b, c) in [
+            ("x", "p", 1),
+            ("x", "p", 1),
+            ("x", "q", 1),
+            ("y", "p", 2),
+            ("y", "p", 2),
+            ("z", "q", 3),
+        ] {
+            inst.insert_values([Value::str(a), Value::str(b), Value::int(c)])
+                .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn interned_source_matches_naive_builds() {
+        let inst = instance();
+        let mut fast = PartitionSource::with_fresh_pool(&inst);
+        let mut slow = PartitionSource::naive(&inst);
+        for attrs in [&[0usize][..], &[1], &[2], &[0, 1], &[1, 2], &[0, 1, 2], &[]] {
+            assert_eq!(
+                *fast.partition(attrs),
+                *slow.partition(attrs),
+                "attrs {attrs:?}"
+            );
+            assert_eq!(
+                *fast.partition(attrs),
+                StrippedPartition::build(&inst, attrs),
+                "attrs {attrs:?} vs direct build"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_are_memoized_across_permutations() {
+        let inst = instance();
+        let mut source = PartitionSource::with_fresh_pool(&inst);
+        let a = source.partition(&[0, 1]);
+        let built = source.partitions_built();
+        let b = source.partition(&[1, 0]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(source.partitions_built(), built, "permutation is a hit");
+    }
+
+    #[test]
+    fn g3_agrees_between_paths() {
+        let inst = instance();
+        let mut fast = PartitionSource::with_fresh_pool(&inst);
+        let mut slow = PartitionSource::naive(&inst);
+        for (lhs, rhs) in [
+            (&[0usize][..], &[1usize][..]),
+            (&[1], &[0]),
+            (&[0, 1], &[2]),
+            (&[2], &[0]),
+        ] {
+            assert_eq!(fast.g3(lhs, rhs), slow.g3(lhs, rhs), "{lhs:?} -> {rhs:?}");
+        }
+    }
+}

@@ -111,6 +111,10 @@ pub struct IndexPoolStats {
     pub hits: u64,
     /// Requests that had to build an index.
     pub misses: u64,
+    /// Misses served by extending a cached index of an older version after
+    /// append-only mutations, instead of a full rebuild (a subset of
+    /// `misses`).
+    pub appends: u64,
     /// Indexes currently cached.
     pub entries: usize,
 }
@@ -136,6 +140,7 @@ pub struct IndexPool {
     interned: Mutex<HashMap<PoolKey, Arc<InternedIndex>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    appends: AtomicU64,
 }
 
 impl Default for IndexPool {
@@ -161,6 +166,7 @@ impl IndexPool {
             interned: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
         }
     }
 
@@ -172,16 +178,22 @@ impl IndexPool {
     /// single detection batch needing more distinct indexes than `capacity`
     /// keeps them all — evicting live-version entries mid-batch would
     /// silently rebuild every index twice.
+    /// `keep_stale` may exempt selected stale entries of the requested
+    /// instance from the eager purge (the interned cache keeps the latest
+    /// append-extendable entry per *other* attribute list alive so it can
+    /// still serve as an extension donor; growth stays bounded because each
+    /// attribute list's own insert drops its predecessors).
     fn insert_evicting<V>(
         cache: &mut HashMap<PoolKey, V>,
         key: PoolKey,
         built: V,
         capacity: usize,
+        keep_stale: impl Fn(&PoolKey) -> bool,
     ) -> V
     where
         V: Clone,
     {
-        cache.retain(|(id, version, _), _| *id != key.0 || *version == key.1);
+        cache.retain(|cached, _| cached.0 != key.0 || cached.1 == key.1 || keep_stale(cached));
         if cache.len() >= capacity {
             cache.retain(|(id, version, _), _| *id == key.0 && *version == key.1);
         }
@@ -202,12 +214,19 @@ impl IndexPool {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(HashIndex::build(instance, attrs));
         let mut cache = self.cache.lock().expect("index pool poisoned");
-        Self::insert_evicting(&mut cache, key, built, self.capacity)
+        Self::insert_evicting(&mut cache, key, built, self.capacity, |_| false)
     }
 
     /// The interned (compact-key, CSR) index of `instance` on `attrs`, built
     /// at most once per instance version over the instance's columnar
     /// snapshot, using up to `threads` workers for a cold build.
+    ///
+    /// When the pool holds an index of an older version of the same
+    /// instance on the same attributes and the instance has only *grown*
+    /// since ([`RelationInstance::append_only_since`]), the miss is served
+    /// by [`InternedIndex::try_extended`] — re-keying only the appended rows
+    /// — rather than a full rebuild; any non-append mutation falls back to
+    /// rebuilding.
     pub fn interned_for(
         &self,
         instance: &RelationInstance,
@@ -215,15 +234,43 @@ impl IndexPool {
         threads: usize,
     ) -> Arc<InternedIndex> {
         let key: PoolKey = (instance.instance_id(), instance.version(), attrs.to_vec());
-        if let Some(hit) = self.interned.lock().expect("index pool poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
+        let predecessor = {
+            let cache = self.interned.lock().expect("index pool poisoned");
+            if let Some(hit) = cache.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+            // Best append-extendable predecessor: same instance and
+            // attributes, older version, nothing but inserts in between.
+            cache
+                .iter()
+                .filter(|((id, version, cached_attrs), _)| {
+                    *id == key.0
+                        && *version < key.1
+                        && cached_attrs == attrs
+                        && instance.append_only_since(*version)
+                })
+                .max_by_key(|((_, version, _), _)| *version)
+                .map(|(_, idx)| Arc::clone(idx))
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
         let store = instance.columnar();
-        let built = Arc::new(InternedIndex::build(instance, &store, attrs, threads));
+        let extended = predecessor
+            .and_then(|prev| InternedIndex::try_extended(&prev, instance, &store))
+            .inspect(|_| {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+            });
+        let built = Arc::new(
+            extended.unwrap_or_else(|| InternedIndex::build(instance, &store, attrs, threads)),
+        );
         let mut cache = self.interned.lock().expect("index pool poisoned");
-        Self::insert_evicting(&mut cache, key, built, self.capacity)
+        // Stale entries on *other* attribute lists stay alive while they
+        // remain append-extendable, so one growth round can extend every
+        // cached index, not just the first one re-requested; this insert
+        // still drops this attribute list's own predecessors.
+        Self::insert_evicting(&mut cache, key, built, self.capacity, |cached| {
+            cached.2 != *attrs && instance.append_only_since(cached.1)
+        })
     }
 
     /// Drops every cached index of `instance` (any version).  Mutations make
@@ -251,6 +298,7 @@ impl IndexPool {
         IndexPoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
             entries: self.cache.lock().expect("index pool poisoned").len()
                 + self.interned.lock().expect("index pool poisoned").len(),
         }
@@ -483,6 +531,60 @@ mod tests {
         let ids: Vec<TupleId> = rows.iter().map(|&r| a.tuple_id(r)).collect();
         assert_eq!(ids, baseline.get(&[Value::int(1), Value::str("x")]));
         assert!(pool.approx_interned_bytes() > 0);
+    }
+
+    #[test]
+    fn append_only_growth_extends_pooled_interned_indexes() {
+        let mut inst = instance();
+        let pool = IndexPool::new();
+        pool.interned_for(&inst, &[0, 1], 1);
+        assert_eq!(pool.stats().appends, 0);
+        // Appending rows whose key-column values are already interned lets
+        // the pool extend the cached index instead of rebuilding it.
+        for _ in 0..3 {
+            inst.insert_values([Value::int(1), Value::str("x"), Value::str("r")])
+                .unwrap();
+            let idx = pool.interned_for(&inst, &[0, 1], 1);
+            let baseline = HashIndex::build(&inst, &[0, 1]);
+            assert_eq!(idx.group_count(), baseline.len());
+            for (key, group) in baseline.groups() {
+                let ids: Vec<TupleId> = idx
+                    .rows_for_values(key)
+                    .iter()
+                    .map(|&r| idx.tuple_id(r))
+                    .collect();
+                assert_eq!(&ids, group);
+            }
+        }
+        assert_eq!(pool.stats().appends, 3, "every growth round extends");
+        // A non-append mutation (cell update) disables the fast path.
+        inst.update_cell(
+            crate::instance::CellRef::new(TupleId(0), 2),
+            Value::str("zz"),
+        );
+        pool.interned_for(&inst, &[0, 1], 1);
+        assert_eq!(pool.stats().appends, 3, "update forces a full rebuild");
+    }
+
+    #[test]
+    fn every_cached_attr_set_extends_after_one_append() {
+        // Regression test: inserting the first re-requested index after an
+        // append used to purge the other attribute lists' stale entries, so
+        // only one index per growth round could take the extension path.
+        let mut inst = instance();
+        let pool = IndexPool::new();
+        let attr_sets: [&[usize]; 3] = [&[0], &[1], &[0, 1]];
+        for attrs in attr_sets {
+            pool.interned_for(&inst, attrs, 1);
+        }
+        inst.insert_values([Value::int(2), Value::str("y"), Value::str("q")])
+            .unwrap();
+        for attrs in attr_sets {
+            pool.interned_for(&inst, attrs, 1);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.appends, 3, "all three indexes extend");
+        assert_eq!(stats.entries, 3, "stale donors are gone after reuse");
     }
 
     #[test]

@@ -63,6 +63,12 @@ pub struct RelationInstance {
     live: usize,
     instance_id: u64,
     version: u64,
+    /// The version as of the last mutation that was *not* an insertion
+    /// (removal, cell update, mutable tuple access).  Snapshots and indexes
+    /// taken at or after this version can be extended in place when the
+    /// instance has only grown since — see
+    /// [`append_only_since`](Self::append_only_since).
+    last_non_append_version: u64,
     /// Version-tagged columnar snapshot, built lazily by
     /// [`columnar`](Self::columnar) and dropped (logically) by the version
     /// check after any mutation.  Never cloned: the cache is an
@@ -81,6 +87,7 @@ impl Clone for RelationInstance {
             live: self.live,
             instance_id: fresh_instance_id(),
             version: 0,
+            last_non_append_version: 0,
             columnar: Mutex::new(None),
         }
     }
@@ -95,6 +102,7 @@ impl RelationInstance {
             live: 0,
             instance_id: fresh_instance_id(),
             version: 0,
+            last_non_append_version: 0,
             columnar: Mutex::new(None),
         }
     }
@@ -120,6 +128,16 @@ impl RelationInstance {
     /// (including mutable tuple access, conservatively).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// True when every mutation after `version` (up to the current version)
+    /// was an insertion: the tuples live at `version` are still live and
+    /// unchanged, in the same order, so a snapshot or index taken at
+    /// `version` is a *prefix* of the current state and can be extended in
+    /// place instead of rebuilt.  Removals, cell updates and mutable tuple
+    /// access all break the property until the next snapshot.
+    pub fn append_only_since(&self, version: u64) -> bool {
+        version <= self.version && version >= self.last_non_append_version
     }
 
     /// Number of (live) tuples.
@@ -174,6 +192,7 @@ impl RelationInstance {
         if removed.is_some() {
             self.live -= 1;
             self.version += 1;
+            self.last_non_append_version = self.version;
         }
         removed
     }
@@ -190,6 +209,7 @@ impl RelationInstance {
         let slot = self.tuples.get_mut(id.0).and_then(|t| t.as_mut());
         if slot.is_some() {
             self.version += 1;
+            self.last_non_append_version = self.version;
         }
         slot
     }
@@ -243,12 +263,20 @@ impl RelationInstance {
     /// [`crate::index::IndexPool`] derive interned indexes from it while the
     /// row-oriented API above stays the source of truth.  Mutating the
     /// instance does not touch existing snapshots (they are immutable
-    /// `Arc`s); the next call simply builds a fresh one.
+    /// `Arc`s); the next call builds a fresh one — except after append-only
+    /// mutations, where the stale snapshot is *extended*: existing rows and
+    /// dictionaries are reused and only the appended tuples are encoded
+    /// (the incremental-detection fast path).
     pub fn columnar(&self) -> Arc<ColumnarStore> {
         let mut cache = self.columnar.lock().expect("columnar cache poisoned");
         if let Some(store) = cache.as_ref() {
             if store.version() == self.version {
                 return Arc::clone(store);
+            }
+            if self.append_only_since(store.version()) {
+                let extended = Arc::new(ColumnarStore::extended(store, self));
+                *cache = Some(Arc::clone(&extended));
+                return extended;
             }
         }
         let store = Arc::new(ColumnarStore::new(self));

@@ -65,6 +65,22 @@ impl Column {
     pub fn approx_heap_bytes(&self) -> usize {
         self.ids.capacity() * size_of::<ValueId>() + self.interner.approx_heap_bytes()
     }
+
+    /// A copy of this column covering the old rows plus `new_rows`: the
+    /// dictionary and the existing id vector are cloned wholesale (no
+    /// re-hashing of old cells) and only the appended cells are interned.
+    /// Ids of values already in the dictionary are unchanged, so structures
+    /// keyed on them stay valid.
+    fn extended(&self, instance: &RelationInstance, attr: usize, new_rows: &[TupleId]) -> Column {
+        let mut interner = self.interner.clone();
+        let mut ids = Vec::with_capacity(self.ids.len() + new_rows.len());
+        ids.extend_from_slice(&self.ids);
+        for &id in new_rows {
+            let tuple = instance.tuple(id).expect("appended row is live");
+            ids.push(interner.intern(tuple.get(attr)));
+        }
+        Column { interner, ids }
+    }
 }
 
 /// Aggregate counters of a [`ColumnarStore`], reported by the bench harness.
@@ -115,6 +131,63 @@ impl ColumnarStore {
             columns: (0..instance.schema().arity())
                 .map(|_| OnceLock::new())
                 .collect(),
+        }
+    }
+
+    /// Extends a previous snapshot of the same instance after append-only
+    /// mutations: the old rows, row index and every column already built on
+    /// `prev` are reused (dictionaries cloned, old ids memcpy'd) and only
+    /// the appended tuples are encoded, instead of re-interning the whole
+    /// instance.  Columns `prev` never built stay lazy.
+    ///
+    /// The caller must guarantee that every mutation between
+    /// `prev.version()` and the instance's current version was an insertion
+    /// ([`RelationInstance::append_only_since`]); under that guarantee the
+    /// live rows of `prev` are a prefix of the current live rows.
+    pub fn extended(prev: &ColumnarStore, instance: &RelationInstance) -> Self {
+        assert_eq!(
+            prev.instance_id,
+            instance.instance_id(),
+            "snapshot extended for a different instance"
+        );
+        debug_assert!(instance.append_only_since(prev.version));
+        let mut rows = Vec::with_capacity(instance.len());
+        rows.extend_from_slice(&prev.rows);
+        let mut row_index = prev.row_index.clone();
+        // Append-only mutations never touch existing slots, so every live
+        // tuple in a slot beyond the old row index is an appended one.
+        let first_new_slot = prev.row_index.len();
+        let mut new_rows = Vec::with_capacity(instance.len() - prev.rows.len());
+        for (id, _) in instance.iter() {
+            if id.0 < first_new_slot {
+                continue;
+            }
+            while row_index.len() < id.0 {
+                row_index.push(u32::MAX);
+            }
+            row_index.push(u32::try_from(rows.len()).expect("instance larger than u32::MAX rows"));
+            rows.push(id);
+            new_rows.push(id);
+        }
+        let columns: Vec<OnceLock<Arc<Column>>> = prev
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(attr, slot)| {
+                let lock = OnceLock::new();
+                if let Some(col) = slot.get() {
+                    lock.set(Arc::new(col.extended(instance, attr, &new_rows)))
+                        .expect("freshly created lock is empty");
+                }
+                lock
+            })
+            .collect();
+        ColumnarStore {
+            instance_id: prev.instance_id,
+            version: instance.version(),
+            rows,
+            row_index,
+            columns,
         }
     }
 
@@ -286,6 +359,57 @@ mod tests {
             .map(|s| store.shard_rows(s).len())
             .sum();
         assert_eq!(covered, store.len());
+    }
+
+    #[test]
+    fn extended_snapshot_equals_fresh_build() {
+        let mut inst = instance();
+        let prev = inst.columnar();
+        prev.column(&inst, 0); // built column gets extended eagerly
+        for (a, b) in [(2, "z"), (1, "x"), (9, "w")] {
+            inst.insert_values([Value::int(a), Value::str(b)]).unwrap();
+        }
+        assert!(inst.append_only_since(prev.version()));
+        let extended = ColumnarStore::extended(&prev, &inst);
+        let fresh = ColumnarStore::new(&inst);
+        assert_eq!(extended.version(), inst.version());
+        assert_eq!(extended.rows(), fresh.rows());
+        assert!(extended.built_column(0).is_some(), "built column extended");
+        assert!(
+            extended.built_column(1).is_none(),
+            "unbuilt column stays lazy"
+        );
+        for attr in 0..2 {
+            let e = extended.column(&inst, attr);
+            let f = fresh.column(&inst, attr);
+            for row in 0..extended.len() {
+                assert_eq!(
+                    e.interner().resolve(e.id_at(row)),
+                    f.interner().resolve(f.id_at(row)),
+                    "attr {attr} row {row}"
+                );
+            }
+            // Shared prefixes receive identical ids (first-seen order).
+            assert_eq!(e.ids(), f.ids(), "attr {attr}");
+        }
+    }
+
+    #[test]
+    fn extension_skips_dead_slots_from_before_the_snapshot() {
+        let mut inst = instance();
+        inst.remove(TupleId(3)); // trailing slot dead before the snapshot
+        let prev = inst.columnar();
+        prev.column(&inst, 1);
+        inst.insert_values([Value::int(7), Value::str("q")])
+            .unwrap();
+        let extended = inst.columnar();
+        assert_eq!(extended.len(), 4);
+        assert_eq!(extended.row_of(TupleId(3)), None);
+        assert_eq!(extended.row_of(TupleId(4)), Some(3));
+        let fresh = ColumnarStore::new(&inst);
+        assert_eq!(extended.rows(), fresh.rows());
+        let col = extended.column(&inst, 1);
+        assert_eq!(col.interner().resolve(col.id_at(3)), &Value::str("q"));
     }
 
     #[test]

@@ -251,6 +251,90 @@ impl InternedIndex {
         }
     }
 
+    /// Extends `prev` — an index of the same instance on the same attribute
+    /// list, built at an earlier version — after append-only mutations:
+    /// the group table is cloned, the old CSR postings are memcpy'd group by
+    /// group, and only the *appended* rows are packed and hashed.  Returns
+    /// `None` when the old key packing cannot be reused — a mixed-radix
+    /// `u64` codec whose per-column radices a new dictionary entry outgrew
+    /// (re-packing old keys would change them) — in which case the caller
+    /// falls back to a full rebuild.
+    ///
+    /// `store` must be the current columnar snapshot of `instance`, and the
+    /// caller must guarantee the append-only property between the two
+    /// versions ([`RelationInstance::append_only_since`]); shared prefix
+    /// rows then receive identical dictionary ids (dictionaries assign ids
+    /// in first-seen row order), so extended groups equal built-from-scratch
+    /// groups exactly.
+    pub fn try_extended(
+        prev: &InternedIndex,
+        instance: &RelationInstance,
+        store: &Arc<ColumnarStore>,
+    ) -> Option<InternedIndex> {
+        if store.instance_id() != prev.store.instance_id() || store.len() < prev.store.len() {
+            return None;
+        }
+        let columns: Vec<Arc<Column>> = prev
+            .attrs
+            .iter()
+            .map(|&a| store.column(instance, a))
+            .collect();
+        if let Repr::Radix(radices) = &prev.codec.repr {
+            // New distinct values beyond a column's old radix would make the
+            // mixed-radix packing of *old* rows ambiguous; the shift and
+            // wide packings are radix-free and always extendable.
+            if columns
+                .iter()
+                .zip(radices)
+                .any(|(col, &radix)| col.distinct() as u64 > radix)
+            {
+                return None;
+            }
+        }
+        let codec = KeyCodec {
+            columns,
+            repr: prev.codec.repr.clone(),
+        };
+        let new_rows = prev.store.len()..store.len();
+        let (map, offsets, postings) = match (&prev.map, &codec.repr) {
+            (GroupMap::U64(m), Repr::Radix(radices)) => {
+                let (map, offsets, postings) =
+                    extend_groups(m, &prev.offsets, &prev.postings, new_rows, |row| {
+                        KeyCodec::pack_u64_row(radices, &codec.columns, row)
+                    });
+                (GroupMap::U64(map), offsets, postings)
+            }
+            (GroupMap::U128(m), Repr::Shift) => {
+                let (map, offsets, postings) =
+                    extend_groups(m, &prev.offsets, &prev.postings, new_rows, |row| {
+                        KeyCodec::pack_u128_row(&codec.columns, row)
+                    });
+                (GroupMap::U128(map), offsets, postings)
+            }
+            (GroupMap::Wide(m), Repr::Wide) => {
+                let (map, offsets, postings) =
+                    extend_groups(m, &prev.offsets, &prev.postings, new_rows, |row| {
+                        codec
+                            .columns
+                            .iter()
+                            .map(|c| c.id_at(row))
+                            .collect::<Vec<_>>()
+                            .into_boxed_slice()
+                    });
+                (GroupMap::Wide(map), offsets, postings)
+            }
+            _ => unreachable!("map variant always matches codec repr"),
+        };
+        Some(InternedIndex {
+            attrs: prev.attrs.clone(),
+            store: Arc::clone(store),
+            codec,
+            map,
+            offsets,
+            postings,
+        })
+    }
+
     /// The attribute positions this index is keyed on.
     pub fn attrs(&self) -> &[usize] {
         &self.attrs
@@ -360,6 +444,16 @@ impl InternedIndex {
     /// Iterates over `(key ids, group rows)` pairs in unspecified order.
     pub fn groups(&self) -> Box<dyn Iterator<Item = (Vec<ValueId>, &[u32])> + '_> {
         self.groups_with_min(0)
+    }
+
+    /// Iterates over the row slices of every group, in CSR (first-seen)
+    /// order, without touching the key map at all.  Consumers that only
+    /// need the grouping — stripped partitions, `g3` tallies — skip the
+    /// per-group key decode entirely.
+    pub fn group_rows_iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.postings[w[0] as usize..w[1] as usize])
     }
 
     /// Groups containing at least two rows — the only candidates for
@@ -516,6 +610,64 @@ fn build_groups<K: Eq + Hash + Clone + Send>(
     (map, offsets, postings)
 }
 
+/// Append-only CSR extension: clone the group map, key and hash only the
+/// rows of `new_rows`, then lay out a fresh offsets/postings pair in which
+/// each group's old postings are copied verbatim ahead of its new rows.
+/// Old rows precede new rows, so postings stay ascending within each group.
+fn extend_groups<K: Eq + Hash + Clone>(
+    prev_map: &FxHashMap<K, u32>,
+    prev_offsets: &[u32],
+    prev_postings: &[u32],
+    new_rows: std::ops::Range<usize>,
+    key_at: impl Fn(usize) -> K,
+) -> (FxHashMap<K, u32>, Vec<u32>, Vec<u32>) {
+    let mut map = prev_map.clone();
+    let old_groups = prev_offsets.len().saturating_sub(1);
+    let mut added: Vec<u32> = vec![0; old_groups];
+    let mut row_groups: Vec<u32> = Vec::with_capacity(new_rows.len());
+    for row in new_rows.clone() {
+        let key = key_at(row);
+        let next = added.len() as u32;
+        let before = map.len();
+        let group = *map.entry(key).or_insert(next);
+        if map.len() > before {
+            added.push(0);
+        }
+        added[group as usize] += 1;
+        row_groups.push(group);
+    }
+    let groups = added.len();
+    let mut offsets = Vec::with_capacity(groups + 1);
+    offsets.push(0u32);
+    let mut acc = 0u32;
+    for (g, &extra) in added.iter().enumerate() {
+        let old_count = if g < old_groups {
+            prev_offsets[g + 1] - prev_offsets[g]
+        } else {
+            0
+        };
+        acc += old_count + extra;
+        offsets.push(acc);
+    }
+    let mut cursors: Vec<u32> = Vec::with_capacity(groups);
+    let mut postings = vec![0u32; prev_postings.len() + row_groups.len()];
+    for g in 0..groups {
+        let start = offsets[g];
+        cursors.push(start);
+        if g < old_groups {
+            let old = &prev_postings[prev_offsets[g] as usize..prev_offsets[g + 1] as usize];
+            postings[start as usize..start as usize + old.len()].copy_from_slice(old);
+            cursors[g] += old.len() as u32;
+        }
+    }
+    for (i, &g) in row_groups.iter().enumerate() {
+        postings[cursors[g as usize] as usize] = (new_rows.start + i) as u32;
+        cursors[g as usize] += 1;
+    }
+    map.shrink_to_fit();
+    (map, offsets, postings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,6 +806,73 @@ mod tests {
         let idx = InternedIndex::build(&inst, &store, &[0], 1);
         assert!(idx.is_empty());
         assert!(idx.rows_for_values(&[Value::int(1)]).is_empty());
+    }
+
+    #[test]
+    fn extended_index_equals_fresh_build() {
+        // Repeating value pools keep per-column distinct counts stable, so
+        // the mixed-radix u64 codec survives the extension.
+        let mut inst = instance(40);
+        let prev_store = inst.columnar();
+        let prev = InternedIndex::build(&inst, &prev_store, &[0, 1], 1);
+        for i in 40..100usize {
+            inst.insert_values([
+                Value::int((i % 7) as i64),
+                Value::str(format!("s{}", i % 5)),
+                Value::int(i as i64),
+            ])
+            .unwrap();
+        }
+        let store = inst.columnar();
+        let extended = InternedIndex::try_extended(&prev, &inst, &store)
+            .expect("no new dictionary entries on the key columns");
+        let fresh = InternedIndex::build(&inst, &store, &[0, 1], 1);
+        assert_eq!(canonical_interned(&extended), canonical_interned(&fresh));
+        for (_, rows) in extended.groups() {
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows ascend");
+        }
+    }
+
+    #[test]
+    fn extension_declines_when_radix_packing_outgrown() {
+        let mut inst = instance(30);
+        let prev_store = inst.columnar();
+        let prev = InternedIndex::build(&inst, &prev_store, &[0, 1], 1);
+        // A brand-new B value outgrows that column's radix.
+        inst.insert_values([Value::int(1), Value::str("unseen"), Value::int(999)])
+            .unwrap();
+        let store = inst.columnar();
+        assert!(InternedIndex::try_extended(&prev, &inst, &store).is_none());
+    }
+
+    #[test]
+    fn wide_and_shift_codecs_extend_under_new_values() {
+        // 2^16 distinct values per column overflow the u64 radix product on
+        // four columns (shift packing) and on six (wide packing); both are
+        // radix-free and must extend even when dictionaries grow.
+        let schema = RelationSchema::new("w", (0..6).map(|i| (format!("A{i}"), Domain::Int)));
+        let mut inst = RelationInstance::from_schema(schema);
+        let base = 1i64 << 16;
+        for i in 0..base {
+            inst.insert_values((0..6).map(|j| Value::int(i + j * base)))
+                .unwrap();
+        }
+        let shift_attrs: Vec<usize> = (0..4).collect();
+        let wide_attrs: Vec<usize> = (0..6).collect();
+        let prev_store = inst.columnar();
+        let prev_shift = InternedIndex::build(&inst, &prev_store, &shift_attrs, 1);
+        let prev_wide = InternedIndex::build(&inst, &prev_store, &wide_attrs, 1);
+        for i in base..base + 10 {
+            inst.insert_values((0..6).map(|j| Value::int(i + j * base)))
+                .unwrap();
+        }
+        let store = inst.columnar();
+        for (prev, attrs) in [(prev_shift, shift_attrs), (prev_wide, wide_attrs)] {
+            let extended = InternedIndex::try_extended(&prev, &inst, &store)
+                .expect("radix-free packing extends");
+            let fresh = InternedIndex::build(&inst, &store, &attrs, 1);
+            assert_eq!(canonical_interned(&extended), canonical_interned(&fresh));
+        }
     }
 
     #[test]

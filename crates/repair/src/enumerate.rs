@@ -7,6 +7,7 @@
 //! scale (a single key over `D_n` admits `2^n` repairs), and
 //! [`count_repairs`] exposes exactly that growth for the benchmark.
 
+use dq_core::engine::DetectionEngine;
 use dq_core::DenialConstraint;
 use dq_relation::{RelationInstance, TupleId};
 use std::collections::BTreeSet;
@@ -18,6 +19,19 @@ pub fn enumerate_repairs(
     instance: &RelationInstance,
     constraints: &[DenialConstraint],
 ) -> Vec<RelationInstance> {
+    enumerate_repairs_with_engine(instance, constraints, &DetectionEngine::new())
+}
+
+/// [`enumerate_repairs`] with the per-candidate consistency checks routed
+/// through a shared [`DetectionEngine`]: FD- and key-shaped constraints are
+/// evaluated over pooled interned partitions on their equality attributes
+/// (same canonical violation order as the naive scan) instead of the
+/// quadratic pair loop; other shapes fall back to the naive evaluator.
+pub fn enumerate_repairs_with_engine(
+    instance: &RelationInstance,
+    constraints: &[DenialConstraint],
+    engine: &DetectionEngine,
+) -> Vec<RelationInstance> {
     let mut seen_kept: BTreeSet<Vec<TupleId>> = BTreeSet::new();
     let mut out = Vec::new();
     let mut stack = vec![instance.clone()];
@@ -25,7 +39,15 @@ pub fn enumerate_repairs(
         // Find the first outstanding conflict.
         let mut first_conflict: Option<Vec<TupleId>> = None;
         for c in constraints {
-            let v = c.violations(&current);
+            let v = match c.pair_partition_attrs() {
+                Some(attrs) => {
+                    let index = engine
+                        .pool()
+                        .interned_for(&current, &attrs, engine.threads());
+                    c.violations_with_interned_index(&current, &index)
+                }
+                None => c.violations(&current),
+            };
             if let Some(edge) = v.into_iter().next() {
                 first_conflict = Some(edge);
                 break;

@@ -26,18 +26,24 @@ pub mod xrepair;
 
 /// Frequently used items.
 pub mod prelude {
-    pub use crate::enumerate::{count_repairs, enumerate_repairs, example_5_1_instance};
+    pub use crate::enumerate::{
+        count_repairs, enumerate_repairs, enumerate_repairs_with_engine, example_5_1_instance,
+    };
     pub use crate::insertion::{
         repair_cind_violations_by_insertion, InsertionOutcome, InsertionRepairConfig,
     };
     pub use crate::model::{
-        check_u_repair, check_x_repair, RepairCost, RepairLog, RepairModel, Weights,
+        check_u_repair, check_u_repair_with, check_x_repair, RepairCost, RepairLog, RepairModel,
+        Weights,
     };
     pub use crate::numeric::{
         repair_numeric_violations, NumericRepairConfig, NumericRepairOutcome,
     };
     pub use crate::quality::{differing_cells, score_repair, RepairQuality};
-    pub use crate::urepair::{repair_cfd_violations, RepairConfig, RepairOutcome};
+    pub use crate::urepair::{
+        repair_cfd_violations, repair_cfd_violations_naive, repair_cfd_violations_with_engine,
+        RepairConfig, RepairOutcome,
+    };
     pub use crate::xrepair::{repair_by_deletion, ConflictHypergraph, DeletionOutcome};
 }
 

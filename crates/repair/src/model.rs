@@ -179,15 +179,30 @@ pub fn check_u_repair(
     candidate: &RelationInstance,
     cfds: &[Cfd],
 ) -> bool {
-    if original.len() != candidate.len() {
-        return false;
-    }
-    for (id, _) in original.iter() {
-        if candidate.tuple(id).is_none() {
-            return false;
-        }
-    }
-    detect_cfd_violations(candidate, cfds).is_clean()
+    preserves_tuple_identities(original, candidate)
+        && detect_cfd_violations(candidate, cfds).is_clean()
+}
+
+/// [`check_u_repair`] with the consistency verdict computed by a shared
+/// [`DetectionEngine`](dq_core::engine::DetectionEngine) — callers that
+/// check many candidate repairs of the same instance reuse its pooled
+/// interned indexes instead of rebuilding one `HashIndex` per CFD per
+/// candidate.
+pub fn check_u_repair_with(
+    engine: &dq_core::engine::DetectionEngine,
+    original: &RelationInstance,
+    candidate: &RelationInstance,
+    cfds: &[Cfd],
+) -> bool {
+    preserves_tuple_identities(original, candidate)
+        && engine.detect_cfd_violations(candidate, cfds).is_clean()
+}
+
+/// The structural half of U-repair checking: the candidate keeps exactly
+/// the original's tuple ids (only attribute values may differ).
+fn preserves_tuple_identities(original: &RelationInstance, candidate: &RelationInstance) -> bool {
+    original.len() == candidate.len()
+        && original.iter().all(|(id, _)| candidate.tuple(id).is_some())
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! the heuristic trades optimality for termination).
 
 use crate::model::{RepairCost, RepairLog};
+use dq_core::engine::DetectionEngine;
 use dq_core::{detect_cfd_violations, Cfd, CfdViolation, PatternValue};
 use dq_relation::{HashIndex, RelationInstance, TupleId, Value};
 use std::collections::BTreeMap;
@@ -42,8 +43,151 @@ pub struct RepairOutcome {
     pub rounds: usize,
 }
 
-/// Repairs `instance` against `cfds` by value modification.
+/// Repairs `instance` against `cfds` by value modification, carrying a
+/// private [`DetectionEngine`] through the fixpoint loop.
 pub fn repair_cfd_violations(
+    instance: &RelationInstance,
+    cfds: &[Cfd],
+    cost: &RepairCost,
+    config: &RepairConfig,
+) -> RepairOutcome {
+    repair_cfd_violations_with_engine(instance, cfds, cost, config, &DetectionEngine::new())
+}
+
+/// [`repair_cfd_violations`] over a caller-owned engine.
+///
+/// Every consistency check of the loop runs on the engine: phase-1
+/// violations and the final verdict come from the engine's interned
+/// detection, and phase-2 equivalence classes are read off the same pooled
+/// [interned indexes](dq_relation::InternedIndex) instead of building a
+/// fresh `Vec<Value>`-keyed [`HashIndex`] per CFD per round.  Within one
+/// round the normalized fragments share each distinct-LHS index through the
+/// pool (version-tagged, so reuse survives exactly as long as no cell was
+/// rewritten), and because the repair loop only *updates* cells the final
+/// check never pays for more than the loop already built.  The outcome —
+/// repaired cells, log order, cost, rounds — is byte-identical to
+/// [`repair_cfd_violations_naive`].
+pub fn repair_cfd_violations_with_engine(
+    instance: &RelationInstance,
+    cfds: &[Cfd],
+    cost: &RepairCost,
+    config: &RepairConfig,
+    engine: &DetectionEngine,
+) -> RepairOutcome {
+    let mut repaired = instance.clone();
+    let mut log = RepairLog::default();
+    let normalized: Vec<Cfd> = cfds.iter().flat_map(|c| c.normalize()).collect();
+    let mut rounds = 0;
+
+    while rounds < config.max_rounds {
+        rounds += 1;
+        let mut changed = false;
+
+        // Phase 1: constant violations — write the required constant.
+        for cfd in &normalized {
+            let tp = &cfd.tableau()[0];
+            let b = cfd.rhs()[0];
+            let PatternValue::Const(required) = &tp.rhs[0] else {
+                continue;
+            };
+            let index = engine
+                .pool()
+                .interned_for(&repaired, cfd.lhs(), engine.threads());
+            let violating: Vec<TupleId> = cfd
+                .violations_with_interned(&repaired, &index)
+                .into_iter()
+                .filter_map(|v| match v {
+                    CfdViolation::SingleTuple { tuple, .. } => Some(tuple),
+                    CfdViolation::TuplePair { .. } => None,
+                })
+                .collect();
+            for id in violating {
+                let old = repaired
+                    .tuple(id)
+                    .expect("violating tuple is live")
+                    .get(b)
+                    .clone();
+                if &old == required {
+                    continue;
+                }
+                repaired.update_cell(dq_relation::instance::CellRef::new(id, b), required.clone());
+                log.cost += cost.cell_cost(id, b, &old, required);
+                log.modified.push((id, b, old, required.clone()));
+                changed = true;
+            }
+        }
+
+        // Phase 2: variable violations — equivalence classes per LHS group,
+        // read off the pooled interned index (group keys resolve to values
+        // only for the few multi-tuple groups the patterns must inspect).
+        for cfd in &normalized {
+            let tp = &cfd.tableau()[0];
+            let b = cfd.rhs()[0];
+            if !tp.rhs[0].is_any() {
+                continue; // constant case handled above
+            }
+            let index = engine
+                .pool()
+                .interned_for(&repaired, cfd.lhs(), engine.threads());
+            let b_column = index.store().column(&repaired, b);
+            // Collect target assignments first, then apply, to avoid holding
+            // borrows across mutations.
+            let mut assignments: Vec<(TupleId, Value)> = Vec::new();
+            for (key_ids, rows) in index.multi_groups() {
+                let matches_pattern = tp
+                    .lhs
+                    .iter()
+                    .zip(key_ids.iter().zip(index.columns()))
+                    .all(|(p, (&id, col))| p.matches(col.interner().resolve(id)));
+                if !matches_pattern || rows.len() < 2 {
+                    continue;
+                }
+                // Confidence-weighted vote over the current B values of the
+                // class: keeping the value held by high-confidence cells
+                // minimizes the cost of rewriting the others.
+                let mut votes: BTreeMap<Value, f64> = BTreeMap::new();
+                for &row in rows {
+                    let id = index.tuple_id(row);
+                    let v = b_column.interner().resolve(b_column.id_at(row as usize));
+                    *votes.entry(v.clone()).or_insert(0.0) += cost.weight(id, b);
+                }
+                if votes.len() <= 1 {
+                    continue;
+                }
+                let target = votes
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(v, _)| v.clone())
+                    .expect("non-empty vote");
+                for &row in rows {
+                    let current = b_column.interner().resolve(b_column.id_at(row as usize));
+                    if current != &target {
+                        assignments.push((index.tuple_id(row), target.clone()));
+                    }
+                }
+            }
+            apply_assignments(&mut repaired, &mut log, cost, b, assignments, &mut changed);
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let consistent = engine.detect_cfd_violations(&repaired, cfds).is_clean();
+    RepairOutcome {
+        repaired,
+        log,
+        consistent,
+        rounds,
+    }
+}
+
+/// The legacy implementation: one fresh `Vec<Value>`-keyed [`HashIndex`]
+/// per CFD per round and naive detection for every consistency check.
+/// Kept as the reference the engine-carried path is property-tested
+/// against (`tests/discovery_equivalence.rs`) and benchmarked over.
+pub fn repair_cfd_violations_naive(
     instance: &RelationInstance,
     cfds: &[Cfd],
     cost: &RepairCost,
@@ -128,13 +272,7 @@ pub fn repair_cfd_violations(
                     }
                 }
             }
-            for (id, target) in assignments {
-                let old = repaired.tuple(id).expect("live tuple").get(b).clone();
-                repaired.update_cell(dq_relation::instance::CellRef::new(id, b), target.clone());
-                log.cost += cost.cell_cost(id, b, &old, &target);
-                log.modified.push((id, b, old, target));
-                changed = true;
-            }
+            apply_assignments(&mut repaired, &mut log, cost, b, assignments, &mut changed);
         }
 
         if !changed {
@@ -148,6 +286,29 @@ pub fn repair_cfd_violations(
         log,
         consistent,
         rounds,
+    }
+}
+
+/// Applies one phase-2 batch in ascending tuple order.  Groups are disjoint
+/// (each tuple gets at most one assignment per CFD pass), so sorting fixes
+/// the log order and the floating-point cost accumulation to a canonical
+/// sequence — the hash-map group order of either index representation never
+/// leaks into the outcome.
+fn apply_assignments(
+    repaired: &mut RelationInstance,
+    log: &mut RepairLog,
+    cost: &RepairCost,
+    b: usize,
+    mut assignments: Vec<(TupleId, Value)>,
+    changed: &mut bool,
+) {
+    assignments.sort_by_key(|x| x.0);
+    for (id, target) in assignments {
+        let old = repaired.tuple(id).expect("live tuple").get(b).clone();
+        repaired.update_cell(dq_relation::instance::CellRef::new(id, b), target.clone());
+        log.cost += cost.cell_cost(id, b, &old, &target);
+        log.modified.push((id, b, old, target));
+        *changed = true;
     }
 }
 

@@ -1,0 +1,314 @@
+//! Equivalence properties of the interned fast paths added for discovery,
+//! repair and CQA: partitions derived from CSR postings, pooled-index FD/CFD
+//! mining, the engine-carried repair loop and the interned CQA rewriting
+//! must all produce results identical to the legacy `Vec<Value>`-keyed
+//! implementations — and the append-only `IndexPool` fast path must be
+//! invisible except in the pool counters.
+//!
+//! All cases are generated from seeded strategies (the offline proptest
+//! stand-in derives its RNG seed from the test name), so runs are exactly
+//! reproducible.
+
+use dataquality::prelude::*;
+use dq_cqa::rewrite::certain_answers_rewriting_naive;
+use dq_discovery::source::PartitionSource;
+use dq_gen::customer::{generate_customers, paper_cfds, CustomerConfig};
+use dq_relation::{IndexPool, InternedIndex, RelationInstance, Value};
+use dq_repair::urepair::{repair_cfd_violations_naive, repair_cfd_violations_with_engine};
+use dq_repair::{RepairConfig, RepairCost};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Workload shapes worth exercising: tiny through few-hundred tuples, clean
+/// through heavily corrupted, paper-style through scaled city pools.
+fn workload_config() -> impl Strategy<Value = CustomerConfig> {
+    (
+        1usize..200,
+        0usize..4,
+        0u64..1_000,
+        prop_oneof![3usize..4, 20usize..40],
+    )
+        .prop_map(
+            |(tuples, rate_idx, seed, cities_per_country)| CustomerConfig {
+                tuples,
+                error_rate: [0.0, 0.01, 0.05, 0.25][rate_idx],
+                seed,
+                cities_per_country,
+            },
+        )
+}
+
+fn fd_config(use_interned: bool, max_g3: f64) -> FdDiscoveryConfig {
+    FdDiscoveryConfig {
+        max_lhs: 3,
+        max_g3,
+        exclude: Vec::new(),
+        use_interned,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Stripped partitions derived from interned CSR postings — directly,
+    /// via products over the reusable probe table, and through the pooled
+    /// `PartitionSource` — equal the legacy builds on every attribute set.
+    #[test]
+    fn interned_partitions_equal_naive_builds(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let instance = &workload.dirty;
+        let pool = Arc::new(IndexPool::new());
+        let mut source = PartitionSource::interned(instance, Arc::clone(&pool), 2);
+        let arity = instance.schema().arity();
+        let attr_sets: Vec<Vec<usize>> = (0..arity)
+            .map(|a| vec![a])
+            .chain((0..arity).flat_map(|a| ((a + 1)..arity).map(move |b| vec![a, b])))
+            .chain([vec![], vec![0, 1, 2]])
+            .collect();
+        for attrs in &attr_sets {
+            let naive = StrippedPartition::build(instance, attrs);
+            let store = instance.columnar();
+            let index = InternedIndex::build(instance, &store, attrs, 2);
+            prop_assert_eq!(&StrippedPartition::from_interned(&index), &naive, "from_interned {:?}", attrs);
+            prop_assert_eq!(&*source.partition(attrs), &naive, "source {:?}", attrs);
+        }
+        // Products agree with direct builds (π_X · π_Y = π_{X ∪ Y}).
+        let pa = source.partition(&[0]);
+        let pb = source.partition(&[4]);
+        let mut prober = PartitionProber::new();
+        prop_assert_eq!(
+            pa.product_with(&pb, &mut prober),
+            StrippedPartition::build(instance, &[0, 4])
+        );
+    }
+
+    /// `g3` over pooled interned indexes is bit-identical to the naive
+    /// measure for every (LHS, RHS) candidate shape discovery generates.
+    #[test]
+    fn g3_interned_equals_naive(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let instance = &workload.dirty;
+        let store = instance.columnar();
+        let arity = instance.schema().arity();
+        for lhs_attr in 0..arity {
+            for rhs_attr in 0..arity {
+                if lhs_attr == rhs_attr {
+                    continue;
+                }
+                let index = InternedIndex::build(instance, &store, &[lhs_attr], 1);
+                prop_assert_eq!(
+                    g3_error_interned(&index, instance, &[rhs_attr]),
+                    g3_error(instance, &[lhs_attr], &[rhs_attr]),
+                    "{} -> {}", lhs_attr, rhs_attr
+                );
+            }
+        }
+    }
+
+    /// FD discovery over interned partitions reports exactly the FDs (and
+    /// candidate counts) of the naive partition path, exact and approximate.
+    #[test]
+    fn fd_discovery_interned_equals_naive(config in workload_config()) {
+        let workload = generate_customers(&config);
+        for max_g3 in [0.0, 0.15] {
+            let fast = discover_fds(&workload.dirty, &fd_config(true, max_g3));
+            let slow = discover_fds(&workload.dirty, &fd_config(false, max_g3));
+            prop_assert_eq!(&fast.fds, &slow.fds, "max_g3 {}", max_g3);
+            prop_assert_eq!(fast.candidates_checked, slow.candidates_checked);
+        }
+    }
+
+    /// Full CFD discovery — exact FDs, mined tableaux and constant patterns
+    /// — is identical between the interned and naive mining paths.
+    #[test]
+    fn cfd_discovery_interned_equals_naive(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let mk = |use_interned| CfdDiscoveryConfig {
+            min_support: 2,
+            max_lhs: 2,
+            use_interned,
+            ..CfdDiscoveryConfig::default()
+        };
+        let fast = discover_cfds(&workload.dirty, &mk(true));
+        let slow = discover_cfds(&workload.dirty, &mk(false));
+        prop_assert_eq!(&fast.variable_cfds, &slow.variable_cfds);
+        prop_assert_eq!(&fast.constant_cfds, &slow.constant_cfds);
+        prop_assert_eq!(fast.candidates_checked, slow.candidates_checked);
+    }
+
+    /// The pooled profile equals a from-scratch reference computation.
+    #[test]
+    fn pooled_profile_equals_reference(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let instance = &workload.dirty;
+        let profile = profile_relation(instance);
+        prop_assert_eq!(profile.tuples, instance.len());
+        for column in &profile.columns {
+            let mut distinct: BTreeSet<Value> = BTreeSet::new();
+            let mut nulls = 0usize;
+            for (_, tuple) in instance.iter() {
+                let v = tuple.get(column.attr);
+                if v.is_null() {
+                    nulls += 1;
+                } else {
+                    distinct.insert(v.clone());
+                }
+            }
+            prop_assert_eq!(column.distinct, distinct.len(), "attr {}", column.attr);
+            prop_assert_eq!(column.nulls, nulls, "attr {}", column.attr);
+            if let Some(inline) = &column.inline_values {
+                prop_assert_eq!(inline, &distinct, "attr {}", column.attr);
+            }
+            let reference_uniqueness = if instance.is_empty() {
+                0.0
+            } else {
+                distinct.len() as f64 / instance.len() as f64
+            };
+            prop_assert_eq!(column.uniqueness, reference_uniqueness);
+        }
+        // Binary keys agree with the projection-set definition.
+        for &(a, b) in &profile.binary_keys {
+            prop_assert_eq!(instance.project_distinct(&[a, b]).len(), instance.len());
+        }
+    }
+
+    /// The engine-carried repair loop produces a byte-identical outcome to
+    /// the legacy loop: same repaired cells, same log (order included),
+    /// same cost, rounds and verdict.
+    #[test]
+    fn engine_repair_equals_naive_repair(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let cfds = paper_cfds();
+        let cost = RepairCost::uniform();
+        let repair_config = RepairConfig::default();
+        let engine = DetectionEngine::new();
+        let fast =
+            repair_cfd_violations_with_engine(&workload.dirty, &cfds, &cost, &repair_config, &engine);
+        let slow = repair_cfd_violations_naive(&workload.dirty, &cfds, &cost, &repair_config);
+        prop_assert_eq!(fast.consistent, slow.consistent);
+        prop_assert_eq!(fast.rounds, slow.rounds);
+        prop_assert_eq!(&fast.log.modified, &slow.log.modified);
+        prop_assert_eq!(&fast.log.deleted, &slow.log.deleted);
+        prop_assert_eq!(fast.log.cost, slow.log.cost);
+        for (id, tuple) in slow.repaired.iter() {
+            prop_assert_eq!(fast.repaired.tuple(id), Some(tuple));
+        }
+        prop_assert_eq!(fast.repaired.len(), slow.repaired.len());
+    }
+
+    /// Engine detection stays equivalent when the pool serves append-only
+    /// extensions: growing an instance between detections must change
+    /// nothing but the `appends` counter.
+    #[test]
+    fn engine_equivalence_survives_append_only_growth(
+        config in workload_config(),
+        extra in 1usize..20,
+    ) {
+        let workload = generate_customers(&config);
+        let mut instance = workload.dirty;
+        let cfds = paper_cfds();
+        let engine = DetectionEngine::new();
+        let before = engine.detect_cfd_violations(&instance, &cfds);
+        prop_assert_eq!(&before, &detect_cfd_violations(&instance, &cfds));
+        // Append copies of existing tuples (no new dictionary entries, so
+        // the u64 radix codecs stay extendable) plus the growth is real.
+        let pool: Vec<_> = instance.iter().map(|(_, t)| t.clone()).collect();
+        let donors: Vec<_> = pool.iter().cloned().cycle().take(extra).collect();
+        for donor in donors {
+            instance.insert(donor).expect("same schema");
+        }
+        let after = engine.detect_cfd_violations(&instance, &cfds);
+        prop_assert_eq!(&after, &detect_cfd_violations(&instance, &cfds));
+        prop_assert!(
+            engine.pool_stats().appends > 0,
+            "append-only growth must take the extension fast path"
+        );
+    }
+}
+
+/// A small inconsistent database with key conflicts, shaped by a seed.
+fn cqa_database(groups: usize, seed: u64) -> (Database, Vec<KeySpec>, Vec<DenialConstraint>) {
+    let schema = Arc::new(dq_relation::RelationSchema::new(
+        "emp",
+        [
+            ("name", dq_relation::Domain::Text),
+            ("dept", dq_relation::Domain::Text),
+            ("grade", dq_relation::Domain::Int),
+        ],
+    ));
+    let mut inst = RelationInstance::new(Arc::clone(&schema));
+    for i in 0..groups {
+        let name = format!("e{i}");
+        let dept = format!("d{}", (i as u64 + seed) % 5);
+        inst.insert_values([
+            Value::str(name.clone()),
+            Value::str(dept.clone()),
+            Value::int((i % 4) as i64),
+        ])
+        .unwrap();
+        // Every third employee gets a conflicting second tuple.
+        if (i as u64 + seed).is_multiple_of(3) {
+            inst.insert_values([
+                Value::str(name),
+                Value::str(format!("d{}", (i as u64 + seed + 1) % 5)),
+                Value::int((i % 4) as i64),
+            ])
+            .unwrap();
+        }
+    }
+    let constraints = DenialConstraint::from_fd(&Fd::new(&schema, &["name"], &["dept", "grade"]));
+    let mut db = Database::new();
+    db.add_relation(inst);
+    (db, vec![KeySpec::new("emp", vec![0])], constraints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The interned CQA rewriting returns exactly the naive rewriting's
+    /// answers, and (on oracle-sized instances) exactly the certain answers
+    /// of exhaustive repair enumeration.
+    #[test]
+    fn cqa_rewriting_interned_equals_naive_and_oracle(
+        groups in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let (db, keys, constraints) = cqa_database(groups, seed);
+        let query = ConjunctiveQuery::new(
+            vec!["n", "d"],
+            vec![Atom::new(
+                "emp",
+                vec![Term::var("n"), Term::var("d"), Term::var("g")],
+            )],
+            vec![],
+        );
+        let fast = certain_answers_rewriting(&db, &keys, &query).unwrap();
+        let slow = certain_answers_rewriting_naive(&db, &keys, &query).unwrap();
+        prop_assert_eq!(&fast, &slow);
+        let oracle = certain_answers_oracle(&db, "emp", &constraints, &query).unwrap();
+        prop_assert_eq!(&fast, &oracle);
+    }
+
+    /// Engine-routed repair enumeration lists exactly the repairs of the
+    /// naive enumeration (compared as kept-tuple-id sets).
+    #[test]
+    fn engine_enumeration_equals_naive(groups in 1usize..10, seed in 0u64..500) {
+        let (db, _, constraints) = cqa_database(groups, seed);
+        let dirty = db.relation("emp").unwrap();
+        let engine = DetectionEngine::new();
+        let canonical = |repairs: Vec<RelationInstance>| -> BTreeSet<Vec<dq_relation::TupleId>> {
+            repairs
+                .iter()
+                .map(|r| r.iter().map(|(id, _)| id).collect())
+                .collect()
+        };
+        let fast = canonical(dq_repair::enumerate_repairs_with_engine(
+            dirty,
+            &constraints,
+            &engine,
+        ));
+        let slow = canonical(dq_repair::enumerate_repairs(dirty, &constraints));
+        prop_assert_eq!(fast, slow);
+    }
+}
