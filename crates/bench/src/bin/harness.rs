@@ -13,6 +13,10 @@
 //! for the CI-sized variant (small instance, artifact not overwritten —
 //! the point is to execute both code paths and assert identical output, so
 //! a perf-path regression that compiles the fast path out fails loudly).
+//!
+//! `--ind-bench` runs the naive-vs-interned comparison for IND discovery
+//! and CIND condition mining over the order/book/CD workload and writes
+//! `BENCH_ind.json`; `--smoke` works the same way.
 
 use dq_bench::*;
 use dq_core::prelude::*;
@@ -37,6 +41,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--discovery-bench") {
         discovery_bench(std::env::args().any(|a| a == "--smoke"));
+        return;
+    }
+    if std::env::args().any(|a| a == "--ind-bench") {
+        ind_bench(std::env::args().any(|a| a == "--smoke"));
         return;
     }
     figures_1_and_2();
@@ -373,6 +381,171 @@ fn discovery_bench(smoke: bool) {
     );
     std::fs::write("BENCH_discovery.json", &json).expect("write BENCH_discovery.json");
     println!("\nwrote BENCH_discovery.json");
+}
+
+/// Naive vs. interned IND discovery and CIND condition mining on the
+/// order/book/CD workload, written to `BENCH_ind.json` (skipped in
+/// `--smoke` mode, which runs the same comparison CI-sized and only asserts
+/// output identity).
+///
+/// Two algorithms per size:
+/// * `ind_discovery` — unary + binary IND discovery across the three
+///   relations; the naive path rebuilds a `BTreeSet<Value>` /
+///   `HashSet<Vec<Value>>` projection per candidate, the interned path
+///   probes pooled distinct-projection sets with dictionary-translated ids
+///   and fans candidate relation pairs out across the thread pool;
+/// * `cind_mining` — condition mining for the embedded
+///   `order(title, price) ⊆ book(title, price)` IND; the naive path
+///   re-scans the instance per condition value, the interned path computes
+///   one per-row inclusion verdict and reads candidate-value groups off CSR
+///   postings.
+///
+/// Interned runs are measured cold on fresh clones (snapshot, dictionaries,
+/// every distinct set and index build inside the timer), and both paths'
+/// outputs are asserted identical.
+fn ind_bench(smoke: bool) {
+    use dq_discovery::prelude::*;
+
+    header("IND bench — naive vs. interned distinct-projection probing");
+    let sizes: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let violation_rate = 0.05;
+    let mut rows = Vec::new();
+    println!("  orders   algo            naive         interned     speedup   found");
+    for &size in sizes {
+        let workload = order_workload(size, violation_rate);
+        let db = &workload.db;
+        let reps = if size > 100_000 { 1 } else { 3 };
+        let config = |use_interned| IndDiscoveryConfig {
+            use_interned,
+            ..IndDiscoveryConfig::default()
+        };
+
+        let mut push_row = |algo: &str, naive_ms: f64, interned_ms: f64, found: usize| {
+            let speedup = naive_ms / interned_ms;
+            println!(
+                "{size:>8}   {algo:<14} {naive_ms:>9.1}ms  {interned_ms:>10.1}ms  {speedup:>7.2}x  {found:>6}"
+            );
+            rows.push(format!(
+                "    {{\"orders\": {size}, \"algo\": \"{algo}\", \
+                 \"violation_rate\": {violation_rate}, \"found\": {found}, \
+                 \"naive_ms\": {naive_ms:.3}, \"interned_ms\": {interned_ms:.3}, \
+                 \"speedup\": {speedup:.3}}}"
+            ));
+        };
+
+        // ---- IND discovery ----
+        let (naive_ms, naive_inds) =
+            timed_median(reps, || discover_inds(db, &config(false)).unwrap());
+        // Cold interned runs: clones carry fresh instance identities and
+        // empty columnar caches, so every rep pays the snapshots, the
+        // dictionary encodings and all distinct-set builds inside the
+        // measurement.
+        let cold: Vec<_> = (0..reps).map(|_| db.clone()).collect();
+        let mut cold_iter = cold.iter();
+        let (interned_ms, interned_inds) = timed_median(reps, || {
+            discover_inds(
+                cold_iter.next().expect("one fresh database per rep"),
+                &config(true),
+            )
+            .unwrap()
+        });
+        drop(cold);
+        assert_eq!(
+            naive_inds.inds, interned_inds.inds,
+            "interned IND discovery must report identical dependencies"
+        );
+        assert_eq!(
+            naive_inds.candidates_checked,
+            interned_inds.candidates_checked
+        );
+        push_row(
+            "ind_discovery",
+            naive_ms,
+            interned_ms,
+            naive_inds.inds.len(),
+        );
+
+        // ---- CIND condition mining ----
+        // Mining gets the paper's shape at scale: every book order has its
+        // `book` counterpart, while a slice of dangling CD orders breaks the
+        // unconditional IND — so the miner must recover the `type = 'book'`
+        // condition of cind1 rather than return early or find nothing.
+        let mut mining_db = order_workload(size, 0.0).db;
+        {
+            let order_inst = mining_db.relation_mut("order").expect("order relation");
+            for i in 0..(size / 20).max(1) {
+                order_inst
+                    .insert_values([
+                        dq_relation::Value::str(format!("x{i}")),
+                        dq_relation::Value::str(format!("Dangling {i}")),
+                        dq_relation::Value::str("CD"),
+                        dq_relation::Value::real(1.0),
+                    ])
+                    .expect("order tuple fits the schema");
+            }
+        }
+        let order = mining_db
+            .relation("order")
+            .expect("order relation")
+            .schema()
+            .clone();
+        let book = mining_db
+            .relation("book")
+            .expect("book relation")
+            .schema()
+            .clone();
+        let embedded = dq_core::ind::Ind::from_indices(
+            "order",
+            vec![order.attr("title"), order.attr("price")],
+            "book",
+            vec![book.attr("title"), book.attr("price")],
+        );
+        let (naive_ms, naive_cinds) = timed_median(reps, || {
+            discover_cind_conditions(&mining_db, &embedded, &config(false)).unwrap()
+        });
+        let cold: Vec<_> = (0..reps).map(|_| mining_db.clone()).collect();
+        let mut cold_iter = cold.iter();
+        let (interned_ms, interned_cinds) = timed_median(reps, || {
+            discover_cind_conditions(
+                cold_iter.next().expect("one fresh database per rep"),
+                &embedded,
+                &config(true),
+            )
+            .unwrap()
+        });
+        drop(cold);
+        assert!(
+            naive_cinds.iter().any(|c| c
+                .tableau()
+                .iter()
+                .any(|p| p.lhs == [dq_relation::Value::str("book")])),
+            "mining must recover the type = 'book' condition"
+        );
+        assert_eq!(
+            naive_cinds, interned_cinds,
+            "interned CIND mining must report identical conditions"
+        );
+        push_row("cind_mining", naive_ms, interned_ms, naive_cinds.len());
+    }
+    if smoke {
+        println!("\nsmoke mode: outputs identical on both paths, artifact not written");
+        return;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"sec22_ind_discovery_naive_vs_interned\",\n  \
+         \"workload\": \"dq_gen::orders (order/book/CD), violation_rate {violation_rate}, seed 42\",\n  \
+         \"threads\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_ind.json", &json).expect("write BENCH_ind.json");
+    println!("\nwrote BENCH_ind.json");
 }
 
 fn figures_1_and_2() {

@@ -77,7 +77,7 @@ impl CleaningPipeline {
         }
     }
 
-    /// Runs the pipeline on a dirty instance.
+    /// Runs the pipeline on a dirty instance with a private engine.
     ///
     /// Detection at every stage goes through one shared
     /// [`DetectionEngine`], so all stages benefit from interned columnar
@@ -86,7 +86,18 @@ impl CleaningPipeline {
     /// check and the final verification) are served from the warm pool
     /// instead of rebuilding.
     pub fn run(&self, dirty: &RelationInstance) -> CleaningReport {
-        let engine = DetectionEngine::new();
+        self.run_with_engine(dirty, &DetectionEngine::new())
+    }
+
+    /// [`run`](Self::run) over a caller-supplied engine, so a batch of
+    /// pipeline runs (or a pipeline interleaved with detection, repair or
+    /// discovery over the same instances) shares one warm index pool
+    /// instead of each run building its own.
+    pub fn run_with_engine(
+        &self,
+        dirty: &RelationInstance,
+        engine: &DetectionEngine,
+    ) -> CleaningReport {
         let mut stages = Vec::new();
         let initial = engine.detect_cfd_violations(dirty, &self.cfds);
         stages.push(StageSummary {
@@ -122,7 +133,7 @@ impl CleaningPipeline {
             &self.cfds,
             &self.cost,
             &self.repair_config,
-            &engine,
+            engine,
         );
         let repair_changes = outcome.log.change_count();
         current = outcome.repaired;
@@ -279,6 +290,28 @@ mod tests {
         assert_eq!(report.initial_violations, naive.total());
         let naive_after = dq_core::detect::detect_cfd_violations(&report.cleaned, &paper_cfds());
         assert_eq!(report.remaining_violations, naive_after.total());
+    }
+
+    #[test]
+    fn shared_engine_runs_match_private_engine_runs() {
+        let w = workload();
+        let pipeline = CleaningPipeline::repair_only(paper_cfds());
+        let engine = DetectionEngine::new();
+        let shared = pipeline.run_with_engine(&w.dirty, &engine);
+        let private = pipeline.run(&w.dirty);
+        assert_eq!(shared.initial_violations, private.initial_violations);
+        assert_eq!(shared.remaining_violations, private.remaining_violations);
+        assert_eq!(shared.repair_changes, private.repair_changes);
+        assert!(shared.cleaned.same_tuples_as(&private.cleaned));
+        // A second run over the same engine serves the initial detection
+        // from the warm pool.
+        let misses = engine.pool_stats().misses;
+        let again = pipeline.run_with_engine(&w.dirty, &engine);
+        assert_eq!(again.initial_violations, shared.initial_violations);
+        assert!(
+            engine.pool_stats().misses > misses,
+            "repair clones still build their own indexes"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::detect::{
     EcfdViolationReport,
 };
 use crate::ecfd::{Ecfd, EcfdViolation};
+use crate::ind::Ind;
 use dq_relation::{Database, DqResult, IndexPool, IndexPoolStats, RelationInstance, TupleId};
 use std::collections::BTreeSet;
 use std::num::NonZeroUsize;
@@ -243,12 +244,82 @@ impl DetectionEngine {
         .collect::<DqResult<Vec<_>>>()?;
         Ok(CindViolationReport::from_per_dependency(per_dependency))
     }
+
+    /// Detects all violations of `inds` in `db`, sharing one pooled interned
+    /// index per distinct `(LHS relation, X)` and one pooled
+    /// distinct-projection set per distinct `(RHS relation, Y)`, fanning out
+    /// across dependencies.  `ignore_nulls` switches to SQL-style IND
+    /// semantics (see [`Ind::violations_with`]).
+    ///
+    /// Equivalent to calling [`Ind::violations_with`] per dependency — same
+    /// per-dependency violation lists in the same (ascending tuple id)
+    /// order.
+    pub fn detect_ind_violations(
+        &self,
+        db: &Database,
+        inds: &[Ind],
+        ignore_nulls: bool,
+    ) -> DqResult<Vec<Vec<TupleId>>> {
+        let mut lhs_builds: BTreeSet<(&str, Vec<usize>)> = BTreeSet::new();
+        let mut rhs_builds: BTreeSet<(&str, Vec<usize>)> = BTreeSet::new();
+        for ind in inds {
+            db.require_relation(ind.lhs_relation())?;
+            db.require_relation(ind.rhs_relation())?;
+            lhs_builds.insert((ind.lhs_relation(), ind.lhs_attrs().to_vec()));
+            rhs_builds.insert((ind.rhs_relation(), ind.rhs_attrs().to_vec()));
+        }
+        let lhs_builds: Vec<(&str, Vec<usize>)> = lhs_builds.into_iter().collect();
+        let rhs_builds: Vec<(&str, Vec<usize>)> = rhs_builds.into_iter().collect();
+        let sharded = |builds: &[(&str, Vec<usize>)]| {
+            builds.iter().any(|(name, _)| {
+                db.relation(name)
+                    .is_some_and(|r| r.columnar().shard_count() > 1)
+            })
+        };
+        self.warm_builds(
+            &lhs_builds,
+            sharded(&lhs_builds),
+            |(name, attrs), threads| {
+                let lhs = db.relation(name).expect("validated above");
+                self.pool.interned_for(lhs, attrs, threads);
+            },
+        );
+        self.warm_builds(
+            &rhs_builds,
+            sharded(&rhs_builds),
+            |(name, attrs), threads| {
+                let rhs = db.relation(name).expect("validated above");
+                self.pool.distinct_for(rhs, attrs, threads);
+            },
+        );
+        Ok(parallel_map(inds, self.threads, |ind| {
+            let lhs = db.relation(ind.lhs_relation()).expect("validated above");
+            let rhs = db.relation(ind.rhs_relation()).expect("validated above");
+            let index = self.pool.interned_for(lhs, ind.lhs_attrs(), 1);
+            let distinct = self.pool.distinct_for(rhs, ind.rhs_attrs(), 1);
+            ind.violations_with_interned(&index, &distinct, ignore_nulls)
+        }))
+    }
+
+    /// Does `db` satisfy `ind`?  Probes pooled distinct-projection sets on
+    /// both sides — per *distinct key* work, no postings needed — so
+    /// repeated checks over an unchanged (or append-only growing) database
+    /// rebuild nothing.
+    pub fn ind_holds(&self, db: &Database, ind: &Ind, ignore_nulls: bool) -> DqResult<bool> {
+        let lhs = db.require_relation(ind.lhs_relation())?;
+        let rhs = db.require_relation(ind.rhs_relation())?;
+        let lhs_set = self.pool.distinct_for(lhs, ind.lhs_attrs(), self.threads);
+        let rhs_set = self.pool.distinct_for(rhs, ind.rhs_attrs(), self.threads);
+        Ok(lhs_set.included_in(&rhs_set, ignore_nulls))
+    }
 }
 
 /// Applies `f` to every item on a scoped worker pool, preserving input
 /// order in the output.  Work is claimed through an atomic cursor, so
-/// uneven per-item costs balance across threads.
-fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+/// uneven per-item costs balance across threads.  Public so that borrowers
+/// of the engine's pool (e.g. level-wise discovery fanning out candidate
+/// relation pairs) schedule work the same way the detectors do.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
@@ -578,6 +649,56 @@ mod tests {
         )
         .unwrap();
         assert!(engine.detect_cind_violations(&db, &[ghost]).is_err());
+    }
+
+    #[test]
+    fn engine_ind_report_equals_naive() {
+        use crate::ind::Ind;
+        let order = Arc::new(RelationSchema::new(
+            "order",
+            [("title", Domain::Text), ("type", Domain::Text)],
+        ));
+        let book = Arc::new(RelationSchema::new("book", [("title", Domain::Text)]));
+        let mut oi = RelationInstance::new(Arc::clone(&order));
+        for t in ["Harry Potter", "Snow White"] {
+            oi.insert_values([Value::str(t), Value::str("book")])
+                .unwrap();
+        }
+        oi.insert_values([Value::Null, Value::str("book")]).unwrap();
+        let mut bi = RelationInstance::new(Arc::clone(&book));
+        bi.insert_values([Value::str("Harry Potter")]).unwrap();
+        let mut db = dq_relation::Database::new();
+        db.add_relation(oi);
+        db.add_relation(bi);
+        let inds = vec![
+            Ind::from_indices("order", vec![0], "book", vec![0]),
+            Ind::from_indices("book", vec![0], "order", vec![0]),
+        ];
+        let engine = DetectionEngine::new();
+        for ignore_nulls in [false, true] {
+            let from_engine = engine
+                .detect_ind_violations(&db, &inds, ignore_nulls)
+                .unwrap();
+            let naive: Vec<Vec<TupleId>> = inds
+                .iter()
+                .map(|ind| ind.violations_with(&db, ignore_nulls).unwrap())
+                .collect();
+            assert_eq!(from_engine, naive, "ignore_nulls {ignore_nulls}");
+            for (ind, violations) in inds.iter().zip(&naive) {
+                assert_eq!(
+                    engine.ind_holds(&db, ind, ignore_nulls).unwrap(),
+                    violations.is_empty(),
+                    "{ind} (ignore_nulls {ignore_nulls})"
+                );
+            }
+        }
+        // The probe structures are pooled: a second run rebuilds nothing.
+        let misses = engine.pool_stats().misses;
+        engine.detect_ind_violations(&db, &inds, false).unwrap();
+        assert_eq!(engine.pool_stats().misses, misses, "warm IND run");
+        // An IND over a missing relation errors like the naive path.
+        let ghost = Ind::from_indices("order", vec![0], "ghost", vec![0]);
+        assert!(engine.detect_ind_violations(&db, &[ghost], false).is_err());
     }
 
     #[test]

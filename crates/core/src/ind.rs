@@ -8,7 +8,10 @@
 //! procedure that is exact for acyclic IND sets and bounded (sound,
 //! possibly incomplete) in general.
 
-use dq_relation::{Database, DqError, DqResult, HashIndex, RelationSchema, TupleId};
+use dq_relation::{
+    Database, DistinctSet, DqError, DqResult, HashIndex, IdTranslation, InternedIndex,
+    RelationSchema, TupleId, Value, ValueId,
+};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -90,11 +93,23 @@ impl Ind {
 
     /// Tuples of the LHS relation with no matching RHS tuple.
     pub fn violations(&self, db: &Database) -> DqResult<Vec<TupleId>> {
+        self.violations_with(db, false)
+    }
+
+    /// [`violations`](Self::violations) with a null-semantics switch: when
+    /// `ignore_nulls` is set, LHS tuples carrying `NULL` in any `X` position
+    /// are exempt (SQL's foreign-key semantics) instead of counting as
+    /// violations — without it, one null LHS cell falsifies the IND because
+    /// the projection `(…, NULL, …)` matches no RHS tuple.
+    pub fn violations_with(&self, db: &Database, ignore_nulls: bool) -> DqResult<Vec<TupleId>> {
         let lhs = db.require_relation(&self.lhs_relation)?;
         let rhs = db.require_relation(&self.rhs_relation)?;
         let index = HashIndex::build(rhs, &self.rhs_attrs);
         let mut out = Vec::new();
         for (id, tuple) in lhs.iter() {
+            if ignore_nulls && self.lhs_attrs.iter().any(|&a| tuple.get(a).is_null()) {
+                continue;
+            }
             let key = tuple.project(&self.lhs_attrs);
             if !index.contains_key(&key) {
                 out.push(id);
@@ -105,7 +120,60 @@ impl Ind {
 
     /// Does the database satisfy this IND?
     pub fn holds_on(&self, db: &Database) -> DqResult<bool> {
-        Ok(self.violations(db)?.is_empty())
+        self.holds_on_with(db, false)
+    }
+
+    /// [`holds_on`](Self::holds_on) with the `ignore_nulls` switch of
+    /// [`violations_with`](Self::violations_with).
+    pub fn holds_on_with(&self, db: &Database, ignore_nulls: bool) -> DqResult<bool> {
+        Ok(self.violations_with(db, ignore_nulls)?.is_empty())
+    }
+
+    /// Violations computed against a caller-supplied *interned* index of the
+    /// LHS relation on exactly `X` and distinct-projection set of the RHS
+    /// relation on exactly `Y` (both usually served by a shared
+    /// [`IndexPool`](dq_relation::IndexPool)).  Each distinct LHS projection
+    /// is translated into the RHS dictionaries once — via
+    /// [`IdTranslation`], `O(distinct values)` setup — and probed once, so
+    /// the cost is per *distinct key*, not per tuple.  Output (ascending
+    /// tuple ids) equals [`violations_with`](Self::violations_with).
+    pub fn violations_with_interned(
+        &self,
+        lhs_index: &InternedIndex,
+        rhs: &DistinctSet,
+        ignore_nulls: bool,
+    ) -> Vec<TupleId> {
+        debug_assert_eq!(lhs_index.attrs(), self.lhs_attrs.as_slice());
+        debug_assert_eq!(rhs.attrs(), self.rhs_attrs.as_slice());
+        let translation = IdTranslation::new(lhs_index.columns(), rhs.columns());
+        let null_ids: Vec<Option<ValueId>> = lhs_index
+            .columns()
+            .iter()
+            .map(|c| c.interner().lookup(&Value::Null))
+            .collect();
+        let mut bad_rows: Vec<u32> = Vec::new();
+        let mut translated = Vec::with_capacity(self.lhs_attrs.len());
+        for (ids, rows) in lhs_index.groups() {
+            if ignore_nulls
+                && ids
+                    .iter()
+                    .zip(&null_ids)
+                    .any(|(id, null)| Some(*id) == *null)
+            {
+                continue;
+            }
+            if translation.translate(&ids, &mut translated) && rhs.contains_ids(&translated) {
+                continue;
+            }
+            bad_rows.extend_from_slice(rows);
+        }
+        // Store rows are in insertion order, so sorted rows give the
+        // ascending tuple-id order of the naive scan.
+        bad_rows.sort_unstable();
+        bad_rows
+            .into_iter()
+            .map(|r| lhs_index.tuple_id(r))
+            .collect()
     }
 }
 
@@ -364,6 +432,63 @@ mod tests {
     fn arity_mismatch_is_rejected() {
         let (order, book, _) = schemas();
         assert!(Ind::new(&order, &["title"], &book, &["title", "price"]).is_err());
+    }
+
+    #[test]
+    fn ignore_nulls_exempts_null_lhs_cells() {
+        // Regression test: one NULL LHS cell used to kill every IND because
+        // the projection (…, NULL, …) matches no RHS tuple.
+        let (order, book, _) = schemas();
+        let mut db = db();
+        db.relation_mut("order")
+            .unwrap()
+            .insert_values([
+                Value::str("a77"),
+                Value::Null,
+                Value::str("book"),
+                Value::real(17.99),
+            ])
+            .unwrap();
+        let ind = Ind::new(&order, &["title", "price"], &book, &["title", "price"]).unwrap();
+        assert!(!ind.holds_on(&db).unwrap(), "default semantics unchanged");
+        assert_eq!(ind.violations(&db).unwrap().len(), 1);
+        assert!(
+            ind.holds_on_with(&db, true).unwrap(),
+            "SQL-style semantics skip the null projection"
+        );
+        assert!(ind.violations_with(&db, true).unwrap().is_empty());
+    }
+
+    #[test]
+    fn interned_violations_equal_naive() {
+        let (order, book, _) = schemas();
+        let mut db = db();
+        db.relation_mut("order")
+            .unwrap()
+            .insert_values([
+                Value::str("a77"),
+                Value::Null,
+                Value::str("book"),
+                Value::real(99.0),
+            ])
+            .unwrap();
+        for ind in [
+            Ind::new(&order, &["title", "price"], &book, &["title", "price"]).unwrap(),
+            Ind::new(&order, &["asin"], &book, &["isbn"]).unwrap(),
+            Ind::new(&order, &["title"], &book, &["title"]).unwrap(),
+        ] {
+            let lhs = db.require_relation(ind.lhs_relation()).unwrap();
+            let rhs = db.require_relation(ind.rhs_relation()).unwrap();
+            let index = InternedIndex::build(lhs, &lhs.columnar(), ind.lhs_attrs(), 1);
+            let distinct = DistinctSet::build(rhs, &rhs.columnar(), ind.rhs_attrs(), 1);
+            for ignore_nulls in [false, true] {
+                assert_eq!(
+                    ind.violations_with_interned(&index, &distinct, ignore_nulls),
+                    ind.violations_with(&db, ignore_nulls).unwrap(),
+                    "{ind} (ignore_nulls {ignore_nulls})"
+                );
+            }
+        }
     }
 
     #[test]

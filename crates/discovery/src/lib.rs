@@ -51,7 +51,8 @@ pub mod prelude {
         discover_fds, discover_fds_with_pool, DiscoveredFds, FdDiscoveryConfig,
     };
     pub use crate::ind_discovery::{
-        discover_cind_conditions, discover_inds, DiscoveredInds, IndDiscoveryConfig,
+        discover_cind_conditions, discover_cind_conditions_with_pool, discover_inds,
+        discover_inds_with_pool, DiscoveredInds, IndDiscoveryConfig,
     };
     pub use crate::md_discovery::{
         learn_relative_keys, LearnedRule, LearnedRuleSet, RuleLearningConfig,

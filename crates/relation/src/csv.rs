@@ -4,7 +4,11 @@
 //! only need a way to move small instances in and out of text form (examples,
 //! golden files, debugging dumps).  The format is deliberately simple: one
 //! header row with attribute names, `|`-separated cells, `NULL` for nulls.
-//! No quoting or escaping is attempted — none of the paper's data needs it.
+//! No quoting or escaping is attempted; instead, [`to_text`] *refuses* to
+//! serialize an instance whose round-trip would be lossy — a text cell that
+//! renders as the literal `NULL` (it would be re-parsed as [`Value::Null`]),
+//! or any cell or attribute name containing the separator or a line break
+//! (every following column would shift on re-parse).
 
 use crate::error::{DqError, DqResult};
 use crate::instance::RelationInstance;
@@ -16,23 +20,61 @@ use std::sync::Arc;
 /// The cell separator used by [`to_text`] and [`from_text`].
 pub const SEPARATOR: char = '|';
 
+/// Rejects a rendered cell (or attribute name) whose text would not survive
+/// the round trip through [`from_text`].
+fn check_cell(rendered: &str, is_text_value: bool, context: &str) -> DqResult<()> {
+    if is_text_value && rendered == "NULL" {
+        return Err(DqError::Parse {
+            reason: format!(
+                "{context} is the literal `NULL` and would be re-parsed as a null; \
+                 refusing a lossy round trip"
+            ),
+        });
+    }
+    if rendered.contains(SEPARATOR) || rendered.contains('\n') || rendered.contains('\r') {
+        return Err(DqError::Parse {
+            reason: format!(
+                "{context} `{rendered}` contains the separator `{SEPARATOR}` or a line \
+                 break; every following column would shift on re-parse"
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Serializes an instance to delimited text (header row + one row per tuple).
-pub fn to_text(instance: &RelationInstance) -> String {
+///
+/// Errors instead of corrupting the round trip: a `Text` cell whose content
+/// is literally `NULL` would come back as [`Value::Null`], and a cell (or
+/// attribute name) containing the separator or a line break would shift
+/// every following column.
+pub fn to_text(instance: &RelationInstance) -> DqResult<String> {
     let schema = instance.schema();
     let mut out = String::new();
-    let header: Vec<&str> = schema
-        .attributes()
-        .iter()
-        .map(|a| a.name.as_str())
-        .collect();
-    out.push_str(&header.join(&SEPARATOR.to_string()));
+    for (i, attr) in schema.attributes().iter().enumerate() {
+        check_cell(&attr.name, false, "attribute name")?;
+        if i > 0 {
+            out.push(SEPARATOR);
+        }
+        out.push_str(&attr.name);
+    }
     out.push('\n');
-    for (_, tuple) in instance.iter() {
-        let row: Vec<String> = tuple.values().iter().map(|v| v.to_string()).collect();
-        out.push_str(&row.join(&SEPARATOR.to_string()));
+    for (id, tuple) in instance.iter() {
+        for (i, v) in tuple.values().iter().enumerate() {
+            let rendered = v.to_string();
+            check_cell(
+                &rendered,
+                matches!(v, Value::Str(_)),
+                &format!("cell ({id}, {})", schema.attr_name(i)),
+            )?;
+            if i > 0 {
+                out.push(SEPARATOR);
+            }
+            out.push_str(&rendered);
+        }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Parses a single cell according to the attribute domain.
@@ -136,9 +178,66 @@ mod tests {
             Value::bool(false),
         ])
         .unwrap();
-        let text = to_text(&inst);
+        let text = to_text(&inst).unwrap();
         let parsed = from_text(Arc::clone(&schema), &text).unwrap();
         assert!(inst.same_tuples_as(&parsed));
+    }
+
+    #[test]
+    fn literal_null_text_is_rejected_instead_of_corrupted() {
+        // Regression test: a `Text` cell whose content is literally "NULL"
+        // used to serialize fine and come back as `Value::Null`.
+        let schema = schema();
+        let mut inst = RelationInstance::new(Arc::clone(&schema));
+        inst.insert_values([
+            Value::int(1),
+            Value::str("NULL"),
+            Value::real(1.0),
+            Value::bool(true),
+        ])
+        .unwrap();
+        let err = to_text(&inst).unwrap_err();
+        assert!(matches!(err, DqError::Parse { .. }), "got {err:?}");
+        // An actual null still round-trips as before.
+        let mut with_null = RelationInstance::new(Arc::clone(&schema));
+        with_null
+            .insert_values([
+                Value::int(1),
+                Value::Null,
+                Value::real(1.0),
+                Value::bool(true),
+            ])
+            .unwrap();
+        let parsed = from_text(Arc::clone(&schema), &to_text(&with_null).unwrap()).unwrap();
+        assert!(with_null.same_tuples_as(&parsed));
+    }
+
+    #[test]
+    fn separator_in_cell_is_rejected_instead_of_shifting_columns() {
+        // Regression test: a cell containing `|` used to shift every
+        // following column on re-parse (or fail with a confusing arity
+        // error); now serialization refuses up front.
+        let schema = schema();
+        let mut inst = RelationInstance::new(Arc::clone(&schema));
+        inst.insert_values([
+            Value::int(1),
+            Value::str("Mike|Smith"),
+            Value::real(1.0),
+            Value::bool(true),
+        ])
+        .unwrap();
+        assert!(to_text(&inst).is_err());
+        // Embedded line breaks are the same failure class.
+        let mut with_newline = RelationInstance::new(Arc::clone(&schema));
+        with_newline
+            .insert_values([
+                Value::int(1),
+                Value::str("two\nlines"),
+                Value::real(1.0),
+                Value::bool(true),
+            ])
+            .unwrap();
+        assert!(to_text(&with_newline).is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! instance rebuild nothing at all.
 
 use crate::instance::{RelationInstance, TupleId};
-use crate::store::InternedIndex;
+use crate::store::{DistinctSet, InternedIndex};
 use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -121,7 +121,8 @@ pub struct IndexPoolStats {
 
 /// A thread-safe memo table of indexes keyed by
 /// `(instance identity, instance version, attribute list)` — value-keyed
-/// [`HashIndex`]es and compact [`InternedIndex`]es side by side.
+/// [`HashIndex`]es, compact [`InternedIndex`]es and distinct-projection
+/// [`DistinctSet`]s side by side.
 ///
 /// Any mutation of an instance bumps its [`RelationInstance::version`], so a
 /// pool entry can never be served stale: a request for the mutated instance
@@ -138,6 +139,7 @@ pub struct IndexPool {
     capacity: usize,
     cache: Mutex<HashMap<PoolKey, Arc<HashIndex>>>,
     interned: Mutex<HashMap<PoolKey, Arc<InternedIndex>>>,
+    distinct: Mutex<HashMap<PoolKey, Arc<DistinctSet>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     appends: AtomicU64,
@@ -164,6 +166,7 @@ impl IndexPool {
             capacity: capacity.max(1),
             cache: Mutex::new(HashMap::new()),
             interned: Mutex::new(HashMap::new()),
+            distinct: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             appends: AtomicU64::new(0),
@@ -217,6 +220,56 @@ impl IndexPool {
         Self::insert_evicting(&mut cache, key, built, self.capacity, |_| false)
     }
 
+    /// The extend-or-build protocol shared by every append-extendable
+    /// columnar artifact ([`InternedIndex`], [`DistinctSet`]): serve a hit,
+    /// else find the best append-extendable predecessor — same instance and
+    /// attributes, older version, nothing but inserts in between — and let
+    /// `extend` re-key only the appended rows (counted in
+    /// [`IndexPoolStats::appends`]), falling back to `build`.  The insert
+    /// keeps stale entries on *other* attribute lists alive while they stay
+    /// append-extendable, so one growth round can extend every cached
+    /// artifact, not just the first one re-requested; each attribute list's
+    /// own insert still drops its predecessors.
+    fn artifact_for<V>(
+        &self,
+        cache: &Mutex<HashMap<PoolKey, Arc<V>>>,
+        instance: &RelationInstance,
+        attrs: &[usize],
+        extend: impl Fn(&V) -> Option<V>,
+        build: impl FnOnce() -> V,
+    ) -> Arc<V> {
+        let key: PoolKey = (instance.instance_id(), instance.version(), attrs.to_vec());
+        let predecessor = {
+            let cache = cache.lock().expect("index pool poisoned");
+            if let Some(hit) = cache.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+            cache
+                .iter()
+                .filter(|((id, version, cached_attrs), _)| {
+                    *id == key.0
+                        && *version < key.1
+                        && cached_attrs == attrs
+                        && instance.append_only_since(*version)
+                })
+                .max_by_key(|((_, version, _), _)| *version)
+                .map(|(_, artifact)| Arc::clone(artifact))
+        };
+        // Build outside the lock so concurrent requests for *different*
+        // artifacts proceed in parallel; a racing duplicate build of the
+        // same one is benign (first write wins, results are identical).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let extended = predecessor.and_then(|prev| extend(&prev)).inspect(|_| {
+            self.appends.fetch_add(1, Ordering::Relaxed);
+        });
+        let built = Arc::new(extended.unwrap_or_else(build));
+        let mut cache = cache.lock().expect("index pool poisoned");
+        Self::insert_evicting(&mut cache, key, built, self.capacity, |cached| {
+            cached.2 != *attrs && instance.append_only_since(cached.1)
+        })
+    }
+
     /// The interned (compact-key, CSR) index of `instance` on `attrs`, built
     /// at most once per instance version over the instance's columnar
     /// snapshot, using up to `threads` workers for a cold build.
@@ -233,44 +286,36 @@ impl IndexPool {
         attrs: &[usize],
         threads: usize,
     ) -> Arc<InternedIndex> {
-        let key: PoolKey = (instance.instance_id(), instance.version(), attrs.to_vec());
-        let predecessor = {
-            let cache = self.interned.lock().expect("index pool poisoned");
-            if let Some(hit) = cache.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
-            }
-            // Best append-extendable predecessor: same instance and
-            // attributes, older version, nothing but inserts in between.
-            cache
-                .iter()
-                .filter(|((id, version, cached_attrs), _)| {
-                    *id == key.0
-                        && *version < key.1
-                        && cached_attrs == attrs
-                        && instance.append_only_since(*version)
-                })
-                .max_by_key(|((_, version, _), _)| *version)
-                .map(|(_, idx)| Arc::clone(idx))
-        };
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let store = instance.columnar();
-        let extended = predecessor
-            .and_then(|prev| InternedIndex::try_extended(&prev, instance, &store))
-            .inspect(|_| {
-                self.appends.fetch_add(1, Ordering::Relaxed);
-            });
-        let built = Arc::new(
-            extended.unwrap_or_else(|| InternedIndex::build(instance, &store, attrs, threads)),
-        );
-        let mut cache = self.interned.lock().expect("index pool poisoned");
-        // Stale entries on *other* attribute lists stay alive while they
-        // remain append-extendable, so one growth round can extend every
-        // cached index, not just the first one re-requested; this insert
-        // still drops this attribute list's own predecessors.
-        Self::insert_evicting(&mut cache, key, built, self.capacity, |cached| {
-            cached.2 != *attrs && instance.append_only_since(cached.1)
-        })
+        self.artifact_for(
+            &self.interned,
+            instance,
+            attrs,
+            |prev| InternedIndex::try_extended(prev, instance, &instance.columnar()),
+            || InternedIndex::build(instance, &instance.columnar(), attrs, threads),
+        )
+    }
+
+    /// The distinct-projection set of `instance` on `attrs`, built at most
+    /// once per instance version over the instance's columnar snapshot,
+    /// using up to `threads` workers for a cold build.
+    ///
+    /// Misses after append-only growth are served by
+    /// [`DistinctSet::try_extended`] — only the appended rows are packed and
+    /// inserted, with the same repack-aware radix handling as the interned
+    /// indexes — and count into [`IndexPoolStats::appends`].
+    pub fn distinct_for(
+        &self,
+        instance: &RelationInstance,
+        attrs: &[usize],
+        threads: usize,
+    ) -> Arc<DistinctSet> {
+        self.artifact_for(
+            &self.distinct,
+            instance,
+            attrs,
+            |prev| DistinctSet::try_extended(prev, instance, &instance.columnar()),
+            || DistinctSet::build(instance, &instance.columnar(), attrs, threads),
+        )
     }
 
     /// Drops every cached index of `instance` (any version).  Mutations make
@@ -284,24 +329,40 @@ impl IndexPool {
             .lock()
             .expect("index pool poisoned")
             .retain(|(id, _, _), _| *id != instance.instance_id());
+        self.distinct
+            .lock()
+            .expect("index pool poisoned")
+            .retain(|(id, _, _), _| *id != instance.instance_id());
     }
 
     /// Drops every cached index.
     pub fn clear(&self) {
         self.cache.lock().expect("index pool poisoned").clear();
         self.interned.lock().expect("index pool poisoned").clear();
+        self.distinct.lock().expect("index pool poisoned").clear();
     }
 
-    /// Current cache counters (hits and misses aggregate both index kinds;
-    /// entries counts both caches).
+    /// Current cache counters (hits and misses aggregate every index kind;
+    /// entries counts all caches).
     pub fn stats(&self) -> IndexPoolStats {
         IndexPoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             appends: self.appends.load(Ordering::Relaxed),
             entries: self.cache.lock().expect("index pool poisoned").len()
-                + self.interned.lock().expect("index pool poisoned").len(),
+                + self.interned.lock().expect("index pool poisoned").len()
+                + self.distinct.lock().expect("index pool poisoned").len(),
         }
+    }
+
+    /// Approximate heap bytes across every cached distinct-projection set.
+    pub fn approx_distinct_bytes(&self) -> usize {
+        self.distinct
+            .lock()
+            .expect("index pool poisoned")
+            .values()
+            .map(|set| set.approx_heap_bytes())
+            .sum()
     }
 
     /// Approximate heap bytes across every cached interned index (the
@@ -585,6 +646,30 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.appends, 3, "all three indexes extend");
         assert_eq!(stats.entries, 3, "stale donors are gone after reuse");
+    }
+
+    #[test]
+    fn distinct_pool_reuses_and_extends_sets() {
+        let mut inst = instance();
+        let pool = IndexPool::new();
+        let a = pool.distinct_for(&inst, &[0, 1], 1);
+        let b = pool.distinct_for(&inst, &[0, 1], 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), inst.project_distinct(&[0, 1]).len());
+        assert!(pool.approx_distinct_bytes() > 0);
+        // Append-only growth extends the cached set — even when the new row
+        // carries a brand-new value (the repack-aware path).
+        inst.insert_values([Value::int(77), Value::str("new"), Value::str("p")])
+            .unwrap();
+        let grown = pool.distinct_for(&inst, &[0, 1], 1);
+        assert_eq!(pool.stats().appends, 1, "growth extends, never rebuilds");
+        assert_eq!(grown.len(), inst.project_distinct(&[0, 1]).len());
+        assert!(grown.contains_values(&[Value::int(77), Value::str("new")]));
+        // A non-append mutation falls back to a full rebuild.
+        inst.update_cell(crate::instance::CellRef::new(TupleId(0), 0), Value::int(-1));
+        let rebuilt = pool.distinct_for(&inst, &[0, 1], 1);
+        assert_eq!(pool.stats().appends, 1);
+        assert_eq!(rebuilt.len(), inst.project_distinct(&[0, 1]).len());
     }
 
     #[test]

@@ -1,0 +1,597 @@
+//! Distinct-projection sets over interned columns.
+//!
+//! IND-style checks (`R1[X] ⊆ R2[Y]`, Section 2.2) reduce to a question
+//! about *distinct* projections: every distinct `X`-projection of `R1` must
+//! appear among the distinct `Y`-projections of `R2`.  The row-oriented
+//! implementation materializes a `BTreeSet<Vec<Value>>` per side per
+//! candidate; [`DistinctSet`] replaces that with the packed-key machinery of
+//! [`InternedIndex`](super::index::InternedIndex) minus the CSR postings —
+//! just the set of distinct keys, one machine word each for almost every
+//! real projection — cached in
+//! [`IndexPool`](crate::index::IndexPool) per `(instance, version,
+//! attribute list)` and extended in place after append-only mutations.
+//!
+//! Cross-relation membership goes through [`IdTranslation`]: the LHS
+//! dictionaries are translated into the RHS dictionaries *once per
+//! dictionary entry* (`O(distinct values)`), after which each probe is a few
+//! array lookups and one hash of a packed word — no `Vec<Value>` is ever
+//! materialized.
+
+use super::columnar::{Column, ColumnarStore, SHARD_ROWS};
+use super::fx::FxHashSet;
+use super::index::{widen_plan, KeyCodec, Repr, WidenPlan};
+use super::interner::ValueId;
+use crate::instance::RelationInstance;
+use crate::value::Value;
+use std::hash::Hash;
+use std::mem::size_of;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The key storage of a [`DistinctSet`], monomorphized per packing.
+#[derive(Clone, Debug)]
+enum KeySet {
+    U64(FxHashSet<u64>),
+    U128(FxHashSet<u128>),
+    Wide(FxHashSet<Box<[ValueId]>>),
+}
+
+/// The set of distinct projections of one instance onto a fixed attribute
+/// list, as packed dictionary-id keys.
+///
+/// Equality of ids is equality of values per column, so membership answers
+/// are identical to the `BTreeSet<Vec<Value>>` the row-oriented projection
+/// builds — at a fraction of the memory and with no per-probe allocation.
+#[derive(Clone, Debug)]
+pub struct DistinctSet {
+    attrs: Vec<usize>,
+    store: Arc<ColumnarStore>,
+    codec: KeyCodec,
+    keys: KeySet,
+}
+
+impl DistinctSet {
+    /// Builds the distinct-projection set of `instance` on `attrs` over the
+    /// columnar snapshot `store`, using up to `threads` workers.
+    pub fn build(
+        instance: &RelationInstance,
+        store: &Arc<ColumnarStore>,
+        attrs: &[usize],
+        threads: usize,
+    ) -> Self {
+        Self::build_with_shard_rows(instance, store, attrs, threads, SHARD_ROWS)
+    }
+
+    /// [`build`](Self::build) with an explicit shard size (exposed for
+    /// exercising the multi-shard union path in tests).
+    pub fn build_with_shard_rows(
+        instance: &RelationInstance,
+        store: &Arc<ColumnarStore>,
+        attrs: &[usize],
+        threads: usize,
+        shard_rows: usize,
+    ) -> Self {
+        let columns: Vec<Arc<Column>> = attrs.iter().map(|&a| store.column(instance, a)).collect();
+        let codec = KeyCodec::new(columns);
+        let n = store.len();
+        let keys = match &codec.repr {
+            Repr::Radix(radices) => KeySet::U64(collect_keys(n, threads, shard_rows, |row| {
+                KeyCodec::pack_u64_row(radices, codec.columns(), row)
+            })),
+            Repr::Shift => KeySet::U128(collect_keys(n, threads, shard_rows, |row| {
+                KeyCodec::pack_u128_row(codec.columns(), row)
+            })),
+            Repr::Wide => KeySet::Wide(collect_keys(n, threads, shard_rows, |row| {
+                codec
+                    .columns()
+                    .iter()
+                    .map(|c| c.id_at(row))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
+            })),
+        };
+        DistinctSet {
+            attrs: attrs.to_vec(),
+            store: Arc::clone(store),
+            codec,
+            keys,
+        }
+    }
+
+    /// Extends `prev` — a set of the same instance on the same attributes,
+    /// built at an earlier version — after append-only mutations: the key
+    /// set is cloned (re-packed under widened radices when a key column's
+    /// dictionary outgrew its radix, exactly like
+    /// [`InternedIndex::try_extended`](super::index::InternedIndex::try_extended))
+    /// and only the appended rows are packed and inserted.  Returns `None`
+    /// only when no exact packing carries over (> 4-wide radix keys whose
+    /// widened product overflows `u64`).
+    pub fn try_extended(
+        prev: &DistinctSet,
+        instance: &RelationInstance,
+        store: &Arc<ColumnarStore>,
+    ) -> Option<DistinctSet> {
+        if store.instance_id() != prev.store.instance_id() || store.len() < prev.store.len() {
+            return None;
+        }
+        let columns: Vec<Arc<Column>> = prev
+            .attrs
+            .iter()
+            .map(|&a| store.column(instance, a))
+            .collect();
+        let (mut keys, repr) = match (widen_plan(&prev.codec.repr, &columns)?, &prev.keys) {
+            (WidenPlan::Keep, keys) => (keys.clone(), prev.codec.repr.clone()),
+            (WidenPlan::Widen(widened), KeySet::U64(s)) => {
+                let Repr::Radix(old) = &prev.codec.repr else {
+                    unreachable!("widening plans only arise from radix packings");
+                };
+                let repacked = s
+                    .iter()
+                    .map(|&k| KeyCodec::pack_u64_ids(&widened, &KeyCodec::unpack_u64(old, k)))
+                    .collect();
+                (KeySet::U64(repacked), Repr::Radix(widened))
+            }
+            (WidenPlan::ToShift, KeySet::U64(s)) => {
+                let Repr::Radix(old) = &prev.codec.repr else {
+                    unreachable!("widening plans only arise from radix packings");
+                };
+                let shifted = s
+                    .iter()
+                    .map(|&k| KeyCodec::pack_u128_ids(&KeyCodec::unpack_u64(old, k)))
+                    .collect();
+                (KeySet::U128(shifted), Repr::Shift)
+            }
+            _ => unreachable!("widening plans only arise from u64 key sets"),
+        };
+        let codec = KeyCodec::from_parts(columns, repr);
+        for row in prev.store.len()..store.len() {
+            match (&mut keys, &codec.repr) {
+                (KeySet::U64(s), Repr::Radix(radices)) => {
+                    s.insert(KeyCodec::pack_u64_row(radices, codec.columns(), row));
+                }
+                (KeySet::U128(s), Repr::Shift) => {
+                    s.insert(KeyCodec::pack_u128_row(codec.columns(), row));
+                }
+                (KeySet::Wide(s), Repr::Wide) => {
+                    s.insert(
+                        codec
+                            .columns()
+                            .iter()
+                            .map(|c| c.id_at(row))
+                            .collect::<Vec<_>>()
+                            .into_boxed_slice(),
+                    );
+                }
+                _ => unreachable!("key set variant always matches codec repr"),
+            }
+        }
+        Some(DistinctSet {
+            attrs: prev.attrs.clone(),
+            store: Arc::clone(store),
+            codec,
+            keys,
+        })
+    }
+
+    /// The attribute positions this set projects onto.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// The columnar snapshot behind the set.
+    pub fn store(&self) -> &Arc<ColumnarStore> {
+        &self.store
+    }
+
+    /// The key columns, positionally aligned with [`attrs`](Self::attrs).
+    pub fn columns(&self) -> &[Arc<Column>] {
+        self.codec.columns()
+    }
+
+    /// Number of distinct projections.
+    pub fn len(&self) -> usize {
+        match &self.keys {
+            KeySet::U64(s) => s.len(),
+            KeySet::U128(s) => s.len(),
+            KeySet::Wide(s) => s.len(),
+        }
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The id of `value` in the `pos`-th key column's dictionary, if any
+    /// tuple carries it there.
+    pub fn lookup_id(&self, pos: usize, value: &Value) -> Option<ValueId> {
+        self.codec.columns()[pos].interner().lookup(value)
+    }
+
+    /// Does some tuple project onto the id tuple `key` (ids from *this*
+    /// set's dictionaries)?
+    pub fn contains_ids(&self, key: &[ValueId]) -> bool {
+        debug_assert_eq!(key.len(), self.attrs.len());
+        match (&self.keys, &self.codec.repr) {
+            (KeySet::U64(s), Repr::Radix(radices)) => {
+                s.contains(&KeyCodec::pack_u64_ids(radices, key))
+            }
+            (KeySet::U128(s), _) => s.contains(&KeyCodec::pack_u128_ids(key)),
+            (KeySet::Wide(s), _) => s.contains(key),
+            _ => unreachable!("key set variant always matches codec repr"),
+        }
+    }
+
+    /// Does some tuple project onto the value tuple `key`?  A value absent
+    /// from its column's dictionary cannot match.
+    pub fn contains_values(&self, key: &[Value]) -> bool {
+        let mut ids = Vec::with_capacity(key.len());
+        for (pos, v) in key.iter().enumerate() {
+            match self.lookup_id(pos, v) {
+                Some(id) => ids.push(id),
+                None => return false,
+            }
+        }
+        self.contains_ids(&ids)
+    }
+
+    /// Iterates over the distinct projections as id tuples, in unspecified
+    /// order.
+    pub fn iter_ids(&self) -> Box<dyn Iterator<Item = Vec<ValueId>> + '_> {
+        let width = self.attrs.len();
+        match (&self.keys, &self.codec.repr) {
+            (KeySet::U64(s), Repr::Radix(radices)) => {
+                Box::new(s.iter().map(move |&k| KeyCodec::unpack_u64(radices, k)))
+            }
+            (KeySet::U128(s), _) => {
+                Box::new(s.iter().map(move |&k| KeyCodec::unpack_u128(width, k)))
+            }
+            (KeySet::Wide(s), _) => Box::new(s.iter().map(|k| k.to_vec())),
+            _ => unreachable!("key set variant always matches codec repr"),
+        }
+    }
+
+    /// Does `f` hold for every distinct projection?  Keys are decoded into
+    /// one reused buffer, so the hot probe paths ([`included_in`]
+    /// (Self::included_in), [`key_count`](Self::key_count)) allocate
+    /// nothing per key.
+    fn all_keys(&self, mut f: impl FnMut(&[ValueId]) -> bool) -> bool {
+        let mut buf = vec![ValueId(0); self.attrs.len()];
+        match (&self.keys, &self.codec.repr) {
+            (KeySet::U64(s), Repr::Radix(radices)) => s.iter().all(|&k| {
+                KeyCodec::unpack_u64_into(radices, k, &mut buf);
+                f(&buf)
+            }),
+            (KeySet::U128(s), _) => s.iter().all(|&k| {
+                KeyCodec::unpack_u128_into(k, &mut buf);
+                f(&buf)
+            }),
+            (KeySet::Wide(s), _) => s.iter().all(|k| f(k)),
+            _ => unreachable!("key set variant always matches codec repr"),
+        }
+    }
+
+    /// The per-position ids of `Value::Null` in this set's dictionaries
+    /// (`None` where the column has no null cell).  Used by SQL-style IND
+    /// semantics to skip keys with a null component.
+    pub fn null_ids(&self) -> Vec<Option<ValueId>> {
+        self.codec
+            .columns()
+            .iter()
+            .map(|c| c.interner().lookup(&Value::Null))
+            .collect()
+    }
+
+    /// Number of distinct projections, optionally not counting projections
+    /// with a `Value::Null` component (SQL-style IND semantics).
+    pub fn key_count(&self, skip_null_keys: bool) -> usize {
+        if !skip_null_keys {
+            return self.len();
+        }
+        let nulls = self.null_ids();
+        if nulls.iter().all(Option::is_none) {
+            return self.len();
+        }
+        let mut count = 0usize;
+        self.all_keys(|ids| {
+            count += usize::from(!key_has_null(ids, &nulls));
+            true
+        });
+        count
+    }
+
+    /// Is every distinct projection of `self` (optionally skipping
+    /// projections with a null component) also a projection of `other`?
+    ///
+    /// The two sets may come from different relations: ids are translated
+    /// between the dictionaries once per dictionary entry, not per key.
+    pub fn included_in(&self, other: &DistinctSet, skip_null_keys: bool) -> bool {
+        debug_assert_eq!(self.attrs.len(), other.attrs.len());
+        // Counting argument: more distinct keys than the candidate superset
+        // has cannot be a subset — decides most non-inclusions (foreign-key
+        // shaped columns probed against smaller targets) without building
+        // the translation tables at all.
+        if self.key_count(skip_null_keys) > other.len() {
+            return false;
+        }
+        let translation = IdTranslation::new(self.columns(), other.columns());
+        let nulls = if skip_null_keys {
+            self.null_ids()
+        } else {
+            vec![None; self.attrs.len()]
+        };
+        let mut translated = Vec::with_capacity(self.attrs.len());
+        self.all_keys(|ids| {
+            (skip_null_keys && key_has_null(ids, &nulls))
+                || (translation.translate(ids, &mut translated) && other.contains_ids(&translated))
+        })
+    }
+
+    /// Approximate heap bytes of the key set itself (the backing columns are
+    /// shared and reported by [`ColumnarStore::stats`]).
+    pub fn approx_heap_bytes(&self) -> usize {
+        match &self.keys {
+            KeySet::U64(s) => s.capacity() * (size_of::<u64>() + 1),
+            KeySet::U128(s) => s.capacity() * (size_of::<u128>() + 1),
+            KeySet::Wide(s) => {
+                s.capacity() * (size_of::<Box<[ValueId]>>() + 1)
+                    + s.iter()
+                        .map(|k| k.len() * size_of::<ValueId>())
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Does the id tuple contain a component equal to its column's null id?
+#[inline]
+fn key_has_null(ids: &[ValueId], nulls: &[Option<ValueId>]) -> bool {
+    ids.iter().zip(nulls).any(|(id, null)| Some(*id) == *null)
+}
+
+/// Per-position translation tables from one relation's column dictionaries
+/// into another's, built once per dictionary (`O(distinct values)`) so that
+/// cross-relation probes cost a few array lookups per key instead of hashing
+/// a `Vec<Value>` per tuple.
+#[derive(Debug)]
+pub struct IdTranslation {
+    /// `tables[pos][from_id] = Some(to_id)` when the value exists in the
+    /// target dictionary, `None` when it cannot match any target tuple.
+    tables: Vec<Vec<Option<ValueId>>>,
+}
+
+impl IdTranslation {
+    /// Builds the translation from `from` dictionaries into positionally
+    /// aligned `to` dictionaries.
+    pub fn new(from: &[Arc<Column>], to: &[Arc<Column>]) -> Self {
+        debug_assert_eq!(from.len(), to.len());
+        IdTranslation {
+            tables: from
+                .iter()
+                .zip(to)
+                .map(|(f, t)| {
+                    f.interner()
+                        .values()
+                        .iter()
+                        .map(|v| t.interner().lookup(v))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Translates a source id tuple into `out`; `false` means some component
+    /// value is absent from the target dictionary (and can match nothing).
+    #[inline]
+    pub fn translate(&self, ids: &[ValueId], out: &mut Vec<ValueId>) -> bool {
+        out.clear();
+        for (table, id) in self.tables.iter().zip(ids) {
+            match table[id.index()] {
+                Some(t) => out.push(t),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Translates the projection of row `row` of the source columns into
+    /// `out`; `false` means some cell's value is absent from the target
+    /// dictionary.
+    #[inline]
+    pub fn translate_row(
+        &self,
+        columns: &[Arc<Column>],
+        row: usize,
+        out: &mut Vec<ValueId>,
+    ) -> bool {
+        out.clear();
+        for (table, col) in self.tables.iter().zip(columns) {
+            match table[col.id_at(row).index()] {
+                Some(t) => out.push(t),
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Parallel distinct-key collection: scan shards into local sets (claimed
+/// through an atomic cursor when `threads > 1`), then union in any order —
+/// sets are order-free, so no merge bookkeeping is needed.
+fn collect_keys<K: Eq + Hash + Send>(
+    n_rows: usize,
+    threads: usize,
+    shard_rows: usize,
+    key_at: impl Fn(usize) -> K + Sync,
+) -> FxHashSet<K> {
+    let shard_rows = shard_rows.max(1);
+    let shard_count = n_rows.div_ceil(shard_rows).max(1);
+    let shard_range = |s: usize| (s * shard_rows).min(n_rows)..((s + 1) * shard_rows).min(n_rows);
+    let scan = |range: std::ops::Range<usize>| -> FxHashSet<K> {
+        let mut set = FxHashSet::default();
+        for row in range {
+            set.insert(key_at(row));
+        }
+        set
+    };
+    if threads <= 1 || shard_count <= 1 {
+        let mut out = scan(shard_range(0));
+        for s in 1..shard_count {
+            out.extend(scan(shard_range(s)));
+        }
+        return out;
+    }
+    let slots: Vec<Mutex<Option<FxHashSet<K>>>> =
+        (0..shard_count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(shard_count) {
+            scope.spawn(|| loop {
+                let s = cursor.fetch_add(1, Ordering::Relaxed);
+                if s >= shard_count {
+                    break;
+                }
+                *slots[s].lock().expect("shard slot poisoned") = Some(scan(shard_range(s)));
+            });
+        }
+    });
+    let mut out = FxHashSet::default();
+    for slot in slots {
+        out.extend(
+            slot.into_inner()
+                .expect("shard slot poisoned")
+                .expect("every shard scanned before scope exit"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Domain, RelationSchema};
+    use std::collections::BTreeSet;
+
+    fn instance(n: usize) -> RelationInstance {
+        let schema = RelationSchema::new(
+            "r",
+            [("A", Domain::Int), ("B", Domain::Text), ("C", Domain::Int)],
+        );
+        let mut inst = RelationInstance::from_schema(schema);
+        for i in 0..n {
+            inst.insert_values([
+                Value::int((i % 7) as i64),
+                Value::str(format!("s{}", i % 5)),
+                Value::int(i as i64),
+            ])
+            .unwrap();
+        }
+        inst
+    }
+
+    /// Canonical view: the set of resolved value tuples.
+    fn canonical(set: &DistinctSet) -> BTreeSet<String> {
+        set.iter_ids()
+            .map(|ids| {
+                let key: Vec<&Value> = ids
+                    .iter()
+                    .zip(set.columns())
+                    .map(|(&id, col)| col.interner().resolve(id))
+                    .collect();
+                format!("{key:?}")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distinct_set_equals_row_oriented_projection() {
+        let inst = instance(100);
+        let store = inst.columnar();
+        for attrs in [&[0usize][..], &[1], &[0, 1], &[0, 1, 2], &[]] {
+            let set = DistinctSet::build(&inst, &store, attrs, 1);
+            let reference = inst.project_distinct(attrs);
+            assert_eq!(set.len(), reference.len(), "attrs {attrs:?}");
+            for key in &reference {
+                assert!(set.contains_values(key), "attrs {attrs:?}, key {key:?}");
+            }
+            assert!(
+                !set.contains_values(
+                    &attrs
+                        .iter()
+                        .map(|_| Value::str("missing"))
+                        .collect::<Vec<_>>()
+                ) || attrs.is_empty()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_parallel_build_matches_sequential() {
+        let inst = instance(257);
+        let store = inst.columnar();
+        let sequential = DistinctSet::build(&inst, &store, &[0, 1], 1);
+        for (threads, shard_rows) in [(1, 16), (4, 16), (4, 50), (3, 1)] {
+            let sharded =
+                DistinctSet::build_with_shard_rows(&inst, &store, &[0, 1], threads, shard_rows);
+            assert_eq!(
+                canonical(&sharded),
+                canonical(&sequential),
+                "threads {threads}, shard_rows {shard_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn extension_equals_fresh_build_even_under_dictionary_growth() {
+        let mut inst = instance(40);
+        let prev_store = inst.columnar();
+        let prev = DistinctSet::build(&inst, &prev_store, &[0, 1], 1);
+        // "fresh" outgrows B's radix: the extension re-packs.
+        inst.insert_values([Value::int(9), Value::str("fresh"), Value::int(999)])
+            .unwrap();
+        inst.insert_values([Value::int(1), Value::str("s1"), Value::int(1000)])
+            .unwrap();
+        let store = inst.columnar();
+        let extended =
+            DistinctSet::try_extended(&prev, &inst, &store).expect("repack-aware extension");
+        let fresh = DistinctSet::build(&inst, &store, &[0, 1], 1);
+        assert_eq!(canonical(&extended), canonical(&fresh));
+        assert!(extended.contains_values(&[Value::int(9), Value::str("fresh")]));
+    }
+
+    #[test]
+    fn included_in_translates_between_dictionaries() {
+        let lhs = instance(20); // A values 0..=6, a strict subset of rows
+        let rhs = instance(60);
+        let lhs_set = DistinctSet::build(&lhs, &lhs.columnar(), &[0], 1);
+        let rhs_set = DistinctSet::build(&rhs, &rhs.columnar(), &[0], 1);
+        assert!(lhs_set.included_in(&rhs_set, false));
+        // A value missing from the RHS dictionary breaks inclusion...
+        let mut bigger = instance(5);
+        bigger
+            .insert_values([Value::int(100), Value::str("x"), Value::int(0)])
+            .unwrap();
+        let bigger_set = DistinctSet::build(&bigger, &bigger.columnar(), &[0], 1);
+        assert!(!bigger_set.included_in(&rhs_set, false));
+        // ...unless the offending key is null and null keys are skipped.
+        let mut nullish = instance(5);
+        nullish
+            .insert_values([Value::Null, Value::str("x"), Value::int(0)])
+            .unwrap();
+        let null_set = DistinctSet::build(&nullish, &nullish.columnar(), &[0], 1);
+        assert!(!null_set.included_in(&rhs_set, false));
+        assert!(null_set.included_in(&rhs_set, true));
+        assert_eq!(null_set.key_count(false), null_set.key_count(true) + 1);
+    }
+
+    #[test]
+    fn empty_attribute_list_has_one_key() {
+        let inst = instance(10);
+        let set = DistinctSet::build(&inst, &inst.columnar(), &[], 1);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains_ids(&[]));
+        let none = instance(0);
+        let empty = DistinctSet::build(&none, &none.columnar(), &[0], 1);
+        assert!(empty.is_empty());
+    }
+}

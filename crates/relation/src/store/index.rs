@@ -47,7 +47,7 @@ pub enum ProjectionKey {
 
 /// How a key over a fixed column list is packed.
 #[derive(Clone, Debug)]
-enum Repr {
+pub(crate) enum Repr {
     /// Mixed-radix into `u64`: radix `i` is the dictionary size of column
     /// `i`, so the packing is a bijection on id tuples.
     Radix(Vec<u64>),
@@ -57,6 +57,53 @@ enum Repr {
     Wide,
 }
 
+/// How an append-time extension adapts a mixed-radix `u64` packing whose
+/// per-column radices new dictionary entries outgrew.  Computed by
+/// [`widen_plan`]; `Keep` means the existing packing is still exact.
+pub(crate) enum WidenPlan {
+    /// No key column's dictionary outgrew its radix: reuse the packing.
+    Keep,
+    /// Re-pack the existing `u64` keys under the widened radices (the new
+    /// product still fits in 64 bits).
+    Widen(Vec<u64>),
+    /// The widened product overflows `u64`: switch the index to the
+    /// radix-free 32-bit shift packing (width ≤ 4 only).
+    ToShift,
+}
+
+/// Decides how (whether) an extension can reuse `prev_repr` over the current
+/// `columns`, whose dictionaries may have grown since the packing was chosen.
+/// Returns `None` when no exact packing can be carried over (a > 4-wide
+/// radix key whose widened product overflows `u64`) and the caller must fall
+/// back to a full rebuild.  The chosen plan always reproduces the repr a
+/// from-scratch [`KeyCodec::new`] would pick, so extended artifacts stay
+/// indistinguishable from fresh builds.
+pub(crate) fn widen_plan(prev_repr: &Repr, columns: &[Arc<Column>]) -> Option<WidenPlan> {
+    let Repr::Radix(radices) = prev_repr else {
+        // Shift and wide packings are radix-free and always extendable.
+        return Some(WidenPlan::Keep);
+    };
+    if columns
+        .iter()
+        .zip(radices)
+        .all(|(col, &radix)| col.distinct() as u64 <= radix)
+    {
+        return Some(WidenPlan::Keep);
+    }
+    let widened: Vec<u64> = columns.iter().map(|c| c.distinct().max(1) as u64).collect();
+    let mut product = 1u64;
+    let fits = widened
+        .iter()
+        .all(|&radix| product.checked_mul(radix).map(|p| product = p).is_some());
+    if fits {
+        Some(WidenPlan::Widen(widened))
+    } else if columns.len() <= 4 {
+        Some(WidenPlan::ToShift)
+    } else {
+        None
+    }
+}
+
 /// Packs row projections over a fixed list of columns into compact keys.
 ///
 /// The packing is exact (collision-free): equal keys mean equal id tuples,
@@ -64,7 +111,7 @@ enum Repr {
 #[derive(Clone, Debug)]
 pub struct KeyCodec {
     columns: Vec<Arc<Column>>,
-    repr: Repr,
+    pub(crate) repr: Repr,
 }
 
 impl KeyCodec {
@@ -100,8 +147,13 @@ impl KeyCodec {
         &self.columns
     }
 
+    /// Builds a codec from parts (extension paths carry a repr forward).
+    pub(crate) fn from_parts(columns: Vec<Arc<Column>>, repr: Repr) -> Self {
+        KeyCodec { columns, repr }
+    }
+
     #[inline]
-    fn pack_u64_row(radices: &[u64], columns: &[Arc<Column>], row: usize) -> u64 {
+    pub(crate) fn pack_u64_row(radices: &[u64], columns: &[Arc<Column>], row: usize) -> u64 {
         let mut acc = 0u64;
         for (col, &radix) in columns.iter().zip(radices) {
             acc = acc * radix + col.id_at(row).0 as u64;
@@ -110,7 +162,7 @@ impl KeyCodec {
     }
 
     #[inline]
-    fn pack_u128_row(columns: &[Arc<Column>], row: usize) -> u128 {
+    pub(crate) fn pack_u128_row(columns: &[Arc<Column>], row: usize) -> u128 {
         let mut acc = 0u128;
         for col in columns {
             acc = (acc << 32) | col.id_at(row).0 as u128;
@@ -118,31 +170,39 @@ impl KeyCodec {
         acc
     }
 
-    fn pack_u64_ids(radices: &[u64], ids: &[ValueId]) -> u64 {
+    pub(crate) fn pack_u64_ids(radices: &[u64], ids: &[ValueId]) -> u64 {
         ids.iter()
             .zip(radices)
             .fold(0u64, |acc, (id, &radix)| acc * radix + id.0 as u64)
     }
 
-    fn pack_u128_ids(ids: &[ValueId]) -> u128 {
+    pub(crate) fn pack_u128_ids(ids: &[ValueId]) -> u128 {
         ids.iter().fold(0u128, |acc, id| (acc << 32) | id.0 as u128)
     }
 
-    fn unpack_u64(radices: &[u64], mut key: u64) -> Vec<ValueId> {
-        let mut out = vec![ValueId(0); radices.len()];
+    pub(crate) fn unpack_u64_into(radices: &[u64], mut key: u64, out: &mut [ValueId]) {
         for (slot, &radix) in out.iter_mut().zip(radices).rev() {
             *slot = ValueId((key % radix) as u32);
             key /= radix;
         }
+    }
+
+    pub(crate) fn unpack_u64(radices: &[u64], key: u64) -> Vec<ValueId> {
+        let mut out = vec![ValueId(0); radices.len()];
+        Self::unpack_u64_into(radices, key, &mut out);
         out
     }
 
-    fn unpack_u128(width: usize, mut key: u128) -> Vec<ValueId> {
-        let mut out = vec![ValueId(0); width];
+    pub(crate) fn unpack_u128_into(mut key: u128, out: &mut [ValueId]) {
         for slot in out.iter_mut().rev() {
             *slot = ValueId((key & u32::MAX as u128) as u32);
             key >>= 32;
         }
+    }
+
+    pub(crate) fn unpack_u128(width: usize, key: u128) -> Vec<ValueId> {
+        let mut out = vec![ValueId(0); width];
+        Self::unpack_u128_into(key, &mut out);
         out
     }
 
@@ -254,11 +314,15 @@ impl InternedIndex {
     /// Extends `prev` — an index of the same instance on the same attribute
     /// list, built at an earlier version — after append-only mutations:
     /// the group table is cloned, the old CSR postings are memcpy'd group by
-    /// group, and only the *appended* rows are packed and hashed.  Returns
-    /// `None` when the old key packing cannot be reused — a mixed-radix
-    /// `u64` codec whose per-column radices a new dictionary entry outgrew
-    /// (re-packing old keys would change them) — in which case the caller
-    /// falls back to a full rebuild.
+    /// group, and only the *appended* rows are packed and hashed.
+    ///
+    /// A mixed-radix `u64` codec whose per-column radices new dictionary
+    /// entries outgrew is *re-packed* rather than rebuilt: the existing keys
+    /// are transcoded under the widened radices (or, when the widened
+    /// product no longer fits 64 bits, into the radix-free shift packing) —
+    /// an O(distinct keys) transform that leaves offsets and postings
+    /// untouched.  Only a > 4-wide radix key whose widened product overflows
+    /// `u64` returns `None`, sending the caller to a full rebuild.
     ///
     /// `store` must be the current columnar snapshot of `instance`, and the
     /// caller must guarantee the append-only property between the two
@@ -279,24 +343,38 @@ impl InternedIndex {
             .iter()
             .map(|&a| store.column(instance, a))
             .collect();
-        if let Repr::Radix(radices) = &prev.codec.repr {
-            // New distinct values beyond a column's old radix would make the
-            // mixed-radix packing of *old* rows ambiguous; the shift and
-            // wide packings are radix-free and always extendable.
-            if columns
-                .iter()
-                .zip(radices)
-                .any(|(col, &radix)| col.distinct() as u64 > radix)
-            {
-                return None;
+        let (seed, repr) = match (widen_plan(&prev.codec.repr, &columns)?, &prev.map) {
+            (WidenPlan::Keep, map) => (map.clone(), prev.codec.repr.clone()),
+            (WidenPlan::Widen(widened), GroupMap::U64(m)) => {
+                let Repr::Radix(old) = &prev.codec.repr else {
+                    unreachable!("widening plans only arise from radix packings");
+                };
+                let repacked = m
+                    .iter()
+                    .map(|(&k, &g)| {
+                        (
+                            KeyCodec::pack_u64_ids(&widened, &KeyCodec::unpack_u64(old, k)),
+                            g,
+                        )
+                    })
+                    .collect();
+                (GroupMap::U64(repacked), Repr::Radix(widened))
             }
-        }
-        let codec = KeyCodec {
-            columns,
-            repr: prev.codec.repr.clone(),
+            (WidenPlan::ToShift, GroupMap::U64(m)) => {
+                let Repr::Radix(old) = &prev.codec.repr else {
+                    unreachable!("widening plans only arise from radix packings");
+                };
+                let shifted = m
+                    .iter()
+                    .map(|(&k, &g)| (KeyCodec::pack_u128_ids(&KeyCodec::unpack_u64(old, k)), g))
+                    .collect();
+                (GroupMap::U128(shifted), Repr::Shift)
+            }
+            _ => unreachable!("widening plans only arise from u64 group maps"),
         };
+        let codec = KeyCodec { columns, repr };
         let new_rows = prev.store.len()..store.len();
-        let (map, offsets, postings) = match (&prev.map, &codec.repr) {
+        let (map, offsets, postings) = match (seed, &codec.repr) {
             (GroupMap::U64(m), Repr::Radix(radices)) => {
                 let (map, offsets, postings) =
                     extend_groups(m, &prev.offsets, &prev.postings, new_rows, |row| {
@@ -610,18 +688,18 @@ fn build_groups<K: Eq + Hash + Clone + Send>(
     (map, offsets, postings)
 }
 
-/// Append-only CSR extension: clone the group map, key and hash only the
-/// rows of `new_rows`, then lay out a fresh offsets/postings pair in which
-/// each group's old postings are copied verbatim ahead of its new rows.
-/// Old rows precede new rows, so postings stay ascending within each group.
+/// Append-only CSR extension: take the (possibly re-packed) group map, key
+/// and hash only the rows of `new_rows`, then lay out a fresh
+/// offsets/postings pair in which each group's old postings are copied
+/// verbatim ahead of its new rows.  Old rows precede new rows, so postings
+/// stay ascending within each group.
 fn extend_groups<K: Eq + Hash + Clone>(
-    prev_map: &FxHashMap<K, u32>,
+    mut map: FxHashMap<K, u32>,
     prev_offsets: &[u32],
     prev_postings: &[u32],
     new_rows: std::ops::Range<usize>,
     key_at: impl Fn(usize) -> K,
 ) -> (FxHashMap<K, u32>, Vec<u32>, Vec<u32>) {
-    let mut map = prev_map.clone();
     let old_groups = prev_offsets.len().saturating_sub(1);
     let mut added: Vec<u32> = vec![0; old_groups];
     let mut row_groups: Vec<u32> = Vec::with_capacity(new_rows.len());
@@ -834,15 +912,52 @@ mod tests {
     }
 
     #[test]
-    fn extension_declines_when_radix_packing_outgrown() {
+    fn radix_outgrowth_repacks_and_extends() {
         let mut inst = instance(30);
         let prev_store = inst.columnar();
         let prev = InternedIndex::build(&inst, &prev_store, &[0, 1], 1);
-        // A brand-new B value outgrows that column's radix.
+        // A brand-new B value outgrows that column's radix; the extension
+        // re-packs the existing keys under the widened radices instead of
+        // declining.
         inst.insert_values([Value::int(1), Value::str("unseen"), Value::int(999)])
             .unwrap();
         let store = inst.columnar();
-        assert!(InternedIndex::try_extended(&prev, &inst, &store).is_none());
+        let extended = InternedIndex::try_extended(&prev, &inst, &store)
+            .expect("radix outgrowth re-packs in place");
+        let fresh = InternedIndex::build(&inst, &store, &[0, 1], 1);
+        assert_eq!(canonical_interned(&extended), canonical_interned(&fresh));
+        // Probes keep working against the widened packing.
+        assert_eq!(
+            extended
+                .rows_for_values(&[Value::int(1), Value::str("unseen")])
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn radix_overflow_on_extension_switches_to_shift_packing() {
+        // Four columns at 2^16 - 1 distinct values each: the radix product
+        // still fits u64, but one more distinct value per column pushes it
+        // past 2^64, so the extension must transcode to the shift packing.
+        let schema = RelationSchema::new("w", (0..4).map(|i| (format!("A{i}"), Domain::Int)));
+        let mut inst = RelationInstance::from_schema(schema);
+        let base = (1i64 << 16) - 1;
+        for i in 0..base {
+            inst.insert_values((0..4).map(|j| Value::int(i + j * base)))
+                .unwrap();
+        }
+        let prev_store = inst.columnar();
+        let prev = InternedIndex::build(&inst, &prev_store, &[0, 1, 2, 3], 1);
+        for i in base..base + 3 {
+            inst.insert_values((0..4).map(|j| Value::int(i + j * base)))
+                .unwrap();
+        }
+        let store = inst.columnar();
+        let extended = InternedIndex::try_extended(&prev, &inst, &store)
+            .expect("width <= 4 always has an exact packing");
+        let fresh = InternedIndex::build(&inst, &store, &[0, 1, 2, 3], 1);
+        assert_eq!(canonical_interned(&extended), canonical_interned(&fresh));
     }
 
     #[test]

@@ -26,11 +26,13 @@
 //! value-keyed [`crate::index::HashIndex`]es.
 
 pub mod columnar;
+pub mod distinct;
 pub mod fx;
 pub mod index;
 pub mod interner;
 
 pub use columnar::{Column, ColumnarStats, ColumnarStore, SHARD_ROWS};
+pub use distinct::{DistinctSet, IdTranslation};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::{InternedIndex, KeyCodec, ProjectionKey};
 pub use interner::{InternerStats, ValueId, ValueInterner};

@@ -11,6 +11,7 @@
 //! everywhere else.
 
 use dq_core::cind::Cind;
+use dq_core::engine::DetectionEngine;
 use dq_relation::{Database, DqResult, Tuple, TupleId, Value};
 
 /// Configuration of the insertion chase.
@@ -60,6 +61,43 @@ pub fn repair_cind_violations_by_insertion(
     cinds: &[Cind],
     config: &InsertionRepairConfig,
 ) -> DqResult<InsertionOutcome> {
+    repair_cind_violations_by_insertion_impl(db, cinds, config, None)
+}
+
+/// [`repair_cind_violations_by_insertion`] detecting through a shared
+/// [`DetectionEngine`]: every chase round probes the pooled interned RHS
+/// index instead of building a fresh `HashMap<Vec<Value>, _>` per CIND per
+/// round — and since the chase only *inserts*, each round's detection
+/// extends the previous round's indexes in place (the append-only pool fast
+/// path) rather than rebuilding them.  Outcome is identical to the naive
+/// chase, round for round and insertion for insertion.
+pub fn repair_cind_violations_by_insertion_with_engine(
+    db: &Database,
+    cinds: &[Cind],
+    config: &InsertionRepairConfig,
+    engine: &DetectionEngine,
+) -> DqResult<InsertionOutcome> {
+    repair_cind_violations_by_insertion_impl(db, cinds, config, Some(engine))
+}
+
+fn repair_cind_violations_by_insertion_impl(
+    db: &Database,
+    cinds: &[Cind],
+    config: &InsertionRepairConfig,
+    engine: Option<&DetectionEngine>,
+) -> DqResult<InsertionOutcome> {
+    // Per-CIND detection inside the round (not one batched report up
+    // front): an insertion made for one CIND can already satisfy — or
+    // newly violate — the next one, and the naive chase sees that.
+    let detect = |db: &Database, cind: &Cind| -> DqResult<Vec<dq_core::cind::CindViolation>> {
+        match engine {
+            Some(engine) => Ok(engine
+                .detect_cind_violations(db, std::slice::from_ref(cind))?
+                .of(0)
+                .to_vec()),
+            None => cind.violations(db),
+        }
+    };
     let mut repaired = db.clone();
     let mut inserted = Vec::new();
     let mut rounds = 0;
@@ -68,7 +106,7 @@ pub fn repair_cind_violations_by_insertion(
         rounds += 1;
         let mut changed = false;
         for cind in cinds {
-            let violations = cind.violations(&repaired)?;
+            let violations = detect(&repaired, cind)?;
             if violations.is_empty() {
                 continue;
             }
@@ -111,7 +149,7 @@ pub fn repair_cind_violations_by_insertion(
 
     let mut consistent = true;
     for cind in cinds {
-        if !cind.holds_on(&repaired)? {
+        if !detect(&repaired, cind)?.is_empty() {
             consistent = false;
             break;
         }
@@ -276,6 +314,43 @@ mod tests {
         let outcome = repair_cind_violations_by_insertion(&db, &[cind(), back], &config).unwrap();
         assert!(outcome.insertion_count() <= 10);
         assert!(outcome.rounds <= 4);
+    }
+
+    #[test]
+    fn engine_carried_chase_equals_naive_chase() {
+        let archive_schema = Arc::new(RelationSchema::new("archive", [("k", Domain::Text)]));
+        let second = Cind::new(
+            &target_schema(),
+            &["k"],
+            &["label"],
+            &archive_schema,
+            &["k"],
+            &[],
+            vec![CindPattern::new(vec![Value::str("A")], vec![])],
+        )
+        .unwrap();
+        let mut db = database(&[("x", "a"), ("y", "a"), ("z", "b")], &[("x", "A", 1)]);
+        db.add_relation(RelationInstance::new(archive_schema));
+        let cinds = [cind(), second];
+        let config = InsertionRepairConfig::default();
+        let engine = DetectionEngine::new();
+        let fast =
+            repair_cind_violations_by_insertion_with_engine(&db, &cinds, &config, &engine).unwrap();
+        let slow = repair_cind_violations_by_insertion(&db, &cinds, &config).unwrap();
+        assert_eq!(fast.inserted, slow.inserted);
+        assert_eq!(fast.rounds, slow.rounds);
+        assert_eq!(fast.consistent, slow.consistent);
+        for name in ["src", "dst", "archive"] {
+            assert!(fast
+                .repaired
+                .relation(name)
+                .unwrap()
+                .same_tuples_as(slow.repaired.relation(name).unwrap()));
+        }
+        assert!(
+            engine.pool_stats().appends > 0,
+            "insert-only chase rounds must extend pooled indexes, not rebuild"
+        );
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub mod prelude {
         count_repairs, enumerate_repairs, enumerate_repairs_with_engine, example_5_1_instance,
     };
     pub use crate::insertion::{
-        repair_cind_violations_by_insertion, InsertionOutcome, InsertionRepairConfig,
+        repair_cind_violations_by_insertion, repair_cind_violations_by_insertion_with_engine,
+        InsertionOutcome, InsertionRepairConfig,
     };
     pub use crate::model::{
         check_u_repair, check_u_repair_with, check_x_repair, RepairCost, RepairLog, RepairModel,

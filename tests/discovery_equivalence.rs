@@ -13,6 +13,7 @@ use dataquality::prelude::*;
 use dq_cqa::rewrite::certain_answers_rewriting_naive;
 use dq_discovery::source::PartitionSource;
 use dq_gen::customer::{generate_customers, paper_cfds, CustomerConfig};
+use dq_gen::orders::{generate_orders, OrderConfig};
 use dq_relation::{IndexPool, InternedIndex, RelationInstance, Value};
 use dq_repair::urepair::{repair_cfd_violations_naive, repair_cfd_violations_with_engine};
 use dq_repair::{RepairConfig, RepairCost};
@@ -224,6 +225,176 @@ proptest! {
             engine.pool_stats().appends > 0,
             "append-only growth must take the extension fast path"
         );
+    }
+}
+
+/// Workload shapes for the IND/CIND suites: the order/book/CD database at
+/// various sizes, violation rates and seeds, optionally with null LHS cells
+/// injected into `order.title`.
+fn order_config() -> impl Strategy<Value = OrderConfig> {
+    (1usize..120, 0usize..3, 0u64..1_000).prop_map(|(orders, rate_idx, seed)| OrderConfig {
+        orders,
+        violation_rate: [0.0, 0.05, 0.3][rate_idx],
+        seed,
+    })
+}
+
+fn order_db(config: &OrderConfig, null_titles: usize) -> Database {
+    let mut db = generate_orders(config).db;
+    let order = db.relation_mut("order").expect("order relation");
+    for i in 0..null_titles {
+        order
+            .insert_values([
+                Value::str(format!("null{i}")),
+                Value::Null,
+                Value::str(if i % 2 == 0 { "book" } else { "CD" }),
+                Value::real(1.0),
+            ])
+            .expect("order tuple fits the schema");
+    }
+    db
+}
+
+fn ind_config(use_interned: bool, ignore_nulls: bool) -> IndDiscoveryConfig {
+    IndDiscoveryConfig {
+        use_interned,
+        ignore_nulls,
+        ..IndDiscoveryConfig::default()
+    }
+}
+
+/// The embedded IND of Section 2.2: `order(title, price) ⊆ book(title, price)`.
+fn embedded_ind(db: &Database) -> dq_core::ind::Ind {
+    let order = db.relation("order").unwrap().schema().clone();
+    let book = db.relation("book").unwrap().schema().clone();
+    dq_core::ind::Ind::from_indices(
+        "order",
+        vec![order.attr("title"), order.attr("price")],
+        "book",
+        vec![book.attr("title"), book.attr("price")],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    /// IND discovery over pooled distinct-projection sets reports exactly
+    /// the INDs (and candidate counts) of the naive row-oriented sweep —
+    /// with and without SQL-style null semantics.
+    #[test]
+    fn ind_discovery_interned_equals_naive(
+        config in order_config(),
+        null_titles in 0usize..3,
+    ) {
+        let db = order_db(&config, null_titles);
+        for ignore_nulls in [false, true] {
+            let fast = discover_inds(&db, &ind_config(true, ignore_nulls)).unwrap();
+            let slow = discover_inds(&db, &ind_config(false, ignore_nulls)).unwrap();
+            prop_assert_eq!(&fast.inds, &slow.inds, "ignore_nulls {}", ignore_nulls);
+            prop_assert_eq!(fast.candidates_checked, slow.candidates_checked);
+            // Every reported IND genuinely holds under the configured
+            // semantics.
+            for ind in &fast.inds {
+                prop_assert!(ind.holds_on_with(&db, ignore_nulls).unwrap(), "{}", ind);
+            }
+        }
+    }
+
+    /// CIND condition mining over CSR postings reports exactly the CINDs of
+    /// the naive per-value re-scan, across support thresholds — including
+    /// the vacuous-condition guard when the embedded IND already holds.
+    #[test]
+    fn cind_condition_mining_interned_equals_naive(
+        config in order_config(),
+        null_titles in 0usize..2,
+        min_support in 1usize..4,
+    ) {
+        let db = order_db(&config, null_titles);
+        let embedded = embedded_ind(&db);
+        for ignore_nulls in [false, true] {
+            let cfg = IndDiscoveryConfig {
+                min_support,
+                ..ind_config(true, ignore_nulls)
+            };
+            let found = discover_cind_conditions(&db, &embedded, &cfg).unwrap();
+            let slow = discover_cind_conditions(
+                &db,
+                &embedded,
+                &IndDiscoveryConfig { use_interned: false, ..cfg },
+            )
+            .unwrap();
+            prop_assert_eq!(
+                &found, &slow,
+                "min_support {}, ignore_nulls {}", min_support, ignore_nulls
+            );
+            // The vacuous-CIND guard: an IND held under the configured
+            // null semantics never yields conditions.
+            if embedded.holds_on_with(&db, ignore_nulls).unwrap() {
+                prop_assert!(found.is_empty(), "vacuous CIND for a held IND");
+            }
+        }
+    }
+
+    /// IND equivalence survives append-only growth over a shared pool: the
+    /// distinct sets extend in place (the `appends` counter rises, even
+    /// when new values grow the dictionaries) and discovery output stays
+    /// byte-identical to the naive sweep.
+    #[test]
+    fn ind_discovery_equivalence_survives_append_only_growth(
+        config in order_config(),
+        extra in 1usize..12,
+    ) {
+        let mut db = order_db(&config, 0);
+        let pool = IndexPool::new();
+        let before = dq_discovery::ind_discovery::discover_inds_with_pool(
+            &db, &ind_config(true, false), &pool, 2,
+        ).unwrap();
+        prop_assert_eq!(
+            &before.inds,
+            &discover_inds(&db, &ind_config(false, false)).unwrap().inds
+        );
+        // Grow the order relation: copies of existing tuples plus one
+        // brand-new title (a dictionary-growing append, exercising the
+        // repack-aware extension).
+        let order = db.relation_mut("order").expect("order relation");
+        let donors: Vec<_> = order.iter().map(|(_, t)| t.clone()).collect();
+        for donor in donors.iter().cloned().cycle().take(extra) {
+            order.insert(donor).expect("same schema");
+        }
+        order
+            .insert_values([
+                Value::str("a-new"),
+                Value::str("A Brand-New Title"),
+                Value::str("book"),
+                Value::real(3.21),
+            ])
+            .expect("order tuple fits the schema");
+        let after = dq_discovery::ind_discovery::discover_inds_with_pool(
+            &db, &ind_config(true, false), &pool, 2,
+        ).unwrap();
+        prop_assert_eq!(
+            &after.inds,
+            &discover_inds(&db, &ind_config(false, false)).unwrap().inds
+        );
+        prop_assert!(
+            pool.stats().appends > 0,
+            "append-only growth must take the distinct-set extension fast path"
+        );
+        // The engine's IND detector agrees with the naive checker on the
+        // grown database, for every discovered IND and both null semantics.
+        let engine = DetectionEngine::new();
+        for ignore_nulls in [false, true] {
+            let reports = engine
+                .detect_ind_violations(&db, &after.inds, ignore_nulls)
+                .unwrap();
+            for (ind, report) in after.inds.iter().zip(&reports) {
+                prop_assert_eq!(
+                    report,
+                    &ind.violations_with(&db, ignore_nulls).unwrap(),
+                    "{} (ignore_nulls {})", ind, ignore_nulls
+                );
+            }
+        }
     }
 }
 

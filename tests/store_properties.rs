@@ -166,11 +166,12 @@ proptest! {
         }
     }
 
-    /// Append-only growth extends snapshots and pooled interned indexes in
-    /// place; the extended structures must be indistinguishable from
-    /// from-scratch builds on every cell, group and probe — arbitrary
-    /// mixed-type appends included (which may or may not defeat the u64
-    /// radix codec's reuse check; both branches must stay correct).
+    /// Append-only growth extends snapshots, pooled interned indexes and
+    /// pooled distinct-projection sets in place; the extended structures
+    /// must be indistinguishable from from-scratch builds on every cell,
+    /// group and probe — arbitrary mixed-type appends included (which may
+    /// grow the column dictionaries past their mixed-radix u64 packing,
+    /// exercising the repack-aware extension).
     #[test]
     fn append_extension_matches_fresh_builds(
         cells in proptest::collection::vec((value_strategy(), value_strategy()), 1..40),
@@ -205,8 +206,9 @@ proptest! {
                 );
             }
         }
-        // Pool misses re-key only the appended rows when the codec allows;
-        // either way the groups equal the value-keyed baseline.
+        // Pool misses re-key only the appended rows (re-packing the key
+        // space when a dictionary outgrew its radix); either way the groups
+        // equal the value-keyed baseline.
         for attrs in [&[0usize][..], &[1], &[0, 1]] {
             let idx = pool.interned_for(&inst, attrs, 1);
             let baseline = dq_relation::HashIndex::build(&inst, attrs);
@@ -215,6 +217,17 @@ proptest! {
                 let ids: Vec<TupleId> =
                     idx.rows_for_values(key).iter().map(|&r| idx.tuple_id(r)).collect();
                 prop_assert_eq!(&ids, group, "attrs {:?}", attrs);
+            }
+            // The distinct-projection artifact answers exactly like the
+            // Eq-keyed index after the same growth.  (`project_distinct`'s
+            // `BTreeSet` dedups by `Value`'s mixed-numeric `Ord`, which
+            // diverges from `Eq` on NaN and `Int`-vs-`Real` ties — the
+            // documented profile subtlety — so the hash index is the
+            // correct reference here.)
+            let set = pool.distinct_for(&inst, attrs, 1);
+            prop_assert_eq!(set.len(), baseline.len(), "attrs {:?}", attrs);
+            for (key, _) in baseline.groups() {
+                prop_assert!(set.contains_values(key), "attrs {:?}", attrs);
             }
         }
     }
@@ -247,4 +260,48 @@ proptest! {
             detect_cfd_violations(&plain, std::slice::from_ref(&cfd))
         );
     }
+}
+
+/// A dictionary-growing append must still take the pool's extension fast
+/// path: the mixed-radix u64 packing is re-packed under the widened radices
+/// instead of falling back to a full rebuild.  Regression test for the
+/// `appends` counter staying flat when an appended row carries brand-new
+/// values on the key columns.
+#[test]
+fn dictionary_growing_append_still_extends_pooled_structures() {
+    let schema = RelationSchema::new("r", [("A", Domain::Int), ("B", Domain::Text)]);
+    let mut inst = RelationInstance::from_schema(schema);
+    for i in 0..30i64 {
+        inst.insert_values([Value::int(i % 5), Value::str(format!("s{}", i % 4))])
+            .unwrap();
+    }
+    let pool = IndexPool::new();
+    pool.interned_for(&inst, &[0, 1], 1);
+    pool.distinct_for(&inst, &[0, 1], 1);
+    assert_eq!(pool.stats().appends, 0);
+    // Brand-new values on both key columns grow both dictionaries, which
+    // used to force a full rebuild of the u64 radix-packed structures.
+    let unseen = [Value::int(999), Value::str("unseen")];
+    inst.insert_values(unseen.clone()).unwrap();
+    let idx = pool.interned_for(&inst, &[0, 1], 1);
+    let set = pool.distinct_for(&inst, &[0, 1], 1);
+    assert_eq!(
+        pool.stats().appends,
+        2,
+        "a dictionary-growing append must re-pack and extend, not rebuild"
+    );
+    // Correctness after the repack: groups equal the value-keyed baseline
+    // and the new key is probeable in both structures.
+    let baseline = dq_relation::HashIndex::build(&inst, &[0, 1]);
+    assert_eq!(idx.group_count(), baseline.len());
+    for (key, group) in baseline.groups() {
+        let ids: Vec<TupleId> = idx
+            .rows_for_values(key)
+            .iter()
+            .map(|&r| idx.tuple_id(r))
+            .collect();
+        assert_eq!(&ids, group);
+    }
+    assert!(set.contains_values(&unseen));
+    assert_eq!(set.len(), inst.project_distinct(&[0, 1]).len());
 }
