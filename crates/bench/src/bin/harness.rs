@@ -220,11 +220,19 @@ fn detection_bench() {
 ///   interned indexes (10k/100k only: the naive miner's per-group
 ///   minimality rescans are quadratic-ish and intractable at 1M).
 ///
-/// Interned runs are measured cold on fresh clones (snapshot, dictionaries
-/// and every index build inside the timer).  Each row also records the
-/// grouping-layer resident bytes: the `Vec<Value>`-keyed maps the naive
-/// sweep materializes for the single and pair attribute sets vs. the pooled
-/// interned indexes plus column dictionaries serving the same requests.
+/// The interned sweep is measured **per thread count** — sequential and
+/// fanned out across the machine — each run cold on fresh clones (snapshot,
+/// dictionaries and every index build inside the timer), with every run's
+/// output asserted identical to the sequential naive sweep.  FD rows also
+/// record the per-lattice-level wall clock (`levels_ms`), where the
+/// per-level candidate fan-out pays.  Each row carries the grouping-layer
+/// resident bytes: the `Vec<Value>`-keyed maps the naive sweep materializes
+/// for the single and pair attribute sets vs. the pooled interned indexes
+/// plus column dictionaries serving the same requests.
+///
+/// `--smoke` always includes a threads > 1 run, so CI's output-identity
+/// assertion exercises the concurrent sweep (striped partition cache,
+/// pooled probers, canonical merge) and not just the sequential path.
 fn discovery_bench(smoke: bool) {
     use dq_discovery::prelude::*;
     use dq_relation::IndexPool;
@@ -236,10 +244,18 @@ fn discovery_bench(smoke: bool) {
     } else {
         &[10_000, 100_000, 1_000_000]
     };
+    let machine_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Sequential plus a machine-sized fan-out (at least 2 workers, so the
+    // concurrent sweep — striped cache, pooled probers, canonical merge —
+    // is always exercised and recorded, even on a single-core container
+    // where it cannot win wall-clock).
+    let thread_counts: Vec<usize> = vec![1, machine_threads.max(2)];
     let error_rate = 0.05;
     let mut rows = Vec::new();
     println!(
-        "  tuples   algo            naive         interned     speedup   found   grouping mem"
+        "  tuples   algo            threads   naive         interned     speedup   found   grouping mem"
     );
     for &size in sizes {
         let workload = customer_workload_scaled(size, error_rate);
@@ -274,109 +290,138 @@ fn discovery_bench(smoke: bool) {
         drop(measure_pool);
 
         let mut push_row = |algo: &str,
+                            threads: usize,
                             naive_ms: f64,
                             interned_ms: f64,
                             found: usize,
                             naive_partitions: usize,
-                            interned_partitions: usize| {
+                            interned_partitions: usize,
+                            levels_ms: Option<&[f64]>| {
             let speedup = naive_ms / interned_ms;
             println!(
-                "{size:>8}   {algo:<14} {naive_ms:>9.1}ms  {interned_ms:>10.1}ms  {speedup:>7.2}x  {found:>6}   ({:.1} MB -> {:.1} MB, {memory_reduction:.1}x)",
+                "{size:>8}   {algo:<14} {threads:>7}   {naive_ms:>9.1}ms  {interned_ms:>10.1}ms  {speedup:>7.2}x  {found:>6}   ({:.1} MB -> {:.1} MB, {memory_reduction:.1}x)",
                 naive_bytes as f64 / 1e6,
                 interned_bytes as f64 / 1e6,
             );
+            let levels = levels_ms
+                .map(|ms| {
+                    format!(
+                        ", \"levels_ms\": [{}]",
+                        ms.iter()
+                            .map(|m| format!("{m:.3}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })
+                .unwrap_or_default();
             rows.push(format!(
-                "    {{\"tuples\": {size}, \"algo\": \"{algo}\", \"error_rate\": {error_rate}, \
+                "    {{\"tuples\": {size}, \"algo\": \"{algo}\", \"threads\": {threads}, \
+                 \"error_rate\": {error_rate}, \
                  \"dependencies_found\": {found}, \"naive_ms\": {naive_ms:.3}, \
                  \"interned_ms\": {interned_ms:.3}, \"speedup\": {speedup:.3}, \
                  \"partitions_naive\": {naive_partitions}, \"partitions_interned\": {interned_partitions}, \
                  \"grouping_bytes_naive\": {naive_bytes}, \"grouping_bytes_interned\": {interned_bytes}, \
-                 \"memory_reduction\": {memory_reduction:.3}}}"
+                 \"memory_reduction\": {memory_reduction:.3}{levels}}}"
             ));
         };
 
         // ---- FD discovery ----
-        let fd_cfg = |use_interned| FdDiscoveryConfig {
+        let fd_cfg = |use_interned, threads| FdDiscoveryConfig {
             max_lhs: 2,
             max_g3: 0.0,
             exclude: exclude.clone(),
             use_interned,
+            threads,
         };
-        let (naive_ms, naive_fds) = timed_median(reps, || discover_fds(instance, &fd_cfg(false)));
-        // Cold interned runs: clones carry fresh identities and empty
-        // columnar caches, so every rep pays the snapshot, the dictionary
-        // encoding and all index builds inside the measurement.
-        let cold: Vec<_> = (0..reps).map(|_| instance.clone()).collect();
-        let mut cold_iter = cold.iter();
-        let (interned_ms, interned_fds) = timed_median(reps, || {
-            discover_fds(
-                cold_iter.next().expect("one fresh instance per rep"),
-                &fd_cfg(true),
-            )
-        });
-        drop(cold);
-        assert_eq!(
-            naive_fds.fds, interned_fds.fds,
-            "interned FD discovery must report identical dependencies"
-        );
-        push_row(
-            "fd_discovery",
-            naive_ms,
-            interned_ms,
-            naive_fds.fds.len(),
-            naive_fds.partitions_built,
-            interned_fds.partitions_built,
-        );
-
-        // ---- CFD discovery (naive miner intractable at 1M) ----
-        if size <= 100_000 {
-            let cfd_cfg = |use_interned| CfdDiscoveryConfig {
-                min_support: 4,
-                max_lhs: 2,
-                exclude: exclude.clone(),
-                use_interned,
-                ..CfdDiscoveryConfig::default()
-            };
-            let (naive_ms, naive_cfds) =
-                timed_median(reps, || discover_cfds(instance, &cfd_cfg(false)));
+        let (naive_ms, naive_fds) =
+            timed_median(reps, || discover_fds(instance, &fd_cfg(false, 1)));
+        for &threads in &thread_counts {
+            // Cold interned runs: clones carry fresh identities and empty
+            // columnar caches, so every rep pays the snapshot, the
+            // dictionary encoding and all index builds inside the
+            // measurement.
             let cold: Vec<_> = (0..reps).map(|_| instance.clone()).collect();
             let mut cold_iter = cold.iter();
-            let (interned_ms, interned_cfds) = timed_median(reps, || {
-                discover_cfds(
+            let (interned_ms, interned_fds) = timed_median(reps, || {
+                discover_fds(
                     cold_iter.next().expect("one fresh instance per rep"),
-                    &cfd_cfg(true),
+                    &fd_cfg(true, threads),
                 )
             });
             drop(cold);
             assert_eq!(
-                naive_cfds.variable_cfds, interned_cfds.variable_cfds,
-                "interned CFD discovery must report identical variable CFDs"
+                naive_fds.fds, interned_fds.fds,
+                "interned FD discovery must report identical dependencies (threads {threads})"
             );
             assert_eq!(
-                naive_cfds.constant_cfds, interned_cfds.constant_cfds,
-                "interned CFD discovery must report identical constant CFDs"
+                naive_fds.candidates_checked, interned_fds.candidates_checked,
+                "candidate tallies must match (threads {threads})"
             );
             push_row(
-                "cfd_discovery",
+                "fd_discovery",
+                threads,
                 naive_ms,
                 interned_ms,
-                naive_cfds.len(),
-                naive_cfds.candidates_checked,
-                interned_cfds.candidates_checked,
+                naive_fds.fds.len(),
+                naive_fds.partitions_built,
+                interned_fds.partitions_built,
+                Some(&interned_fds.level_ms),
             );
+        }
+
+        // ---- CFD discovery (naive miner intractable at 1M) ----
+        if size <= 100_000 {
+            let cfd_cfg = |use_interned, threads| CfdDiscoveryConfig {
+                min_support: 4,
+                max_lhs: 2,
+                exclude: exclude.clone(),
+                use_interned,
+                threads,
+                ..CfdDiscoveryConfig::default()
+            };
+            let (naive_ms, naive_cfds) =
+                timed_median(reps, || discover_cfds(instance, &cfd_cfg(false, 1)));
+            for &threads in &thread_counts {
+                let cold: Vec<_> = (0..reps).map(|_| instance.clone()).collect();
+                let mut cold_iter = cold.iter();
+                let (interned_ms, interned_cfds) = timed_median(reps, || {
+                    discover_cfds(
+                        cold_iter.next().expect("one fresh instance per rep"),
+                        &cfd_cfg(true, threads),
+                    )
+                });
+                drop(cold);
+                assert_eq!(
+                    naive_cfds.variable_cfds, interned_cfds.variable_cfds,
+                    "interned CFD discovery must report identical variable CFDs (threads {threads})"
+                );
+                assert_eq!(
+                    naive_cfds.constant_cfds, interned_cfds.constant_cfds,
+                    "interned CFD discovery must report identical constant CFDs (threads {threads})"
+                );
+                push_row(
+                    "cfd_discovery",
+                    threads,
+                    naive_ms,
+                    interned_ms,
+                    naive_cfds.len(),
+                    naive_cfds.candidates_checked,
+                    interned_cfds.candidates_checked,
+                    None,
+                );
+            }
         }
     }
     if smoke {
-        println!("\nsmoke mode: outputs identical on both paths, artifact not written");
+        println!(
+            "\nsmoke mode: outputs identical on both paths at threads {thread_counts:?}, artifact not written"
+        );
         return;
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let json = format!(
         "{{\n  \"experiment\": \"sec1_discovery_naive_vs_interned\",\n  \
          \"workload\": \"dq_gen::customer (scaled city pool), error_rate {error_rate}, seed 42, exclude phn+name\",\n  \
-         \"threads\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"threads\": {machine_threads},\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write("BENCH_discovery.json", &json).expect("write BENCH_discovery.json");

@@ -235,13 +235,11 @@ impl DetectionEngine {
             let rhs = db.relation(name).expect("validated above");
             self.pool.interned_for(rhs, attrs, threads);
         });
-        let per_dependency = parallel_map(cinds, self.threads, |cind| {
+        let per_dependency = try_parallel_map(cinds, self.threads, |cind| {
             let rhs = db.require_relation(cind.rhs_schema().name())?;
             let index = self.pool.interned_for(rhs, &cind.rhs_probe_attrs(), 1);
             cind.violations_with_interned_index(db, &index)
-        })
-        .into_iter()
-        .collect::<DqResult<Vec<_>>>()?;
+        })?;
         Ok(CindViolationReport::from_per_dependency(per_dependency))
     }
 
@@ -319,13 +317,18 @@ impl DetectionEngine {
 /// uneven per-item costs balance across threads.  Public so that borrowers
 /// of the engine's pool (e.g. level-wise discovery fanning out candidate
 /// relation pairs) schedule work the same way the detectors do.
+///
+/// Degenerate inputs never spawn: `threads == 0` is treated as 1, and a
+/// single item (or a single effective worker) runs inline on the caller's
+/// thread.  A panic in a worker is not swallowed: the scope re-raises it on
+/// join, so the caller unwinds instead of reading half-filled output.
 pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let workers = threads.min(items.len());
+    let workers = threads.max(1).min(items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -348,6 +351,22 @@ where
                 .expect("every slot filled before scope exit")
         })
         .collect()
+}
+
+/// [`parallel_map`] for fallible closures: applies `f` to every item in
+/// parallel and returns the first error in *input* order (not completion
+/// order), so a failing run reports the same error no matter how the work
+/// interleaved.  All items are evaluated — errors are rare terminal events
+/// for the callers (missing relations, schema mismatches), so deterministic
+/// reporting is worth more than early cancellation.
+pub fn try_parallel_map<T, U, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    parallel_map(items, threads, f).into_iter().collect()
 }
 
 #[cfg(test)]
@@ -708,5 +727,51 @@ mod tests {
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
         let empty: Vec<usize> = Vec::new();
         assert!(parallel_map(&empty, 4, |&x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_degenerate_inputs_run_inline() {
+        // threads == 0 behaves like 1 instead of dropping the work.
+        let items: Vec<usize> = (0..10).collect();
+        assert_eq!(
+            parallel_map(&items, 0, |&x| x + 1),
+            (1..11).collect::<Vec<_>>()
+        );
+        // A single item runs on the caller's thread (no spawn): the closure
+        // can observe the caller's thread id.
+        let caller = std::thread::current().id();
+        let ids = parallel_map(&[42usize], 8, |_| std::thread::current().id());
+        assert_eq!(ids, vec![caller]);
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panics() {
+        let items: Vec<usize> = (0..64).collect();
+        let outcome = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 17 {
+                    panic!("worker 17 exploded");
+                }
+                x
+            })
+        });
+        assert!(outcome.is_err(), "a worker panic must unwind the caller");
+    }
+
+    #[test]
+    fn try_parallel_map_returns_first_error_in_input_order() {
+        let items: Vec<i64> = (0..50).collect();
+        let ok: Result<Vec<i64>, String> = try_parallel_map(&items, 4, |&x| Ok(x * 3));
+        assert_eq!(ok.unwrap(), (0..50).map(|x| x * 3).collect::<Vec<_>>());
+        // Both 10 and 40 fail; the error of the *earlier* item must win
+        // regardless of which worker finishes first.
+        let err: Result<Vec<i64>, String> = try_parallel_map(&items, 4, |&x| {
+            if x == 10 || x == 40 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(err.unwrap_err(), "bad 10");
     }
 }

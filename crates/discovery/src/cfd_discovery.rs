@@ -22,7 +22,9 @@
 
 use crate::fd_discovery::{discover_fds_with_pool, subsets_of_size, FdDiscoveryConfig};
 use crate::partition::{g3_error, g3_error_interned};
+use crate::source::resolve_threads;
 use dq_core::cfd::Cfd;
+use dq_core::engine::parallel_map;
 use dq_core::fd::Fd;
 use dq_core::pattern::{PatternTuple, PatternValue};
 use dq_relation::{
@@ -30,7 +32,6 @@ use dq_relation::{
     ValueId,
 };
 use std::collections::{BTreeMap, HashMap};
-use std::num::NonZeroUsize;
 use std::sync::Arc;
 
 /// The canonical group-mining order shared by the naive and interned
@@ -41,12 +42,6 @@ use std::sync::Arc;
 fn sorted_group_order(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
     a.cmp(b)
         .then_with(|| format!("{a:?}").cmp(&format!("{b:?}")))
-}
-
-fn discovery_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
 }
 
 /// Configuration of CFD discovery.
@@ -72,6 +67,12 @@ pub struct CfdDiscoveryConfig {
     /// grouping; both paths mine groups in sorted key order and produce
     /// identical dependency sets.
     pub use_interned: bool,
+    /// Worker threads for the per-level fan-outs (embedded FD discovery,
+    /// constant-pattern mining per LHS, tableau mining per condition-
+    /// position set).  `0` sizes the pool to the machine; `1` mines
+    /// sequentially.  The mined dependencies are identical at every thread
+    /// count.
+    pub threads: usize,
 }
 
 impl Default for CfdDiscoveryConfig {
@@ -84,6 +85,7 @@ impl Default for CfdDiscoveryConfig {
             max_tableau: 64,
             exclude: Vec::new(),
             use_interned: true,
+            threads: 0,
         }
     }
 }
@@ -162,24 +164,33 @@ pub fn discover_constant_cfds_with_pool(
         .collect()
 }
 
+/// One mined constant pattern, produced by a per-LHS worker and merged into
+/// the tableaux in canonical order.
+type MinedPattern = (usize, Vec<Value>, Value);
+
 /// The legacy mining loop: per-tuple `Vec<Value>` projections.  Groups are
 /// visited in sorted key order so the tableau cap selects the same patterns
-/// as the interned path.
+/// as the interned path.  The LHS sets of one size level mine independently
+/// (each writes its own `(LHS, RHS)` tableau keys), so they fan out across
+/// the thread pool; per-LHS results merge back in canonical subset order.
 fn mine_constant_patterns_naive(
     instance: &RelationInstance,
     config: &CfdDiscoveryConfig,
     attrs: &[usize],
     tableaux: &mut BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>>,
 ) {
+    let threads = resolve_threads(config.threads);
     let all_tuples: Vec<_> = instance.iter().map(|(_, t)| t.clone()).collect();
     for size in 1..=config.max_lhs.min(attrs.len()) {
-        for lhs in subsets_of_size(attrs, size) {
+        let lhs_sets = subsets_of_size(attrs, size);
+        let per_lhs: Vec<Vec<MinedPattern>> = parallel_map(&lhs_sets, threads, |lhs| {
             let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
             for (pos, tuple) in all_tuples.iter().enumerate() {
-                by_key.entry(tuple.project(&lhs)).or_default().push(pos);
+                by_key.entry(tuple.project(lhs)).or_default().push(pos);
             }
             let mut groups: Vec<(Vec<Value>, Vec<usize>)> = by_key.into_iter().collect();
             groups.sort_by(|a, b| sorted_group_order(&a.0, &b.0));
+            let mut mined: Vec<MinedPattern> = Vec::new();
             for (lhs_values, members) in &groups {
                 if members.len() < config.min_support {
                     continue;
@@ -197,7 +208,7 @@ fn mine_constant_patterns_naive(
                     if size >= 2
                         && is_redundant_constant_pattern(
                             &all_tuples,
-                            &lhs,
+                            lhs,
                             lhs_values,
                             rhs,
                             &first,
@@ -206,8 +217,14 @@ fn mine_constant_patterns_naive(
                     {
                         continue;
                     }
-                    push_constant_pattern(tableaux, config, &lhs, rhs, lhs_values, &first);
+                    mined.push((rhs, lhs_values.clone(), first));
                 }
+            }
+            mined
+        });
+        for (lhs, mined) in lhs_sets.iter().zip(per_lhs) {
+            for (rhs, lhs_values, first) in mined {
+                push_constant_pattern(tableaux, config, lhs, rhs, &lhs_values, &first);
             }
         }
     }
@@ -216,7 +233,10 @@ fn mine_constant_patterns_naive(
 /// The interned mining loop: conditions group through pooled indexes and
 /// every support / agreement / minimality check compares dictionary ids.
 /// Values are resolved only when a pattern is actually emitted (and to sort
-/// groups into the canonical mining order).
+/// groups into the canonical mining order).  Like the naive loop, the LHS
+/// sets of one size level fan out across the thread pool — the pooled
+/// index and column lookups are all concurrent — and merge back in
+/// canonical subset order.
 fn mine_constant_patterns_interned(
     instance: &RelationInstance,
     config: &CfdDiscoveryConfig,
@@ -224,7 +244,7 @@ fn mine_constant_patterns_interned(
     attrs: &[usize],
     tableaux: &mut BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>>,
 ) {
-    let threads = discovery_threads();
+    let threads = resolve_threads(config.threads);
     let store = instance.columnar();
     // Only the non-excluded attributes are ever read; excluded columns
     // (surrogate keys, free text) must not pay for dictionary encoding.
@@ -233,14 +253,20 @@ fn mine_constant_patterns_interned(
         columns[a] = Some(store.column(instance, a));
     }
     for size in 1..=config.max_lhs.min(attrs.len()) {
-        for lhs in subsets_of_size(attrs, size) {
-            let index = pool.interned_for(instance, &lhs, threads);
+        let lhs_sets = subsets_of_size(attrs, size);
+        let per_lhs: Vec<Vec<MinedPattern>> = parallel_map(&lhs_sets, threads, |lhs| {
+            // Candidate sub-condition indexes inside the minimality probe
+            // are pooled too, so cross-LHS sharing survives the fan-out;
+            // cold builds run single-threaded per worker (the level itself
+            // is the parallel axis).
+            let index = pool.interned_for(instance, lhs, 1);
             let mut groups: Vec<(Vec<Value>, Vec<ValueId>, &[u32])> = index
                 .groups()
                 .filter(|(_, rows)| rows.len() >= config.min_support)
                 .map(|(ids, rows)| (resolve_key(&index, &ids), ids, rows))
                 .collect();
             groups.sort_by(|a, b| sorted_group_order(&a.0, &b.0));
+            let mut mined: Vec<MinedPattern> = Vec::new();
             for (lhs_values, lhs_ids, members) in &groups {
                 for &rhs in attrs {
                     if lhs.contains(&rhs) {
@@ -255,8 +281,7 @@ fn mine_constant_patterns_interned(
                         && is_redundant_constant_pattern_interned(
                             instance,
                             pool,
-                            threads,
-                            &lhs,
+                            lhs,
                             lhs_ids,
                             col,
                             first_id,
@@ -266,8 +291,14 @@ fn mine_constant_patterns_interned(
                         continue;
                     }
                     let first = col.interner().resolve(first_id).clone();
-                    push_constant_pattern(tableaux, config, &lhs, rhs, lhs_values, &first);
+                    mined.push((rhs, lhs_values.clone(), first));
                 }
+            }
+            mined
+        });
+        for (lhs, mined) in lhs_sets.iter().zip(per_lhs) {
+            for (rhs, lhs_values, first) in mined {
+                push_constant_pattern(tableaux, config, lhs, rhs, &lhs_values, &first);
             }
         }
     }
@@ -359,7 +390,6 @@ fn is_redundant_constant_pattern(
 fn is_redundant_constant_pattern_interned(
     instance: &RelationInstance,
     pool: &Arc<IndexPool>,
-    threads: usize,
     lhs: &[usize],
     lhs_ids: &[ValueId],
     rhs_col: &Arc<Column>,
@@ -379,7 +409,7 @@ fn is_redundant_constant_pattern_interned(
             .filter(|(i, _)| *i != drop)
             .map(|(_, &id)| id)
             .collect();
-        let sub_index = pool.interned_for(instance, &sub_attrs, threads);
+        let sub_index = pool.interned_for(instance, &sub_attrs, 1);
         let rows = sub_index.rows_for_ids(&sub_ids);
         if rows.len() >= min_support
             && rows
@@ -406,7 +436,6 @@ enum TableauMiner<'a> {
     Interned {
         instance: &'a RelationInstance,
         pool: Arc<IndexPool>,
-        threads: usize,
         lhs_codec: KeyCodec,
         rhs_codec: KeyCodec,
         rhs_cols: Vec<Arc<Column>>,
@@ -437,7 +466,6 @@ impl<'a> TableauMiner<'a> {
         TableauMiner::Interned {
             instance,
             pool: Arc::clone(pool),
-            threads: discovery_threads(),
             lhs_codec: KeyCodec::new(lhs_cols),
             rhs_codec: KeyCodec::new(rhs_cols.clone()),
             rhs_cols,
@@ -462,13 +490,11 @@ impl<'a> TableauMiner<'a> {
                     .filter(|(_, members)| members.len() >= min_support)
                     .collect()
             }
-            TableauMiner::Interned {
-                instance,
-                pool,
-                threads,
-                ..
-            } => {
-                let index = pool.interned_for(instance, cond_attrs, *threads);
+            TableauMiner::Interned { instance, pool, .. } => {
+                // Condition sets revisit indexes FD discovery already
+                // built; a cold build runs single-threaded because the
+                // condition-position sets themselves are the parallel axis.
+                let index = pool.interned_for(instance, cond_attrs, 1);
                 index
                     .groups()
                     .filter(|(_, rows)| rows.len() >= min_support)
@@ -586,7 +612,18 @@ pub fn discover_tableau_for_fd_with_pool(
     } else {
         TableauMiner::naive(instance, fd)
     };
+    let threads = resolve_threads(config.threads);
     let mut accepted: Vec<PatternTuple> = Vec::new();
+
+    /// One validated pattern candidate, produced by a per-condition-set
+    /// worker; acceptance (generality pruning + the tableau cap) happens at
+    /// the sequential merge so the mined tableau is order-identical to the
+    /// sequential sweep.
+    struct TableauCandidate {
+        lhs_pattern: Vec<PatternValue>,
+        holds: bool,
+        constant_rhs: Option<Vec<Value>>,
+    }
 
     let max_constants = config.max_condition_attrs.min(lhs.len());
     for constants in 0..=max_constants {
@@ -600,36 +637,68 @@ pub fn discover_tableau_for_fd_with_pool(
         } else {
             positions
         };
-        for cond_positions in position_sets {
-            let cond_attrs: Vec<usize> = cond_positions.iter().map(|&p| lhs[p]).collect();
-            for (cond_values, members) in miner.groups(&cond_attrs, config.min_support) {
-                let lhs_pattern: Vec<PatternValue> = (0..lhs.len())
-                    .map(|p| match cond_positions.iter().position(|&c| c == p) {
-                        Some(i) => PatternValue::Const(cond_values[i].clone()),
-                        None => PatternValue::Any,
+        // Two patterns with the same number of constants can never cover
+        // each other (coverage needs a constant-position subset, equal
+        // counts force equality), so the generality prune only ever fires
+        // on patterns accepted at *earlier* levels — frozen for the whole
+        // level.  That makes the condition-position sets independent: each
+        // worker groups and validates its candidates against the frozen
+        // tableau, and the merge below re-applies acceptance sequentially.
+        let per_set: Vec<Vec<TableauCandidate>> =
+            parallel_map(&position_sets, threads, |cond_positions| {
+                let cond_attrs: Vec<usize> = cond_positions.iter().map(|&p| lhs[p]).collect();
+                miner
+                    .groups(&cond_attrs, config.min_support)
+                    .into_iter()
+                    .filter_map(|(cond_values, members)| {
+                        let lhs_pattern: Vec<PatternValue> = (0..lhs.len())
+                            .map(|p| match cond_positions.iter().position(|&c| c == p) {
+                                Some(i) => PatternValue::Const(cond_values[i].clone()),
+                                None => PatternValue::Any,
+                            })
+                            .collect();
+                        // Prefer the most general patterns: skip a candidate
+                        // whose LHS is covered by an already accepted, more
+                        // general one (all from earlier levels).
+                        if accepted
+                            .iter()
+                            .any(|a| lhs_more_general(&a.lhs, &lhs_pattern))
+                        {
+                            return None;
+                        }
+                        Some(TableauCandidate {
+                            // Does the embedded FD hold on the matching tuples?
+                            holds: miner.fd_holds_on(&members),
+                            constant_rhs: miner.constant_rhs(&members),
+                            lhs_pattern,
+                        })
                     })
-                    .collect();
-                // Prefer the most general patterns: skip a candidate whose
-                // LHS is covered by an already accepted, more general one.
+                    .collect()
+            });
+        // Sequential merge in canonical candidate order.  The cap breaks
+        // only the *current* condition set's candidates — exactly the
+        // sequential loop's behaviour (its cap check sat in the inner
+        // group loop), so later condition sets of the level still emit.
+        for (cond_positions, candidates) in position_sets.iter().zip(per_set) {
+            for candidate in candidates {
                 if accepted
                     .iter()
-                    .any(|a| lhs_more_general(&a.lhs, &lhs_pattern))
+                    .any(|a| lhs_more_general(&a.lhs, &candidate.lhs_pattern))
                 {
                     continue;
                 }
-                // Does the embedded FD hold on the matching tuples?
-                if !miner.fd_holds_on(&members) {
+                if !candidate.holds {
                     continue;
                 }
                 // Upgrade the RHS to constants when every matching tuple
                 // agrees on it (the `city = EDI` shape of cfd2/cfd3).
-                let rhs_pattern: Vec<PatternValue> = match miner.constant_rhs(&members) {
+                let rhs_pattern: Vec<PatternValue> = match candidate.constant_rhs {
                     Some(first_rhs) if !cond_positions.is_empty() => {
                         first_rhs.into_iter().map(PatternValue::Const).collect()
                     }
                     _ => vec![PatternValue::Any; rhs.len()],
                 };
-                accepted.push(PatternTuple::new(lhs_pattern, rhs_pattern));
+                accepted.push(PatternTuple::new(candidate.lhs_pattern, rhs_pattern));
                 if accepted.len() >= config.max_tableau {
                     break;
                 }
@@ -670,6 +739,7 @@ pub fn discover_cfds_with_pool(
             max_g3: 0.0,
             exclude: config.exclude.clone(),
             use_interned: config.use_interned,
+            threads: config.threads,
         },
         pool,
     );
@@ -685,6 +755,7 @@ pub fn discover_cfds_with_pool(
             max_g3: config.max_candidate_g3,
             exclude: config.exclude.clone(),
             use_interned: config.use_interned,
+            threads: config.threads,
         },
         pool,
     );
@@ -699,7 +770,7 @@ pub fn discover_cfds_with_pool(
         }
         // Only condition on FDs that genuinely fail globally.
         let fd_g3 = if config.use_interned {
-            let index = pool.interned_for(instance, fd.lhs(), discovery_threads());
+            let index = pool.interned_for(instance, fd.lhs(), resolve_threads(config.threads));
             g3_error_interned(&index, instance, fd.rhs())
         } else {
             g3_error(instance, fd.lhs(), fd.rhs())
@@ -871,6 +942,30 @@ mod tests {
             report.is_clean(),
             "every discovered CFD must hold on the instance it was mined from"
         );
+    }
+
+    #[test]
+    fn fan_out_is_byte_identical_to_sequential_mining() {
+        let inst = uk_us_instance();
+        for use_interned in [false, true] {
+            let config = |threads| CfdDiscoveryConfig {
+                threads,
+                use_interned,
+                min_support: 2,
+                max_lhs: 2,
+                ..CfdDiscoveryConfig::default()
+            };
+            let sequential = discover_cfds(&inst, &config(1));
+            for threads in [2, 8] {
+                let parallel = discover_cfds(&inst, &config(threads));
+                assert_eq!(
+                    parallel.variable_cfds, sequential.variable_cfds,
+                    "threads {threads}"
+                );
+                assert_eq!(parallel.constant_cfds, sequential.constant_cfds);
+                assert_eq!(parallel.candidates_checked, sequential.candidates_checked);
+            }
+        }
     }
 
     #[test]

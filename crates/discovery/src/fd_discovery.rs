@@ -8,12 +8,24 @@
 //! zero switches the validator to the `g3` error measure and discovers
 //! approximate FDs, the raw material for CFD tableau mining
 //! ([`crate::cfd_discovery`]).
+//!
+//! Within one lattice level the candidates are independent: both pruning
+//! rules (minimality and the superkey skip) only ever fire on facts from
+//! *strictly smaller* LHS sets — a same-size subset is the set itself — so
+//! the sweep freezes the discovered state at each level boundary, fans the
+//! level's surviving LHS sets out across a thread pool
+//! ([`dq_core::engine::parallel_map`]) over one shared concurrent
+//! [`PartitionSource`], and merges the per-LHS verdicts back in canonical
+//! candidate order.  The discovered FDs, candidate counts and partition
+//! tallies are byte-identical to a sequential sweep at any thread count.
 
-use crate::source::PartitionSource;
+use crate::source::{resolve_threads, PartitionSource};
+use dq_core::engine::parallel_map;
 use dq_core::fd::Fd;
 use dq_relation::{IndexPool, RelationInstance};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of FD discovery.
 #[derive(Clone, Debug)]
@@ -30,6 +42,11 @@ pub struct FdDiscoveryConfig {
     /// keeps the legacy `Vec<Value>`-keyed partition builds — same results,
     /// kept for equivalence tests and the `--discovery-bench` comparison.
     pub use_interned: bool,
+    /// Worker threads for the per-level candidate fan-out (and for cold
+    /// pooled index builds on the interned path).  `0` sizes the pool to
+    /// the machine; `1` validates sequentially.  The discovered output is
+    /// identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for FdDiscoveryConfig {
@@ -39,6 +56,7 @@ impl Default for FdDiscoveryConfig {
             max_g3: 0.0,
             exclude: Vec::new(),
             use_interned: true,
+            threads: 0,
         }
     }
 }
@@ -52,6 +70,10 @@ pub struct DiscoveredFds {
     pub candidates_checked: usize,
     /// Number of partitions materialised.
     pub partitions_built: usize,
+    /// Wall-clock milliseconds spent per lattice level (index 0 = LHS size
+    /// 1), recorded around each level's candidate fan-out; the bench
+    /// harness tracks these to show where level-parallelism pays.
+    pub level_ms: Vec<f64>,
 }
 
 impl DiscoveredFds {
@@ -79,10 +101,8 @@ pub fn discover_fds_with_pool(
     config: &FdDiscoveryConfig,
     pool: &Arc<IndexPool>,
 ) -> DiscoveredFds {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    let mut source = if config.use_interned {
+    let threads = resolve_threads(config.threads);
+    let source = if config.use_interned {
         PartitionSource::interned(instance, Arc::clone(pool), threads)
     } else {
         PartitionSource::naive(instance)
@@ -91,51 +111,90 @@ pub fn discover_fds_with_pool(
     let arity = schema.arity();
     let attrs: Vec<usize> = (0..arity).filter(|a| !config.exclude.contains(a)).collect();
 
+    // Warm the single-attribute indexes before fanning out: the big cold
+    // builds shard internally when there are fewer attributes than
+    // workers, and the per-level fan-out below then never nests parallel
+    // builds (its cold builds run single-threaded — the level is the
+    // parallel axis).
+    source.warm_singles(&attrs);
+
     let mut found: Vec<(BTreeSet<usize>, usize)> = Vec::new();
     let mut candidates_checked = 0usize;
     // Attribute sets that are superkeys: any proper extension is redundant.
     let mut superkeys: Vec<BTreeSet<usize>> = Vec::new();
+    let mut level_ms: Vec<f64> = Vec::new();
+
+    /// One LHS's verdicts, computed independently of its level siblings.
+    struct LhsVerdict {
+        checked: usize,
+        holds_for: Vec<usize>,
+        superkey: bool,
+    }
 
     let max_lhs = config.max_lhs.min(attrs.len().saturating_sub(1)).max(1);
     for level in 1..=max_lhs {
-        for lhs in subsets_of_size(&attrs, level) {
-            let lhs_set: BTreeSet<usize> = lhs.iter().copied().collect();
+        let level_start = Instant::now();
+        // Both pruning rules only fire on facts from strictly smaller LHS
+        // sets (a same-size subset is the set itself), so `found` and
+        // `superkeys` are frozen for the whole level and the surviving LHS
+        // sets validate independently.
+        let lhs_sets: Vec<(Vec<usize>, BTreeSet<usize>)> = subsets_of_size(&attrs, level)
+            .into_iter()
+            .map(|lhs| {
+                let lhs_set: BTreeSet<usize> = lhs.iter().copied().collect();
+                (lhs, lhs_set)
+            })
             // A superset of a superkey trivially determines everything.
-            if superkeys
-                .iter()
-                .any(|k| k.is_subset(&lhs_set) && k != &lhs_set)
-            {
-                continue;
-            }
-            let lhs_partition = source.partition(&lhs);
+            .filter(|(_, lhs_set)| {
+                !superkeys
+                    .iter()
+                    .any(|k| k.is_subset(lhs_set) && k != lhs_set)
+            })
+            .collect();
+        let verdicts: Vec<LhsVerdict> = parallel_map(&lhs_sets, threads, |(lhs, lhs_set)| {
+            let lhs_partition = source.partition(lhs);
+            let mut checked = 0usize;
+            let mut holds_for: Vec<usize> = Vec::new();
             for &rhs in &attrs {
                 if lhs_set.contains(&rhs) {
                     continue;
                 }
                 // Minimality: skip if a subset of X already determines A.
-                if found
-                    .iter()
-                    .any(|(l, r)| *r == rhs && l.is_subset(&lhs_set))
-                {
+                if found.iter().any(|(l, r)| *r == rhs && l.is_subset(lhs_set)) {
                     continue;
                 }
-                candidates_checked += 1;
+                checked += 1;
                 let holds = if config.max_g3 <= 0.0 {
                     let mut with_rhs = lhs.clone();
                     with_rhs.push(rhs);
                     let rhs_partition = source.partition(&with_rhs);
                     lhs_partition.implies_with(&rhs_partition)
                 } else {
-                    source.g3(&lhs, &[rhs]) <= config.max_g3
+                    source.g3(lhs, &[rhs]) <= config.max_g3
                 };
                 if holds {
-                    found.push((lhs_set.clone(), rhs));
+                    holds_for.push(rhs);
                 }
             }
-            if lhs_partition.is_superkey() {
+            LhsVerdict {
+                checked,
+                holds_for,
+                superkey: lhs_partition.is_superkey(),
+            }
+        });
+        // Merge in canonical candidate order: `parallel_map` preserves
+        // input order, so the discovered list (and every counter) is
+        // byte-identical to the sequential sweep.
+        for ((_, lhs_set), verdict) in lhs_sets.into_iter().zip(verdicts) {
+            candidates_checked += verdict.checked;
+            for rhs in verdict.holds_for {
+                found.push((lhs_set.clone(), rhs));
+            }
+            if verdict.superkey {
                 superkeys.push(lhs_set);
             }
         }
+        level_ms.push(level_start.elapsed().as_secs_f64() * 1e3);
     }
 
     let fds = found
@@ -146,6 +205,7 @@ pub fn discover_fds_with_pool(
         fds,
         candidates_checked,
         partitions_built: source.partitions_built(),
+        level_ms,
     }
 }
 
@@ -288,6 +348,35 @@ mod tests {
         assert!(!found.fds.is_empty());
         for fd in &found.fds {
             assert!(fd.holds_on(&inst), "discovered FD {fd:?} does not hold");
+        }
+    }
+
+    #[test]
+    fn fan_out_is_byte_identical_to_sequential_sweep() {
+        let inst = instance(&[
+            ("x", "p", "1"),
+            ("x", "p", "2"),
+            ("y", "p", "3"),
+            ("y", "q", "3"),
+            ("z", "q", "4"),
+            ("z", "q", "4"),
+        ]);
+        for use_interned in [false, true] {
+            for max_g3 in [0.0, 0.2] {
+                let config = |threads| FdDiscoveryConfig {
+                    threads,
+                    use_interned,
+                    max_g3,
+                    ..FdDiscoveryConfig::default()
+                };
+                let sequential = discover_fds(&inst, &config(1));
+                for threads in [2, 8] {
+                    let parallel = discover_fds(&inst, &config(threads));
+                    assert_eq!(parallel.fds, sequential.fds, "threads {threads}");
+                    assert_eq!(parallel.candidates_checked, sequential.candidates_checked);
+                    assert_eq!(parallel.partitions_built, sequential.partitions_built);
+                }
+            }
         }
     }
 

@@ -27,7 +27,7 @@
 //! mixed-numeric `Ord`-vs-`Eq` caveat shared with profiling).
 
 use dq_core::cind::{Cind, CindPattern};
-use dq_core::engine::parallel_map;
+use dq_core::engine::{parallel_map, try_parallel_map};
 use dq_core::ind::Ind;
 use dq_relation::{
     Column, Database, DqResult, FxHashSet, IdTranslation, IndexPool, RelationInstance, Value,
@@ -474,7 +474,7 @@ pub fn discover_cind_conditions_with_pool(
     let cond_attrs: Vec<usize> = (0..lhs_inst.schema().arity())
         .filter(|a| !embedded.lhs_attrs().contains(a))
         .collect();
-    let per_attr: Vec<DqResult<Option<Cind>>> = parallel_map(&cond_attrs, threads, |&cond_attr| {
+    let per_attr: Vec<Option<Cind>> = try_parallel_map(&cond_attrs, threads, |&cond_attr| {
         // Bounded distinct probe: stops at `max_condition_values + 1`
         // distinct cells, so a high-cardinality attribute (a key-like
         // column) is rejected after a handful of rows — without interning
@@ -521,8 +521,8 @@ pub fn discover_cind_conditions_with_pool(
             patterns,
         )
         .map(Some)
-    });
-    per_attr.into_iter().filter_map(|r| r.transpose()).collect()
+    })?;
+    Ok(per_attr.into_iter().flatten().collect())
 }
 
 /// The legacy row-oriented condition search, kept for equivalence testing

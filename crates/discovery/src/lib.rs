@@ -61,7 +61,8 @@ pub mod prelude {
         g1_error, g3_error, g3_error_interned, PartitionProber, StrippedPartition,
     };
     pub use crate::profile::{
-        profile_database, profile_relation, profile_relation_pooled, ColumnProfile, RelationProfile,
+        profile_database, profile_relation, profile_relation_pooled, profile_relation_with,
+        ColumnProfile, RelationProfile,
     };
     pub use crate::source::PartitionSource;
 }

@@ -7,13 +7,14 @@
 //! finite domains are.  The same statistics drive the "reasonable" defaults
 //! of [`crate::cfd_discovery`] and [`crate::ind_discovery`].
 
+use crate::source::resolve_threads;
+use dq_core::engine::parallel_map;
 use dq_relation::{Database, Domain, IndexPool, RelationInstance, Value};
 use std::collections::BTreeSet;
-use std::num::NonZeroUsize;
 use std::sync::Arc;
 
 /// Profile of a single column.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ColumnProfile {
     /// Attribute position.
     pub attr: usize,
@@ -45,7 +46,7 @@ impl ColumnProfile {
 }
 
 /// Profile of a relation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RelationProfile {
     /// Relation name.
     pub relation: String,
@@ -112,14 +113,26 @@ pub fn profile_relation_pooled(
     instance: &RelationInstance,
     pool: &Arc<IndexPool>,
 ) -> RelationProfile {
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    profile_relation_with(instance, pool, 0)
+}
+
+/// [`profile_relation_pooled`] with an explicit worker budget (`0` sizes
+/// the pool to the machine): per-column statistics and binary-key
+/// candidates are independent, so both fan out across the thread pool —
+/// columns first (each scans its own dictionary and null ids), then the
+/// candidate attribute pairs (each groups through its own pooled index).
+/// The reported profile is identical at every thread count.
+pub fn profile_relation_with(
+    instance: &RelationInstance,
+    pool: &Arc<IndexPool>,
+    threads: usize,
+) -> RelationProfile {
+    let threads = resolve_threads(threads);
     let schema = instance.schema();
     let tuples = instance.len();
     let store = instance.columnar();
-    let mut columns = Vec::with_capacity(schema.arity());
-    for attr in 0..schema.arity() {
+    let attrs: Vec<usize> = (0..schema.arity()).collect();
+    let columns: Vec<ColumnProfile> = parallel_map(&attrs, threads, |&attr| {
         let col = store.column(instance, attr);
         let interner = col.interner();
         let null_id = interner.lookup(&Value::Null);
@@ -142,7 +155,7 @@ pub fn profile_relation_pooled(
         } else {
             None
         };
-        columns.push(ColumnProfile {
+        ColumnProfile {
             attr,
             name: schema.attr_name(attr).to_string(),
             domain: schema.domain(attr).clone(),
@@ -150,8 +163,8 @@ pub fn profile_relation_pooled(
             nulls,
             uniqueness,
             inline_values,
-        });
-    }
+        }
+    });
 
     let unary_keys: Vec<usize> = columns
         .iter()
@@ -160,17 +173,18 @@ pub fn profile_relation_pooled(
         .collect();
     let mut binary_keys = Vec::new();
     if tuples > 0 {
-        for a in 0..schema.arity() {
-            for b in (a + 1)..schema.arity() {
-                if unary_keys.contains(&a) || unary_keys.contains(&b) {
-                    continue;
-                }
-                let distinct_pairs = pool.interned_for(instance, &[a, b], threads).group_count();
-                if distinct_pairs == tuples {
-                    binary_keys.push((a, b));
-                }
-            }
-        }
+        let candidate_pairs: Vec<(usize, usize)> = (0..schema.arity())
+            .flat_map(|a| ((a + 1)..schema.arity()).map(move |b| (a, b)))
+            .filter(|(a, b)| !unary_keys.contains(a) && !unary_keys.contains(b))
+            .collect();
+        let is_key: Vec<bool> = parallel_map(&candidate_pairs, threads, |&(a, b)| {
+            pool.interned_for(instance, &[a, b], 1).group_count() == tuples
+        });
+        binary_keys = candidate_pairs
+            .into_iter()
+            .zip(is_key)
+            .filter_map(|(pair, key)| key.then_some(pair))
+            .collect();
     }
 
     RelationProfile {
@@ -305,6 +319,20 @@ mod tests {
         // stay distinct — so (n, s) is a binary key under both paths.
         assert_eq!(inst.project_distinct(&[0, 1]).len(), inst.len());
         assert!(profile.binary_keys.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn fan_out_is_identical_to_sequential_profile() {
+        let inst = sample();
+        let pool = Arc::new(IndexPool::new());
+        let sequential = profile_relation_with(&inst, &pool, 1);
+        for threads in [2, 8] {
+            assert_eq!(
+                profile_relation_with(&inst, &pool, threads),
+                sequential,
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -115,6 +115,12 @@ pub struct IndexPoolStats {
     /// append-only mutations, instead of a full rebuild (a subset of
     /// `misses`).
     pub appends: u64,
+    /// Duplicate build races: misses whose build was discarded because a
+    /// concurrent request built and inserted the same index first (builds
+    /// run outside the cache lock, so two threads missing on the same cold
+    /// key both build; the first insert wins and the loser's work is
+    /// counted here).  A subset of `misses`.
+    pub races: u64,
     /// Indexes currently cached.
     pub entries: usize,
 }
@@ -143,6 +149,7 @@ pub struct IndexPool {
     hits: AtomicU64,
     misses: AtomicU64,
     appends: AtomicU64,
+    races: AtomicU64,
 }
 
 impl Default for IndexPool {
@@ -170,6 +177,7 @@ impl IndexPool {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            races: AtomicU64::new(0),
         }
     }
 
@@ -186,21 +194,30 @@ impl IndexPool {
     /// append-extendable entry per *other* attribute list alive so it can
     /// still serve as an extension donor; growth stays bounded because each
     /// attribute list's own insert drops its predecessors).
+    /// Re-checks for a concurrent insert of the same key (builds run
+    /// outside the lock): an already-present entry wins and the caller's
+    /// duplicate build is discarded, counted in [`IndexPoolStats::races`].
     fn insert_evicting<V>(
+        &self,
         cache: &mut HashMap<PoolKey, V>,
         key: PoolKey,
         built: V,
-        capacity: usize,
         keep_stale: impl Fn(&PoolKey) -> bool,
     ) -> V
     where
         V: Clone,
     {
         cache.retain(|cached, _| cached.0 != key.0 || cached.1 == key.1 || keep_stale(cached));
-        if cache.len() >= capacity {
+        if cache.len() >= self.capacity {
             cache.retain(|(id, version, _), _| *id == key.0 && *version == key.1);
         }
-        cache.entry(key).or_insert(built).clone()
+        match cache.entry(key) {
+            Entry::Occupied(winner) => {
+                self.races.fetch_add(1, Ordering::Relaxed);
+                winner.get().clone()
+            }
+            Entry::Vacant(slot) => slot.insert(built).clone(),
+        }
     }
 
     /// The value-keyed index of `instance` on `attrs`, built at most once per
@@ -217,7 +234,7 @@ impl IndexPool {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(HashIndex::build(instance, attrs));
         let mut cache = self.cache.lock().expect("index pool poisoned");
-        Self::insert_evicting(&mut cache, key, built, self.capacity, |_| false)
+        self.insert_evicting(&mut cache, key, built, |_| false)
     }
 
     /// The extend-or-build protocol shared by every append-extendable
@@ -265,7 +282,7 @@ impl IndexPool {
         });
         let built = Arc::new(extended.unwrap_or_else(build));
         let mut cache = cache.lock().expect("index pool poisoned");
-        Self::insert_evicting(&mut cache, key, built, self.capacity, |cached| {
+        self.insert_evicting(&mut cache, key, built, |cached| {
             cached.2 != *attrs && instance.append_only_since(cached.1)
         })
     }
@@ -349,6 +366,7 @@ impl IndexPool {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             appends: self.appends.load(Ordering::Relaxed),
+            races: self.races.load(Ordering::Relaxed),
             entries: self.cache.lock().expect("index pool poisoned").len()
                 + self.interned.lock().expect("index pool poisoned").len()
                 + self.distinct.lock().expect("index pool poisoned").len(),
@@ -683,6 +701,58 @@ mod tests {
         assert_eq!(pool.stats().entries, 1);
         pool.clear();
         assert_eq!(pool.stats().entries, 0);
+    }
+
+    #[test]
+    fn sequential_use_never_counts_races() {
+        let inst = instance();
+        let pool = IndexPool::new();
+        pool.index_for(&inst, &[0]);
+        pool.index_for(&inst, &[0]);
+        pool.interned_for(&inst, &[0, 1], 1);
+        pool.interned_for(&inst, &[0, 1], 1);
+        pool.distinct_for(&inst, &[1], 1);
+        assert_eq!(pool.stats().races, 0);
+    }
+
+    #[test]
+    fn duplicate_concurrent_builds_keep_one_winner() {
+        // Many threads rush the same cold key through a barrier.  Whether a
+        // duplicate build actually happens depends on scheduling, but the
+        // ledger must reconcile either way: every miss either inserted the
+        // entry or lost the race to a concurrent insert, and every caller
+        // ends up sharing the one cached winner.
+        let inst = instance();
+        let pool = IndexPool::new();
+        let barrier = std::sync::Barrier::new(8);
+        let indexes: Vec<Arc<crate::store::InternedIndex>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        pool.interned_for(&inst, &[0, 1], 1)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker survives"))
+                .collect()
+        });
+        for idx in &indexes {
+            assert!(
+                Arc::ptr_eq(idx, &indexes[0]),
+                "all callers share the winner"
+            );
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.entries, 1, "one index survives");
+        assert_eq!(stats.hits + stats.misses, 8);
+        assert_eq!(
+            stats.misses,
+            stats.races + 1,
+            "every miss but the winning insert is a counted duplicate race"
+        );
     }
 
     #[test]

@@ -49,8 +49,9 @@ pub mod prelude {
     };
     pub use crate::schema::{Attribute, DatabaseSchema, Domain, RelationSchema};
     pub use crate::store::{
-        Column, ColumnarStats, ColumnarStore, DistinctSet, FxHashMap, FxHashSet, IdTranslation,
-        InternedIndex, InternerStats, KeyCodec, ProjectionKey, ValueId, ValueInterner,
+        Column, ColumnarStats, ColumnarStore, DistinctSet, FxHashMap, FxHashSet, FxHasher,
+        IdTranslation, InternedIndex, InternerStats, KeyCodec, ProjectionKey, ValueId,
+        ValueInterner,
     };
     pub use crate::tuple::Tuple;
     pub use crate::value::{levenshtein, normalized_levenshtein, value_distance, Value};

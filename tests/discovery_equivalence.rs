@@ -46,6 +46,7 @@ fn fd_config(use_interned: bool, max_g3: f64) -> FdDiscoveryConfig {
         max_g3,
         exclude: Vec::new(),
         use_interned,
+        threads: 0,
     }
 }
 
@@ -60,7 +61,7 @@ proptest! {
         let workload = generate_customers(&config);
         let instance = &workload.dirty;
         let pool = Arc::new(IndexPool::new());
-        let mut source = PartitionSource::interned(instance, Arc::clone(&pool), 2);
+        let source = PartitionSource::interned(instance, Arc::clone(&pool), 2);
         let arity = instance.schema().arity();
         let attr_sets: Vec<Vec<usize>> = (0..arity)
             .map(|a| vec![a])
@@ -223,6 +224,160 @@ proptest! {
         prop_assert_eq!(&after, &detect_cfd_violations(&instance, &cfds));
         prop_assert!(
             engine.pool_stats().appends > 0,
+            "append-only growth must take the extension fast path"
+        );
+    }
+}
+
+/// Thread counts the parallel-≡-sequential suites sweep: sequential, a
+/// modest fan-out and an oversubscribed one (more workers than this
+/// container has cores, so preemption shuffles completion order).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The fanned-out level-wise FD sweep is byte-identical to the
+    /// sequential sweep at every thread count, on both partition backends,
+    /// exact and approximate — dependencies, candidate counts and
+    /// partition tallies included.
+    #[test]
+    fn parallel_fd_discovery_equals_sequential(config in workload_config()) {
+        let workload = generate_customers(&config);
+        for use_interned in [false, true] {
+            for max_g3 in [0.0, 0.15] {
+                let mk = |threads| FdDiscoveryConfig {
+                    threads,
+                    ..fd_config(use_interned, max_g3)
+                };
+                let sequential = discover_fds(&workload.dirty, &mk(1));
+                for threads in THREAD_COUNTS {
+                    let parallel = discover_fds(&workload.dirty, &mk(threads));
+                    prop_assert_eq!(
+                        &parallel.fds, &sequential.fds,
+                        "threads {}, interned {}, max_g3 {}", threads, use_interned, max_g3
+                    );
+                    prop_assert_eq!(parallel.candidates_checked, sequential.candidates_checked);
+                    prop_assert_eq!(parallel.partitions_built, sequential.partitions_built);
+                }
+            }
+        }
+    }
+
+    /// Full CFD discovery — exact FDs, mined tableaux and constant
+    /// patterns — is byte-identical between the sequential sweep and the
+    /// per-level fan-out at every thread count, on both backends.
+    #[test]
+    fn parallel_cfd_discovery_equals_sequential(config in workload_config()) {
+        let workload = generate_customers(&config);
+        for use_interned in [false, true] {
+            let mk = |threads| CfdDiscoveryConfig {
+                min_support: 2,
+                max_lhs: 2,
+                use_interned,
+                threads,
+                ..CfdDiscoveryConfig::default()
+            };
+            let sequential = discover_cfds(&workload.dirty, &mk(1));
+            for threads in THREAD_COUNTS {
+                let parallel = discover_cfds(&workload.dirty, &mk(threads));
+                prop_assert_eq!(
+                    &parallel.variable_cfds, &sequential.variable_cfds,
+                    "threads {}, interned {}", threads, use_interned
+                );
+                prop_assert_eq!(&parallel.constant_cfds, &sequential.constant_cfds);
+                prop_assert_eq!(parallel.candidates_checked, sequential.candidates_checked);
+            }
+        }
+    }
+
+    /// Tableau mining for one embedded FD — the `(CC, zip) → street` shape
+    /// of ϕ1 — accepts the same patterns in the same order at every thread
+    /// count (the per-condition-set fan-out merges candidates canonically,
+    /// including the `max_tableau` cap).
+    #[test]
+    fn parallel_tableau_mining_equals_sequential(
+        config in workload_config(),
+        max_tableau in 1usize..6,
+    ) {
+        let workload = generate_customers(&config);
+        let schema = workload.dirty.schema().clone();
+        let fd = Fd::new(&schema, &["CC", "zip"], &["street"]);
+        for use_interned in [false, true] {
+            let mk = |threads| CfdDiscoveryConfig {
+                min_support: 2,
+                max_tableau,
+                use_interned,
+                threads,
+                ..CfdDiscoveryConfig::default()
+            };
+            let sequential = discover_tableau_for_fd(&workload.dirty, &fd, &mk(1));
+            for threads in THREAD_COUNTS {
+                let parallel = discover_tableau_for_fd(&workload.dirty, &fd, &mk(threads));
+                match (&parallel, &sequential) {
+                    (Some(p), Some(s)) => {
+                        prop_assert_eq!(
+                            p.tableau(), s.tableau(),
+                            "threads {}, interned {}, cap {}", threads, use_interned, max_tableau
+                        );
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(
+                        false,
+                        "threads {} disagrees on tableau existence", threads
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The fanned-out profile (per-column stats and binary-key pairs)
+    /// equals the sequential profile at every thread count.
+    #[test]
+    fn parallel_profile_equals_sequential(config in workload_config()) {
+        let workload = generate_customers(&config);
+        let pool = Arc::new(IndexPool::new());
+        let sequential = profile_relation_with(&workload.dirty, &pool, 1);
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(
+                &profile_relation_with(&workload.dirty, &pool, threads),
+                &sequential,
+                "threads {}", threads
+            );
+        }
+    }
+
+    /// A parallel sweep over a *shared* pool stays byte-identical after an
+    /// append-only growth round: the pooled indexes extend in place (the
+    /// `appends` counter rises) and the concurrent sweep over the extended
+    /// indexes reports exactly what a fresh naive sweep reports.
+    #[test]
+    fn parallel_discovery_survives_append_only_growth(
+        config in workload_config(),
+        extra in 1usize..20,
+    ) {
+        let workload = generate_customers(&config);
+        let mut instance = workload.dirty;
+        let pool = Arc::new(IndexPool::new());
+        let parallel_config = FdDiscoveryConfig { threads: 4, ..fd_config(true, 0.0) };
+        let before = discover_fds_with_pool(&instance, &parallel_config, &pool);
+        prop_assert_eq!(
+            &before.fds,
+            &discover_fds(&instance, &fd_config(false, 0.0)).fds
+        );
+        // Append copies of existing tuples (no new dictionary entries, so
+        // the u64 radix codecs stay extendable) plus the growth is real.
+        let donors: Vec<_> = instance.iter().map(|(_, t)| t.clone()).collect();
+        for donor in donors.iter().cloned().cycle().take(extra) {
+            instance.insert(donor.clone()).expect("same schema");
+        }
+        let after = discover_fds_with_pool(&instance, &parallel_config, &pool);
+        prop_assert_eq!(
+            &after.fds,
+            &discover_fds(&instance, &fd_config(false, 0.0)).fds
+        );
+        prop_assert!(
+            pool.stats().appends > 0,
             "append-only growth must take the extension fast path"
         );
     }
