@@ -17,13 +17,19 @@
 //! `--ind-bench` runs the naive-vs-interned comparison for IND discovery
 //! and CIND condition mining over the order/book/CD workload and writes
 //! `BENCH_ind.json`; `--smoke` works the same way.
+//!
+//! `--delta-bench` replays a mixed append+edit stream against two identical
+//! working copies — one re-detecting CFD violations from scratch every
+//! round, one patching the pooled indexes and maintaining the previous
+//! round's report — asserts the reports identical each round, and writes
+//! `BENCH_delta.json`; `--smoke` works the same way.
 
 use dq_bench::*;
 use dq_core::prelude::*;
 use dq_cqa::prelude::*;
 use dq_gen::prelude::*;
 use dq_match::prelude::*;
-use dq_relation::{Atom, ConjunctiveQuery, HashIndex, InternedIndex, Term};
+use dq_relation::{Atom, CellRef, ConjunctiveQuery, HashIndex, InternedIndex, Term};
 use dq_repair::prelude::*;
 use dq_repr::prelude::*;
 use std::time::Instant;
@@ -45,6 +51,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--ind-bench") {
         ind_bench(std::env::args().any(|a| a == "--smoke"));
+        return;
+    }
+    if std::env::args().any(|a| a == "--delta-bench") {
+        delta_bench(std::env::args().any(|a| a == "--smoke"));
         return;
     }
     figures_1_and_2();
@@ -591,6 +601,161 @@ fn ind_bench(smoke: bool) {
     );
     std::fs::write("BENCH_ind.json", &json).expect("write BENCH_ind.json");
     println!("\nwrote BENCH_ind.json");
+}
+
+/// Incremental (patch-served) CFD violation maintenance vs. full
+/// re-detection under a mixed append+edit stream, written to
+/// `BENCH_delta.json` (skipped in `--smoke` mode, which replays the same
+/// stream CI-sized and only asserts report identity).
+///
+/// Two identical working copies of the customer workload absorb the same
+/// mutation stream — donor-copy cell edits (always in-domain, and usually
+/// moving the tuple between LHS groups of some CFD) plus duplicate-tuple
+/// appends, driven by a fixed LCG so every round is reproducible:
+/// * `rebuild` — `detect_cfd_violations` from scratch after every round,
+///   one fresh index per CFD per call: the cost any pooled consumer paid
+///   before cell writes became patchable;
+/// * `patch` — `DetectionEngine::maintain_cfd_violations` against the
+///   previous round's report: the delta journal lists the changed cells,
+///   the pooled indexes absorb them as CSR row moves (`patches` in the
+///   pool stats, never a rebuild), and only the touched LHS groups are
+///   re-checked.
+///
+/// Both paths' reports are asserted identical after every round.
+fn delta_bench(smoke: bool) {
+    header("Delta bench — patch-maintained violations vs. full re-detection");
+    let sizes: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    let error_rate = 0.05;
+    let cfds = dq_gen::customer::paper_cfds();
+    let rounds = 8usize;
+    let mut rows = Vec::new();
+    println!(
+        "  tuples   rounds  edits/r  appends/r   rebuild        patch       speedup   violations"
+    );
+    for &size in sizes {
+        let workload = customer_workload_scaled(size, error_rate);
+        // Monitor-shaped rounds: the delta is small relative to the
+        // instance (like a repair round's writes or a feed's batch), not a
+        // bulk rewrite touching most LHS groups.
+        let edits_per_round = (size / 10_000).clamp(4, 128);
+        let appends_per_round = (size / 20_000).clamp(1, 64);
+
+        let mut rebuild_instance = workload.dirty.clone();
+        let mut patch_instance = workload.dirty.clone();
+        let engine = DetectionEngine::new();
+
+        // Round 0 runs outside the timers on both paths: the baseline pays
+        // a full detection per round by design, and the incremental path
+        // starts from an initial report exactly like a monitor would.
+        let mut baseline = detect_cfd_violations(&rebuild_instance, &cfds);
+        let mut maintained = engine.maintain_cfd_violations(&patch_instance, &cfds, None);
+        assert_eq!(&baseline, maintained.report());
+
+        // A fixed LCG drives the stream so runs are exactly reproducible.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+
+        let arity = rebuild_instance.schema().arity();
+        let mut rebuild_ms = 0.0;
+        let mut patch_ms = 0.0;
+        for _ in 0..rounds {
+            let ids = rebuild_instance.ids();
+            let mut edits = Vec::with_capacity(edits_per_round);
+            for _ in 0..edits_per_round {
+                let target = ids[next() % ids.len()];
+                let attr = next() % arity;
+                let donor = ids[next() % ids.len()];
+                let value = rebuild_instance
+                    .tuple(donor)
+                    .expect("live")
+                    .get(attr)
+                    .clone();
+                edits.push((target, attr, value));
+            }
+            let mut appends = Vec::with_capacity(appends_per_round);
+            for _ in 0..appends_per_round {
+                appends.push(
+                    rebuild_instance
+                        .tuple(ids[next() % ids.len()])
+                        .expect("live")
+                        .clone(),
+                );
+            }
+            for instance in [&mut rebuild_instance, &mut patch_instance] {
+                for (target, attr, value) in &edits {
+                    instance
+                        .update_cell(CellRef::new(*target, *attr), value.clone())
+                        .expect("donor values are in-domain");
+                }
+                for tuple in &appends {
+                    instance.insert(tuple.clone()).expect("same schema");
+                }
+            }
+            let (ms, report) = timed(|| detect_cfd_violations(&rebuild_instance, &cfds));
+            rebuild_ms += ms;
+            baseline = report;
+            let (ms, next_maintained) =
+                timed(|| engine.maintain_cfd_violations(&patch_instance, &cfds, Some(&maintained)));
+            patch_ms += ms;
+            maintained = next_maintained;
+            assert_eq!(
+                &baseline,
+                maintained.report(),
+                "maintained report must equal full re-detection every round"
+            );
+        }
+        let stats = engine.pool_stats();
+        assert!(
+            stats.patches > 0,
+            "the mixed stream must be served by index patches"
+        );
+        let speedup = rebuild_ms / patch_ms;
+        let violations = baseline.total();
+        println!(
+            "{size:>8}   {rounds:>5}  {edits_per_round:>7}  {appends_per_round:>9}   {rebuild_ms:>9.1}ms  {patch_ms:>9.1}ms  {speedup:>7.2}x  {violations:>10}"
+        );
+        rows.push(format!(
+            "    {{\"tuples\": {size}, \"rounds\": {rounds}, \
+             \"edits_per_round\": {edits_per_round}, \"appends_per_round\": {appends_per_round}, \
+             \"error_rate\": {error_rate}, \"violations\": {violations}, \
+             \"rebuild_ms\": {rebuild_ms:.3}, \"patch_ms\": {patch_ms:.3}, \
+             \"speedup\": {speedup:.3}, \
+             \"rebuild_rounds_per_sec\": {:.3}, \"patch_rounds_per_sec\": {:.3}, \
+             \"pool_patches\": {}, \"pool_appends\": {}, \"pool_misses\": {}, \"pool_hits\": {}}}",
+            rounds as f64 / (rebuild_ms / 1e3),
+            rounds as f64 / (patch_ms / 1e3),
+            stats.patches,
+            stats.appends,
+            stats.misses,
+            stats.hits
+        ));
+    }
+    if smoke {
+        println!(
+            "\nsmoke mode: maintained reports identical to full re-detection every round, artifact not written"
+        );
+        return;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"sec5_delta_maintenance_patch_vs_rebuild\",\n  \
+         \"workload\": \"dq_gen::customer (scaled city pool), error_rate {error_rate}, seed 42, mixed append+edit stream\",\n  \
+         \"threads\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_delta.json", &json).expect("write BENCH_delta.json");
+    println!("\nwrote BENCH_delta.json");
 }
 
 fn figures_1_and_2() {

@@ -54,7 +54,8 @@ pub fn fuse_from_master(
             if current_value == master_value {
                 continue;
             }
-            out.update_cell(CellRef::new(m.dirty, attr), master_value.clone());
+            out.update_cell(CellRef::new(m.dirty, attr), master_value.clone())
+                .expect("master values satisfy the shared schema");
             log.changes
                 .push((m.dirty, attr, current_value.clone(), master_value.clone()));
             touched = true;

@@ -683,15 +683,18 @@ mod tests {
         d.update_cell(
             dq_relation::instance::CellRef::new(TupleId(0), city),
             Value::str("EDI"),
-        );
+        )
+        .unwrap();
         d.update_cell(
             dq_relation::instance::CellRef::new(TupleId(1), city),
             Value::str("EDI"),
-        );
+        )
+        .unwrap();
         d.update_cell(
             dq_relation::instance::CellRef::new(TupleId(2), city),
             Value::str("MH"),
-        );
+        )
+        .unwrap();
         assert!(phi2(&s).holds_on(&d));
         // phi1 is still violated: same zip, different street in the UK.
         assert!(!phi1(&s).holds_on(&d));

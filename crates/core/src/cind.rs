@@ -565,7 +565,8 @@ mod tests {
         book.update_cell(
             dq_relation::instance::CellRef::new(TupleId(1), 3),
             Value::str("audio"),
-        );
+        )
+        .unwrap();
         assert!(cind3().holds_on(&db).unwrap());
     }
 

@@ -270,7 +270,8 @@ mod tests {
         d.update_cell(
             dq_relation::instance::CellRef::new(TupleId(1), 4),
             Value::str("EDI"),
-        );
+        )
+        .unwrap();
         let f2 = Fd::new(&s, &["CC", "AC"], &["city"]);
         let v = f2.violations(&d);
         assert_eq!(v.len(), 1);

@@ -51,7 +51,9 @@ pub mod prelude {
         EcfdViolationReport,
     };
     pub use crate::ecfd::{Ecfd, EcfdPattern, SetPattern};
-    pub use crate::engine::{parallel_map, try_parallel_map, DetectionEngine};
+    pub use crate::engine::{
+        parallel_map, try_parallel_map, DetectionEngine, MaintainedCfdViolations,
+    };
     pub use crate::fd::{attribute_closure, candidate_keys, fd_implies, minimal_cover, Fd};
     pub use crate::implication::{
         cfd_implies, cfd_implies_closure, cfd_implies_exact, cfd_minimal_cover, cind_implies_chase,

@@ -229,7 +229,9 @@ pub fn generate_customers(config: &CustomerConfig) -> CustomerWorkload {
                 rng.gen_range(0..1_000)
             )))
         };
-        dirty.update_cell(dq_relation::instance::CellRef::new(id, attr), wrong);
+        dirty
+            .update_cell(dq_relation::instance::CellRef::new(id, attr), wrong)
+            .expect("injected typos stay inside the text domain");
         corrupted_cells.push((i, attr));
     }
     CustomerWorkload {

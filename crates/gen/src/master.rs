@@ -148,10 +148,12 @@ pub fn generate_master_workload(config: &MasterConfig) -> MasterWorkload {
                 .as_str()
                 .expect("name is a string")
                 .to_string();
-            dirty.update_cell(
-                CellRef::new(id, name_attr),
-                Value::str(vary_name(&original, &mut rng)),
-            );
+            dirty
+                .update_cell(
+                    CellRef::new(id, name_attr),
+                    Value::str(vary_name(&original, &mut rng)),
+                )
+                .expect("name variants stay inside the text domain");
         }
         for &attr in &[street_attr, city_attr, zip_attr] {
             if rng.gen_bool(config.error_rate) {
@@ -160,7 +162,9 @@ pub fn generate_master_workload(config: &MasterConfig) -> MasterWorkload {
                     a if a == zip_attr => Value::str(format!("XX-{}", rng.gen_range(0..1_000))),
                     _ => Value::str(format!("Corrupted street {}", rng.gen_range(0..1_000))),
                 };
-                dirty.update_cell(CellRef::new(id, attr), wrong);
+                dirty
+                    .update_cell(CellRef::new(id, attr), wrong)
+                    .expect("injected typos stay inside the text domain");
                 corrupted_cells.push((i, attr));
             }
         }
@@ -176,7 +180,9 @@ pub fn generate_master_workload(config: &MasterConfig) -> MasterWorkload {
             .expect("master has the entity")
             .get(attr)
             .clone();
-        clean.update_cell(CellRef::new(id, attr), master_value);
+        clean
+            .update_cell(CellRef::new(id, attr), master_value)
+            .expect("master values satisfy the shared schema");
     }
 
     MasterWorkload {

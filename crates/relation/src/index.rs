@@ -115,6 +115,11 @@ pub struct IndexPoolStats {
     /// append-only mutations, instead of a full rebuild (a subset of
     /// `misses`).
     pub appends: u64,
+    /// Misses served by *patching* a cached index of an older version after
+    /// journaled cell writes — moving only the changed rows between groups
+    /// — instead of a full rebuild (a subset of `misses`, disjoint from
+    /// `appends`).
+    pub patches: u64,
     /// Duplicate build races: misses whose build was discarded because a
     /// concurrent request built and inserted the same index first (builds
     /// run outside the cache lock, so two threads missing on the same cold
@@ -149,6 +154,7 @@ pub struct IndexPool {
     hits: AtomicU64,
     misses: AtomicU64,
     appends: AtomicU64,
+    patches: AtomicU64,
     races: AtomicU64,
 }
 
@@ -177,6 +183,7 @@ impl IndexPool {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
             races: AtomicU64::new(0),
         }
     }
@@ -191,9 +198,9 @@ impl IndexPool {
     /// silently rebuild every index twice.
     /// `keep_stale` may exempt selected stale entries of the requested
     /// instance from the eager purge (the interned cache keeps the latest
-    /// append-extendable entry per *other* attribute list alive so it can
-    /// still serve as an extension donor; growth stays bounded because each
-    /// attribute list's own insert drops its predecessors).
+    /// upgradable entry per *other* attribute list alive so it can still
+    /// serve as an extension or patch donor; growth stays bounded because
+    /// each attribute list's own insert drops its predecessors).
     /// Re-checks for a concurrent insert of the same key (builds run
     /// outside the lock): an already-present entry wins and the caller's
     /// duplicate build is discarded, counted in [`IndexPoolStats::races`].
@@ -237,22 +244,24 @@ impl IndexPool {
         self.insert_evicting(&mut cache, key, built, |_| false)
     }
 
-    /// The extend-or-build protocol shared by every append-extendable
-    /// columnar artifact ([`InternedIndex`], [`DistinctSet`]): serve a hit,
-    /// else find the best append-extendable predecessor — same instance and
-    /// attributes, older version, nothing but inserts in between — and let
-    /// `extend` re-key only the appended rows (counted in
-    /// [`IndexPoolStats::appends`]), falling back to `build`.  The insert
+    /// The upgrade-or-build protocol shared by every columnar artifact
+    /// ([`InternedIndex`], [`DistinctSet`]): serve a hit, else find the best
+    /// upgradable predecessor — same instance and attributes, older version,
+    /// every mutation in between either an insert or a journaled cell write
+    /// ([`RelationInstance::delta_covers`]) — and let `upgrade` re-key only
+    /// the appended rows (counted in [`IndexPoolStats::appends`]) or move
+    /// only the edited rows between groups (counted in
+    /// [`IndexPoolStats::patches`]), falling back to `build`.  The insert
     /// keeps stale entries on *other* attribute lists alive while they stay
-    /// append-extendable, so one growth round can extend every cached
-    /// artifact, not just the first one re-requested; each attribute list's
-    /// own insert still drops its predecessors.
+    /// upgradable, so one mutation round can upgrade every cached artifact,
+    /// not just the first one re-requested; each attribute list's own insert
+    /// still drops its predecessors.
     fn artifact_for<V>(
         &self,
         cache: &Mutex<HashMap<PoolKey, Arc<V>>>,
         instance: &RelationInstance,
         attrs: &[usize],
-        extend: impl Fn(&V) -> Option<V>,
+        upgrade: impl Fn(&V) -> Option<V>,
         build: impl FnOnce() -> V,
     ) -> Arc<V> {
         let key: PoolKey = (instance.instance_id(), instance.version(), attrs.to_vec());
@@ -268,7 +277,7 @@ impl IndexPool {
                     *id == key.0
                         && *version < key.1
                         && cached_attrs == attrs
-                        && instance.append_only_since(*version)
+                        && instance.delta_covers(*version)
                 })
                 .max_by_key(|((_, version, _), _)| *version)
                 .map(|(_, artifact)| Arc::clone(artifact))
@@ -277,14 +286,36 @@ impl IndexPool {
         // artifacts proceed in parallel; a racing duplicate build of the
         // same one is benign (first write wins, results are identical).
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let extended = predecessor.and_then(|prev| extend(&prev)).inspect(|_| {
-            self.appends.fetch_add(1, Ordering::Relaxed);
-        });
-        let built = Arc::new(extended.unwrap_or_else(build));
+        let upgraded = predecessor.and_then(|prev| upgrade(&prev));
+        let built = Arc::new(upgraded.unwrap_or_else(build));
         let mut cache = cache.lock().expect("index pool poisoned");
         self.insert_evicting(&mut cache, key, built, |cached| {
-            cached.2 != *attrs && instance.append_only_since(cached.1)
+            cached.2 != *attrs && instance.delta_covers(cached.1)
         })
+    }
+
+    /// Shared append-vs-patch dispatch of the upgrade closures: an
+    /// append-only gap takes `extend`, a journal-covered gap takes `patch`
+    /// with the coalesced cell changes, and success bumps the matching
+    /// counter.  `prev_version` must be the cached artifact's snapshot
+    /// version.
+    fn upgrade_artifact<V>(
+        &self,
+        instance: &RelationInstance,
+        prev_version: u64,
+        extend: impl FnOnce() -> Option<V>,
+        patch: impl FnOnce(&[crate::instance::CellChange]) -> Option<V>,
+    ) -> Option<V> {
+        if instance.append_only_since(prev_version) {
+            extend().inspect(|_| {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+            })
+        } else {
+            let changes = instance.changed_cells_since(prev_version)?;
+            patch(&changes).inspect(|_| {
+                self.patches.fetch_add(1, Ordering::Relaxed);
+            })
+        }
     }
 
     /// The interned (compact-key, CSR) index of `instance` on `attrs`, built
@@ -292,11 +323,14 @@ impl IndexPool {
     /// snapshot, using up to `threads` workers for a cold build.
     ///
     /// When the pool holds an index of an older version of the same
-    /// instance on the same attributes and the instance has only *grown*
-    /// since ([`RelationInstance::append_only_since`]), the miss is served
-    /// by [`InternedIndex::try_extended`] — re-keying only the appended rows
-    /// — rather than a full rebuild; any non-append mutation falls back to
-    /// rebuilding.
+    /// instance on the same attributes, a miss is served without a full
+    /// rebuild whenever the gap is covered: append-only growth
+    /// ([`RelationInstance::append_only_since`]) takes
+    /// [`InternedIndex::try_extended`] — re-keying only the appended rows —
+    /// and journaled cell writes ([`RelationInstance::delta_covers`]) take
+    /// [`InternedIndex::try_patched`] — moving only the edited rows between
+    /// groups.  Removals, raw tuple access and journal overflow fall back
+    /// to rebuilding.
     pub fn interned_for(
         &self,
         instance: &RelationInstance,
@@ -307,7 +341,15 @@ impl IndexPool {
             &self.interned,
             instance,
             attrs,
-            |prev| InternedIndex::try_extended(prev, instance, &instance.columnar()),
+            |prev| {
+                let store = instance.columnar();
+                self.upgrade_artifact(
+                    instance,
+                    prev.store().version(),
+                    || InternedIndex::try_extended(prev, instance, &store),
+                    |changes| InternedIndex::try_patched(prev, instance, &store, changes),
+                )
+            },
             || InternedIndex::build(instance, &instance.columnar(), attrs, threads),
         )
     }
@@ -319,7 +361,10 @@ impl IndexPool {
     /// Misses after append-only growth are served by
     /// [`DistinctSet::try_extended`] — only the appended rows are packed and
     /// inserted, with the same repack-aware radix handling as the interned
-    /// indexes — and count into [`IndexPoolStats::appends`].
+    /// indexes — and count into [`IndexPoolStats::appends`]; misses after
+    /// journaled cell writes are served by [`DistinctSet::try_patched`] —
+    /// inserting the edited rows' new keys and dropping vacated ones — and
+    /// count into [`IndexPoolStats::patches`].
     pub fn distinct_for(
         &self,
         instance: &RelationInstance,
@@ -330,7 +375,15 @@ impl IndexPool {
             &self.distinct,
             instance,
             attrs,
-            |prev| DistinctSet::try_extended(prev, instance, &instance.columnar()),
+            |prev| {
+                let store = instance.columnar();
+                self.upgrade_artifact(
+                    instance,
+                    prev.store().version(),
+                    || DistinctSet::try_extended(prev, instance, &store),
+                    |changes| DistinctSet::try_patched(prev, instance, &store, changes),
+                )
+            },
             || DistinctSet::build(instance, &instance.columnar(), attrs, threads),
         )
     }
@@ -366,6 +419,7 @@ impl IndexPool {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             appends: self.appends.load(Ordering::Relaxed),
+            patches: self.patches.load(Ordering::Relaxed),
             races: self.races.load(Ordering::Relaxed),
             entries: self.cache.lock().expect("index pool poisoned").len()
                 + self.interned.lock().expect("index pool poisoned").len()
@@ -636,13 +690,53 @@ mod tests {
             }
         }
         assert_eq!(pool.stats().appends, 3, "every growth round extends");
-        // A non-append mutation (cell update) disables the fast path.
+        // A journaled cell update takes the patch path instead of a rebuild
+        // — even on an attribute outside the key, where no row moves.
         inst.update_cell(
             crate::instance::CellRef::new(TupleId(0), 2),
             Value::str("zz"),
-        );
+        )
+        .unwrap();
+        let patched = pool.interned_for(&inst, &[0, 1], 1);
+        assert_eq!(pool.stats().appends, 3, "an update is not an append");
+        assert_eq!(pool.stats().patches, 1, "the update patches the index");
+        let baseline = HashIndex::build(&inst, &[0, 1]);
+        assert_eq!(patched.group_count(), baseline.len());
+        // A key-attribute update moves the edited row between groups.
+        inst.update_cell(
+            crate::instance::CellRef::new(TupleId(0), 1),
+            Value::str("z"),
+        )
+        .unwrap();
+        let moved = pool.interned_for(&inst, &[0, 1], 1);
+        assert_eq!(pool.stats().patches, 2);
+        let baseline = HashIndex::build(&inst, &[0, 1]);
+        assert_eq!(moved.group_count(), baseline.len());
+        for (key, group) in baseline.groups() {
+            let ids: Vec<TupleId> = moved
+                .rows_for_values(key)
+                .iter()
+                .map(|&r| moved.tuple_id(r))
+                .collect();
+            assert_eq!(&ids, group);
+        }
+    }
+
+    #[test]
+    fn removals_disable_the_patch_path() {
+        let mut inst = instance();
+        let pool = IndexPool::new();
         pool.interned_for(&inst, &[0, 1], 1);
-        assert_eq!(pool.stats().appends, 3, "update forces a full rebuild");
+        inst.remove(TupleId(2));
+        let rebuilt = pool.interned_for(&inst, &[0, 1], 1);
+        let stats = pool.stats();
+        assert_eq!(
+            (stats.appends, stats.patches),
+            (0, 0),
+            "a removal poisons the journal, forcing a full rebuild"
+        );
+        let baseline = HashIndex::build(&inst, &[0, 1]);
+        assert_eq!(rebuilt.group_count(), baseline.len());
     }
 
     #[test]
@@ -683,11 +777,15 @@ mod tests {
         assert_eq!(pool.stats().appends, 1, "growth extends, never rebuilds");
         assert_eq!(grown.len(), inst.project_distinct(&[0, 1]).len());
         assert!(grown.contains_values(&[Value::int(77), Value::str("new")]));
-        // A non-append mutation falls back to a full rebuild.
-        inst.update_cell(crate::instance::CellRef::new(TupleId(0), 0), Value::int(-1));
-        let rebuilt = pool.distinct_for(&inst, &[0, 1], 1);
-        assert_eq!(pool.stats().appends, 1);
-        assert_eq!(rebuilt.len(), inst.project_distinct(&[0, 1]).len());
+        // A journaled cell update on a key attribute patches the cached set:
+        // the edited row's new projection appears, vacated keys vanish.
+        inst.update_cell(crate::instance::CellRef::new(TupleId(0), 0), Value::int(-1))
+            .unwrap();
+        let patched = pool.distinct_for(&inst, &[0, 1], 1);
+        let stats = pool.stats();
+        assert_eq!((stats.appends, stats.patches), (1, 1));
+        assert_eq!(patched.len(), inst.project_distinct(&[0, 1]).len());
+        assert!(patched.contains_values(&[Value::int(-1), Value::str("x")]));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::error::{DqError, DqResult};
 use crate::schema::RelationSchema;
-use crate::store::ColumnarStore;
+use crate::store::{ColumnarStore, FxHashMap};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
@@ -22,6 +22,35 @@ static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(0);
 
 fn fresh_instance_id() -> u64 {
     NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Upper bound on delta-journal entries kept on an instance.  When the
+/// journal would exceed this, the oldest half is dropped and the journal
+/// floor raised: snapshots older than the floor fall back to a full rebuild,
+/// recent ones keep the patch path.
+const DELTA_JOURNAL_CAP: usize = 4096;
+
+/// A coalesced cell-level change between two versions of an instance, as
+/// reported by [`RelationInstance::changed_cells_since`]: `cell` held `old`
+/// at the earlier version and holds `new` now.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellChange {
+    /// The changed cell.
+    pub cell: CellRef,
+    /// The value at the earlier version.
+    pub old: Value,
+    /// The value now.
+    pub new: Value,
+}
+
+/// One journaled cell write: reaching `version` replaced `old` with `new`
+/// in `cell`.
+#[derive(Clone, Debug)]
+struct DeltaEntry {
+    version: u64,
+    cell: CellRef,
+    old: Value,
+    new: Value,
 }
 
 /// Stable identifier of a tuple within a [`RelationInstance`].
@@ -69,6 +98,17 @@ pub struct RelationInstance {
     /// instance has only grown since — see
     /// [`append_only_since`](Self::append_only_since).
     last_non_append_version: u64,
+    /// Cell-delta journal: every cell write since `delta_floor`, in version
+    /// order.  Kept small (see [`DELTA_JOURNAL_CAP`]); removals and raw
+    /// [`tuple_mut`](Self::tuple_mut) access clear it and raise the floor,
+    /// because the journal can no longer describe the instance as
+    /// "the old snapshot plus these cell edits".
+    delta: Vec<DeltaEntry>,
+    /// Versions `v` with `delta_floor <= v <= version` are *delta-covered*:
+    /// the journal records every mutation after `v` that was not an
+    /// insertion, so snapshots and indexes taken at `v` can be patched in
+    /// place — see [`delta_covers`](Self::delta_covers).
+    delta_floor: u64,
     /// Version-tagged columnar snapshot, built lazily by
     /// [`columnar`](Self::columnar) and dropped (logically) by the version
     /// check after any mutation.  Never cloned: the cache is an
@@ -88,6 +128,8 @@ impl Clone for RelationInstance {
             instance_id: fresh_instance_id(),
             version: 0,
             last_non_append_version: 0,
+            delta: Vec::new(),
+            delta_floor: 0,
             columnar: Mutex::new(None),
         }
     }
@@ -103,6 +145,8 @@ impl RelationInstance {
             instance_id: fresh_instance_id(),
             version: 0,
             last_non_append_version: 0,
+            delta: Vec::new(),
+            delta_floor: 0,
             columnar: Mutex::new(None),
         }
     }
@@ -138,6 +182,74 @@ impl RelationInstance {
     /// access all break the property until the next snapshot.
     pub fn append_only_since(&self, version: u64) -> bool {
         version <= self.version && version >= self.last_non_append_version
+    }
+
+    /// True when the delta journal fully describes how the instance evolved
+    /// from `version` to now: every mutation after `version` was either an
+    /// insertion (visible as new live slots) or a journaled cell write.  A
+    /// snapshot or index taken at `version` can then be *patched* — the
+    /// changed cells are listed by
+    /// [`changed_cells_since`](Self::changed_cells_since) — instead of
+    /// rebuilt.  Removals, raw [`tuple_mut`](Self::tuple_mut) access and
+    /// journal overflow break the property for older versions.
+    ///
+    /// `append_only_since(v)` implies `delta_covers(v)` (with an empty
+    /// change list).
+    pub fn delta_covers(&self, version: u64) -> bool {
+        version <= self.version && version >= self.delta_floor
+    }
+
+    /// The cells that changed between `version` and now, coalesced per cell
+    /// (first recorded `old`, last recorded `new`) with net no-ops dropped,
+    /// in first-touched order.  Returns `None` when `version` is not
+    /// [delta-covered](Self::delta_covers).
+    pub fn changed_cells_since(&self, version: u64) -> Option<Vec<CellChange>> {
+        if !self.delta_covers(version) {
+            return None;
+        }
+        let mut out: Vec<CellChange> = Vec::new();
+        let mut slot: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+        for e in self.delta.iter().filter(|e| e.version > version) {
+            match slot.entry((e.cell.tuple.0, e.cell.attr)) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    out[*o.get()].new = e.new.clone();
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(out.len());
+                    out.push(CellChange {
+                        cell: e.cell,
+                        old: e.old.clone(),
+                        new: e.new.clone(),
+                    });
+                }
+            }
+        }
+        out.retain(|c| c.old != c.new);
+        Some(out)
+    }
+
+    /// Forgets the journal: mutations up to the current version can no
+    /// longer be described as cell deltas.
+    fn poison_delta(&mut self) {
+        self.delta.clear();
+        self.delta_floor = self.version;
+    }
+
+    /// Journals one cell write (already applied, version already bumped),
+    /// evicting the oldest half of the journal when full so recent versions
+    /// stay patchable.
+    fn journal_push(&mut self, cell: CellRef, old: Value, new: Value) {
+        if self.delta.len() >= DELTA_JOURNAL_CAP {
+            let half = DELTA_JOURNAL_CAP / 2;
+            self.delta_floor = self.delta[half - 1].version;
+            self.delta.drain(..half);
+        }
+        self.delta.push(DeltaEntry {
+            version: self.version,
+            cell,
+            old,
+            new,
+        });
     }
 
     /// Number of (live) tuples.
@@ -193,6 +305,7 @@ impl RelationInstance {
             self.live -= 1;
             self.version += 1;
             self.last_non_append_version = self.version;
+            self.poison_delta();
         }
         removed
     }
@@ -202,21 +315,63 @@ impl RelationInstance {
         self.tuples.get(id.0).and_then(|t| t.as_ref())
     }
 
-    /// Mutable access to a tuple (used by repairs to modify cells in place).
-    /// Conservatively counts as a mutation for [`version`](Self::version)
-    /// purposes even if the caller never writes through the reference.
+    /// Mutable access to a tuple.  Conservatively counts as an *unknown*
+    /// mutation: the version is bumped, the append-only fast path and the
+    /// delta journal are both invalidated, even if the caller never writes
+    /// through the reference — the instance cannot see what (if anything)
+    /// was written.  In-repo code writes cells through
+    /// [`update_cell`](Self::update_cell) instead, which validates the
+    /// value, skips no-op writes and keeps snapshots patchable; this method
+    /// remains for external callers that need raw access.
     pub fn tuple_mut(&mut self, id: TupleId) -> Option<&mut Tuple> {
-        let slot = self.tuples.get_mut(id.0).and_then(|t| t.as_mut());
-        if slot.is_some() {
+        if self.tuples.get(id.0).is_some_and(|t| t.is_some()) {
             self.version += 1;
             self.last_non_append_version = self.version;
+            self.poison_delta();
         }
-        slot
+        self.tuples.get_mut(id.0).and_then(|t| t.as_mut())
     }
 
-    /// Updates a single cell, returning the previous value.
-    pub fn update_cell(&mut self, cell: CellRef, value: Value) -> Option<Value> {
-        self.tuple_mut(cell.tuple).map(|t| t.set(cell.attr, value))
+    /// Updates a single cell after validating the new value against the
+    /// attribute's domain (exactly like [`insert`](Self::insert) does for
+    /// whole tuples), returning the previous value — `Ok(None)` when the
+    /// tuple is not live.  A no-op write (`value` equal to the current
+    /// value) returns early without bumping the version, so it neither
+    /// invalidates cached snapshots nor poisons the append-only fast path.
+    /// Real writes are recorded in the delta journal, keeping derived
+    /// snapshots and indexes patchable (see
+    /// [`delta_covers`](Self::delta_covers)).
+    pub fn update_cell(&mut self, cell: CellRef, value: Value) -> DqResult<Option<Value>> {
+        if cell.attr >= self.schema.arity() {
+            return Err(DqError::UnknownAttribute {
+                relation: self.schema.name().to_string(),
+                attribute: format!("#{}", cell.attr),
+            });
+        }
+        if !self.schema.domain(cell.attr).contains(&value) {
+            return Err(DqError::DomainViolation {
+                relation: self.schema.name().to_string(),
+                attribute: self.schema.attr_name(cell.attr).to_string(),
+                value: value.to_string(),
+            });
+        }
+        Ok(self.update_cell_unchecked(cell, value))
+    }
+
+    /// [`update_cell`](Self::update_cell) without domain validation — the
+    /// explicit escape hatch for callers that intentionally write values
+    /// outside the schema's domains (panics if `cell.attr` is out of
+    /// bounds).  Still skips no-op writes and journals real ones.
+    pub fn update_cell_unchecked(&mut self, cell: CellRef, value: Value) -> Option<Value> {
+        let tuple = self.tuples.get_mut(cell.tuple.0).and_then(|t| t.as_mut())?;
+        if tuple.get(cell.attr) == &value {
+            return Some(value);
+        }
+        let old = tuple.set(cell.attr, value.clone());
+        self.version += 1;
+        self.last_non_append_version = self.version;
+        self.journal_push(cell, old.clone(), value);
+        Some(old)
     }
 
     /// The value stored in a cell.
@@ -266,7 +421,9 @@ impl RelationInstance {
     /// `Arc`s); the next call builds a fresh one — except after append-only
     /// mutations, where the stale snapshot is *extended*: existing rows and
     /// dictionaries are reused and only the appended tuples are encoded
-    /// (the incremental-detection fast path).
+    /// (the incremental-detection fast path) — and after journaled cell
+    /// writes, where it is *patched*: only the changed cells are
+    /// re-interned, every other column and dictionary is reused.
     pub fn columnar(&self) -> Arc<ColumnarStore> {
         let mut cache = self.columnar.lock().expect("columnar cache poisoned");
         if let Some(store) = cache.as_ref() {
@@ -277,6 +434,11 @@ impl RelationInstance {
                 let extended = Arc::new(ColumnarStore::extended(store, self));
                 *cache = Some(Arc::clone(&extended));
                 return extended;
+            }
+            if let Some(changes) = self.changed_cells_since(store.version()) {
+                let patched = Arc::new(ColumnarStore::patched(store, self, &changes));
+                *cache = Some(Arc::clone(&patched));
+                return patched;
             }
         }
         let store = Arc::new(ColumnarStore::new(self));
@@ -418,9 +580,101 @@ mod tests {
     fn cell_update_round_trip() {
         let mut inst = sample();
         let cell = CellRef::new(TupleId(0), 1);
-        let old = inst.update_cell(cell, Value::str("z")).unwrap();
+        let old = inst.update_cell(cell, Value::str("z")).unwrap().unwrap();
         assert_eq!(old, Value::str("x"));
         assert_eq!(inst.cell(cell).unwrap(), &Value::str("z"));
+        // A dead tuple yields no previous value (and no error).
+        inst.remove(TupleId(2));
+        assert_eq!(
+            inst.update_cell(CellRef::new(TupleId(2), 1), Value::str("q")),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn cell_update_validates_the_domain() {
+        let mut inst = sample();
+        let v = inst.version();
+        let err = inst
+            .update_cell(CellRef::new(TupleId(0), 0), Value::str("not an int"))
+            .unwrap_err();
+        assert!(matches!(err, DqError::DomainViolation { .. }));
+        let err = inst
+            .update_cell(CellRef::new(TupleId(0), 9), Value::int(1))
+            .unwrap_err();
+        assert!(matches!(err, DqError::UnknownAttribute { .. }));
+        assert_eq!(inst.version(), v, "rejected writes leave no trace");
+        assert_eq!(inst.cell(CellRef::new(TupleId(0), 0)), Some(&Value::int(1)));
+        // The unchecked escape hatch writes anything.
+        let old = inst
+            .update_cell_unchecked(CellRef::new(TupleId(0), 0), Value::str("wild"))
+            .unwrap();
+        assert_eq!(old, Value::int(1));
+    }
+
+    #[test]
+    fn noop_cell_update_leaves_version_and_caches_untouched() {
+        let mut inst = sample();
+        let snapshot = inst.columnar();
+        let v = inst.version();
+        let old = inst
+            .update_cell(CellRef::new(TupleId(0), 1), Value::str("x"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(old, Value::str("x"));
+        assert_eq!(inst.version(), v, "no-op writes do not bump the version");
+        assert!(inst.append_only_since(v));
+        assert!(
+            Arc::ptr_eq(&snapshot, &inst.columnar()),
+            "no-op writes keep the snapshot memoized"
+        );
+    }
+
+    #[test]
+    fn delta_journal_coalesces_and_survives_appends() {
+        let mut inst = sample();
+        let v0 = inst.version();
+        inst.update_cell(CellRef::new(TupleId(0), 1), Value::str("a"))
+            .unwrap();
+        inst.insert_values([Value::int(7), Value::str("w"), Value::bool(true)])
+            .unwrap();
+        inst.update_cell(CellRef::new(TupleId(0), 1), Value::str("b"))
+            .unwrap();
+        assert!(inst.delta_covers(v0));
+        assert!(!inst.append_only_since(v0));
+        let changes = inst.changed_cells_since(v0).unwrap();
+        assert_eq!(
+            changes,
+            vec![CellChange {
+                cell: CellRef::new(TupleId(0), 1),
+                old: Value::str("x"),
+                new: Value::str("b"),
+            }],
+            "writes to one cell coalesce into a single change"
+        );
+        // A write that restores the original value nets out to no change.
+        inst.update_cell(CellRef::new(TupleId(0), 1), Value::str("x"))
+            .unwrap();
+        assert_eq!(inst.changed_cells_since(v0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn removals_and_raw_tuple_access_poison_the_delta_journal() {
+        let mut inst = sample();
+        let v0 = inst.version();
+        inst.update_cell(CellRef::new(TupleId(0), 1), Value::str("z"))
+            .unwrap();
+        assert!(inst.delta_covers(v0));
+        inst.remove(TupleId(1));
+        assert!(!inst.delta_covers(v0));
+        assert!(inst.changed_cells_since(v0).is_none());
+        let v1 = inst.version();
+        assert!(inst.delta_covers(v1));
+        inst.tuple_mut(TupleId(0)).unwrap();
+        assert!(
+            !inst.delta_covers(v1),
+            "raw access may have written anything"
+        );
     }
 
     #[test]
@@ -461,7 +715,8 @@ mod tests {
             .unwrap();
         let v1 = inst.version();
         assert!(v1 > v0);
-        inst.update_cell(CellRef::new(TupleId(0), 1), Value::str("y"));
+        inst.update_cell(CellRef::new(TupleId(0), 1), Value::str("y"))
+            .unwrap();
         let v2 = inst.version();
         assert!(v2 > v1);
         inst.remove(TupleId(0));

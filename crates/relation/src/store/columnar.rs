@@ -20,7 +20,7 @@
 //! [`IndexPool`](crate::index::IndexPool).
 
 use super::interner::{InternerStats, ValueId, ValueInterner};
-use crate::instance::{RelationInstance, TupleId};
+use crate::instance::{CellChange, RelationInstance, TupleId};
 use std::mem::size_of;
 use std::ops::Range;
 use std::sync::{Arc, OnceLock};
@@ -177,6 +177,81 @@ impl ColumnarStore {
                 let lock = OnceLock::new();
                 if let Some(col) = slot.get() {
                     lock.set(Arc::new(col.extended(instance, attr, &new_rows)))
+                        .expect("freshly created lock is empty");
+                }
+                lock
+            })
+            .collect();
+        ColumnarStore {
+            instance_id: prev.instance_id,
+            version: instance.version(),
+            rows,
+            row_index,
+            columns,
+        }
+    }
+
+    /// Patches a previous snapshot of the same instance after journaled
+    /// cell writes (plus, possibly, interleaved insertions): like
+    /// [`extended`](Self::extended) it reuses the old rows and every built
+    /// column's dictionary and id vector wholesale, then re-interns *only*
+    /// the changed cells in place.  Dictionaries are append-only, so every
+    /// unchanged cell keeps its id and structures keyed on old ids stay
+    /// valid; a patched dictionary may carry values no live cell holds any
+    /// more, which costs a little memory but never correctness.
+    ///
+    /// The caller must guarantee the delta journal covers `prev.version()`
+    /// ([`RelationInstance::delta_covers`]) and pass the coalesced changes
+    /// ([`RelationInstance::changed_cells_since`]).
+    pub fn patched(
+        prev: &ColumnarStore,
+        instance: &RelationInstance,
+        changes: &[CellChange],
+    ) -> Self {
+        assert_eq!(
+            prev.instance_id,
+            instance.instance_id(),
+            "snapshot patched for a different instance"
+        );
+        debug_assert!(instance.delta_covers(prev.version));
+        // Cell writes never change liveness, so — exactly as in `extended`
+        // — every live tuple in a slot beyond the old row index is an
+        // appended one.
+        let mut rows = Vec::with_capacity(instance.len());
+        rows.extend_from_slice(&prev.rows);
+        let mut row_index = prev.row_index.clone();
+        let first_new_slot = prev.row_index.len();
+        let mut new_rows = Vec::with_capacity(instance.len() - prev.rows.len());
+        for (id, _) in instance.iter() {
+            if id.0 < first_new_slot {
+                continue;
+            }
+            while row_index.len() < id.0 {
+                row_index.push(u32::MAX);
+            }
+            row_index.push(u32::try_from(rows.len()).expect("instance larger than u32::MAX rows"));
+            rows.push(id);
+            new_rows.push(id);
+        }
+        let columns: Vec<OnceLock<Arc<Column>>> = prev
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(attr, slot)| {
+                let lock = OnceLock::new();
+                if let Some(col) = slot.get() {
+                    let mut patched = col.extended(instance, attr, &new_rows);
+                    for change in changes.iter().filter(|c| c.cell.attr == attr) {
+                        // Appended-then-edited tuples were already interned
+                        // at their current value by the extension above;
+                        // re-interning is a no-op for them.
+                        if let Some(&row) = row_index.get(change.cell.tuple.0) {
+                            if row != u32::MAX {
+                                patched.ids[row as usize] = patched.interner.intern(&change.new);
+                            }
+                        }
+                    }
+                    lock.set(Arc::new(patched))
                         .expect("freshly created lock is empty");
                 }
                 lock
@@ -410,6 +485,67 @@ mod tests {
         assert_eq!(extended.rows(), fresh.rows());
         let col = extended.column(&inst, 1);
         assert_eq!(col.interner().resolve(col.id_at(3)), &Value::str("q"));
+    }
+
+    #[test]
+    fn patched_snapshot_round_trips_like_a_fresh_build() {
+        use crate::instance::CellRef;
+        let mut inst = instance();
+        let prev = inst.columnar();
+        prev.column(&inst, 0);
+        prev.column(&inst, 1);
+        let v0 = inst.version();
+        // Edit two cells (one to a brand-new value), append one tuple, and
+        // edit the appended tuple too.
+        inst.update_cell(CellRef::new(TupleId(0), 1), Value::str("edited"))
+            .unwrap();
+        inst.update_cell(CellRef::new(TupleId(2), 0), Value::int(42))
+            .unwrap();
+        inst.insert_values([Value::int(5), Value::str("n")])
+            .unwrap();
+        inst.update_cell(CellRef::new(TupleId(4), 1), Value::str("m"))
+            .unwrap();
+        let changes = inst.changed_cells_since(v0).unwrap();
+        let patched = ColumnarStore::patched(&prev, &inst, &changes);
+        assert_eq!(patched.version(), inst.version());
+        let fresh = ColumnarStore::new(&inst);
+        assert_eq!(patched.rows(), fresh.rows());
+        for attr in 0..2 {
+            assert!(patched.built_column(attr).is_some(), "built column patched");
+            let p = patched.column(&inst, attr);
+            for (row, &id) in patched.rows().iter().enumerate() {
+                assert_eq!(
+                    p.interner().resolve(p.id_at(row)),
+                    inst.tuple(id).unwrap().get(attr),
+                    "attr {attr} row {row}"
+                );
+            }
+        }
+        // Unchanged cells keep their previous ids (dictionaries only grow).
+        let p = patched.column(&inst, 1);
+        let old = prev.column(&inst, 1);
+        assert_eq!(p.id_at(1), old.id_at(1));
+    }
+
+    #[test]
+    fn instance_snapshot_cache_takes_the_patch_path() {
+        use crate::instance::CellRef;
+        let mut inst = instance();
+        let prev = inst.columnar();
+        prev.column(&inst, 1);
+        inst.update_cell(CellRef::new(TupleId(1), 1), Value::str("patched"))
+            .unwrap();
+        let next = inst.columnar();
+        assert!(
+            next.built_column(1).is_some(),
+            "cache served a patched snapshot, not a cold rebuild"
+        );
+        let col = next.column(&inst, 1);
+        let row = next.row_of(TupleId(1)).unwrap();
+        assert_eq!(
+            col.interner().resolve(col.id_at(row)),
+            &Value::str("patched")
+        );
     }
 
     #[test]

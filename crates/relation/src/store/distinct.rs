@@ -21,7 +21,7 @@ use super::columnar::{Column, ColumnarStore, SHARD_ROWS};
 use super::fx::FxHashSet;
 use super::index::{widen_plan, KeyCodec, Repr, WidenPlan};
 use super::interner::ValueId;
-use crate::instance::RelationInstance;
+use crate::instance::{CellChange, RelationInstance};
 use crate::value::Value;
 use std::hash::Hash;
 use std::mem::size_of;
@@ -164,6 +164,127 @@ impl DistinctSet {
                 }
                 _ => unreachable!("key set variant always matches codec repr"),
             }
+        }
+        Some(DistinctSet {
+            attrs: prev.attrs.clone(),
+            store: Arc::clone(store),
+            codec,
+            keys,
+        })
+    }
+
+    /// Patches `prev` — a set of the same instance on the same attributes,
+    /// built at an earlier version — after journaled cell writes (plus,
+    /// possibly, interleaved insertions): the new key of every changed row
+    /// is inserted (at most one per change) and each *candidate-vacated*
+    /// old key — the set keeps no per-key counts — is verified by a single
+    /// packing sweep over the rows (no re-hashing into the set, early exit
+    /// once every candidate is accounted for) before being removed.
+    /// Changes touching only non-key attributes cost nothing.  The codec is
+    /// carried forward under the same widening rules as
+    /// [`try_extended`](Self::try_extended); `None` means full rebuild.
+    ///
+    /// `store` must be the current snapshot *descended from `prev`'s via
+    /// extensions/patches* — the memoized [`RelationInstance::columnar`]
+    /// chain guarantees this whenever the delta journal covers `prev`'s
+    /// version — so that `prev`'s dictionary ids stay valid in the new
+    /// dictionaries and old keys can be computed from `prev`'s columns.
+    pub fn try_patched(
+        prev: &DistinctSet,
+        instance: &RelationInstance,
+        store: &Arc<ColumnarStore>,
+        changes: &[CellChange],
+    ) -> Option<DistinctSet> {
+        if store.instance_id() != prev.store.instance_id() || store.len() < prev.store.len() {
+            return None;
+        }
+        let columns: Vec<Arc<Column>> = prev
+            .attrs
+            .iter()
+            .map(|&a| store.column(instance, a))
+            .collect();
+        // Patched dictionaries only ever append to their predecessors.
+        debug_assert!(columns
+            .iter()
+            .zip(prev.codec.columns())
+            .all(|(new, old)| new.distinct() >= old.distinct()));
+        let (mut keys, repr) = match (widen_plan(&prev.codec.repr, &columns)?, &prev.keys) {
+            (WidenPlan::Keep, keys) => (keys.clone(), prev.codec.repr.clone()),
+            (WidenPlan::Widen(widened), KeySet::U64(s)) => {
+                let Repr::Radix(old) = &prev.codec.repr else {
+                    unreachable!("widening plans only arise from radix packings");
+                };
+                let repacked = s
+                    .iter()
+                    .map(|&k| KeyCodec::pack_u64_ids(&widened, &KeyCodec::unpack_u64(old, k)))
+                    .collect();
+                (KeySet::U64(repacked), Repr::Radix(widened))
+            }
+            (WidenPlan::ToShift, KeySet::U64(s)) => {
+                let Repr::Radix(old) = &prev.codec.repr else {
+                    unreachable!("widening plans only arise from radix packings");
+                };
+                let shifted = s
+                    .iter()
+                    .map(|&k| KeyCodec::pack_u128_ids(&KeyCodec::unpack_u64(old, k)))
+                    .collect();
+                (KeySet::U128(shifted), Repr::Shift)
+            }
+            _ => unreachable!("widening plans only arise from u64 key sets"),
+        };
+        let codec = KeyCodec::from_parts(columns, repr);
+        // Rows of the previous snapshot whose key cells changed (cell
+        // writes never change liveness, so they keep their row numbers);
+        // appended-then-edited tuples are covered by the append pass inside
+        // `patch_keys`.
+        let mut moved: Vec<usize> = changes
+            .iter()
+            .filter(|c| prev.attrs.contains(&c.cell.attr))
+            .filter_map(|c| prev.store.row_of(c.cell.tuple))
+            .collect();
+        moved.sort_unstable();
+        moved.dedup();
+        let (n_prev, n_new) = (prev.store.len(), store.len());
+        match (&mut keys, &codec.repr) {
+            (KeySet::U64(s), Repr::Radix(radices)) => patch_keys(
+                s,
+                n_prev,
+                n_new,
+                &moved,
+                |row| KeyCodec::pack_u64_row(radices, prev.codec.columns(), row),
+                |row| KeyCodec::pack_u64_row(radices, codec.columns(), row),
+            ),
+            (KeySet::U128(s), Repr::Shift) => patch_keys(
+                s,
+                n_prev,
+                n_new,
+                &moved,
+                |row| KeyCodec::pack_u128_row(prev.codec.columns(), row),
+                |row| KeyCodec::pack_u128_row(codec.columns(), row),
+            ),
+            (KeySet::Wide(s), Repr::Wide) => patch_keys(
+                s,
+                n_prev,
+                n_new,
+                &moved,
+                |row| {
+                    prev.codec
+                        .columns()
+                        .iter()
+                        .map(|c| c.id_at(row))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice()
+                },
+                |row| {
+                    codec
+                        .columns()
+                        .iter()
+                        .map(|c| c.id_at(row))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice()
+                },
+            ),
+            _ => unreachable!("key set variant always matches codec repr"),
         }
         Some(DistinctSet {
             attrs: prev.attrs.clone(),
@@ -415,6 +536,43 @@ impl IdTranslation {
     }
 }
 
+/// Cell-delta patch of a distinct-key set: insert the new key of every
+/// moved row and every appended row, then decide which *old* keys of moved
+/// rows actually vacated.  The set keeps no per-key counts, so candidates
+/// are verified by one packing sweep over the current rows — membership
+/// probes against the (usually tiny) candidate set, no inserts — with an
+/// early exit once every candidate was seen.  Keys no row produces any more
+/// are removed.
+fn patch_keys<K: Eq + Hash>(
+    keys: &mut FxHashSet<K>,
+    n_prev: usize,
+    n_new: usize,
+    moved_rows: &[usize],
+    old_key_at: impl Fn(usize) -> K,
+    key_at: impl Fn(usize) -> K,
+) {
+    let mut candidates: FxHashSet<K> = FxHashSet::default();
+    for &row in moved_rows {
+        candidates.insert(old_key_at(row));
+        keys.insert(key_at(row));
+    }
+    for row in n_prev..n_new {
+        keys.insert(key_at(row));
+    }
+    if candidates.is_empty() {
+        return;
+    }
+    for row in 0..n_new {
+        candidates.remove(&key_at(row));
+        if candidates.is_empty() {
+            return;
+        }
+    }
+    for key in candidates {
+        keys.remove(&key);
+    }
+}
+
 /// Parallel distinct-key collection: scan shards into local sets (claimed
 /// through an atomic cursor when `threads > 1`), then union in any order —
 /// sets are order-free, so no merge bookkeeping is needed.
@@ -557,6 +715,60 @@ mod tests {
         let fresh = DistinctSet::build(&inst, &store, &[0, 1], 1);
         assert_eq!(canonical(&extended), canonical(&fresh));
         assert!(extended.contains_values(&[Value::int(9), Value::str("fresh")]));
+    }
+
+    #[test]
+    fn patched_set_equals_fresh_build() {
+        use crate::instance::{CellRef, TupleId};
+        let mut inst = instance(40);
+        let prev_store = inst.columnar();
+        let prev = DistinctSet::build(&inst, &prev_store, &[0, 1], 1);
+        let v0 = inst.version();
+        // Move a row to a brand-new value (dictionary growth → re-pack),
+        // edit a non-key attribute (must cost nothing), and append a row.
+        inst.update_cell(CellRef::new(TupleId(0), 1), Value::str("fresh"))
+            .unwrap();
+        inst.update_cell(CellRef::new(TupleId(5), 2), Value::int(-5))
+            .unwrap();
+        inst.insert_values([Value::int(0), Value::str("s0"), Value::int(999)])
+            .unwrap();
+        let changes = inst.changed_cells_since(v0).unwrap();
+        let store = inst.columnar();
+        let patched =
+            DistinctSet::try_patched(&prev, &inst, &store, &changes).expect("repack-aware patch");
+        let fresh = DistinctSet::build(&inst, &store, &[0, 1], 1);
+        assert_eq!(canonical(&patched), canonical(&fresh));
+        assert_eq!(patched.len(), inst.project_distinct(&[0, 1]).len());
+        assert!(patched.contains_values(&[Value::int(0), Value::str("fresh")]));
+    }
+
+    #[test]
+    fn patch_keeps_keys_other_rows_still_hold() {
+        use crate::instance::{CellRef, TupleId};
+        // Two rows share the key (1, "a"); moving one away must NOT drop
+        // the key, while moving the only (2, "b") row must.
+        let schema = RelationSchema::new("r", [("A", Domain::Int), ("B", Domain::Text)]);
+        let mut inst = RelationInstance::from_schema(schema);
+        for (a, b) in [(1, "a"), (1, "a"), (2, "b")] {
+            inst.insert_values([Value::int(a), Value::str(b)]).unwrap();
+        }
+        let prev_store = inst.columnar();
+        let prev = DistinctSet::build(&inst, &prev_store, &[0, 1], 1);
+        let v0 = inst.version();
+        inst.update_cell(CellRef::new(TupleId(0), 0), Value::int(2))
+            .unwrap();
+        inst.update_cell(CellRef::new(TupleId(2), 0), Value::int(1))
+            .unwrap();
+        let changes = inst.changed_cells_since(v0).unwrap();
+        let store = inst.columnar();
+        let patched =
+            DistinctSet::try_patched(&prev, &inst, &store, &changes).expect("no overflow");
+        let fresh = DistinctSet::build(&inst, &store, &[0, 1], 1);
+        assert_eq!(canonical(&patched), canonical(&fresh));
+        assert!(patched.contains_values(&[Value::int(1), Value::str("a")]));
+        assert!(patched.contains_values(&[Value::int(2), Value::str("a")]));
+        assert!(patched.contains_values(&[Value::int(1), Value::str("b")]));
+        assert!(!patched.contains_values(&[Value::int(2), Value::str("b")]));
     }
 
     #[test]

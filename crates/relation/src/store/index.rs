@@ -25,7 +25,7 @@
 use super::columnar::{Column, ColumnarStore, SHARD_ROWS};
 use super::fx::FxHashMap;
 use super::interner::ValueId;
-use crate::instance::{RelationInstance, TupleId};
+use crate::instance::{CellChange, RelationInstance, TupleId};
 use crate::value::Value;
 use std::hash::Hash;
 use std::mem::size_of;
@@ -413,6 +413,119 @@ impl InternedIndex {
         })
     }
 
+    /// Patches `prev` — an index of the same instance on the same attribute
+    /// list, built at an earlier version — after journaled cell writes
+    /// (plus, possibly, interleaved insertions): each row whose key cells
+    /// changed is moved out of its old CSR group and into the group of its
+    /// new key, interning (hashing) at most one new key per move; rows whose
+    /// changes touch only non-key attributes never move at all.  Groups left
+    /// empty are dropped and the numbering compacted, so the group table is
+    /// indistinguishable from a fresh build's.  The codec is carried forward
+    /// under the same widening rules as [`try_extended`](Self::try_extended)
+    /// — dictionary growth from new cell values re-packs the keys in place,
+    /// and only the same > 4-wide radix overflow returns `None` (full
+    /// rebuild).
+    ///
+    /// `store` must be the current (patched) columnar snapshot and `changes`
+    /// the coalesced delta ([`RelationInstance::changed_cells_since`])
+    /// between `prev`'s version and now.  Patched snapshots keep every old
+    /// id valid (dictionaries only append), so old rows keep their row
+    /// numbers and unchanged groups are bit-identical.
+    pub fn try_patched(
+        prev: &InternedIndex,
+        instance: &RelationInstance,
+        store: &Arc<ColumnarStore>,
+        changes: &[CellChange],
+    ) -> Option<InternedIndex> {
+        if store.instance_id() != prev.store.instance_id() || store.len() < prev.store.len() {
+            return None;
+        }
+        let columns: Vec<Arc<Column>> = prev
+            .attrs
+            .iter()
+            .map(|&a| store.column(instance, a))
+            .collect();
+        let (seed, repr) = match (widen_plan(&prev.codec.repr, &columns)?, &prev.map) {
+            (WidenPlan::Keep, map) => (map.clone(), prev.codec.repr.clone()),
+            (WidenPlan::Widen(widened), GroupMap::U64(m)) => {
+                let Repr::Radix(old) = &prev.codec.repr else {
+                    unreachable!("widening plans only arise from radix packings");
+                };
+                let repacked = m
+                    .iter()
+                    .map(|(&k, &g)| {
+                        (
+                            KeyCodec::pack_u64_ids(&widened, &KeyCodec::unpack_u64(old, k)),
+                            g,
+                        )
+                    })
+                    .collect();
+                (GroupMap::U64(repacked), Repr::Radix(widened))
+            }
+            (WidenPlan::ToShift, GroupMap::U64(m)) => {
+                let Repr::Radix(old) = &prev.codec.repr else {
+                    unreachable!("widening plans only arise from radix packings");
+                };
+                let shifted = m
+                    .iter()
+                    .map(|(&k, &g)| (KeyCodec::pack_u128_ids(&KeyCodec::unpack_u64(old, k)), g))
+                    .collect();
+                (GroupMap::U128(shifted), Repr::Shift)
+            }
+            _ => unreachable!("widening plans only arise from u64 group maps"),
+        };
+        let codec = KeyCodec { columns, repr };
+        // Rows of the previous snapshot whose key cells changed.  Cell
+        // writes never change liveness, so those rows keep their numbers in
+        // the new store; changes to tuples appended *after* `prev` have no
+        // previous row and are covered by the append pass below.
+        let mut moved: Vec<usize> = changes
+            .iter()
+            .filter(|c| prev.attrs.contains(&c.cell.attr))
+            .filter_map(|c| prev.store.row_of(c.cell.tuple))
+            .collect();
+        moved.sort_unstable();
+        moved.dedup();
+        let new_rows = prev.store.len()..store.len();
+        let (map, offsets, postings) = match (seed, &codec.repr) {
+            (GroupMap::U64(m), Repr::Radix(radices)) => {
+                let (map, offsets, postings) =
+                    patch_groups(m, &prev.offsets, &prev.postings, &moved, new_rows, |row| {
+                        KeyCodec::pack_u64_row(radices, &codec.columns, row)
+                    });
+                (GroupMap::U64(map), offsets, postings)
+            }
+            (GroupMap::U128(m), Repr::Shift) => {
+                let (map, offsets, postings) =
+                    patch_groups(m, &prev.offsets, &prev.postings, &moved, new_rows, |row| {
+                        KeyCodec::pack_u128_row(&codec.columns, row)
+                    });
+                (GroupMap::U128(map), offsets, postings)
+            }
+            (GroupMap::Wide(m), Repr::Wide) => {
+                let (map, offsets, postings) =
+                    patch_groups(m, &prev.offsets, &prev.postings, &moved, new_rows, |row| {
+                        codec
+                            .columns
+                            .iter()
+                            .map(|c| c.id_at(row))
+                            .collect::<Vec<_>>()
+                            .into_boxed_slice()
+                    });
+                (GroupMap::Wide(map), offsets, postings)
+            }
+            _ => unreachable!("map variant always matches codec repr"),
+        };
+        Some(InternedIndex {
+            attrs: prev.attrs.clone(),
+            store: Arc::clone(store),
+            codec,
+            map,
+            offsets,
+            postings,
+        })
+    }
+
     /// The attribute positions this index is keyed on.
     pub fn attrs(&self) -> &[usize] {
         &self.attrs
@@ -746,6 +859,98 @@ fn extend_groups<K: Eq + Hash + Clone>(
     (map, offsets, postings)
 }
 
+/// Cell-delta CSR patch: take the (possibly re-packed) group map, move each
+/// row of `moved_rows` from its previous group to the group of its current
+/// key (at most one map insert per move), key the appended rows of
+/// `new_rows`, drop groups left empty and compact the numbering, then lay
+/// the postings out again in one ascending-row pass.  Only moved and
+/// appended rows are packed and hashed; the relayout itself is a cheap
+/// linear scatter.
+fn patch_groups<K: Eq + Hash + Clone>(
+    mut map: FxHashMap<K, u32>,
+    prev_offsets: &[u32],
+    prev_postings: &[u32],
+    moved_rows: &[usize],
+    new_rows: std::ops::Range<usize>,
+    key_at: impl Fn(usize) -> K,
+) -> (FxHashMap<K, u32>, Vec<u32>, Vec<u32>) {
+    let old_groups = prev_offsets.len().saturating_sub(1);
+    let n_old = prev_postings.len();
+    // Recover each old row's group from the CSR.
+    let mut row_groups: Vec<u32> = vec![0; n_old];
+    for g in 0..old_groups {
+        for &row in &prev_postings[prev_offsets[g] as usize..prev_offsets[g + 1] as usize] {
+            row_groups[row as usize] = g as u32;
+        }
+    }
+    let mut counts: Vec<u32> = (0..old_groups)
+        .map(|g| prev_offsets[g + 1] - prev_offsets[g])
+        .collect();
+    let assign = |map: &mut FxHashMap<K, u32>, counts: &mut Vec<u32>, key: K| -> u32 {
+        let next = counts.len() as u32;
+        let before = map.len();
+        let group = *map.entry(key).or_insert(next);
+        if map.len() > before {
+            counts.push(0);
+        }
+        group
+    };
+    for &row in moved_rows {
+        let group = assign(&mut map, &mut counts, key_at(row));
+        let old = row_groups[row];
+        if old == group {
+            continue;
+        }
+        counts[old as usize] -= 1;
+        counts[group as usize] += 1;
+        row_groups[row] = group;
+    }
+    let mut appended_groups: Vec<u32> = Vec::with_capacity(new_rows.len());
+    for row in new_rows.clone() {
+        let group = assign(&mut map, &mut counts, key_at(row));
+        counts[group as usize] += 1;
+        appended_groups.push(group);
+    }
+    // Compact away emptied groups: vacated keys leave the map and the group
+    // table matches what a fresh build would produce.
+    let mut remap: Vec<u32> = vec![u32::MAX; counts.len()];
+    let mut kept = 0u32;
+    for (g, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            remap[g] = kept;
+            kept += 1;
+        }
+    }
+    map.retain(|_, g| {
+        let new = remap[*g as usize];
+        *g = new;
+        new != u32::MAX
+    });
+    let mut offsets = Vec::with_capacity(kept as usize + 1);
+    offsets.push(0u32);
+    let mut acc = 0u32;
+    for &count in counts.iter().filter(|&&c| c > 0) {
+        acc += count;
+        offsets.push(acc);
+    }
+    // Scatter every row in ascending row order, so postings ascend within
+    // each group.
+    let mut cursors: Vec<u32> = offsets[..kept as usize].to_vec();
+    let mut postings = vec![0u32; n_old + appended_groups.len()];
+    for (row, &g) in row_groups.iter().enumerate() {
+        let g = remap[g as usize] as usize;
+        postings[cursors[g] as usize] = row as u32;
+        cursors[g] += 1;
+    }
+    for (i, &g) in appended_groups.iter().enumerate() {
+        let g = remap[g as usize] as usize;
+        postings[cursors[g] as usize] = (new_rows.start + i) as u32;
+        cursors[g] += 1;
+    }
+    map.shrink_to_fit();
+    (map, offsets, postings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -987,6 +1192,92 @@ mod tests {
                 .expect("radix-free packing extends");
             let fresh = InternedIndex::build(&inst, &store, &attrs, 1);
             assert_eq!(canonical_interned(&extended), canonical_interned(&fresh));
+        }
+    }
+
+    #[test]
+    fn patched_index_equals_fresh_build() {
+        use crate::instance::CellRef;
+        let mut inst = instance(50);
+        let prev_store = inst.columnar();
+        let prev = InternedIndex::build(&inst, &prev_store, &[0, 1], 1);
+        let v0 = inst.version();
+        // Move a row between existing groups, vacate a group entirely by
+        // moving its only row, edit a non-key attribute, and append a tuple.
+        inst.update_cell(CellRef::new(TupleId(3), 0), Value::int(5))
+            .unwrap();
+        inst.update_cell(CellRef::new(TupleId(10), 2), Value::int(-1))
+            .unwrap();
+        inst.insert_values([Value::int(2), Value::str("s2"), Value::int(500)])
+            .unwrap();
+        inst.update_cell(CellRef::new(TupleId(7), 1), Value::str("s0"))
+            .unwrap();
+        let changes = inst.changed_cells_since(v0).unwrap();
+        let store = inst.columnar();
+        let patched = InternedIndex::try_patched(&prev, &inst, &store, &changes)
+            .expect("key dictionaries did not overflow");
+        let fresh = InternedIndex::build(&inst, &store, &[0, 1], 1);
+        assert_eq!(canonical_interned(&patched), canonical_interned(&fresh));
+        assert_eq!(patched.group_count(), fresh.group_count());
+        for (_, rows) in patched.groups() {
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows ascend");
+        }
+        let baseline = HashIndex::build(&inst, &[0, 1]);
+        assert_eq!(patched.group_count(), baseline.len());
+    }
+
+    #[test]
+    fn patch_vacates_groups_and_interns_new_keys() {
+        use crate::instance::CellRef;
+        let mut inst = instance(8);
+        let prev_store = inst.columnar();
+        let prev = InternedIndex::build(&inst, &prev_store, &[1], 1);
+        let v0 = inst.version();
+        // Rewrite every "s4" cell (only tuple 4 in 0..8) to the brand-new
+        // value "fresh": group s4 must vanish, group "fresh" must appear —
+        // and the new value outgrows the B radix, exercising the re-pack.
+        inst.update_cell(CellRef::new(TupleId(4), 1), Value::str("fresh"))
+            .unwrap();
+        let changes = inst.changed_cells_since(v0).unwrap();
+        let store = inst.columnar();
+        let patched = InternedIndex::try_patched(&prev, &inst, &store, &changes)
+            .expect("radix outgrowth re-packs in place");
+        let fresh = InternedIndex::build(&inst, &store, &[1], 1);
+        assert_eq!(canonical_interned(&patched), canonical_interned(&fresh));
+        assert!(patched.rows_for_values(&[Value::str("s4")]).is_empty());
+        assert_eq!(patched.rows_for_values(&[Value::str("fresh")]).len(), 1);
+        assert_eq!(patched.group_count(), HashIndex::build(&inst, &[1]).len());
+    }
+
+    #[test]
+    fn patched_wide_and_shift_codecs_match_fresh_builds() {
+        use crate::instance::CellRef;
+        // Six int columns with 2^16 distinct values overflow the radix
+        // product at width 4 (shift) and 6 (wide); both must patch.
+        let schema = RelationSchema::new("w", (0..6).map(|i| (format!("A{i}"), Domain::Int)));
+        let mut inst = RelationInstance::from_schema(schema);
+        let base = 1i64 << 16;
+        for i in 0..base {
+            inst.insert_values((0..6).map(|j| Value::int(i + j * base)))
+                .unwrap();
+        }
+        let shift_attrs: Vec<usize> = (0..4).collect();
+        let wide_attrs: Vec<usize> = (0..6).collect();
+        let prev_store = inst.columnar();
+        let prev_shift = InternedIndex::build(&inst, &prev_store, &shift_attrs, 1);
+        let prev_wide = InternedIndex::build(&inst, &prev_store, &wide_attrs, 1);
+        let v0 = inst.version();
+        inst.update_cell(CellRef::new(TupleId(0), 0), Value::int(base + 7))
+            .unwrap();
+        inst.update_cell(CellRef::new(TupleId(9), 5), Value::int(0))
+            .unwrap();
+        let changes = inst.changed_cells_since(v0).unwrap();
+        let store = inst.columnar();
+        for (prev, attrs) in [(prev_shift, shift_attrs), (prev_wide, wide_attrs)] {
+            let patched = InternedIndex::try_patched(&prev, &inst, &store, &changes)
+                .expect("radix-free packings patch");
+            let fresh = InternedIndex::build(&inst, &store, &attrs, 1);
+            assert_eq!(canonical_interned(&patched), canonical_interned(&fresh));
         }
     }
 

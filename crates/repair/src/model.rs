@@ -244,10 +244,12 @@ mod tests {
         let cost = RepairCost::uniform();
         let original = instance(&[("x", "p"), ("y", "q")]);
         let mut repaired = original.clone();
-        repaired.update_cell(
-            dq_relation::instance::CellRef::new(TupleId(0), 1),
-            Value::str("r"),
-        );
+        repaired
+            .update_cell(
+                dq_relation::instance::CellRef::new(TupleId(0), 1),
+                Value::str("r"),
+            )
+            .unwrap();
         let c = cost.instance_cost(&original, &repaired);
         assert!(c > 0.0);
         assert_eq!(cost.instance_cost(&original, &original), 0.0);
@@ -274,10 +276,12 @@ mod tests {
         // A "repair" with a modified tuple is not a subset.
         let mut tampered = original.clone();
         tampered.remove(TupleId(1));
-        tampered.update_cell(
-            dq_relation::instance::CellRef::new(TupleId(0), 1),
-            Value::str("9"),
-        );
+        tampered
+            .update_cell(
+                dq_relation::instance::CellRef::new(TupleId(0), 1),
+                Value::str("9"),
+            )
+            .unwrap();
         assert!(!check_x_repair(&original, &tampered, &constraints));
     }
 
@@ -288,10 +292,12 @@ mod tests {
         let original = instance(&[("k", "1"), ("k", "2")]);
         // Harmonizing the B values is a U-repair.
         let mut fixed = original.clone();
-        fixed.update_cell(
-            dq_relation::instance::CellRef::new(TupleId(1), 1),
-            Value::str("1"),
-        );
+        fixed
+            .update_cell(
+                dq_relation::instance::CellRef::new(TupleId(1), 1),
+                Value::str("1"),
+            )
+            .unwrap();
         assert!(check_u_repair(
             &original,
             &fixed,

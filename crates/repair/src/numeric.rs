@@ -172,7 +172,9 @@ pub fn repair_numeric_violations(
                     .expect("violating tuple is live")
                     .get(mv.attr)
                     .clone();
-                repaired.update_cell(CellRef::new(id, mv.attr), mv.new_value.clone());
+                repaired
+                    .update_cell(CellRef::new(id, mv.attr), mv.new_value.clone())
+                    .expect("numeric moves stay inside the attribute domain");
                 changes.push((id, mv.attr, old, mv.new_value));
                 total_shift += mv.shift;
                 changed = true;

@@ -195,7 +195,9 @@ proptest! {
         let schema = Arc::clone(instance.schema());
         let attr = [schema.attr("city"), schema.attr("street"), schema.attr("zip")][attr_pick];
         let victim = TupleId(victim % instance.len().max(1));
-        instance.update_cell(CellRef::new(victim, attr), Value::str("MUTATED"));
+        instance
+            .update_cell(CellRef::new(victim, attr), Value::str("MUTATED"))
+            .unwrap();
         let donor = instance.tuple(TupleId(0)).expect("live tuple").clone();
         instance.insert(donor).expect("same schema");
         instance.remove(victim);

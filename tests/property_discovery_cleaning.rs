@@ -193,7 +193,9 @@ proptest! {
         for (wrong, pos) in corrupt {
             let ids = dirty.ids();
             let id = ids[pos % ids.len()];
-            dirty.update_cell(dq_relation::instance::CellRef::new(id, 1), Value::str(wrong));
+            dirty
+                .update_cell(dq_relation::instance::CellRef::new(id, 1), Value::str(wrong))
+                .unwrap();
         }
         let master = MasterData::new(master_inst.clone());
         let matches: Vec<MasterMatch> = dirty

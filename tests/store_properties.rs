@@ -232,6 +232,82 @@ proptest! {
         }
     }
 
+    /// Journaled cell edits patch snapshots, pooled interned indexes and
+    /// pooled distinct-projection sets in place; under arbitrary mixed
+    /// append + edit + delete streams the upgraded structures must stay
+    /// indistinguishable from cold rebuilds on every cell, group and probe.
+    /// (Edits patch, appends extend, deletes poison the journal and fall
+    /// back to a full rebuild — all three paths interleave freely here.)
+    #[test]
+    fn mixed_mutation_streams_match_fresh_builds(
+        cells in proptest::collection::vec((value_strategy(), value_strategy()), 2..30),
+        ops in proptest::collection::vec(
+            (0usize..4, 0usize..1_000_000, value_strategy(), value_strategy()),
+            1..20,
+        ),
+    ) {
+        let schema =
+            RelationSchema::new("r", [("A", universe_domain()), ("B", universe_domain())]);
+        let mut inst = RelationInstance::from_schema(schema);
+        for (a, b) in &cells {
+            inst.insert_values([a.clone(), b.clone()]).expect("universe domain");
+        }
+        let pool = IndexPool::new();
+        let attr_sets: [&[usize]; 3] = [&[0], &[1], &[0, 1]];
+        for attrs in attr_sets {
+            pool.interned_for(&inst, attrs, 1);
+            pool.distinct_for(&inst, attrs, 1);
+        }
+        for &(kind, pick, ref va, ref vb) in &ops {
+            match kind {
+                0 | 1 => {
+                    let ids = inst.ids();
+                    let id = ids[pick % ids.len()];
+                    inst.update_cell(dq_relation::instance::CellRef::new(id, kind), va.clone())
+                        .expect("universe domain");
+                }
+                2 => {
+                    inst.insert_values([va.clone(), vb.clone()]).expect("universe domain");
+                }
+                _ => {
+                    let ids = inst.ids();
+                    if ids.len() <= 1 {
+                        continue;
+                    }
+                    inst.remove(ids[pick % ids.len()]);
+                }
+            }
+            // After every mutation: the memoized snapshot (which may have
+            // taken the patch arm) reproduces each cell, and the pooled
+            // artifacts answer exactly like value-keyed cold builds.
+            let store = inst.columnar();
+            for attr in 0..2 {
+                let col = store.column(&inst, attr);
+                for (row, &id) in store.rows().iter().enumerate() {
+                    prop_assert!(
+                        col.interner().resolve(col.id_at(row)) == inst.tuple(id).unwrap().get(attr),
+                        "attr {} row {}", attr, row
+                    );
+                }
+            }
+            for attrs in attr_sets {
+                let idx = pool.interned_for(&inst, attrs, 1);
+                let baseline = dq_relation::HashIndex::build(&inst, attrs);
+                prop_assert_eq!(idx.group_count(), baseline.len(), "attrs {:?}", attrs);
+                for (key, group) in baseline.groups() {
+                    let ids: Vec<TupleId> =
+                        idx.rows_for_values(key).iter().map(|&r| idx.tuple_id(r)).collect();
+                    prop_assert_eq!(&ids, group, "attrs {:?}", attrs);
+                }
+                let set = pool.distinct_for(&inst, attrs, 1);
+                prop_assert_eq!(set.len(), baseline.len(), "attrs {:?}", attrs);
+                for (key, _) in baseline.groups() {
+                    prop_assert!(set.contains_values(key), "attrs {:?}", attrs);
+                }
+            }
+        }
+    }
+
     /// Canonicalized instances detect identically to plainly built ones: the
     /// dictionary compression of `dq-gen` cannot change any report.
     #[test]
