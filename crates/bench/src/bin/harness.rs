@@ -6,7 +6,10 @@
 //!
 //! `--detection-bench` instead runs only the naive-vs-engine CFD detection
 //! comparison and writes the measurements to `BENCH_detection.json` in the
-//! working directory (the perf trajectory artifact tracked across PRs).
+//! working directory (the perf trajectory artifact tracked across PRs);
+//! add `--smoke` for the CI-sized variant (small instance, artifact not
+//! overwritten — the identity asserts between naive, cold and warm paths
+//! still run).
 //!
 //! `--discovery-bench` runs the naive-vs-interned partition comparison for
 //! FD and CFD discovery and writes `BENCH_discovery.json`; add `--smoke`
@@ -23,6 +26,13 @@
 //! round, one patching the pooled indexes and maintaining the previous
 //! round's report — asserts the reports identical each round, and writes
 //! `BENCH_delta.json`; `--smoke` works the same way.
+//!
+//! `--profile` turns the [`dq_obs`] recorder on.  Combined with a bench
+//! flag it prints a span-tree flame summary per result row and embeds each
+//! row's drained `MetricsSnapshot` into the artifact (`"profile"` field);
+//! alone it runs a compact composite detection/discovery/repair workload
+//! and prints the span tree plus the full snapshot JSON.  Instrumentation
+//! only observes — every identity assert holds with profiling on.
 
 use dq_bench::*;
 use dq_core::prelude::*;
@@ -41,20 +51,29 @@ fn header(title: &str) {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let profile = std::env::args().any(|a| a == "--profile");
+    if profile {
+        dq_obs::set_enabled(true);
+    }
     if std::env::args().any(|a| a == "--detection-bench") {
-        detection_bench();
+        detection_bench(smoke, profile);
         return;
     }
     if std::env::args().any(|a| a == "--discovery-bench") {
-        discovery_bench(std::env::args().any(|a| a == "--smoke"));
+        discovery_bench(smoke, profile);
         return;
     }
     if std::env::args().any(|a| a == "--ind-bench") {
-        ind_bench(std::env::args().any(|a| a == "--smoke"));
+        ind_bench(smoke, profile);
         return;
     }
     if std::env::args().any(|a| a == "--delta-bench") {
-        delta_bench(std::env::args().any(|a| a == "--smoke"));
+        delta_bench(smoke, profile);
+        return;
+    }
+    if profile {
+        profile_mode();
         return;
     }
     figures_1_and_2();
@@ -96,6 +115,32 @@ fn timed_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (samples[samples.len() / 2], result)
 }
 
+/// Drains the recorder into a [`dq_obs::MetricsSnapshot`] (pouring any
+/// extra [`dq_obs::MetricSource`]s in under their prefixes), prints the
+/// span-tree flame summary under `label`, resets the recorder for the next
+/// row, and returns a `, "profile": {…}` fragment for the row's JSON.
+/// Returns the empty string when not profiling, keeping the artifact
+/// byte-identical to pre-profile runs.
+fn profile_field(
+    profile: bool,
+    label: &str,
+    sources: &[(&str, &dyn dq_obs::MetricSource)],
+) -> String {
+    if !profile {
+        return String::new();
+    }
+    let mut snap = dq_obs::recorder().snapshot();
+    for (prefix, source) in sources {
+        snap.ingest(prefix, *source);
+    }
+    dq_obs::recorder().reset();
+    println!("\n  profile [{label}] — span tree (total ms · calls · ms/call · % of parent):");
+    for line in snap.render_span_tree().lines() {
+        println!("    {line}");
+    }
+    format!(", \"profile\": {}", snap.to_json())
+}
+
 /// Naive vs. engine CFD detection on the Fig. 1 customer workload, written
 /// to `BENCH_detection.json`.
 ///
@@ -114,16 +159,20 @@ fn timed_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 /// over the set's distinct LHSs, with their ratio) and the columnar store's
 /// dictionary stats (distinct values, heap bytes, bytes saved vs.
 /// materializing one `Value` per cell).
-fn detection_bench() {
+fn detection_bench(smoke: bool, profile: bool) {
     header("Detection bench — naive vs. shared-index parallel engine");
     let paper = dq_gen::customer::paper_cfds();
     let normalized: Vec<Cfd> = paper.iter().flat_map(|c| c.normalize()).collect();
     let sets: [(&str, &[Cfd]); 2] = [("paper_cfds", &paper), ("normalized_cfds", &normalized)];
-    let sizes: [usize; 3] = [10_000, 100_000, 1_000_000];
+    let sizes: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
     let error_rate = 0.05;
     let mut rows = Vec::new();
     println!("  tuples   cfd set          naive        engine(cold)  engine(warm)  violations  speedup(cold)  speedup(warm)");
-    for &size in &sizes {
+    for &size in sizes {
         let workload = customer_workload_scaled(size, error_rate);
         for (label, cfds) in sets {
             // Throwaway runs of both paths so neither pays the allocator's
@@ -184,6 +233,12 @@ fn detection_bench() {
                 naive_bytes as f64 / 1e6,
                 interned_bytes as f64 / 1e6,
             );
+            let pool_stats = engine.pool_stats();
+            let profile_json = profile_field(
+                profile,
+                &format!("detection {label} @ {size}"),
+                &[("engine.pool", &pool_stats), ("columnar", &stats)],
+            );
             rows.push(format!(
                 "    {{\"tuples\": {size}, \"cfd_set\": \"{label}\", \"dependencies\": {}, \
                  \"error_rate\": {error_rate}, \"violations\": {naive_total}, \
@@ -192,7 +247,7 @@ fn detection_bench() {
                  \"index_bytes_naive\": {naive_bytes}, \"index_bytes_interned\": {interned_bytes}, \
                  \"index_memory_reduction\": {reduction:.3}, \
                  \"interner_distinct_values\": {}, \"interner_bytes\": {}, \
-                 \"interner_bytes_saved\": {}}}",
+                 \"interner_bytes_saved\": {}{profile_json}}}",
                 cfds.len(),
                 naive_ms / cold_ms,
                 naive_ms / warm_ms,
@@ -201,6 +256,12 @@ fn detection_bench() {
                 stats.bytes_saved_vs_values
             ));
         }
+    }
+    if smoke {
+        println!(
+            "\nsmoke mode: naive, cold and warm totals identical on every row, artifact not written"
+        );
+        return;
     }
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -233,9 +294,11 @@ fn detection_bench() {
 /// The interned sweep is measured **per thread count** — sequential and
 /// fanned out across the machine — each run cold on fresh clones (snapshot,
 /// dictionaries and every index build inside the timer), with every run's
-/// output asserted identical to the sequential naive sweep.  FD rows also
-/// record the per-lattice-level wall clock (`levels_ms`), where the
-/// per-level candidate fan-out pays.  Each row carries the grouping-layer
+/// output asserted identical to the sequential naive sweep.  FD and CFD
+/// rows also record the per-lattice-level wall clock (`levels_ms`), where
+/// the per-level candidate fan-out pays — for CFDs summed over the exact
+/// sweep, the `g3` sweep and constant-pattern mining at the same LHS
+/// size.  Each row carries the grouping-layer
 /// resident bytes: the `Vec<Value>`-keyed maps the naive sweep materializes
 /// for the single and pair attribute sets vs. the pooled interned indexes
 /// plus column dictionaries serving the same requests.
@@ -243,7 +306,7 @@ fn detection_bench() {
 /// `--smoke` always includes a threads > 1 run, so CI's output-identity
 /// assertion exercises the concurrent sweep (striped partition cache,
 /// pooled probers, canonical merge) and not just the sequential path.
-fn discovery_bench(smoke: bool) {
+fn discovery_bench(smoke: bool, profile: bool) {
     use dq_discovery::prelude::*;
     use dq_relation::IndexPool;
     use std::sync::Arc;
@@ -306,7 +369,8 @@ fn discovery_bench(smoke: bool) {
                             found: usize,
                             naive_partitions: usize,
                             interned_partitions: usize,
-                            levels_ms: Option<&[f64]>| {
+                            levels_ms: Option<&[f64]>,
+                            profile_json: String| {
             let speedup = naive_ms / interned_ms;
             println!(
                 "{size:>8}   {algo:<14} {threads:>7}   {naive_ms:>9.1}ms  {interned_ms:>10.1}ms  {speedup:>7.2}x  {found:>6}   ({:.1} MB -> {:.1} MB, {memory_reduction:.1}x)",
@@ -331,7 +395,7 @@ fn discovery_bench(smoke: bool) {
                  \"interned_ms\": {interned_ms:.3}, \"speedup\": {speedup:.3}, \
                  \"partitions_naive\": {naive_partitions}, \"partitions_interned\": {interned_partitions}, \
                  \"grouping_bytes_naive\": {naive_bytes}, \"grouping_bytes_interned\": {interned_bytes}, \
-                 \"memory_reduction\": {memory_reduction:.3}{levels}}}"
+                 \"memory_reduction\": {memory_reduction:.3}{levels}{profile_json}}}"
             ));
         };
 
@@ -367,6 +431,11 @@ fn discovery_bench(smoke: bool) {
                 naive_fds.candidates_checked, interned_fds.candidates_checked,
                 "candidate tallies must match (threads {threads})"
             );
+            let profile_json = profile_field(
+                profile,
+                &format!("fd_discovery @ {size}, threads {threads}"),
+                &[],
+            );
             push_row(
                 "fd_discovery",
                 threads,
@@ -376,6 +445,7 @@ fn discovery_bench(smoke: bool) {
                 naive_fds.partitions_built,
                 interned_fds.partitions_built,
                 Some(&interned_fds.level_ms),
+                profile_json,
             );
         }
 
@@ -409,6 +479,11 @@ fn discovery_bench(smoke: bool) {
                     naive_cfds.constant_cfds, interned_cfds.constant_cfds,
                     "interned CFD discovery must report identical constant CFDs (threads {threads})"
                 );
+                let profile_json = profile_field(
+                    profile,
+                    &format!("cfd_discovery @ {size}, threads {threads}"),
+                    &[],
+                );
                 push_row(
                     "cfd_discovery",
                     threads,
@@ -417,7 +492,8 @@ fn discovery_bench(smoke: bool) {
                     naive_cfds.len(),
                     naive_cfds.candidates_checked,
                     interned_cfds.candidates_checked,
-                    None,
+                    Some(&interned_cfds.level_ms),
+                    profile_json,
                 );
             }
         }
@@ -458,7 +534,7 @@ fn discovery_bench(smoke: bool) {
 /// Interned runs are measured cold on fresh clones (snapshot, dictionaries,
 /// every distinct set and index build inside the timer), and both paths'
 /// outputs are asserted identical.
-fn ind_bench(smoke: bool) {
+fn ind_bench(smoke: bool, profile: bool) {
     use dq_discovery::prelude::*;
 
     header("IND bench — naive vs. interned distinct-projection probing");
@@ -484,11 +560,12 @@ fn ind_bench(smoke: bool) {
             println!(
                 "{size:>8}   {algo:<14} {naive_ms:>9.1}ms  {interned_ms:>10.1}ms  {speedup:>7.2}x  {found:>6}"
             );
+            let profile_json = profile_field(profile, &format!("{algo} @ {size}"), &[]);
             rows.push(format!(
                 "    {{\"orders\": {size}, \"algo\": \"{algo}\", \
                  \"violation_rate\": {violation_rate}, \"found\": {found}, \
                  \"naive_ms\": {naive_ms:.3}, \"interned_ms\": {interned_ms:.3}, \
-                 \"speedup\": {speedup:.3}}}"
+                 \"speedup\": {speedup:.3}{profile_json}}}"
             ));
         };
 
@@ -622,7 +699,7 @@ fn ind_bench(smoke: bool) {
 ///   re-checked.
 ///
 /// Both paths' reports are asserted identical after every round.
-fn delta_bench(smoke: bool) {
+fn delta_bench(smoke: bool, profile: bool) {
     header("Delta bench — patch-maintained violations vs. full re-detection");
     let sizes: &[usize] = if smoke {
         &[2_000]
@@ -723,6 +800,11 @@ fn delta_bench(smoke: bool) {
         println!(
             "{size:>8}   {rounds:>5}  {edits_per_round:>7}  {appends_per_round:>9}   {rebuild_ms:>9.1}ms  {patch_ms:>9.1}ms  {speedup:>7.2}x  {violations:>10}"
         );
+        let profile_json = profile_field(
+            profile,
+            &format!("delta @ {size}"),
+            &[("engine.pool", &stats)],
+        );
         rows.push(format!(
             "    {{\"tuples\": {size}, \"rounds\": {rounds}, \
              \"edits_per_round\": {edits_per_round}, \"appends_per_round\": {appends_per_round}, \
@@ -730,7 +812,7 @@ fn delta_bench(smoke: bool) {
              \"rebuild_ms\": {rebuild_ms:.3}, \"patch_ms\": {patch_ms:.3}, \
              \"speedup\": {speedup:.3}, \
              \"rebuild_rounds_per_sec\": {:.3}, \"patch_rounds_per_sec\": {:.3}, \
-             \"pool_patches\": {}, \"pool_appends\": {}, \"pool_misses\": {}, \"pool_hits\": {}}}",
+             \"pool_patches\": {}, \"pool_appends\": {}, \"pool_misses\": {}, \"pool_hits\": {}{profile_json}}}",
             rounds as f64 / (rebuild_ms / 1e3),
             rounds as f64 / (patch_ms / 1e3),
             stats.patches,
@@ -756,6 +838,118 @@ fn delta_bench(smoke: bool) {
     );
     std::fs::write("BENCH_delta.json", &json).expect("write BENCH_delta.json");
     println!("\nwrote BENCH_delta.json");
+}
+
+/// Standalone `--profile` mode: one compact composite workload — CFD
+/// detection (cold, warm, then a patch-maintained round over donor-copy
+/// edits), interned FD/CFD/IND discovery and a U-repair fixpoint — run
+/// under the enabled recorder, followed by the span-tree flame summary
+/// and the full [`dq_obs::MetricsSnapshot`] JSON.  The snapshot pours the
+/// engine's pool stats and the columnar store's dictionary stats in
+/// through their `MetricSource` impls, so the poll-only structs and the
+/// live recorder land in one document: index build/extend/patch timings,
+/// partition cache hits/misses, per-level lattice spans and per-round
+/// repair cost all in one place.
+fn profile_mode() {
+    use dq_discovery::prelude::*;
+
+    header("Profile — composite detection/discovery/repair workload");
+    let size = 5_000;
+    let error_rate = 0.05;
+    let workload = customer_workload_scaled(size, error_rate);
+    let cfds = dq_gen::customer::paper_cfds();
+    let engine = DetectionEngine::new();
+
+    // Detection: cold, warm, then one maintained round over a handful of
+    // donor-copy edits so the patch path (index patches, report
+    // maintenance) shows up alongside the full builds.
+    let report = engine.detect_cfd_violations(&workload.dirty, &cfds);
+    let _ = engine.detect_cfd_violations(&workload.dirty, &cfds);
+    let mut patched = workload.dirty.clone();
+    let maintained = engine.maintain_cfd_violations(&patched, &cfds, None);
+    let ids = patched.ids();
+    let arity = patched.schema().arity();
+    for i in 0..16usize {
+        let attr = i % arity;
+        let value = patched
+            .tuple(ids[(i * 7 + 1) % ids.len()])
+            .expect("live")
+            .get(attr)
+            .clone();
+        patched
+            .update_cell(CellRef::new(ids[i % ids.len()], attr), value)
+            .expect("donor values are in-domain");
+    }
+    let maintained = engine.maintain_cfd_violations(&patched, &cfds, Some(&maintained));
+
+    // Discovery: the interned sweeps, fanned out across two workers so the
+    // striped partition cache records hits, builds and races.
+    let schema = workload.dirty.schema().clone();
+    let exclude = vec![schema.attr("phn"), schema.attr("name")];
+    let fds = discover_fds(
+        &workload.dirty,
+        &FdDiscoveryConfig {
+            max_lhs: 2,
+            max_g3: 0.0,
+            exclude: exclude.clone(),
+            use_interned: true,
+            threads: 2,
+        },
+    );
+    let mined = discover_cfds(
+        &workload.dirty,
+        &CfdDiscoveryConfig {
+            min_support: 4,
+            max_lhs: 2,
+            exclude,
+            use_interned: true,
+            threads: 2,
+            ..CfdDiscoveryConfig::default()
+        },
+    );
+    let orders = order_workload(2_000, 0.05);
+    let inds = discover_inds(
+        &orders.db,
+        &IndDiscoveryConfig {
+            use_interned: true,
+            ..IndDiscoveryConfig::default()
+        },
+    )
+    .expect("schemas are compatible");
+
+    // Repair: a smaller dirty instance through the engine-backed fixpoint,
+    // so per-round cost histograms have several rounds to bucket.
+    let repair_workload = customer_workload_scaled(1_000, error_rate);
+    let outcome = repair_cfd_violations_with_engine(
+        &repair_workload.dirty,
+        &cfds,
+        &RepairCost::uniform(),
+        &RepairConfig::default(),
+        &engine,
+    );
+
+    println!(
+        "workload: {} violations detected ({} maintained after edits), \
+         {} FDs / {} CFDs / {} INDs discovered, repair converged in {} rounds (cost {:.1})",
+        report.total(),
+        maintained.report().total(),
+        fds.fds.len(),
+        mined.len(),
+        inds.inds.len(),
+        outcome.rounds,
+        outcome.log.cost
+    );
+
+    let mut snap = dq_obs::recorder().snapshot();
+    // Polled one-pool stats land under `engine.pool` — the live `pool.*`
+    // counters aggregate every pool in the process, so the names must not
+    // collide (snapshot counters are additive on ingest).
+    snap.ingest("engine.pool", &engine.pool_stats());
+    snap.ingest("columnar", &workload.dirty.columnar().stats());
+    println!("\nspan tree (total ms · calls · ms/call · % of parent):");
+    print!("{}", snap.render_span_tree());
+    println!("\nmetrics snapshot:");
+    println!("{}", snap.to_json());
 }
 
 fn figures_1_and_2() {

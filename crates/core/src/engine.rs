@@ -138,6 +138,11 @@ impl DetectionEngine {
         instance: &RelationInstance,
         cfds: &[Cfd],
     ) -> CfdViolationReport {
+        let _span = dq_obs::span!(
+            "detect.cfd",
+            relation = instance.schema().name(),
+            deps = cfds.len()
+        );
         self.warm_interned(instance, cfds.iter().map(|c| c.lhs().to_vec()).collect());
         let per_dependency: Vec<Vec<CfdViolation>> = parallel_map(cfds, self.threads, |cfd| {
             let index = self.pool.interned_for(instance, cfd.lhs(), 1);
@@ -158,6 +163,7 @@ impl DetectionEngine {
         cfds: &[Cfd],
         added: &[TupleId],
     ) -> CfdViolationReport {
+        let _span = dq_obs::span!("detect.cfd.incremental", added = added.len());
         self.warm_interned(instance, cfds.iter().map(|c| c.lhs().to_vec()).collect());
         let per_dependency: Vec<Vec<CfdViolation>> = parallel_map(cfds, self.threads, |cfd| {
             let index = self.pool.interned_for(instance, cfd.lhs(), 1);
@@ -174,6 +180,7 @@ impl DetectionEngine {
         instance: &RelationInstance,
         ecfds: &[Ecfd],
     ) -> EcfdViolationReport {
+        let _span = dq_obs::span!("detect.ecfd", deps = ecfds.len());
         self.warm_interned(instance, ecfds.iter().map(|e| e.lhs().to_vec()).collect());
         let per_dependency: Vec<Vec<EcfdViolation>> = parallel_map(ecfds, self.threads, |ecfd| {
             let index = self.pool.interned_for(instance, ecfd.lhs(), 1);
@@ -194,6 +201,7 @@ impl DetectionEngine {
         instance: &RelationInstance,
         constraints: &[DenialConstraint],
     ) -> Vec<Vec<Vec<TupleId>>> {
+        let _span = dq_obs::span!("detect.denial", deps = constraints.len());
         self.warm_interned(
             instance,
             constraints
@@ -223,6 +231,7 @@ impl DetectionEngine {
         db: &Database,
         cinds: &[Cind],
     ) -> DqResult<CindViolationReport> {
+        let _span = dq_obs::span!("detect.cind", deps = cinds.len());
         let mut probes: BTreeSet<(&str, Vec<usize>)> = BTreeSet::new();
         for cind in cinds {
             probes.insert((cind.rhs_schema().name(), cind.rhs_probe_attrs()));
@@ -263,6 +272,7 @@ impl DetectionEngine {
         inds: &[Ind],
         ignore_nulls: bool,
     ) -> DqResult<Vec<Vec<TupleId>>> {
+        let _span = dq_obs::span!("detect.ind", deps = inds.len());
         let mut lhs_builds: BTreeSet<(&str, Vec<usize>)> = BTreeSet::new();
         let mut rhs_builds: BTreeSet<(&str, Vec<usize>)> = BTreeSet::new();
         for ind in inds {
@@ -327,6 +337,7 @@ impl DetectionEngine {
         cfds: &[Cfd],
         prev: Option<&MaintainedCfdViolations>,
     ) -> MaintainedCfdViolations {
+        let _span = dq_obs::span("maintain.cfd");
         let instance_id = instance.instance_id();
         let version = instance.version();
         let usable = prev.filter(|p| {
@@ -335,9 +346,16 @@ impl DetectionEngine {
                 && instance.delta_covers(p.version)
         });
         let report = match usable {
-            None => self.detect_cfd_violations(instance, cfds),
-            Some(p) if p.version == version => p.report.clone(),
+            None => {
+                dq_obs::inc("maintain.cfd.full");
+                self.detect_cfd_violations(instance, cfds)
+            }
+            Some(p) if p.version == version => {
+                dq_obs::inc("maintain.cfd.reuse");
+                p.report.clone()
+            }
             Some(p) => {
+                dq_obs::inc("maintain.cfd.patch");
                 let changes = instance
                     .changed_cells_since(p.version)
                     .expect("delta covers the gap");

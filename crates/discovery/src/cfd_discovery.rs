@@ -100,6 +100,13 @@ pub struct DiscoveredCfds {
     pub constant_cfds: Vec<Cfd>,
     /// Number of candidate pattern tuples validated.
     pub candidates_checked: usize,
+    /// Wall-clock milliseconds spent per lattice level (index 0 = LHS
+    /// size 1), summed across the exact FD sweep, the approximate FD
+    /// sweep and constant-pattern mining at that LHS size — the same
+    /// per-level reporting FD discovery already gets from
+    /// [`crate::fd_discovery::DiscoveredFds::level_ms`].  Per-FD tableau mining is not level-shaped and is
+    /// reported through the `discover.cfd/tableau` span instead.
+    pub level_ms: Vec<f64>,
 }
 
 impl DiscoveredCfds {
@@ -143,25 +150,45 @@ pub fn discover_constant_cfds_with_pool(
     config: &CfdDiscoveryConfig,
     pool: &Arc<IndexPool>,
 ) -> Vec<Cfd> {
+    discover_constant_cfds_with_pool_timed(instance, config, pool).0
+}
+
+/// [`discover_constant_cfds_with_pool`] plus per-size-level wall-clock
+/// milliseconds (index 0 = LHS size 1), measured through the span layer.
+pub(crate) fn discover_constant_cfds_with_pool_timed(
+    instance: &RelationInstance,
+    config: &CfdDiscoveryConfig,
+    pool: &Arc<IndexPool>,
+) -> (Vec<Cfd>, Vec<f64>) {
+    let _span = dq_obs::span("constants");
     let schema = instance.schema().clone();
     let attrs: Vec<usize> = (0..schema.arity())
         .filter(|a| !config.exclude.contains(a))
         .collect();
     // tableaux[(lhs, rhs)] -> pattern tuples
     let mut tableaux: BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>> = BTreeMap::new();
+    let mut level_ms: Vec<f64> = Vec::new();
     if config.use_interned {
-        mine_constant_patterns_interned(instance, config, pool, &attrs, &mut tableaux);
+        mine_constant_patterns_interned(
+            instance,
+            config,
+            pool,
+            &attrs,
+            &mut tableaux,
+            &mut level_ms,
+        );
     } else {
-        mine_constant_patterns_naive(instance, config, &attrs, &mut tableaux);
+        mine_constant_patterns_naive(instance, config, &attrs, &mut tableaux, &mut level_ms);
     }
-    tableaux
+    let cfds = tableaux
         .into_iter()
         .filter_map(|((lhs, rhs), mut tableau)| {
             tableau.sort_by_key(|tp| format!("{tp}"));
             tableau.dedup();
             Cfd::from_indices(&schema, lhs, vec![rhs], tableau).ok()
         })
-        .collect()
+        .collect();
+    (cfds, level_ms)
 }
 
 /// One mined constant pattern, produced by a per-LHS worker and merged into
@@ -178,10 +205,12 @@ fn mine_constant_patterns_naive(
     config: &CfdDiscoveryConfig,
     attrs: &[usize],
     tableaux: &mut BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>>,
+    level_ms: &mut Vec<f64>,
 ) {
     let threads = resolve_threads(config.threads);
     let all_tuples: Vec<_> = instance.iter().map(|(_, t)| t.clone()).collect();
     for size in 1..=config.max_lhs.min(attrs.len()) {
+        let level_span = dq_obs::span_owned(format!("level{size}"));
         let lhs_sets = subsets_of_size(attrs, size);
         let per_lhs: Vec<Vec<MinedPattern>> = parallel_map(&lhs_sets, threads, |lhs| {
             let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
@@ -227,6 +256,7 @@ fn mine_constant_patterns_naive(
                 push_constant_pattern(tableaux, config, lhs, rhs, &lhs_values, &first);
             }
         }
+        level_ms.push(level_span.finish_ms());
     }
 }
 
@@ -243,6 +273,7 @@ fn mine_constant_patterns_interned(
     pool: &Arc<IndexPool>,
     attrs: &[usize],
     tableaux: &mut BTreeMap<(Vec<usize>, usize), Vec<PatternTuple>>,
+    level_ms: &mut Vec<f64>,
 ) {
     let threads = resolve_threads(config.threads);
     let store = instance.columnar();
@@ -253,6 +284,7 @@ fn mine_constant_patterns_interned(
         columns[a] = Some(store.column(instance, a));
     }
     for size in 1..=config.max_lhs.min(attrs.len()) {
+        let level_span = dq_obs::span_owned(format!("level{size}"));
         let lhs_sets = subsets_of_size(attrs, size);
         let per_lhs: Vec<Vec<MinedPattern>> = parallel_map(&lhs_sets, threads, |lhs| {
             // Candidate sub-condition indexes inside the minimality probe
@@ -301,6 +333,7 @@ fn mine_constant_patterns_interned(
                 push_constant_pattern(tableaux, config, lhs, rhs, &lhs_values, &first);
             }
         }
+        level_ms.push(level_span.finish_ms());
     }
 }
 
@@ -604,6 +637,7 @@ pub fn discover_tableau_for_fd_with_pool(
     config: &CfdDiscoveryConfig,
     pool: &Arc<IndexPool>,
 ) -> Option<Cfd> {
+    let _span = dq_obs::span("tableau");
     let schema = instance.schema().clone();
     let lhs = fd.lhs().to_vec();
     let rhs = fd.rhs().to_vec();
@@ -729,6 +763,7 @@ pub fn discover_cfds_with_pool(
     config: &CfdDiscoveryConfig,
     pool: &Arc<IndexPool>,
 ) -> DiscoveredCfds {
+    let _span = dq_obs::span!("discover.cfd", arity = instance.schema().arity());
     let mut candidates_checked = 0usize;
 
     // Exact FDs become traditional (all-wildcard) CFDs.
@@ -745,6 +780,7 @@ pub fn discover_cfds_with_pool(
     );
     candidates_checked += exact.candidates_checked;
     let mut variable_cfds: Vec<Cfd> = exact.fds.iter().map(Cfd::from_fd).collect();
+    let mut level_ms = exact.level_ms.clone();
 
     // Approximate FDs (hold after removing at most `max_candidate_g3` of the
     // tuples but not exactly) are conditioning candidates: mine a tableau.
@@ -760,6 +796,7 @@ pub fn discover_cfds_with_pool(
         pool,
     );
     candidates_checked += approx.candidates_checked;
+    add_level_ms(&mut level_ms, &approx.level_ms);
     for fd in &approx.fds {
         let exact_already = exact
             .fds
@@ -788,11 +825,25 @@ pub fn discover_cfds_with_pool(
         }
     }
 
-    let constant_cfds = discover_constant_cfds_with_pool(instance, config, pool);
+    let (constant_cfds, constant_level_ms) =
+        discover_constant_cfds_with_pool_timed(instance, config, pool);
+    add_level_ms(&mut level_ms, &constant_level_ms);
     DiscoveredCfds {
         variable_cfds,
         constant_cfds,
         candidates_checked,
+        level_ms,
+    }
+}
+
+/// Element-wise sum of per-level timings, growing `total` as needed (the
+/// lattice sweeps and constant mining may stop at different depths).
+fn add_level_ms(total: &mut Vec<f64>, levels: &[f64]) {
+    if total.len() < levels.len() {
+        total.resize(levels.len(), 0.0);
+    }
+    for (t, l) in total.iter_mut().zip(levels) {
+        *t += l;
     }
 }
 

@@ -25,7 +25,6 @@ use dq_core::fd::Fd;
 use dq_relation::{IndexPool, RelationInstance};
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Configuration of FD discovery.
 #[derive(Clone, Debug)]
@@ -101,6 +100,7 @@ pub fn discover_fds_with_pool(
     config: &FdDiscoveryConfig,
     pool: &Arc<IndexPool>,
 ) -> DiscoveredFds {
+    let _span = dq_obs::span!("discover.fd", arity = instance.schema().arity());
     let threads = resolve_threads(config.threads);
     let source = if config.use_interned {
         PartitionSource::interned(instance, Arc::clone(pool), threads)
@@ -133,7 +133,10 @@ pub fn discover_fds_with_pool(
 
     let max_lhs = config.max_lhs.min(attrs.len().saturating_sub(1)).max(1);
     for level in 1..=max_lhs {
-        let level_start = Instant::now();
+        // The level span doubles as the level clock: `finish_ms` returns
+        // real elapsed time even while recording is disabled, so
+        // `level_ms` is reported identically in both modes.
+        let level_span = dq_obs::span_owned(format!("level{level}"));
         // Both pruning rules only fire on facts from strictly smaller LHS
         // sets (a same-size subset is the set itself), so `found` and
         // `superkeys` are frozen for the whole level and the surviving LHS
@@ -194,7 +197,7 @@ pub fn discover_fds_with_pool(
                 superkeys.push(lhs_set);
             }
         }
-        level_ms.push(level_start.elapsed().as_secs_f64() * 1e3);
+        level_ms.push(level_span.finish_ms());
     }
 
     let fds = found

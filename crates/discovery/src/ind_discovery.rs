@@ -129,6 +129,7 @@ pub fn discover_inds_with_pool(
     pool: &IndexPool,
     threads: usize,
 ) -> DqResult<DiscoveredInds> {
+    let _span = dq_obs::span!("discover.ind", relations = db.iter().count());
     let relations: Vec<(&str, &RelationInstance)> = db.iter().collect();
     // Warm the column dictionaries once, in parallel: unary candidates are
     // decided on the dictionaries alone (a column's dictionary *is* its
@@ -412,6 +413,7 @@ pub fn discover_cind_conditions_with_pool(
     pool: &IndexPool,
     threads: usize,
 ) -> DqResult<Vec<Cind>> {
+    let _span = dq_obs::span("discover.cind");
     let lhs_inst = db.require_relation(embedded.lhs_relation())?;
     let rhs_inst = db.require_relation(embedded.rhs_relation())?;
     // Warm the correspondence columns of both sides in parallel first — the

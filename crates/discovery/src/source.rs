@@ -87,6 +87,28 @@ pub struct PartitionSource<'a> {
     probers: Mutex<Vec<PartitionProber>>,
     built: AtomicUsize,
     races: AtomicUsize,
+    obs: SourceObs,
+}
+
+/// Pre-registered `dq-obs` handles mirroring the partition cache's
+/// counters as live metrics (near-no-ops while recording is off).
+struct SourceObs {
+    hits: dq_obs::Counter,
+    built: dq_obs::Counter,
+    races: dq_obs::Counter,
+    build_ns: dq_obs::Histogram,
+}
+
+impl SourceObs {
+    fn new() -> Self {
+        let rec = dq_obs::recorder();
+        SourceObs {
+            hits: rec.counter("partition.hits"),
+            built: rec.counter("partition.built"),
+            races: rec.counter("partition.races"),
+            build_ns: rec.histogram("partition.build_ns"),
+        }
+    }
 }
 
 impl<'a> PartitionSource<'a> {
@@ -105,6 +127,7 @@ impl<'a> PartitionSource<'a> {
             probers: Mutex::new(Vec::new()),
             built: AtomicUsize::new(0),
             races: AtomicUsize::new(0),
+            obs: SourceObs::new(),
         }
     }
 
@@ -179,21 +202,24 @@ impl<'a> PartitionSource<'a> {
         key.dedup();
         let stripe = self.stripe(&key);
         if let Some(p) = stripe.read().expect("stripe poisoned").get(&key) {
+            self.obs.hits.inc();
             return Arc::clone(p);
         }
         // Build with no lock held: products recurse into `partition` (the
         // operands may live on this very stripe), and a slow build must not
         // stall readers of sibling partitions.
-        let partition = Arc::new(self.build(&key));
+        let partition = Arc::new(self.obs.build_ns.time(|| self.build(&key)));
         match stripe.write().expect("stripe poisoned").entry(key) {
             Entry::Occupied(winner) => {
                 // A concurrent worker built the same partition first; both
                 // results are identical, keep the cached winner.
                 self.races.fetch_add(1, Ordering::Relaxed);
+                self.obs.races.inc();
                 Arc::clone(winner.get())
             }
             Entry::Vacant(slot) => {
                 self.built.fetch_add(1, Ordering::Relaxed);
+                self.obs.built.inc();
                 slot.insert(Arc::clone(&partition));
                 partition
             }

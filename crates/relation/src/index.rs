@@ -104,6 +104,44 @@ impl HashIndex {
 /// attribute list.
 type PoolKey = (u64, u64, Vec<usize>);
 
+/// Pre-registered `dq-obs` handles mirroring the pool's counters into the
+/// process-wide recorder as live metrics, plus latency histograms for the
+/// build/extend/patch paths.  Near-no-ops while recording is off.
+struct PoolObs {
+    hits: dq_obs::Counter,
+    misses: dq_obs::Counter,
+    appends: dq_obs::Counter,
+    patches: dq_obs::Counter,
+    races: dq_obs::Counter,
+    entries: dq_obs::Gauge,
+    build_ns: dq_obs::Histogram,
+    extend_ns: dq_obs::Histogram,
+    patch_ns: dq_obs::Histogram,
+}
+
+impl PoolObs {
+    fn new() -> Self {
+        let rec = dq_obs::recorder();
+        PoolObs {
+            hits: rec.counter("pool.hits"),
+            misses: rec.counter("pool.misses"),
+            appends: rec.counter("pool.appends"),
+            patches: rec.counter("pool.patches"),
+            races: rec.counter("pool.races"),
+            entries: rec.gauge("pool.entries"),
+            build_ns: rec.histogram("index.build_ns"),
+            extend_ns: rec.histogram("index.extend_ns"),
+            patch_ns: rec.histogram("index.patch_ns"),
+        }
+    }
+}
+
+impl std::fmt::Debug for PoolObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolObs")
+    }
+}
+
 /// Hit/miss/size counters of an [`IndexPool`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IndexPoolStats {
@@ -128,6 +166,20 @@ pub struct IndexPoolStats {
     pub races: u64,
     /// Indexes currently cached.
     pub entries: usize,
+}
+
+impl dq_obs::MetricSource for IndexPoolStats {
+    fn emit(&self, prefix: &str, sink: &mut dyn dq_obs::MetricSink) {
+        sink.counter(&format!("{prefix}.hits"), self.hits);
+        sink.counter(&format!("{prefix}.misses"), self.misses);
+        sink.counter(&format!("{prefix}.appends"), self.appends);
+        sink.counter(&format!("{prefix}.patches"), self.patches);
+        sink.counter(&format!("{prefix}.races"), self.races);
+        sink.gauge(
+            &format!("{prefix}.entries"),
+            i64::try_from(self.entries).unwrap_or(i64::MAX),
+        );
+    }
 }
 
 /// A thread-safe memo table of indexes keyed by
@@ -156,6 +208,7 @@ pub struct IndexPool {
     appends: AtomicU64,
     patches: AtomicU64,
     races: AtomicU64,
+    obs: PoolObs,
 }
 
 impl Default for IndexPool {
@@ -185,6 +238,7 @@ impl IndexPool {
             appends: AtomicU64::new(0),
             patches: AtomicU64::new(0),
             races: AtomicU64::new(0),
+            obs: PoolObs::new(),
         }
     }
 
@@ -214,17 +268,21 @@ impl IndexPool {
     where
         V: Clone,
     {
+        let before = cache.len();
         cache.retain(|cached, _| cached.0 != key.0 || cached.1 == key.1 || keep_stale(cached));
         if cache.len() >= self.capacity {
             cache.retain(|(id, version, _), _| *id == key.0 && *version == key.1);
         }
-        match cache.entry(key) {
+        let kept = match cache.entry(key) {
             Entry::Occupied(winner) => {
                 self.races.fetch_add(1, Ordering::Relaxed);
+                self.obs.races.inc();
                 winner.get().clone()
             }
             Entry::Vacant(slot) => slot.insert(built).clone(),
-        }
+        };
+        self.obs.entries.add(cache.len() as i64 - before as i64);
+        kept
     }
 
     /// The value-keyed index of `instance` on `attrs`, built at most once per
@@ -233,13 +291,15 @@ impl IndexPool {
         let key: PoolKey = (instance.instance_id(), instance.version(), attrs.to_vec());
         if let Some(hit) = self.cache.lock().expect("index pool poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.hits.inc();
             return Arc::clone(hit);
         }
         // Build outside the lock so concurrent requests for *different*
         // indexes proceed in parallel; a racing duplicate build of the same
         // index is benign (first write wins, both results are identical).
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(HashIndex::build(instance, attrs));
+        self.obs.misses.inc();
+        let built = Arc::new(self.obs.build_ns.time(|| HashIndex::build(instance, attrs)));
         let mut cache = self.cache.lock().expect("index pool poisoned");
         self.insert_evicting(&mut cache, key, built, |_| false)
     }
@@ -269,6 +329,7 @@ impl IndexPool {
             let cache = cache.lock().expect("index pool poisoned");
             if let Some(hit) = cache.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.hits.inc();
                 return Arc::clone(hit);
             }
             cache
@@ -286,8 +347,12 @@ impl IndexPool {
         // artifacts proceed in parallel; a racing duplicate build of the
         // same one is benign (first write wins, results are identical).
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.misses.inc();
         let upgraded = predecessor.and_then(|prev| upgrade(&prev));
-        let built = Arc::new(upgraded.unwrap_or_else(build));
+        let built = Arc::new(match upgraded {
+            Some(artifact) => artifact,
+            None => self.obs.build_ns.time(build),
+        });
         let mut cache = cache.lock().expect("index pool poisoned");
         self.insert_evicting(&mut cache, key, built, |cached| {
             cached.2 != *attrs && instance.delta_covers(cached.1)
@@ -307,13 +372,15 @@ impl IndexPool {
         patch: impl FnOnce(&[crate::instance::CellChange]) -> Option<V>,
     ) -> Option<V> {
         if instance.append_only_since(prev_version) {
-            extend().inspect(|_| {
+            self.obs.extend_ns.time(extend).inspect(|_| {
                 self.appends.fetch_add(1, Ordering::Relaxed);
+                self.obs.appends.inc();
             })
         } else {
             let changes = instance.changed_cells_since(prev_version)?;
-            patch(&changes).inspect(|_| {
+            self.obs.patch_ns.time(|| patch(&changes)).inspect(|_| {
                 self.patches.fetch_add(1, Ordering::Relaxed);
+                self.obs.patches.inc();
             })
         }
     }
@@ -391,25 +458,35 @@ impl IndexPool {
     /// Drops every cached index of `instance` (any version).  Mutations make
     /// old entries unreachable already; this reclaims their memory eagerly.
     pub fn invalidate(&self, instance: &RelationInstance) {
-        self.cache
-            .lock()
-            .expect("index pool poisoned")
-            .retain(|(id, _, _), _| *id != instance.instance_id());
-        self.interned
-            .lock()
-            .expect("index pool poisoned")
-            .retain(|(id, _, _), _| *id != instance.instance_id());
-        self.distinct
-            .lock()
-            .expect("index pool poisoned")
-            .retain(|(id, _, _), _| *id != instance.instance_id());
+        fn retain_others<V>(
+            cache: &Mutex<HashMap<PoolKey, V>>,
+            instance_id: u64,
+            dropped: &mut i64,
+        ) {
+            let mut cache = cache.lock().expect("index pool poisoned");
+            let before = cache.len();
+            cache.retain(|(id, _, _), _| *id != instance_id);
+            *dropped += (before - cache.len()) as i64;
+        }
+        let mut dropped = 0i64;
+        retain_others(&self.cache, instance.instance_id(), &mut dropped);
+        retain_others(&self.interned, instance.instance_id(), &mut dropped);
+        retain_others(&self.distinct, instance.instance_id(), &mut dropped);
+        self.obs.entries.add(-dropped);
     }
 
     /// Drops every cached index.
     pub fn clear(&self) {
-        self.cache.lock().expect("index pool poisoned").clear();
-        self.interned.lock().expect("index pool poisoned").clear();
-        self.distinct.lock().expect("index pool poisoned").clear();
+        fn drain<V>(cache: &Mutex<HashMap<PoolKey, V>>, dropped: &mut i64) {
+            let mut cache = cache.lock().expect("index pool poisoned");
+            *dropped += cache.len() as i64;
+            cache.clear();
+        }
+        let mut dropped = 0i64;
+        drain(&self.cache, &mut dropped);
+        drain(&self.interned, &mut dropped);
+        drain(&self.distinct, &mut dropped);
+        self.obs.entries.add(-dropped);
     }
 
     /// Current cache counters (hits and misses aggregate every index kind;
@@ -425,6 +502,13 @@ impl IndexPool {
                 + self.interned.lock().expect("index pool poisoned").len()
                 + self.distinct.lock().expect("index pool poisoned").len(),
         }
+    }
+
+    /// Number of entries across all three caches (for gauge bookkeeping).
+    fn cached_entries(&mut self) -> usize {
+        self.cache.get_mut().expect("index pool poisoned").len()
+            + self.interned.get_mut().expect("index pool poisoned").len()
+            + self.distinct.get_mut().expect("index pool poisoned").len()
     }
 
     /// Approximate heap bytes across every cached distinct-projection set.
@@ -446,6 +530,15 @@ impl IndexPool {
             .values()
             .map(|idx| idx.approx_heap_bytes())
             .sum()
+    }
+}
+
+impl Drop for IndexPool {
+    /// Releases this pool's share of the process-wide `pool.entries`
+    /// gauge, so the gauge tracks live caches even as pools come and go.
+    fn drop(&mut self) {
+        let entries = self.cached_entries();
+        self.obs.entries.add(-(entries as i64));
     }
 }
 

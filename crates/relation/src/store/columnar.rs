@@ -99,6 +99,26 @@ pub struct ColumnarStats {
     pub bytes_saved_vs_values: usize,
 }
 
+impl dq_obs::MetricSource for ColumnarStats {
+    fn emit(&self, prefix: &str, sink: &mut dyn dq_obs::MetricSink) {
+        let gauge = |v: usize| i64::try_from(v).unwrap_or(i64::MAX);
+        sink.gauge(&format!("{prefix}.rows"), gauge(self.rows));
+        sink.gauge(
+            &format!("{prefix}.built_columns"),
+            gauge(self.built_columns),
+        );
+        sink.gauge(
+            &format!("{prefix}.distinct_values"),
+            gauge(self.distinct_values),
+        );
+        sink.gauge(&format!("{prefix}.heap_bytes"), gauge(self.heap_bytes));
+        sink.gauge(
+            &format!("{prefix}.bytes_saved_vs_values"),
+            gauge(self.bytes_saved_vs_values),
+        );
+    }
+}
+
 /// A version-tagged columnar snapshot of one relation instance.
 #[derive(Debug)]
 pub struct ColumnarStore {
@@ -114,24 +134,27 @@ impl ColumnarStore {
     /// Snapshots the live rows of `instance`.  Columns are built lazily on
     /// first access through [`column`](Self::column).
     pub fn new(instance: &RelationInstance) -> Self {
-        let mut rows = Vec::with_capacity(instance.len());
-        let mut row_index = Vec::new();
-        for (id, _) in instance.iter() {
-            while row_index.len() < id.0 {
-                row_index.push(u32::MAX);
+        dq_obs::time("store.snapshot_ns", || {
+            let mut rows = Vec::with_capacity(instance.len());
+            let mut row_index = Vec::new();
+            for (id, _) in instance.iter() {
+                while row_index.len() < id.0 {
+                    row_index.push(u32::MAX);
+                }
+                row_index
+                    .push(u32::try_from(rows.len()).expect("instance larger than u32::MAX rows"));
+                rows.push(id);
             }
-            row_index.push(u32::try_from(rows.len()).expect("instance larger than u32::MAX rows"));
-            rows.push(id);
-        }
-        ColumnarStore {
-            instance_id: instance.instance_id(),
-            version: instance.version(),
-            rows,
-            row_index,
-            columns: (0..instance.schema().arity())
-                .map(|_| OnceLock::new())
-                .collect(),
-        }
+            ColumnarStore {
+                instance_id: instance.instance_id(),
+                version: instance.version(),
+                rows,
+                row_index,
+                columns: (0..instance.schema().arity())
+                    .map(|_| OnceLock::new())
+                    .collect(),
+            }
+        })
     }
 
     /// Extends a previous snapshot of the same instance after append-only
@@ -145,6 +168,7 @@ impl ColumnarStore {
     /// ([`RelationInstance::append_only_since`]); under that guarantee the
     /// live rows of `prev` are a prefix of the current live rows.
     pub fn extended(prev: &ColumnarStore, instance: &RelationInstance) -> Self {
+        let _t = dq_obs::timer("store.extend_ns");
         assert_eq!(
             prev.instance_id,
             instance.instance_id(),
@@ -208,6 +232,7 @@ impl ColumnarStore {
         instance: &RelationInstance,
         changes: &[CellChange],
     ) -> Self {
+        let _t = dq_obs::timer("store.patch_ns");
         assert_eq!(
             prev.instance_id,
             instance.instance_id(),
@@ -326,6 +351,7 @@ impl ColumnarStore {
     /// [`RelationInstance::columnar`] hands out a fresh store per version.
     pub fn column(&self, instance: &RelationInstance, attr: usize) -> Arc<Column> {
         Arc::clone(self.columns[attr].get_or_init(|| {
+            let _t = dq_obs::timer("store.column_build_ns");
             assert_eq!(
                 (instance.instance_id(), instance.version()),
                 (self.instance_id, self.version),
@@ -337,7 +363,12 @@ impl ColumnarStore {
                 let tuple = instance.tuple(id).expect("snapshot row is live");
                 ids.push(interner.intern(tuple.get(attr)));
             }
-            Arc::new(Column { interner, ids })
+            let column = Arc::new(Column { interner, ids });
+            dq_obs::add(
+                "store.column_bytes_built",
+                column.approx_heap_bytes() as u64,
+            );
+            column
         }))
     }
 

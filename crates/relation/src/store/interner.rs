@@ -59,6 +59,19 @@ pub struct InternerStats {
     pub heap_bytes: usize,
 }
 
+impl dq_obs::MetricSource for InternerStats {
+    fn emit(&self, prefix: &str, sink: &mut dyn dq_obs::MetricSink) {
+        sink.gauge(
+            &format!("{prefix}.distinct"),
+            i64::try_from(self.distinct).unwrap_or(i64::MAX),
+        );
+        sink.gauge(
+            &format!("{prefix}.heap_bytes"),
+            i64::try_from(self.heap_bytes).unwrap_or(i64::MAX),
+        );
+    }
+}
+
 impl ValueInterner {
     /// An empty interner.
     pub fn new() -> Self {

@@ -74,6 +74,7 @@ pub fn repair_cfd_violations_with_engine(
     config: &RepairConfig,
     engine: &DetectionEngine,
 ) -> RepairOutcome {
+    let _span = dq_obs::span!("repair.urepair", deps = cfds.len());
     let mut repaired = instance.clone();
     let mut log = RepairLog::default();
     let normalized: Vec<Cfd> = cfds.iter().flat_map(|c| c.normalize()).collect();
@@ -81,6 +82,10 @@ pub fn repair_cfd_violations_with_engine(
 
     while rounds < config.max_rounds {
         rounds += 1;
+        // Per-round fixpoint cost: how many cells this round rewrote and
+        // what it charged, so the profile shows convergence behaviour.
+        let round_span = dq_obs::span("round");
+        let (cells_before, cost_before) = (log.modified.len(), log.cost);
         let mut changed = false;
 
         // Phase 1: constant violations — write the required constant.
@@ -171,6 +176,16 @@ pub fn repair_cfd_violations_with_engine(
             apply_assignments(&mut repaired, &mut log, cost, b, assignments, &mut changed);
         }
 
+        drop(round_span);
+        dq_obs::inc("repair.rounds");
+        dq_obs::record(
+            "repair.round_changes",
+            (log.modified.len() - cells_before) as u64,
+        );
+        dq_obs::record(
+            "repair.round_cost_milli",
+            ((log.cost - cost_before) * 1e3).max(0.0) as u64,
+        );
         if !changed {
             break;
         }

@@ -1,0 +1,221 @@
+//! The dq-obs recorder against the engine it instruments: counters must
+//! sum exactly under the workspace's own `parallel_map` fan-out, the
+//! disabled recorder must record nothing at all, and — the contract the
+//! whole layer rests on — turning instrumentation on must never change a
+//! single output byte of detection, discovery or repair.
+//!
+//! The recorder is process-global, so every test here serializes on one
+//! mutex before toggling it (other integration-test binaries run in their
+//! own processes and cannot race this one).
+
+use dataquality::prelude::*;
+use dq_gen::customer::{generate_customers, paper_cfds, CustomerConfig};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes recorder toggling across tests and guarantees the recorder
+/// is left disabled (the workspace default) when the guard drops.
+struct RecorderSession(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl RecorderSession {
+    fn begin() -> Self {
+        let guard = RECORDER_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        dq_obs::set_enabled(false);
+        dq_obs::recorder().reset();
+        RecorderSession(guard)
+    }
+}
+
+impl Drop for RecorderSession {
+    fn drop(&mut self) {
+        dq_obs::set_enabled(false);
+        dq_obs::recorder().reset();
+    }
+}
+
+/// Counter increments fired from inside the engine's own thread pool sum
+/// exactly — no lost updates across the sharded atomics.
+#[test]
+fn counters_sum_exactly_under_parallel_map() {
+    let _session = RecorderSession::begin();
+    dq_obs::set_enabled(true);
+    let items: Vec<usize> = (0..4_096).collect();
+    let counter = dq_obs::recorder().counter("test.parallel_map.increments");
+    let doubled = dq_core::engine::parallel_map(&items, 8, |&i| {
+        counter.inc();
+        dq_obs::add("test.parallel_map.weight", i as u64);
+        i * 2
+    });
+    assert_eq!(doubled.len(), items.len());
+    let snap = dq_obs::recorder().snapshot();
+    assert_eq!(
+        snap.counters.get("test.parallel_map.increments"),
+        Some(&(items.len() as u64))
+    );
+    let expected_weight: u64 = items.iter().map(|&i| i as u64).sum();
+    assert_eq!(
+        snap.counters.get("test.parallel_map.weight"),
+        Some(&expected_weight)
+    );
+}
+
+/// A disabled recorder is a no-op: nothing fired through the free
+/// functions, handles or spans lands in the snapshot.
+#[test]
+fn disabled_recorder_records_nothing() {
+    let _session = RecorderSession::begin();
+    dq_obs::inc("test.disabled.counter");
+    dq_obs::add("test.disabled.counter", 41);
+    dq_obs::gauge_set("test.disabled.gauge", 7);
+    dq_obs::record("test.disabled.histogram", 123);
+    let counter = dq_obs::recorder().counter("test.disabled.handle");
+    counter.inc();
+    {
+        let span = dq_obs::span!("test.disabled.span", detail = "ignored");
+        // The guard still measures real time even while disabled (the
+        // bench harness leans on that for `level_ms`), it just must not
+        // record anything.
+        assert!(span.finish_ms() >= 0.0);
+    }
+    let value = dq_obs::time("test.disabled.timed", || 6 * 7);
+    assert_eq!(value, 42, "time() must run the closure even when disabled");
+    assert!(
+        dq_obs::recorder().snapshot().is_quiet(),
+        "disabled recorder must record nothing"
+    );
+}
+
+/// A full engine pass under the enabled recorder populates the metric
+/// families the profile mode documents.
+#[test]
+fn engine_pass_populates_detection_metrics() {
+    let _session = RecorderSession::begin();
+    dq_obs::set_enabled(true);
+    let workload = generate_customers(&CustomerConfig {
+        tuples: 300,
+        error_rate: 0.05,
+        seed: 7,
+        cities_per_country: 5,
+    });
+    let cfds = paper_cfds();
+    let engine = DetectionEngine::new();
+    let _ = engine.detect_cfd_violations(&workload.dirty, &cfds);
+    let _ = engine.detect_cfd_violations(&workload.dirty, &cfds);
+    let mut snap = dq_obs::recorder().snapshot();
+    snap.ingest("engine.pool", &engine.pool_stats());
+    assert!(snap.spans.contains_key("detect.cfd"));
+    assert_eq!(snap.spans["detect.cfd"].count, 2);
+    assert!(
+        snap.counters.get("pool.hits").copied().unwrap_or(0) > 0,
+        "the warm pass must be served from the pool"
+    );
+    assert!(
+        snap.histograms.contains_key("index.build_ns"),
+        "cold index builds must be timed"
+    );
+    // The engine's pool is the only one alive since the reset, so the
+    // live process-wide counters and the polled one-pool stats struct
+    // (ingested under `engine.pool`) must tell the same story.
+    for family in ["hits", "misses", "appends", "patches", "races"] {
+        assert_eq!(
+            snap.counters
+                .get(&format!("pool.{family}"))
+                .copied()
+                .unwrap_or(0),
+            snap.counters
+                .get(&format!("engine.pool.{family}"))
+                .copied()
+                .unwrap_or(0),
+            "live pool.{family} must agree with the polled stats"
+        );
+    }
+}
+
+fn workload_config() -> impl Strategy<Value = CustomerConfig> {
+    (1usize..200, 0usize..3, 0u64..1_000).prop_map(|(tuples, rate_idx, seed)| CustomerConfig {
+        tuples,
+        error_rate: [0.0, 0.05, 0.25][rate_idx],
+        seed,
+        cities_per_country: 8,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Instrumentation only observes: detection reports, discovered
+    /// dependency sets and repair outcomes are byte-identical (same
+    /// `Debug` rendering, same values) with the recorder on and off.
+    /// Wall-clock fields (`level_ms`) are timings, not outputs, and are
+    /// excluded.
+    #[test]
+    fn outputs_are_byte_identical_with_instrumentation_on_and_off(config in workload_config()) {
+        use dq_discovery::prelude::*;
+        use dq_repair::prelude::*;
+
+        let _session = RecorderSession::begin();
+        let workload = generate_customers(&config);
+        let cfds = paper_cfds();
+        let fd_cfg = FdDiscoveryConfig {
+            max_lhs: 2,
+            max_g3: 0.0,
+            exclude: vec![],
+            use_interned: true,
+            threads: 2,
+        };
+        let cfd_cfg = CfdDiscoveryConfig {
+            min_support: 2,
+            max_lhs: 2,
+            use_interned: true,
+            threads: 2,
+            ..CfdDiscoveryConfig::default()
+        };
+
+        let mut runs = Vec::new();
+        for enabled in [false, true] {
+            dq_obs::set_enabled(enabled);
+            dq_obs::recorder().reset();
+            let report = DetectionEngine::new().detect_cfd_violations(&workload.dirty, &cfds);
+            let fds = discover_fds(&workload.dirty, &fd_cfg);
+            let mined = discover_cfds(&workload.dirty, &cfd_cfg);
+            let outcome = repair_cfd_violations(
+                &workload.dirty,
+                &cfds,
+                &RepairCost::uniform(),
+                &RepairConfig::default(),
+            );
+            // The repaired instance renders as its row contents: the
+            // derived `Debug` includes `instance_id`, a fresh global
+            // counter value per clone, which is an identity, not an
+            // output.
+            let repaired_rows: Vec<_> = outcome
+                .repaired
+                .ids()
+                .iter()
+                .map(|&id| outcome.repaired.tuple(id).expect("live").clone())
+                .collect();
+            runs.push((
+                format!("{report:?}"),
+                format!("{:?}/{}/{}", fds.fds, fds.candidates_checked, fds.partitions_built),
+                format!(
+                    "{:?}/{:?}/{}",
+                    mined.variable_cfds, mined.constant_cfds, mined.candidates_checked
+                ),
+                format!(
+                    "{repaired_rows:?}/{:?}/{}/{}",
+                    outcome.log, outcome.consistent, outcome.rounds
+                ),
+            ));
+        }
+        let on = runs.pop().expect("instrumented run");
+        let off = runs.pop().expect("uninstrumented run");
+        prop_assert_eq!(&off.0, &on.0, "detection report changed under instrumentation");
+        prop_assert_eq!(&off.1, &on.1, "FD discovery changed under instrumentation");
+        prop_assert_eq!(&off.2, &on.2, "CFD discovery changed under instrumentation");
+        prop_assert_eq!(&off.3, &on.3, "repair outcome changed under instrumentation");
+    }
+}
