@@ -87,6 +87,70 @@ pub fn learn_relative_keys(
     target_right: &[&str],
     config: &RuleLearningConfig,
 ) -> LearnedRuleSet {
+    learn_with_runner(
+        d1,
+        d2,
+        truth,
+        space,
+        target_left,
+        target_right,
+        config,
+        &|key| Matcher::new(vec![key.clone()]).run(d1, d2).matches,
+    )
+}
+
+/// [`learn_relative_keys`] with candidate scoring routed through an interned
+/// [`MatchingEngine`](dq_match::engine::MatchingEngine).
+///
+/// The learning loop runs every candidate rule as a matcher over the same
+/// two instances, so the engine's dictionary artifacts (display forms,
+/// equality translations, memoized similarity verdicts) are built once and
+/// reused across all candidates — exactly the access pattern the memo cache
+/// is for.  The returned [`LearnedRuleSet`] is byte-identical to the naive
+/// path: same rules in the same order, same qualities, same candidate
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub fn learn_relative_keys_with_pool(
+    d1: &RelationInstance,
+    d2: &RelationInstance,
+    truth: &BTreeSet<(TupleId, TupleId)>,
+    space: &[ComparisonSpace],
+    target_left: &[&str],
+    target_right: &[&str],
+    config: &RuleLearningConfig,
+    engine: &dq_match::engine::MatchingEngine,
+) -> LearnedRuleSet {
+    learn_with_runner(
+        d1,
+        d2,
+        truth,
+        space,
+        target_left,
+        target_right,
+        config,
+        &|key| {
+            Matcher::new(vec![key.clone()])
+                .run_with(engine, d1, d2)
+                .matches
+        },
+    )
+}
+
+/// The shared learning loop: enumerate candidates, score each with
+/// `run_rule`, then greedily cover the truth.  Both public entry points
+/// differ only in how a single rule is executed (and the two executions
+/// produce identical match sets), so everything downstream is shared.
+#[allow(clippy::too_many_arguments)]
+fn learn_with_runner(
+    d1: &RelationInstance,
+    d2: &RelationInstance,
+    truth: &BTreeSet<(TupleId, TupleId)>,
+    space: &[ComparisonSpace],
+    target_left: &[&str],
+    target_right: &[&str],
+    config: &RuleLearningConfig,
+    run_rule: &dyn Fn(&RelativeKey) -> BTreeSet<(TupleId, TupleId)>,
+) -> LearnedRuleSet {
     let lhs_schema: &Arc<RelationSchema> = d1.schema();
     let rhs_schema: &Arc<RelationSchema> = d2.schema();
 
@@ -138,10 +202,10 @@ pub fn learn_relative_keys(
     let mut scored: Vec<Scored> = Vec::new();
     let candidates_evaluated = candidates.len();
     for key in candidates {
-        let result = Matcher::new(vec![key.clone()]).run(d1, d2);
-        let quality = score(&result.matches, truth);
-        if quality.precision >= config.min_precision && !result.matches.is_empty() {
-            scored.push((key, quality, result.matches));
+        let matches = run_rule(&key);
+        let quality = score(&matches, truth);
+        if quality.precision >= config.min_precision && !matches.is_empty() {
+            scored.push((key, quality, matches));
         }
     }
 
@@ -318,6 +382,41 @@ mod tests {
         );
         assert!(no_space.rules.is_empty());
         assert_eq!(no_space.candidates_evaluated, 0);
+    }
+
+    #[test]
+    fn pooled_learning_is_byte_identical_to_the_naive_path() {
+        let w = workload();
+        let naive = learn_relative_keys(
+            &w.card,
+            &w.billing,
+            &w.truth,
+            &comparison_space(),
+            &YC,
+            &YB,
+            &RuleLearningConfig::default(),
+        );
+        let pool = std::sync::Arc::new(dq_relation::IndexPool::new());
+        let engine = dq_match::engine::MatchingEngine::new(pool).with_threads(2);
+        let pooled = learn_relative_keys_with_pool(
+            &w.card,
+            &w.billing,
+            &w.truth,
+            &comparison_space(),
+            &YC,
+            &YB,
+            &RuleLearningConfig::default(),
+            &engine,
+        );
+        assert_eq!(naive.candidates_evaluated, pooled.candidates_evaluated);
+        assert_eq!(naive.rules.len(), pooled.rules.len());
+        for (a, b) in naive.rules.iter().zip(&pooled.rules) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.quality, b.quality);
+        }
+        assert_eq!(naive.combined, pooled.combined);
+        // The engine actually memoized similarity work across candidates.
+        assert!(engine.stats().cache.hits > 0);
     }
 
     #[test]

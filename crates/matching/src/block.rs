@@ -1,0 +1,357 @@
+//! Blocking built directly over the dictionaries.
+//!
+//! Candidate generation runs at the *dictionary* level: a blocker maps one
+//! left-dictionary entry to the right-dictionary ids that could possibly
+//! satisfy a similarity premise, and the engine expands surviving id pairs
+//! to tuple pairs through the interned indexes' CSR postings.  Two
+//! generators are lossless for the operator families they cover — every
+//! pair the exhaustive matcher relates is generated:
+//!
+//! * [`QGramBlocker`] — an inverted index from q-gram tokens to right ids,
+//!   using the exact gram definition of
+//!   [`qgram_similarity`](crate::similarity::qgram_similarity) (whole
+//!   string below length `q`).  Complete for `QGram { q, min_similarity }`
+//!   with a positive threshold: Jaccard > 0 requires at least one shared
+//!   gram.
+//! * [`LengthBlocker`] — right ids bucketed by display length.  Complete
+//!   for the edit family: `levenshtein(a, b) >= |len(a) - len(b)|`, so an
+//!   `EditDistance { k }` premise only relates lengths within `k`, and a
+//!   `NormalizedEdit { t }` premise (t > 0) only relates lengths whose
+//!   difference fits the largest distance the threshold admits at those
+//!   lengths.
+//!
+//! [`sorted_neighborhood`] is the classic *approximate* generator — merge
+//! both dictionaries in display order and pair entries within a sliding
+//! window.  It can miss pairs (recall < 1) and is therefore opt-in, for
+//! operators no lossless blocker covers (Jaro/Jaro–Winkler); the default
+//! engine configuration falls back to exhaustive dictionary pairs instead,
+//! which stays byte-identical to the naive matcher.
+
+use crate::similarity::{qgrams, SimilarityOp};
+use dq_relation::{FxHashMap, ValueId};
+
+use crate::simcache::DisplayColumn;
+
+/// Which candidate generator covers an operator losslessly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cover {
+    /// Shared-q-gram inverted index.
+    QGram,
+    /// Length-window buckets.
+    Length,
+    /// No lossless blocker — exhaustive dictionary pairs (or an explicit
+    /// approximate pass).
+    None,
+}
+
+/// The lossless generator for `op`, if any.
+///
+/// `Equality` premises never reach the metric blockers (the engine joins
+/// them through the interned indexes), and non-positive thresholds accept
+/// disjoint strings, so nothing short of the full dictionary product is
+/// complete for them.
+pub fn cover(op: &SimilarityOp) -> Cover {
+    match op {
+        SimilarityOp::QGram { min_similarity, .. } if *min_similarity > 0.0 => Cover::QGram,
+        SimilarityOp::EditDistance { .. } => Cover::Length,
+        SimilarityOp::NormalizedEdit { min_similarity } if *min_similarity > 0.0 => Cover::Length,
+        _ => Cover::None,
+    }
+}
+
+/// Epoch-stamped membership scratch: `O(1)` reset between left entries.
+pub struct SeenStamp {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl SeenStamp {
+    /// Scratch sized for a right dictionary of `len` entries.
+    pub fn new(len: usize) -> Self {
+        SeenStamp {
+            stamps: vec![0; len],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new candidate set.
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `id`; returns `true` the first time in this epoch.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        if self.stamps[id as usize] == self.epoch {
+            return false;
+        }
+        self.stamps[id as usize] = self.epoch;
+        true
+    }
+}
+
+/// Inverted index from q-gram tokens of right-dictionary display forms to
+/// the ids that contain them.
+pub struct QGramBlocker {
+    q: usize,
+    postings: FxHashMap<String, Vec<u32>>,
+}
+
+impl QGramBlocker {
+    /// Indexes the display form of every right id in `ids`.
+    pub fn build(q: usize, display: &DisplayColumn, ids: impl Iterator<Item = ValueId>) -> Self {
+        let mut postings: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+        for id in ids {
+            // `qgrams` returns a set, so each id lands at most once per
+            // distinct gram.
+            for gram in qgrams(display.get(id), q) {
+                postings.entry(gram).or_default().push(id.index() as u32);
+            }
+        }
+        QGramBlocker { q, postings }
+    }
+
+    /// Right ids sharing at least one q-gram with `s`, deduplicated via
+    /// `seen`, appended to `out`.
+    pub fn candidates(&self, s: &str, seen: &mut SeenStamp, out: &mut Vec<u32>) {
+        seen.reset();
+        for gram in qgrams(s, self.q) {
+            if let Some(ids) = self.postings.get(&gram) {
+                for &id in ids {
+                    if seen.insert(id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of distinct gram tokens.
+    pub fn token_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// Right ids bucketed by display character count, sorted by length.
+pub struct LengthBlocker {
+    buckets: Vec<(usize, Vec<u32>)>,
+}
+
+impl LengthBlocker {
+    /// Buckets the display length of every right id in `ids`.
+    pub fn build(display: &DisplayColumn, ids: impl Iterator<Item = ValueId>) -> Self {
+        let mut by_len: std::collections::BTreeMap<usize, Vec<u32>> = Default::default();
+        for id in ids {
+            by_len
+                .entry(display.char_len(id))
+                .or_default()
+                .push(id.index() as u32);
+        }
+        LengthBlocker {
+            buckets: by_len.into_iter().collect(),
+        }
+    }
+
+    /// Right ids whose length is admissible for `op` against a left string
+    /// of `left_len` characters, appended to `out`.
+    pub fn candidates(&self, op: &SimilarityOp, left_len: usize, out: &mut Vec<u32>) {
+        for (len, ids) in &self.buckets {
+            let admissible = match op {
+                SimilarityOp::EditDistance { max_distance } => {
+                    left_len.abs_diff(*len) <= *max_distance
+                }
+                SimilarityOp::NormalizedEdit { min_similarity } => {
+                    let max_len = left_len.max(*len);
+                    left_len.abs_diff(*len) <= max_admissible_distance(max_len, *min_similarity)
+                }
+                _ => true,
+            };
+            if admissible {
+                out.extend_from_slice(ids);
+            }
+        }
+    }
+}
+
+/// The largest edit distance `d <= max_len` with
+/// `1 - d/max_len >= min_similarity` under exact f64 evaluation (`0` when
+/// even `d = 0` fails — the caller still verifies through the metric, this
+/// only has to never under-approximate the accept set).
+pub(crate) fn max_admissible_distance(max_len: usize, min_similarity: f64) -> usize {
+    if max_len == 0 {
+        return 0;
+    }
+    let pred = |d: usize| 1.0 - d as f64 / max_len as f64 >= min_similarity;
+    if !pred(0) {
+        return 0;
+    }
+    let (mut lo, mut hi) = (0usize, max_len);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if pred(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// The sorted-neighborhood pass over both dictionaries: entries of either
+/// side are merged, sorted by display form, and every left/right pair
+/// within `window` positions of each other becomes a candidate id pair.
+///
+/// Approximate by design — similar strings that sort far apart (e.g. a
+/// differing first character) are missed, so recall can be below 1.  The
+/// engine only uses it when explicitly configured.
+pub fn sorted_neighborhood<'a>(
+    left: impl Iterator<Item = (ValueId, &'a str)>,
+    right: impl Iterator<Item = (ValueId, &'a str)>,
+    window: usize,
+) -> Vec<(u32, u32)> {
+    // (display, side, id): side 0 = left, 1 = right.
+    let mut entries: Vec<(&str, u8, u32)> = left
+        .map(|(id, s)| (s, 0u8, id.index() as u32))
+        .chain(right.map(|(id, s)| (s, 1u8, id.index() as u32)))
+        .collect();
+    entries.sort_unstable();
+    let mut pairs = Vec::new();
+    for (i, &(_, side_i, id_i)) in entries.iter().enumerate() {
+        for &(_, side_j, id_j) in entries.iter().skip(i + 1).take(window) {
+            match (side_i, side_j) {
+                (0, 1) => pairs.push((id_i, id_j)),
+                (1, 0) => pairs.push((id_j, id_i)),
+                _ => {}
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::qgram_similarity;
+    use dq_relation::{Value, ValueInterner};
+
+    fn display_of(words: &[&str]) -> DisplayColumn {
+        let mut interner = ValueInterner::new();
+        for w in words {
+            interner.intern(&Value::str(*w));
+        }
+        DisplayColumn::build(&interner)
+    }
+
+    /// Completeness: every pair the metric relates is generated.
+    #[test]
+    fn qgram_blocker_is_complete_for_positive_thresholds() {
+        let words = ["John Smith", "J. Smith", "Jon", "Mary", "ab", "a", ""];
+        let display = display_of(&words);
+        for q in [2usize, 3] {
+            let blocker =
+                QGramBlocker::build(q, &display, (0..words.len()).map(|i| ValueId(i as u32)));
+            let mut seen = SeenStamp::new(words.len());
+            for (li, la) in words.iter().enumerate() {
+                let mut cands = Vec::new();
+                blocker.candidates(la, &mut seen, &mut cands);
+                for (ri, rb) in words.iter().enumerate() {
+                    if qgram_similarity(la, rb, q) > 0.0 {
+                        assert!(
+                            cands.contains(&(ri as u32)),
+                            "q={q}: {la:?} ~ {rb:?} missed by blocking (left {li})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_blocker_is_complete_for_the_edit_family() {
+        let words = ["", "a", "ab", "abc", "abcd", "abcdefgh", "xyz"];
+        let display = display_of(&words);
+        let blocker = LengthBlocker::build(&display, (0..words.len()).map(|i| ValueId(i as u32)));
+        let ops = [
+            SimilarityOp::edit(0),
+            SimilarityOp::edit(2),
+            SimilarityOp::NormalizedEdit {
+                min_similarity: 0.5,
+            },
+            SimilarityOp::NormalizedEdit {
+                min_similarity: 0.9,
+            },
+        ];
+        for op in &ops {
+            for la in &words {
+                let mut cands = Vec::new();
+                blocker.candidates(op, la.chars().count(), &mut cands);
+                for (ri, rb) in words.iter().enumerate() {
+                    if op.related(&Value::str(*la), &Value::str(*rb)) {
+                        assert!(
+                            cands.contains(&(ri as u32)),
+                            "{op}: {la:?} ~ {rb:?} missed by length blocking"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admissible_distance_matches_the_float_predicate_exactly() {
+        for max_len in [1usize, 2, 3, 7, 10, 97] {
+            for t in [-0.5, 0.0, 0.3, 0.5, 0.75, 0.999, 1.0, 1.5] {
+                let k = max_admissible_distance(max_len, t);
+                let feasible = 1.0 >= t;
+                for d in 0..=max_len {
+                    let pred = 1.0 - d as f64 / max_len as f64 >= t;
+                    // Complete: every admissible distance is within k ...
+                    assert!(!pred || d <= k, "max_len={max_len} t={t} d={d} k={k}");
+                    // ... and exact whenever the threshold is satisfiable.
+                    if feasible {
+                        assert_eq!(pred, d <= k, "max_len={max_len} t={t} d={d} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_neighborhood_pairs_nearby_entries() {
+        let left = ["Smith", "Smyth", "Jones"];
+        let right = ["Smith", "Smithe", "Zable"];
+        let pairs = sorted_neighborhood(
+            left.iter()
+                .enumerate()
+                .map(|(i, s)| (ValueId(i as u32), *s)),
+            right
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (ValueId(i as u32), *s)),
+            2,
+        );
+        // "Smith"(L0) sorts adjacent to "Smith"(R0) and "Smithe"(R1).
+        assert!(pairs.contains(&(0, 0)));
+        assert!(pairs.contains(&(0, 1)));
+        // Pairs are (left, right) regardless of sort interleaving.
+        for &(l, r) in &pairs {
+            assert!((l as usize) < left.len() && (r as usize) < right.len());
+        }
+    }
+
+    #[test]
+    fn seen_stamp_survives_epoch_wraparound() {
+        let mut seen = SeenStamp::new(2);
+        for _ in 0..70_000u32 {
+            seen.reset();
+            assert!(seen.insert(1));
+            assert!(!seen.insert(1));
+        }
+    }
+}

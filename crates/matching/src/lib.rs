@@ -13,17 +13,29 @@
 //!   their derivation from MD sets;
 //! * [`matcher`] — the object-identification engine that executes (derived)
 //!   RCKs as matching rules, with blocking, comparison counting and
-//!   precision/recall scoring.
+//!   precision/recall scoring;
+//! * [`simcache`] — dictionary-level similarity artifacts: cached display
+//!   forms, cross-dictionary equality translation and a lock-striped memo
+//!   cache of similarity verdicts keyed by value-id pairs;
+//! * [`block`] — candidate generation over the dictionaries (q-gram
+//!   inverted index, length windows, sorted neighborhood);
+//! * [`engine`] — the interned matching engine: blocked, parallel rule and
+//!   MD evaluation over the columnar store, byte-identical to the naive
+//!   paths.
 
+pub mod block;
+pub mod engine;
 pub mod infer;
 pub mod matcher;
 pub mod md;
 pub mod paper;
 pub mod rck;
+pub mod simcache;
 pub mod similarity;
 
 /// Frequently used items.
 pub mod prelude {
+    pub use crate::engine::{MatchingEngine, MatchingEngineStats};
     pub use crate::infer::{
         close, derivable_matches, md_implies, md_minimal_cover, Fact, FactBase,
     };
@@ -31,8 +43,12 @@ pub mod prelude {
     pub use crate::md::{MatchOp, MatchingDependency, MdPremise};
     pub use crate::paper::example_3_1_mds;
     pub use crate::rck::{derive_rcks, ComparisonSpace, RelativeKey};
+    pub use crate::simcache::{
+        DisplayColumn, EqTranslation, SimilarityCache, SimilarityCacheStats,
+    };
     pub use crate::similarity::{
-        jaro, jaro_winkler, normalized_edit_similarity, qgram_similarity, SimilarityOp,
+        jaro, jaro_winkler, normalized_edit_similarity, qgram_similarity, SimilarityKernel,
+        SimilarityOp,
     };
 }
 

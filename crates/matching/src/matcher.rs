@@ -163,6 +163,33 @@ impl Matcher {
         let quality = score(&result.matches, truth);
         (result, quality)
     }
+
+    /// Runs the matcher through an interned [`MatchingEngine`]: similarity
+    /// per distinct value pair, dictionary-level blocking, parallel over
+    /// left groups.  `matches` and `rule_hits` are byte-identical to
+    /// [`Matcher::run`]; `comparisons` counts the (far fewer) tuple-pair
+    /// verifications the engine actually performed.
+    pub fn run_with(
+        &self,
+        engine: &crate::engine::MatchingEngine,
+        d1: &RelationInstance,
+        d2: &RelationInstance,
+    ) -> MatchResult {
+        engine.run(&self.rules, self.use_blocking, d1, d2)
+    }
+
+    /// [`Matcher::run_with`] plus ground-truth scoring.
+    pub fn evaluate_with(
+        &self,
+        engine: &crate::engine::MatchingEngine,
+        d1: &RelationInstance,
+        d2: &RelationInstance,
+        truth: &BTreeSet<(TupleId, TupleId)>,
+    ) -> (MatchResult, MatchQuality) {
+        let result = self.run_with(engine, d1, d2);
+        let quality = score(&result.matches, truth);
+        (result, quality)
+    }
 }
 
 /// Union–find over tuple identities, used to close the matching operator

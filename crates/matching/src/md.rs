@@ -246,6 +246,33 @@ impl MatchingDependency {
     ) -> bool {
         self.violations_with(d1, d2, matches).is_empty()
     }
+
+    /// [`MatchingDependency::violations_with`] through an interned
+    /// [`MatchingEngine`](crate::engine::MatchingEngine): the premise runs
+    /// blocked and parallel over the dictionaries, the conclusion (oracle
+    /// or similarity) is checked only on premise-satisfying pairs.  Output
+    /// is byte-identical — same pairs, same ascending order.
+    pub fn violations_with_pool(
+        &self,
+        d1: &RelationInstance,
+        d2: &RelationInstance,
+        matches: &(dyn Fn(TupleId, TupleId) -> bool + Sync),
+        engine: &crate::engine::MatchingEngine,
+    ) -> Vec<(TupleId, TupleId)> {
+        engine.md_violations(self, d1, d2, matches)
+    }
+
+    /// [`MatchingDependency::holds_with`] through an interned engine.
+    pub fn holds_with_pool(
+        &self,
+        d1: &RelationInstance,
+        d2: &RelationInstance,
+        matches: &(dyn Fn(TupleId, TupleId) -> bool + Sync),
+        engine: &crate::engine::MatchingEngine,
+    ) -> bool {
+        self.violations_with_pool(d1, d2, matches, engine)
+            .is_empty()
+    }
 }
 
 impl fmt::Display for MatchingDependency {

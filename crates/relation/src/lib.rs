@@ -54,7 +54,10 @@ pub mod prelude {
         ValueInterner,
     };
     pub use crate::tuple::Tuple;
-    pub use crate::value::{levenshtein, normalized_levenshtein, value_distance, Value};
+    pub use crate::value::{
+        levenshtein, levenshtein_within, levenshtein_within_scratch, normalized_levenshtein,
+        value_distance, Value,
+    };
 }
 
 pub use prelude::*;

@@ -273,6 +273,68 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
+/// Threshold-bounded Levenshtein: `Some(distance)` when the edit distance
+/// is at most `k`, `None` otherwise.
+///
+/// Equivalent to `levenshtein(a, b) <= k` but exits early: a length
+/// pre-check rejects pairs whose length difference already exceeds `k`,
+/// and the DP only computes the `2k + 1`-wide band around the diagonal
+/// (`D(i, j) >= |i - j|`, so cells outside the band can never come back
+/// under the bound), aborting as soon as a whole band row exceeds `k`.
+pub fn levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_within_scratch(&a, &b, k, &mut Vec::new(), &mut Vec::new())
+}
+
+/// [`levenshtein_within`] over pre-split characters with caller-owned DP
+/// rows, so hot loops (the similarity kernels in `dq-match`) can reuse
+/// their scratch across calls.
+pub fn levenshtein_within_scratch(
+    a: &[char],
+    b: &[char],
+    k: usize,
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > k {
+        return None;
+    }
+    if n == 0 || m == 0 {
+        // The length pre-check above already bounds the distance by `k`.
+        return Some(n.max(m));
+    }
+    // The distance never exceeds max(n, m); clamping `k` keeps the `k + 1`
+    // sentinel away from overflow without changing the answer.
+    let k = k.min(n.max(m));
+    let cap = k + 1;
+    prev.clear();
+    prev.extend((0..=m).map(|j| if j <= k { j } else { cap }));
+    cur.clear();
+    cur.resize(m + 1, cap);
+    for i in 1..=n {
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(m);
+        cur[lo - 1] = if lo == 1 { i.min(cap) } else { cap };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            let del = prev[j] + 1;
+            let ins = cur[j - 1] + 1;
+            let d = sub.min(del).min(ins).min(cap);
+            cur[j] = d;
+            row_min = row_min.min(d);
+        }
+        if row_min >= cap {
+            return None;
+        }
+        std::mem::swap(prev, cur);
+    }
+    let d = prev[m];
+    (d <= k).then_some(d)
+}
+
 /// Levenshtein distance normalized by the longer string length, in `[0, 1]`.
 pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
     let max_len = a.chars().count().max(b.chars().count());
@@ -357,5 +419,78 @@ mod tests {
         let a = Value::str("Snow White");
         let b = Value::str("Snow Whyte");
         assert_eq!(value_distance(&a, &b), value_distance(&b, &a));
+    }
+
+    #[test]
+    fn bounded_levenshtein_known_cases() {
+        assert_eq!(levenshtein_within("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_within("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_within("", "abc", 2), None);
+        assert_eq!(levenshtein_within("", "abc", 3), Some(3));
+        assert_eq!(levenshtein_within("abc", "abc", 0), Some(0));
+        assert_eq!(levenshtein_within("abc", "abd", 0), None);
+        assert_eq!(levenshtein_within("", "", 0), Some(0));
+        assert_eq!(levenshtein_within("a", "b", usize::MAX), Some(1));
+    }
+
+    /// The bounded metric agrees with the unbounded one at every threshold —
+    /// in particular *at* the threshold, where the band is tightest.
+    #[test]
+    fn bounded_levenshtein_equals_unbounded_at_every_threshold() {
+        // Deterministic pseudo-random word list, no external RNG.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let alphabet = ['a', 'b', 'c', 'd', 'é', '界'];
+        let mut words: Vec<String> = vec![String::new(), "a".into(), "ab".into()];
+        for _ in 0..40 {
+            let len = (next() % 12) as usize;
+            words.push(
+                (0..len)
+                    .map(|_| alphabet[(next() % alphabet.len() as u64) as usize])
+                    .collect(),
+            );
+        }
+        for a in &words {
+            for b in &words {
+                let exact = levenshtein(a, b);
+                for k in 0..=(exact + 2) {
+                    let bounded = levenshtein_within(a, b, k);
+                    if exact <= k {
+                        assert_eq!(bounded, Some(exact), "{a:?} vs {b:?} at k={k}");
+                    } else {
+                        assert_eq!(bounded, None, "{a:?} vs {b:?} at k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The scratch variant leaves no state behind that changes later calls.
+    #[test]
+    fn bounded_levenshtein_scratch_is_reusable() {
+        let mut prev = Vec::new();
+        let mut cur = Vec::new();
+        let pairs = [
+            ("kitten", "sitting"),
+            ("", "ab"),
+            ("abc", "abc"),
+            ("xy", "yx"),
+        ];
+        for (a, b) in pairs {
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            for k in 0..6 {
+                assert_eq!(
+                    levenshtein_within_scratch(&ac, &bc, k, &mut prev, &mut cur),
+                    levenshtein_within(a, b, k),
+                    "{a:?} vs {b:?} at k={k}"
+                );
+            }
+        }
     }
 }

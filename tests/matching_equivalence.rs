@@ -1,0 +1,339 @@
+//! Byte-identity of the interned matching engine against the naive paths.
+//!
+//! The engine (`dq_match::engine::MatchingEngine`) promises *exactly* the
+//! results of the naive matcher and MD checker — same `matches`, same
+//! `rule_hits`, same violation vectors (contents and order) — for every
+//! rule shape, backend configuration and thread count, with the single
+//! opt-in exception of the sorted-neighborhood approximate mode.  This
+//! suite pins that promise on generated card/billing workloads.
+
+use dq_gen::cards::{generate_cards, CardConfig, CardWorkload};
+use dq_match::engine::MatchingEngine;
+use dq_match::matcher::{score, Matcher};
+use dq_match::md::{MatchOp, MatchingDependency};
+use dq_match::rck::RelativeKey;
+use dq_match::similarity::SimilarityOp;
+use dq_relation::IndexPool;
+use std::sync::Arc;
+
+const YC: [&str; 5] = ["FN", "LN", "addr", "tel", "email"];
+const YB: [&str; 5] = ["FN", "SN", "post", "phn", "email"];
+
+fn workload(holders: usize, seed: u64) -> CardWorkload {
+    generate_cards(&CardConfig {
+        holders,
+        billing_rate: 0.8,
+        abbreviate_rate: 0.4,
+        phone_change_rate: 0.3,
+        email_change_rate: 0.3,
+        distractors: holders / 5,
+        seed,
+    })
+}
+
+fn engine(threads: usize) -> MatchingEngine {
+    MatchingEngine::new(Arc::new(IndexPool::new())).with_threads(threads)
+}
+
+/// Rule sets covering every premise shape the engine specializes:
+/// eq-joined, length-blocked, q-gram-blocked, exhaustive (Jaro), and mixed.
+fn rule_sets(w: &CardWorkload) -> Vec<(&'static str, Vec<RelativeKey>)> {
+    let key = |comparisons: Vec<(&str, &str, SimilarityOp)>| {
+        RelativeKey::new(w.card.schema(), w.billing.schema(), comparisons, &YC, &YB).unwrap()
+    };
+    vec![
+        (
+            "equality-join",
+            vec![key(vec![
+                ("email", "email", SimilarityOp::Equality),
+                ("addr", "post", SimilarityOp::Equality),
+            ])],
+        ),
+        (
+            "eq-plus-edit",
+            vec![key(vec![
+                ("LN", "SN", SimilarityOp::Equality),
+                ("addr", "post", SimilarityOp::Equality),
+                ("FN", "FN", SimilarityOp::edit(3)),
+            ])],
+        ),
+        (
+            "edit-only",
+            vec![key(vec![("FN", "FN", SimilarityOp::edit(2))])],
+        ),
+        (
+            "normalized-edit-only",
+            vec![key(vec![(
+                "FN",
+                "FN",
+                SimilarityOp::NormalizedEdit {
+                    min_similarity: 0.6,
+                },
+            )])],
+        ),
+        (
+            "qgram-only",
+            vec![key(vec![(
+                "LN",
+                "SN",
+                SimilarityOp::QGram {
+                    q: 2,
+                    min_similarity: 0.5,
+                },
+            )])],
+        ),
+        (
+            "jaro-exhaustive",
+            vec![key(vec![(
+                "FN",
+                "FN",
+                SimilarityOp::Jaro {
+                    min_similarity: 0.85,
+                },
+            )])],
+        ),
+        (
+            "multi-rule",
+            vec![
+                key(vec![
+                    ("email", "email", SimilarityOp::Equality),
+                    ("addr", "post", SimilarityOp::Equality),
+                ]),
+                key(vec![
+                    ("LN", "SN", SimilarityOp::Equality),
+                    ("addr", "post", SimilarityOp::Equality),
+                    ("FN", "FN", SimilarityOp::edit(3)),
+                ]),
+                key(vec![(
+                    "FN",
+                    "FN",
+                    SimilarityOp::JaroWinkler {
+                        min_similarity: 0.9,
+                    },
+                )]),
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn match_results_are_byte_identical_across_backends_and_thread_counts() {
+    for seed in [7, 19] {
+        let w = workload(120, seed);
+        for (label, rules) in rule_sets(&w) {
+            let matcher = Matcher::new(rules);
+            let naive = matcher.run(&w.card, &w.billing);
+            for threads in [1, 2, 3] {
+                let eng = engine(threads);
+                let interned = matcher.run_with(&eng, &w.card, &w.billing);
+                assert_eq!(
+                    naive.matches, interned.matches,
+                    "matches diverged: {label}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    naive.rule_hits, interned.rule_hits,
+                    "rule_hits diverged: {label}, seed {seed}, threads {threads}"
+                );
+                // Quality against the ground truth follows from the match
+                // set, so it is identical too — assert it anyway, since it
+                // is the headline number of `md_matching_quality`.
+                assert_eq!(
+                    score(&naive.matches, &w.truth),
+                    score(&interned.matches, &w.truth),
+                    "quality diverged: {label}, seed {seed}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn disabling_blocking_changes_neither_backend_result() {
+    let w = workload(60, 11);
+    for (label, rules) in rule_sets(&w) {
+        let matcher = Matcher::new(rules).without_blocking();
+        let naive = matcher.run(&w.card, &w.billing);
+        let interned = matcher.run_with(&engine(2), &w.card, &w.billing);
+        assert_eq!(naive.matches, interned.matches, "unblocked: {label}");
+        assert_eq!(naive.rule_hits, interned.rule_hits, "unblocked: {label}");
+    }
+}
+
+#[test]
+fn blocking_never_loses_a_match_the_exhaustive_engine_finds() {
+    // Blocking recall: the lossless generators (eq-join, q-gram, length
+    // windows) must generate every pair the premise relates, so blocked
+    // and unblocked engine runs agree exactly.
+    let w = workload(100, 23);
+    for (label, rules) in rule_sets(&w) {
+        let blocked = Matcher::new(rules.clone());
+        let unblocked = Matcher::new(rules).without_blocking();
+        let eng = engine(2);
+        let with = blocked.run_with(&eng, &w.card, &w.billing);
+        let without = unblocked.run_with(&eng, &w.card, &w.billing);
+        assert_eq!(
+            with.matches, without.matches,
+            "blocking lost or invented matches: {label}"
+        );
+    }
+}
+
+#[test]
+fn md_violations_agree_in_contents_and_order() {
+    let w = workload(60, 31);
+    let md_eq_premise = MatchingDependency::new(
+        w.card.schema(),
+        w.billing.schema(),
+        vec![
+            ("tel", "phn", MatchOp::eq()),
+            ("FN", "FN", MatchOp::edit(3)),
+        ],
+        &["addr"],
+        &["post"],
+        MatchOp::Matching,
+    )
+    .unwrap();
+    let md_metric_premise = MatchingDependency::new(
+        w.card.schema(),
+        w.billing.schema(),
+        vec![(
+            "LN",
+            "SN",
+            MatchOp::Similarity(SimilarityOp::QGram {
+                q: 2,
+                min_similarity: 0.6,
+            }),
+        )],
+        &["email"],
+        &["email"],
+        MatchOp::Similarity(SimilarityOp::edit(5)),
+    )
+    .unwrap();
+    let md_matching_premise = MatchingDependency::new(
+        w.card.schema(),
+        w.billing.schema(),
+        vec![("email", "email", MatchOp::matching())],
+        &["FN", "LN"],
+        &["FN", "SN"],
+        MatchOp::Matching,
+    )
+    .unwrap();
+    let truth = w.truth.clone();
+    let oracle = move |a, b| truth.contains(&(a, b));
+    for (label, md) in [
+        ("eq-premise", &md_eq_premise),
+        ("metric-premise", &md_metric_premise),
+        ("matching-premise", &md_matching_premise),
+    ] {
+        let naive = md.violations_with(&w.card, &w.billing, &oracle);
+        for threads in [1, 3] {
+            let eng = engine(threads);
+            let interned = md.violations_with_pool(&w.card, &w.billing, &oracle, &eng);
+            assert_eq!(
+                naive, interned,
+                "violations diverged: {label}, threads {threads}"
+            );
+            assert_eq!(
+                md.holds_with(&w.card, &w.billing, &oracle),
+                md.holds_with_pool(&w.card, &w.billing, &oracle, &eng),
+                "holds diverged: {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_artifacts_are_reused_across_repeated_runs() {
+    let w = workload(80, 41);
+    let rules = vec![RelativeKey::new(
+        w.card.schema(),
+        w.billing.schema(),
+        vec![("FN", "FN", SimilarityOp::edit(3))],
+        &YC,
+        &YB,
+    )
+    .unwrap()];
+    let eng = engine(2);
+    let matcher = Matcher::new(rules);
+    let first = matcher.run_with(&eng, &w.card, &w.billing);
+    let misses_after_first = eng.stats().cache.misses;
+    let second = matcher.run_with(&eng, &w.card, &w.billing);
+    assert_eq!(first.matches, second.matches);
+    assert_eq!(
+        eng.stats().cache.misses,
+        misses_after_first,
+        "a repeated run must be answered from the memo cache"
+    );
+    assert!(eng.stats().cache.hits > 0);
+}
+
+#[test]
+fn sorted_neighborhood_is_approximate_but_sound() {
+    // The opt-in window pass may miss matches (recall <= 1) but must never
+    // invent one: every reported match also appears in the exact result.
+    let w = workload(80, 53);
+    let rules = vec![RelativeKey::new(
+        w.card.schema(),
+        w.billing.schema(),
+        vec![(
+            "FN",
+            "FN",
+            SimilarityOp::Jaro {
+                min_similarity: 0.8,
+            },
+        )],
+        &YC,
+        &YB,
+    )
+    .unwrap()];
+    let matcher = Matcher::new(rules);
+    let exact = matcher.run_with(&engine(2), &w.card, &w.billing);
+    for window in [1, 4, 16] {
+        let eng = MatchingEngine::new(Arc::new(IndexPool::new()))
+            .with_threads(2)
+            .with_sorted_neighborhood(window);
+        let approx = matcher.run_with(&eng, &w.card, &w.billing);
+        assert!(
+            approx.matches.is_subset(&exact.matches),
+            "window {window} invented matches"
+        );
+    }
+    // A generous window recovers the exact result on this workload.
+    let eng = MatchingEngine::new(Arc::new(IndexPool::new()))
+        .with_threads(2)
+        .with_sorted_neighborhood(10_000);
+    let wide = matcher.run_with(&eng, &w.card, &w.billing);
+    assert_eq!(wide.matches, exact.matches);
+}
+
+#[test]
+fn pooled_rule_learning_is_byte_identical() {
+    use dq_discovery::md_discovery::{
+        learn_relative_keys, learn_relative_keys_with_pool, RuleLearningConfig,
+    };
+    use dq_match::rck::ComparisonSpace;
+    let w = workload(100, 61);
+    let space = vec![
+        ComparisonSpace::new("LN", "SN", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new(
+            "FN",
+            "FN",
+            vec![SimilarityOp::Equality, SimilarityOp::edit(3)],
+        ),
+        ComparisonSpace::new("email", "email", vec![SimilarityOp::Equality]),
+        ComparisonSpace::new("addr", "post", vec![SimilarityOp::Equality]),
+    ];
+    let config = RuleLearningConfig::default();
+    let naive = learn_relative_keys(&w.card, &w.billing, &w.truth, &space, &YC, &YB, &config);
+    let eng = engine(2);
+    let pooled = learn_relative_keys_with_pool(
+        &w.card, &w.billing, &w.truth, &space, &YC, &YB, &config, &eng,
+    );
+    assert_eq!(naive.candidates_evaluated, pooled.candidates_evaluated);
+    assert_eq!(naive.rules.len(), pooled.rules.len());
+    for (a, b) in naive.rules.iter().zip(&pooled.rules) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.quality, b.quality);
+    }
+    assert_eq!(naive.combined, pooled.combined);
+}
