@@ -26,12 +26,26 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("master_pipeline", entities),
             &entities,
-            |b, _| b.iter(|| with_master.run(&workload.dirty).total_changes()),
+            |b, _| {
+                b.iter(|| {
+                    with_master
+                        .run(&workload.dirty)
+                        .expect("consistent rule set")
+                        .total_changes()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("repair_only", entities),
             &entities,
-            |b, _| b.iter(|| repair_only.run(&workload.dirty).total_changes()),
+            |b, _| {
+                b.iter(|| {
+                    repair_only
+                        .run(&workload.dirty)
+                        .expect("consistent rule set")
+                        .total_changes()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("matching_stage_only", entities),

@@ -25,6 +25,7 @@ fn bench(c: &mut Criterion) {
                     &RepairCost::uniform(),
                     &RepairConfig::default(),
                 )
+                .expect("consistent rule set")
                 .log
                 .change_count()
             })
@@ -52,7 +53,8 @@ fn bench(c: &mut Criterion) {
                 &cfds,
                 &RepairCost::uniform(),
                 &RepairConfig::default(),
-            );
+            )
+            .expect("consistent rule set");
             b.iter(|| check_u_repair(&workload.dirty, &outcome.repaired, &cfds))
         });
     }

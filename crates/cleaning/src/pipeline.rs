@@ -9,10 +9,11 @@
 
 use crate::fusion::{fuse_from_master, FusionLog};
 use crate::master::{match_against_master, MasterData};
+use dq_core::analysis::ensure_consistent;
 use dq_core::cfd::Cfd;
 use dq_core::engine::DetectionEngine;
 use dq_match::rck::RelativeKey;
-use dq_relation::RelationInstance;
+use dq_relation::{DqResult, RelationInstance};
 use dq_repair::model::RepairCost;
 use dq_repair::urepair::{repair_cfd_violations_with_engine, RepairConfig};
 
@@ -85,7 +86,12 @@ impl CleaningPipeline {
     /// back-to-back detections over an unchanged instance (the post-repair
     /// check and the final verification) are served from the warm pool
     /// instead of rebuilding.
-    pub fn run(&self, dirty: &RelationInstance) -> CleaningReport {
+    ///
+    /// Refuses an inconsistent CFD set up front with
+    /// [`DqError::InconsistentConstraints`](dq_relation::DqError), carrying
+    /// the minimal conflicting core — no stage runs against rules no
+    /// instance can satisfy.
+    pub fn run(&self, dirty: &RelationInstance) -> DqResult<CleaningReport> {
         self.run_with_engine(dirty, &DetectionEngine::new())
     }
 
@@ -97,7 +103,8 @@ impl CleaningPipeline {
         &self,
         dirty: &RelationInstance,
         engine: &DetectionEngine,
-    ) -> CleaningReport {
+    ) -> DqResult<CleaningReport> {
+        ensure_consistent(&self.cfds)?;
         let mut stages = Vec::new();
         let initial = engine.detect_cfd_violations(dirty, &self.cfds);
         stages.push(StageSummary {
@@ -134,7 +141,7 @@ impl CleaningPipeline {
             &self.cost,
             &self.repair_config,
             engine,
-        );
+        )?;
         let repair_changes = outcome.log.change_count();
         current = outcome.repaired;
         stages.push(StageSummary {
@@ -151,7 +158,7 @@ impl CleaningPipeline {
             changes: 0,
         });
 
-        CleaningReport {
+        Ok(CleaningReport {
             cleaned: current,
             initial_violations: initial.total(),
             remaining_violations,
@@ -161,7 +168,7 @@ impl CleaningPipeline {
             repair_changes,
             consistent: remaining_violations == 0,
             stages,
-        }
+        })
     }
 }
 
@@ -242,7 +249,7 @@ mod tests {
             rules(),
             address_attrs(),
         );
-        let report = pipeline.run(&w.dirty);
+        let report = pipeline.run(&w.dirty).expect("consistent rule set");
         assert!(
             report.consistent,
             "master-backed cleaning must resolve every violation"
@@ -264,8 +271,11 @@ mod tests {
             rules(),
             address_attrs(),
         )
-        .run(&w.dirty);
-        let repair_only = CleaningPipeline::repair_only(paper_cfds()).run(&w.dirty);
+        .run(&w.dirty)
+        .expect("consistent rule set");
+        let repair_only = CleaningPipeline::repair_only(paper_cfds())
+            .run(&w.dirty)
+            .expect("consistent rule set");
         let q_master = score_repair(&w.clean, &w.dirty, &with_master.cleaned);
         let q_repair = score_repair(&w.clean, &w.dirty, &repair_only.cleaned);
         assert!(
@@ -285,7 +295,9 @@ mod tests {
         // The pipeline detects through a shared engine; its reported counts
         // must equal what the naive per-dependency detectors find.
         let w = workload();
-        let report = CleaningPipeline::repair_only(paper_cfds()).run(&w.dirty);
+        let report = CleaningPipeline::repair_only(paper_cfds())
+            .run(&w.dirty)
+            .expect("consistent rule set");
         let naive = dq_core::detect::detect_cfd_violations(&w.dirty, &paper_cfds());
         assert_eq!(report.initial_violations, naive.total());
         let naive_after = dq_core::detect::detect_cfd_violations(&report.cleaned, &paper_cfds());
@@ -297,8 +309,10 @@ mod tests {
         let w = workload();
         let pipeline = CleaningPipeline::repair_only(paper_cfds());
         let engine = DetectionEngine::new();
-        let shared = pipeline.run_with_engine(&w.dirty, &engine);
-        let private = pipeline.run(&w.dirty);
+        let shared = pipeline
+            .run_with_engine(&w.dirty, &engine)
+            .expect("consistent rule set");
+        let private = pipeline.run(&w.dirty).expect("consistent rule set");
         assert_eq!(shared.initial_violations, private.initial_violations);
         assert_eq!(shared.remaining_violations, private.remaining_violations);
         assert_eq!(shared.repair_changes, private.repair_changes);
@@ -306,7 +320,9 @@ mod tests {
         // A second run over the same engine serves the initial detection
         // from the warm pool.
         let misses = engine.pool_stats().misses;
-        let again = pipeline.run_with_engine(&w.dirty, &engine);
+        let again = pipeline
+            .run_with_engine(&w.dirty, &engine)
+            .expect("consistent rule set");
         assert_eq!(again.initial_violations, shared.initial_violations);
         assert!(
             engine.pool_stats().misses > misses,
@@ -328,7 +344,7 @@ mod tests {
             rules(),
             address_attrs(),
         );
-        let report = pipeline.run(&w.dirty);
+        let report = pipeline.run(&w.dirty).expect("consistent rule set");
         assert_eq!(report.initial_violations, 0);
         assert_eq!(report.total_changes(), 0);
         assert!(report.cleaned.same_tuples_as(&w.dirty));
@@ -343,7 +359,7 @@ mod tests {
             rules(),
             address_attrs(),
         );
-        let report = pipeline.run(&w.dirty);
+        let report = pipeline.run(&w.dirty).expect("consistent rule set");
         let violations: Vec<usize> = report.stages.iter().map(|s| s.violations).collect();
         assert!(
             violations.windows(2).all(|w| w[1] <= w[0]),

@@ -1,0 +1,979 @@
+//! The propagation-guided solver behind [`cfd_set_consistent`] and
+//! [`cfd_implies_exact`](crate::implication::cfd_implies_exact).
+//!
+//! Both decision procedures share one shape.  The dependency set is compiled
+//! into a *packed problem*: every constrained attribute position becomes a
+//! slot with a finite candidate list (the whole domain for finite-domain
+//! attributes, the mentioned constants plus fresh values otherwise), the
+//! candidates are interned into a per-slot [`ValueInterner`] so a candidate
+//! is a dense `u32` id, and every normalized rule becomes a handful of
+//! `(slot, id)` literals.  The solve then runs in three layers:
+//!
+//! 1. the sound quadratic first pass — the propagation fixpoint for
+//!    consistency ([`crate::consistency::cfd_set_consistent_propagation`]),
+//!    the pattern closure for implication
+//!    ([`crate::implication::cfd_implies_closure`]) — which *decides* the
+//!    instance outright whenever no finite-domain attribute is involved
+//!    (Theorem 4.3);
+//! 2. a DPLL-style search for the finite-domain residue: unit propagation of
+//!    forced constants, domain pruning (a rule one literal away from firing
+//!    with an impossible conclusion forbids that literal), conflict
+//!    rejection on partial assignments, and most-constrained-slot decision
+//!    ordering;
+//! 3. top-level branch fan-out across the first decision slot's candidates
+//!    via [`parallel_map`], with deterministic first-witness selection: the
+//!    lowest-indexed successful branch wins regardless of completion order,
+//!    and a branch may abort early only once a *strictly earlier* branch has
+//!    succeeded — so verdict *and* witness are identical at any thread
+//!    count (only the node/conflict statistics vary).
+//!
+//! Every witness the search produces is validated against the naive leaf
+//! predicates before it is returned, so a "consistent"/"not implied" verdict
+//! can never disagree with the reference procedures; agreement in the other
+//! direction is property-asserted in `tests/analysis_equivalence.rs`.
+//!
+//! [`cfd_set_consistent`]: crate::consistency::cfd_set_consistent
+
+use crate::cfd::Cfd;
+use crate::consistency::ConsistencyResult;
+use crate::engine::parallel_map;
+use crate::pattern::PatternValue;
+use dq_relation::{RelationSchema, Tuple, Value, ValueId, ValueInterner};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Statistics of one solver run (or of the quadratic fast path that made the
+/// run unnecessary).  Purely informational: verdicts and witnesses are
+/// deterministic at any thread count, the counters are not (aborted branches
+/// stop counting at different points).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Decision nodes explored by the DPLL search.
+    pub nodes: u64,
+    /// Forced assignments and domain prunes made by unit propagation.
+    pub propagations: u64,
+    /// Dead ends rejected on partial assignments.
+    pub conflicts: u64,
+    /// Top-level branches fanned out across the thread pool.
+    pub branches: u64,
+    /// Did the sound quadratic first pass decide the instance by itself?
+    pub fast_path: bool,
+}
+
+impl AnalysisStats {
+    pub(crate) fn absorb(&mut self, other: &AnalysisStats) {
+        self.nodes += other.nodes;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.branches += other.branches;
+    }
+
+    /// Publishes the counters to the process recorder under `analysis.*`.
+    pub(crate) fn publish(&self) {
+        dq_obs::add("analysis.nodes", self.nodes);
+        dq_obs::add("analysis.propagations", self.propagations);
+        dq_obs::add("analysis.conflicts", self.conflicts);
+        dq_obs::add("analysis.branches", self.branches);
+        if self.fast_path {
+            dq_obs::inc("analysis.fast_path");
+        }
+    }
+}
+
+/// Result of an implication check: verdict, a two-tuple counterexample when
+/// the search constructed one, and solver statistics.
+#[derive(Clone, Debug)]
+pub struct ImplicationResult {
+    /// Does `Σ ⊨ ϕ` hold?
+    pub implied: bool,
+    /// A counterexample pair when not implied and the DPLL ran: a (≤ 2)-tuple
+    /// instance satisfying `Σ` and violating `ϕ`.  `None` when the fast path
+    /// already refuted the implication (no witness is materialized there).
+    pub counterexample: Option<(Tuple, Tuple)>,
+    /// Search statistics.
+    pub stats: AnalysisStats,
+}
+
+// ---------------------------------------------------------------------------
+// Packed problem representation
+// ---------------------------------------------------------------------------
+
+/// One solver variable: an attribute position holding one interned candidate.
+struct Slot {
+    attr: usize,
+    /// Candidate dictionary; candidate index == interned id, because the
+    /// candidates are interned in list order.
+    interner: ValueInterner,
+}
+
+impl Slot {
+    fn new(attr: usize, candidates: &[Value]) -> Self {
+        let mut interner = ValueInterner::new();
+        for v in candidates {
+            interner.intern(v);
+        }
+        Slot { attr, interner }
+    }
+
+    fn width(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The interned id of a pattern constant, if it is a candidate.
+    fn id_of(&self, value: &Value) -> Option<u32> {
+        self.interner.lookup(value).map(|id| id.index() as u32)
+    }
+
+    fn value(&self, cand: u32) -> &Value {
+        self.interner.resolve(ValueId(cand))
+    }
+}
+
+/// A normalized constant-RHS rule over packed slot/candidate ids:
+/// `⋀ slot=id  →  rhs_slot=rhs_id`.  (Wildcard-RHS rules are trivially
+/// satisfied by a single fixed tuple and compile away; wildcard LHS entries
+/// constrain nothing on a fixed tuple side.)
+struct PackedRule {
+    lhs: Vec<(usize, u32)>,
+    rhs: (usize, u32),
+}
+
+/// An agreement-carrying rule for the two-tuple implication search: if the
+/// pair agrees on every `agree` slot pair and matches every LHS constant,
+/// the pair must agree on the RHS (and match its constant, if bound).
+struct PairRule {
+    /// `(slot1, slot2)` pairs that must hold equal ids for the rule to fire
+    /// (shared slots compile away — they agree by construction).
+    agree: Vec<(usize, usize)>,
+    /// `(slot, id)` constant literals on the `t1` side (mirrored on `t2` by
+    /// the agreement above, exactly like the naive `pair_ok` closure).
+    consts: Vec<(usize, u32)>,
+    /// RHS slots of the two sides (equal when the RHS attribute is shared).
+    rhs: (usize, usize),
+    /// RHS constant id, if the pattern binds one.
+    rhs_const: Option<u32>,
+}
+
+/// The negated goal of the implication search: the assignment must *violate*
+/// `ϕ`'s normalized part.
+enum Goal {
+    /// Consistency mode: no goal, any satisfying assignment is a witness.
+    None,
+    /// RHS pattern `_`: the two sides must disagree, `slot1 ≠ slot2`.
+    Diseq(usize, usize),
+    /// RHS pattern constant `c`: not both sides may equal `c`.
+    NotBothConst(usize, usize, u32),
+}
+
+struct Problem {
+    slots: Vec<Slot>,
+    rules: Vec<PackedRule>,
+    pair_rules: Vec<PairRule>,
+    goal: Goal,
+}
+
+/// How often a branch polls the shared best-branch index (every 64 nodes).
+const ABORT_POLL_MASK: u64 = 0x3f;
+
+// ---------------------------------------------------------------------------
+// DPLL search
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Search {
+    assign: Vec<Option<u32>>,
+    /// `forbidden[slot][candidate]` — pruned values.
+    forbidden: Vec<Vec<bool>>,
+    /// Unpruned candidates per slot (assignment does not decrement).
+    remaining: Vec<u32>,
+}
+
+enum Outcome {
+    /// Full satisfying assignment found.
+    Sat(Vec<Option<u32>>),
+    /// Subtree exhausted without a satisfying assignment.
+    Unsat,
+    /// Search abandoned because an earlier branch already succeeded.
+    Aborted,
+}
+
+/// Shared early-abort signal for the parallel top-level fan-out: a branch
+/// may abandon its subtree only when a *strictly earlier* branch has already
+/// succeeded, which keeps the selected (minimum-index) witness deterministic
+/// at any thread count.
+struct AbortCheck {
+    best: Option<(usize, Arc<AtomicUsize>)>,
+}
+
+impl AbortCheck {
+    fn none() -> Self {
+        AbortCheck { best: None }
+    }
+
+    fn for_branch(index: usize, best: Arc<AtomicUsize>) -> Self {
+        AbortCheck {
+            best: Some((index, best)),
+        }
+    }
+
+    fn should_abort(&self, nodes: u64) -> bool {
+        match &self.best {
+            Some((index, best)) if nodes & ABORT_POLL_MASK == 0 => {
+                best.load(Ordering::Relaxed) < *index
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Search {
+    fn new(p: &Problem) -> Self {
+        Search {
+            assign: vec![None; p.slots.len()],
+            forbidden: p.slots.iter().map(|s| vec![false; s.width()]).collect(),
+            remaining: p.slots.iter().map(|s| s.width() as u32).collect(),
+        }
+    }
+
+    /// Assigns `slot := cand`; false on an immediate conflict.
+    fn assign(&mut self, slot: usize, cand: u32) -> bool {
+        match self.assign[slot] {
+            Some(v) => v == cand,
+            None => {
+                if self.forbidden[slot][cand as usize] {
+                    return false;
+                }
+                self.assign[slot] = Some(cand);
+                true
+            }
+        }
+    }
+
+    /// Prunes `cand` from `slot`'s domain; false on domain wipeout or when
+    /// the slot is already assigned to `cand`.
+    fn forbid(&mut self, slot: usize, cand: u32) -> bool {
+        if self.assign[slot] == Some(cand) {
+            return false;
+        }
+        if !self.forbidden[slot][cand as usize] {
+            self.forbidden[slot][cand as usize] = true;
+            self.remaining[slot] -= 1;
+            if self.remaining[slot] == 0 && self.assign[slot].is_none() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Is `slot = cand` already ruled out?
+    fn impossible(&self, slot: usize, cand: u32) -> bool {
+        match self.assign[slot] {
+            Some(v) => v != cand,
+            None => self.forbidden[slot][cand as usize],
+        }
+    }
+
+    /// Runs unit propagation to fixpoint.  Returns false on conflict (the
+    /// partial assignment cannot extend to a solution).
+    fn propagate(&mut self, p: &Problem, stats: &mut AnalysisStats) -> bool {
+        loop {
+            let mut changed = false;
+            for rule in &p.rules {
+                if !self.propagate_packed_rule(rule, stats, &mut changed) {
+                    stats.conflicts += 1;
+                    return false;
+                }
+            }
+            for rule in &p.pair_rules {
+                if !self.propagate_pair_rule(rule, stats, &mut changed) {
+                    stats.conflicts += 1;
+                    return false;
+                }
+            }
+            if !self.propagate_goal(&p.goal, stats, &mut changed) {
+                stats.conflicts += 1;
+                return false;
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn propagate_packed_rule(
+        &mut self,
+        rule: &PackedRule,
+        stats: &mut AnalysisStats,
+        changed: &mut bool,
+    ) -> bool {
+        let mut open: Option<(usize, u32)> = None;
+        let mut open_count = 0usize;
+        for &(s, c) in &rule.lhs {
+            if self.impossible(s, c) {
+                return true; // the rule can no longer fire
+            }
+            if self.assign[s].is_none() {
+                open_count += 1;
+                open = Some((s, c));
+            }
+        }
+        let (rs, rc) = rule.rhs;
+        if open_count == 0 {
+            // The rule fires: its RHS constant is forced.
+            if self.assign[rs] == Some(rc) {
+                return true;
+            }
+            if !self.assign(rs, rc) {
+                return false;
+            }
+            stats.propagations += 1;
+            *changed = true;
+        } else if open_count == 1 && self.impossible(rs, rc) {
+            // One literal away from firing an impossible conclusion: that
+            // literal must be false.
+            let (s, c) = open.expect("open literal recorded");
+            if !self.forbid(s, c) {
+                return false;
+            }
+            stats.propagations += 1;
+            *changed = true;
+        }
+        true
+    }
+
+    fn propagate_pair_rule(
+        &mut self,
+        rule: &PairRule,
+        stats: &mut AnalysisStats,
+        changed: &mut bool,
+    ) -> bool {
+        // Propagate only once the rule *definitely* fires: every agreement
+        // pair assigned equal, every constant literal assigned true.
+        for &(s1, s2) in &rule.agree {
+            match (self.assign[s1], self.assign[s2]) {
+                (Some(a), Some(b)) if a == b => {}
+                _ => return true,
+            }
+        }
+        for &(s, c) in &rule.consts {
+            if self.assign[s] != Some(c) {
+                return true;
+            }
+        }
+        let (r1, r2) = rule.rhs;
+        if let Some(rc) = rule.rhs_const {
+            for r in [r1, r2] {
+                if self.assign[r] == Some(rc) {
+                    continue;
+                }
+                if !self.assign(r, rc) {
+                    return false;
+                }
+                stats.propagations += 1;
+                *changed = true;
+            }
+            return true;
+        }
+        // Wildcard RHS: the two sides must agree.
+        match (self.assign[r1], self.assign[r2]) {
+            (Some(a), Some(b)) => a == b,
+            (Some(a), None) => {
+                if !self.assign(r2, a) {
+                    return false;
+                }
+                stats.propagations += 1;
+                *changed = true;
+                true
+            }
+            (None, Some(b)) => {
+                if !self.assign(r1, b) {
+                    return false;
+                }
+                stats.propagations += 1;
+                *changed = true;
+                true
+            }
+            (None, None) => true, // pending equality, settled at full depth
+        }
+    }
+
+    fn propagate_goal(
+        &mut self,
+        goal: &Goal,
+        stats: &mut AnalysisStats,
+        changed: &mut bool,
+    ) -> bool {
+        match *goal {
+            Goal::None => true,
+            Goal::Diseq(s1, s2) => match (self.assign[s1], self.assign[s2]) {
+                (Some(a), Some(b)) => a != b,
+                (Some(a), None) if !self.forbidden[s2][a as usize] => {
+                    if !self.forbid(s2, a) {
+                        return false;
+                    }
+                    stats.propagations += 1;
+                    *changed = true;
+                    true
+                }
+                (None, Some(b)) if !self.forbidden[s1][b as usize] => {
+                    if !self.forbid(s1, b) {
+                        return false;
+                    }
+                    stats.propagations += 1;
+                    *changed = true;
+                    true
+                }
+                _ => true,
+            },
+            Goal::NotBothConst(s1, s2, c) => {
+                if s1 == s2 {
+                    // Shared RHS slot: the single shared value must differ
+                    // from the constant.
+                    if self.assign[s1] == Some(c) {
+                        return false;
+                    }
+                    if self.assign[s1].is_none() && !self.forbidden[s1][c as usize] {
+                        if !self.forbid(s1, c) {
+                            return false;
+                        }
+                        stats.propagations += 1;
+                        *changed = true;
+                    }
+                    return true;
+                }
+                match (self.assign[s1], self.assign[s2]) {
+                    (Some(a), Some(b)) => !(a == c && b == c),
+                    (Some(a), None) if a == c && !self.forbidden[s2][c as usize] => {
+                        if !self.forbid(s2, c) {
+                            return false;
+                        }
+                        stats.propagations += 1;
+                        *changed = true;
+                        true
+                    }
+                    (None, Some(b)) if b == c && !self.forbidden[s1][c as usize] => {
+                        if !self.forbid(s1, c) {
+                            return false;
+                        }
+                        stats.propagations += 1;
+                        *changed = true;
+                        true
+                    }
+                    _ => true,
+                }
+            }
+        }
+    }
+
+    /// The most-constrained unassigned slot (fewest remaining candidates,
+    /// ties broken by lowest slot index), or `None` when fully assigned.
+    fn pick_slot(&self) -> Option<usize> {
+        (0..self.assign.len())
+            .filter(|&s| self.assign[s].is_none())
+            .min_by_key(|&s| (self.remaining[s], s))
+    }
+
+    /// Exhaustive DPLL below the current (already propagated) state.
+    fn solve(&self, p: &Problem, stats: &mut AnalysisStats, abort: &AbortCheck) -> Outcome {
+        stats.nodes += 1;
+        if abort.should_abort(stats.nodes) {
+            return Outcome::Aborted;
+        }
+        let Some(slot) = self.pick_slot() else {
+            return Outcome::Sat(self.assign.clone());
+        };
+        for cand in 0..p.slots[slot].width() as u32 {
+            if self.impossible(slot, cand) {
+                continue;
+            }
+            let mut child = self.clone();
+            child.assign[slot] = Some(cand);
+            if child.propagate(p, stats) {
+                match child.solve(p, stats, abort) {
+                    Outcome::Unsat => {}
+                    decided => return decided,
+                }
+            }
+        }
+        stats.conflicts += 1;
+        Outcome::Unsat
+    }
+}
+
+/// Runs the DPLL search from a seeded, not-yet-propagated root state,
+/// fanning the first decision slot's branches across `threads` workers
+/// (`0` = all cores).  Returns the satisfying assignment of the
+/// lowest-indexed successful branch — deterministic at any thread count —
+/// or `None`, plus merged statistics.
+fn dpll(
+    p: &Problem,
+    mut root: Search,
+    threads: usize,
+) -> (Option<Vec<Option<u32>>>, AnalysisStats) {
+    let mut stats = AnalysisStats::default();
+    // A slot with no candidates at all can never be assigned.
+    if root.remaining.contains(&0) {
+        stats.conflicts += 1;
+        return (None, stats);
+    }
+    if !root.propagate(p, &mut stats) {
+        return (None, stats);
+    }
+    let Some(slot) = root.pick_slot() else {
+        return (Some(root.assign), stats);
+    };
+    let branches: Vec<(usize, u32)> = (0..p.slots[slot].width() as u32)
+        .filter(|&c| !root.impossible(slot, c))
+        .enumerate()
+        .collect();
+    stats.branches = branches.len() as u64;
+    if threads == 1 || branches.len() <= 1 {
+        // Sequential: the first success wins, later branches never run.
+        for &(_, cand) in &branches {
+            let mut child = root.clone();
+            child.assign[slot] = Some(cand);
+            if child.propagate(p, &mut stats) {
+                if let Outcome::Sat(a) = child.solve(p, &mut stats, &AbortCheck::none()) {
+                    return (Some(a), stats);
+                }
+            }
+        }
+        return (None, stats);
+    }
+    let best = Arc::new(AtomicUsize::new(usize::MAX));
+    let results = parallel_map(&branches, threads, |&(i, cand)| {
+        let mut branch_stats = AnalysisStats::default();
+        let mut child = root.clone();
+        child.assign[slot] = Some(cand);
+        let outcome = if child.propagate(p, &mut branch_stats) {
+            child.solve(
+                p,
+                &mut branch_stats,
+                &AbortCheck::for_branch(i, Arc::clone(&best)),
+            )
+        } else {
+            Outcome::Unsat
+        };
+        if matches!(outcome, Outcome::Sat(_)) {
+            best.fetch_min(i, Ordering::Relaxed);
+        }
+        (outcome, branch_stats)
+    });
+    let mut found = None;
+    for (outcome, branch_stats) in results {
+        stats.absorb(&branch_stats);
+        if found.is_none() {
+            if let Outcome::Sat(a) = outcome {
+                found = Some(a);
+            }
+        }
+    }
+    (found, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Consistency
+// ---------------------------------------------------------------------------
+
+/// Compiles the CFD set into a single-tuple packed problem over the pattern
+/// attributes.  Rules whose constants fall outside the candidate dictionary
+/// cannot fire (constants are domain-validated at CFD construction, so this
+/// only prunes degenerate cases) and compile away.
+fn compile_consistency(cfds: &[Cfd], schema: &RelationSchema) -> Problem {
+    let normalized: Vec<Cfd> = cfds.iter().flat_map(|c| c.normalize()).collect();
+    let mentioned = crate::consistency::mentioned_constants(schema, cfds);
+    let attrs = crate::consistency::pattern_attributes(schema, cfds);
+    let mut slot_of = vec![usize::MAX; schema.arity()];
+    let mut slots = Vec::with_capacity(attrs.len());
+    for &a in &attrs {
+        slot_of[a] = slots.len();
+        slots.push(Slot::new(
+            a,
+            &crate::consistency::candidate_values(schema, a, &mentioned[a]),
+        ));
+    }
+    let mut rules = Vec::new();
+    'rule: for cfd in &normalized {
+        let tp = &cfd.tableau()[0];
+        let PatternValue::Const(rhs_const) = &tp.rhs[0] else {
+            continue; // wildcard RHS: any single tuple satisfies it
+        };
+        let rhs_slot = slot_of[cfd.rhs()[0]];
+        let Some(rhs_id) = slots[rhs_slot].id_of(rhs_const) else {
+            continue;
+        };
+        let mut lhs = Vec::new();
+        for (p, &a) in tp.lhs.iter().zip(cfd.lhs()) {
+            if let PatternValue::Const(c) = p {
+                let slot = slot_of[a];
+                match slots[slot].id_of(c) {
+                    Some(id) => lhs.push((slot, id)),
+                    None => continue 'rule, // LHS can never match
+                }
+            }
+        }
+        rules.push(PackedRule {
+            lhs,
+            rhs: (rhs_slot, rhs_id),
+        });
+    }
+    Problem {
+        slots,
+        rules,
+        pair_rules: Vec::new(),
+        goal: Goal::None,
+    }
+}
+
+/// A fresh default value for attribute `a`: unmentioned when the domain has
+/// room, the first domain element otherwise.
+fn backdrop_value(schema: &RelationSchema, a: usize, mentioned: &[Value]) -> Value {
+    schema
+        .domain(a)
+        .fresh_value(mentioned)
+        .unwrap_or_else(|| schema.domain(a).enumerate().expect("finite domain")[0].clone())
+}
+
+/// The solver-backed consistency check: quadratic fixpoint first (decisive
+/// without finite-domain pattern attributes), packed DPLL for the residue.
+/// `threads = 0` uses all cores for the top-level fan-out; the verdict and
+/// witness are identical at any thread count.
+pub fn solve_cfd_consistency(cfds: &[Cfd], threads: usize) -> ConsistencyResult {
+    let _span = dq_obs::span!("analysis.consistency", rules = cfds.len());
+    let Some(first) = cfds.first() else {
+        return ConsistencyResult::trivially_consistent();
+    };
+    let schema = Arc::clone(first.schema());
+
+    // Sound quadratic first pass.
+    let mut stats = AnalysisStats::default();
+    let Some(forced) = crate::consistency::propagation_fixpoint(cfds) else {
+        stats.fast_path = true;
+        stats.publish();
+        return ConsistencyResult::inconsistent().with_stats(stats);
+    };
+    let mentioned = crate::consistency::mentioned_constants(&schema, cfds);
+    let attrs = crate::consistency::pattern_attributes(&schema, cfds);
+    let finite_involved = attrs.iter().any(|&a| schema.domain(a).is_finite());
+    if !finite_involved {
+        // Theorem 4.3: the conflict-free fixpoint is complete, so it *is* a
+        // witness — forced constants where derived, fresh values elsewhere.
+        let values: Vec<Value> = (0..schema.arity())
+            .map(|a| match forced.get(&a) {
+                Some(v) => v.clone(),
+                None => backdrop_value(&schema, a, &mentioned[a]),
+            })
+            .collect();
+        let witness = Tuple::new(values);
+        assert!(
+            crate::consistency::tuple_satisfies(cfds, &witness),
+            "fixpoint witness failed naive validation"
+        );
+        stats.fast_path = true;
+        stats.publish();
+        return ConsistencyResult::consistent_with(witness).with_stats(stats);
+    }
+
+    // Finite-domain residue: packed DPLL over the pattern attributes.
+    let problem = compile_consistency(cfds, &schema);
+    let (assignment, search_stats) = dpll(&problem, Search::new(&problem), threads);
+    stats.absorb(&search_stats);
+    stats.publish();
+    match assignment {
+        Some(assign) => {
+            let mut values: Vec<Value> = (0..schema.arity())
+                .map(|a| backdrop_value(&schema, a, &mentioned[a]))
+                .collect();
+            for (slot, cand) in problem.slots.iter().zip(&assign) {
+                let id = cand.expect("full assignment");
+                values[slot.attr] = slot.value(id).clone();
+            }
+            let witness = Tuple::new(values);
+            // Belt and braces: a solver witness must satisfy the naive leaf
+            // predicate, so a "consistent" verdict can never be wrong.
+            assert!(
+                crate::consistency::tuple_satisfies(cfds, &witness),
+                "solver witness failed naive validation"
+            );
+            ConsistencyResult::consistent_with(witness).with_stats(stats)
+        }
+        None => ConsistencyResult::inconsistent().with_stats(stats),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implication
+// ---------------------------------------------------------------------------
+
+/// Variable layout of the two-tuple counterexample search for one normalized
+/// part of `ϕ`: shared slots for `ϕ`'s LHS attributes (a violating pair
+/// agrees there, so sharing loses no counterexample), per-side slots for
+/// every other attribute mentioned by `Σ` or the part.
+struct PairLayout {
+    /// `slot1[attr]` / `slot2[attr]`: slot seen by `t1` / `t2`, or
+    /// `usize::MAX` when the attribute is not a variable.
+    slot1: Vec<usize>,
+    slot2: Vec<usize>,
+}
+
+/// The packed problem, the attribute→slot layout, and the shared slots
+/// pre-assigned by a part's LHS pattern constants.
+type CompiledPart = (Problem, PairLayout, Vec<(usize, u32)>);
+
+/// Compiles the counterexample search for one normalized part of `ϕ`.
+/// Returns `None` when the part can never be violated (shared-slot RHS, or
+/// a pattern constant outside its candidate set).
+fn compile_implication_part(
+    sigma_normalized: &[Cfd],
+    part: &Cfd,
+    schema: &RelationSchema,
+    mentioned: &[Vec<Value>],
+) -> Option<CompiledPart> {
+    let mut relevant = vec![false; schema.arity()];
+    for cfd in sigma_normalized.iter().chain(std::iter::once(part)) {
+        for &a in cfd.lhs().iter().chain(cfd.rhs()) {
+            relevant[a] = true;
+        }
+    }
+    let mut slots = Vec::new();
+    let mut slot1 = vec![usize::MAX; schema.arity()];
+    let mut slot2 = vec![usize::MAX; schema.arity()];
+    for &a in part.lhs() {
+        slot1[a] = slots.len();
+        slot2[a] = slots.len();
+        slots.push(Slot::new(
+            a,
+            &crate::implication::candidate_values(schema, a, &mentioned[a]),
+        ));
+    }
+    for a in 0..schema.arity() {
+        if relevant[a] && !part.lhs().contains(&a) {
+            let candidates = crate::implication::candidate_values(schema, a, &mentioned[a]);
+            slot1[a] = slots.len();
+            slots.push(Slot::new(a, &candidates));
+            slot2[a] = slots.len();
+            slots.push(Slot::new(a, &candidates));
+        }
+    }
+
+    // Pre-assignments: the shared slots bound by the part's LHS constants.
+    let tp = &part.tableau()[0];
+    let mut preassign: Vec<(usize, u32)> = Vec::new();
+    for (p, &a) in tp.lhs.iter().zip(part.lhs()) {
+        if let PatternValue::Const(c) = p {
+            let slot = slot1[a];
+            let id = slots[slot].id_of(c)?;
+            preassign.push((slot, id));
+        }
+    }
+
+    // Goal: violate the part's RHS on attribute b.
+    let b = part.rhs()[0];
+    let goal = match &tp.rhs[0] {
+        PatternValue::Any => {
+            if slot1[b] == slot2[b] {
+                return None; // shared slot: the pair always agrees on b
+            }
+            Goal::Diseq(slot1[b], slot2[b])
+        }
+        PatternValue::Const(c) => {
+            let id = slots[slot1[b]].id_of(c)?;
+            Goal::NotBothConst(slot1[b], slot2[b], id)
+        }
+    };
+
+    // Σ rules: single-tuple packed rules per side, plus agreement-carrying
+    // pair rules (the two leaf predicates of the naive search).
+    let mut rules = Vec::new();
+    let mut pair_rules = Vec::new();
+    for psi in sigma_normalized {
+        let ptp = &psi.tableau()[0];
+        let rb = psi.rhs()[0];
+        // Single-tuple mode: only constant-RHS rules constrain a fixed side.
+        if let PatternValue::Const(rc) = &ptp.rhs[0] {
+            'side: for side in [&slot1, &slot2] {
+                let rhs_slot = side[rb];
+                let Some(rhs_id) = slots[rhs_slot].id_of(rc) else {
+                    continue;
+                };
+                let mut lhs = Vec::new();
+                for (p, &a) in ptp.lhs.iter().zip(psi.lhs()) {
+                    if let PatternValue::Const(c) = p {
+                        match slots[side[a]].id_of(c) {
+                            Some(id) => lhs.push((side[a], id)),
+                            None => continue 'side,
+                        }
+                    }
+                }
+                rules.push(PackedRule {
+                    lhs,
+                    rhs: (rhs_slot, rhs_id),
+                });
+            }
+        }
+        // Pair mode.
+        let mut agree = Vec::new();
+        let mut consts = Vec::new();
+        let mut dead = false;
+        for (p, &a) in ptp.lhs.iter().zip(psi.lhs()) {
+            if slot1[a] != slot2[a] {
+                agree.push((slot1[a], slot2[a]));
+            }
+            if let PatternValue::Const(c) = p {
+                match slots[slot1[a]].id_of(c) {
+                    Some(id) => consts.push((slot1[a], id)),
+                    None => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            continue;
+        }
+        let rhs_const = match &ptp.rhs[0] {
+            PatternValue::Any => None,
+            PatternValue::Const(c) => match slots[slot1[rb]].id_of(c) {
+                Some(id) => Some(id),
+                None => continue,
+            },
+        };
+        pair_rules.push(PairRule {
+            agree,
+            consts,
+            rhs: (slot1[rb], slot2[rb]),
+            rhs_const,
+        });
+    }
+
+    Some((
+        Problem {
+            slots,
+            rules,
+            pair_rules,
+            goal,
+        },
+        PairLayout { slot1, slot2 },
+        preassign,
+    ))
+}
+
+/// Materializes the two counterexample tuples for a full assignment, using
+/// the same fresh-value backdrop as the naive search for attributes outside
+/// the variable set.
+fn materialize_pair(
+    schema: &RelationSchema,
+    mentioned: &[Vec<Value>],
+    problem: &Problem,
+    layout: &PairLayout,
+    assign: &[Option<u32>],
+) -> (Tuple, Tuple) {
+    let mut t1: Vec<Value> = Vec::with_capacity(schema.arity());
+    let mut t2: Vec<Value> = Vec::with_capacity(schema.arity());
+    for (a, mentioned_a) in mentioned.iter().enumerate() {
+        let candidates = crate::implication::candidate_values(schema, a, mentioned_a);
+        let v1 = candidates.last().cloned().unwrap_or(Value::Null);
+        let v2 = candidates
+            .get(candidates.len().saturating_sub(2))
+            .cloned()
+            .unwrap_or_else(|| v1.clone());
+        t1.push(v1);
+        t2.push(v2);
+    }
+    for a in 0..schema.arity() {
+        for (side, values) in [(&layout.slot1, &mut t1), (&layout.slot2, &mut t2)] {
+            let slot = side[a];
+            if slot != usize::MAX {
+                let id = assign[slot].expect("full assignment");
+                values[a] = problem.slots[slot].value(id).clone();
+            }
+        }
+    }
+    (Tuple::new(t1), Tuple::new(t2))
+}
+
+/// The solver-backed implication check: pattern closure first (decisive when
+/// no involved attribute has a finite domain), packed DPLL counterexample
+/// search for the residue.  `threads = 0` uses all cores; the verdict is
+/// identical at any thread count.
+pub fn solve_cfd_implication(sigma: &[Cfd], phi: &Cfd, threads: usize) -> ImplicationResult {
+    let _span = dq_obs::span!("analysis.implication", rules = sigma.len());
+    let mut stats = AnalysisStats::default();
+
+    // Sound quadratic first pass: a closure success is always trustworthy.
+    if crate::implication::cfd_implies_closure(sigma, phi) {
+        stats.fast_path = true;
+        stats.publish();
+        return ImplicationResult {
+            implied: true,
+            counterexample: None,
+            stats,
+        };
+    }
+    // Completeness scope of the closure (Theorem 4.3): no *involved*
+    // attribute ranges over a finite domain.  (Sharper than a schema-wide
+    // test: a finite-domain attribute no rule mentions cannot change the
+    // verdict.)
+    let schema = Arc::clone(phi.schema());
+    let mut involved = vec![false; schema.arity()];
+    for cfd in sigma.iter().chain(std::iter::once(phi)) {
+        for &a in cfd.lhs().iter().chain(cfd.rhs()) {
+            involved[a] = true;
+        }
+    }
+    let finite_involved = (0..schema.arity()).any(|a| involved[a] && schema.domain(a).is_finite());
+    if !finite_involved {
+        stats.fast_path = true;
+        stats.publish();
+        return ImplicationResult {
+            implied: false,
+            counterexample: None,
+            stats,
+        };
+    }
+
+    // Finite-domain residue: per normalized part, search for a two-tuple
+    // counterexample.
+    let sigma_normalized: Vec<Cfd> = sigma.iter().flat_map(|c| c.normalize()).collect();
+    for part in phi.normalize() {
+        let mentioned = crate::implication::mentioned_constants(&schema, sigma, Some(&part));
+        let Some((problem, layout, preassign)) =
+            compile_implication_part(&sigma_normalized, &part, &schema, &mentioned)
+        else {
+            continue; // this part can never be violated
+        };
+        let mut root = Search::new(&problem);
+        let feasible = !root.remaining.contains(&0)
+            && preassign.iter().all(|&(slot, id)| root.assign(slot, id));
+        if !feasible {
+            continue; // empty candidate set or conflicting constants
+        }
+        let (assignment, search_stats) = dpll(&problem, root, threads);
+        stats.absorb(&search_stats);
+        if let Some(assign) = assignment {
+            let (t1, t2) = materialize_pair(&schema, &mentioned, &problem, &layout, &assign);
+            // Belt and braces: a solver counterexample must pass the naive
+            // leaf predicates, so a "not implied" verdict can never be wrong.
+            assert!(
+                crate::implication::single_tuple_ok(sigma, &t1)
+                    && crate::implication::single_tuple_ok(sigma, &t2)
+                    && crate::implication::pair_ok(sigma, &t1, &t2)
+                    && crate::implication::pair_violates_part(&part, &t1, &t2),
+                "solver counterexample failed naive validation"
+            );
+            stats.publish();
+            return ImplicationResult {
+                implied: false,
+                counterexample: Some((t1, t2)),
+                stats,
+            };
+        }
+    }
+    stats.publish();
+    ImplicationResult {
+        implied: true,
+        counterexample: None,
+        stats,
+    }
+}

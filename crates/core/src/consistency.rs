@@ -8,10 +8,12 @@
 //!
 //! This module implements:
 //!
-//! * [`cfd_set_consistent`] — the exact decision procedure, based on the
-//!   witness-tuple characterization (a CFD set is consistent iff some
-//!   *single-tuple* instance satisfies it) with backtracking over the finite
-//!   candidate value sets;
+//! * [`cfd_set_consistent`] — the exact decision procedure, delegating to the
+//!   propagation-guided solver in [`crate::analysis`] (sound quadratic first
+//!   pass, then a DPLL-style search over packed candidate ids);
+//! * [`cfd_set_consistent_naive`] — the seed's blind backtracking search over
+//!   the witness-tuple characterization, kept as the reference the solver is
+//!   property-asserted against;
 //! * [`cfd_set_consistent_propagation`] — the quadratic fixpoint propagation
 //!   that is sound in general and complete when no pattern attribute ranges
 //!   over a finite domain;
@@ -22,6 +24,7 @@
 //! * [`cfd_cind_consistent_bounded`] — the bounded-chase *heuristic* for CFDs
 //!   and CINDs taken together (the exact problem being undecidable).
 
+use crate::analysis::AnalysisStats;
 use crate::cfd::Cfd;
 use crate::cind::Cind;
 use crate::detect::detect_cfd_violations;
@@ -31,27 +34,73 @@ use dq_relation::{Database, RelationInstance, RelationSchema, Tuple, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Result of a consistency check.
-#[derive(Clone, Debug, PartialEq)]
+/// A satisfying witness produced by a consistency check: a single tuple for
+/// one-relation dependency classes (CFDs, eCFDs), a database for
+/// multi-relation ones (CINDs).
+#[derive(Clone, Debug)]
+pub enum ConsistencyWitness {
+    /// A single tuple whose one-tuple instance satisfies the set.
+    Tuple(Tuple),
+    /// A database satisfying the set (built by the bounded chase).
+    Database(Database),
+}
+
+/// Result of a consistency check — the one result struct shared by every
+/// consistency entry point (CFD, eCFD, CIND): verdict, optional witness, and
+/// the solver statistics that produced it.
+#[derive(Clone, Debug)]
 pub struct ConsistencyResult {
     /// Is the dependency set consistent (satisfiable by a nonempty instance)?
     pub consistent: bool,
-    /// A witness tuple when consistent and a witness was constructed.
-    pub witness: Option<Tuple>,
+    /// A witness when consistent and one was constructed.
+    pub witness: Option<ConsistencyWitness>,
+    /// Search statistics (all zero for the trivial and naive procedures).
+    pub stats: AnalysisStats,
 }
 
 impl ConsistencyResult {
-    fn inconsistent() -> Self {
+    pub(crate) fn inconsistent() -> Self {
         ConsistencyResult {
             consistent: false,
             witness: None,
+            stats: AnalysisStats::default(),
         }
     }
 
-    fn consistent_with(witness: Tuple) -> Self {
+    pub(crate) fn consistent_with(witness: Tuple) -> Self {
         ConsistencyResult {
             consistent: true,
-            witness: Some(witness),
+            witness: Some(ConsistencyWitness::Tuple(witness)),
+            stats: AnalysisStats::default(),
+        }
+    }
+
+    pub(crate) fn trivially_consistent() -> Self {
+        ConsistencyResult {
+            consistent: true,
+            witness: None,
+            stats: AnalysisStats::default(),
+        }
+    }
+
+    pub(crate) fn with_stats(mut self, stats: AnalysisStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The witness tuple, when the witness is a single tuple.
+    pub fn witness_tuple(&self) -> Option<&Tuple> {
+        match &self.witness {
+            Some(ConsistencyWitness::Tuple(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The witness database, when the witness is a database.
+    pub fn witness_database(&self) -> Option<&Database> {
+        match &self.witness {
+            Some(ConsistencyWitness::Database(db)) => Some(db),
+            _ => None,
         }
     }
 }
@@ -59,7 +108,11 @@ impl ConsistencyResult {
 /// Candidate values for attribute `attr` when searching for a witness tuple:
 /// for a finite domain, the whole domain; otherwise the constants mentioned
 /// in the dependencies for that attribute plus one fresh constant.
-fn candidate_values(schema: &RelationSchema, attr: usize, mentioned: &[Value]) -> Vec<Value> {
+pub(crate) fn candidate_values(
+    schema: &RelationSchema,
+    attr: usize,
+    mentioned: &[Value],
+) -> Vec<Value> {
     let domain = schema.domain(attr);
     if let Some(values) = domain.enumerate() {
         return values;
@@ -74,7 +127,7 @@ fn candidate_values(schema: &RelationSchema, attr: usize, mentioned: &[Value]) -
 }
 
 /// Constants mentioned by the (normalized) CFDs, per attribute.
-fn mentioned_constants(schema: &RelationSchema, cfds: &[Cfd]) -> Vec<Vec<Value>> {
+pub(crate) fn mentioned_constants(schema: &RelationSchema, cfds: &[Cfd]) -> Vec<Vec<Value>> {
     let mut mentioned: Vec<Vec<Value>> = vec![Vec::new(); schema.arity()];
     for cfd in cfds {
         for tp in cfd.tableau() {
@@ -94,7 +147,7 @@ fn mentioned_constants(schema: &RelationSchema, cfds: &[Cfd]) -> Vec<Vec<Value>>
 }
 
 /// Attributes that occur in some pattern of the CFD set.
-fn pattern_attributes(schema: &RelationSchema, cfds: &[Cfd]) -> Vec<usize> {
+pub(crate) fn pattern_attributes(schema: &RelationSchema, cfds: &[Cfd]) -> Vec<usize> {
     let mut used = vec![false; schema.arity()];
     for cfd in cfds {
         for &a in cfd.lhs().iter().chain(cfd.rhs()) {
@@ -106,7 +159,7 @@ fn pattern_attributes(schema: &RelationSchema, cfds: &[Cfd]) -> Vec<usize> {
 
 /// Does the single tuple `t` satisfy every CFD of `cfds` (as a one-tuple
 /// instance)?  Only the constant-binding part of the semantics matters.
-fn tuple_satisfies(cfds: &[Cfd], t: &Tuple) -> bool {
+pub(crate) fn tuple_satisfies(cfds: &[Cfd], t: &Tuple) -> bool {
     cfds.iter().all(|cfd| {
         cfd.tableau()
             .iter()
@@ -116,21 +169,33 @@ fn tuple_satisfies(cfds: &[Cfd], t: &Tuple) -> bool {
 
 /// Exact consistency check for a set of CFDs over one relation schema.
 ///
+/// Delegates to the propagation-guided solver of [`crate::analysis`]: the
+/// sound quadratic fixpoint runs first (and is complete without
+/// finite-domain pattern attributes, Theorem 4.3), then a DPLL-style search
+/// over packed candidate ids with unit propagation, partial-assignment
+/// conflict rejection and most-constrained-attribute ordering decides the
+/// finite-domain case.  The verdict is identical to
+/// [`cfd_set_consistent_naive`] on every input (property-asserted in
+/// `tests/analysis_equivalence.rs`); the worst case remains exponential —
+/// the NP-completeness of Theorem 4.1 — but pruning collapses it on real
+/// rule sets.
+pub fn cfd_set_consistent(cfds: &[Cfd]) -> ConsistencyResult {
+    crate::analysis::solver::solve_cfd_consistency(cfds, 0)
+}
+
+/// The seed's exact consistency check: blind backtracking over the witness
+/// candidate sets, testing satisfaction only at full depth.  Kept as the
+/// reference procedure the solver is asserted against.
+///
 /// Uses the witness-tuple characterization: the set is consistent iff there
 /// exists a single tuple satisfying every pattern constraint.  The search
 /// assigns the attributes that occur in the dependencies, drawing from the
 /// finite candidate sets described in Section 4.1 (whole domain for
 /// finite-domain attributes, mentioned constants plus a fresh value
-/// otherwise); the remaining attributes are filled with fresh values.  The
-/// worst case is exponential in the number of constrained finite-domain
-/// attributes — the NP-completeness of Theorem 4.1 — but the backtracking
-/// prunes aggressively on real rule sets.
-pub fn cfd_set_consistent(cfds: &[Cfd]) -> ConsistencyResult {
+/// otherwise); the remaining attributes are filled with fresh values.
+pub fn cfd_set_consistent_naive(cfds: &[Cfd]) -> ConsistencyResult {
     let Some(first) = cfds.first() else {
-        return ConsistencyResult {
-            consistent: true,
-            witness: None,
-        };
+        return ConsistencyResult::trivially_consistent();
     };
     let schema = Arc::clone(first.schema());
     let mentioned = mentioned_constants(&schema, cfds);
@@ -192,9 +257,17 @@ pub fn cfd_set_consistent(cfds: &[Cfd]) -> ConsistencyResult {
 /// forcings; with infinite domains the only unavoidable forcings are the ones
 /// derived here, so a conflict-free fixpoint implies consistency.
 pub fn cfd_set_consistent_propagation(cfds: &[Cfd]) -> bool {
+    propagation_fixpoint(cfds).is_some()
+}
+
+/// The propagation fixpoint underlying [`cfd_set_consistent_propagation`]:
+/// `None` on a forced-constant conflict (the set is inconsistent), otherwise
+/// the map of forced constants — which the solver turns into a witness when
+/// the fixpoint is complete (no finite-domain pattern attribute).
+pub(crate) fn propagation_fixpoint(cfds: &[Cfd]) -> Option<BTreeMap<usize, Value>> {
     let normalized: Vec<Cfd> = cfds.iter().flat_map(|c| c.normalize()).collect();
     let Some(first) = normalized.first() else {
-        return true;
+        return Some(BTreeMap::new());
     };
     let schema = Arc::clone(first.schema());
     let mut forced: BTreeMap<usize, Value> = BTreeMap::new();
@@ -216,7 +289,7 @@ pub fn cfd_set_consistent_propagation(cfds: &[Cfd]) -> bool {
             match &tp.rhs[0] {
                 PatternValue::Any => {}
                 PatternValue::Const(c) => match forced.get(&b) {
-                    Some(existing) if existing != c => return false,
+                    Some(existing) if existing != c => return None,
                     Some(_) => {}
                     None => {
                         // Forcing a constant on a finite domain must stay
@@ -230,7 +303,7 @@ pub fn cfd_set_consistent_propagation(cfds: &[Cfd]) -> bool {
             }
         }
         if !changed {
-            return true;
+            return Some(forced);
         }
     }
 }
@@ -241,10 +314,7 @@ pub fn cfd_set_consistent_propagation(cfds: &[Cfd]) -> bool {
 /// include every mentioned constant plus a fresh value.
 pub fn ecfd_set_consistent(ecfds: &[Ecfd]) -> ConsistencyResult {
     let Some(first) = ecfds.first() else {
-        return ConsistencyResult {
-            consistent: true,
-            witness: None,
-        };
+        return ConsistencyResult::trivially_consistent();
     };
     let schema = Arc::clone(first.schema());
     let mut mentioned: Vec<Vec<Value>> = vec![Vec::new(); schema.arity()];
@@ -317,9 +387,9 @@ pub fn ecfd_set_consistent(ecfds: &[Ecfd]) -> ConsistencyResult {
 /// Consistency of a CIND set.  Per Theorem 4.1 this is O(1): any set of
 /// CINDs is satisfiable by a nonempty database.  For convenience the function
 /// also constructs a small witness database by chasing a single seed tuple.
-pub fn cind_set_consistent(cinds: &[Cind]) -> (bool, Option<Database>) {
+pub fn cind_set_consistent(cinds: &[Cind]) -> ConsistencyResult {
     let Some(first) = cinds.first() else {
-        return (true, None);
+        return ConsistencyResult::trivially_consistent();
     };
     // Seed: one tuple in the LHS relation of the first CIND, with pattern
     // constants where required and fresh values elsewhere, then chase.
@@ -351,7 +421,11 @@ pub fn cind_set_consistent(cinds: &[Cind]) -> (bool, Option<Database>) {
         }
     }
     let satisfied = chase_cinds(&mut db, cinds, 10_000);
-    (true, satisfied.then_some(db))
+    ConsistencyResult {
+        consistent: true,
+        witness: satisfied.then_some(ConsistencyWitness::Database(db)),
+        stats: AnalysisStats::default(),
+    }
 }
 
 /// Applies the CIND chase to `db` until it satisfies every CIND or the step
@@ -425,8 +499,8 @@ pub fn cfd_cind_consistent_bounded(cfds: &[Cfd], cinds: &[Cind], max_steps: usiz
     let mut db = Database::new();
     let schema = Arc::clone(first.schema());
     let mut seed = RelationInstance::new(Arc::clone(&schema));
-    if let Some(w) = cfd_result.witness {
-        seed.insert(w).expect("witness tuple in domains");
+    if let Some(w) = cfd_result.witness_tuple() {
+        seed.insert(w.clone()).expect("witness tuple in domains");
     }
     db.add_relation(seed);
     for cind in cinds {
@@ -496,6 +570,9 @@ mod tests {
         let result = cfd_set_consistent(&example_4_1());
         assert!(!result.consistent);
         assert!(result.witness.is_none());
+        let naive = cfd_set_consistent_naive(&example_4_1());
+        assert!(!naive.consistent);
+        assert!(naive.witness.is_none());
     }
 
     #[test]
@@ -534,8 +611,11 @@ mod tests {
         ];
         let result = cfd_set_consistent(&cfds);
         assert!(result.consistent);
-        let witness = result.witness.unwrap();
-        assert!(tuple_satisfies(&cfds, &witness));
+        let witness = result.witness_tuple().expect("witness tuple");
+        assert!(tuple_satisfies(&cfds, witness));
+        let naive = cfd_set_consistent_naive(&cfds);
+        assert!(naive.consistent);
+        assert!(tuple_satisfies(&cfds, naive.witness_tuple().unwrap()));
         assert!(cfd_set_consistent_propagation(&cfds));
     }
 
@@ -623,8 +703,9 @@ mod tests {
     #[test]
     fn empty_set_is_consistent() {
         assert!(cfd_set_consistent(&[]).consistent);
+        assert!(cfd_set_consistent_naive(&[]).consistent);
         assert!(cfd_set_consistent_propagation(&[]));
-        assert!(cind_set_consistent(&[]).0);
+        assert!(cind_set_consistent(&[]).consistent);
     }
 
     #[test]
@@ -696,10 +777,10 @@ mod tests {
             )],
         )
         .unwrap();
-        let (consistent, witness) = cind_set_consistent(std::slice::from_ref(&cind));
-        assert!(consistent);
-        let db = witness.expect("witness database");
-        assert!(cind.holds_on(&db).unwrap());
+        let result = cind_set_consistent(std::slice::from_ref(&cind));
+        assert!(result.consistent);
+        let db = result.witness_database().expect("witness database");
+        assert!(cind.holds_on(db).unwrap());
     }
 
     #[test]

@@ -151,6 +151,20 @@ impl DetectionEngine {
         CfdViolationReport::from_per_dependency(per_dependency)
     }
 
+    /// Detection over a pre-vetted rule set from
+    /// [`analyze_cfds`](crate::analysis::analyze_cfds): runs
+    /// [`detect_cfd_violations`](Self::detect_cfd_violations) on the
+    /// analyzed (consistency-checked and possibly cover-pruned) rules, so
+    /// callers that vet once can hand the vetted set straight to the engine
+    /// without re-extracting the rule vector.
+    pub fn detect_analyzed_cfd_violations(
+        &self,
+        instance: &RelationInstance,
+        analyzed: &crate::analysis::AnalyzedCfds,
+    ) -> CfdViolationReport {
+        self.detect_cfd_violations(instance, &analyzed.rules)
+    }
+
     /// Incremental detection: violations involving at least one tuple of
     /// `added`, assuming the rest of `instance` was already checked.
     ///

@@ -7,16 +7,17 @@
 //!
 //! We provide:
 //!
-//! * [`cfd_implies_exact`] — a complete decision procedure based on
-//!   searching for a two-tuple counterexample over the finite candidate
-//!   value sets (worst-case exponential, the coNP upper bound made
-//!   concrete);
+//! * [`cfd_implies_exact`] — a complete decision procedure, delegating to
+//!   the propagation-guided counterexample solver in [`crate::analysis`]
+//!   (closure first pass, then DPLL over packed two-tuple assignments);
+//! * [`cfd_implies_exact_naive`] — the seed's blind two-tuple backtracking
+//!   search, kept as the reference the solver is property-asserted against;
 //! * [`cfd_implies_closure`] — the quadratic pattern-closure procedure,
 //!   sound in general and complete in the absence of finite-domain
 //!   attributes;
 //! * [`cind_implies_chase`] — a bounded pattern-aware chase for CIND
 //!   implication (exact for acyclic CIND sets);
-//! * [`cfd_minimal_cover`] — redundancy removal using implication.
+//! * [`cfd_minimal_cover`] — canonical redundancy removal using implication.
 
 use crate::cfd::Cfd;
 use crate::cind::Cind;
@@ -28,7 +29,7 @@ use std::sync::Arc;
 
 /// Collects, per attribute, the constants mentioned by any pattern of
 /// `cfds ∪ {extra}`.
-fn mentioned_constants(
+pub(crate) fn mentioned_constants(
     schema: &RelationSchema,
     cfds: &[Cfd],
     extra: Option<&Cfd>,
@@ -63,7 +64,11 @@ fn mentioned_constants(
 /// finite domain if there is one, otherwise the mentioned constants plus two
 /// fresh values (two, so that the pair of tuples can disagree on the
 /// attribute without touching any pattern constant).
-fn candidate_values(schema: &RelationSchema, attr: usize, mentioned: &[Value]) -> Vec<Value> {
+pub(crate) fn candidate_values(
+    schema: &RelationSchema,
+    attr: usize,
+    mentioned: &[Value],
+) -> Vec<Value> {
     if let Some(values) = schema.domain(attr).enumerate() {
         return values;
     }
@@ -84,10 +89,21 @@ fn candidate_values(schema: &RelationSchema, attr: usize, mentioned: &[Value]) -
 /// `ϕ` involves at most two tuples, and removing every other tuple preserves
 /// satisfaction of `Σ`.
 ///
-/// The search enumerates values for the attributes that occur in `Σ ∪ {ϕ}`
-/// (shared values for `ϕ`'s LHS, independent values elsewhere), drawing from
-/// the candidate sets above, and backtracks on partial assignments.
+/// Delegates to the propagation-guided solver of [`crate::analysis`]: the
+/// sound quadratic closure runs first (complete when no involved attribute
+/// has a finite domain, Theorem 4.3), then a DPLL-style counterexample
+/// search over packed two-tuple assignments decides the finite-domain case.
+/// The verdict is identical to [`cfd_implies_exact_naive`] on every input
+/// (property-asserted in `tests/analysis_equivalence.rs`).
 pub fn cfd_implies_exact(sigma: &[Cfd], phi: &Cfd) -> bool {
+    crate::analysis::solver::solve_cfd_implication(sigma, phi, 0).implied
+}
+
+/// The seed's exact implication check: blind backtracking over the two-tuple
+/// candidate assignments, testing the `Σ`-satisfaction and `ϕ`-violation
+/// closures only at full depth.  Kept as the reference procedure the solver
+/// is asserted against.
+pub fn cfd_implies_exact_naive(sigma: &[Cfd], phi: &Cfd) -> bool {
     let schema = Arc::clone(phi.schema());
     for part in phi.normalize() {
         if !cfd_part_implied_exact(sigma, &part, &schema) {
@@ -97,11 +113,50 @@ pub fn cfd_implies_exact(sigma: &[Cfd], phi: &Cfd) -> bool {
     true
 }
 
+/// Does the single tuple `t` satisfy every CFD of `sigma` as a one-tuple
+/// instance?  (Leaf predicate of the counterexample search, shared with the
+/// solver's witness validation.)
+pub(crate) fn single_tuple_ok(sigma: &[Cfd], t: &Tuple) -> bool {
+    sigma.iter().all(|cfd| {
+        cfd.tableau()
+            .iter()
+            .all(|tp| !tp.lhs_matches(t, cfd.lhs()) || tp.rhs_matches(t, cfd.rhs()))
+    })
+}
+
+/// Does the (unordered) pair satisfy the two-tuple part of every CFD of
+/// `sigma`?
+pub(crate) fn pair_ok(sigma: &[Cfd], t1: &Tuple, t2: &Tuple) -> bool {
+    sigma.iter().all(|cfd| {
+        cfd.tableau().iter().all(|tp| {
+            let agree = t1.agree_on(t2, cfd.lhs());
+            if !agree || !tp.lhs_matches(t1, cfd.lhs()) {
+                return true;
+            }
+            t1.agree_on(t2, cfd.rhs())
+                && tp.rhs_matches(t1, cfd.rhs())
+                && tp.rhs_matches(t2, cfd.rhs())
+        })
+    })
+}
+
+/// Does the pair violate the normalized single-pattern CFD `part`?
+pub(crate) fn pair_violates_part(part: &Cfd, t1: &Tuple, t2: &Tuple) -> bool {
+    debug_assert_eq!(part.tableau().len(), 1);
+    debug_assert_eq!(part.rhs().len(), 1);
+    let tp = &part.tableau()[0];
+    let b = part.rhs()[0];
+    if !tp.lhs_matches(t1, part.lhs()) || !t1.agree_on(t2, part.lhs()) {
+        return false;
+    }
+    let equal = t1.get(b) == t2.get(b);
+    let matches_const = tp.rhs[0].matches(t1.get(b)) && tp.rhs[0].matches(t2.get(b));
+    !(equal && matches_const)
+}
+
 fn cfd_part_implied_exact(sigma: &[Cfd], phi: &Cfd, schema: &Arc<RelationSchema>) -> bool {
     debug_assert_eq!(phi.tableau().len(), 1);
     debug_assert_eq!(phi.rhs().len(), 1);
-    let tp = &phi.tableau()[0];
-    let b = phi.rhs()[0];
     let mentioned = mentioned_constants(schema, sigma, Some(phi));
 
     // Attributes that matter: anything mentioned by sigma or phi.
@@ -148,37 +203,8 @@ fn cfd_part_implied_exact(sigma: &[Cfd], phi: &Cfd, schema: &Arc<RelationSchema>
         t2.push(v2);
     }
 
-    fn single_tuple_ok(sigma: &[Cfd], t: &Tuple) -> bool {
-        sigma.iter().all(|cfd| {
-            cfd.tableau()
-                .iter()
-                .all(|tp| !tp.lhs_matches(t, cfd.lhs()) || tp.rhs_matches(t, cfd.rhs()))
-        })
-    }
-
-    fn pair_ok(sigma: &[Cfd], t1: &Tuple, t2: &Tuple) -> bool {
-        sigma.iter().all(|cfd| {
-            cfd.tableau().iter().all(|tp| {
-                let agree = t1.agree_on(t2, cfd.lhs());
-                if !agree || !tp.lhs_matches(t1, cfd.lhs()) {
-                    return true;
-                }
-                t1.agree_on(t2, cfd.rhs())
-                    && tp.rhs_matches(t1, cfd.rhs())
-                    && tp.rhs_matches(t2, cfd.rhs())
-            })
-        })
-    }
-
     // Does the pair (t1, t2) violate phi?
-    let violates_phi = |t1: &Tuple, t2: &Tuple| {
-        if !tp.lhs_matches(t1, phi.lhs()) || !t1.agree_on(t2, phi.lhs()) {
-            return false;
-        }
-        let equal = t1.get(b) == t2.get(b);
-        let matches_const = tp.rhs[0].matches(t1.get(b)) && tp.rhs[0].matches(t2.get(b));
-        !(equal && matches_const)
-    };
+    let violates_phi = |t1: &Tuple, t2: &Tuple| pair_violates_part(phi, t1, t2);
 
     #[allow(clippy::too_many_arguments)] // recursive backtracking state
     fn search(
@@ -361,24 +387,33 @@ pub fn cfd_implies_closure(sigma: &[Cfd], phi: &Cfd) -> bool {
     true
 }
 
-/// CFD implication with automatic algorithm selection: the quadratic closure
-/// when no finite-domain attribute is involved (where it is complete), the
-/// exact counterexample search otherwise.
+/// CFD implication with automatic algorithm selection.  The selection now
+/// lives inside the solver ([`cfd_implies_exact`]): the quadratic closure
+/// decides every case where it is complete (no involved finite-domain
+/// attribute), the DPLL counterexample search the rest; this function is the
+/// stable front-end name.
 pub fn cfd_implies(sigma: &[Cfd], phi: &Cfd) -> bool {
-    let finite_involved = phi.schema().has_finite_domain_attribute();
-    if finite_involved {
-        cfd_implies_exact(sigma, phi)
-    } else {
-        cfd_implies_closure(sigma, phi)
-    }
+    cfd_implies_exact(sigma, phi)
 }
 
-/// Computes a minimal cover of a CFD set: normalize, then drop every member
-/// implied by the remaining ones.  Since CFDs tend to be much larger than
-/// FDs (pattern tableaux), removing redundant rules directly reduces the
-/// cost of detection and repair (Section 4.1).
+/// Computes a minimal cover of a CFD set: normalize, sort into canonical
+/// order, then drop every member implied by the remaining ones.  Since CFDs
+/// tend to be much larger than FDs (pattern tableaux), removing redundant
+/// rules directly reduces the cost of detection and repair (Section 4.1).
+///
+/// Greedy redundancy removal is input-order-dependent, so the normalized
+/// candidates are first sorted into a documented canonical order —
+/// ascending by (LHS attribute list, RHS attribute list, LHS pattern
+/// entries, RHS pattern entries), with exact duplicates removed — making the
+/// cover a function of the rule *set*, not of the order rules were supplied
+/// in.  Permutation invariance is regression-tested in
+/// `tests/analysis_equivalence.rs`.
 pub fn cfd_minimal_cover(sigma: &[Cfd]) -> Vec<Cfd> {
+    let _span = dq_obs::span!("analysis.cover", rules = sigma.len());
     let mut cover: Vec<Cfd> = sigma.iter().flat_map(|c| c.normalize()).collect();
+    cover.sort_by(canonical_cfd_order);
+    cover.dedup();
+    let normalized = cover.len();
     let mut i = 0;
     while i < cover.len() {
         let candidate = cover[i].clone();
@@ -390,7 +425,22 @@ pub fn cfd_minimal_cover(sigma: &[Cfd]) -> Vec<Cfd> {
             i += 1;
         }
     }
+    dq_obs::add("analysis.cover.dropped", (normalized - cover.len()) as u64);
     cover
+}
+
+/// The canonical order minimal covers are computed in: ascending by LHS
+/// attribute list, then RHS attribute list, then the (single) pattern row's
+/// LHS entries, then its RHS entries.  Total on normalized CFDs over one
+/// schema, so sorting makes the greedy pass deterministic under input
+/// permutation.
+fn canonical_cfd_order(a: &Cfd, b: &Cfd) -> std::cmp::Ordering {
+    (a.lhs(), a.rhs(), &a.tableau()[0].lhs, &a.tableau()[0].rhs).cmp(&(
+        b.lhs(),
+        b.rhs(),
+        &b.tableau()[0].lhs,
+        &b.tableau()[0].rhs,
+    ))
 }
 
 /// Bounded chase-based implication for CINDs: `Σ ⊨ ψ`?

@@ -16,10 +16,14 @@
 //! * [`consistency`] — consistency analysis (Theorem 4.1/4.3, Example 4.1);
 //! * [`implication`] — implication analysis and minimal covers
 //!   (Theorem 4.2/4.3);
+//! * [`analysis`] — the propagation-guided solver behind the exact checks,
+//!   the rule-lint pass, and the vetting entry points pipelines call before
+//!   a rule set drives detection or repair;
 //! * [`axioms`] — finite inference systems (Theorem 4.6);
 //! * [`propagation`] — dependency propagation through SPCU views
 //!   (Theorem 4.7, Example 4.2).
 
+pub mod analysis;
 pub mod axioms;
 pub mod cfd;
 pub mod cind;
@@ -37,12 +41,17 @@ pub mod propagation;
 
 /// Frequently used items.
 pub mod prelude {
+    pub use crate::analysis::{
+        analyze_cfds, ensure_consistent, lint_cfds, AnalysisOptions, AnalysisStats, AnalyzedCfds,
+        ImplicationResult, LintDiagnostic, LintSeverity, RuleLintReport,
+    };
     pub use crate::axioms::{derive_cfds_once, derive_cinds_once, saturate_cfds};
     pub use crate::cfd::{Cfd, CfdViolation};
     pub use crate::cind::{Cind, CindPattern, CindViolation};
     pub use crate::consistency::{
-        cfd_cind_consistent_bounded, cfd_set_consistent, cfd_set_consistent_propagation,
-        cind_set_consistent, ecfd_set_consistent, ConsistencyResult,
+        cfd_cind_consistent_bounded, cfd_set_consistent, cfd_set_consistent_naive,
+        cfd_set_consistent_propagation, cind_set_consistent, ecfd_set_consistent,
+        ConsistencyResult, ConsistencyWitness,
     };
     pub use crate::denial::{DcPredicate, DcTerm, DenialConstraint};
     pub use crate::detect::{
@@ -56,7 +65,8 @@ pub mod prelude {
     };
     pub use crate::fd::{attribute_closure, candidate_keys, fd_implies, minimal_cover, Fd};
     pub use crate::implication::{
-        cfd_implies, cfd_implies_closure, cfd_implies_exact, cfd_minimal_cover, cind_implies_chase,
+        cfd_implies, cfd_implies_closure, cfd_implies_exact, cfd_implies_exact_naive,
+        cfd_minimal_cover, cind_implies_chase,
     };
     pub use crate::ind::{ind_implies, is_acyclic, Ind};
     pub use crate::pattern::{cst, wild, PatternTuple, PatternValue};

@@ -26,6 +26,7 @@ use crate::source::resolve_threads;
 use dq_core::cfd::Cfd;
 use dq_core::engine::parallel_map;
 use dq_core::fd::Fd;
+use dq_core::implication::cfd_minimal_cover;
 use dq_core::pattern::{PatternTuple, PatternValue};
 use dq_relation::{
     Column, FxHashMap, IndexPool, InternedIndex, KeyCodec, ProjectionKey, RelationInstance, Value,
@@ -73,6 +74,13 @@ pub struct CfdDiscoveryConfig {
     /// sequentially.  The mined dependencies are identical at every thread
     /// count.
     pub threads: usize,
+    /// Post-process the mined set with
+    /// [`cfd_minimal_cover`](dq_core::implication::cfd_minimal_cover):
+    /// normalized rules implied by the rest are dropped, so detection and
+    /// repair downstream check fewer, non-redundant dependencies.  The
+    /// number of pruned fragments is reported in
+    /// [`DiscoveredCfds::cover_dropped`].
+    pub minimal_cover: bool,
 }
 
 impl Default for CfdDiscoveryConfig {
@@ -86,6 +94,7 @@ impl Default for CfdDiscoveryConfig {
             exclude: Vec::new(),
             use_interned: true,
             threads: 0,
+            minimal_cover: false,
         }
     }
 }
@@ -107,6 +116,9 @@ pub struct DiscoveredCfds {
     /// [`crate::fd_discovery::DiscoveredFds::level_ms`].  Per-FD tableau mining is not level-shaped and is
     /// reported through the `discover.cfd/tableau` span instead.
     pub level_ms: Vec<f64>,
+    /// Normalized rule fragments pruned by the minimal-cover post-pass
+    /// (`0` unless [`CfdDiscoveryConfig::minimal_cover`] was set).
+    pub cover_dropped: usize,
 }
 
 impl DiscoveredCfds {
@@ -828,12 +840,32 @@ pub fn discover_cfds_with_pool(
     let (constant_cfds, constant_level_ms) =
         discover_constant_cfds_with_pool_timed(instance, config, pool);
     add_level_ms(&mut level_ms, &constant_level_ms);
-    DiscoveredCfds {
+    let mut discovered = DiscoveredCfds {
         variable_cfds,
         constant_cfds,
         candidates_checked,
         level_ms,
+        cover_dropped: 0,
+    };
+
+    // Opt-in static-analysis post-pass: replace the mined set with its
+    // canonical minimal cover, so redundant (implied) fragments never reach
+    // detection or repair.  The cover works on normalized single-pattern
+    // fragments, which are re-classified by shape.
+    if config.minimal_cover {
+        let all = discovered.all();
+        let normalized: usize = all.iter().map(|c| c.normalize().len()).sum();
+        let cover = cfd_minimal_cover(&all);
+        discovered.cover_dropped = normalized.saturating_sub(cover.len());
+        let (constant, variable) = cover.into_iter().partition(Cfd::is_constant);
+        discovered.constant_cfds = constant;
+        discovered.variable_cfds = variable;
+        dq_obs::add(
+            "discover.cfd.cover_dropped",
+            discovered.cover_dropped as u64,
+        );
     }
+    discovered
 }
 
 /// Element-wise sum of per-level timings, growing `total` as needed (the

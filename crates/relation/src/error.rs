@@ -53,6 +53,14 @@ pub enum DqError {
         /// Human readable explanation.
         reason: String,
     },
+    /// A constraint set was rejected by static analysis: no nonempty
+    /// instance can satisfy it, so detection or repair against it would be
+    /// meaningless (repair could never converge).
+    InconsistentConstraints {
+        /// Display forms of a *minimal* conflicting core: dropping any one
+        /// of these rules makes the remainder consistent.
+        core: Vec<String>,
+    },
 }
 
 impl fmt::Display for DqError {
@@ -89,6 +97,13 @@ impl fmt::Display for DqError {
             }
             DqError::MalformedQuery { reason } => write!(f, "malformed query: {reason}"),
             DqError::Parse { reason } => write!(f, "parse error: {reason}"),
+            DqError::InconsistentConstraints { core } => {
+                write!(
+                    f,
+                    "inconsistent constraint set; minimal conflicting core: {}",
+                    core.join(" ; ")
+                )
+            }
         }
     }
 }

@@ -11,9 +11,10 @@
 //! the heuristic trades optimality for termination).
 
 use crate::model::{RepairCost, RepairLog};
+use dq_core::analysis::ensure_consistent;
 use dq_core::engine::DetectionEngine;
 use dq_core::{detect_cfd_violations, Cfd, CfdViolation, PatternValue};
-use dq_relation::{HashIndex, RelationInstance, TupleId, Value};
+use dq_relation::{DqResult, HashIndex, RelationInstance, TupleId, Value};
 use std::collections::BTreeMap;
 
 /// Configuration of the heuristic repair.
@@ -45,12 +46,18 @@ pub struct RepairOutcome {
 
 /// Repairs `instance` against `cfds` by value modification, carrying a
 /// private [`DetectionEngine`] through the fixpoint loop.
+///
+/// Refuses an inconsistent CFD set up front with
+/// [`DqError::InconsistentConstraints`](dq_relation::DqError) carrying a
+/// minimal conflicting core — no repair of a nonempty instance could ever
+/// satisfy such a set, so the fixpoint loop would burn its round budget for
+/// nothing.
 pub fn repair_cfd_violations(
     instance: &RelationInstance,
     cfds: &[Cfd],
     cost: &RepairCost,
     config: &RepairConfig,
-) -> RepairOutcome {
+) -> DqResult<RepairOutcome> {
     repair_cfd_violations_with_engine(instance, cfds, cost, config, &DetectionEngine::new())
 }
 
@@ -67,13 +74,16 @@ pub fn repair_cfd_violations(
 /// check never pays for more than the loop already built.  The outcome —
 /// repaired cells, log order, cost, rounds — is byte-identical to
 /// [`repair_cfd_violations_naive`].
+///
+/// Like [`repair_cfd_violations`], refuses inconsistent rule sets up front.
 pub fn repair_cfd_violations_with_engine(
     instance: &RelationInstance,
     cfds: &[Cfd],
     cost: &RepairCost,
     config: &RepairConfig,
     engine: &DetectionEngine,
-) -> RepairOutcome {
+) -> DqResult<RepairOutcome> {
+    ensure_consistent(cfds)?;
     let _span = dq_obs::span!("repair.urepair", deps = cfds.len());
     let mut repaired = instance.clone();
     let mut log = RepairLog::default();
@@ -192,12 +202,12 @@ pub fn repair_cfd_violations_with_engine(
     }
 
     let consistent = engine.detect_cfd_violations(&repaired, cfds).is_clean();
-    RepairOutcome {
+    Ok(RepairOutcome {
         repaired,
         log,
         consistent,
         rounds,
-    }
+    })
 }
 
 /// The legacy implementation: one fresh `Vec<Value>`-keyed [`HashIndex`]
@@ -422,7 +432,8 @@ mod tests {
             &cfds,
             &RepairCost::uniform(),
             &RepairConfig::default(),
-        );
+        )
+        .expect("consistent rule set");
         assert!(outcome.consistent, "repair did not converge");
         assert!(check_u_repair(&dirty, &outcome.repaired, &cfds));
         assert!(outcome.log.change_count() > 0);
@@ -459,7 +470,8 @@ mod tests {
             &cfds,
             &RepairCost::uniform(),
             &RepairConfig::default(),
-        );
+        )
+        .expect("consistent rule set");
         assert!(outcome.consistent);
         assert_eq!(outcome.log.change_count(), 0);
         assert!(clean.same_tuples_as(&outcome.repaired));
@@ -482,7 +494,8 @@ mod tests {
             std::slice::from_ref(&fd),
             &RepairCost::uniform(),
             &RepairConfig::default(),
-        );
+        )
+        .expect("consistent rule set");
         assert!(outcome.consistent);
         // The minority value is rewritten to the plurality value.
         for (_, t) in outcome.repaired.iter() {
@@ -503,7 +516,8 @@ mod tests {
             &RepairCost::uniform(),
             &RepairConfig::default(),
             &engine,
-        );
+        )
+        .expect("consistent rule set");
         let naive = repair_cfd_violations_naive(
             &dirty,
             &cfds,
@@ -537,9 +551,11 @@ mod tests {
     }
 
     #[test]
-    fn inconsistent_cfd_sets_do_not_loop_forever() {
+    fn inconsistent_cfd_sets_are_refused_up_front() {
         // Two CFDs forcing different constants on the same attribute for the
-        // same tuples: the heuristic cannot succeed but must terminate.
+        // same tuples: no repair can ever satisfy both, so the static
+        // analysis rejects the set before the fixpoint loop starts, naming a
+        // minimal conflicting core.
         let s = Arc::new(RelationSchema::new(
             "r",
             [("A", Domain::Text), ("B", Domain::Text)],
@@ -562,8 +578,15 @@ mod tests {
         inst.insert_values([Value::str("k"), Value::str("p")])
             .unwrap();
         let config = RepairConfig { max_rounds: 5 };
-        let outcome = repair_cfd_violations(&inst, &[c1, c2], &RepairCost::uniform(), &config);
-        assert!(!outcome.consistent);
-        assert!(outcome.rounds <= 5);
+        let err = repair_cfd_violations(&inst, &[c1, c2], &RepairCost::uniform(), &config)
+            .expect_err("inconsistent rule set must be refused");
+        match err {
+            dq_relation::DqError::InconsistentConstraints { core } => {
+                // Both rules are needed for the conflict, so both are in the
+                // minimal core.
+                assert_eq!(core.len(), 2);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
     }
 }

@@ -27,7 +27,8 @@ fn main() {
             &cfds,
             &RepairCost::uniform(),
             &RepairConfig::default(),
-        );
+        )
+        .expect("consistent rule set");
         let quality = score_repair(&workload.clean, &workload.dirty, &outcome.repaired);
         println!(
             "{:>5.0}%  {:>6}   {:>10}  {:>7}  {:>9.3}  {:>6.3}  {:>5.3}",

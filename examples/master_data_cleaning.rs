@@ -55,7 +55,7 @@ fn main() {
         vec![rule],
         fusion_attrs,
     );
-    let report = unified.run(&workload.dirty);
+    let report = unified.run(&workload.dirty).expect("consistent rule set");
     println!("\nunified pipeline:");
     for stage in &report.stages {
         println!(
@@ -70,7 +70,9 @@ fn main() {
         report.ambiguous_matches
     );
 
-    let baseline = CleaningPipeline::repair_only(cfds).run(&workload.dirty);
+    let baseline = CleaningPipeline::repair_only(cfds)
+        .run(&workload.dirty)
+        .expect("consistent rule set");
 
     // ------------------------------------------------------------------
     // 4. Score both against the ground truth.

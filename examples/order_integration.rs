@@ -30,7 +30,7 @@ fn main() {
 
     // CIND sets are always consistent (Theorem 4.1) and implication is
     // analysed by a pattern-aware chase.
-    let (consistent, _witness) = cind_set_consistent(&cinds);
+    let consistent = cind_set_consistent(&cinds).consistent;
     println!("the CIND set is consistent: {consistent}");
 
     // ------------------------------------------------------------------

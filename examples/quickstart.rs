@@ -30,7 +30,8 @@ fn main() {
     // 2. Repair the instance by value modification (Section 5.1).
     // ------------------------------------------------------------------
     let outcome =
-        repair_cfd_violations(&d0, &cfds, &RepairCost::uniform(), &RepairConfig::default());
+        repair_cfd_violations(&d0, &cfds, &RepairCost::uniform(), &RepairConfig::default())
+            .expect("consistent rule set");
     println!(
         "repair: {} cell changes, cost {:.2}, consistent = {}",
         outcome.log.change_count(),

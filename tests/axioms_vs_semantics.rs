@@ -129,9 +129,9 @@ fn consistency_witnesses_validate_against_detection() {
     for _ in 0..30 {
         let sigma: Vec<Cfd> = (0..4).map(|_| random_cfd(&mut rng, &schema)).collect();
         let result = cfd_set_consistent(&sigma);
-        if let Some(witness) = result.witness {
+        if let Some(witness) = result.witness_tuple() {
             let mut inst = dq_relation::RelationInstance::new(Arc::clone(&schema));
-            inst.insert(witness).unwrap();
+            inst.insert(witness.clone()).unwrap();
             assert!(detect_cfd_violations(&inst, &sigma).is_clean());
         }
     }

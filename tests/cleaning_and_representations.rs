@@ -45,8 +45,11 @@ fn unified_cleaning_beats_blind_repair_across_error_rates() {
             master_rules(),
             fusion_attrs(),
         )
-        .run(&w.dirty);
-        let blind = CleaningPipeline::repair_only(paper_cfds()).run(&w.dirty);
+        .run(&w.dirty)
+        .expect("consistent rule set");
+        let blind = CleaningPipeline::repair_only(paper_cfds())
+            .run(&w.dirty)
+            .expect("consistent rule set");
         let q_unified = score_repair(&w.clean, &w.dirty, &unified.cleaned);
         let q_blind = score_repair(&w.clean, &w.dirty, &blind.cleaned);
         assert!(unified.consistent);
@@ -75,8 +78,11 @@ fn pipeline_without_matching_rules_degenerates_to_blind_repair() {
         Vec::new(),
         fusion_attrs(),
     )
-    .run(&w.dirty);
-    let blind = CleaningPipeline::repair_only(paper_cfds()).run(&w.dirty);
+    .run(&w.dirty)
+    .expect("consistent rule set");
+    let blind = CleaningPipeline::repair_only(paper_cfds())
+        .run(&w.dirty)
+        .expect("consistent rule set");
     assert_eq!(no_rules.master_matches, 0);
     assert_eq!(no_rules.fusion_changes, 0);
     assert!(no_rules.cleaned.same_tuples_as(&blind.cleaned));
@@ -194,7 +200,8 @@ fn numeric_repair_composes_with_cfd_repair() {
         std::slice::from_ref(&cfd),
         &RepairCost::uniform(),
         &RepairConfig::default(),
-    );
+    )
+    .expect("consistent rule set");
     assert!(after_cfd.consistent);
     let after_numeric = repair_numeric_violations(
         &after_cfd.repaired,

@@ -186,7 +186,8 @@ proptest! {
         let repair_config = RepairConfig::default();
         let engine = DetectionEngine::new();
         let fast =
-            repair_cfd_violations_with_engine(&workload.dirty, &cfds, &cost, &repair_config, &engine);
+            repair_cfd_violations_with_engine(&workload.dirty, &cfds, &cost, &repair_config, &engine)
+                .expect("mined rule sets hold on the instance, hence consistent");
         let slow = repair_cfd_violations_naive(&workload.dirty, &cfds, &cost, &repair_config);
         prop_assert_eq!(fast.consistent, slow.consistent);
         prop_assert_eq!(fast.rounds, slow.rounds);
@@ -282,9 +283,11 @@ proptest! {
         let repair_config = RepairConfig::default();
         let engine = DetectionEngine::new();
         let first =
-            repair_cfd_violations_with_engine(&workload.dirty, &cfds, &cost, &repair_config, &engine);
+            repair_cfd_violations_with_engine(&workload.dirty, &cfds, &cost, &repair_config, &engine)
+                .expect("mined rule sets hold on the instance, hence consistent");
         let second =
-            repair_cfd_violations_with_engine(&workload.dirty, &cfds, &cost, &repair_config, &engine);
+            repair_cfd_violations_with_engine(&workload.dirty, &cfds, &cost, &repair_config, &engine)
+                .expect("mined rule sets hold on the instance, hence consistent");
         prop_assert_eq!(first.consistent, second.consistent);
         prop_assert_eq!(first.rounds, second.rounds);
         prop_assert_eq!(&first.log.modified, &second.log.modified);

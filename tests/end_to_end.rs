@@ -28,7 +28,8 @@ fn detect_repair_redetect_on_synthetic_customers() {
         &cfds,
         &RepairCost::uniform(),
         &RepairConfig::default(),
-    );
+    )
+    .expect("consistent rule set");
     assert!(outcome.consistent);
     assert!(detect_cfd_violations(&outcome.repaired, &cfds).is_clean());
     assert!(check_u_repair(&workload.dirty, &outcome.repaired, &cfds));

@@ -187,7 +187,8 @@ proptest! {
                 &cfds,
                 &RepairCost::uniform(),
                 &RepairConfig::default(),
-            );
+            )
+            .expect("consistent rule set");
             // The repaired instance renders as its row contents: the
             // derived `Debug` includes `instance_id`, a fresh global
             // counter value per clone, which is an identity, not an

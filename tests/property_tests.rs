@@ -157,7 +157,8 @@ proptest! {
             &cfds,
             &RepairCost::uniform(),
             &RepairConfig::default(),
-        );
+        )
+        .expect("consistent rule set");
         prop_assert!(outcome.consistent);
         prop_assert!(check_u_repair(&instance, &outcome.repaired, &cfds));
         prop_assert_eq!(instance.len(), outcome.repaired.len());
