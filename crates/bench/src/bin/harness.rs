@@ -43,6 +43,18 @@
 //! at 1M tuples; writes `BENCH_analysis.json` (every row asserts the solver
 //! verdict identical to the naive reference); `--smoke` works the same way.
 //!
+//! `--scale-bench` exercises the out-of-core columnar shard path: it
+//! persists the customer workload with `ColumnarStore::save_to` (split so
+//! the second save runs incrementally, spilling dictionary overlays),
+//! re-opens it with `open_mmap`, and asserts CFD detection and FD
+//! discovery over the mapped shards byte-identical to the in-RAM engine —
+//! then streams 10M tuples to disk through `RelationWriter` in 1M-chunk
+//! generations (no full instance is ever materialized) and runs detection
+//! and discovery through the mmap path, recording the peak resident set
+//! (`VmHWM`) per stage into `BENCH_scale.json`; `--smoke` runs the
+//! identity asserts CI-sized (small shards forcing a multi-shard layout)
+//! and writes no artifact.
+//!
 //! `--profile` turns the [`dq_obs`] recorder on.  Combined with a bench
 //! flag it prints a span-tree flame summary per result row and embeds each
 //! row's drained `MetricsSnapshot` into the artifact (`"profile"` field);
@@ -94,6 +106,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--analysis-bench") {
         analysis_bench(smoke, profile);
+        return;
+    }
+    if std::env::args().any(|a| a == "--scale-bench") {
+        scale_bench(smoke, profile);
         return;
     }
     if profile {
@@ -862,6 +878,243 @@ fn delta_bench(smoke: bool, profile: bool) {
     );
     std::fs::write("BENCH_delta.json", &json).expect("write BENCH_delta.json");
     println!("\nwrote BENCH_delta.json");
+}
+
+/// Peak resident set (`VmHWM`) in MiB from `/proc/self/status`, or `0.0`
+/// where that interface doesn't exist.
+fn peak_rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                let rest = line.strip_prefix("VmHWM:")?;
+                rest.trim().strip_suffix("kB")?.trim().parse::<f64>().ok()
+            })
+        })
+        .map(|kib| kib / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// Best-effort reset of the peak-RSS high-water mark (`/proc/self/clear_refs`
+/// code 5) so each stage's ceiling is measured on its own, not inherited
+/// from an earlier, hungrier stage.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Out-of-core columnar shards: persist, mmap-load, and run the engines
+/// through `ShardSource` cursors, asserting byte-identity with the in-RAM
+/// paths and recording per-stage peak resident memory.
+///
+/// Smoke mode shrinks the instance to CI size and the shard size to 1024
+/// rows, so the multi-shard layout, the incremental save (frozen
+/// dictionary segments + overlay spill) and both engines' shard cursors
+/// all execute; no artifact is written.  Full mode asserts identity at 1M
+/// tuples, then streams 10M tuples through [`RelationWriter`] in 1M-chunk
+/// generations — memory stays bounded by one chunk plus the writer's
+/// dictionaries — and runs CFD detection and FD discovery at 10M entirely
+/// through the mmap path, writing `BENCH_scale.json` with a
+/// `peak_rss_mib` ceiling per row.
+fn scale_bench(smoke: bool, profile: bool) {
+    use dq_discovery::prelude::*;
+    use dq_gen::customer::{customer_schema, generate_customers, CustomerConfig};
+    use dq_relation::store::persist::{self, RelationWriter};
+    use dq_relation::store::SHARD_ROWS;
+    use dq_relation::{RelationInstance, ShardSource};
+
+    header("Scale bench — out-of-core columnar shards, mmap vs. in-RAM");
+    let error_rate = 0.05;
+    let cfds = dq_gen::customer::paper_cfds();
+    let engine = DetectionEngine::new();
+    let root = std::env::temp_dir().join(format!("dq_scale_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut rows = Vec::new();
+
+    // Stage 1 — identity: the mmap engines must reproduce the in-RAM
+    // engines byte for byte.  The snapshot is written in two saves so the
+    // second one runs incrementally (frozen dictionary segments plus
+    // overlay spill), covering the append-only write path.
+    let ident_size = if smoke { 20_000 } else { 1_000_000 };
+    let shard_rows = if smoke { 1 << 10 } else { SHARD_ROWS };
+    let dir = root.join("ident");
+    let workload = customer_workload_scaled(ident_size, error_rate);
+    let mut staged = RelationInstance::new(workload.dirty.schema().clone());
+    let split = ident_size * 3 / 4;
+    for (_, tuple) in workload.dirty.iter().take(split) {
+        staged.insert(tuple.clone()).expect("same schema");
+    }
+    let first = staged
+        .columnar()
+        .save_to_with_shard_rows(&staged, &dir, shard_rows)
+        .expect("first save");
+    assert!(!first.incremental, "first save writes from scratch");
+    for (_, tuple) in workload.dirty.iter().skip(split) {
+        staged.insert(tuple.clone()).expect("same schema");
+    }
+    let second = staged
+        .columnar()
+        .save_to_with_shard_rows(&staged, &dir, shard_rows)
+        .expect("incremental save");
+    assert!(
+        second.incremental,
+        "append-only growth must extend the snapshot, not rewrite it"
+    );
+    let (open_ms, mapped) = timed(|| persist::open_mmap(&dir).expect("open mapped relation"));
+    assert!(
+        mapped.len() / shard_rows >= 2,
+        "identity stage must span several shards"
+    );
+
+    let schema = workload.dirty.schema();
+    let fd_cfg = dq_discovery::FdDiscoveryConfig {
+        max_lhs: 2,
+        exclude: vec![schema.attr("phn"), schema.attr("name")],
+        ..Default::default()
+    };
+
+    let (ram_detect_ms, expected_report) = timed(|| engine.detect_cfd_violations(&staged, &cfds));
+    let (mmap_detect_ms, mapped_report) =
+        timed(|| engine.detect_cfd_violations_from_shards(&mapped, &cfds));
+    assert_eq!(
+        mapped_report.per_dependency(),
+        expected_report.per_dependency(),
+        "mmap CFD detection must be byte-identical to the in-RAM engine"
+    );
+    let (ram_fd_ms, expected_fds) = timed(|| discover_fds(&staged, &fd_cfg));
+    let (mmap_fd_ms, mapped_fds) = timed(|| discover_fds_from_shards(&mapped, &fd_cfg));
+    assert_eq!(
+        mapped_fds.fds, expected_fds.fds,
+        "mmap FD discovery must match the in-RAM engine"
+    );
+    assert_eq!(
+        mapped_fds.candidates_checked,
+        expected_fds.candidates_checked
+    );
+    let violations = expected_report.total();
+    println!(
+        "  identity @ {ident_size} (shard_rows {shard_rows}): open {open_ms:.1}ms · \
+         detect in-RAM {ram_detect_ms:.1}ms / mmap {mmap_detect_ms:.1}ms · \
+         discovery in-RAM {ram_fd_ms:.1}ms / mmap {mmap_fd_ms:.1}ms · \
+         {violations} violations, {} FDs — reports identical",
+        expected_fds.fds.len()
+    );
+    let profile_json = profile_field(profile, &format!("scale identity @ {ident_size}"), &[]);
+    rows.push(format!(
+        "    {{\"stage\": \"identity\", \"tuples\": {ident_size}, \"shard_rows\": {shard_rows}, \
+         \"open_ms\": {open_ms:.3}, \"detect_ram_ms\": {ram_detect_ms:.3}, \
+         \"detect_mmap_ms\": {mmap_detect_ms:.3}, \"discover_ram_ms\": {ram_fd_ms:.3}, \
+         \"discover_mmap_ms\": {mmap_fd_ms:.3}, \"violations\": {violations}, \
+         \"fds\": {}, \"disk_bytes\": {}, \"peak_rss_mib\": {:.1}{profile_json}}}",
+        expected_fds.fds.len(),
+        mapped.disk_bytes(),
+        peak_rss_mib()
+    ));
+    drop(mapped);
+    drop(staged);
+    drop(workload);
+
+    if smoke {
+        let _ = std::fs::remove_dir_all(&root);
+        println!(
+            "\nsmoke mode: mmap reports identical to in-RAM on detection and discovery, artifact not written"
+        );
+        return;
+    }
+
+    // Stage 2 — streaming ingest: 10M tuples written through the
+    // RelationWriter in 1M-tuple generated chunks.  No instance holding
+    // more than one chunk ever exists; the writer's memory is its
+    // dictionaries plus one partial shard.
+    let total = 10_000_000usize;
+    let chunk_rows = 1_000_000usize;
+    let scale_dir = root.join("scale");
+    reset_peak_rss();
+    let (ingest_ms, ingested) = timed(|| {
+        let mut writer = RelationWriter::create(&scale_dir, customer_schema(), SHARD_ROWS)
+            .expect("create streaming writer");
+        for chunk in 0..total / chunk_rows {
+            let generated = generate_customers(&CustomerConfig {
+                tuples: chunk_rows,
+                error_rate,
+                seed: 42 + chunk as u64,
+                cities_per_country: (total / 2_000).max(3),
+            });
+            for (_, tuple) in generated.dirty.iter() {
+                writer
+                    .push_row(tuple.values().iter().cloned())
+                    .expect("generated rows are in-domain");
+            }
+        }
+        let stats = writer.finish().expect("finish streamed relation");
+        assert_eq!(stats.rows, total);
+        stats
+    });
+    let ingest_rss = peak_rss_mib();
+    println!(
+        "  ingest    @ {total}: {ingest_ms:.0}ms streaming through RelationWriter, \
+         {} bytes on disk, peak RSS {ingest_rss:.0} MiB",
+        ingested.bytes_written
+    );
+    let profile_json = profile_field(profile, &format!("scale ingest @ {total}"), &[]);
+    rows.push(format!(
+        "    {{\"stage\": \"ingest\", \"tuples\": {total}, \"shard_rows\": {SHARD_ROWS}, \
+         \"ingest_ms\": {ingest_ms:.3}, \"disk_bytes\": {}, \
+         \"peak_rss_mib\": {ingest_rss:.1}{profile_json}}}",
+        ingested.bytes_written
+    ));
+
+    // Stage 3 — detection at 10M through the mmap path only: memory is
+    // bounded by the dictionaries, the shard cursor and the grouped output,
+    // never by a 10M-tuple instance.
+    reset_peak_rss();
+    let (open_ms, mapped) = timed(|| persist::open_mmap(&scale_dir).expect("open 10M relation"));
+    let (detect_ms, report) = timed(|| engine.detect_cfd_violations_from_shards(&mapped, &cfds));
+    let detect_rss = peak_rss_mib();
+    println!(
+        "  detect    @ {total}: open {open_ms:.0}ms, CFD detection {detect_ms:.0}ms, \
+         {} violations, peak RSS {detect_rss:.0} MiB",
+        report.total()
+    );
+    let profile_json = profile_field(profile, &format!("scale detect @ {total}"), &[]);
+    rows.push(format!(
+        "    {{\"stage\": \"detect\", \"tuples\": {total}, \"shard_rows\": {SHARD_ROWS}, \
+         \"open_ms\": {open_ms:.3}, \"detect_mmap_ms\": {detect_ms:.3}, \
+         \"violations\": {}, \"peak_rss_mib\": {detect_rss:.1}{profile_json}}}",
+        report.total()
+    ));
+
+    // Stage 4 — FD discovery at 10M through the mmap path.
+    reset_peak_rss();
+    let (fd_ms, fds) = timed(|| discover_fds_from_shards(&mapped, &fd_cfg));
+    let fd_rss = peak_rss_mib();
+    println!(
+        "  discover  @ {total}: FD discovery {fd_ms:.0}ms, {} FDs over {} candidates, \
+         peak RSS {fd_rss:.0} MiB",
+        fds.fds.len(),
+        fds.candidates_checked
+    );
+    let profile_json = profile_field(profile, &format!("scale discover @ {total}"), &[]);
+    rows.push(format!(
+        "    {{\"stage\": \"discover\", \"tuples\": {total}, \"shard_rows\": {SHARD_ROWS}, \
+         \"discover_mmap_ms\": {fd_ms:.3}, \"fds\": {}, \"candidates_checked\": {}, \
+         \"peak_rss_mib\": {fd_rss:.1}{profile_json}}}",
+        fds.fds.len(),
+        fds.candidates_checked
+    ));
+    drop(mapped);
+    let _ = std::fs::remove_dir_all(&root);
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"out_of_core_columnar_shards\",\n  \
+         \"workload\": \"dq_gen::customer (scaled city pool), error_rate {error_rate}, seeds 42+chunk\",\n  \
+         \"threads\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("\nwrote BENCH_scale.json");
 }
 
 /// Pre-builds every dictionary-encoded column of one relation (columns

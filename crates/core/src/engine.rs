@@ -38,7 +38,7 @@ use crate::ind::Ind;
 use dq_relation::store::FxHashMap;
 use dq_relation::{
     CellChange, Column, ColumnarStore, Database, DqResult, IndexPool, IndexPoolStats,
-    InternedIndex, KeyCodec, ProjectionKey, RelationInstance, TupleId, Value,
+    InternedIndex, KeyCodec, ProjectionKey, RelationInstance, ShardSource, TupleId, Value,
 };
 use std::collections::BTreeSet;
 use std::num::NonZeroUsize;
@@ -231,6 +231,47 @@ impl DetectionEngine {
                 }
                 None => dc.violations(instance),
             }
+        })
+    }
+
+    /// Shard-cursor CFD detection over any [`ShardSource`] — an in-RAM
+    /// snapshot or a memory-mapped on-disk relation.  No pooled index is
+    /// built; each dependency streams the shards, so resident memory stays
+    /// bounded by the dictionaries plus grouping state.  Produces exactly
+    /// [`detect_cfd_violations`](Self::detect_cfd_violations)'s report over
+    /// the same logical relation.
+    pub fn detect_cfd_violations_from_shards(
+        &self,
+        source: &dyn ShardSource,
+        cfds: &[Cfd],
+    ) -> CfdViolationReport {
+        let _span = dq_obs::span!(
+            "detect.cfd.stream",
+            relation = source.schema().name(),
+            deps = cfds.len()
+        );
+        let per_dependency: Vec<Vec<CfdViolation>> = parallel_map(cfds, self.threads, |cfd| {
+            crate::stream::cfd_violations_from_shards(cfd, source)
+        });
+        CfdViolationReport::from_per_dependency(per_dependency)
+    }
+
+    /// Shard-cursor denial-constraint detection over any [`ShardSource`].
+    /// Produces exactly
+    /// [`detect_denial_violations`](Self::detect_denial_violations)'s
+    /// reports over the same logical relation.
+    pub fn detect_denial_violations_from_shards(
+        &self,
+        source: &dyn ShardSource,
+        constraints: &[DenialConstraint],
+    ) -> Vec<Vec<Vec<TupleId>>> {
+        let _span = dq_obs::span!(
+            "detect.denial.stream",
+            relation = source.schema().name(),
+            deps = constraints.len()
+        );
+        parallel_map(constraints, self.threads, |dc| {
+            crate::stream::denial_violations_from_shards(dc, source)
         })
     }
 

@@ -1,0 +1,372 @@
+//! Shard-cursor violation detection.
+//!
+//! The detectors here consume a [`ShardSource`] instead of a
+//! [`RelationInstance`](dq_relation::RelationInstance) + index pair, so the
+//! same pass runs over an in-RAM columnar snapshot *or* a memory-mapped
+//! on-disk relation ([`dq_relation::MappedRelation`]) whose id segments page
+//! in behind the cursor.  Resident memory is bounded by
+//! O(dictionaries + one shard + grouping state + violation output) — no
+//! materialized tuples, no pooled index.
+//!
+//! Both detectors reproduce their indexed counterparts **byte-identically**:
+//! the indexed paths end in `sort_unstable()` to canonicalize hash-order
+//! nondeterminism, and the streamed paths produce the same violation *set*
+//! and apply the same final sort.  The property suites assert the identity
+//! over both backings.
+
+use crate::cfd::{Cfd, CfdViolation};
+use crate::denial::{DcTerm, DenialConstraint};
+use crate::interned::InternedEntry;
+use dq_relation::{Column, FxHashMap, KeyCodec, ProjectionKey, ShardSource, TupleId, Value};
+use std::sync::Arc;
+
+/// Groups row positions by their packed key projection, keeping only groups
+/// of two or more rows (the only ones that can produce pair violations).
+///
+/// Two scans: the first counts keys, the second collects member rows for
+/// keys seen at least twice — so the collection phase allocates nothing for
+/// the (typically dominant) singleton keys.  Member rows are in ascending
+/// row order, matching the CSR group order of an interned index.
+fn multi_groups_streamed(
+    source: &dyn ShardSource,
+    codec: &KeyCodec,
+) -> FxHashMap<ProjectionKey, Vec<u32>> {
+    let mut counts: FxHashMap<ProjectionKey, u32> = FxHashMap::default();
+    for shard in 0..source.shard_count() {
+        for row in source.shard_range(shard) {
+            *counts.entry(codec.pack_row(row)).or_insert(0) += 1;
+        }
+    }
+    let mut groups: FxHashMap<ProjectionKey, Vec<u32>> = FxHashMap::default();
+    for shard in 0..source.shard_count() {
+        for row in source.shard_range(shard) {
+            let key = codec.pack_row(row);
+            if counts.get(&key).copied().unwrap_or(0) >= 2 {
+                groups.entry(key).or_default().push(row as u32);
+            }
+        }
+    }
+    groups
+}
+
+/// All violations of `cfd` over a shard source, in the canonical (sorted)
+/// order of [`Cfd::violations_with_interned`] — the two produce identical
+/// reports over the same logical relation.
+pub fn cfd_violations_from_shards(cfd: &Cfd, source: &dyn ShardSource) -> Vec<CfdViolation> {
+    let lhs_cols: Vec<Arc<Column>> = cfd.lhs().iter().map(|&a| source.column(a)).collect();
+    let rhs_cols: Vec<Arc<Column>> = cfd.rhs().iter().map(|&a| source.column(a)).collect();
+    let interned_tableau: Vec<(Vec<InternedEntry>, Vec<InternedEntry>)> = cfd
+        .tableau()
+        .iter()
+        .map(|tp| {
+            (
+                InternedEntry::of_all(&tp.lhs, &lhs_cols),
+                InternedEntry::of_all(&tp.rhs, &rhs_cols),
+            )
+        })
+        .collect();
+    let mut out = Vec::new();
+    // Pass 1: single-tuple (constant) violations, one sequential sweep of
+    // the shards per pattern with a constant RHS.
+    for (pattern_idx, (tp, (ilhs, irhs))) in cfd.tableau().iter().zip(&interned_tableau).enumerate()
+    {
+        let has_rhs_constant = tp.rhs.iter().any(|p| !p.is_any());
+        if !has_rhs_constant {
+            continue;
+        }
+        if ilhs.iter().any(|e| matches!(e, InternedEntry::Absent)) {
+            continue;
+        }
+        for shard in 0..source.shard_count() {
+            for row in source.shard_range(shard) {
+                if InternedEntry::all_match_row(ilhs, &lhs_cols, row)
+                    && !InternedEntry::all_match_row(irhs, &rhs_cols, row)
+                {
+                    out.push(CfdViolation::SingleTuple {
+                        pattern: pattern_idx,
+                        tuple: source.tuple_id(row),
+                    });
+                }
+            }
+        }
+    }
+    // Pass 2: tuple-pair (variable) violations.  Same partition-by-RHS
+    // strategy as the indexed path, but the X-groups come from a two-scan
+    // count→collect over the shards instead of a CSR index.
+    let lhs_codec = KeyCodec::new(lhs_cols.clone());
+    let rhs_codec = KeyCodec::new(rhs_cols);
+    let groups = multi_groups_streamed(source, &lhs_codec);
+    let mut by_rhs: FxHashMap<ProjectionKey, Vec<TupleId>> = FxHashMap::default();
+    let mut matching_patterns: Vec<usize> = Vec::new();
+    for rows in groups.values() {
+        // Every row of a group shares the LHS key, so matching the first
+        // member row is matching the key (the packed `ProjectionKey` itself
+        // is opaque outside dq-relation).
+        let witness = rows[0] as usize;
+        matching_patterns.clear();
+        matching_patterns.extend(
+            interned_tableau
+                .iter()
+                .enumerate()
+                .filter(|(_, (ilhs, _))| InternedEntry::all_match_row(ilhs, &lhs_cols, witness))
+                .map(|(i, _)| i),
+        );
+        if matching_patterns.is_empty() {
+            continue;
+        }
+        by_rhs.clear();
+        for &row in rows {
+            by_rhs
+                .entry(rhs_codec.pack_row(row as usize))
+                .or_default()
+                .push(source.tuple_id(row as usize));
+        }
+        if by_rhs.len() < 2 {
+            continue; // the whole group agrees on Y
+        }
+        let partitions: Vec<&Vec<TupleId>> = by_rhs.values().collect();
+        for (i, first_part) in partitions.iter().enumerate() {
+            for second_part in &partitions[i + 1..] {
+                for &a in *first_part {
+                    for &b in *second_part {
+                        let (first, second) = if a < b { (a, b) } else { (b, a) };
+                        for &p in &matching_patterns {
+                            out.push(CfdViolation::TuplePair {
+                                pattern: p,
+                                first,
+                                second,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for shard in 0..source.shard_count() {
+        source.release_shard(shard);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Evaluates a [`DcTerm`] for a row assignment, resolving attribute cells
+/// through the column dictionaries (value semantics are preserved exactly:
+/// `resolve(id_at(row))` *is* the cell's [`Value`]).
+#[inline]
+fn term_value<'a>(term: &'a DcTerm, cols: &'a [Arc<Column>], rows: &[usize]) -> &'a Value {
+    match term {
+        DcTerm::Attr { var, attr } => cols[*attr]
+            .interner()
+            .resolve(cols[*attr].id_at(rows[*var])),
+        DcTerm::Const(v) => v,
+    }
+}
+
+/// Does `dc`'s conjunction hold for the row assignment `rows` (one row
+/// position per tuple variable)?
+#[inline]
+fn predicates_hold(dc: &DenialConstraint, cols: &[Arc<Column>], rows: &[usize]) -> bool {
+    dc.predicates.iter().all(|p| {
+        p.op.eval(
+            term_value(&p.left, cols, rows),
+            term_value(&p.right, cols, rows),
+        )
+    })
+}
+
+/// All violations of `dc` over a shard source.
+///
+/// Produces exactly the report of
+/// [`DenialConstraint::violations_with_interned_index`] when the constraint
+/// is pair-partitionable, and of [`DenialConstraint::violations`] otherwise
+/// — including the latter's ordered-pair convention for asymmetric
+/// predicates (only the evaluation order whose first tuple id is smaller is
+/// reported).
+pub fn denial_violations_from_shards(
+    dc: &DenialConstraint,
+    source: &dyn ShardSource,
+) -> Vec<Vec<TupleId>> {
+    let arity = source.schema().arity();
+    let cols: Vec<Arc<Column>> = (0..arity).map(|a| source.column(a)).collect();
+    let mut out: Vec<Vec<TupleId>> = Vec::new();
+    match dc.vars {
+        0 => {}
+        1 => {
+            // Single-variable: one sequential sweep; ascending row order is
+            // ascending tuple-id order, matching the instance-iteration path.
+            for shard in 0..source.shard_count() {
+                for row in source.shard_range(shard) {
+                    if predicates_hold(dc, &cols, &[row]) {
+                        out.push(vec![source.tuple_id(row)]);
+                    }
+                }
+            }
+        }
+        2 => {
+            if let Some(attrs) = dc.pair_partition_attrs() {
+                // Partitionable: candidate pairs agree on `attrs`, so group
+                // on those columns and enumerate i<j pairs per group —
+                // exactly the interned-index strategy.
+                let codec = KeyCodec::new(attrs.iter().map(|&a| Arc::clone(&cols[a])).collect());
+                let groups = multi_groups_streamed(source, &codec);
+                for rows in groups.values() {
+                    for (i, &r1) in rows.iter().enumerate() {
+                        for &r2 in &rows[i + 1..] {
+                            if predicates_hold(dc, &cols, &[r1 as usize, r2 as usize]) {
+                                out.push(vec![
+                                    source.tuple_id(r1 as usize),
+                                    source.tuple_id(r2 as usize),
+                                ]);
+                            }
+                        }
+                    }
+                }
+                out.sort_unstable();
+            } else {
+                // General two-variable constraints need every ordered pair;
+                // mirror `DenialConstraint::violations` exactly, including
+                // reporting only the orientation whose first id is smaller.
+                let n = source.len();
+                for i in 0..n {
+                    for j in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        let (id1, id2) = (source.tuple_id(i), source.tuple_id(j));
+                        if id1 < id2 && predicates_hold(dc, &cols, &[i, j]) {
+                            out.push(vec![id1, id2]);
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    for shard in 0..source.shard_count() {
+        source.release_shard(shard);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{cst, wild, PatternTuple};
+    use dq_relation::{CompOp, Value};
+    use dq_relation::{Domain, RelationInstance, RelationSchema, StoreShardSource};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::new(
+            "cust",
+            [
+                ("cc", Domain::Int),
+                ("ac", Domain::Int),
+                ("city", Domain::Text),
+                ("zip", Domain::Text),
+            ],
+        ))
+    }
+
+    fn instance(rows: usize) -> RelationInstance {
+        let schema = schema();
+        let mut inst = RelationInstance::new(schema);
+        for i in 0..rows {
+            inst.insert(
+                vec![
+                    Value::from(44i64 - (i % 3) as i64),
+                    Value::from((i % 7) as i64),
+                    Value::from(format!("city{}", i % 5)),
+                    Value::from(format!("zip{}", i % 11)),
+                ]
+                .into(),
+            )
+            .unwrap();
+        }
+        inst
+    }
+
+    fn cfd() -> Cfd {
+        Cfd::new(
+            &schema(),
+            &["cc", "ac"],
+            &["city"],
+            vec![
+                PatternTuple::new(vec![cst(44i64), wild()], vec![wild()]),
+                PatternTuple::new(vec![cst(43i64), cst(2i64)], vec![cst("city0")]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streamed_cfd_matches_interned() {
+        let inst = instance(500);
+        let cfd = cfd();
+        let expected = cfd.violations(&inst);
+        let source = StoreShardSource::new(&inst);
+        let got = cfd_violations_from_shards(&cfd, &source);
+        assert_eq!(got, expected);
+        assert!(!got.is_empty(), "fixture should actually violate");
+    }
+
+    #[test]
+    fn streamed_denial_matches_reference_partitionable() {
+        let inst = instance(400);
+        // FD-shaped: t1[ac]=t2[ac] ∧ t1[city]≠t2[city].
+        let dc = DenialConstraint::new(
+            "cust",
+            2,
+            vec![
+                crate::denial::DcPredicate::new(DcTerm::attr(0, 1), CompOp::Eq, DcTerm::attr(1, 1)),
+                crate::denial::DcPredicate::new(DcTerm::attr(0, 2), CompOp::Ne, DcTerm::attr(1, 2)),
+            ],
+        );
+        assert!(dc.pair_partition_attrs().is_some());
+        let mut expected = dc.violations(&inst);
+        expected.sort_unstable();
+        let source = StoreShardSource::new(&inst);
+        let got = denial_violations_from_shards(&dc, &source);
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn streamed_denial_matches_reference_general() {
+        let inst = instance(60);
+        // Asymmetric, non-partitionable: t1[ac] < t2[ac] ∧ t1[cc] > t2[cc].
+        let dc = DenialConstraint::new(
+            "cust",
+            2,
+            vec![
+                crate::denial::DcPredicate::new(DcTerm::attr(0, 1), CompOp::Lt, DcTerm::attr(1, 1)),
+                crate::denial::DcPredicate::new(DcTerm::attr(0, 0), CompOp::Gt, DcTerm::attr(1, 0)),
+            ],
+        );
+        assert!(dc.pair_partition_attrs().is_none());
+        let expected = dc.violations(&inst);
+        let source = StoreShardSource::new(&inst);
+        let got = denial_violations_from_shards(&dc, &source);
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn streamed_denial_single_var() {
+        let inst = instance(100);
+        let dc = DenialConstraint::new(
+            "cust",
+            1,
+            vec![crate::denial::DcPredicate::new(
+                DcTerm::attr(0, 0),
+                CompOp::Eq,
+                DcTerm::val(43i64),
+            )],
+        );
+        let expected = dc.violations(&inst);
+        let source = StoreShardSource::new(&inst);
+        let got = denial_violations_from_shards(&dc, &source);
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+}

@@ -649,6 +649,26 @@ pub fn discover_tableau_for_fd_with_pool(
     config: &CfdDiscoveryConfig,
     pool: &Arc<IndexPool>,
 ) -> Option<Cfd> {
+    discover_tableau_for_fd_with_pool_threads(
+        instance,
+        fd,
+        config,
+        pool,
+        resolve_threads(config.threads),
+    )
+}
+
+/// [`discover_tableau_for_fd_with_pool`] with an explicit worker budget for
+/// the per-condition-set fan-out, so an outer per-FD fan-out can hand each
+/// mine a slice of the pool instead of letting every mine claim the whole
+/// machine (nesting up to `threads²` scoped workers).
+fn discover_tableau_for_fd_with_pool_threads(
+    instance: &RelationInstance,
+    fd: &Fd,
+    config: &CfdDiscoveryConfig,
+    pool: &Arc<IndexPool>,
+    threads: usize,
+) -> Option<Cfd> {
     let _span = dq_obs::span("tableau");
     let schema = instance.schema().clone();
     let lhs = fd.lhs().to_vec();
@@ -658,7 +678,6 @@ pub fn discover_tableau_for_fd_with_pool(
     } else {
         TableauMiner::naive(instance, fd)
     };
-    let threads = resolve_threads(config.threads);
     let mut accepted: Vec<PatternTuple> = Vec::new();
 
     /// One validated pattern candidate, produced by a per-condition-set
@@ -809,26 +828,55 @@ pub fn discover_cfds_with_pool(
     );
     candidates_checked += approx.candidates_checked;
     add_level_ms(&mut level_ms, &approx.level_ms);
-    for fd in &approx.fds {
-        let exact_already = exact
-            .fds
-            .iter()
-            .any(|e| e.lhs() == fd.lhs() && e.rhs() == fd.rhs());
-        if exact_already {
-            continue;
-        }
+    // The per-FD tableau mines are independent — each conditions its own
+    // embedded FD against the frozen exact set — so they fan out across the
+    // pool.  Each worker gets an inner budget of the thread pool for its
+    // per-condition-set fan-out, keeping the total scoped-worker count at
+    // `threads` instead of `threads²`.  `parallel_map` preserves input
+    // order, so the mined CFDs and `candidates_checked` are byte-identical
+    // to the sequential loop at any thread count.
+    let tableau_fds: Vec<&dq_core::fd::Fd> = approx
+        .fds
+        .iter()
+        .filter(|fd| {
+            !exact
+                .fds
+                .iter()
+                .any(|e| e.lhs() == fd.lhs() && e.rhs() == fd.rhs())
+        })
+        .collect();
+    let threads = resolve_threads(config.threads);
+    let outer = threads.min(tableau_fds.len()).max(1);
+    let inner = (threads / outer).max(1);
+    struct FdOutcome {
+        checked: bool,
+        cfd: Option<Cfd>,
+    }
+    let outcomes: Vec<FdOutcome> = parallel_map(&tableau_fds, threads, |fd| {
         // Only condition on FDs that genuinely fail globally.
         let fd_g3 = if config.use_interned {
-            let index = pool.interned_for(instance, fd.lhs(), resolve_threads(config.threads));
+            let index = pool.interned_for(instance, fd.lhs(), 1);
             g3_error_interned(&index, instance, fd.rhs())
         } else {
             g3_error(instance, fd.lhs(), fd.rhs())
         };
         if fd_g3 == 0.0 {
+            return FdOutcome {
+                checked: false,
+                cfd: None,
+            };
+        }
+        FdOutcome {
+            checked: true,
+            cfd: discover_tableau_for_fd_with_pool_threads(instance, fd, config, pool, inner),
+        }
+    });
+    for outcome in outcomes {
+        if !outcome.checked {
             continue;
         }
         candidates_checked += 1;
-        if let Some(cfd) = discover_tableau_for_fd_with_pool(instance, fd, config, pool) {
+        if let Some(cfd) = outcome.cfd {
             // A tableau consisting solely of the all-wildcard pattern adds
             // nothing beyond the (failing) traditional FD.
             if !cfd.tableau().iter().all(PatternTuple::is_all_wildcards) {

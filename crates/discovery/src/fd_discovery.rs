@@ -22,7 +22,7 @@
 use crate::source::{resolve_threads, PartitionSource};
 use dq_core::engine::parallel_map;
 use dq_core::fd::Fd;
-use dq_relation::{IndexPool, RelationInstance};
+use dq_relation::{IndexPool, RelationInstance, RelationSchema, ShardSource};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -107,7 +107,34 @@ pub fn discover_fds_with_pool(
     } else {
         PartitionSource::naive(instance)
     };
-    let schema = instance.schema().clone();
+    level_sweep(&source, instance.schema(), config, threads)
+}
+
+/// [`discover_fds`] over a shard source — an in-RAM snapshot or a
+/// memory-mapped on-disk relation.  Single-attribute partitions and `g3`
+/// tallies come from sequential shard scans; the lattice walk, pruning
+/// rules and per-level fan-out are the same code as the instance path, so
+/// the discovered FDs and candidate counts are byte-identical to
+/// [`discover_fds`] over the same logical relation.  `use_interned` is
+/// ignored (there is no row store to fall back to).
+pub fn discover_fds_from_shards(
+    shards: &dyn ShardSource,
+    config: &FdDiscoveryConfig,
+) -> DiscoveredFds {
+    let _span = dq_obs::span!("discover.fd.stream", arity = shards.schema().arity());
+    let threads = resolve_threads(config.threads);
+    let source = PartitionSource::from_shards(shards, threads);
+    level_sweep(&source, shards.schema(), config, threads)
+}
+
+/// The level-wise lattice walk shared by every backend.
+fn level_sweep(
+    source: &PartitionSource<'_>,
+    schema: &Arc<RelationSchema>,
+    config: &FdDiscoveryConfig,
+    threads: usize,
+) -> DiscoveredFds {
+    let schema = schema.clone();
     let arity = schema.arity();
     let attrs: Vec<usize> = (0..arity).filter(|a| !config.exclude.contains(a)).collect();
 
@@ -379,6 +406,32 @@ mod tests {
                     assert_eq!(parallel.candidates_checked, sequential.candidates_checked);
                     assert_eq!(parallel.partitions_built, sequential.partitions_built);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_source_discovery_matches_instance_discovery() {
+        let inst = instance(&[
+            ("x", "p", "1"),
+            ("x", "p", "2"),
+            ("y", "p", "3"),
+            ("y", "q", "3"),
+            ("z", "q", "4"),
+            ("z", "q", "4"),
+        ]);
+        for max_g3 in [0.0, 0.2] {
+            let config = |threads| FdDiscoveryConfig {
+                threads,
+                max_g3,
+                ..FdDiscoveryConfig::default()
+            };
+            let reference = discover_fds(&inst, &config(1));
+            let source = dq_relation::StoreShardSource::new(&inst);
+            for threads in [1, 2, 8] {
+                let streamed = discover_fds_from_shards(&source, &config(threads));
+                assert_eq!(streamed.fds, reference.fds, "threads {threads}");
+                assert_eq!(streamed.candidates_checked, reference.candidates_checked);
             }
         }
     }

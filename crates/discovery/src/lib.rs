@@ -48,7 +48,8 @@ pub mod prelude {
         discover_tableau_for_fd_with_pool, CfdDiscoveryConfig, DiscoveredCfds,
     };
     pub use crate::fd_discovery::{
-        discover_fds, discover_fds_with_pool, DiscoveredFds, FdDiscoveryConfig,
+        discover_fds, discover_fds_from_shards, discover_fds_with_pool, DiscoveredFds,
+        FdDiscoveryConfig,
     };
     pub use crate::ind_discovery::{
         discover_cind_conditions, discover_cind_conditions_with_pool, discover_inds,
@@ -58,7 +59,8 @@ pub mod prelude {
         learn_relative_keys, LearnedRule, LearnedRuleSet, RuleLearningConfig,
     };
     pub use crate::partition::{
-        g1_error, g3_error, g3_error_interned, PartitionProber, StrippedPartition,
+        g1_error, g3_error, g3_error_from_shards, g3_error_interned, PartitionProber,
+        StrippedPartition,
     };
     pub use crate::profile::{
         profile_database, profile_relation, profile_relation_pooled, profile_relation_with,

@@ -10,7 +10,8 @@
 //! to hold, which doubles as an approximation measure.
 
 use dq_relation::{
-    Column, FxHashMap, InternedIndex, KeyCodec, ProjectionKey, RelationInstance, TupleId, Value,
+    Column, FxHashMap, InternedIndex, KeyCodec, ProjectionKey, RelationInstance, ShardSource,
+    TupleId, Value,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -76,6 +77,42 @@ impl StrippedPartition {
         StrippedPartition {
             classes,
             total: index.store().len(),
+        }
+    }
+
+    /// Builds the stripped partition over a shard source — an in-RAM
+    /// snapshot or a memory-mapped relation — with a two-scan count→collect
+    /// pass: the first scan counts packed keys, the second collects tuple
+    /// ids only for keys seen at least twice, so singleton projections
+    /// (typically the bulk) never allocate a class.  Produces exactly
+    /// [`build`](Self::build)'s partition; resident memory is bounded by
+    /// the dictionaries, the key tallies and the surviving classes.
+    pub fn from_shards(source: &dyn ShardSource, attrs: &[usize]) -> Self {
+        let cols: Vec<Arc<Column>> = attrs.iter().map(|&a| source.column(a)).collect();
+        let codec = KeyCodec::new(cols);
+        let mut counts: FxHashMap<ProjectionKey, u32> = FxHashMap::default();
+        for shard in 0..source.shard_count() {
+            for row in source.shard_range(shard) {
+                *counts.entry(codec.pack_row(row)).or_insert(0) += 1;
+            }
+        }
+        let mut groups: FxHashMap<ProjectionKey, Vec<TupleId>> = FxHashMap::default();
+        for shard in 0..source.shard_count() {
+            for row in source.shard_range(shard) {
+                let key = codec.pack_row(row);
+                if counts.get(&key).copied().unwrap_or(0) >= 2 {
+                    groups.entry(key).or_default().push(source.tuple_id(row));
+                }
+            }
+            source.release_shard(shard);
+        }
+        // Rows ascend within the scan and tuple ids ascend with row numbers,
+        // so each class arrives pre-sorted; only the class list needs a sort.
+        let mut classes: Vec<Vec<TupleId>> = groups.into_values().collect();
+        classes.sort();
+        StrippedPartition {
+            classes,
+            total: source.len(),
         }
     }
 
@@ -292,6 +329,47 @@ pub fn g3_error_interned(index: &InternedIndex, instance: &RelationInstance, rhs
     removed as f64 / n as f64
 }
 
+/// [`g3_error`] over a shard source: a count scan finds the multi-row
+/// `X`-groups, then a second scan tallies packed `Y`-keys per such group.
+/// Singleton groups force no removals, so skipping them changes nothing —
+/// the arithmetic is identical to [`g3_error`] and [`g3_error_interned`].
+pub fn g3_error_from_shards(source: &dyn ShardSource, lhs: &[usize], rhs: &[usize]) -> f64 {
+    let n = source.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let lhs_codec = KeyCodec::new(lhs.iter().map(|&a| source.column(a)).collect());
+    let rhs_codec = KeyCodec::new(rhs.iter().map(|&a| source.column(a)).collect());
+    let mut counts: FxHashMap<ProjectionKey, u32> = FxHashMap::default();
+    for shard in 0..source.shard_count() {
+        for row in source.shard_range(shard) {
+            *counts.entry(lhs_codec.pack_row(row)).or_insert(0) += 1;
+        }
+    }
+    let mut tallies: FxHashMap<ProjectionKey, FxHashMap<ProjectionKey, usize>> =
+        FxHashMap::default();
+    for shard in 0..source.shard_count() {
+        for row in source.shard_range(shard) {
+            let key = lhs_codec.pack_row(row);
+            if counts.get(&key).copied().unwrap_or(0) >= 2 {
+                *tallies
+                    .entry(key)
+                    .or_default()
+                    .entry(rhs_codec.pack_row(row))
+                    .or_insert(0) += 1;
+            }
+        }
+        source.release_shard(shard);
+    }
+    let mut removed = 0usize;
+    for rhs_counts in tallies.values() {
+        let group_size: usize = rhs_counts.values().sum();
+        let keep = rhs_counts.values().copied().max().unwrap_or(0);
+        removed += group_size - keep;
+    }
+    removed as f64 / n as f64
+}
+
 /// The `g3` error of the FD `X → Y` on `instance`: the minimum fraction of
 /// tuples that must be deleted for the FD to hold.  Within every `X`-group
 /// all tuples except those carrying the most frequent `Y`-value must go.
@@ -426,6 +504,44 @@ mod tests {
         assert_eq!(g3_error(&empty, &[0], &[1]), 0.0);
         let holds = instance(&[("x", "p", 1), ("y", "q", 2)]);
         assert_eq!(g3_error(&holds, &[0], &[1]), 0.0);
+    }
+
+    #[test]
+    fn from_shards_matches_build() {
+        let inst = instance(&[
+            ("x", "p", 1),
+            ("x", "p", 1),
+            ("x", "q", 1),
+            ("y", "p", 2),
+            ("y", "p", 2),
+            ("z", "q", 3),
+        ]);
+        let source = dq_relation::StoreShardSource::new(&inst);
+        for attrs in [&[0usize][..], &[1], &[2], &[0, 1], &[0, 1, 2], &[]] {
+            assert_eq!(
+                StrippedPartition::from_shards(&source, attrs),
+                StrippedPartition::build(&inst, attrs),
+                "attrs {attrs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn g3_from_shards_matches_naive() {
+        let inst = instance(&[("x", "p", 1), ("x", "p", 2), ("x", "q", 3), ("y", "r", 4)]);
+        let source = dq_relation::StoreShardSource::new(&inst);
+        for (lhs, rhs) in [
+            (&[0usize][..], &[1usize][..]),
+            (&[1], &[0]),
+            (&[0, 1], &[2]),
+            (&[2], &[0]),
+        ] {
+            assert_eq!(
+                g3_error_from_shards(&source, lhs, rhs),
+                g3_error(&inst, lhs, rhs),
+                "{lhs:?} -> {rhs:?}"
+            );
+        }
     }
 
     #[test]

@@ -49,8 +49,10 @@
 //! available behind the same interface for equivalence testing and for the
 //! `--discovery-bench` comparison.
 
-use crate::partition::{g3_error, g3_error_interned, PartitionProber, StrippedPartition};
-use dq_relation::{FxHasher, IndexPool, RelationInstance};
+use crate::partition::{
+    g3_error, g3_error_from_shards, g3_error_interned, PartitionProber, StrippedPartition,
+};
+use dq_relation::{FxHasher, IndexPool, RelationInstance, ShardSource};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -79,15 +81,26 @@ pub(crate) fn resolve_threads(configured: usize) -> usize {
 /// value-keyed builds.  Shareable across worker threads: see the module
 /// docs for the concurrency design.
 pub struct PartitionSource<'a> {
-    instance: &'a RelationInstance,
+    backend: Backend<'a>,
     pool: Arc<IndexPool>,
     threads: usize,
-    interned: bool,
     stripes: Vec<RwLock<HashMap<Vec<usize>, Arc<StrippedPartition>>>>,
     probers: Mutex<Vec<PartitionProber>>,
     built: AtomicUsize,
     races: AtomicUsize,
     obs: SourceObs,
+}
+
+/// Where single-attribute partitions and `g3` tallies come from.
+enum Backend<'a> {
+    /// Pooled interned indexes over a live instance (the fast path).
+    Interned(&'a RelationInstance),
+    /// Legacy `Vec<Value>`-keyed builds from the row store.
+    Naive(&'a RelationInstance),
+    /// Shard-cursor scans over an in-RAM snapshot or a memory-mapped
+    /// relation — no pooled indexes, no row store, memory bounded by the
+    /// dictionaries plus the partitions themselves.
+    Shards(&'a dyn ShardSource),
 }
 
 /// Pre-registered `dq-obs` handles mirroring the partition cache's
@@ -112,17 +125,11 @@ impl SourceObs {
 }
 
 impl<'a> PartitionSource<'a> {
-    fn with_backend(
-        instance: &'a RelationInstance,
-        pool: Arc<IndexPool>,
-        threads: usize,
-        interned: bool,
-    ) -> Self {
+    fn with_backend(backend: Backend<'a>, pool: Arc<IndexPool>, threads: usize) -> Self {
         PartitionSource {
-            instance,
+            backend,
             pool,
             threads: threads.max(1),
-            interned,
             stripes: (0..STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
             probers: Mutex::new(Vec::new()),
             built: AtomicUsize::new(0),
@@ -134,13 +141,22 @@ impl<'a> PartitionSource<'a> {
     /// An interned source over a shared pool, parallelizing cold index
     /// builds across up to `threads` workers.
     pub fn interned(instance: &'a RelationInstance, pool: Arc<IndexPool>, threads: usize) -> Self {
-        Self::with_backend(instance, pool, threads, true)
+        Self::with_backend(Backend::Interned(instance), pool, threads)
     }
 
     /// The legacy source: every partition is built from the row store with
     /// `Vec<Value>` keys.  Kept for equivalence tests and benchmarks.
     pub fn naive(instance: &'a RelationInstance) -> Self {
-        Self::with_backend(instance, Arc::new(IndexPool::new()), 1, false)
+        Self::with_backend(Backend::Naive(instance), Arc::new(IndexPool::new()), 1)
+    }
+
+    /// A shard-cursor source: single-attribute partitions and `g3` tallies
+    /// come from sequential scans of `source`'s shards
+    /// ([`StrippedPartition::from_shards`]), wider partitions from products
+    /// over the cache as usual.  Works over a memory-mapped relation
+    /// without ever materializing tuples or pooled indexes.
+    pub fn from_shards(source: &'a dyn ShardSource, threads: usize) -> Self {
+        Self::with_backend(Backend::Shards(source), Arc::new(IndexPool::new()), threads)
     }
 
     /// An interned source with a private pool sized to the machine.
@@ -235,19 +251,25 @@ impl<'a> PartitionSource<'a> {
     /// big cold build to shard internally warm it up front
     /// ([`warm_singles`](Self::warm_singles)).
     fn build(&self, key: &[usize]) -> StrippedPartition {
-        if !self.interned {
-            StrippedPartition::build(self.instance, key)
-        } else if key.len() <= 1 {
-            let index = self.pool.interned_for(self.instance, key, 1);
-            StrippedPartition::from_interned(&index)
-        } else {
-            // π_{X ∪ {A}} = π_X · π_A over a pooled probe table; both
-            // operands come out of this cache (built recursively on a cold
-            // miss), so a level-wise sweep touches each index once.
-            let (rest, last) = key.split_at(key.len() - 1);
-            let left = self.partition(rest);
-            let right = self.partition(last);
-            self.with_prober(|prober| left.product_with(&right, prober))
+        match &self.backend {
+            Backend::Naive(instance) => StrippedPartition::build(instance, key),
+            Backend::Interned(instance) if key.len() <= 1 => {
+                let index = self.pool.interned_for(instance, key, 1);
+                StrippedPartition::from_interned(&index)
+            }
+            Backend::Shards(source) if key.len() <= 1 => {
+                StrippedPartition::from_shards(*source, key)
+            }
+            Backend::Interned(_) | Backend::Shards(_) => {
+                // π_{X ∪ {A}} = π_X · π_A over a pooled probe table; both
+                // operands come out of this cache (built recursively on a
+                // cold miss), so a level-wise sweep touches each base
+                // partition once.
+                let (rest, last) = key.split_at(key.len() - 1);
+                let left = self.partition(rest);
+                let right = self.partition(last);
+                self.with_prober(|prober| left.product_with(&right, prober))
+            }
         }
     }
 
@@ -261,18 +283,30 @@ impl<'a> PartitionSource<'a> {
     /// builds.  A no-op on the naive backend (it has no indexes to warm;
     /// its partitions are built by the fan-out itself).
     pub fn warm_singles(&self, attrs: &[usize]) {
-        if !self.interned || attrs.is_empty() {
+        if attrs.is_empty() {
             return;
         }
         let singles: Vec<Vec<usize>> = attrs.iter().map(|&a| vec![a]).collect();
-        let sharded = self.instance.columnar().shard_count() > 1;
-        if singles.len() >= self.threads || !sharded {
-            dq_core::engine::parallel_map(&singles, self.threads, |attrs| {
-                self.pool.interned_for(self.instance, attrs, 1);
-            });
-        } else {
-            for attrs in &singles {
-                self.pool.interned_for(self.instance, attrs, self.threads);
+        match &self.backend {
+            Backend::Naive(_) => {}
+            Backend::Interned(instance) => {
+                let sharded = instance.columnar().shard_count() > 1;
+                if singles.len() >= self.threads || !sharded {
+                    dq_core::engine::parallel_map(&singles, self.threads, |attrs| {
+                        self.pool.interned_for(instance, attrs, 1);
+                    });
+                } else {
+                    for attrs in &singles {
+                        self.pool.interned_for(instance, attrs, self.threads);
+                    }
+                }
+            }
+            Backend::Shards(_) => {
+                // Shard scans are sequential per attribute; fan the single-
+                // attribute builds out across workers through the cache.
+                dq_core::engine::parallel_map(&singles, self.threads, |attrs| {
+                    self.partition(attrs);
+                });
             }
         }
     }
@@ -282,11 +316,13 @@ impl<'a> PartitionSource<'a> {
     /// a cold index build runs single-threaded — the level fan-out calling
     /// this is the parallel axis.
     pub fn g3(&self, lhs: &[usize], rhs: &[usize]) -> f64 {
-        if self.interned {
-            let index = self.pool.interned_for(self.instance, lhs, 1);
-            g3_error_interned(&index, self.instance, rhs)
-        } else {
-            g3_error(self.instance, lhs, rhs)
+        match &self.backend {
+            Backend::Interned(instance) => {
+                let index = self.pool.interned_for(instance, lhs, 1);
+                g3_error_interned(&index, instance, rhs)
+            }
+            Backend::Naive(instance) => g3_error(instance, lhs, rhs),
+            Backend::Shards(source) => g3_error_from_shards(*source, lhs, rhs),
         }
     }
 }

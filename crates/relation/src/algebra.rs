@@ -14,6 +14,7 @@
 use crate::error::{DqError, DqResult};
 use crate::instance::{Database, RelationInstance};
 use crate::schema::{DatabaseSchema, Domain, RelationSchema};
+use crate::store::{Column, IdTranslation, ValueId};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::sync::Arc;
@@ -192,6 +193,22 @@ impl View {
     }
 
     fn rows(&self, db: &Database) -> DqResult<Vec<Tuple>> {
+        // Select/Project chains over a base relation evaluate over the
+        // columnar dictionary ids — every predicate test is a `u32`
+        // comparison and only surviving rows materialize values.  Any other
+        // shape (and chains whose predicates cannot be id-compiled) takes
+        // the legacy tuple walk; the two produce identical rows.
+        if let Some(plan) = IdChainPlan::compile(self, db)? {
+            return Ok(plan.execute());
+        }
+        self.rows_legacy(db)
+    }
+
+    /// The tuple-at-a-time evaluator, kept as the reference semantics (and
+    /// the fallback for products, unions and non-chain shapes).  Recursive
+    /// calls re-enter [`rows`](Self::rows), so chain-shaped *operands* of a
+    /// product or union still use the id path.
+    fn rows_legacy(&self, db: &Database) -> DqResult<Vec<Tuple>> {
         match self {
             View::Base(name) => Ok(db.require_relation(name)?.tuples()),
             View::Select(input, pred) => Ok(input
@@ -328,6 +345,161 @@ impl View {
                 })
             }
         }
+    }
+}
+
+/// One selection predicate compiled into a base relation's dictionaries:
+/// constants become ids (or a constant verdict when absent from the
+/// column), column equalities become an id translation table between the
+/// two columns' dictionaries.
+enum IdPred {
+    /// `attr = id` — the constant exists in the column's dictionary.
+    EqId(usize, ValueId),
+    /// `attr <> id`.
+    NeId(usize, ValueId),
+    /// `attr_a = attr_b` across two different columns, via a per-id
+    /// translation from `a`'s dictionary into `b`'s.
+    EqCols(usize, usize, IdTranslation),
+}
+
+/// A Select/Project chain over one base relation, compiled to run over the
+/// columnar snapshot: predicates test `u32` ids row by row and only
+/// surviving rows materialize values.
+struct IdChainPlan<'a> {
+    instance: &'a RelationInstance,
+    /// Output column → base attribute (projections composed).
+    cols: Vec<usize>,
+    preds: Vec<IdPred>,
+    /// Some predicate can never hold (e.g. `= constant` with the constant
+    /// absent from the column): the result is empty without a scan.
+    never: bool,
+}
+
+impl<'a> IdChainPlan<'a> {
+    /// Compiles `view` when it is a Select/Project chain over a base
+    /// relation; `Ok(None)` means the shape (or a predicate) is not
+    /// id-compilable and the caller should take the legacy walk.  Errors
+    /// are exactly the legacy path's (an unknown base relation).
+    fn compile(view: &View, db: &'a Database) -> DqResult<Option<IdChainPlan<'a>>> {
+        match view {
+            View::Base(name) => {
+                let instance = db.require_relation(name)?;
+                Ok(Some(IdChainPlan {
+                    instance,
+                    cols: (0..instance.schema().arity()).collect(),
+                    preds: Vec::new(),
+                    never: false,
+                }))
+            }
+            View::Select(input, pred) => {
+                let Some(mut plan) = IdChainPlan::compile(input, db)? else {
+                    return Ok(None);
+                };
+                for p in pred.conjuncts() {
+                    if !plan.push_pred(&p) {
+                        return Ok(None);
+                    }
+                }
+                Ok(Some(plan))
+            }
+            View::Project(input, cols) => {
+                let Some(mut plan) = IdChainPlan::compile(input, db)? else {
+                    return Ok(None);
+                };
+                let mut composed = Vec::with_capacity(cols.len());
+                for &c in cols {
+                    match plan.cols.get(c) {
+                        Some(&attr) => composed.push(attr),
+                        // Out of range: let the legacy path surface it the
+                        // way it always has.
+                        None => return Ok(None),
+                    }
+                }
+                plan.cols = composed;
+                Ok(Some(plan))
+            }
+            View::Product(_, _) | View::Union(_, _) => Ok(None),
+        }
+    }
+
+    /// The dictionary-encoded column of a base attribute.
+    fn column(&self, attr: usize) -> Arc<Column> {
+        self.instance.columnar().column(self.instance, attr)
+    }
+
+    /// Compiles one atomic predicate against the current column mapping;
+    /// `false` means it cannot be id-compiled.
+    fn push_pred(&mut self, p: &Predicate) -> bool {
+        match p {
+            Predicate::EqConst(c, v) => {
+                let Some(&attr) = self.cols.get(*c) else {
+                    return false;
+                };
+                match self.column(attr).interner().lookup(v) {
+                    Some(id) => self.preds.push(IdPred::EqId(attr, id)),
+                    // The constant appears nowhere: nothing can match.
+                    None => self.never = true,
+                }
+                true
+            }
+            Predicate::NeConst(c, v) => {
+                let Some(&attr) = self.cols.get(*c) else {
+                    return false;
+                };
+                // An absent constant differs from every cell: always true.
+                if let Some(id) = self.column(attr).interner().lookup(v) {
+                    self.preds.push(IdPred::NeId(attr, id));
+                }
+                true
+            }
+            Predicate::EqCols(a, b) => {
+                let (Some(&attr_a), Some(&attr_b)) = (self.cols.get(*a), self.cols.get(*b)) else {
+                    return false;
+                };
+                // Same source column: trivially true.
+                if attr_a != attr_b {
+                    let map = IdTranslation::new(&[self.column(attr_a)], &[self.column(attr_b)]);
+                    self.preds.push(IdPred::EqCols(attr_a, attr_b, map));
+                }
+                true
+            }
+            Predicate::And(_, _) => unreachable!("conjuncts are atomic"),
+        }
+    }
+
+    /// Runs the compiled chain: a single row scan over the columnar ids.
+    fn execute(&self) -> Vec<Tuple> {
+        if self.never {
+            return Vec::new();
+        }
+        let store = self.instance.columnar();
+        let arity = self.instance.schema().arity();
+        let columns: Vec<Arc<Column>> =
+            (0..arity).map(|a| store.column(self.instance, a)).collect();
+        let mut out = Vec::new();
+        let mut scratch: Vec<ValueId> = Vec::with_capacity(1);
+        'rows: for row in 0..store.len() {
+            for pred in &self.preds {
+                let holds = match pred {
+                    IdPred::EqId(attr, id) => columns[*attr].id_at(row) == *id,
+                    IdPred::NeId(attr, id) => columns[*attr].id_at(row) != *id,
+                    IdPred::EqCols(a, b, map) => {
+                        map.translate(&[columns[*a].id_at(row)], &mut scratch)
+                            && scratch[0] == columns[*b].id_at(row)
+                    }
+                };
+                if !holds {
+                    continue 'rows;
+                }
+            }
+            out.push(Tuple::new(
+                self.cols
+                    .iter()
+                    .map(|&a| columns[a].interner().resolve(columns[a].id_at(row)).clone())
+                    .collect(),
+            ));
+        }
+        out
     }
 }
 
@@ -487,6 +659,69 @@ mod tests {
         let schema = db_schema(&db);
         let v = View::base("r").union(View::base("s"));
         assert!(v.spc_normal_form(&schema).is_err());
+    }
+
+    #[test]
+    fn id_chain_matches_legacy_rows() {
+        // Two Text columns sharing values so EqCols crosses dictionaries,
+        // plus duplicates so bag semantics are visible.
+        let schema = RelationSchema::new(
+            "t",
+            [("A", Domain::Text), ("B", Domain::Text), ("C", Domain::Int)],
+        );
+        let mut ti = RelationInstance::from_schema(schema);
+        for (a, b, c) in [
+            ("x", "x", 1),
+            ("x", "y", 2),
+            ("y", "x", 1),
+            ("y", "y", 2),
+            ("x", "x", 1),
+            ("z", "w", 3),
+        ] {
+            ti.insert_values([Value::str(a), Value::str(b), Value::int(c)])
+                .unwrap();
+        }
+        let mut db = Database::new();
+        db.add_relation(ti);
+        let views = [
+            View::base("t"),
+            View::base("t").select(Predicate::EqConst(0, Value::str("x"))),
+            View::base("t").select(Predicate::EqConst(0, Value::str("absent"))),
+            View::base("t").select(Predicate::NeConst(1, Value::str("y"))),
+            View::base("t").select(Predicate::NeConst(1, Value::str("absent"))),
+            View::base("t").select(Predicate::EqCols(0, 1)),
+            View::base("t").select(Predicate::EqCols(2, 2)),
+            View::base("t")
+                .select(Predicate::EqCols(0, 1).and(Predicate::NeConst(2, Value::int(2))))
+                .project(vec![2, 0]),
+            View::base("t").project(vec![1, 1, 0]),
+            View::base("t")
+                .project(vec![1, 0])
+                .select(Predicate::EqConst(0, Value::str("x")))
+                .project(vec![1]),
+        ];
+        for view in &views {
+            let fast = view.rows(&db).unwrap();
+            let legacy = view.rows_legacy(&db).unwrap();
+            assert_eq!(fast, legacy, "view {view:?}");
+        }
+        // Sanity: the cross-dictionary equality actually selects rows.
+        let eq = View::base("t").select(Predicate::EqCols(0, 1));
+        assert_eq!(eq.rows(&db).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn product_operands_still_use_id_chains() {
+        let db = db();
+        let v = View::base("r")
+            .select(Predicate::NeConst(0, Value::int(2)))
+            .product(View::base("s").select(Predicate::EqConst(0, Value::int(1))))
+            .select(Predicate::EqCols(0, 2));
+        let out = v.evaluate(&db, "j").unwrap();
+        assert_eq!(out.len(), 1);
+        let t = out.iter().next().unwrap().1;
+        assert_eq!(t.get(1), &Value::str("x"));
+        assert_eq!(t.get(3), &Value::str("p"));
     }
 
     #[test]

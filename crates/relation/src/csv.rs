@@ -1,89 +1,235 @@
-//! Minimal delimited-text import/export.
+//! Delimited-text import/export and streaming columnar ingest.
 //!
-//! Real deployments would load data from a warehouse; for the reproduction we
-//! only need a way to move small instances in and out of text form (examples,
-//! golden files, debugging dumps).  The format is deliberately simple: one
-//! header row with attribute names, `|`-separated cells, `NULL` for nulls.
-//! No quoting or escaping is attempted; instead, [`to_text`] *refuses* to
-//! serialize an instance whose round-trip would be lossy — a text cell that
-//! renders as the literal `NULL` (it would be re-parsed as [`Value::Null`]),
-//! or any cell or attribute name containing the separator or a line break
-//! (every following column would shift on re-parse).
+//! The format is deliberately small: one header row with attribute names,
+//! `|`-separated cells, `NULL` for nulls, and minimal RFC-4180-style quoting
+//! for the cells that need it.  A cell is written quoted — wrapped in `"`,
+//! with embedded quotes doubled — when its raw text would not survive the
+//! round trip otherwise: it contains the separator, a line break or a quote,
+//! it is a text value reading literally `NULL` (it would be re-parsed as a
+//! null), or it carries leading/trailing whitespace (unquoted cells are
+//! trimmed on parse).  Everything else is written bare, so the common case
+//! stays exactly as readable as before.
+//!
+//! Two read paths share one record scanner: [`from_text`] materializes a
+//! [`RelationInstance`], while [`stream_into_store`] loads delimited text
+//! straight into a persisted columnar relation (see
+//! [`crate::store::persist`]) — cells are parsed and interned one at a time
+//! and shards are flushed as they fill, so no intermediate tuple vector of
+//! the input is ever built and peak memory stays at O(dictionaries + one
+//! shard).
 
 use crate::error::{DqError, DqResult};
 use crate::instance::RelationInstance;
 use crate::schema::{Domain, RelationSchema};
+use crate::store::persist::{RelationWriter, SaveStats};
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::io::BufRead;
+use std::path::Path;
 use std::sync::Arc;
 
 /// The cell separator used by [`to_text`] and [`from_text`].
 pub const SEPARATOR: char = '|';
 
-/// Rejects a rendered cell (or attribute name) whose text would not survive
-/// the round trip through [`from_text`].
-fn check_cell(rendered: &str, is_text_value: bool, context: &str) -> DqResult<()> {
-    if is_text_value && rendered == "NULL" {
-        return Err(DqError::Parse {
-            reason: format!(
-                "{context} is the literal `NULL` and would be re-parsed as a null; \
-                 refusing a lossy round trip"
-            ),
-        });
-    }
-    if rendered.contains(SEPARATOR) || rendered.contains('\n') || rendered.contains('\r') {
-        return Err(DqError::Parse {
-            reason: format!(
-                "{context} `{rendered}` contains the separator `{SEPARATOR}` or a line \
-                 break; every following column would shift on re-parse"
-            ),
-        });
-    }
-    Ok(())
+/// The quote character used to escape cells that contain the separator, line
+/// breaks, quotes, outer whitespace, or text reading literally `NULL`.
+pub const QUOTE: char = '"';
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Must this rendered cell be quoted to survive the round trip?
+fn needs_quoting(rendered: &str, is_text_value: bool) -> bool {
+    (is_text_value && rendered == "NULL")
+        || rendered.contains(SEPARATOR)
+        || rendered.contains('\n')
+        || rendered.contains('\r')
+        || rendered.contains(QUOTE)
+        || rendered.starts_with(char::is_whitespace)
+        || rendered.ends_with(char::is_whitespace)
 }
 
-/// Serializes an instance to delimited text (header row + one row per tuple).
-///
-/// Errors instead of corrupting the round trip: a `Text` cell whose content
-/// is literally `NULL` would come back as [`Value::Null`], and a cell (or
-/// attribute name) containing the separator or a line break would shift
-/// every following column.
+/// Appends one cell, quoting and escaping when needed.
+fn render_cell(rendered: &str, is_text_value: bool, out: &mut String) {
+    if !needs_quoting(rendered, is_text_value) {
+        out.push_str(rendered);
+        return;
+    }
+    out.push(QUOTE);
+    for c in rendered.chars() {
+        if c == QUOTE {
+            out.push(QUOTE);
+        }
+        out.push(c);
+    }
+    out.push(QUOTE);
+}
+
+/// Serializes an instance to delimited text (header row + one row per
+/// tuple).  Cells that would be ambiguous bare — separators, line breaks,
+/// quotes, literal `NULL` text, outer whitespace — are quoted, so every
+/// instance round-trips losslessly through [`from_text`].
 pub fn to_text(instance: &RelationInstance) -> DqResult<String> {
     let schema = instance.schema();
     let mut out = String::new();
     for (i, attr) in schema.attributes().iter().enumerate() {
-        check_cell(&attr.name, false, "attribute name")?;
         if i > 0 {
             out.push(SEPARATOR);
         }
-        out.push_str(&attr.name);
+        render_cell(&attr.name, false, &mut out);
     }
     out.push('\n');
-    for (id, tuple) in instance.iter() {
+    for (_, tuple) in instance.iter() {
         for (i, v) in tuple.values().iter().enumerate() {
-            let rendered = v.to_string();
-            check_cell(
-                &rendered,
-                matches!(v, Value::Str(_)),
-                &format!("cell ({id}, {})", schema.attr_name(i)),
-            )?;
             if i > 0 {
                 out.push(SEPARATOR);
             }
-            out.push_str(&rendered);
+            match v {
+                Value::Str(s) => render_cell(s, true, &mut out),
+                other => render_cell(&other.to_string(), false, &mut out),
+            }
         }
         out.push('\n');
     }
     Ok(out)
 }
 
-/// Parses a single cell according to the attribute domain.
-pub fn parse_cell(text: &str, domain: &Domain) -> DqResult<Value> {
-    let text = text.trim();
-    if text == "NULL" {
-        return Ok(Value::Null);
+// ---------------------------------------------------------------------------
+// Record scanning
+// ---------------------------------------------------------------------------
+
+/// One scanned cell: its content (quotes resolved) and whether it was
+/// quoted.  Quoted cells skip trimming and the `NULL` mapping on parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RawCell {
+    text: String,
+    quoted: bool,
+}
+
+/// Outcome of scanning one accumulated physical-line run.
+enum Scan {
+    /// The record is complete.
+    Complete(Vec<RawCell>),
+    /// The record ends inside an open quote — the quoted cell continues on
+    /// the next physical line.
+    NeedsMore,
+}
+
+/// Splits one logical record into cells, honoring quoting.  Returns
+/// [`Scan::NeedsMore`] when the record ends inside an open quote.
+fn split_record(record: &str) -> DqResult<Scan> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut at_start = true;
+    let mut chars = record.chars().peekable();
+    while let Some(c) = chars.next() {
+        if at_start {
+            at_start = false;
+            if c == QUOTE {
+                quoted = true;
+                in_quotes = true;
+                continue;
+            }
+        }
+        if in_quotes {
+            if c == QUOTE {
+                if chars.peek() == Some(&QUOTE) {
+                    chars.next();
+                    cur.push(QUOTE);
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == SEPARATOR {
+            cells.push(RawCell {
+                text: std::mem::take(&mut cur),
+                quoted,
+            });
+            quoted = false;
+            at_start = true;
+        } else if quoted {
+            // Past the closing quote only (insignificant) whitespace — such
+            // as a trailing `\r` — may follow before the next separator.
+            if !c.is_whitespace() {
+                return Err(DqError::Parse {
+                    reason: format!("unexpected `{c}` after closing quote"),
+                });
+            }
+        } else {
+            cur.push(c);
+        }
     }
-    let parsed = match domain {
+    if in_quotes {
+        return Ok(Scan::NeedsMore);
+    }
+    cells.push(RawCell { text: cur, quoted });
+    Ok(Scan::Complete(cells))
+}
+
+/// Reads logical records — accumulating physical lines while a quoted cell
+/// spans line breaks — from any buffered reader.
+struct RecordReader<R> {
+    inner: R,
+    line: String,
+}
+
+impl<R: BufRead> RecordReader<R> {
+    fn new(inner: R) -> Self {
+        RecordReader {
+            inner,
+            line: String::new(),
+        }
+    }
+
+    /// The next logical record, or `None` at end of input.  Blank lines
+    /// between records are skipped (a blank line *inside* a quoted cell is
+    /// content).
+    fn next_record(&mut self) -> DqResult<Option<Vec<RawCell>>> {
+        let mut pending = String::new();
+        loop {
+            self.line.clear();
+            let read = self
+                .inner
+                .read_line(&mut self.line)
+                .map_err(|e| DqError::Parse {
+                    reason: format!("read error: {e}"),
+                })?;
+            if read == 0 {
+                if pending.is_empty() {
+                    return Ok(None);
+                }
+                return Err(DqError::Parse {
+                    reason: "unterminated quoted cell at end of input".into(),
+                });
+            }
+            let line = self.line.strip_suffix('\n').unwrap_or(&self.line);
+            if pending.is_empty() && line.trim().is_empty() {
+                continue;
+            }
+            if !pending.is_empty() {
+                pending.push('\n');
+            }
+            pending.push_str(line);
+            match split_record(&pending)? {
+                Scan::NeedsMore => continue,
+                Scan::Complete(cells) => return Ok(Some(cells)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses trimmed bare text according to a domain (no `NULL` mapping).
+fn parse_typed(text: &str, domain: &Domain) -> Option<Value> {
+    match domain {
         Domain::Int => text.parse::<i64>().map(Value::Int).ok(),
         Domain::Real => text.parse::<f64>().map(Value::Real).ok(),
         Domain::Bool => match text {
@@ -96,21 +242,48 @@ pub fn parse_cell(text: &str, domain: &Domain) -> DqResult<Value> {
             // Accept any display form matching a domain element.
             values.iter().find(|v| v.to_string() == text).cloned()
         }
-    };
-    parsed.ok_or_else(|| DqError::Parse {
+    }
+}
+
+/// Parses a single bare (unquoted) cell according to the attribute domain:
+/// whitespace-trimmed, with `NULL` mapping to [`Value::Null`].
+pub fn parse_cell(text: &str, domain: &Domain) -> DqResult<Value> {
+    let text = text.trim();
+    if text == "NULL" {
+        return Ok(Value::Null);
+    }
+    parse_typed(text, domain).ok_or_else(|| DqError::Parse {
         reason: format!("cannot parse `{text}` as {domain}"),
     })
 }
 
-/// Parses delimited text (as produced by [`to_text`]) into an instance of
-/// `schema`.  The header row must list exactly the schema's attributes in
-/// order.
-pub fn from_text(schema: Arc<RelationSchema>, text: &str) -> DqResult<RelationInstance> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or_else(|| DqError::Parse {
-        reason: "empty input".into(),
-    })?;
-    let names: Vec<&str> = header.split(SEPARATOR).map(|s| s.trim()).collect();
+/// Parses one scanned cell.  Quoted cells keep their exact content: no
+/// trimming, and a quoted `"NULL"` is the three-letter string, not a null.
+fn parse_raw_cell(cell: &RawCell, domain: &Domain) -> DqResult<Value> {
+    if !cell.quoted {
+        return parse_cell(&cell.text, domain);
+    }
+    let parsed = match domain {
+        Domain::Text => Some(Value::str(cell.text.as_str())),
+        other => parse_typed(cell.text.trim(), other),
+    };
+    parsed.ok_or_else(|| DqError::Parse {
+        reason: format!("cannot parse quoted `{}` as {domain}", cell.text),
+    })
+}
+
+/// Validates a scanned header against the schema's attribute list.
+fn check_header(cells: &[RawCell], schema: &RelationSchema) -> DqResult<()> {
+    let names: Vec<&str> = cells
+        .iter()
+        .map(|c| {
+            if c.quoted {
+                c.text.as_str()
+            } else {
+                c.text.trim()
+            }
+        })
+        .collect();
     let expected: Vec<&str> = schema
         .attributes()
         .iter()
@@ -121,14 +294,27 @@ pub fn from_text(schema: Arc<RelationSchema>, text: &str) -> DqResult<RelationIn
             reason: format!("header {names:?} does not match schema attributes {expected:?}"),
         });
     }
+    Ok(())
+}
+
+/// Parses delimited text (as produced by [`to_text`]) into an instance of
+/// `schema`.  The header row must list exactly the schema's attributes in
+/// order.
+pub fn from_text(schema: Arc<RelationSchema>, text: &str) -> DqResult<RelationInstance> {
+    let mut reader = RecordReader::new(text.as_bytes());
+    let header = reader.next_record()?.ok_or_else(|| DqError::Parse {
+        reason: "empty input".into(),
+    })?;
+    check_header(&header, &schema)?;
     let mut instance = RelationInstance::new(Arc::clone(&schema));
-    for (lineno, line) in lines.enumerate() {
-        let cells: Vec<&str> = line.split(SEPARATOR).collect();
+    let mut rowno = 1usize;
+    while let Some(cells) = reader.next_record()? {
+        rowno += 1;
         if cells.len() != schema.arity() {
             return Err(DqError::Parse {
                 reason: format!(
-                    "row {} has {} cells, expected {}",
-                    lineno + 2,
+                    "record {} has {} cells, expected {}",
+                    rowno,
                     cells.len(),
                     schema.arity()
                 ),
@@ -137,16 +323,83 @@ pub fn from_text(schema: Arc<RelationSchema>, text: &str) -> DqResult<RelationIn
         let values: DqResult<Vec<Value>> = cells
             .iter()
             .enumerate()
-            .map(|(i, c)| parse_cell(c, schema.domain(i)))
+            .map(|(i, c)| parse_raw_cell(c, schema.domain(i)))
             .collect();
         instance.insert(Tuple::new(values?))?;
     }
     Ok(instance)
 }
 
+// ---------------------------------------------------------------------------
+// Streaming ingest
+// ---------------------------------------------------------------------------
+
+/// Streams delimited text straight into a persisted columnar relation at
+/// `dir` (see [`crate::store::persist`]): each cell is parsed against its
+/// domain and interned into the column dictionary as it is read, full
+/// shards are flushed to disk immediately, and dictionaries spill once at
+/// the end.  No tuple vector of the input is ever materialized — peak
+/// memory is O(dictionaries + one shard) however large the input.
+///
+/// The relation can then be re-opened with
+/// [`crate::store::persist::open_mmap`] and fed to the shard-cursor
+/// detection and discovery paths.
+pub fn stream_into_store<R: BufRead>(
+    schema: Arc<RelationSchema>,
+    input: R,
+    dir: &Path,
+    shard_rows: usize,
+) -> DqResult<SaveStats> {
+    let _span = dq_obs::span!("store.io.stream_ingest");
+    let mut reader = RecordReader::new(input);
+    let header = reader.next_record()?.ok_or_else(|| DqError::Parse {
+        reason: "empty input".into(),
+    })?;
+    check_header(&header, &schema)?;
+    let mut writer = RelationWriter::create(dir, Arc::clone(&schema), shard_rows)?;
+    let mut row: Vec<Value> = Vec::with_capacity(schema.arity());
+    let mut rowno = 1usize;
+    while let Some(cells) = reader.next_record()? {
+        rowno += 1;
+        if cells.len() != schema.arity() {
+            return Err(DqError::Parse {
+                reason: format!(
+                    "record {} has {} cells, expected {}",
+                    rowno,
+                    cells.len(),
+                    schema.arity()
+                ),
+            });
+        }
+        row.clear();
+        for (i, c) in cells.iter().enumerate() {
+            row.push(parse_raw_cell(c, schema.domain(i))?);
+        }
+        writer.push_row(row.drain(..))?;
+        dq_obs::inc("store.io.ingested_rows");
+    }
+    writer.finish()
+}
+
+/// [`stream_into_store`] reading from a file.
+pub fn stream_file_into_store(
+    schema: Arc<RelationSchema>,
+    input: &Path,
+    dir: &Path,
+    shard_rows: usize,
+) -> DqResult<SaveStats> {
+    let file = std::fs::File::open(input).map_err(|e| DqError::Io {
+        path: input.display().to_string(),
+        reason: e.to_string(),
+    })?;
+    stream_into_store(schema, std::io::BufReader::new(file), dir, shard_rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::persist::open_mmap_verified;
+    use crate::store::shard::ShardSource;
 
     fn schema() -> Arc<RelationSchema> {
         Arc::new(RelationSchema::new(
@@ -158,6 +411,12 @@ mod tests {
                 ("active", Domain::Bool),
             ],
         ))
+    }
+
+    fn round_trips(inst: &RelationInstance, schema: &Arc<RelationSchema>) {
+        let text = to_text(inst).unwrap();
+        let parsed = from_text(Arc::clone(schema), &text).unwrap();
+        assert!(inst.same_tuples_as(&parsed), "lossy round trip:\n{text}");
     }
 
     #[test]
@@ -178,15 +437,15 @@ mod tests {
             Value::bool(false),
         ])
         .unwrap();
-        let text = to_text(&inst).unwrap();
-        let parsed = from_text(Arc::clone(&schema), &text).unwrap();
-        assert!(inst.same_tuples_as(&parsed));
+        round_trips(&inst, &schema);
     }
 
     #[test]
-    fn literal_null_text_is_rejected_instead_of_corrupted() {
+    fn literal_null_text_round_trips_quoted() {
         // Regression test: a `Text` cell whose content is literally "NULL"
-        // used to serialize fine and come back as `Value::Null`.
+        // used to be *refused* (and before that, silently re-parsed as a
+        // null).  It now serializes quoted and survives the round trip,
+        // while an actual null still renders bare.
         let schema = schema();
         let mut inst = RelationInstance::new(Arc::clone(&schema));
         inst.insert_values([
@@ -196,48 +455,86 @@ mod tests {
             Value::bool(true),
         ])
         .unwrap();
-        let err = to_text(&inst).unwrap_err();
-        assert!(matches!(err, DqError::Parse { .. }), "got {err:?}");
-        // An actual null still round-trips as before.
-        let mut with_null = RelationInstance::new(Arc::clone(&schema));
-        with_null
-            .insert_values([
-                Value::int(1),
-                Value::Null,
-                Value::real(1.0),
-                Value::bool(true),
-            ])
-            .unwrap();
-        let parsed = from_text(Arc::clone(&schema), &to_text(&with_null).unwrap()).unwrap();
-        assert!(with_null.same_tuples_as(&parsed));
-    }
-
-    #[test]
-    fn separator_in_cell_is_rejected_instead_of_shifting_columns() {
-        // Regression test: a cell containing `|` used to shift every
-        // following column on re-parse (or fail with a confusing arity
-        // error); now serialization refuses up front.
-        let schema = schema();
-        let mut inst = RelationInstance::new(Arc::clone(&schema));
         inst.insert_values([
-            Value::int(1),
-            Value::str("Mike|Smith"),
+            Value::int(2),
+            Value::Null,
             Value::real(1.0),
             Value::bool(true),
         ])
         .unwrap();
-        assert!(to_text(&inst).is_err());
-        // Embedded line breaks are the same failure class.
-        let mut with_newline = RelationInstance::new(Arc::clone(&schema));
-        with_newline
-            .insert_values([
+        let text = to_text(&inst).unwrap();
+        assert!(text.contains("\"NULL\""), "{text}");
+        round_trips(&inst, &schema);
+    }
+
+    #[test]
+    fn separators_newlines_and_quotes_round_trip_quoted() {
+        // Regression test: cells containing `|`, line breaks or quotes used
+        // to be refused outright; they now round-trip via quoting.
+        let schema = schema();
+        let mut inst = RelationInstance::new(Arc::clone(&schema));
+        for name in [
+            "Mike|Smith",
+            "two\nlines",
+            "carriage\rreturn",
+            "a \"quoted\" word",
+            "\"",
+            "||",
+            " leading and trailing ",
+            "",
+            "plain",
+        ] {
+            inst.insert_values([
                 Value::int(1),
-                Value::str("two\nlines"),
+                Value::str(name),
                 Value::real(1.0),
                 Value::bool(true),
             ])
             .unwrap();
-        assert!(to_text(&with_newline).is_err());
+        }
+        round_trips(&inst, &schema);
+    }
+
+    #[test]
+    fn adversarial_text_cells_round_trip() {
+        // Property-style sweep: pseudo-random strings over a hostile
+        // alphabet (separators, quotes, line breaks, whitespace, `NULL`
+        // fragments) must all survive the round trip.
+        let schema = schema();
+        let alphabet: Vec<char> = "|\"\n\r NUL\tx√".chars().collect();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move |bound: usize| {
+            // xorshift64*; deterministic, no external RNG dependency.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as usize % bound
+        };
+        let mut inst = RelationInstance::new(Arc::clone(&schema));
+        for _ in 0..300 {
+            let len = next(12);
+            let s: String = (0..len).map(|_| alphabet[next(alphabet.len())]).collect();
+            inst.insert_values([
+                Value::int(next(100) as i64 - 50),
+                Value::str(s),
+                Value::real(next(1000) as f64 / 8.0),
+                Value::bool(next(2) == 1),
+            ])
+            .unwrap();
+        }
+        round_trips(&inst, &schema);
+    }
+
+    #[test]
+    fn quoted_header_names_round_trip() {
+        let schema = Arc::new(RelationSchema::new(
+            "odd",
+            [("a|b", Domain::Int), ("c\nd", Domain::Text)],
+        ));
+        let mut inst = RelationInstance::new(Arc::clone(&schema));
+        inst.insert_values([Value::int(3), Value::str("x")])
+            .unwrap();
+        round_trips(&inst, &schema);
     }
 
     #[test]
@@ -254,6 +551,16 @@ mod tests {
         assert!(short.is_err());
         let bad_int = from_text(Arc::clone(&schema), "CC|name|price|active\nxx|x|2.0|true\n");
         assert!(bad_int.is_err());
+        let unterminated = from_text(
+            Arc::clone(&schema),
+            "CC|name|price|active\n1|\"x|2.0|true\n",
+        );
+        assert!(unterminated.is_err());
+        let trailing = from_text(
+            Arc::clone(&schema),
+            "CC|name|price|active\n1|\"x\"y|2.0|true\n",
+        );
+        assert!(trailing.is_err());
     }
 
     #[test]
@@ -262,5 +569,57 @@ mod tests {
         assert_eq!(parse_cell("book", &dom).unwrap(), Value::str("book"));
         assert!(parse_cell("DVD", &dom).is_err());
         assert_eq!(parse_cell("NULL", &dom).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn stream_ingest_matches_in_memory_parse() {
+        let schema = schema();
+        let mut inst = RelationInstance::new(Arc::clone(&schema));
+        for i in 0..200 {
+            inst.insert_values([
+                Value::int(i % 17),
+                Value::str(if i % 7 == 0 {
+                    format!("odd|name {i}")
+                } else {
+                    format!("name-{}", i % 23)
+                }),
+                Value::real(i as f64 / 4.0),
+                Value::bool(i % 2 == 0),
+            ])
+            .unwrap();
+        }
+        let text = to_text(&inst).unwrap();
+        let dir = std::env::temp_dir().join(format!("dq_csv_stream_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Small shards force a multi-shard layout on 200 rows.
+        let stats = stream_into_store(Arc::clone(&schema), text.as_bytes(), &dir, 32).unwrap();
+        assert_eq!(stats.rows, 200);
+        let mapped = open_mmap_verified(&dir).unwrap();
+        assert_eq!(mapped.len(), 200);
+        assert_eq!(mapped.shard_count(), 200usize.div_ceil(32));
+        let store = inst.columnar();
+        for attr in 0..schema.arity() {
+            let m = mapped.column(attr);
+            let s = store.column(&inst, attr);
+            for row in 0..200 {
+                assert_eq!(
+                    m.interner().resolve(m.id_at(row)),
+                    s.interner().resolve(s.id_at(row)),
+                    "attr {attr} row {row}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stream_ingest_rejects_bad_rows_cleanly() {
+        let schema = schema();
+        let bad = "CC|name|price|active\n1|x|2.0|true\nnot-an-int|y|1.0|false\n";
+        let dir = std::env::temp_dir().join(format!("dq_csv_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = stream_into_store(Arc::clone(&schema), bad.as_bytes(), &dir, 8).unwrap_err();
+        assert!(matches!(err, DqError::Parse { .. }), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -61,6 +61,31 @@ pub enum DqError {
         /// of these rules makes the remainder consistent.
         core: Vec<String>,
     },
+    /// An operating-system I/O operation on a persisted relation failed.
+    Io {
+        /// Path of the file or directory the operation touched.
+        path: String,
+        /// Human readable explanation (the OS error).
+        reason: String,
+    },
+    /// A persisted segment failed validation: bad magic, checksum mismatch,
+    /// truncated payload, or an undecodable value.
+    CorruptSegment {
+        /// Path of the offending segment file.
+        path: String,
+        /// Human readable explanation of what failed to validate.
+        reason: String,
+    },
+    /// A persisted relation was written under a different format version
+    /// than this build understands.
+    VersionMismatch {
+        /// Path of the offending file.
+        path: String,
+        /// Format version found on disk.
+        found: u16,
+        /// Format version this build writes and reads.
+        expected: u16,
+    },
 }
 
 impl fmt::Display for DqError {
@@ -104,6 +129,18 @@ impl fmt::Display for DqError {
                     core.join(" ; ")
                 )
             }
+            DqError::Io { path, reason } => write!(f, "io error on `{path}`: {reason}"),
+            DqError::CorruptSegment { path, reason } => {
+                write!(f, "corrupt segment `{path}`: {reason}")
+            }
+            DqError::VersionMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "format version mismatch in `{path}`: found v{found}, this build reads v{expected}"
+            ),
         }
     }
 }

@@ -49,9 +49,10 @@ pub mod prelude {
     };
     pub use crate::schema::{Attribute, DatabaseSchema, Domain, RelationSchema};
     pub use crate::store::{
-        Column, ColumnarStats, ColumnarStore, DistinctSet, FxHashMap, FxHashSet, FxHasher,
-        IdTranslation, InternedIndex, InternerStats, KeyCodec, ProjectionKey, ValueId,
-        ValueInterner,
+        open_mmap, open_mmap_verified, save_postings, Column, ColumnarStats, ColumnarStore,
+        DistinctSet, FxHashMap, FxHashSet, FxHasher, IdTranslation, InternedIndex, InternerStats,
+        KeyCodec, MappedBytes, MappedRelation, ProjectionKey, RelationWriter, SaveStats,
+        ShardSource, StoreShardSource, ValueId, ValueInterner,
     };
     pub use crate::tuple::Tuple;
     pub use crate::value::{

@@ -20,6 +20,7 @@
 //! [`IndexPool`](crate::index::IndexPool).
 
 use super::interner::{InternerStats, ValueId, ValueInterner};
+use super::mmap::MappedBytes;
 use crate::instance::{CellChange, RelationInstance, TupleId};
 use std::mem::size_of;
 use std::ops::Range;
@@ -30,25 +31,201 @@ use std::sync::{Arc, OnceLock};
 /// the thread pool.
 pub const SHARD_ROWS: usize = 1 << 16;
 
+/// Backing storage of a column's id vector: an owned `Vec` for columns built
+/// from an instance, or a view into memory-mapped segment files for columns
+/// re-opened from a persisted relation (see [`super::persist`]).  Mapped ids
+/// are paged in by the kernel on access and can be evicted under pressure,
+/// so a mapped column's resident footprint is bounded by its dictionary.
+#[derive(Clone, Debug)]
+enum Ids {
+    /// Owned ids, in row order.
+    Ram(Vec<ValueId>),
+    /// A concatenation of mapped segment slices (one per persisted shard),
+    /// each carrying `count` little-endian `u32` ids at `offset` bytes.
+    /// Constructed only when the byte offset is 4-aligned on a little-endian
+    /// target ([`Ids::from_segments`] decodes into `Ram` otherwise), so the
+    /// slice reinterpretation below is always valid.
+    Mapped {
+        segments: Vec<MappedIds>,
+        /// Exclusive prefix-sum row boundaries, `segments.len() + 1` long.
+        bounds: Vec<usize>,
+    },
+}
+
+/// One mapped shard's worth of ids.
+#[derive(Clone, Debug)]
+pub(crate) struct MappedIds {
+    pub(crate) bytes: Arc<MappedBytes>,
+    pub(crate) offset: usize,
+    pub(crate) count: usize,
+}
+
+impl MappedIds {
+    /// The ids of this segment as a slice.  Soundness: the constructor path
+    /// ([`Ids::from_segments`]) verified alignment and endianness, the
+    /// mapping is immutable, and `ValueId` is `repr(transparent)` over
+    /// `u32`.
+    #[inline]
+    fn as_slice(&self) -> &[ValueId] {
+        unsafe {
+            std::slice::from_raw_parts(
+                self.bytes.as_ptr().add(self.offset) as *const ValueId,
+                self.count,
+            )
+        }
+    }
+}
+
+impl Ids {
+    /// Wraps mapped segments, falling back to an eager decode into owned ids
+    /// when zero-copy reinterpretation would be unsound (misaligned offset,
+    /// big-endian target).
+    fn from_segments(segments: Vec<MappedIds>) -> Ids {
+        let zero_copy = cfg!(target_endian = "little")
+            && segments.iter().all(|s| {
+                s.offset % std::mem::align_of::<u32>() == 0
+                    && unsafe { s.bytes.as_ptr().add(s.offset) as usize }
+                        % std::mem::align_of::<u32>()
+                        == 0
+                    && s.offset + s.count * size_of::<u32>() <= s.bytes.len()
+            });
+        if zero_copy {
+            let mut bounds = Vec::with_capacity(segments.len() + 1);
+            bounds.push(0);
+            for s in &segments {
+                bounds.push(bounds.last().unwrap() + s.count);
+            }
+            return Ids::Mapped { segments, bounds };
+        }
+        let mut ids = Vec::with_capacity(segments.iter().map(|s| s.count).sum());
+        for s in &segments {
+            let raw = &s.bytes[s.offset..s.offset + s.count * size_of::<u32>()];
+            ids.extend(
+                raw.chunks_exact(4)
+                    .map(|c| ValueId(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))),
+            );
+        }
+        Ids::Ram(ids)
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Ids::Ram(v) => v.len(),
+            Ids::Mapped { bounds, .. } => *bounds.last().unwrap(),
+        }
+    }
+}
+
 /// One dictionary-encoded attribute: the ids of every live tuple's cell (in
 /// row order) plus the dictionary that issued them.
 #[derive(Clone, Debug)]
 pub struct Column {
     interner: ValueInterner,
-    ids: Vec<ValueId>,
+    ids: Ids,
 }
 
 impl Column {
+    /// A column from already-encoded parts (the persist layer's open path
+    /// and streaming ingest build columns without an instance).
+    pub(crate) fn from_parts(interner: ValueInterner, ids: Vec<ValueId>) -> Column {
+        Column {
+            interner,
+            ids: Ids::Ram(ids),
+        }
+    }
+
+    /// A column whose ids live in mapped segment files.  Falls back to an
+    /// eager decode when zero-copy reinterpretation is unsound on this
+    /// target.
+    pub(crate) fn from_mapped(interner: ValueInterner, segments: Vec<MappedIds>) -> Column {
+        Column {
+            interner,
+            ids: Ids::from_segments(segments),
+        }
+    }
+
     /// The id of the cell in row `row` (row positions come from
     /// [`ColumnarStore::row_of`] / [`ColumnarStore::rows`]).
     #[inline]
     pub fn id_at(&self, row: usize) -> ValueId {
-        self.ids[row]
+        match &self.ids {
+            Ids::Ram(v) => v[row],
+            Ids::Mapped { segments, bounds } => {
+                let seg = bounds.partition_point(|&b| b <= row) - 1;
+                segments[seg].as_slice()[row - bounds[seg]]
+            }
+        }
     }
 
-    /// All cell ids, in row order.
+    /// All cell ids, in row order.  Mapped columns whose segments are
+    /// contiguous in one file expose them zero-copy; otherwise the ids of
+    /// each persisted shard are available through
+    /// [`shard_ids`](Self::shard_ids).
+    ///
+    /// # Panics
+    /// Panics on a multi-segment mapped column (no single backing slice
+    /// exists); use [`shard_ids`](Self::shard_ids) or [`id_at`](Self::id_at)
+    /// there.
     pub fn ids(&self) -> &[ValueId] {
-        &self.ids
+        match &self.ids {
+            Ids::Ram(v) => v,
+            Ids::Mapped { segments, .. } => {
+                assert_eq!(
+                    segments.len(),
+                    1,
+                    "multi-segment mapped column has no contiguous id slice; \
+                     iterate shard_ids() instead"
+                );
+                segments[0].as_slice()
+            }
+        }
+    }
+
+    /// The ids of rows `range`, as up to one slice per backing segment (in
+    /// row order).  This is the shard-cursor access path: each slice stays
+    /// inside one mapped segment, so scans touch one shard's pages at a
+    /// time.
+    pub fn shard_ids(&self, range: Range<usize>) -> Vec<&[ValueId]> {
+        match &self.ids {
+            Ids::Ram(v) => vec![&v[range]],
+            Ids::Mapped { segments, bounds } => {
+                let mut out = Vec::new();
+                let mut row = range.start;
+                while row < range.end {
+                    let seg = bounds.partition_point(|&b| b <= row) - 1;
+                    let take = (bounds[seg + 1] - row).min(range.end - row);
+                    let local = row - bounds[seg];
+                    out.push(&segments[seg].as_slice()[local..local + take]);
+                    row += take;
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Is the column empty?
+    pub fn is_empty(&self) -> bool {
+        self.ids.len() == 0
+    }
+
+    /// Is the id storage memory-mapped (as opposed to owned)?
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.ids, Ids::Mapped { .. })
+    }
+
+    /// Hints the kernel that this column's mapped pages are no longer
+    /// needed.  No-op for owned columns.
+    pub fn release_pages(&self) {
+        if let Ids::Mapped { segments, .. } = &self.ids {
+            for s in segments {
+                s.bytes.release();
+            }
+        }
     }
 
     /// The dictionary behind this column.
@@ -61,9 +238,29 @@ impl Column {
         self.interner.len()
     }
 
-    /// Approximate heap bytes of ids plus dictionary.
+    /// Approximate heap bytes of ids plus dictionary.  Mapped ids are file
+    /// pages, not heap, and count as zero.
     pub fn approx_heap_bytes(&self) -> usize {
-        self.ids.capacity() * size_of::<ValueId>() + self.interner.approx_heap_bytes()
+        let id_bytes = match &self.ids {
+            Ids::Ram(v) => v.capacity() * size_of::<ValueId>(),
+            Ids::Mapped { .. } => 0,
+        };
+        id_bytes + self.interner.approx_heap_bytes()
+    }
+
+    /// Owned ids in row order: borrowed from RAM columns, gathered from the
+    /// segments of mapped ones.
+    fn ids_to_vec(&self) -> Vec<ValueId> {
+        match &self.ids {
+            Ids::Ram(v) => v.clone(),
+            Ids::Mapped { segments, .. } => {
+                let mut out = Vec::with_capacity(self.ids.len());
+                for s in segments {
+                    out.extend_from_slice(s.as_slice());
+                }
+                out
+            }
+        }
     }
 
     /// A copy of this column covering the old rows plus `new_rows`: the
@@ -73,13 +270,16 @@ impl Column {
     /// keyed on them stay valid.
     fn extended(&self, instance: &RelationInstance, attr: usize, new_rows: &[TupleId]) -> Column {
         let mut interner = self.interner.clone();
-        let mut ids = Vec::with_capacity(self.ids.len() + new_rows.len());
-        ids.extend_from_slice(&self.ids);
+        let mut ids = self.ids_to_vec();
+        ids.reserve(new_rows.len());
         for &id in new_rows {
             let tuple = instance.tuple(id).expect("appended row is live");
             ids.push(interner.intern(tuple.get(attr)));
         }
-        Column { interner, ids }
+        Column {
+            interner,
+            ids: Ids::Ram(ids),
+        }
     }
 }
 
@@ -266,13 +466,16 @@ impl ColumnarStore {
                 let lock = OnceLock::new();
                 if let Some(col) = slot.get() {
                     let mut patched = col.extended(instance, attr, &new_rows);
+                    let Ids::Ram(ids) = &mut patched.ids else {
+                        unreachable!("extended columns always own their ids");
+                    };
                     for change in changes.iter().filter(|c| c.cell.attr == attr) {
                         // Appended-then-edited tuples were already interned
                         // at their current value by the extension above;
                         // re-interning is a no-op for them.
                         if let Some(&row) = row_index.get(change.cell.tuple.0) {
                             if row != u32::MAX {
-                                patched.ids[row as usize] = patched.interner.intern(&change.new);
+                                ids[row as usize] = patched.interner.intern(&change.new);
                             }
                         }
                     }
@@ -363,7 +566,7 @@ impl ColumnarStore {
                 let tuple = instance.tuple(id).expect("snapshot row is live");
                 ids.push(interner.intern(tuple.get(attr)));
             }
-            let column = Arc::new(Column { interner, ids });
+            let column = Arc::new(Column::from_parts(interner, ids));
             dq_obs::add(
                 "store.column_bytes_built",
                 column.approx_heap_bytes() as u64,

@@ -25,6 +25,7 @@ use std::mem::size_of;
 /// Ids from different interners (different columns) are unrelated; comparing
 /// them is only meaningful through the interner that issued them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct ValueId(pub u32);
 
 impl ValueId {
@@ -43,10 +44,21 @@ impl fmt::Display for ValueId {
 
 /// A value dictionary: distinct [`Value`]s in first-seen order, with a
 /// reverse map for interning and lookup.
+///
+/// A dictionary re-hydrated from a persisted relation (see
+/// [`super::persist`]) tracks how many of its entries came off disk
+/// (`frozen`): the frozen prefix is immutable and already durable, so a
+/// subsequent save spills only the *overlay* — entries interned since the
+/// open — as a new dictionary segment.  Re-opening a saved relation
+/// therefore interns nothing at all; only genuinely new values ever pass
+/// through [`intern`](Self::intern) again.
 #[derive(Clone, Debug, Default)]
 pub struct ValueInterner {
     map: FxHashMap<Value, ValueId>,
     values: Vec<Value>,
+    /// Entries `0..frozen` are persisted; `frozen..len` is the in-memory
+    /// overlay.  Always `0` for interners never loaded from disk.
+    frozen: usize,
 }
 
 /// Summary counters of a [`ValueInterner`], reported by the bench harness.
@@ -76,6 +88,43 @@ impl ValueInterner {
     /// An empty interner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds an interner from a persisted dictionary: `values` are the
+    /// decoded entries in id order, all marked frozen.  The reverse map is
+    /// built once here — `O(distinct values)`, not `O(rows)` — which is the
+    /// whole cost of re-opening a dictionary.
+    pub fn from_frozen(values: Vec<Value>) -> Self {
+        let map = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), ValueId(i as u32)))
+            .collect();
+        let frozen = values.len();
+        ValueInterner {
+            map,
+            values,
+            frozen,
+        }
+    }
+
+    /// Number of entries already persisted (the frozen prefix); `0` for
+    /// interners that never touched disk.
+    pub fn frozen_len(&self) -> usize {
+        self.frozen
+    }
+
+    /// The in-memory overlay: entries interned since the dictionary was
+    /// loaded (or all entries, when it never was).  These are what a save
+    /// spills as the next dictionary segment.
+    pub fn overlay(&self) -> &[Value] {
+        &self.values[self.frozen..]
+    }
+
+    /// Marks every current entry as persisted.  Called by the persist layer
+    /// after spilling the overlay to disk.
+    pub fn mark_frozen(&mut self) {
+        self.frozen = self.values.len();
     }
 
     /// Number of distinct values interned.

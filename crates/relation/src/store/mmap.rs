@@ -1,0 +1,220 @@
+//! Thin, dependency-free memory-mapping wrapper.
+//!
+//! The persisted shard segments (see [`super::persist`]) are read either by
+//! memory-mapping the file — so the kernel pages ids in on demand and can
+//! evict them under memory pressure, which is what keeps resident memory
+//! bounded on instances larger than RAM — or, when mapping is unavailable
+//! (non-unix targets, exotic filesystems, mapping failure), by falling back
+//! to one buffered read into an owned `Vec<u8>`.
+//!
+//! The wrapper speaks to the OS through raw `extern "C"` declarations of
+//! `mmap`/`munmap`/`madvise` rather than the `libc` crate, so `dq-relation`
+//! stays free of external dependencies.  Mappings are read-only and private;
+//! [`MappedBytes`] is `Send + Sync` because the bytes can never change
+//! underneath a reader (`MAP_PRIVATE` snapshots the file contents).
+
+use std::fs::File;
+use std::io::Read;
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MADV_SEQUENTIAL: c_int = 2;
+    pub const MADV_DONTNEED: c_int = 4;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+}
+
+/// How the bytes of one segment file are held in memory.
+enum Backing {
+    /// A read-only private mapping; the pointer owns `len` mapped bytes
+    /// which are unmapped on drop.
+    #[cfg(unix)]
+    Mapped { ptr: *mut u8, len: usize },
+    /// Owned bytes read through the buffered fallback path.
+    Buffered(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE — immutable for its whole
+// lifetime — and the raw pointer is never handed out mutably.
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+/// The contents of one segment file: memory-mapped when possible, an owned
+/// buffer otherwise.  Dereferences to `[u8]` either way.
+pub struct MappedBytes {
+    backing: Backing,
+}
+
+impl MappedBytes {
+    /// Maps `path` read-only.  Falls back to a buffered read (and bumps the
+    /// `store.io.mmap_fallbacks` counter) when mapping is unsupported or
+    /// fails; empty files always use the (trivial) buffered form.
+    pub fn open(path: &Path) -> std::io::Result<MappedBytes> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 && !ptr.is_null() {
+                dq_obs::add("store.io.mmap_bytes", len as u64);
+                return Ok(MappedBytes {
+                    backing: Backing::Mapped {
+                        ptr: ptr as *mut u8,
+                        len,
+                    },
+                });
+            }
+            dq_obs::inc("store.io.mmap_fallbacks");
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        dq_obs::add("store.io.buffered_bytes", buf.len() as u64);
+        Ok(MappedBytes {
+            backing: Backing::Buffered(buf),
+        })
+    }
+
+    /// Reads `path` through the buffered path unconditionally (used by
+    /// integrity checks that want plain owned bytes, and by tests to cover
+    /// the fallback).
+    pub fn open_buffered(path: &Path) -> std::io::Result<MappedBytes> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        dq_obs::add("store.io.buffered_bytes", buf.len() as u64);
+        Ok(MappedBytes {
+            backing: Backing::Buffered(buf),
+        })
+    }
+
+    /// Is this an actual kernel mapping (as opposed to the buffered
+    /// fallback)?
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Buffered(_) => false,
+        }
+    }
+
+    /// Hints the kernel that the mapping will be scanned front-to-back
+    /// (larger readahead).  No-op on buffered backings.
+    pub fn advise_sequential(&self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = &self.backing {
+            unsafe { sys::madvise(*ptr as *mut _, *len, sys::MADV_SEQUENTIAL) };
+        }
+    }
+
+    /// Hints the kernel that the pages are no longer needed and may be
+    /// reclaimed immediately — the shard-cursor paths call this after
+    /// finishing a segment so resident memory stays at O(one shard).
+    /// No-op on buffered backings.
+    pub fn release(&self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = &self.backing {
+            if unsafe { sys::madvise(*ptr as *mut _, *len, sys::MADV_DONTNEED) } == 0 {
+                dq_obs::add("store.io.released_bytes", *len as u64);
+            }
+        }
+    }
+}
+
+impl Deref for MappedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            Backing::Buffered(buf) => buf,
+        }
+    }
+}
+
+impl Drop for MappedBytes {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = &self.backing {
+            unsafe { sys::munmap(*ptr as *mut _, *len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedBytes")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("dq_mmap_test_{}_{name}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_and_buffered_agree() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let path = tmp_file("agree", &payload);
+        let mapped = MappedBytes::open(&path).unwrap();
+        let buffered = MappedBytes::open_buffered(&path).unwrap();
+        assert_eq!(&*mapped, &payload[..]);
+        assert_eq!(&*buffered, &payload[..]);
+        assert!(!buffered.is_mapped());
+        mapped.advise_sequential();
+        mapped.release();
+        // Private mappings survive a release hint: the contents re-fault in.
+        assert_eq!(&*mapped, &payload[..]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp_file("empty", &[]);
+        let mapped = MappedBytes::open(&path).unwrap();
+        assert!(mapped.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let path = std::env::temp_dir().join("dq_mmap_test_definitely_missing");
+        assert!(MappedBytes::open(&path).is_err());
+    }
+}

@@ -30,9 +30,18 @@ pub mod distinct;
 pub mod fx;
 pub mod index;
 pub mod interner;
+pub mod mmap;
+pub mod persist;
+pub mod shard;
 
 pub use columnar::{Column, ColumnarStats, ColumnarStore, SHARD_ROWS};
 pub use distinct::{DistinctSet, IdTranslation};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::{InternedIndex, KeyCodec, ProjectionKey};
 pub use interner::{InternerStats, ValueId, ValueInterner};
+pub use mmap::MappedBytes;
+pub use persist::{
+    open_mmap, open_mmap_verified, save_postings, MappedRelation, RelationWriter, SaveStats,
+    FORMAT_VERSION,
+};
+pub use shard::{ShardSource, StoreShardSource};
